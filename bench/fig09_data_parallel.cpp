@@ -1,0 +1,56 @@
+// Figure 9 reproduction: strong scaling a single trainer with data
+// parallelism (naive "dynamic loading" ingestion, steady-state epoch time)
+// on the modelled Lassen system. Paper's CycleGAN on a 1M-sample subset,
+// mini-batch 128, GPUs in {1, 2, 4, 8, 16}.
+//
+// Published reference points: 9.36x speedup at 16 GPUs over 1 GPU, i.e.
+// 58% parallel efficiency, with clearly diminishing returns past 4 GPUs.
+#include <cstdio>
+#include <iostream>
+
+#include "perf/experiments.hpp"
+#include "simulator/cluster.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ltfb;
+
+  const auto spec = sim::lassen_spec();
+  const perf::PerfWorkload workload;  // 1M samples, batch 128
+  const auto rows = perf::run_fig9(spec, workload);
+
+  std::cout << "Figure 9 — data-parallel strong scaling of one trainer\n"
+            << "(steady-state epoch, naive dynamic loading, 1M samples, "
+               "mini-batch 128)\n\n";
+
+  util::TablePrinter table(
+      {"GPUs", "nodes", "epoch time", "speedup", "efficiency"});
+  for (const auto& row : rows) {
+    table.add_row({std::to_string(row.gpus), std::to_string(row.nodes),
+                   util::format_seconds(row.epoch_s),
+                   util::format_double(row.speedup, 2) + "x",
+                   util::format_double(row.efficiency * 100.0, 1) + "%"});
+  }
+  table.print();
+
+  const auto& last = rows.back();
+  std::cout << "\npaper vs reproduced (16 GPUs):\n";
+  util::TablePrinter compare({"metric", "paper", "reproduced"});
+  compare.add_row({"speedup over 1 GPU", "9.36x",
+                   util::format_double(last.speedup, 2) + "x"});
+  compare.add_row({"parallel efficiency", "58%",
+                   util::format_double(last.efficiency * 100.0, 1) + "%"});
+  compare.print();
+
+  // Gross shape violations fail the bench.
+  bool ok = last.speedup > 6.0 && last.speedup < 13.0;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    ok = ok && rows[i].epoch_s < rows[i - 1].epoch_s;
+  }
+  if (!ok) {
+    std::cerr << "FAIL: Figure 9 shape does not match the paper\n";
+    return 1;
+  }
+  std::cout << "\nshape check: OK\n";
+  return 0;
+}

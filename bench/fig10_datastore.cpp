@@ -1,0 +1,79 @@
+// Figure 10 reproduction: training the CycleGAN with the three ingestion
+// configurations — naive dynamic loading, the in-memory data store in
+// dynamic mode, and the preloaded data store — showing initial-epoch and
+// steady-state times for 1..16 GPUs on a 1M-sample dataset.
+//
+// Published reference points: the data store is worth 7.73x at 1 GPU and
+// 1.31x at 16 GPUs (dynamic mode); preloading is 1.43x over no store and
+// 1.10x over the dynamic store at 16 GPUs; preload does not fit in memory
+// at 1-2 GPUs.
+#include <iostream>
+
+#include "perf/experiments.hpp"
+#include "simulator/cluster.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ltfb;
+
+  const auto spec = sim::lassen_spec();
+  const perf::PerfWorkload workload;
+  const auto rows = perf::run_fig10(spec, workload);
+
+  std::cout << "Figure 10 — ingestion modes (1M samples, mini-batch 128)\n\n";
+
+  util::TablePrinter table({"GPUs", "naive init", "naive steady",
+                            "store-dyn init", "store-dyn steady",
+                            "preload init", "preload steady"});
+  for (const auto& row : rows) {
+    auto opt = [](const std::optional<double>& v) {
+      return v ? util::format_seconds(*v) : std::string("OOM");
+    };
+    table.add_row({std::to_string(row.gpus),
+                   util::format_seconds(row.naive_initial),
+                   util::format_seconds(row.naive_steady),
+                   util::format_seconds(row.dynamic_initial),
+                   util::format_seconds(row.dynamic_steady),
+                   opt(row.preload_initial), opt(row.preload_steady)});
+  }
+  table.print();
+  for (const auto& row : rows) {
+    if (!row.note.empty()) {
+      std::cout << "  " << row.gpus << " GPU(s): " << row.note << "\n";
+    }
+  }
+
+  const auto& r1 = rows.front();
+  const auto& r16 = rows.back();
+  std::cout << "\npaper vs reproduced (steady-state ratios):\n";
+  util::TablePrinter compare({"metric", "paper", "reproduced"});
+  compare.add_row(
+      {"store benefit @ 1 GPU", "7.73x",
+       util::format_double(r1.naive_steady / r1.dynamic_steady, 2) + "x"});
+  compare.add_row(
+      {"store benefit @ 16 GPUs", "1.31x",
+       util::format_double(r16.naive_steady / r16.dynamic_steady, 2) + "x"});
+  compare.add_row(
+      {"preload vs no store @ 16 GPUs", "1.43x",
+       util::format_double(r16.naive_steady / *r16.preload_steady, 2) + "x"});
+  compare.add_row(
+      {"preload vs dynamic @ 16 GPUs", "1.10x",
+       util::format_double(r16.dynamic_steady / *r16.preload_steady, 2) +
+           "x"});
+  compare.add_row({"preload feasible at 1-2 GPUs", "no (OOM)",
+                   rows[0].preload_steady ? "yes (WRONG)" : "no (OOM)"});
+  compare.print();
+
+  const bool ok = !rows[0].preload_steady.has_value() &&
+                  !rows[1].preload_steady.has_value() &&
+                  rows[2].preload_steady.has_value() &&
+                  r1.naive_steady / r1.dynamic_steady > 4.0 &&
+                  r16.naive_steady / r16.dynamic_steady > 1.1 &&
+                  *r16.preload_steady < r16.dynamic_steady;
+  if (!ok) {
+    std::cerr << "FAIL: Figure 10 shape does not match the paper\n";
+    return 1;
+  }
+  std::cout << "\nshape check: OK\n";
+  return 0;
+}

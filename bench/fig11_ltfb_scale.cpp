@@ -1,0 +1,70 @@
+// Figure 11 reproduction: LTFB at scale. Per-epoch steady-state training
+// time and data-preload time as the trainer count grows from 1 (16 GPUs)
+// to 64 (1024 GPUs) on the full 10M-sample dataset; each trainer uses
+// 4 nodes x 4 GPUs except the single-trainer baseline, which needs
+// 16 nodes x 1 GPU to fit the data store in host memory.
+//
+// Published reference points: 70.2x speedup at 64 trainers over the
+// 1-trainer baseline — an effective 109% parallel efficiency (superlinear)
+// — and preload time that improves up to 32 trainers but degrades at 64
+// due to GPFS inter-trainer interference.
+#include <iostream>
+
+#include "perf/experiments.hpp"
+#include "simulator/cluster.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ltfb;
+
+  const auto spec = sim::lassen_spec();
+  perf::PerfWorkload workload;
+  workload.samples = 10'000'000;
+  const auto rows = perf::run_fig11(spec, workload);
+
+  std::cout << "Figure 11 — LTFB strong scaling on the 10M-sample dataset\n"
+            << "(steady-state epoch time per trainer + data preload time)\n\n";
+
+  util::TablePrinter table({"trainers", "GPUs", "GPUs/node", "epoch time",
+                            "preload", "speedup", "efficiency"});
+  for (const auto& row : rows) {
+    table.add_row({std::to_string(row.trainers),
+                   std::to_string(row.total_gpus),
+                   std::to_string(row.gpus_per_node),
+                   util::format_seconds(row.epoch_s),
+                   util::format_seconds(row.preload_s),
+                   util::format_double(row.speedup, 1) + "x",
+                   util::format_double(row.efficiency * 100.0, 1) + "%"});
+  }
+  table.print();
+  for (const auto& row : rows) {
+    if (!row.note.empty()) {
+      std::cout << "  " << row.trainers << " trainer(s): " << row.note
+                << "\n";
+    }
+  }
+
+  const auto& last = rows.back();
+  std::cout << "\npaper vs reproduced (64 trainers / 1024 GPUs):\n";
+  util::TablePrinter compare({"metric", "paper", "reproduced"});
+  compare.add_row({"speedup over 1 trainer", "70.2x",
+                   util::format_double(last.speedup, 1) + "x"});
+  compare.add_row({"parallel efficiency", "109%",
+                   util::format_double(last.efficiency * 100.0, 1) + "%"});
+  compare.add_row(
+      {"preload degrades 32 -> 64 trainers", "yes",
+       rows[4].preload_s > rows[3].preload_s ? "yes" : "no (WRONG)"});
+  compare.print();
+
+  bool ok = last.speedup > 55.0 && last.speedup < 90.0 &&
+            last.efficiency > 1.0 && rows[4].preload_s > rows[3].preload_s;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    ok = ok && rows[i].epoch_s < rows[i - 1].epoch_s;
+  }
+  if (!ok) {
+    std::cerr << "FAIL: Figure 11 shape does not match the paper\n";
+    return 1;
+  }
+  std::cout << "\nshape check: OK\n";
+  return 0;
+}

@@ -1,0 +1,168 @@
+// google-benchmark microbenches for the performance-critical kernels:
+// blocked GEMM (the fully-connected workhorse), ring all-reduce and
+// broadcast over the in-process comm substrate, the data-store exchange,
+// a full CycleGAN training step, and the JAG simulator itself.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <numeric>
+
+#include "comm/communicator.hpp"
+#include "data/data_reader.hpp"
+#include "data/dataset.hpp"
+#include "datastore/data_store.hpp"
+#include "gan/cyclegan.hpp"
+#include "jag/jag_model.hpp"
+#include "tensor/gemm.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ltfb;
+
+void fill_random(tensor::Tensor& t, std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (auto& v : t.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  tensor::Tensor a(n, n), b(n, n), c(n, n);
+  fill_random(a, 1);
+  fill_random(b, 2);
+  for (auto _ : state) {
+    tensor::matmul(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      tensor::gemm_flops(n, n, n) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTransposed(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  tensor::Tensor a(n, n), b(n, n), c(n, n);
+  fill_random(a, 3);
+  fill_random(b, 4);
+  for (auto _ : state) {
+    tensor::gemm(tensor::Op::Transpose, tensor::Op::None, 1.0f, a, b, 0.0f,
+                 c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+}
+BENCHMARK(BM_GemmTransposed)->Arg(128);
+
+void BM_Allreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const auto elements = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    comm::World::run(ranks, [&](comm::Communicator& comm) {
+      std::vector<float> data(elements,
+                              static_cast<float>(comm.rank() + 1));
+      comm.allreduce(data, comm::ReduceOp::Sum);
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+  state.counters["bytes"] =
+      static_cast<double>(elements) * sizeof(float);
+}
+BENCHMARK(BM_Allreduce)->Args({2, 1 << 14})->Args({4, 1 << 14});
+
+void BM_Broadcast(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    comm::World::run(ranks, [&](comm::Communicator& comm) {
+      std::vector<float> data(1 << 12, 1.0f);
+      comm.broadcast(0, std::span<float>(data));
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+}
+BENCHMARK(BM_Broadcast)->Arg(4);
+
+void BM_JagSimulation(benchmark::State& state) {
+  jag::JagConfig config;
+  config.image_size = static_cast<std::size_t>(state.range(0));
+  const jag::JagModel model(config);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    std::array<double, jag::kNumInputs> point{};
+    for (auto& c : point) c = rng.uniform();
+    const auto out = model.run(point);
+    benchmark::DoNotOptimize(out.scalars.data());
+  }
+}
+BENCHMARK(BM_JagSimulation)->Arg(16)->Arg(64);
+
+void BM_CycleGanTrainStep(benchmark::State& state) {
+  jag::JagConfig jag_config;
+  jag_config.image_size = 8;
+  jag_config.num_channels = 1;
+  const jag::JagModel jag_model(jag_config);
+  data::Dataset dataset = data::generate_jag_dataset(jag_model, 256, 5);
+  const auto norms = data::fit_normalizers(dataset);
+  data::normalize_dataset(dataset, norms);
+
+  gan::CycleGanConfig config;
+  config.image_width = jag_config.image_features();
+  config.latent_width = 20;
+  config.encoder_hidden = {64, 32};
+  config.decoder_hidden = {32, 64};
+  config.forward_hidden = {32, 32};
+  config.inverse_hidden = {24};
+  config.discriminator_hidden = {24, 12};
+  gan::CycleGan model(config, 6);
+
+  std::vector<std::size_t> view(dataset.size());
+  std::iota(view.begin(), view.end(), 0);
+  data::MiniBatchReader reader(dataset, view, 128, 7);
+  for (auto _ : state) {
+    const auto metrics = model.train_step(reader.next());
+    benchmark::DoNotOptimize(metrics.fidelity_loss);
+  }
+  state.counters["params"] = static_cast<double>(model.parameter_count());
+}
+BENCHMARK(BM_CycleGanTrainStep);
+
+void BM_DataStoreFetch(benchmark::State& state) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "ltfb_bench_store";
+  std::filesystem::remove_all(dir);
+  data::SampleSchema schema;
+  schema.input_width = 5;
+  schema.scalar_width = 15;
+  schema.image_width = 192;
+  std::vector<data::Sample> samples;
+  for (data::SampleId id = 0; id < 512; ++id) {
+    data::Sample sample;
+    sample.id = id;
+    sample.input.assign(5, 1.0f);
+    sample.scalars.assign(15, 2.0f);
+    sample.images.assign(192, 3.0f);
+    samples.push_back(std::move(sample));
+  }
+  const auto paths = data::write_bundle_set(dir, schema, samples, 8);
+  datastore::BundleCatalog catalog(paths);
+
+  for (auto _ : state) {
+    comm::World::run(2, [&](comm::Communicator& comm) {
+      datastore::DataStore store(comm, &catalog,
+                                 datastore::PopulateMode::Preloaded);
+      store.preload();
+      util::Rng rng(static_cast<std::uint64_t>(comm.rank()) + 11);
+      for (int step = 0; step < 8; ++step) {
+        std::vector<data::SampleId> wanted(32);
+        for (auto& id : wanted) id = rng.uniform_index(512);
+        const auto got = store.fetch(wanted);
+        benchmark::DoNotOptimize(got.data());
+      }
+    });
+  }
+}
+BENCHMARK(BM_DataStoreFetch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Shared setup for the quality-plane benches (Figs. 7, 8, 12, 13): a
+// scaled-down JAG configuration and CycleGAN sized so that real training
+// runs in seconds on one CPU core while preserving the paper's structure
+// (5-D inputs, 15 scalars, multi-view multi-channel images, 20-D-ish
+// latent). Scale knobs are environment-variable overridable so the same
+// binaries can run longer, higher-fidelity reproductions.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "core/population.hpp"
+#include "data/dataset.hpp"
+#include "gan/cyclegan.hpp"
+#include "jag/jag_model.hpp"
+
+namespace bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  return static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+}
+
+inline ltfb::jag::JagConfig bench_jag_config() {
+  ltfb::jag::JagConfig config;
+  config.image_size = env_size("LTFB_BENCH_IMAGE_SIZE", 8);
+  config.num_views = 3;
+  config.num_channels = env_size("LTFB_BENCH_CHANNELS", 1);
+  config.noise_level = 0.01;  // mild model error, as in real JAG data
+  return config;
+}
+
+inline ltfb::gan::CycleGanConfig bench_gan_config(
+    const ltfb::jag::JagConfig& jag_config) {
+  ltfb::gan::CycleGanConfig config;
+  config.image_width = jag_config.image_features();
+  config.latent_width = 20;  // the paper's latent dimension
+  config.encoder_hidden = {64, 32};
+  config.decoder_hidden = {32, 64};
+  config.forward_hidden = {32, 32};
+  config.inverse_hidden = {24};
+  config.discriminator_hidden = {24, 12};
+  config.learning_rate = 1e-3f;  // the paper's setting
+  return config;
+}
+
+struct QualitySetup {
+  ltfb::jag::JagConfig jag_config;
+  ltfb::jag::JagModel jag;
+  ltfb::data::Dataset dataset;           // normalized
+  ltfb::data::DatasetNormalizers norms;  // for de-normalizing predictions
+  ltfb::data::SplitIndices splits;
+
+  explicit QualitySetup(std::size_t samples, std::uint64_t seed)
+      : jag_config(bench_jag_config()),
+        jag(jag_config),
+        dataset(ltfb::data::generate_jag_dataset(jag, samples, seed)) {
+    norms = ltfb::data::fit_normalizers(dataset);
+    ltfb::data::normalize_dataset(dataset, norms);
+    splits = ltfb::data::split_dataset(dataset.size(), 0.7, 0.15, seed + 1);
+  }
+};
+
+}  // namespace bench

@@ -1,0 +1,75 @@
+// Section IV-A reproduction: the experimental setup. Prints the modelled
+// Lassen system next to the paper's published configuration, plus the
+// paper-scale CycleGAN and dataset dimensions every performance experiment
+// uses. This is the "table" of the evaluation section (the paper reports
+// the setup in prose; no numbered tables exist).
+#include <iostream>
+
+#include "perf/model_cost.hpp"
+#include "simulator/cluster.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ltfb;
+
+  const auto spec = sim::lassen_spec();
+  const auto config = perf::paper_scale_config();
+  const auto cost = perf::analyze(config);
+
+  std::cout << "Section IV-A — experimental setup (modelled vs paper)\n\n";
+  util::TablePrinter system({"attribute", "paper (Lassen)", "model"});
+  system.add_row({"nodes", "795", std::to_string(spec.nodes)});
+  system.add_row({"CPUs per node", "2x IBM POWER9", "(modelled via host mem)"});
+  system.add_row({"GPUs per node", "4x NVIDIA V100",
+                  std::to_string(spec.node.gpus)});
+  system.add_row({"GPU memory", "16 GB",
+                  util::format_bytes(spec.gpu.memory_bytes)});
+  system.add_row({"node memory", "256 GB",
+                  util::format_bytes(spec.node.memory_bytes)});
+  system.add_row({"intra-node", "3x NVLINK2",
+                  util::format_bytes(spec.node.nvlink_bandwidth) + "/s"});
+  system.add_row({"inter-node", "dual-rail IB EDR",
+                  util::format_bytes(spec.node.ib_bandwidth) + "/s"});
+  system.add_row({"file system", "GPFS (LC CZ)",
+                  util::format_bytes(spec.fs.aggregate_bandwidth) +
+                      "/s aggregate"});
+  system.add_row({"precision", "float32", "float32"});
+  system.print();
+
+  std::cout << "\nworkload (Sec. II):\n";
+  util::TablePrinter workload({"attribute", "paper", "model"});
+  workload.add_row({"input space", "5-D", std::to_string(config.input_width) +
+                                              "-D"});
+  workload.add_row({"scalar outputs", "15",
+                    std::to_string(config.scalar_width)});
+  workload.add_row({"images per sample", "12 (3 views x 4 channels)", "12"});
+  workload.add_row({"image resolution", "64 x 64", "64 x 64"});
+  workload.add_row({"latent space", "20-D",
+                    std::to_string(config.latent_width) + "-D"});
+  workload.add_row({"training samples", "10M", "10M"});
+  workload.add_row({"samples per file", "1,000", "1,000"});
+  workload.add_row({"dataset size", "~2 TB",
+                    util::format_bytes(perf::sample_bytes(config) * 10e6)});
+  workload.add_row({"mini-batch", "128", "128"});
+  workload.add_row({"optimizer", "Adam, lr 1e-3", "Adam, lr 1e-3"});
+  workload.print();
+
+  std::cout << "\nmodelled CycleGAN cost:\n";
+  util::TablePrinter model({"quantity", "value"});
+  model.add_row({"total parameters",
+                 util::format_double(cost.total_params() / 1e6, 3) + " M"});
+  model.add_row({"generator parameters (LTFB exchange unit)",
+                 util::format_double(cost.generator_params() / 1e6, 3) +
+                     " M"});
+  model.add_row(
+      {"discriminator parameters (stay local)",
+       util::format_double(cost.discriminator_params / 1e6, 3) + " M"});
+  model.add_row({"train FLOPs / sample",
+                 util::format_double(cost.train_flops_per_sample() / 1e9, 2) +
+                     " GF"});
+  model.add_row({"eval FLOPs / sample",
+                 util::format_double(cost.eval_flops_per_sample() / 1e9, 2) +
+                     " GF"});
+  model.print();
+  return 0;
+}

@@ -1,0 +1,544 @@
+#include "comm/communicator.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace ltfb::comm {
+
+namespace detail {
+
+struct Envelope {
+  int world_src = 0;
+  std::uint64_t comm_id = 0;
+  std::int64_t tag = 0;
+  Buffer payload;
+};
+
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Envelope> messages;
+};
+
+struct WorldState {
+  explicit WorldState(int size) {
+    mailboxes.reserve(static_cast<std::size_t>(size));
+    for (int i = 0; i < size; ++i) {
+      mailboxes.push_back(std::make_unique<Mailbox>());
+    }
+  }
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+};
+
+struct PendingRecv {
+  Mailbox* mailbox = nullptr;
+  std::uint64_t comm_id = 0;
+  std::vector<int> group;  // for ANY_SOURCE membership checks
+  int src_world = kAnySource;
+  std::int64_t tag = 0;
+  bool done = false;
+  Buffer payload;
+  int source_world = -1;
+};
+
+namespace {
+
+bool matches(const Envelope& env, std::uint64_t comm_id, int src_world,
+             std::int64_t tag, const std::vector<int>& group) {
+  if (env.comm_id != comm_id || env.tag != tag) return false;
+  if (src_world != kAnySource) return env.world_src == src_world;
+  return std::find(group.begin(), group.end(), env.world_src) != group.end();
+}
+
+/// Tries to complete a pending receive from the mailbox. Caller holds the
+/// mailbox mutex.
+bool try_complete(PendingRecv& pending) {
+  auto& queue = pending.mailbox->messages;
+  for (auto it = queue.begin(); it != queue.end(); ++it) {
+    if (matches(*it, pending.comm_id, pending.src_world, pending.tag,
+                pending.group)) {
+      pending.payload = std::move(it->payload);
+      pending.source_world = it->world_src;
+      queue.erase(it);
+      pending.done = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+}  // namespace detail
+
+Buffer to_buffer(std::span<const float> values) {
+  Buffer buffer(values.size() * sizeof(float));
+  if (!values.empty()) {
+    std::memcpy(buffer.data(), values.data(), buffer.size());
+  }
+  return buffer;
+}
+
+std::vector<float> floats_from_buffer(const Buffer& buffer) {
+  LTFB_CHECK_MSG(buffer.size() % sizeof(float) == 0,
+                 "buffer size " << buffer.size() << " is not float-aligned");
+  std::vector<float> values(buffer.size() / sizeof(float));
+  if (!values.empty()) {
+    std::memcpy(values.data(), buffer.data(), buffer.size());
+  }
+  return values;
+}
+
+bool Request::test() {
+  LTFB_CHECK_MSG(state_, "test() on an invalid request");
+  const std::scoped_lock lock(state_->mailbox->mutex);
+  if (state_->done) return true;
+  return detail::try_complete(*state_);
+}
+
+void Request::wait() {
+  LTFB_CHECK_MSG(state_, "wait() on an invalid request");
+  std::unique_lock lock(state_->mailbox->mutex);
+  state_->mailbox->cv.wait(lock, [this] {
+    return state_->done || detail::try_complete(*state_);
+  });
+}
+
+int Communicator::world_rank_of(int rank) const {
+  LTFB_CHECK_MSG(rank >= 0 && rank < size(),
+                 "rank " << rank << " out of range for size " << size());
+  return group_[static_cast<std::size_t>(rank)];
+}
+
+void Communicator::send(int dst, int tag, const Buffer& payload) {
+  LTFB_CHECK(tag >= 0);
+  const int world_dst = world_rank_of(dst);
+  auto& mailbox = *world_->mailboxes[static_cast<std::size_t>(world_dst)];
+  {
+    const std::scoped_lock lock(mailbox.mutex);
+    mailbox.messages.push_back(detail::Envelope{
+        group_[static_cast<std::size_t>(rank_)], comm_id_, tag, payload});
+  }
+  mailbox.cv.notify_all();
+}
+
+void Communicator::send(int dst, int tag, std::span<const float> values) {
+  send(dst, tag, to_buffer(values));
+}
+
+Buffer Communicator::recv(int src, int tag, int* source_out) {
+  LTFB_CHECK(tag >= 0);
+  Request request = irecv(src, tag);
+  request.wait();
+  if (source_out != nullptr) {
+    const int world_src = request.state_->source_world;
+    const auto it = std::find(group_.begin(), group_.end(), world_src);
+    LTFB_ASSERT(it != group_.end());
+    *source_out = static_cast<int>(it - group_.begin());
+  }
+  return take_payload(request);
+}
+
+Request Communicator::irecv(int src, int tag) {
+  auto pending = std::make_shared<detail::PendingRecv>();
+  const int me = group_[static_cast<std::size_t>(rank_)];
+  pending->mailbox = world_->mailboxes[static_cast<std::size_t>(me)].get();
+  pending->comm_id = comm_id_;
+  pending->group = group_;
+  pending->src_world = (src == kAnySource) ? kAnySource : world_rank_of(src);
+  pending->tag = tag;
+  return Request(std::move(pending));
+}
+
+Buffer Communicator::take_payload(Request& request) {
+  LTFB_CHECK_MSG(request.state_ && request.state_->done,
+                 "take_payload before completion");
+  return std::move(request.state_->payload);
+}
+
+Buffer Communicator::sendrecv(int partner, int tag, const Buffer& payload) {
+  // Sends never block (mailboxes are unbounded), so send-then-recv is
+  // deadlock-free even when both sides target each other.
+  send(partner, tag, payload);
+  return recv(partner, tag);
+}
+
+std::uint64_t Communicator::next_internal_tag(std::uint64_t kind) {
+  // Internal tags live far above the user tag space and encode the
+  // collective kind plus a lockstep sequence number, so back-to-back
+  // collectives never cross-match.
+  const std::uint64_t seq = collective_seq_++;
+  return (1ull << 62) | (kind << 52) | (seq & ((1ull << 40) - 1));
+}
+
+namespace {
+
+/// Internal variant of send/recv that permits the reserved tag space.
+void internal_send(Communicator& comm, detail::WorldState& world,
+                   const std::vector<int>& group, int my_rank, int dst,
+                   std::uint64_t comm_id, std::int64_t tag,
+                   const Buffer& payload) {
+  (void)comm;
+  auto& mailbox =
+      *world.mailboxes[static_cast<std::size_t>(group[static_cast<std::size_t>(dst)])];
+  {
+    const std::scoped_lock lock(mailbox.mutex);
+    mailbox.messages.push_back(detail::Envelope{
+        group[static_cast<std::size_t>(my_rank)], comm_id, tag, payload});
+  }
+  mailbox.cv.notify_all();
+}
+
+Buffer internal_recv(detail::WorldState& world, const std::vector<int>& group,
+                     int my_rank, int src, std::uint64_t comm_id,
+                     std::int64_t tag) {
+  auto& mailbox =
+      *world.mailboxes[static_cast<std::size_t>(group[static_cast<std::size_t>(my_rank)])];
+  detail::PendingRecv pending;
+  pending.mailbox = &mailbox;
+  pending.comm_id = comm_id;
+  pending.group = group;
+  pending.src_world =
+      (src == kAnySource) ? kAnySource : group[static_cast<std::size_t>(src)];
+  pending.tag = tag;
+  std::unique_lock lock(mailbox.mutex);
+  mailbox.cv.wait(lock,
+                  [&] { return pending.done || detail::try_complete(pending); });
+  return std::move(pending.payload);
+}
+
+/// Offsets a collective's base tag by a step index. Steps live in bits
+/// 40..51 while the lockstep sequence number stays in bits 0..39, so
+/// messages from step s of one collective can never match step t of a
+/// later collective of the same kind.
+constexpr std::int64_t step_tag(std::int64_t base, int step) {
+  return base + (static_cast<std::int64_t>(step + 1) << 40);
+}
+
+float reduce_elem(float a, float b, ReduceOp op) {
+  switch (op) {
+    case ReduceOp::Sum: return a + b;
+    case ReduceOp::Max: return std::max(a, b);
+    case ReduceOp::Min: return std::min(a, b);
+  }
+  return a;
+}
+
+}  // namespace
+
+void Communicator::barrier() {
+  const auto tag = static_cast<std::int64_t>(next_internal_tag(1));
+  const int n = size();
+  // Dissemination barrier: log2(n) rounds.
+  for (int distance = 1; distance < n; distance <<= 1) {
+    const int dst = (rank_ + distance) % n;
+    const int src = (rank_ - distance % n + n) % n;
+    internal_send(*this, *world_, group_, rank_, dst, comm_id_,
+                  step_tag(tag, distance), {});
+    (void)internal_recv(*world_, group_, rank_, src, comm_id_,
+                        step_tag(tag, distance));
+  }
+}
+
+void Communicator::broadcast(int root, Buffer& payload) {
+  const auto tag = static_cast<std::int64_t>(next_internal_tag(2));
+  const int n = size();
+  LTFB_CHECK(root >= 0 && root < n);
+  const int vrank = (rank_ - root + n) % n;
+  // Binomial tree: receive from the parent, then forward to children.
+  int mask = 1;
+  while (mask < n) {
+    if (vrank & mask) {
+      const int src = ((vrank - mask) + root) % n;
+      payload = internal_recv(*world_, group_, rank_, src, comm_id_, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < n) {
+      const int dst = ((vrank + mask) + root) % n;
+      internal_send(*this, *world_, group_, rank_, dst, comm_id_, tag,
+                    payload);
+    }
+    mask >>= 1;
+  }
+}
+
+void Communicator::broadcast(int root, std::span<float> values) {
+  Buffer payload;
+  if (rank_ == root) payload = to_buffer(values);
+  broadcast(root, payload);
+  if (rank_ != root) {
+    LTFB_CHECK_MSG(payload.size() == values.size() * sizeof(float),
+                   "broadcast size mismatch");
+    std::memcpy(values.data(), payload.data(), payload.size());
+  }
+}
+
+void Communicator::allreduce(std::span<float> values, ReduceOp op) {
+  const auto tag = static_cast<std::int64_t>(next_internal_tag(3));
+  const int n = size();
+  if (n == 1 || values.empty()) return;
+
+  // Ring all-reduce: reduce-scatter then all-gather, chunked by rank.
+  const std::size_t count = values.size();
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  {
+    const std::size_t base = count / static_cast<std::size_t>(n);
+    const std::size_t rem = count % static_cast<std::size_t>(n);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+      offsets[i + 1] = offsets[i] + base + (i < rem ? 1 : 0);
+    }
+  }
+  auto chunk = [&](int index) {
+    const auto i = static_cast<std::size_t>((index % n + n) % n);
+    return values.subspan(offsets[i], offsets[i + 1] - offsets[i]);
+  };
+
+  const int right = (rank_ + 1) % n;
+  const int left = (rank_ - 1 + n) % n;
+
+  for (int step = 0; step < n - 1; ++step) {
+    const auto out = chunk(rank_ - step);
+    internal_send(*this, *world_, group_, rank_, right, comm_id_,
+                  step_tag(tag, step), to_buffer(out));
+    const Buffer in = internal_recv(*world_, group_, rank_, left, comm_id_,
+                                    step_tag(tag, step));
+    auto target = chunk(rank_ - step - 1);
+    const auto incoming = floats_from_buffer(in);
+    LTFB_CHECK(incoming.size() == target.size());
+    for (std::size_t i = 0; i < target.size(); ++i) {
+      target[i] = reduce_elem(target[i], incoming[i], op);
+    }
+  }
+  for (int step = 0; step < n - 1; ++step) {
+    const auto out = chunk(rank_ + 1 - step);
+    internal_send(*this, *world_, group_, rank_, right, comm_id_,
+                  step_tag(tag, n + step), to_buffer(out));
+    const Buffer in = internal_recv(*world_, group_, rank_, left, comm_id_,
+                                    step_tag(tag, n + step));
+    auto target = chunk(rank_ - step);
+    const auto incoming = floats_from_buffer(in);
+    LTFB_CHECK(incoming.size() == target.size());
+    std::copy(incoming.begin(), incoming.end(), target.begin());
+  }
+}
+
+std::vector<float> Communicator::allgather(std::span<const float> contribution) {
+  const auto tag = static_cast<std::int64_t>(next_internal_tag(4));
+  const int n = size();
+  const std::size_t per_rank = contribution.size();
+  std::vector<float> result(per_rank * static_cast<std::size_t>(n));
+  std::copy(contribution.begin(), contribution.end(),
+            result.begin() +
+                static_cast<std::ptrdiff_t>(per_rank *
+                                            static_cast<std::size_t>(rank_)));
+  if (n == 1) return result;
+
+  // Ring all-gather: forward the chunk received in the previous step.
+  const int right = (rank_ + 1) % n;
+  const int left = (rank_ - 1 + n) % n;
+  std::vector<float> current(contribution.begin(), contribution.end());
+  int current_owner = rank_;
+  for (int step = 0; step < n - 1; ++step) {
+    internal_send(*this, *world_, group_, rank_, right, comm_id_,
+                  step_tag(tag, step), to_buffer(current));
+    const Buffer in = internal_recv(*world_, group_, rank_, left, comm_id_,
+                                    step_tag(tag, step));
+    current = floats_from_buffer(in);
+    LTFB_CHECK(current.size() == per_rank);
+    current_owner = (current_owner - 1 + n) % n;
+    std::copy(current.begin(), current.end(),
+              result.begin() + static_cast<std::ptrdiff_t>(
+                                   per_rank *
+                                   static_cast<std::size_t>(current_owner)));
+  }
+  return result;
+}
+
+void Communicator::reduce(int root, std::span<float> values, ReduceOp op) {
+  const auto tag = static_cast<std::int64_t>(next_internal_tag(5));
+  const int n = size();
+  LTFB_CHECK(root >= 0 && root < n);
+  if (n == 1 || values.empty()) return;
+  // Binomial reduction on virtual ranks (root at vrank 0): each rank
+  // receives from children, folds, then sends the partial to its parent.
+  const int vrank = (rank_ - root + n) % n;
+  // Root's contribution must survive; non-roots work on a scratch copy so
+  // their caller-visible buffers stay untouched (MPI semantics).
+  std::vector<float> scratch;
+  std::span<float> acc = values;
+  if (vrank != 0) {
+    scratch.assign(values.begin(), values.end());
+    acc = scratch;
+  }
+  int mask = 1;
+  while (mask < n) {
+    if ((vrank & mask) == 0) {
+      const int child_v = vrank + mask;
+      if (child_v < n) {
+        const int child = (child_v + root) % n;
+        const Buffer in = internal_recv(*world_, group_, rank_, child,
+                                        comm_id_, step_tag(tag, mask));
+        const std::vector<float> incoming = floats_from_buffer(in);
+        LTFB_CHECK(incoming.size() == acc.size());
+        for (std::size_t i = 0; i < acc.size(); ++i) {
+          acc[i] = reduce_elem(acc[i], incoming[i], op);
+        }
+      }
+    } else {
+      const int parent = ((vrank - mask) + root) % n;
+      internal_send(*this, *world_, group_, rank_, parent, comm_id_,
+                    step_tag(tag, mask), to_buffer(acc));
+      return;  // partial delivered; this rank is done
+    }
+    mask <<= 1;
+  }
+}
+
+std::vector<float> Communicator::gather(int root,
+                                        std::span<const float> contribution) {
+  const auto tag = static_cast<std::int64_t>(next_internal_tag(6));
+  const int n = size();
+  LTFB_CHECK(root >= 0 && root < n);
+  if (rank_ != root) {
+    internal_send(*this, *world_, group_, rank_, root, comm_id_, tag,
+                  to_buffer(contribution));
+    return {};
+  }
+  std::vector<float> result(contribution.size() *
+                            static_cast<std::size_t>(n));
+  std::copy(contribution.begin(), contribution.end(),
+            result.begin() + static_cast<std::ptrdiff_t>(
+                                 contribution.size() *
+                                 static_cast<std::size_t>(root)));
+  for (int r = 0; r < n; ++r) {
+    if (r == root) continue;
+    const Buffer in =
+        internal_recv(*world_, group_, rank_, r, comm_id_, tag);
+    const std::vector<float> piece = floats_from_buffer(in);
+    LTFB_CHECK_MSG(piece.size() == contribution.size(),
+                   "gather contribution size mismatch from rank " << r);
+    std::copy(piece.begin(), piece.end(),
+              result.begin() + static_cast<std::ptrdiff_t>(
+                                   contribution.size() *
+                                   static_cast<std::size_t>(r)));
+  }
+  return result;
+}
+
+std::vector<float> Communicator::scatter(int root,
+                                         std::span<const float> send,
+                                         std::size_t chunk) {
+  const auto tag = static_cast<std::int64_t>(next_internal_tag(7));
+  const int n = size();
+  LTFB_CHECK(root >= 0 && root < n);
+  if (rank_ == root) {
+    LTFB_CHECK_MSG(send.size() == chunk * static_cast<std::size_t>(n),
+                   "scatter buffer size " << send.size() << " != ranks*chunk "
+                                          << chunk * static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      internal_send(*this, *world_, group_, rank_, r, comm_id_, tag,
+                    to_buffer(send.subspan(
+                        chunk * static_cast<std::size_t>(r), chunk)));
+    }
+    const auto mine = send.subspan(chunk * static_cast<std::size_t>(root),
+                                   chunk);
+    return std::vector<float>(mine.begin(), mine.end());
+  }
+  const Buffer in =
+      internal_recv(*world_, group_, rank_, root, comm_id_, tag);
+  std::vector<float> piece = floats_from_buffer(in);
+  LTFB_CHECK(piece.size() == chunk);
+  return piece;
+}
+
+Communicator Communicator::split(int color, int key) {
+  // Exchange (color, key, rank) triples; every rank then derives the same
+  // membership and ordering. Values are exchanged as floats, which is exact
+  // for magnitudes below 2^24 — far beyond any realistic rank count.
+  LTFB_CHECK_MSG(std::abs(color) < (1 << 24) && std::abs(key) < (1 << 24),
+                 "split color/key out of exactly-representable range");
+  const float triple[3] = {static_cast<float>(color), static_cast<float>(key),
+                           static_cast<float>(rank_)};
+  const std::vector<float> all = allgather(std::span<const float>(triple, 3));
+
+  struct Member {
+    int key;
+    int old_rank;
+  };
+  std::vector<Member> members;
+  for (int r = 0; r < size(); ++r) {
+    const auto base = static_cast<std::size_t>(r) * 3;
+    if (static_cast<int>(all[base]) == color) {
+      members.push_back(
+          {static_cast<int>(all[base + 1]), static_cast<int>(all[base + 2])});
+    }
+  }
+  std::sort(members.begin(), members.end(), [](const Member& a,
+                                               const Member& b) {
+    return std::tie(a.key, a.old_rank) < std::tie(b.key, b.old_rank);
+  });
+
+  std::vector<int> group;
+  group.reserve(members.size());
+  int my_new_rank = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    group.push_back(group_[static_cast<std::size_t>(members[i].old_rank)]);
+    if (members[i].old_rank == rank_) my_new_rank = static_cast<int>(i);
+  }
+  LTFB_CHECK(my_new_rank >= 0);
+
+  // Deterministic communicator id agreed on by construction: every member
+  // shares (comm_id_, split_seq_, color) because splits are collective.
+  const std::uint64_t new_id = util::derive_seed(
+      comm_id_ ^ 0x5bf0'3635'dee3'9d2dull, split_seq_++,
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(color) + (1 << 24)));
+  return Communicator(world_, new_id, std::move(group), my_new_rank);
+}
+
+World::World(int size) {
+  LTFB_CHECK_MSG(size > 0, "world size must be positive, got " << size);
+  state_ = std::make_shared<detail::WorldState>(size);
+}
+
+int World::size() const noexcept {
+  return static_cast<int>(state_->mailboxes.size());
+}
+
+Communicator World::communicator(int rank) {
+  LTFB_CHECK_MSG(rank >= 0 && rank < size(),
+                 "rank " << rank << " out of range for world size " << size());
+  std::vector<int> group(static_cast<std::size_t>(size()));
+  for (int i = 0; i < size(); ++i) group[static_cast<std::size_t>(i)] = i;
+  // comm_id 0 is the world communicator by convention.
+  return Communicator(state_, 0, std::move(group), rank);
+}
+
+void World::run(int size, const std::function<void(Communicator&)>& fn) {
+  World world(size);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size));
+  threads.reserve(static_cast<std::size_t>(size));
+  for (int rank = 0; rank < size; ++rank) {
+    threads.emplace_back([&world, &fn, &errors, rank] {
+      try {
+        Communicator comm = world.communicator(rank);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(rank)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace ltfb::comm

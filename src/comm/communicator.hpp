@@ -1,0 +1,167 @@
+// In-process message-passing substrate (the Aluminum / MPI substitute).
+//
+// The paper's framework runs MPI ranks across cluster nodes; here each rank
+// is a thread inside one process, and every rank owns a mailbox of typed
+// messages. The programming model is deliberately MPI-shaped:
+//
+//   * blocking send/recv with (source, tag) matching and ANY_SOURCE,
+//   * nonblocking isend/irecv returning Request handles,
+//   * collectives (barrier, broadcast, all-reduce, all-gather) implemented
+//     on top of point-to-point with internally reserved tags,
+//   * communicator split (color/key) — this is what groups ranks into
+//     LBANN-style trainers,
+//
+// so src/core (LTFB) and src/datastore are written exactly as they would be
+// against MPI. Collectives must be invoked in the same order by every rank
+// of a communicator (the standard MPI contract); a per-rank lockstep
+// sequence number isolates concurrent collectives from one another.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ltfb::comm {
+
+/// Raw message payload. Helpers below convert to/from float spans.
+using Buffer = std::vector<std::uint8_t>;
+
+/// Matches any source rank in recv/irecv.
+inline constexpr int kAnySource = -1;
+
+/// Reduction operators supported by allreduce/reduce.
+enum class ReduceOp { Sum, Max, Min };
+
+Buffer to_buffer(std::span<const float> values);
+std::vector<float> floats_from_buffer(const Buffer& buffer);
+
+namespace detail {
+struct WorldState;
+struct PendingRecv;
+}  // namespace detail
+
+/// Completion handle for nonblocking operations.
+class Request {
+ public:
+  Request() = default;
+
+  /// True once the operation has completed. Never blocks.
+  bool test();
+
+  /// Blocks until completion.
+  void wait();
+
+  bool valid() const noexcept { return state_ != nullptr; }
+
+ private:
+  friend class Communicator;
+  explicit Request(std::shared_ptr<detail::PendingRecv> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::PendingRecv> state_;
+};
+
+/// A rank's handle onto a (sub-)communicator. Cheap to copy; all copies of
+/// the same rank's handle share mailbox state. NOT thread-safe across
+/// threads for the same rank (same as an MPI communicator used from one
+/// thread).
+class Communicator {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return static_cast<int>(group_.size()); }
+
+  /// Global rank in the world of a rank of this communicator.
+  int world_rank_of(int rank) const;
+
+  // -- point to point ------------------------------------------------------
+
+  void send(int dst, int tag, const Buffer& payload);
+  void send(int dst, int tag, std::span<const float> values);
+
+  /// Blocking receive; fills `source_out`/`tag_out` when non-null.
+  Buffer recv(int src, int tag, int* source_out = nullptr);
+
+  /// Nonblocking receive; the returned request owns the landing buffer,
+  /// retrievable with `take_payload` after completion.
+  Request irecv(int src, int tag);
+  Buffer take_payload(Request& request);
+
+  /// Simultaneous exchange with a partner (deadlock-free).
+  Buffer sendrecv(int partner, int tag, const Buffer& payload);
+
+  // -- collectives (must be called by every rank, in the same order) -------
+
+  void barrier();
+  void broadcast(int root, Buffer& payload);
+  void broadcast(int root, std::span<float> values);
+
+  /// In-place ring all-reduce over a float span (reduce-scatter followed by
+  /// all-gather, the algorithm used by NCCL/Aluminum for large tensors).
+  void allreduce(std::span<float> values, ReduceOp op = ReduceOp::Sum);
+
+  /// Gathers equal-size contributions from every rank, in rank order.
+  std::vector<float> allgather(std::span<const float> contribution);
+
+  /// Reduction onto `root` only (binomial tree); non-root ranks' buffers
+  /// are left untouched.
+  void reduce(int root, std::span<float> values, ReduceOp op = ReduceOp::Sum);
+
+  /// Gathers equal-size contributions at `root` (rank order); returns an
+  /// empty vector on other ranks.
+  std::vector<float> gather(int root, std::span<const float> contribution);
+
+  /// Scatters `root`'s buffer of size ranks*chunk; every rank receives its
+  /// `chunk`-sized slice. `send` is ignored on non-root ranks.
+  std::vector<float> scatter(int root, std::span<const float> send,
+                             std::size_t chunk);
+
+  /// Splits into sub-communicators by color; ranks with the same color end
+  /// up in the same sub-communicator, ordered by (key, old rank).
+  Communicator split(int color, int key);
+
+ private:
+  friend class World;
+  Communicator(std::shared_ptr<detail::WorldState> world, std::uint64_t id,
+               std::vector<int> group, int rank)
+      : world_(std::move(world)),
+        comm_id_(id),
+        group_(std::move(group)),
+        rank_(rank) {}
+
+  std::uint64_t next_internal_tag(std::uint64_t kind);
+
+  std::shared_ptr<detail::WorldState> world_;
+  std::uint64_t comm_id_ = 0;
+  std::vector<int> group_;  // group_[r] = world rank of communicator rank r
+  int rank_ = 0;
+  std::uint64_t collective_seq_ = 0;
+  std::uint64_t split_seq_ = 0;
+};
+
+/// Owns the mailboxes for `size` ranks and creates per-rank handles.
+class World {
+ public:
+  explicit World(int size);
+
+  int size() const noexcept;
+
+  /// The world communicator handle for `rank`. Each rank (thread) should
+  /// obtain exactly one handle and use it from that thread only.
+  Communicator communicator(int rank);
+
+  /// Convenience: spawns `size` threads, runs `fn` on each with its world
+  /// communicator, and joins. Exceptions thrown by any rank are rethrown
+  /// (the first one) after all threads have been joined.
+  static void run(int size, const std::function<void(Communicator&)>& fn);
+
+ private:
+  std::shared_ptr<detail::WorldState> state_;
+};
+
+}  // namespace ltfb::comm

@@ -1,0 +1,89 @@
+#include "core/gan_trainer.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace ltfb::core {
+
+gan::EvalMetrics evaluate_gan(gan::CycleGan& model,
+                              const data::Dataset& dataset,
+                              const std::vector<std::size_t>& view,
+                              std::size_t batch_size) {
+  LTFB_CHECK_MSG(!view.empty(), "evaluation view is empty");
+  gan::EvalMetrics mean;
+  std::size_t batches = 0;
+  for (std::size_t begin = 0; begin < view.size(); begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, view.size());
+    const std::vector<std::size_t> positions(
+        view.begin() + static_cast<std::ptrdiff_t>(begin),
+        view.begin() + static_cast<std::ptrdiff_t>(end));
+    const data::Batch batch = data::make_batch(dataset, positions);
+    const gan::EvalMetrics m = model.evaluate(batch);
+    mean.forward_loss += m.forward_loss;
+    mean.inverse_loss += m.inverse_loss;
+    mean.reconstruction_loss += m.reconstruction_loss;
+    mean.discriminator_accuracy += m.discriminator_accuracy;
+    ++batches;
+  }
+  const auto n = static_cast<double>(batches);
+  mean.forward_loss /= n;
+  mean.inverse_loss /= n;
+  mean.reconstruction_loss /= n;
+  mean.discriminator_accuracy /= n;
+  return mean;
+}
+
+GanTrainer::GanTrainer(int trainer_id, gan::CycleGanConfig model_config,
+                       const data::Dataset& dataset,
+                       std::vector<std::size_t> train_view,
+                       std::vector<std::size_t> tournament_view,
+                       std::size_t batch_size, std::uint64_t seed)
+    : id_(trainer_id),
+      model_(std::move(model_config),
+             util::derive_seed(seed, "model",
+                               static_cast<std::uint64_t>(trainer_id))),
+      dataset_(&dataset),
+      tournament_view_(std::move(tournament_view)),
+      reader_(dataset, std::move(train_view), batch_size,
+              util::derive_seed(seed, "reader",
+                                static_cast<std::uint64_t>(trainer_id)),
+              /*drop_last=*/true),
+      batch_size_(batch_size),
+      train_size_(reader_.batches_per_epoch() * batch_size) {
+  LTFB_CHECK_MSG(!tournament_view_.empty(),
+                 "trainer " << trainer_id << " has no tournament set");
+}
+
+void GanTrainer::pretrain_autoencoder(std::size_t steps) {
+  for (std::size_t s = 0; s < steps; ++s) {
+    const data::Batch batch = reader_.next();
+    model_.pretrain_autoencoder_step(batch);
+  }
+}
+
+gan::StepMetrics GanTrainer::train_steps(std::size_t steps) {
+  gan::StepMetrics last{};
+  for (std::size_t s = 0; s < steps; ++s) {
+    const data::Batch batch = reader_.next();
+    last = model_.train_step(batch);
+    ++steps_;
+  }
+  return last;
+}
+
+double GanTrainer::tournament_score() {
+  return evaluate_gan(model_, *dataset_, tournament_view_, batch_size_)
+      .total();
+}
+
+double GanTrainer::score_candidate_generator(
+    std::span<const float> candidate) {
+  const std::vector<float> saved = model_.generator_weights();
+  model_.load_generator_weights(candidate);
+  const double score = tournament_score();
+  model_.load_generator_weights(saved);
+  return score;
+}
+
+}  // namespace ltfb::core

@@ -1,0 +1,74 @@
+// An LBANN-style "trainer": a unit of compute that owns one CycleGAN model,
+// a mini-batch reader over its private partition of the training data, and
+// a local tournament hold-out set (Sec. III-A, III-C).
+//
+// In the paper a trainer is 4 nodes / 16 GPUs of Lassen; here it is a
+// logical object that the LTFB drivers step. The data-parallel dimension
+// *within* a trainer is exercised separately via nn::allreduce_gradients
+// over a trainer communicator (see core/ltfb_comm.hpp and the tests).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/data_reader.hpp"
+#include "gan/cyclegan.hpp"
+
+namespace ltfb::core {
+
+/// Mean evaluation metrics of a model over a dataset view, computed in
+/// mini-batches (the remainder partial batch is included).
+gan::EvalMetrics evaluate_gan(gan::CycleGan& model,
+                              const data::Dataset& dataset,
+                              const std::vector<std::size_t>& view,
+                              std::size_t batch_size);
+
+class GanTrainer {
+ public:
+  /// `train_view` — this trainer's partition of the training set;
+  /// `tournament_view` — its local held-out tournament set.
+  GanTrainer(int trainer_id, gan::CycleGanConfig model_config,
+             const data::Dataset& dataset, std::vector<std::size_t> train_view,
+             std::vector<std::size_t> tournament_view, std::size_t batch_size,
+             std::uint64_t seed);
+
+  int id() const noexcept { return id_; }
+  gan::CycleGan& model() noexcept { return model_; }
+  const gan::CycleGan& model() const noexcept { return model_; }
+
+  std::size_t steps_taken() const noexcept { return steps_; }
+  std::size_t partition_size() const noexcept { return train_size_; }
+
+  /// Autoencoder warm-up ("trained a priori", Sec. II-D).
+  void pretrain_autoencoder(std::size_t steps);
+
+  /// `steps` full GAN training steps on the local partition.
+  gan::StepMetrics train_steps(std::size_t steps);
+
+  /// The tournament metric on the local tournament set: forward + inverse
+  /// validation loss, lower is better (Sec. IV-D).
+  double tournament_score();
+
+  /// Scores an arbitrary candidate weight vector (a partner's generator)
+  /// on the local tournament set without clobbering the current model.
+  double score_candidate_generator(std::span<const float> generator);
+
+  const data::Dataset& dataset() const noexcept { return *dataset_; }
+  const std::vector<std::size_t>& tournament_view() const noexcept {
+    return tournament_view_;
+  }
+  std::size_t batch_size() const noexcept { return batch_size_; }
+
+ private:
+  int id_;
+  gan::CycleGan model_;
+  const data::Dataset* dataset_;
+  std::vector<std::size_t> tournament_view_;
+  data::MiniBatchReader reader_;
+  std::size_t batch_size_;
+  std::size_t train_size_;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace ltfb::core

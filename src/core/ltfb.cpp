@@ -1,0 +1,234 @@
+#include "core/ltfb.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace ltfb::core {
+
+std::vector<std::pair<int, int>> tournament_pairs(std::size_t n,
+                                                  std::uint64_t seed,
+                                                  std::size_t round) {
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  util::Rng rng(util::derive_seed(seed, round, 0x9a1bull));
+  rng.shuffle(order);
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(n / 2);
+  for (std::size_t i = 0; i + 1 < n; i += 2) {
+    pairs.emplace_back(order[i], order[i + 1]);
+  }
+  return pairs;
+}
+
+namespace {
+
+/// Flattened model snapshot respecting the exchange scope.
+std::vector<float> snapshot(const gan::CycleGan& model, ExchangeScope scope) {
+  std::vector<float> flat = model.generator_weights();
+  if (scope == ExchangeScope::FullModel) {
+    const auto disc = model.discriminator_weights();
+    flat.insert(flat.end(), disc.begin(), disc.end());
+  }
+  return flat;
+}
+
+void restore(gan::CycleGan& model, std::span<const float> flat,
+             ExchangeScope scope) {
+  const std::size_t gen = model.generator_parameter_count();
+  model.load_generator_weights(flat.subspan(0, gen));
+  if (scope == ExchangeScope::FullModel) {
+    model.load_discriminator_weights(flat.subspan(gen));
+  }
+}
+
+}  // namespace
+
+LocalLtfbDriver::LocalLtfbDriver(
+    std::vector<std::unique_ptr<GanTrainer>> trainers, LtfbConfig config)
+    : trainers_(std::move(trainers)), config_(config) {
+  LTFB_CHECK_MSG(!trainers_.empty(), "LTFB needs at least one trainer");
+  for (const auto& trainer : trainers_) {
+    LTFB_CHECK(trainer != nullptr);
+  }
+}
+
+GanTrainer& LocalLtfbDriver::trainer(std::size_t index) {
+  LTFB_CHECK(index < trainers_.size());
+  return *trainers_[index];
+}
+
+double LocalLtfbDriver::metric_score(GanTrainer& trainer) {
+  const gan::EvalMetrics m =
+      evaluate_gan(trainer.model(), trainer.dataset(),
+                   trainer.tournament_view(), trainer.batch_size());
+  double score = m.total();
+  if (config_.metric == TournamentMetric::ForwardInverseAdversarial) {
+    score += m.generator_adversarial;
+  }
+  return score;
+}
+
+void LocalLtfbDriver::pretrain() {
+  for (auto& trainer : trainers_) {
+    trainer->pretrain_autoencoder(config_.pretrain_steps);
+  }
+}
+
+const RoundRecord& LocalLtfbDriver::run_round() {
+  // Independent training phase (lockstep stands in for parallel trainers).
+  for (auto& trainer : trainers_) {
+    trainer->train_steps(config_.steps_per_round);
+  }
+
+  RoundRecord record;
+  record.round = round_counter_;
+  record.stats.resize(trainers_.size());
+  for (std::size_t i = 0; i < trainers_.size(); ++i) {
+    record.stats[i].trainer_id = trainers_[i]->id();
+  }
+
+  // Tournament: pair up, exchange, evaluate on the LOCAL tournament set,
+  // keep the better model. Both sides snapshot before either adopts so the
+  // exchange is symmetric (as if the messages crossed on the wire).
+  const auto pairs = tournament_pairs(trainers_.size(), config_.pairing_seed,
+                                      round_counter_);
+  for (const auto& [a, b] : pairs) {
+    GanTrainer& ta = *trainers_[static_cast<std::size_t>(a)];
+    GanTrainer& tb = *trainers_[static_cast<std::size_t>(b)];
+    const std::vector<float> wa = snapshot(ta.model(), config_.scope);
+    const std::vector<float> wb = snapshot(tb.model(), config_.scope);
+
+    const float lr_a = ta.model().learning_rate();
+    const float lr_b = tb.model().learning_rate();
+    auto duel = [&](GanTrainer& local, const std::vector<float>& own,
+                    const std::vector<float>& received, float partner_lr,
+                    TrainerRoundStat& stat) {
+      stat.own_score = metric_score(local);
+      restore(local.model(), received, config_.scope);
+      stat.partner_score = metric_score(local);
+      if (stat.partner_score < stat.own_score) {
+        stat.adopted_partner = true;  // keep the received model
+        if (config_.lr_perturbation > 0.0f) {
+          // PBT exploit/explore: inherit the winner's learning rate with a
+          // deterministic perturbation.
+          util::Rng rng(util::derive_seed(
+              config_.pairing_seed, round_counter_,
+              static_cast<std::uint64_t>(local.id())));
+          const float factor = static_cast<float>(
+              rng.uniform(1.0 - config_.lr_perturbation,
+                          1.0 + config_.lr_perturbation));
+          local.model().set_learning_rate(partner_lr * factor);
+        }
+      } else {
+        restore(local.model(), own, config_.scope);
+      }
+    };
+
+    auto& stat_a = record.stats[static_cast<std::size_t>(a)];
+    auto& stat_b = record.stats[static_cast<std::size_t>(b)];
+    stat_a.partner_id = tb.id();
+    stat_b.partner_id = ta.id();
+    duel(ta, wa, wb, lr_b, stat_a);
+    duel(tb, wb, wa, lr_a, stat_b);
+  }
+
+  ++round_counter_;
+  history_.push_back(std::move(record));
+  return history_.back();
+}
+
+void LocalLtfbDriver::run() {
+  pretrain();
+  for (std::size_t r = 0; r < config_.rounds; ++r) {
+    run_round();
+  }
+}
+
+std::size_t LocalLtfbDriver::best_trainer(
+    const std::vector<std::size_t>& validation_view, std::size_t batch_size) {
+  std::size_t best = 0;
+  double best_loss = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < trainers_.size(); ++i) {
+    const double loss =
+        evaluate_gan(trainers_[i]->model(), trainers_[i]->dataset(),
+                     validation_view, batch_size)
+            .total();
+    if (loss < best_loss) {
+      best_loss = loss;
+      best = i;
+    }
+  }
+  return best;
+}
+
+bool export_history_csv(const std::vector<RoundRecord>& history,
+                        const std::string& path) {
+  util::CsvWriter csv(path, {"round", "trainer", "partner", "own_score",
+                             "partner_score", "adopted"});
+  if (!csv.ok()) return false;
+  for (const auto& record : history) {
+    for (const auto& stat : record.stats) {
+      csv.add_row({std::to_string(record.round),
+                   std::to_string(stat.trainer_id),
+                   std::to_string(stat.partner_id),
+                   util::format_double(stat.own_score, 6),
+                   util::format_double(stat.partner_score, 6),
+                   stat.adopted_partner ? "1" : "0"});
+    }
+  }
+  return true;
+}
+
+KIndependentDriver::KIndependentDriver(
+    std::vector<std::unique_ptr<GanTrainer>> trainers, LtfbConfig config)
+    : trainers_(std::move(trainers)), config_(config) {
+  LTFB_CHECK_MSG(!trainers_.empty(),
+                 "K-independent training needs at least one trainer");
+}
+
+GanTrainer& KIndependentDriver::trainer(std::size_t index) {
+  LTFB_CHECK(index < trainers_.size());
+  return *trainers_[index];
+}
+
+void KIndependentDriver::pretrain() {
+  for (auto& trainer : trainers_) {
+    trainer->pretrain_autoencoder(config_.pretrain_steps);
+  }
+}
+
+void KIndependentDriver::run_round() {
+  for (auto& trainer : trainers_) {
+    trainer->train_steps(config_.steps_per_round);
+  }
+}
+
+void KIndependentDriver::run() {
+  pretrain();
+  for (std::size_t r = 0; r < config_.rounds; ++r) {
+    run_round();
+  }
+}
+
+std::size_t KIndependentDriver::best_trainer(
+    const std::vector<std::size_t>& validation_view, std::size_t batch_size) {
+  std::size_t best = 0;
+  double best_loss = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < trainers_.size(); ++i) {
+    const double loss =
+        evaluate_gan(trainers_[i]->model(), trainers_[i]->dataset(),
+                     validation_view, batch_size)
+            .total();
+    if (loss < best_loss) {
+      best_loss = loss;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace ltfb::core

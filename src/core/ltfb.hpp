@@ -1,0 +1,144 @@
+// "Let a Thousand Flowers Bloom" — the tournament training algorithm
+// (Sec. III-C), this repository's primary contribution reproduction.
+//
+// A population of trainers trains loosely coupled: each trainer sees only
+// its private partition of the data. Periodically, trainers are randomly
+// paired and exchange models; each evaluates its own and its partner's
+// model on a *local* tournament hold-out set and keeps the better one.
+// Surviving models have effectively been educated on many partitions, so
+// quality matches whole-dataset training while each trainer's working set
+// stays small — the mechanism behind the paper's strong scaling.
+//
+// GAN extension (the paper's novelty): only the generator bundle is
+// exchanged; discriminators stay local, acting as a panel of independent
+// teachers. Full-model exchange is retained as an ablation.
+//
+// Two drivers share this logic:
+//   * LocalLtfbDriver — deterministic single-thread lockstep over in-process
+//     trainers (used by the quality benches, Figs. 12/13).
+//   * run_distributed_ltfb (ltfb_comm.hpp) — rank-parallel trainers over
+//     ltfb::comm with data parallelism inside each trainer (LBANN's shape).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/gan_trainer.hpp"
+
+namespace ltfb::core {
+
+/// What a tournament exchanges.
+enum class ExchangeScope {
+  GeneratorOnly,  // paper default for GANs: E, Dec, F, G — not the critic
+  FullModel       // ablation: critic travels too
+};
+
+/// What the local tournament evaluates.
+enum class TournamentMetric {
+  ForwardInverse,  // forward + inverse validation loss (Sec. IV quality metric)
+  ForwardInverseAdversarial  // additionally charge the generator the BCE it
+                             // incurs against the LOCAL critic (Fig. 6 flavour)
+};
+
+struct LtfbConfig {
+  std::size_t steps_per_round = 50;  // mini-batch steps between tournaments
+  std::size_t rounds = 20;
+  std::size_t pretrain_steps = 0;  // autoencoder warm-up before round 0
+  ExchangeScope scope = ExchangeScope::GeneratorOnly;
+  TournamentMetric metric = TournamentMetric::ForwardInverse;
+  std::uint64_t pairing_seed = 0x7031'13fbull;
+  /// PBT-style hyperparameter exploration (Jaderberg et al., the
+  /// population-based-training cousin the paper cites): when a trainer
+  /// adopts its partner's model it also inherits the partner's learning
+  /// rate, perturbed by a factor in [1-x, 1+x] — exploit plus explore.
+  /// 0 disables (the paper's LTFB keeps hyperparameters fixed).
+  float lr_perturbation = 0.0f;
+};
+
+/// Deterministic random pairing for a round: a seeded permutation of
+/// [0, n), paired consecutively. With odd n the last trainer sits out.
+std::vector<std::pair<int, int>> tournament_pairs(std::size_t n,
+                                                  std::uint64_t seed,
+                                                  std::size_t round);
+
+struct TrainerRoundStat {
+  int trainer_id = 0;
+  int partner_id = -1;          // -1 when sitting out
+  double own_score = 0.0;       // tournament metric of the local model
+  double partner_score = 0.0;   // tournament metric of the received model
+  bool adopted_partner = false;
+};
+
+struct RoundRecord {
+  std::size_t round = 0;
+  std::vector<TrainerRoundStat> stats;
+};
+
+class LocalLtfbDriver {
+ public:
+  LocalLtfbDriver(std::vector<std::unique_ptr<GanTrainer>> trainers,
+                  LtfbConfig config);
+
+  std::size_t population() const noexcept { return trainers_.size(); }
+  GanTrainer& trainer(std::size_t index);
+  const LtfbConfig& config() const noexcept { return config_; }
+  const std::vector<RoundRecord>& history() const noexcept { return history_; }
+
+  /// Autoencoder warm-up on every trainer (config.pretrain_steps each).
+  void pretrain();
+
+  /// One LTFB round: every trainer takes steps_per_round training steps,
+  /// then the tournament runs.
+  const RoundRecord& run_round();
+
+  /// pretrain() + config.rounds tournament rounds.
+  void run();
+
+  /// Index of the trainer whose model scores best (lowest forward+inverse
+  /// loss) on the given validation view.
+  std::size_t best_trainer(const std::vector<std::size_t>& validation_view,
+                           std::size_t batch_size);
+
+ private:
+  double metric_score(GanTrainer& trainer);
+
+  std::vector<std::unique_ptr<GanTrainer>> trainers_;
+  LtfbConfig config_;
+  std::vector<RoundRecord> history_;
+  std::size_t round_counter_ = 0;
+};
+
+/// Writes a tournament history to CSV (round, trainer, partner, scores,
+/// adopted) for offline analysis / plotting — the experiment-tracking
+/// artifact a production run would archive. Returns false on I/O failure.
+bool export_history_csv(const std::vector<RoundRecord>& history,
+                        const std::string& path);
+
+/// The paper's Sec. IV-E baseline: the same population, the same data
+/// partitions, the same step counts — but no tournaments; each trainer is
+/// marooned on its shard. Select the best final model by validation loss.
+class KIndependentDriver {
+ public:
+  KIndependentDriver(std::vector<std::unique_ptr<GanTrainer>> trainers,
+                     LtfbConfig config);
+
+  std::size_t population() const noexcept { return trainers_.size(); }
+  GanTrainer& trainer(std::size_t index);
+
+  void pretrain();
+  void run_round();  // steps_per_round steps per trainer, no exchange
+  void run();
+
+  std::size_t best_trainer(const std::vector<std::size_t>& validation_view,
+                           std::size_t batch_size);
+
+ private:
+  std::vector<std::unique_ptr<GanTrainer>> trainers_;
+  LtfbConfig config_;
+};
+
+}  // namespace ltfb::core

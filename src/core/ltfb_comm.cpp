@@ -1,0 +1,199 @@
+#include "core/ltfb_comm.hpp"
+
+#include <algorithm>
+
+#include "nn/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace ltfb::core {
+
+namespace {
+
+/// Rows [begin, end) of a batch.
+data::Batch slice_batch(const data::Batch& batch, std::size_t begin,
+                        std::size_t end) {
+  LTFB_CHECK(begin < end && end <= batch.size());
+  const std::size_t rows = end - begin;
+  data::Batch shard;
+  auto slice = [&](const tensor::Tensor& src, tensor::Tensor& dst) {
+    const std::size_t width = src.cols();
+    dst.resize({rows, width});
+    std::copy_n(src.raw() + begin * width, rows * width, dst.raw());
+  };
+  slice(batch.inputs, shard.inputs);
+  slice(batch.scalars, shard.scalars);
+  slice(batch.images, shard.images);
+  slice(batch.outputs, shard.outputs);
+  shard.ids.assign(batch.ids.begin() + static_cast<std::ptrdiff_t>(begin),
+                   batch.ids.begin() + static_cast<std::ptrdiff_t>(end));
+  return shard;
+}
+
+std::vector<float> snapshot(const gan::CycleGan& model, ExchangeScope scope) {
+  std::vector<float> flat = model.generator_weights();
+  if (scope == ExchangeScope::FullModel) {
+    const auto disc = model.discriminator_weights();
+    flat.insert(flat.end(), disc.begin(), disc.end());
+  }
+  return flat;
+}
+
+void restore(gan::CycleGan& model, std::span<const float> flat,
+             ExchangeScope scope) {
+  const std::size_t gen = model.generator_parameter_count();
+  model.load_generator_weights(flat.subspan(0, gen));
+  if (scope == ExchangeScope::FullModel) {
+    model.load_discriminator_weights(flat.subspan(gen));
+  }
+}
+
+}  // namespace
+
+DistributedLtfbOutcome run_distributed_ltfb(
+    comm::Communicator& world, const data::Dataset& dataset,
+    const data::SplitIndices& splits, const DistributedLtfbConfig& config) {
+  const int rpt = config.ranks_per_trainer;
+  LTFB_CHECK_MSG(rpt > 0 && world.size() % rpt == 0,
+                 "world size " << world.size()
+                               << " is not a multiple of ranks_per_trainer "
+                               << rpt);
+  LTFB_CHECK_MSG(config.batch_size % static_cast<std::size_t>(rpt) == 0,
+                 "batch size must divide evenly across a trainer's ranks");
+  const int num_trainers = world.size() / rpt;
+  const int trainer_id = world.rank() / rpt;
+
+  comm::Communicator trainer_comm = world.split(trainer_id, world.rank());
+  const bool leader = trainer_comm.rank() == 0;
+  comm::Communicator leader_comm = world.split(leader ? 0 : 1, trainer_id);
+
+  // -- per-trainer state (identical across the trainer's ranks) -------------
+  const auto train_view = data::partition_indices(
+      splits.train, static_cast<std::size_t>(num_trainers),
+      static_cast<std::size_t>(trainer_id));
+  const auto tournament_view = data::partition_indices(
+      splits.tournament, static_cast<std::size_t>(num_trainers),
+      static_cast<std::size_t>(trainer_id));
+  LTFB_CHECK_MSG(!tournament_view.empty(),
+                 "trainer " << trainer_id << " has an empty tournament set");
+
+  gan::CycleGan model(config.model,
+                      util::derive_seed(config.seed, "model",
+                                        static_cast<std::uint64_t>(trainer_id)));
+  if (rpt > 1) {
+    model.set_gradient_sync([&trainer_comm](const std::vector<nn::Model*>& ms) {
+      for (nn::Model* m : ms) {
+        nn::allreduce_gradients(*m, trainer_comm);
+      }
+    });
+  }
+
+  // Every rank of a trainer draws the SAME global mini-batch (shared seed)
+  // and trains on its own row shard — LBANN's data-parallel layout.
+  data::MiniBatchReader reader(
+      dataset, train_view, config.batch_size,
+      util::derive_seed(config.seed, "reader",
+                        static_cast<std::uint64_t>(trainer_id)),
+      /*drop_last=*/true);
+  const std::size_t shard = config.batch_size / static_cast<std::size_t>(rpt);
+  const auto my_shard_begin =
+      static_cast<std::size_t>(trainer_comm.rank()) * shard;
+
+  auto local_score = [&]() {
+    const gan::EvalMetrics m =
+        evaluate_gan(model, dataset, tournament_view, config.batch_size);
+    double score = m.total();
+    if (config.ltfb.metric == TournamentMetric::ForwardInverseAdversarial) {
+      score += m.generator_adversarial;
+    }
+    return score;
+  };
+
+  // -- autoencoder warm-up ----------------------------------------------------
+  for (std::size_t s = 0; s < config.ltfb.pretrain_steps; ++s) {
+    const data::Batch batch = reader.next();
+    const data::Batch mine =
+        slice_batch(batch, my_shard_begin, my_shard_begin + shard);
+    model.pretrain_autoencoder_step(mine);
+  }
+
+  DistributedLtfbOutcome outcome;
+  outcome.trainer_id = trainer_id;
+  outcome.trainer_rank = trainer_comm.rank();
+
+  // -- LTFB rounds -------------------------------------------------------------
+  for (std::size_t round = 0; round < config.ltfb.rounds; ++round) {
+    for (std::size_t s = 0; s < config.ltfb.steps_per_round; ++s) {
+      const data::Batch batch = reader.next();
+      const data::Batch mine =
+          slice_batch(batch, my_shard_begin, my_shard_begin + shard);
+      model.train_step(mine);
+    }
+
+    // Deterministic pairing — every rank derives the same schedule.
+    const auto pairs = tournament_pairs(
+        static_cast<std::size_t>(num_trainers), config.ltfb.pairing_seed,
+        round);
+    int partner = -1;
+    for (const auto& [a, b] : pairs) {
+      if (a == trainer_id) partner = b;
+      if (b == trainer_id) partner = a;
+    }
+
+    if (leader && partner >= 0) {
+      // Leaders exchange weights (leader_comm rank == trainer id by
+      // construction of the split keys) and duel on the LOCAL set.
+      const std::vector<float> own = snapshot(model, config.ltfb.scope);
+      const comm::Buffer received = leader_comm.sendrecv(
+          partner, static_cast<int>(round), comm::to_buffer(own));
+      const std::vector<float> candidate =
+          comm::floats_from_buffer(received);
+
+      const double own_score = local_score();
+      restore(model, candidate, config.ltfb.scope);
+      const double candidate_score = local_score();
+      if (candidate_score < own_score) {
+        ++outcome.adoptions;
+      } else {
+        restore(model, own, config.ltfb.scope);
+        ++outcome.tournaments_won;
+      }
+    }
+
+    // Winner propagation within the trainer: the leader's current weights
+    // become the trainer's weights.
+    if (rpt > 1) {
+      std::vector<float> current =
+          leader ? snapshot(model, config.ltfb.scope) : std::vector<float>();
+      comm::Buffer payload =
+          leader ? comm::to_buffer(current) : comm::Buffer{};
+      trainer_comm.broadcast(0, payload);
+      if (!leader) {
+        const std::vector<float> weights = comm::floats_from_buffer(payload);
+        restore(model, weights, config.ltfb.scope);
+      }
+    }
+  }
+
+  // -- final evaluation ---------------------------------------------------------
+  float results[4] = {0.0f, 0.0f, 0.0f, 0.0f};
+  if (leader) {
+    outcome.final_tournament_score = local_score();
+    outcome.final_validation_loss =
+        evaluate_gan(model, dataset, splits.validation, config.batch_size)
+            .total();
+    results[0] = static_cast<float>(outcome.final_tournament_score);
+    results[1] = static_cast<float>(outcome.final_validation_loss);
+    results[2] = static_cast<float>(outcome.tournaments_won);
+    results[3] = static_cast<float>(outcome.adoptions);
+  }
+  if (rpt > 1) {
+    trainer_comm.broadcast(0, std::span<float>(results, 4));
+    outcome.final_tournament_score = results[0];
+    outcome.final_validation_loss = results[1];
+    outcome.tournaments_won = static_cast<std::size_t>(results[2]);
+    outcome.adoptions = static_cast<std::size_t>(results[3]);
+  }
+  return outcome;
+}
+
+}  // namespace ltfb::core

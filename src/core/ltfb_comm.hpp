@@ -1,0 +1,44 @@
+// Distributed LTFB over the message-passing substrate — the LBANN runtime
+// shape (Fig. 4): the world communicator is split into trainers of
+// `ranks_per_trainer` ranks each; ranks inside a trainer run data-parallel
+// SGD (per-rank mini-batch shards + gradient all-reduce), while rank 0 of
+// each trainer (the "leader") conducts the tournaments: pair up, sendrecv
+// generator weights with the partner's leader, evaluate both on the local
+// tournament set, adopt the winner, and broadcast the surviving weights to
+// the trainer's other ranks.
+//
+// Every rank calls run_distributed_ltfb with the same configuration; the
+// function is collective over `world`.
+#pragma once
+
+#include "comm/communicator.hpp"
+#include "core/ltfb.hpp"
+#include "data/dataset.hpp"
+
+namespace ltfb::core {
+
+struct DistributedLtfbConfig {
+  int ranks_per_trainer = 1;
+  std::size_t batch_size = 32;  // global per-trainer mini-batch
+  LtfbConfig ltfb;
+  gan::CycleGanConfig model;
+  std::uint64_t seed = 1;
+};
+
+struct DistributedLtfbOutcome {
+  int trainer_id = 0;
+  int trainer_rank = 0;
+  std::size_t tournaments_won = 0;  // times this trainer kept its own model
+  std::size_t adoptions = 0;        // times it adopted the partner's model
+  double final_tournament_score = 0.0;
+  double final_validation_loss = 0.0;  // forward+inverse on splits.validation
+};
+
+/// Collective over `world`; world size must be a multiple of
+/// ranks_per_trainer. Returns per-rank outcome (scores are computed on the
+/// leader and broadcast inside each trainer, so all ranks agree).
+DistributedLtfbOutcome run_distributed_ltfb(
+    comm::Communicator& world, const data::Dataset& dataset,
+    const data::SplitIndices& splits, const DistributedLtfbConfig& config);
+
+}  // namespace ltfb::core

@@ -1,0 +1,35 @@
+#include "core/population.hpp"
+#include <cmath>
+
+namespace ltfb::core {
+
+std::vector<std::unique_ptr<GanTrainer>> build_population(
+    const data::Dataset& dataset, const data::SplitIndices& splits,
+    const PopulationConfig& config) {
+  LTFB_CHECK_MSG(config.num_trainers > 0, "population must be non-empty");
+  std::vector<std::unique_ptr<GanTrainer>> trainers;
+  trainers.reserve(config.num_trainers);
+  for (std::size_t i = 0; i < config.num_trainers; ++i) {
+    auto train_view =
+        data::partition_indices(splits.train, config.num_trainers, i);
+    auto tournament_view =
+        data::partition_indices(splits.tournament, config.num_trainers, i);
+    gan::CycleGanConfig model_config = config.model;
+    if (config.lr_spread > 0.0f) {
+      util::Rng rng(util::derive_seed(config.seed, "lr-spread", i));
+      const double hi = 1.0 + static_cast<double>(config.lr_spread);
+      // Log-uniform in [1/hi, hi] keeps the spread symmetric in scale.
+      const double factor =
+          std::exp(rng.uniform(-std::log(hi), std::log(hi)));
+      model_config.learning_rate =
+          static_cast<float>(model_config.learning_rate * factor);
+    }
+    trainers.push_back(std::make_unique<GanTrainer>(
+        static_cast<int>(i), std::move(model_config), dataset,
+        std::move(train_view), std::move(tournament_view),
+        config.batch_size, util::derive_seed(config.seed, "trainer", i)));
+  }
+  return trainers;
+}
+
+}  // namespace ltfb::core

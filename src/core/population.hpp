@@ -1,0 +1,34 @@
+// Population construction: the standard experiment shape used by the
+// quality benches and examples.
+//
+// Given a dataset and its train/tournament/validation split, builds k
+// trainers where trainer i owns the i-th contiguous slice of the training
+// indices (its data silo) and the i-th slice of the tournament indices
+// (its local hold-out) — the exact partitioning of the paper's
+// experiments. Each trainer's model is seeded independently, giving the
+// population the diverse initial state space LTFB exploits.
+#pragma once
+
+#include "core/gan_trainer.hpp"
+#include "data/dataset.hpp"
+
+namespace ltfb::core {
+
+struct PopulationConfig {
+  std::size_t num_trainers = 4;
+  std::size_t batch_size = 128;
+  gan::CycleGanConfig model;
+  std::uint64_t seed = 1;
+  /// Per-trainer learning-rate diversity: trainer i starts at
+  /// model.learning_rate scaled by a deterministic factor in
+  /// [1/(1+spread), 1+spread]. 0 = identical hyperparameters (paper
+  /// default); combine with LtfbConfig::lr_perturbation for full
+  /// PBT-style exploration.
+  float lr_spread = 0.0f;
+};
+
+std::vector<std::unique_ptr<GanTrainer>> build_population(
+    const data::Dataset& dataset, const data::SplitIndices& splits,
+    const PopulationConfig& config);
+
+}  // namespace ltfb::core

@@ -1,0 +1,87 @@
+// Bundle file format — the HDF5 substitute.
+//
+// The paper packages its 10M training samples into 10,000 HDF5 files of
+// 1,000 samples each, stored in the order the 5-D input space was explored
+// (NOT shuffled — Sec. IV-C stresses that repacking is infeasible in real
+// workflows). This module provides an equivalent multi-sample binary
+// container:
+//
+//   header:  magic "LTFBBNDL", format version, schema widths, sample count
+//   payload: per sample: u64 id + input + scalars + images (float32)
+//
+// BundleReader supports both whole-file reads (the preload path: one
+// process reads an entire file) and random per-sample reads (the naive /
+// dynamic ingestion path: seek + read one record), so both of the paper's
+// access patterns are exercised against real files.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/sample.hpp"
+
+namespace ltfb::data {
+
+inline constexpr std::uint32_t kBundleFormatVersion = 1;
+
+class BundleWriter {
+ public:
+  BundleWriter(const std::filesystem::path& path, const SampleSchema& schema);
+  ~BundleWriter();
+
+  BundleWriter(const BundleWriter&) = delete;
+  BundleWriter& operator=(const BundleWriter&) = delete;
+
+  void append(const Sample& sample);
+
+  std::size_t samples_written() const noexcept { return count_; }
+
+  /// Finalizes the header (sample count) and closes the file. Called by
+  /// the destructor if not invoked explicitly.
+  void close();
+
+ private:
+  void write_header();
+
+  std::FILE* file_ = nullptr;
+  SampleSchema schema_;
+  std::size_t count_ = 0;
+  std::filesystem::path path_;
+};
+
+class BundleReader {
+ public:
+  explicit BundleReader(const std::filesystem::path& path);
+  ~BundleReader();
+
+  BundleReader(const BundleReader&) = delete;
+  BundleReader& operator=(const BundleReader&) = delete;
+
+  const SampleSchema& schema() const noexcept { return schema_; }
+  std::size_t sample_count() const noexcept { return count_; }
+
+  /// Random access to one record (the naive-ingestion access pattern).
+  Sample read_sample(std::size_t index);
+
+  /// Sequential whole-file read (the preload access pattern).
+  std::vector<Sample> read_all();
+
+ private:
+  std::FILE* file_ = nullptr;
+  SampleSchema schema_;
+  std::size_t count_ = 0;
+  std::size_t record_bytes_ = 0;
+  long payload_offset_ = 0;
+};
+
+/// Writes `samples` into `files_count` bundle files under `directory`
+/// (names bundle_00000.ltfb, ...), splitting evenly in order. Returns the
+/// file paths. This is the output side of the ensemble workflow.
+std::vector<std::filesystem::path> write_bundle_set(
+    const std::filesystem::path& directory, const SampleSchema& schema,
+    const std::vector<Sample>& samples, std::size_t files_count);
+
+}  // namespace ltfb::data

@@ -1,0 +1,86 @@
+#include "data/data_reader.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace ltfb::data {
+
+Batch make_batch(const Dataset& dataset,
+                 const std::vector<std::size_t>& positions) {
+  LTFB_CHECK_MSG(!positions.empty(), "empty batch requested");
+  const auto& schema = dataset.schema();
+  const std::size_t b = positions.size();
+  Batch batch;
+  batch.inputs.resize({b, schema.input_width});
+  batch.scalars.resize({b, schema.scalar_width});
+  batch.images.resize({b, schema.image_width});
+  batch.outputs.resize({b, schema.output_width()});
+  batch.ids.reserve(b);
+  for (std::size_t r = 0; r < b; ++r) {
+    const Sample& sample = dataset.sample(positions[r]);
+    batch.ids.push_back(sample.id);
+    std::copy(sample.input.begin(), sample.input.end(),
+              batch.inputs.raw() + r * schema.input_width);
+    std::copy(sample.scalars.begin(), sample.scalars.end(),
+              batch.scalars.raw() + r * schema.scalar_width);
+    std::copy(sample.images.begin(), sample.images.end(),
+              batch.images.raw() + r * schema.image_width);
+    float* out_row = batch.outputs.raw() + r * schema.output_width();
+    std::copy(sample.scalars.begin(), sample.scalars.end(), out_row);
+    std::copy(sample.images.begin(), sample.images.end(),
+              out_row + schema.scalar_width);
+  }
+  return batch;
+}
+
+MiniBatchReader::MiniBatchReader(const Dataset& dataset,
+                                 std::vector<std::size_t> view,
+                                 std::size_t batch_size, std::uint64_t seed,
+                                 bool drop_last)
+    : dataset_(&dataset),
+      view_(std::move(view)),
+      batch_size_(batch_size),
+      seed_(seed),
+      drop_last_(drop_last) {
+  LTFB_CHECK_MSG(batch_size_ > 0, "batch size must be positive");
+  LTFB_CHECK_MSG(view_.size() >= batch_size_ || !drop_last_,
+                 "view smaller than one mini-batch ("
+                     << view_.size() << " < " << batch_size_ << ")");
+  LTFB_CHECK_MSG(!view_.empty(), "reader view is empty");
+  for (const auto position : view_) {
+    LTFB_CHECK_MSG(position < dataset.size(),
+                   "view position " << position << " out of range");
+  }
+  start_epoch();
+}
+
+std::size_t MiniBatchReader::batches_per_epoch() const noexcept {
+  if (drop_last_) return view_.size() / batch_size_;
+  return (view_.size() + batch_size_ - 1) / batch_size_;
+}
+
+void MiniBatchReader::start_epoch() {
+  order_ = view_;
+  util::Rng rng(util::derive_seed(seed_, epoch_, 0x5eedful));
+  rng.shuffle(order_);
+  cursor_ = 0;
+}
+
+Batch MiniBatchReader::next() {
+  const std::size_t remaining = order_.size() - cursor_;
+  const bool epoch_done =
+      drop_last_ ? remaining < batch_size_ : remaining == 0;
+  if (epoch_done) {
+    ++epoch_;
+    start_epoch();
+  }
+  const std::size_t take = std::min(batch_size_, order_.size() - cursor_);
+  const std::vector<std::size_t> positions(
+      order_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+      order_.begin() + static_cast<std::ptrdiff_t>(cursor_ + take));
+  cursor_ += take;
+  return make_batch(*dataset_, positions);
+}
+
+}  // namespace ltfb::data

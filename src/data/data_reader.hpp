@@ -1,0 +1,63 @@
+// Mini-batch reader — the LBANN "data reader" concept.
+//
+// Iterates over a view (index list) of a dataset in epoch-shuffled
+// mini-batches, materializing the three batch tensors the CycleGAN
+// consumes: inputs [B, 5], scalars [B, 15], images [B, image_width].
+// Shuffling is deterministic per (seed, epoch).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ltfb::data {
+
+struct Batch {
+  tensor::Tensor inputs;
+  tensor::Tensor scalars;
+  tensor::Tensor images;
+  /// Scalars and images concatenated: [B, scalar_width + image_width] —
+  /// the multimodal output bundle the autoencoder consumes.
+  tensor::Tensor outputs;
+  std::vector<SampleId> ids;
+
+  std::size_t size() const noexcept { return ids.size(); }
+};
+
+/// Fills a batch from explicit dataset positions.
+Batch make_batch(const Dataset& dataset,
+                 const std::vector<std::size_t>& positions);
+
+class MiniBatchReader {
+ public:
+  /// `view` holds dataset positions this reader may serve (a trainer's
+  /// partition). The final short batch of an epoch is dropped when
+  /// `drop_last` (SGD with fixed mini-batch size, as in the paper).
+  MiniBatchReader(const Dataset& dataset, std::vector<std::size_t> view,
+                  std::size_t batch_size, std::uint64_t seed,
+                  bool drop_last = true);
+
+  std::size_t batch_size() const noexcept { return batch_size_; }
+  std::size_t batches_per_epoch() const noexcept;
+  std::size_t epoch() const noexcept { return epoch_; }
+
+  /// Next mini-batch; reshuffles and advances the epoch transparently when
+  /// the current epoch is exhausted.
+  Batch next();
+
+ private:
+  void start_epoch();
+
+  const Dataset* dataset_;
+  std::vector<std::size_t> view_;
+  std::vector<std::size_t> order_;
+  std::size_t batch_size_;
+  std::uint64_t seed_;
+  bool drop_last_;
+  std::size_t cursor_ = 0;
+  std::size_t epoch_ = 0;
+};
+
+}  // namespace ltfb::data

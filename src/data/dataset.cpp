@@ -1,0 +1,168 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace ltfb::data {
+
+Dataset::Dataset(SampleSchema schema, std::vector<Sample> samples)
+    : schema_(schema), samples_(std::move(samples)) {
+  for (const auto& sample : samples_) {
+    LTFB_CHECK_MSG(sample.conforms_to(schema_),
+                   "sample " << sample.id << " does not conform to schema");
+  }
+}
+
+void Dataset::add(Sample sample) {
+  LTFB_CHECK_MSG(sample.conforms_to(schema_),
+                 "sample " << sample.id << " does not conform to schema");
+  samples_.push_back(std::move(sample));
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  std::vector<Sample> picked;
+  picked.reserve(indices.size());
+  for (const auto index : indices) {
+    LTFB_CHECK_MSG(index < samples_.size(),
+                   "subset index " << index << " out of range");
+    picked.push_back(samples_[index]);
+  }
+  return Dataset(schema_, std::move(picked));
+}
+
+std::size_t Dataset::byte_size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& sample : samples_) total += sample.byte_size();
+  return total;
+}
+
+SplitIndices split_dataset(std::size_t n, double train_fraction,
+                           double tournament_fraction, std::uint64_t seed) {
+  LTFB_CHECK(train_fraction >= 0.0 && tournament_fraction >= 0.0 &&
+             train_fraction + tournament_fraction <= 1.0);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  util::Rng rng(util::derive_seed(seed, "dataset-split"));
+  rng.shuffle(order);
+  const auto n_train = static_cast<std::size_t>(
+      static_cast<double>(n) * train_fraction);
+  const auto n_tournament = static_cast<std::size_t>(
+      static_cast<double>(n) * tournament_fraction);
+  SplitIndices split;
+  split.train.assign(order.begin(),
+                     order.begin() + static_cast<std::ptrdiff_t>(n_train));
+  split.tournament.assign(
+      order.begin() + static_cast<std::ptrdiff_t>(n_train),
+      order.begin() + static_cast<std::ptrdiff_t>(n_train + n_tournament));
+  split.validation.assign(
+      order.begin() + static_cast<std::ptrdiff_t>(n_train + n_tournament),
+      order.end());
+  return split;
+}
+
+std::vector<std::size_t> partition_indices(
+    const std::vector<std::size_t>& indices, std::size_t parts,
+    std::size_t part) {
+  LTFB_CHECK_MSG(parts > 0 && part < parts,
+                 "partition " << part << " of " << parts << " is invalid");
+  const std::size_t n = indices.size();
+  const std::size_t base = n / parts;
+  const std::size_t rem = n % parts;
+  const std::size_t begin = part * base + std::min(part, rem);
+  const std::size_t count = base + (part < rem ? 1 : 0);
+  return std::vector<std::size_t>(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(begin + count));
+}
+
+namespace {
+
+Sample make_sample(const jag::JagModel& model,
+                   const std::array<double, jag::kNumInputs>& point,
+                   SampleId id) {
+  const jag::JagOutput out = model.run(point);
+  Sample sample;
+  sample.id = id;
+  sample.input.resize(jag::kNumInputs);
+  for (std::size_t i = 0; i < jag::kNumInputs; ++i) {
+    sample.input[i] = static_cast<float>(point[i]);
+  }
+  sample.scalars.assign(out.scalars.begin(), out.scalars.end());
+  sample.images = out.images;
+  return sample;
+}
+
+}  // namespace
+
+Dataset generate_jag_dataset(const jag::JagModel& model, std::size_t n,
+                             std::uint64_t seed, SampleId first_id) {
+  util::Rng rng(util::derive_seed(seed, "jag-dataset"));
+  SampleSchema schema;
+  schema.input_width = jag::kNumInputs;
+  schema.scalar_width = jag::kNumScalars;
+  schema.image_width = model.config().image_features();
+  Dataset dataset(schema, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    std::array<double, jag::kNumInputs> point{};
+    for (auto& coordinate : point) coordinate = rng.uniform();
+    dataset.add(make_sample(model, point, first_id + i));
+  }
+  return dataset;
+}
+
+Dataset generate_jag_dataset(
+    const jag::JagModel& model,
+    const std::vector<std::array<double, jag::kNumInputs>>& points,
+    SampleId first_id) {
+  SampleSchema schema;
+  schema.input_width = jag::kNumInputs;
+  schema.scalar_width = jag::kNumScalars;
+  schema.image_width = model.config().image_features();
+  Dataset dataset(schema, {});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    dataset.add(make_sample(model, points[i], first_id + i));
+  }
+  return dataset;
+}
+
+DatasetNormalizers fit_normalizers(const Dataset& dataset) {
+  LTFB_CHECK_MSG(!dataset.empty(), "cannot fit normalizers on empty dataset");
+  const auto& schema = dataset.schema();
+  std::vector<float> inputs, scalars, images;
+  inputs.reserve(dataset.size() * schema.input_width);
+  scalars.reserve(dataset.size() * schema.scalar_width);
+  images.reserve(dataset.size() * schema.image_width);
+  for (const auto& sample : dataset.samples()) {
+    inputs.insert(inputs.end(), sample.input.begin(), sample.input.end());
+    scalars.insert(scalars.end(), sample.scalars.begin(),
+                   sample.scalars.end());
+    images.insert(images.end(), sample.images.begin(), sample.images.end());
+  }
+  DatasetNormalizers norms;
+  norms.input.fit(inputs, schema.input_width);
+  norms.scalars.fit(scalars, schema.scalar_width);
+  if (schema.image_width > 0) {
+    // Width-1 fit: one shared scale for all pixels preserves the relative
+    // brightness across views and channels.
+    norms.images.fit(images, 1);
+  }
+  return norms;
+}
+
+void normalize_dataset(Dataset& dataset, const DatasetNormalizers& norms) {
+  // Mutating samples in place requires a non-const view; Dataset exposes
+  // samples() const-only, so rebuild through add() semantics.
+  std::vector<Sample> updated = dataset.samples();
+  for (auto& sample : updated) {
+    norms.input.transform(sample.input);
+    norms.scalars.transform(sample.scalars);
+    if (!sample.images.empty() && norms.images.fitted()) {
+      norms.images.transform(sample.images);
+    }
+  }
+  dataset = Dataset(dataset.schema(), std::move(updated));
+}
+
+}  // namespace ltfb::data

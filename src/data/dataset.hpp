@@ -1,0 +1,92 @@
+// In-memory dataset, splits and per-trainer partitioning.
+//
+// LTFB's scalability hinges on partitioning the training set across
+// trainers without losing generalizability (Sec. III-C). This module
+// provides the deterministic split machinery: a global dataset is divided
+// into a training partition per trainer, a local tournament hold-out per
+// trainer, and a global validation set — the exact structure of the
+// paper's experiments.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "data/normalizer.hpp"
+#include "data/sample.hpp"
+#include "jag/jag_model.hpp"
+
+namespace ltfb::data {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(SampleSchema schema, std::vector<Sample> samples);
+
+  const SampleSchema& schema() const noexcept { return schema_; }
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  const Sample& sample(std::size_t index) const {
+    LTFB_ASSERT(index < samples_.size());
+    return samples_[index];
+  }
+  const std::vector<Sample>& samples() const noexcept { return samples_; }
+
+  void add(Sample sample);
+
+  /// Dataset restricted to the given indices (copies samples).
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  /// Total payload bytes — drives data-store capacity accounting.
+  std::size_t byte_size() const noexcept;
+
+ private:
+  SampleSchema schema_{};
+  std::vector<Sample> samples_;
+};
+
+/// Train/tournament/validation index split, disjoint and covering [0, n).
+struct SplitIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> tournament;
+  std::vector<std::size_t> validation;
+};
+
+/// Shuffled split with the given fractions (validation gets the rest).
+/// Deterministic for a fixed seed.
+SplitIndices split_dataset(std::size_t n, double train_fraction,
+                           double tournament_fraction, std::uint64_t seed);
+
+/// Contiguous block partition of `indices` into `parts` near-equal pieces;
+/// `part` selects one. Mirrors the paper's per-trainer data silos.
+std::vector<std::size_t> partition_indices(
+    const std::vector<std::size_t>& indices, std::size_t parts,
+    std::size_t part);
+
+/// Generates a JAG dataset of `n` samples with ids [first_id, first_id+n)
+/// from uniformly random input points (deterministic in `seed`).
+Dataset generate_jag_dataset(const jag::JagModel& model, std::size_t n,
+                             std::uint64_t seed, SampleId first_id = 0);
+
+/// Generates a JAG dataset from explicit input points.
+Dataset generate_jag_dataset(
+    const jag::JagModel& model,
+    const std::vector<std::array<double, jag::kNumInputs>>& points,
+    SampleId first_id = 0);
+
+/// Normalization stats for each field of a dataset (inputs, scalars,
+/// images). Images use a single shared channel so relative intensities
+/// across views/channels are preserved.
+struct DatasetNormalizers {
+  Normalizer input;
+  Normalizer scalars;
+  Normalizer images;
+};
+
+DatasetNormalizers fit_normalizers(const Dataset& dataset);
+
+/// Applies the normalizers to every sample in place.
+void normalize_dataset(Dataset& dataset, const DatasetNormalizers& norms);
+
+}  // namespace ltfb::data

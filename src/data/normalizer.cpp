@@ -1,0 +1,56 @@
+#include "data/normalizer.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ltfb::data {
+
+void Normalizer::fit(std::span<const float> rows, std::size_t width) {
+  LTFB_CHECK_MSG(width > 0 && rows.size() % width == 0,
+                 "normalizer fit: " << rows.size()
+                                    << " values not divisible by width "
+                                    << width);
+  const std::size_t n = rows.size() / width;
+  LTFB_CHECK_MSG(n > 0, "normalizer fit on empty data");
+  mean_.assign(width, 0.0f);
+  stddev_.assign(width, 0.0f);
+  std::vector<double> sum(width, 0.0), sum_sq(width, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < width; ++c) {
+      const double v = rows[r * width + c];
+      sum[c] += v;
+      sum_sq[c] += v * v;
+    }
+  }
+  for (std::size_t c = 0; c < width; ++c) {
+    const double mean = sum[c] / static_cast<double>(n);
+    const double var =
+        std::max(0.0, sum_sq[c] / static_cast<double>(n) - mean * mean);
+    mean_[c] = static_cast<float>(mean);
+    const double sd = std::sqrt(var);
+    stddev_[c] = static_cast<float>(sd > 1e-8 ? sd : 1.0);
+  }
+}
+
+void Normalizer::transform(std::span<float> rows) const {
+  LTFB_CHECK_MSG(fitted(), "transform before fit");
+  LTFB_CHECK(rows.size() % width() == 0);
+  const std::size_t w = width();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::size_t c = i % w;
+    rows[i] = (rows[i] - mean_[c]) / stddev_[c];
+  }
+}
+
+void Normalizer::inverse(std::span<float> rows) const {
+  LTFB_CHECK_MSG(fitted(), "inverse before fit");
+  LTFB_CHECK(rows.size() % width() == 0);
+  const std::size_t w = width();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::size_t c = i % w;
+    rows[i] = rows[i] * stddev_[c] + mean_[c];
+  }
+}
+
+}  // namespace ltfb::data

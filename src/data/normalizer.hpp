@@ -1,0 +1,39 @@
+// Per-feature normalization statistics.
+//
+// JAG scalar observables span wildly different physical scales (log-yield
+// vs keV temperatures vs pressure), so the surrogate is trained in
+// z-scored space and predictions are inverse-transformed for reporting.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ltfb::data {
+
+class Normalizer {
+ public:
+  Normalizer() = default;
+
+  /// Computes per-feature mean/stddev over rows of `width` features laid
+  /// out contiguously in `rows` (row-major, rows.size() % width == 0).
+  /// Features with (near-)zero variance get stddev 1 so transform is safe.
+  void fit(std::span<const float> rows, std::size_t width);
+
+  std::size_t width() const noexcept { return mean_.size(); }
+  bool fitted() const noexcept { return !mean_.empty(); }
+
+  std::span<const float> mean() const noexcept { return mean_; }
+  std::span<const float> stddev() const noexcept { return stddev_; }
+
+  /// In-place z-score of one row or a row-major block.
+  void transform(std::span<float> rows) const;
+
+  /// In-place inverse transform.
+  void inverse(std::span<float> rows) const;
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> stddev_;
+};
+
+}  // namespace ltfb::data

@@ -1,0 +1,47 @@
+#include "data/sample.hpp"
+
+#include <cstring>
+
+namespace ltfb::data {
+
+std::vector<float> pack_sample(const Sample& sample) {
+  std::vector<float> flat;
+  flat.reserve(2 + sample.input.size() + sample.scalars.size() +
+               sample.images.size());
+  // The 64-bit id is split into two exactly-representable 32-bit halves.
+  const auto lo = static_cast<std::uint32_t>(sample.id & 0xffffffffull);
+  const auto hi = static_cast<std::uint32_t>(sample.id >> 32);
+  float lo_f, hi_f;
+  std::memcpy(&lo_f, &lo, sizeof(float));
+  std::memcpy(&hi_f, &hi, sizeof(float));
+  flat.push_back(lo_f);
+  flat.push_back(hi_f);
+  flat.insert(flat.end(), sample.input.begin(), sample.input.end());
+  flat.insert(flat.end(), sample.scalars.begin(), sample.scalars.end());
+  flat.insert(flat.end(), sample.images.begin(), sample.images.end());
+  return flat;
+}
+
+Sample unpack_sample(std::span<const float> flat, const SampleSchema& schema) {
+  LTFB_CHECK_MSG(flat.size() == 2 + schema.total_width(),
+                 "packed sample size " << flat.size()
+                                       << " does not match schema width "
+                                       << schema.total_width());
+  Sample sample;
+  std::uint32_t lo, hi;
+  std::memcpy(&lo, &flat[0], sizeof(float));
+  std::memcpy(&hi, &flat[1], sizeof(float));
+  sample.id = (static_cast<std::uint64_t>(hi) << 32) | lo;
+  auto cursor = flat.begin() + 2;
+  sample.input.assign(cursor, cursor + static_cast<std::ptrdiff_t>(
+                                           schema.input_width));
+  cursor += static_cast<std::ptrdiff_t>(schema.input_width);
+  sample.scalars.assign(cursor, cursor + static_cast<std::ptrdiff_t>(
+                                             schema.scalar_width));
+  cursor += static_cast<std::ptrdiff_t>(schema.scalar_width);
+  sample.images.assign(cursor, cursor + static_cast<std::ptrdiff_t>(
+                                            schema.image_width));
+  return sample;
+}
+
+}  // namespace ltfb::data

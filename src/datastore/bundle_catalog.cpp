@@ -1,0 +1,58 @@
+#include "datastore/bundle_catalog.hpp"
+
+#include <algorithm>
+
+namespace ltfb::datastore {
+
+BundleCatalog::BundleCatalog(std::vector<std::filesystem::path> paths)
+    : paths_(std::move(paths)) {
+  LTFB_CHECK_MSG(!paths_.empty(), "catalog needs at least one bundle file");
+  first_id_.reserve(paths_.size() + 1);
+  first_id_.push_back(0);
+  for (std::size_t f = 0; f < paths_.size(); ++f) {
+    data::BundleReader reader(paths_[f]);
+    if (f == 0) {
+      schema_ = reader.schema();
+    } else {
+      LTFB_CHECK_MSG(reader.schema() == schema_,
+                     "bundle " << paths_[f].string()
+                               << " has a mismatched schema");
+    }
+    first_id_.push_back(first_id_.back() + reader.sample_count());
+  }
+  total_ = first_id_.back();
+}
+
+std::size_t BundleCatalog::samples_in_file(std::size_t file) const {
+  LTFB_CHECK(file < paths_.size());
+  return first_id_[file + 1] - first_id_[file];
+}
+
+BundleCatalog::Location BundleCatalog::locate(data::SampleId id) const {
+  LTFB_CHECK_MSG(id < total_, "sample id " << id << " out of range (total "
+                                           << total_ << ")");
+  const auto it =
+      std::upper_bound(first_id_.begin(), first_id_.end(), id) - 1;
+  const auto file = static_cast<std::size_t>(it - first_id_.begin());
+  return Location{file, static_cast<std::size_t>(id - *it)};
+}
+
+data::Sample BundleCatalog::read(data::SampleId id) const {
+  const Location loc = locate(id);
+  ++stats_.file_opens;
+  ++stats_.sample_reads;
+  data::BundleReader reader(paths_[loc.file]);
+  return reader.read_sample(loc.index);
+}
+
+std::vector<data::Sample> BundleCatalog::read_file(std::size_t file) const {
+  LTFB_CHECK(file < paths_.size());
+  ++stats_.file_opens;
+  ++stats_.whole_file_reads;
+  data::BundleReader reader(paths_[file]);
+  auto samples = reader.read_all();
+  stats_.sample_reads += samples.size();
+  return samples;
+}
+
+}  // namespace ltfb::datastore

@@ -1,0 +1,68 @@
+// Catalog over a set of bundle files (the view the data store has of the
+// dataset on the parallel file system).
+//
+// Sample ids are assumed sequential across files in order — exactly how
+// the ensemble workflow writes them, and how the paper's HDF5 bundles were
+// produced (in exploration order, unshuffled). The catalog counts file
+// opens and per-sample reads so tests and benches can observe the access
+// patterns that motivate the data store.
+#pragma once
+
+#include <atomic>
+#include <filesystem>
+#include <vector>
+
+#include "data/bundle.hpp"
+#include "data/sample.hpp"
+
+namespace ltfb::datastore {
+
+/// Counters are atomic: the ranks of a trainer read through one shared
+/// catalog concurrently (preload assigns disjoint files per rank).
+struct CatalogStats {
+  std::atomic<std::size_t> file_opens{0};
+  std::atomic<std::size_t> sample_reads{0};
+  std::atomic<std::size_t> whole_file_reads{0};
+
+  void reset() noexcept {
+    file_opens = 0;
+    sample_reads = 0;
+    whole_file_reads = 0;
+  }
+};
+
+class BundleCatalog {
+ public:
+  /// Reads every file's header to build the id -> (file, index) map.
+  explicit BundleCatalog(std::vector<std::filesystem::path> paths);
+
+  const data::SampleSchema& schema() const noexcept { return schema_; }
+  std::size_t total_samples() const noexcept { return total_; }
+  std::size_t file_count() const noexcept { return paths_.size(); }
+  std::size_t samples_in_file(std::size_t file) const;
+
+  struct Location {
+    std::size_t file;
+    std::size_t index;
+  };
+  Location locate(data::SampleId id) const;
+
+  /// Naive random access: opens the file, seeks, reads one record. This is
+  /// the access pattern the data store exists to avoid.
+  data::Sample read(data::SampleId id) const;
+
+  /// Sequential whole-file read (the preload pattern): one open per file.
+  std::vector<data::Sample> read_file(std::size_t file) const;
+
+  const CatalogStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+
+ private:
+  std::vector<std::filesystem::path> paths_;
+  std::vector<std::size_t> first_id_;  // first id per file; last entry = total
+  data::SampleSchema schema_;
+  std::size_t total_ = 0;
+  mutable CatalogStats stats_;
+};
+
+}  // namespace ltfb::datastore

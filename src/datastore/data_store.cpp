@@ -1,0 +1,274 @@
+#include "datastore/data_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ltfb::datastore {
+
+namespace {
+
+comm::Buffer encode_ids(const std::vector<data::SampleId>& ids) {
+  comm::Buffer buffer(ids.size() * sizeof(data::SampleId));
+  if (!ids.empty()) {
+    std::memcpy(buffer.data(), ids.data(), buffer.size());
+  }
+  return buffer;
+}
+
+std::vector<data::SampleId> decode_ids(const comm::Buffer& buffer) {
+  LTFB_CHECK(buffer.size() % sizeof(data::SampleId) == 0);
+  std::vector<data::SampleId> ids(buffer.size() / sizeof(data::SampleId));
+  if (!ids.empty()) {
+    std::memcpy(ids.data(), buffer.data(), buffer.size());
+  }
+  return ids;
+}
+
+}  // namespace
+
+DataStore::DataStore(comm::Communicator comm, const BundleCatalog* catalog,
+                     PopulateMode mode, std::size_t capacity_bytes_per_rank,
+                     std::vector<data::SampleId> universe)
+    : comm_(std::move(comm)),
+      catalog_(catalog),
+      mode_(mode),
+      capacity_bytes_(capacity_bytes_per_rank),
+      universe_(std::move(universe)),
+      universe_set_(universe_.begin(), universe_.end()) {
+  LTFB_CHECK_MSG(catalog_ != nullptr, "data store requires a catalog");
+  for (const data::SampleId id : universe_) {
+    LTFB_CHECK_MSG(id < catalog_->total_samples(),
+                   "universe id " << id << " not in catalog");
+  }
+}
+
+DataStore::~DataStore() {
+  if (prefetch_thread_.joinable()) {
+    prefetch_thread_.join();
+  }
+}
+
+void DataStore::insert_local(data::Sample sample) {
+  const std::size_t bytes = sample.byte_size();
+  if (capacity_bytes_ > 0 && stats_.cached_bytes + bytes > capacity_bytes_) {
+    throw CapacityError(
+        "data store rank " + std::to_string(comm_.rank()) +
+        " exceeded its memory budget: " +
+        std::to_string(stats_.cached_bytes + bytes) + " > " +
+        std::to_string(capacity_bytes_) + " bytes");
+  }
+  stats_.cached_bytes += bytes;
+  ++stats_.cached_samples;
+  cache_.emplace(sample.id, std::move(sample));
+}
+
+void DataStore::preload() {
+  LTFB_CHECK_MSG(mode_ == PopulateMode::Preloaded,
+                 "preload() requires Preloaded mode");
+  LTFB_CHECK_MSG(!has_directory(), "preload() called twice");
+  const int ranks = comm_.size();
+  for (std::size_t file = 0; file < catalog_->file_count(); ++file) {
+    if (static_cast<int>(file % static_cast<std::size_t>(ranks)) !=
+        comm_.rank()) {
+      continue;
+    }
+    for (auto& sample : catalog_->read_file(file)) {
+      ++stats_.file_reads;
+      if (in_universe(sample.id)) {
+        insert_local(std::move(sample));
+      }
+    }
+  }
+  build_directory();
+}
+
+void DataStore::build_directory() {
+  directory_.clear();
+  const int ranks = comm_.size();
+
+  // Each rank broadcasts the list of ids it owns.
+  for (int root = 0; root < ranks; ++root) {
+    comm::Buffer buffer;
+    if (root == comm_.rank()) {
+      std::vector<data::SampleId> mine;
+      mine.reserve(cache_.size());
+      for (const auto& [id, sample] : cache_) mine.push_back(id);
+      std::sort(mine.begin(), mine.end());
+      buffer = encode_ids(mine);
+    }
+    comm_.broadcast(root, buffer);
+    for (const data::SampleId id : decode_ids(buffer)) {
+      const auto [it, inserted] = directory_.emplace(id, root);
+      LTFB_CHECK_MSG(inserted || it->second == root,
+                     "sample " << id << " owned by both rank " << it->second
+                               << " and rank " << root);
+    }
+  }
+
+  // Samples never touched during the first dynamic epoch (e.g. dropped
+  // short batches) are adopted by id % ranks so the directory is total.
+  std::vector<data::SampleId> orphans;
+  if (universe_.empty()) {
+    for (data::SampleId id = 0; id < catalog_->total_samples(); ++id) {
+      if (directory_.find(id) == directory_.end()) orphans.push_back(id);
+    }
+  } else {
+    for (const data::SampleId id : universe_) {
+      if (directory_.find(id) == directory_.end()) orphans.push_back(id);
+    }
+    std::sort(orphans.begin(), orphans.end());
+  }
+  for (const data::SampleId id : orphans) {
+    const int owner = static_cast<int>(id % static_cast<std::size_t>(ranks));
+    directory_.emplace(id, owner);
+    if (owner == comm_.rank()) {
+      ++stats_.file_reads;
+      insert_local(catalog_->read(id));
+    }
+  }
+}
+
+std::vector<data::Sample> DataStore::fetch(
+    const std::vector<data::SampleId>& ids) {
+  if (!has_directory()) {
+    LTFB_CHECK_MSG(mode_ == PopulateMode::Dynamic,
+                   "preloaded store used before preload()");
+    return fetch_from_files(ids);
+  }
+  return fetch_via_exchange(ids);
+}
+
+std::vector<data::Sample> DataStore::fetch_from_files(
+    const std::vector<data::SampleId>& ids) {
+  std::vector<data::Sample> result;
+  result.reserve(ids.size());
+  for (const data::SampleId id : ids) {
+    const auto it = cache_.find(id);
+    if (it != cache_.end()) {
+      ++stats_.local_hits;
+      result.push_back(it->second);
+      continue;
+    }
+    // Naive-ingestion cost: one file open + record read, then cache so the
+    // next epoch is served from memory.
+    data::Sample sample = catalog_->read(id);
+    ++stats_.file_reads;
+    result.push_back(sample);
+    insert_local(std::move(sample));
+  }
+  return result;
+}
+
+void DataStore::begin_fetch(std::vector<data::SampleId> ids) {
+  LTFB_CHECK_MSG(!prefetch_active_, "begin_fetch while a fetch is in flight");
+  prefetch_active_ = true;
+  prefetch_error_ = nullptr;
+  prefetch_result_.clear();
+  prefetch_thread_ = std::thread([this, ids = std::move(ids)] {
+    try {
+      prefetch_result_ = fetch(ids);
+    } catch (...) {
+      prefetch_error_ = std::current_exception();
+    }
+  });
+}
+
+std::vector<data::Sample> DataStore::collect_fetch() {
+  LTFB_CHECK_MSG(prefetch_active_, "collect_fetch without begin_fetch");
+  prefetch_thread_.join();
+  prefetch_active_ = false;
+  if (prefetch_error_) {
+    std::rethrow_exception(prefetch_error_);
+  }
+  return std::move(prefetch_result_);
+}
+
+std::vector<data::Sample> DataStore::fetch_via_exchange(
+    const std::vector<data::SampleId>& ids) {
+  const int ranks = comm_.size();
+  const int req_tag = step_seq_ * 2;
+  const int rep_tag = step_seq_ * 2 + 1;
+  ++step_seq_;
+
+  // Partition the wanted ids by owner.
+  std::unordered_map<data::SampleId, data::Sample> gathered;
+  std::vector<std::vector<data::SampleId>> needs(
+      static_cast<std::size_t>(ranks));
+  for (const data::SampleId id : ids) {
+    if (gathered.count(id) != 0) continue;
+    const auto dir_it = directory_.find(id);
+    LTFB_CHECK_MSG(dir_it != directory_.end(),
+                   "sample " << id << " missing from data store directory");
+    const int owner = dir_it->second;
+    if (owner == comm_.rank()) {
+      const auto it = cache_.find(id);
+      LTFB_CHECK_MSG(it != cache_.end(),
+                     "directory claims rank owns sample " << id
+                                                          << " but cache misses");
+      ++stats_.local_hits;
+      gathered.emplace(id, it->second);
+    } else {
+      if (needs[static_cast<std::size_t>(owner)].empty()) {
+        needs[static_cast<std::size_t>(owner)].reserve(8);
+      }
+      if (std::find(needs[static_cast<std::size_t>(owner)].begin(),
+                    needs[static_cast<std::size_t>(owner)].end(),
+                    id) == needs[static_cast<std::size_t>(owner)].end()) {
+        needs[static_cast<std::size_t>(owner)].push_back(id);
+      }
+      gathered.emplace(id, data::Sample{});  // placeholder, filled below
+    }
+  }
+
+  if (ranks > 1) {
+    // 1. Send a request list (possibly empty) to every peer.
+    for (int peer = 0; peer < ranks; ++peer) {
+      if (peer == comm_.rank()) continue;
+      comm_.send(peer, req_tag,
+                 encode_ids(needs[static_cast<std::size_t>(peer)]));
+    }
+    // 2. Serve every peer's request from the local cache.
+    for (int i = 0; i < ranks - 1; ++i) {
+      int requester = -1;
+      const comm::Buffer request =
+          comm_.recv(comm::kAnySource, req_tag, &requester);
+      std::vector<float> reply;
+      for (const data::SampleId id : decode_ids(request)) {
+        const auto it = cache_.find(id);
+        LTFB_CHECK_MSG(it != cache_.end(),
+                       "rank asked to serve sample " << id
+                                                     << " it does not own");
+        const auto packed = data::pack_sample(it->second);
+        reply.insert(reply.end(), packed.begin(), packed.end());
+      }
+      comm_.send(requester, rep_tag, std::span<const float>(reply));
+    }
+    // 3. Collect replies (every peer answers, possibly with nothing).
+    const std::size_t packed_width = 2 + catalog_->schema().total_width();
+    for (int i = 0; i < ranks - 1; ++i) {
+      const comm::Buffer raw = comm_.recv(comm::kAnySource, rep_tag);
+      const std::vector<float> flat = comm::floats_from_buffer(raw);
+      LTFB_CHECK(flat.size() % packed_width == 0);
+      stats_.bytes_exchanged += raw.size();
+      for (std::size_t offset = 0; offset < flat.size();
+           offset += packed_width) {
+        data::Sample sample = data::unpack_sample(
+            std::span<const float>(flat).subspan(offset, packed_width),
+            catalog_->schema());
+        ++stats_.remote_fetches;
+        gathered[sample.id] = std::move(sample);
+      }
+    }
+  }
+
+  std::vector<data::Sample> result;
+  result.reserve(ids.size());
+  for (const data::SampleId id : ids) {
+    const auto it = gathered.find(id);
+    LTFB_ASSERT(it != gathered.end());
+    result.push_back(it->second);
+  }
+  return result;
+}
+
+}  // namespace ltfb::datastore

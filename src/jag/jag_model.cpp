@@ -1,0 +1,227 @@
+#include "jag/jag_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ltfb::jag {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Nominal (drive = 1, round shell) operating point.
+constexpr double kNominalVelocity = 3.5;    // 10^7 cm/s
+constexpr double kNominalRhoR = 1.0;        // g/cm^2
+constexpr double kNominalTemp = 4.0;        // keV
+constexpr double kIgnitionChi = 1.15;       // cliff midpoint
+constexpr double kCliffSharpness = 8.0;
+constexpr double kMaxAmplification = 60.0;  // ignited / non-ignited yield
+constexpr double kP2Penalty = 6.0;
+constexpr double kP4Penalty = 10.0;
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+JagModel::JagModel(JagConfig config) : config_(config) {
+  LTFB_CHECK_MSG(config_.image_size >= 4, "image_size must be >= 4");
+  LTFB_CHECK(config_.num_views >= 1 && config_.num_channels >= 1);
+  LTFB_CHECK(config_.noise_level >= 0.0 && config_.noise_level < 0.5);
+}
+
+std::array<std::pair<double, double>, kNumInputs> JagModel::input_ranges() {
+  return {{{0.7, 1.3},     // drive multiplier
+           {1.5, 4.0},     // adiabat
+           {-0.30, 0.30},  // P2
+           {-0.20, 0.20},  // P4
+           {0.0, kPi}}};   // mode phase
+}
+
+const std::array<std::string, kNumScalars>& JagModel::scalar_names() {
+  static const std::array<std::string, kNumScalars> kNames = {
+      "log10_yield",         "burn_avg_ti",      "peak_rhor",
+      "bang_time",           "burn_width",       "hotspot_radius",
+      "hotspot_p2",          "hotspot_p4",       "downscatter_ratio",
+      "xray_brightness_v0",  "xray_brightness_v1", "xray_brightness_v2",
+      "convergence_ratio",   "ifar",             "stagnation_pressure"};
+  return kNames;
+}
+
+ImplosionState JagModel::implosion_state(
+    const std::array<double, kNumInputs>& x) const {
+  const auto ranges = input_ranges();
+  std::array<double, kNumInputs> p{};
+  for (std::size_t i = 0; i < kNumInputs; ++i) {
+    const auto [lo, hi] = ranges[i];
+    p[i] = lo + (hi - lo) * clamp01(x[i]);
+  }
+  const double drive = p[0];
+  const double adiabat = p[1];
+  const double p2 = p[2];
+  const double p4 = p[3];
+  const double phase = p[4];
+
+  ImplosionState s;
+  s.adiabat = adiabat;
+  s.p2 = p2;
+  s.p4 = p4;
+  s.mode_phase = phase;
+
+  // Rocket-equation-flavoured velocity scaling: more drive, faster; a high
+  // adiabat shell is stiffer and slightly slower.
+  s.velocity =
+      kNominalVelocity * std::pow(drive, 0.6) * std::pow(adiabat / 2.0, -0.12);
+
+  // Compression: areal density rises with drive, falls strongly with
+  // adiabat (rhoR ~ alpha^-0.9 is the standard ICF compression scaling).
+  s.areal_density =
+      kNominalRhoR * std::pow(drive, 0.8) * std::pow(adiabat / 2.0, -0.9);
+
+  // Low-mode asymmetry wastes implosion energy; quadratic penalty.
+  s.shape_degradation =
+      std::max(0.05, 1.0 - kP2Penalty * p2 * p2 - kP4Penalty * p4 * p4);
+
+  // Hot-spot temperature from PdV work on the hot spot.
+  s.hotspot_temperature = kNominalTemp *
+                          std::pow(s.velocity / kNominalVelocity, 1.4) *
+                          std::sqrt(s.shape_degradation);
+
+  // Lawson-like ignition parameter and the sigmoidal ignition cliff.
+  const double chi = std::pow(s.areal_density, 0.8) *
+                     std::pow(s.hotspot_temperature / 4.5, 2.0) *
+                     s.shape_degradation;
+  s.ignition_parameter = chi;
+  const double chi_s = std::pow(chi, kCliffSharpness);
+  const double chi0_s = std::pow(kIgnitionChi, kCliffSharpness);
+  s.yield_amplification = 1.0 + kMaxAmplification * chi_s / (chi0_s + chi_s);
+
+  // No-burn yield ~ rhoR * v^3 * deg (kinetic energy thermalized at
+  // stagnation), amplified by alpha heating on the cliff.
+  const double base_yield = s.areal_density *
+                            std::pow(s.velocity / kNominalVelocity, 3.0) *
+                            s.shape_degradation;
+  s.yield = base_yield * s.yield_amplification;
+
+  // Hot spot shrinks as compression rises and swells with asymmetry.
+  s.hotspot_radius = std::pow(s.areal_density / kNominalRhoR, -0.4) *
+                     (1.0 + 0.5 * (1.0 - s.shape_degradation));
+  return s;
+}
+
+double JagModel::pseudo_noise(const std::array<double, kNumInputs>& x,
+                              std::size_t channel) const {
+  if (config_.noise_level <= 0.0) return 0.0;
+  // Smooth, deterministic "model error": a short sum of incommensurate
+  // plane waves over the input space, decorrelated per output channel.
+  const double c = static_cast<double>(channel + 1);
+  const double arg = 12.9898 * x[0] + 78.233 * x[1] + 37.719 * x[2] +
+                     53.987 * x[3] + 95.432 * x[4] + 1.6180 * c;
+  const double wave = std::sin(arg) * 0.6 + std::sin(2.399963 * arg) * 0.3 +
+                      std::sin(5.236 * arg + c) * 0.1;
+  return config_.noise_level * wave;
+}
+
+JagOutput JagModel::run(const std::array<double, kNumInputs>& x) const {
+  const ImplosionState s = implosion_state(x);
+  JagOutput out;
+
+  auto noisy = [&](double value, std::size_t channel) {
+    return static_cast<float>(value * (1.0 + pseudo_noise(x, channel)));
+  };
+
+  // 15 scalar observables, each an analytic function of the state.
+  const double log_yield = std::log10(std::max(1e-6, s.yield));
+  out.scalars[0] = noisy(log_yield + 2.0, 0);  // keep positive-ish
+  out.scalars[1] = noisy(s.hotspot_temperature *
+                             (1.0 + 0.12 * (s.yield_amplification - 1.0) /
+                                        kMaxAmplification * 10.0),
+                         1);  // burn-averaged Ti rises when alpha heating on
+  out.scalars[2] = noisy(s.areal_density, 2);
+  // Bang time: faster implosions stagnate earlier.
+  out.scalars[3] = noisy(10.0 * kNominalVelocity / s.velocity, 3);
+  // Burn width shrinks when the burn runs away.
+  out.scalars[4] = noisy(0.5 / (1.0 + 0.1 * (s.yield_amplification - 1.0)), 4);
+  out.scalars[5] = noisy(s.hotspot_radius, 5);
+  out.scalars[6] = noisy(s.p2 * (1.0 + 0.4 * std::cos(s.mode_phase)), 6);
+  out.scalars[7] = noisy(s.p4 * (1.0 - 0.3 * std::cos(2.0 * s.mode_phase)), 7);
+  // Downscatter ratio tracks cold-fuel rhoR.
+  out.scalars[8] = noisy(0.04 * s.areal_density / kNominalRhoR, 8);
+  // Per-view X-ray brightness ~ T^2 with view-dependent asymmetry factor.
+  for (std::size_t v = 0; v < 3; ++v) {
+    const double view_angle = kPi * static_cast<double>(v) / 3.0;
+    const double limb =
+        1.0 + 0.8 * s.p2 * std::cos(2.0 * (view_angle + s.mode_phase));
+    out.scalars[9 + v] = noisy(
+        std::pow(s.hotspot_temperature / kNominalTemp, 2.0) * limb, 9 + v);
+  }
+  out.scalars[12] = noisy(20.0 * std::pow(s.areal_density, 0.5), 12);
+  out.scalars[13] =
+      noisy(25.0 * std::pow(s.adiabat / 2.0, -0.6) * std::pow(s.velocity /
+                                                              kNominalVelocity,
+                                                              0.8),
+            13);
+  out.scalars[14] =
+      noisy(100.0 * std::pow(s.hotspot_temperature / kNominalTemp, 1.0) *
+                std::pow(s.hotspot_radius, -1.5),
+            14);
+
+  out.images.assign(config_.image_features(), 0.0f);
+  for (std::size_t view = 0; view < config_.num_views; ++view) {
+    render_view(s, view, out.images);
+  }
+  return out;
+}
+
+void JagModel::render_view(const ImplosionState& s, std::size_t view,
+                           std::vector<float>& images) const {
+  const std::size_t size = config_.image_size;
+  const std::size_t pixels = config_.image_pixels();
+  // Each line of sight sees a different projection of the perturbed
+  // spheroid: the effective P2/P4 rotate with the view and mode phase.
+  const double view_angle =
+      kPi * static_cast<double>(view) / static_cast<double>(config_.num_views);
+  const double p2_eff =
+      s.p2 * std::cos(2.0 * (view_angle + s.mode_phase)) +
+      0.3 * s.p4 * std::sin(view_angle);
+  const double p4_eff = s.p4 * std::cos(4.0 * view_angle + s.mode_phase);
+
+  // Hot-spot emission: brightness ~ T^k for channel k (harder channels are
+  // more temperature-sensitive and more compact).
+  for (std::size_t channel = 0; channel < config_.num_channels; ++channel) {
+    const double k = 1.0 + 0.5 * static_cast<double>(channel);
+    const double brightness =
+        std::pow(s.hotspot_temperature / kNominalTemp, k);
+    const double compactness = 1.0 + 0.25 * static_cast<double>(channel);
+    float* img = images.data() + (view * config_.num_channels + channel) *
+                                      pixels;
+    for (std::size_t iy = 0; iy < size; ++iy) {
+      const double y =
+          (2.0 * (static_cast<double>(iy) + 0.5) / static_cast<double>(size)) -
+          1.0;
+      for (std::size_t ix = 0; ix < size; ++ix) {
+        const double xpix =
+            (2.0 * (static_cast<double>(ix) + 0.5) /
+             static_cast<double>(size)) -
+            1.0;
+        const double r = std::sqrt(xpix * xpix + y * y);
+        const double theta = std::atan2(y, xpix);
+        // Legendre-perturbed contour radius in the image plane.
+        const double contour =
+            0.55 * s.hotspot_radius *
+            (1.0 + p2_eff * std::cos(2.0 * theta) +
+             p4_eff * std::cos(4.0 * theta));
+        const double scaled = r / std::max(0.05, contour) * compactness;
+        // Gaussian core with a soft limb-brightened shell.
+        const double core = std::exp(-scaled * scaled);
+        const double shell =
+            0.35 * std::exp(-8.0 * (scaled - 1.0) * (scaled - 1.0));
+        img[iy * size + ix] =
+            static_cast<float>(brightness * (core + shell));
+      }
+    }
+  }
+}
+
+}  // namespace ltfb::jag

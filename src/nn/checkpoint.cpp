@@ -1,0 +1,96 @@
+#include "nn/checkpoint.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace ltfb::nn {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'L', 'T', 'F', 'B',
+                                        'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_exact(std::FILE* file, const void* data, std::size_t bytes) {
+  if (std::fwrite(data, 1, bytes, file) != bytes) {
+    throw FormatError("checkpoint write failed");
+  }
+}
+
+void read_exact(std::FILE* file, void* data, std::size_t bytes) {
+  if (std::fread(data, 1, bytes, file) != bytes) {
+    throw FormatError("checkpoint read failed (truncated file?)");
+  }
+}
+
+struct FileCloser {
+  void operator()(std::FILE* file) const noexcept {
+    if (file != nullptr) std::fclose(file);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+void save_weights(const std::filesystem::path& path, std::string_view name,
+                  std::span<const float> weights) {
+  FilePtr file(std::fopen(path.string().c_str(), "wb"));
+  if (!file) {
+    throw FormatError("cannot open checkpoint for writing: " +
+                      path.string());
+  }
+  write_exact(file.get(), kMagic.data(), kMagic.size());
+  write_exact(file.get(), &kVersion, sizeof(kVersion));
+  const auto name_len = static_cast<std::uint32_t>(name.size());
+  write_exact(file.get(), &name_len, sizeof(name_len));
+  write_exact(file.get(), name.data(), name.size());
+  const auto count = static_cast<std::uint64_t>(weights.size());
+  write_exact(file.get(), &count, sizeof(count));
+  write_exact(file.get(), weights.data(), weights.size() * sizeof(float));
+}
+
+std::vector<float> load_weights(const std::filesystem::path& path,
+                                std::string* name_out) {
+  FilePtr file(std::fopen(path.string().c_str(), "rb"));
+  if (!file) {
+    throw FormatError("cannot open checkpoint for reading: " +
+                      path.string());
+  }
+  std::array<char, 8> magic{};
+  read_exact(file.get(), magic.data(), magic.size());
+  if (magic != kMagic) {
+    throw FormatError("bad checkpoint magic in " + path.string());
+  }
+  std::uint32_t version = 0;
+  read_exact(file.get(), &version, sizeof(version));
+  if (version != kVersion) {
+    throw FormatError("unsupported checkpoint version in " + path.string());
+  }
+  std::uint32_t name_len = 0;
+  read_exact(file.get(), &name_len, sizeof(name_len));
+  LTFB_CHECK_MSG(name_len < (1u << 16), "implausible checkpoint name length");
+  std::string name(name_len, '\0');
+  read_exact(file.get(), name.data(), name_len);
+  if (name_out != nullptr) *name_out = std::move(name);
+  std::uint64_t count = 0;
+  read_exact(file.get(), &count, sizeof(count));
+  std::vector<float> weights(count);
+  read_exact(file.get(), weights.data(), weights.size() * sizeof(float));
+  return weights;
+}
+
+void save_model(const std::filesystem::path& path, const Model& model) {
+  save_weights(path, model.name(), model.flatten_weights());
+}
+
+void load_model(const std::filesystem::path& path, Model& model) {
+  std::string name;
+  const std::vector<float> weights = load_weights(path, &name);
+  LTFB_CHECK_MSG(weights.size() == model.parameter_count(),
+                 "checkpoint '" << name << "' has " << weights.size()
+                                << " parameters, model expects "
+                                << model.parameter_count());
+  model.load_flat_weights(weights);
+}
+
+}  // namespace ltfb::nn

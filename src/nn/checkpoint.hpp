@@ -1,0 +1,28 @@
+// Weight checkpointing — LBANN checkpoints trainer state so long runs
+// survive job boundaries; here the unit is a flat weight vector with a
+// small self-describing header (magic, version, name, count).
+#pragma once
+
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace ltfb::nn {
+
+/// Writes a named flat weight vector; throws FormatError on I/O failure.
+void save_weights(const std::filesystem::path& path, std::string_view name,
+                  std::span<const float> weights);
+
+/// Reads a checkpoint; fills `name_out` when non-null.
+std::vector<float> load_weights(const std::filesystem::path& path,
+                                std::string* name_out = nullptr);
+
+/// Convenience wrappers for whole models (name = model.name()). The model
+/// must already be built with the same architecture; only values load.
+void save_model(const std::filesystem::path& path, const Model& model);
+void load_model(const std::filesystem::path& path, Model& model);
+
+}  // namespace ltfb::nn

@@ -1,0 +1,39 @@
+#include "nn/initializer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ltfb::nn {
+
+void glorot_uniform(util::Rng& rng, std::size_t fan_in, std::size_t fan_out,
+                    std::span<float> weights) {
+  LTFB_CHECK(fan_in + fan_out > 0);
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (auto& w : weights) {
+    w = static_cast<float>(rng.uniform(-limit, limit));
+  }
+}
+
+void he_normal(util::Rng& rng, std::size_t fan_in, std::span<float> weights) {
+  LTFB_CHECK(fan_in > 0);
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (auto& w : weights) {
+    w = static_cast<float>(rng.normal(0.0, stddev));
+  }
+}
+
+void normal_init(util::Rng& rng, float mean, float stddev,
+                 std::span<float> weights) {
+  for (auto& w : weights) {
+    w = static_cast<float>(rng.normal(mean, stddev));
+  }
+}
+
+void constant_init(float value, std::span<float> weights) {
+  std::fill(weights.begin(), weights.end(), value);
+}
+
+}  // namespace ltfb::nn

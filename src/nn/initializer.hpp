@@ -1,0 +1,25 @@
+// Weight initialization schemes.
+#pragma once
+
+#include <span>
+
+#include "util/rng.hpp"
+
+namespace ltfb::nn {
+
+/// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+/// Standard choice for tanh/sigmoid stacks and GAN generators.
+void glorot_uniform(util::Rng& rng, std::size_t fan_in, std::size_t fan_out,
+                    std::span<float> weights);
+
+/// He normal: N(0, sqrt(2 / fan_in)), the ReLU-friendly variant.
+void he_normal(util::Rng& rng, std::size_t fan_in, std::span<float> weights);
+
+/// N(mean, stddev) initialization.
+void normal_init(util::Rng& rng, float mean, float stddev,
+                 std::span<float> weights);
+
+/// Constant fill (biases default to zero).
+void constant_init(float value, std::span<float> weights);
+
+}  // namespace ltfb::nn

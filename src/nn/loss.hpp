@@ -1,0 +1,46 @@
+// Loss functions returning (scalar loss, gradient wrt predictions).
+//
+// The paper's CycleGAN uses mean absolute error for the internal- and
+// self-consistency terms and an adversarial (binary cross-entropy) loss for
+// the physical-consistency term; MSE is included for tests and ablations.
+// All losses are means over every element of the batch so loss magnitudes
+// are comparable across output widths.
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace ltfb::nn {
+
+/// L1: mean |pred - target|. grad (optional) receives dL/dpred.
+double mae_loss(const tensor::Tensor& pred, const tensor::Tensor& target,
+                tensor::Tensor* grad = nullptr);
+
+/// L2: mean (pred - target)^2.
+double mse_loss(const tensor::Tensor& pred, const tensor::Tensor& target,
+                tensor::Tensor* grad = nullptr);
+
+/// Numerically stable binary cross-entropy on logits against a constant
+/// label (1 = real, 0 = fake) — the discriminator/adversarial loss:
+///   L = mean( softplus(z) - label * z ).
+double bce_with_logits(const tensor::Tensor& logits, float label,
+                       tensor::Tensor* grad = nullptr);
+
+/// Elementwise-label variant for mixed batches.
+double bce_with_logits(const tensor::Tensor& logits,
+                       const tensor::Tensor& labels,
+                       tensor::Tensor* grad = nullptr);
+
+/// Softmax cross-entropy on logits [B, classes] against integer class
+/// labels (length B). Used by the classic (non-GAN) LTFB path. Gradient is
+/// the standard (softmax - onehot)/B.
+double softmax_cross_entropy(const tensor::Tensor& logits,
+                             std::span<const int> labels,
+                             tensor::Tensor* grad = nullptr);
+
+/// Fraction of rows whose argmax logit equals the label.
+double classification_accuracy(const tensor::Tensor& logits,
+                               std::span<const int> labels);
+
+}  // namespace ltfb::nn

@@ -1,0 +1,122 @@
+// DAG model: the LBANN "model" concept.
+//
+// A model is a directed acyclic graph of layers plus their weights. Layers
+// are added in topological order (parents before children — enforced), so
+// forward is a single sweep in insertion order and backward the reverse
+// sweep, accumulating gradients where a layer output fans out to multiple
+// children.
+//
+// The flat weight view (flatten_weights / load_flat_weights) is the unit of
+// LTFB model exchange and of data-parallel gradient all-reduce.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace ltfb::nn {
+
+using LayerId = std::size_t;
+
+class Model {
+ public:
+  /// `seed` drives weight initialization and stochastic layers; two models
+  /// built identically from the same seed are bit-identical.
+  Model(std::string name, std::uint64_t seed);
+
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Adds a source layer of the given feature width. Mini-batch data is
+  /// bound to input layers positionally in forward().
+  LayerId add_input(std::size_t width);
+
+  /// Adds a layer whose parents are existing layer ids (all < the new id).
+  LayerId add(std::unique_ptr<Layer> layer, std::vector<LayerId> parents);
+
+  /// Shorthand for the ubiquitous FullyConnected + Activation pair.
+  LayerId add_dense(LayerId parent, std::size_t width, ActivationKind act);
+
+  /// Final FullyConnected without activation (regression head / logits).
+  LayerId add_linear(LayerId parent, std::size_t width);
+
+  std::size_t layer_count() const noexcept { return layers_.size(); }
+  const Layer& layer(LayerId id) const;
+
+  /// Stamps a fresh optimizer instance onto every weights object. Call
+  /// once after the graph is complete.
+  void set_optimizer(const OptimizerFactory& factory);
+
+  // -- execution -------------------------------------------------------------
+
+  /// Runs the graph on one mini-batch; `inputs` bind positionally to the
+  /// input layers (same order they were added). All inputs must share the
+  /// batch (row) count.
+  void forward(const std::vector<const tensor::Tensor*>& inputs,
+               bool training = true);
+
+  const tensor::Tensor& output(LayerId id) const;
+
+  /// Clears gradient accumulators (weights and pending output grads).
+  void zero_gradients();
+
+  /// Registers dL/d(output of `id`); accumulated if called twice.
+  void add_output_gradient(LayerId id, const tensor::Tensor& grad);
+
+  /// Reverse sweep from all registered output gradients.
+  void backward();
+
+  /// dL/d(input i) after backward() — how composed models (e.g. the
+  /// CycleGAN's decoder feeding gradient back into the forward model)
+  /// chain gradients across component networks.
+  const tensor::Tensor& input_gradient(std::size_t input_index) const;
+
+  /// Optimizer update on every weights object.
+  void apply_optimizer_step();
+
+  // -- weights ---------------------------------------------------------------
+
+  std::vector<Weights*> weights() { return weight_ptrs_; }
+  std::size_t parameter_count() const noexcept { return parameter_count_; }
+
+  /// Serializes every parameter into one contiguous float vector (layer
+  /// order, then weights order within the layer). The unit of LTFB
+  /// generator exchange.
+  std::vector<float> flatten_weights() const;
+  void load_flat_weights(std::span<const float> flat);
+
+  /// Same flattening for gradients (data-parallel all-reduce buffer).
+  std::vector<float> flatten_gradients() const;
+  void load_flat_gradients(std::span<const float> flat);
+
+  util::Rng& rng() noexcept { return rng_; }
+
+ private:
+  struct Node {
+    std::unique_ptr<Layer> layer;
+    std::vector<LayerId> parents;
+    tensor::Tensor grad_accumulator;  // dL/d(output)
+    bool has_grad = false;
+  };
+
+  std::vector<const tensor::Tensor*> parent_outputs(const Node& node) const;
+
+  std::string name_;
+  util::Rng rng_;
+  std::vector<Node> layers_;
+  std::vector<LayerId> input_ids_;
+  std::vector<Weights*> weight_ptrs_;
+  std::size_t parameter_count_ = 0;
+};
+
+}  // namespace ltfb::nn

@@ -1,0 +1,62 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ltfb::nn {
+
+void Sgd::step(std::span<float> weights, std::span<const float> gradient) {
+  LTFB_CHECK(weights.size() == gradient.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] -= lr_ * gradient[i];
+  }
+}
+
+void Momentum::step(std::span<float> weights,
+                    std::span<const float> gradient) {
+  LTFB_CHECK(weights.size() == gradient.size());
+  if (velocity_.size() != weights.size()) {
+    velocity_.assign(weights.size(), 0.0f);
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    velocity_[i] = momentum_ * velocity_[i] - lr_ * gradient[i];
+    weights[i] += velocity_[i];
+  }
+}
+
+void Adam::step(std::span<float> weights, std::span<const float> gradient) {
+  LTFB_CHECK(weights.size() == gradient.size());
+  if (m_.size() != weights.size()) {
+    m_.assign(weights.size(), 0.0f);
+    v_.assign(weights.size(), 0.0f);
+    t_ = 0;
+  }
+  ++t_;
+  const float bc1 =
+      1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 =
+      1.0f - std::pow(beta2_, static_cast<float>(t_));
+  const float alpha = lr_ * std::sqrt(bc2) / bc1;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const float g = gradient[i];
+    m_[i] = beta1_ * m_[i] + (1.0f - beta1_) * g;
+    v_[i] = beta2_ * v_[i] + (1.0f - beta2_) * g * g;
+    weights[i] -= alpha * m_[i] / (std::sqrt(v_[i]) + epsilon_);
+  }
+}
+
+OptimizerFactory make_sgd_factory(float lr) {
+  return [lr] { return std::make_unique<Sgd>(lr); };
+}
+
+OptimizerFactory make_momentum_factory(float lr, float momentum) {
+  return [lr, momentum] { return std::make_unique<Momentum>(lr, momentum); };
+}
+
+OptimizerFactory make_adam_factory(float lr, float beta1, float beta2,
+                                   float epsilon) {
+  return [=] { return std::make_unique<Adam>(lr, beta1, beta2, epsilon); };
+}
+
+}  // namespace ltfb::nn

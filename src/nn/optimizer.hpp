@@ -1,0 +1,101 @@
+// First-order optimizers.
+//
+// The paper trains the CycleGAN with Adam (initial learning rate 1e-3,
+// mini-batch 128); SGD and momentum are provided for tests and for the
+// data-parallel scaling experiments. An optimizer instance owns the state
+// for exactly one weight tensor (LBANN's layout); models clone a prototype
+// per Weights object via the factory.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ltfb::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update: weights -= f(gradient). Both spans have the size
+  /// fixed by the first call; state is allocated lazily.
+  virtual void step(std::span<float> weights,
+                    std::span<const float> gradient) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Current learning rate (mutable for schedules).
+  virtual float learning_rate() const = 0;
+  virtual void set_learning_rate(float lr) = 0;
+
+  /// Deep copy including hyperparameters but NOT accumulated state —
+  /// used when stamping out per-weights instances from a prototype.
+  virtual std::unique_ptr<Optimizer> clone_fresh() const = 0;
+};
+
+using OptimizerFactory = std::function<std::unique_ptr<Optimizer>()>;
+
+/// Plain stochastic gradient descent.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float lr) : lr_(lr) {}
+  void step(std::span<float> weights, std::span<const float> gradient) override;
+  std::string name() const override { return "sgd"; }
+  float learning_rate() const override { return lr_; }
+  void set_learning_rate(float lr) override { lr_ = lr; }
+  std::unique_ptr<Optimizer> clone_fresh() const override {
+    return std::make_unique<Sgd>(lr_);
+  }
+
+ private:
+  float lr_;
+};
+
+/// SGD with classical momentum.
+class Momentum final : public Optimizer {
+ public:
+  Momentum(float lr, float momentum) : lr_(lr), momentum_(momentum) {}
+  void step(std::span<float> weights, std::span<const float> gradient) override;
+  std::string name() const override { return "momentum"; }
+  float learning_rate() const override { return lr_; }
+  void set_learning_rate(float lr) override { lr_ = lr; }
+  std::unique_ptr<Optimizer> clone_fresh() const override {
+    return std::make_unique<Momentum>(lr_, momentum_);
+  }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<float> velocity_;
+};
+
+/// Adam (Kingma & Ba) — the paper's optimizer of record.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float epsilon = 1e-8f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+  void step(std::span<float> weights, std::span<const float> gradient) override;
+  std::string name() const override { return "adam"; }
+  float learning_rate() const override { return lr_; }
+  void set_learning_rate(float lr) override { lr_ = lr; }
+  std::unique_ptr<Optimizer> clone_fresh() const override {
+    return std::make_unique<Adam>(lr_, beta1_, beta2_, epsilon_);
+  }
+
+ private:
+  float lr_, beta1_, beta2_, epsilon_;
+  std::vector<float> m_, v_;
+  long t_ = 0;
+};
+
+/// Factory helpers.
+OptimizerFactory make_sgd_factory(float lr);
+OptimizerFactory make_momentum_factory(float lr, float momentum);
+OptimizerFactory make_adam_factory(float lr, float beta1 = 0.9f,
+                                   float beta2 = 0.999f,
+                                   float epsilon = 1e-8f);
+
+}  // namespace ltfb::nn

@@ -1,0 +1,39 @@
+#include "nn/parallel.hpp"
+
+#include <cmath>
+
+namespace ltfb::nn {
+
+void allreduce_gradients(Model& model, comm::Communicator& comm) {
+  if (comm.size() == 1) return;
+  std::vector<float> bucket = model.flatten_gradients();
+  comm.allreduce(bucket, comm::ReduceOp::Sum);
+  const float scale = 1.0f / static_cast<float>(comm.size());
+  for (auto& g : bucket) g *= scale;
+  model.load_flat_gradients(bucket);
+}
+
+void broadcast_weights(Model& model, comm::Communicator& comm, int root) {
+  if (comm.size() == 1) return;
+  std::vector<float> flat = model.flatten_weights();
+  comm.broadcast(root, std::span<float>(flat));
+  if (comm.rank() != root) {
+    model.load_flat_weights(flat);
+  }
+}
+
+bool weights_in_sync(Model& model, comm::Communicator& comm) {
+  if (comm.size() == 1) return true;
+  const std::vector<float> mine = model.flatten_weights();
+  // Compare against the element-wise max and min across ranks.
+  std::vector<float> max_copy = mine;
+  comm.allreduce(max_copy, comm::ReduceOp::Max);
+  std::vector<float> min_copy = mine;
+  comm.allreduce(min_copy, comm::ReduceOp::Min);
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    if (max_copy[i] != min_copy[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace ltfb::nn

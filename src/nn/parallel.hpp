@@ -1,0 +1,27 @@
+// Data-parallel training hooks.
+//
+// Within a trainer, LBANN distributes the samples of each mini-batch across
+// ranks and averages gradients with an all-reduce during back propagation.
+// This header provides that hook: flatten every gradient into one bucket,
+// ring-all-reduce it over the trainer communicator, scale by 1/ranks, and
+// scatter back — mirroring Aluminum's bucketed all-reduce.
+#pragma once
+
+#include "comm/communicator.hpp"
+#include "nn/model.hpp"
+
+namespace ltfb::nn {
+
+/// Averages `model`'s accumulated gradients across all ranks of `comm`.
+/// Every rank must call this with a structurally identical model.
+void allreduce_gradients(Model& model, comm::Communicator& comm);
+
+/// Broadcasts rank `root`'s weights to all ranks (initial weight sync and
+/// post-tournament winner propagation within a trainer).
+void broadcast_weights(Model& model, comm::Communicator& comm, int root = 0);
+
+/// True when every rank's flattened weights are bit-identical — a
+/// consistency check used by tests and assertions after collective steps.
+bool weights_in_sync(Model& model, comm::Communicator& comm);
+
+}  // namespace ltfb::nn

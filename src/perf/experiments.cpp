@@ -1,0 +1,181 @@
+#include "perf/experiments.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ltfb::perf {
+
+namespace {
+
+TrainerLayout single_trainer_layout(int gpus) {
+  // The paper grows a single trainer within a node first (1, 2, 4 GPUs on
+  // one node), then across nodes at 4 GPUs each. Nodes are provisioned for
+  // four ranks (one per GPU slot), so a 1- or 2-GPU trainer's ranks still
+  // get a quarter-node data-store budget each — which is exactly why the
+  // preloaded store cannot hold the 1M-sample set at 1-2 GPUs (Fig. 10)
+  // while 4 ranks on the same node can.
+  TrainerLayout layout;
+  layout.gpus = gpus;
+  layout.gpus_per_node = 4;
+  return layout;
+}
+
+double steps_per_epoch(const PerfWorkload& workload, std::size_t samples) {
+  return std::floor(static_cast<double>(samples) /
+                    static_cast<double>(workload.global_batch));
+}
+
+}  // namespace
+
+std::vector<Fig9Row> run_fig9(const sim::ClusterSpec& spec,
+                              const PerfWorkload& workload,
+                              const Calibration& cal) {
+  const CycleGanCost cost = analyze(paper_scale_config());
+  const double bytes = sample_bytes(paper_scale_config());
+  std::vector<Fig9Row> rows;
+  for (const int gpus : {1, 2, 4, 8, 16}) {
+    const TrainerLayout layout = single_trainer_layout(gpus);
+    const double steps = steps_per_epoch(workload, workload.samples);
+    const double train_s =
+        steps *
+        step_time_compute_only(cost, spec, layout, workload.global_batch, cal);
+    // Naive mode: synchronous per-sample reads, not overlapped.
+    const double ingest_s = simulate_random_reads(spec.fs, gpus,
+                                                  workload.samples, bytes);
+    Fig9Row row;
+    row.gpus = gpus;
+    row.nodes = layout.nodes();
+    row.epoch_s = train_s + ingest_s;
+    rows.push_back(row);
+  }
+  for (auto& row : rows) {
+    row.speedup = rows.front().epoch_s / row.epoch_s;
+    row.efficiency = row.speedup / static_cast<double>(row.gpus);
+  }
+  return rows;
+}
+
+std::vector<Fig10Row> run_fig10(const sim::ClusterSpec& spec,
+                                const PerfWorkload& workload,
+                                const Calibration& cal) {
+  const auto config = paper_scale_config();
+  const CycleGanCost cost = analyze(config);
+  const double bytes = sample_bytes(config);
+  std::vector<Fig10Row> rows;
+  for (const int gpus : {1, 2, 4, 8, 16}) {
+    const TrainerLayout layout = single_trainer_layout(gpus);
+    const double steps = steps_per_epoch(workload, workload.samples);
+    const double naive_train =
+        steps *
+        step_time_compute_only(cost, spec, layout, workload.global_batch, cal);
+    const double random_ingest =
+        simulate_random_reads(spec.fs, gpus, workload.samples, bytes);
+
+    Fig10Row row;
+    row.gpus = gpus;
+    // Naive dynamic loading: every epoch pays the random-read pattern.
+    row.naive_initial = naive_train + random_ingest;
+    row.naive_steady = row.naive_initial;
+
+    // Data store, dynamic population: the first epoch still reads randomly
+    // from files; afterwards samples are shuffled in memory.
+    row.dynamic_initial = naive_train + random_ingest;
+    row.dynamic_steady =
+        steps * step_time(cost, bytes, spec, layout, workload.global_batch,
+                          cal, /*dynamic_store=*/true);
+
+    // Data store, preloaded: feasible only if the partition fits in the
+    // ranks' aggregate memory budget.
+    const double partition_bytes =
+        static_cast<double>(workload.samples) * bytes;
+    const double capacity = static_cast<double>(gpus) *
+                            rank_capacity_bytes(spec, layout, cal);
+    if (partition_bytes <= capacity) {
+      const std::size_t files =
+          workload.samples / workload.samples_per_file;
+      const double preload_s = simulate_preload(
+          spec.fs, /*trainers=*/1, /*ranks_per_trainer=*/gpus, files,
+          workload.samples_per_file, bytes);
+      const double steady =
+          steps * step_time(cost, bytes, spec, layout, workload.global_batch,
+                            cal, /*dynamic_store=*/false);
+      row.preload_initial = preload_s + steady;
+      row.preload_steady = steady;
+    } else {
+      row.note = "preload OOM: needs " +
+                 std::to_string(static_cast<long long>(partition_bytes /
+                                                       (1ull << 30))) +
+                 " GiB, capacity " +
+                 std::to_string(static_cast<long long>(capacity /
+                                                       (1ull << 30))) +
+                 " GiB";
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+TrainerLayout fig11_layout(const sim::ClusterSpec& spec,
+                           const PerfWorkload& workload, int trainers,
+                           const Calibration& cal, std::string* note) {
+  TrainerLayout layout;
+  layout.gpus = 16;
+  layout.gpus_per_node = 4;
+  const double bytes = sample_bytes(paper_scale_config());
+  const double partition_bytes = static_cast<double>(workload.samples) /
+                                 static_cast<double>(trainers) * bytes;
+  const double capacity =
+      16.0 * rank_capacity_bytes(spec, layout, cal);
+  if (partition_bytes > capacity) {
+    // The paper's workaround: spread the trainer over 16 nodes with one
+    // GPU (and one data-store rank) per node for 4x the memory.
+    layout.gpus_per_node = 1;
+    if (note != nullptr) {
+      *note = "partition too large for 4 nodes; using 16 nodes x 1 GPU";
+    }
+    const double wide_capacity =
+        16.0 * rank_capacity_bytes(spec, layout, cal);
+    LTFB_CHECK_MSG(partition_bytes <= wide_capacity,
+                   "10M-sample partition does not fit even at 1 GPU/node");
+  }
+  return layout;
+}
+
+std::vector<Fig11Row> run_fig11(const sim::ClusterSpec& spec,
+                                const PerfWorkload& workload,
+                                const Calibration& cal) {
+  const auto config = paper_scale_config();
+  const CycleGanCost cost = analyze(config);
+  const double bytes = sample_bytes(config);
+  std::vector<Fig11Row> rows;
+  for (const int trainers : {1, 8, 16, 32, 64}) {
+    Fig11Row row;
+    row.trainers = trainers;
+    row.total_gpus = trainers * 16;
+    const TrainerLayout layout =
+        fig11_layout(spec, workload, trainers, cal, &row.note);
+    row.gpus_per_node = layout.gpus_per_node;
+
+    const std::size_t partition =
+        workload.samples / static_cast<std::size_t>(trainers);
+    const double steps = steps_per_epoch(workload, partition);
+    row.epoch_s = steps * step_time(cost, bytes, spec, layout,
+                                    workload.global_batch, cal,
+                                    /*dynamic_store=*/false);
+
+    const std::size_t files_per_trainer =
+        partition / workload.samples_per_file;
+    row.preload_s =
+        simulate_preload(spec.fs, trainers, /*ranks_per_trainer=*/16,
+                         files_per_trainer, workload.samples_per_file, bytes);
+    rows.push_back(std::move(row));
+  }
+  for (auto& row : rows) {
+    row.speedup = rows.front().epoch_s / row.epoch_s;
+    row.efficiency = row.speedup / static_cast<double>(row.trainers);
+  }
+  return rows;
+}
+
+}  // namespace ltfb::perf

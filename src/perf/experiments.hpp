@@ -1,0 +1,82 @@
+// Sweep drivers for the performance-plane figures (9, 10, 11).
+//
+// Each function reproduces one figure's experiment on the modelled Lassen
+// system and returns the rows the corresponding bench binary prints. All
+// knobs default to the paper's workload: mini-batch 128, 1M-sample subset
+// for the single-trainer studies, the full 10M-sample set for LTFB at
+// scale, 1,000 samples per bundle file.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "perf/ingestion_sim.hpp"
+#include "perf/step_model.hpp"
+
+namespace ltfb::perf {
+
+struct PerfWorkload {
+  std::size_t samples = 1'000'000;
+  std::size_t global_batch = 128;
+  std::size_t samples_per_file = 1'000;
+};
+
+// ---- Figure 9: data-parallel strong scaling (naive ingestion) -------------
+
+struct Fig9Row {
+  int gpus = 0;
+  int nodes = 0;
+  double epoch_s = 0.0;
+  double speedup = 1.0;
+  double efficiency = 1.0;
+};
+
+std::vector<Fig9Row> run_fig9(const sim::ClusterSpec& spec,
+                              const PerfWorkload& workload,
+                              const Calibration& cal = {});
+
+// ---- Figure 10: ingestion-mode comparison ----------------------------------
+
+struct Fig10Row {
+  int gpus = 0;
+  double naive_initial = 0.0;
+  double naive_steady = 0.0;
+  double dynamic_initial = 0.0;
+  double dynamic_steady = 0.0;
+  /// Empty when the preloaded store does not fit in the ranks' memory
+  /// (the paper's 1- and 2-GPU configurations).
+  std::optional<double> preload_initial;
+  std::optional<double> preload_steady;
+  std::string note;
+};
+
+std::vector<Fig10Row> run_fig10(const sim::ClusterSpec& spec,
+                                const PerfWorkload& workload,
+                                const Calibration& cal = {});
+
+// ---- Figure 11: LTFB at scale ------------------------------------------------
+
+struct Fig11Row {
+  int trainers = 0;
+  int total_gpus = 0;
+  int gpus_per_node = 0;  // 1 for the paper's single-trainer baseline
+  double epoch_s = 0.0;
+  double preload_s = 0.0;
+  double speedup = 1.0;
+  double efficiency = 1.0;
+  std::string note;
+};
+
+std::vector<Fig11Row> run_fig11(const sim::ClusterSpec& spec,
+                                const PerfWorkload& workload,
+                                const Calibration& cal = {});
+
+/// Chooses the trainer layout the paper used at each Fig. 11 scale point:
+/// 4 nodes x 4 GPUs normally; for the single-trainer baseline the
+/// 10M-sample store does not fit on 4 nodes, so 16 nodes x 1 GPU.
+TrainerLayout fig11_layout(const sim::ClusterSpec& spec,
+                           const PerfWorkload& workload, int trainers,
+                           const Calibration& cal, std::string* note);
+
+}  // namespace ltfb::perf

@@ -1,0 +1,104 @@
+#include "perf/ingestion_sim.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "simulator/event_queue.hpp"
+#include "util/error.hpp"
+
+namespace ltfb::perf {
+
+namespace {
+
+/// A reader performing `ops` open+read cycles, then reporting completion.
+struct ReaderActor : std::enable_shared_from_this<ReaderActor> {
+  sim::ParallelFileSystem* fs = nullptr;
+  std::size_t ops = 0;
+  double bytes_per_op = 0.0;
+  sim::EventQueue* queue = nullptr;
+  double* finish_time = nullptr;
+
+  void start() {
+    fs->client_arrived();
+    next();
+  }
+
+  void next() {
+    if (ops == 0) {
+      fs->client_departed();
+      *finish_time = std::max(*finish_time, queue->now());
+      return;
+    }
+    --ops;
+    auto self = shared_from_this();
+    fs->open([self] {
+      self->fs->read(self->bytes_per_op, [self] { self->next(); });
+    });
+  }
+};
+
+double run_readers(const sim::FileSystemConfig& fs_config,
+                   const std::vector<std::pair<std::size_t, double>>& work) {
+  sim::EventQueue queue;
+  sim::ParallelFileSystem fs(queue, fs_config);
+  double finish_time = 0.0;
+  std::vector<std::shared_ptr<ReaderActor>> actors;
+  actors.reserve(work.size());
+  for (const auto& [ops, bytes] : work) {
+    auto actor = std::make_shared<ReaderActor>();
+    actor->fs = &fs;
+    actor->ops = ops;
+    actor->bytes_per_op = bytes;
+    actor->queue = &queue;
+    actor->finish_time = &finish_time;
+    actors.push_back(actor);
+  }
+  queue.at(0.0, [&actors] {
+    for (auto& actor : actors) actor->start();
+  });
+  queue.run();
+  return finish_time;
+}
+
+}  // namespace
+
+double simulate_random_reads(const sim::FileSystemConfig& fs_config,
+                             int readers, std::size_t samples_total,
+                             double sample_bytes) {
+  LTFB_CHECK(readers > 0);
+  std::vector<std::pair<std::size_t, double>> work;
+  work.reserve(static_cast<std::size_t>(readers));
+  const std::size_t base = samples_total / static_cast<std::size_t>(readers);
+  const std::size_t rem = samples_total % static_cast<std::size_t>(readers);
+  for (int r = 0; r < readers; ++r) {
+    const std::size_t ops =
+        base + (static_cast<std::size_t>(r) < rem ? 1 : 0);
+    work.emplace_back(ops, sample_bytes);
+  }
+  return run_readers(fs_config, work);
+}
+
+double simulate_preload(const sim::FileSystemConfig& fs_config, int trainers,
+                        int ranks_per_trainer, std::size_t files_per_trainer,
+                        std::size_t samples_per_file, double sample_bytes) {
+  LTFB_CHECK(trainers > 0 && ranks_per_trainer > 0);
+  const double file_bytes =
+      static_cast<double>(samples_per_file) * sample_bytes;
+  std::vector<std::pair<std::size_t, double>> work;
+  work.reserve(static_cast<std::size_t>(trainers * ranks_per_trainer));
+  for (int t = 0; t < trainers; ++t) {
+    for (int r = 0; r < ranks_per_trainer; ++r) {
+      // Round-robin file assignment within the trainer.
+      const std::size_t rpt = static_cast<std::size_t>(ranks_per_trainer);
+      const std::size_t mine =
+          files_per_trainer / rpt +
+          (static_cast<std::size_t>(r) < files_per_trainer % rpt ? 1 : 0);
+      if (mine > 0) {
+        work.emplace_back(mine, file_bytes);
+      }
+    }
+  }
+  return run_readers(fs_config, work);
+}
+
+}  // namespace ltfb::perf

@@ -1,0 +1,35 @@
+// DES-based ingestion simulations on the modelled parallel file system.
+//
+// Two access patterns, matching Secs. III-B and IV-C:
+//   * random per-sample reads — the naive reader / first dynamic epoch:
+//     every sample costs a file open (metadata) plus a short read, issued
+//     by all of the trainer's ranks concurrently;
+//   * whole-file preload — each rank sequentially reads its round-robin
+//     share of the bundle files: few opens, long sequential reads.
+//
+// Multiple concurrent trainers share the file system: with enough clients,
+// metadata queueing and cross-client interference dominate — the Fig. 11
+// preload degradation at 64 trainers.
+#pragma once
+
+#include <cstddef>
+
+#include "simulator/filesystem.hpp"
+
+namespace ltfb::perf {
+
+/// Virtual seconds until every reader finishes its random per-sample
+/// reads. `samples_total` is divided evenly across `readers`.
+double simulate_random_reads(const sim::FileSystemConfig& fs_config,
+                             int readers, std::size_t samples_total,
+                             double sample_bytes);
+
+/// Virtual seconds until every rank of every trainer finishes preloading.
+/// Each trainer owns `files_per_trainer` bundle files of
+/// `samples_per_file` samples; a trainer's files are read round-robin by
+/// its `ranks_per_trainer` ranks.
+double simulate_preload(const sim::FileSystemConfig& fs_config, int trainers,
+                        int ranks_per_trainer, std::size_t files_per_trainer,
+                        std::size_t samples_per_file, double sample_bytes);
+
+}  // namespace ltfb::perf

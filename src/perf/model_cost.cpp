@@ -1,0 +1,78 @@
+#include "perf/model_cost.hpp"
+
+namespace ltfb::perf {
+
+double mlp_params(std::size_t input_width,
+                  const std::vector<std::size_t>& hidden,
+                  std::size_t output_width) {
+  double params = 0.0;
+  std::size_t in = input_width;
+  for (const std::size_t width : hidden) {
+    params += static_cast<double>(in) * static_cast<double>(width) +
+              static_cast<double>(width);  // kernel + bias
+    in = width;
+  }
+  params += static_cast<double>(in) * static_cast<double>(output_width) +
+            static_cast<double>(output_width);
+  return params;
+}
+
+CycleGanCost analyze(const gan::CycleGanConfig& c) {
+  CycleGanCost cost;
+  cost.encoder_params =
+      mlp_params(c.output_width(), c.encoder_hidden, c.latent_width);
+  cost.decoder_params =
+      mlp_params(c.latent_width, c.decoder_hidden, c.output_width());
+  cost.forward_params =
+      mlp_params(c.input_width, c.forward_hidden, c.latent_width);
+  cost.inverse_params =
+      mlp_params(c.latent_width, c.inverse_hidden, c.input_width);
+  cost.discriminator_params =
+      mlp_params(c.latent_width, c.discriminator_hidden, 1);
+  return cost;
+}
+
+double CycleGanCost::train_flops_per_sample() const noexcept {
+  // Dense-layer conventions: forward = 2P FLOPs per sample; backward
+  // (dW and dX gemms) = 4P; a full fwd+bwd = 6P.
+  const double e = encoder_params, d = decoder_params, f = forward_params,
+               g = inverse_params, cr = discriminator_params;
+  // Phase 1 — autoencoder: E and Dec, fwd+bwd.
+  const double phase1 = 6.0 * (e + d);
+  // Phase 2 — critic: E fwd, F fwd (latent construction), critic fwd+bwd
+  // on real and fake batches.
+  const double phase2 = 2.0 * e + 2.0 * f + 2.0 * 6.0 * cr;
+  // Phase 3 — generator: F fwd+bwd; Dec fwd+bwd (fidelity path); critic
+  // fwd+bwd (adversarial path, gradients discarded); G fwd+bwd (cycle).
+  const double phase3 = 6.0 * f + 6.0 * d + 6.0 * cr + 6.0 * g;
+  return phase1 + phase2 + phase3;
+}
+
+double CycleGanCost::eval_flops_per_sample() const noexcept {
+  // Forward passes only: F, Dec, G, E, Dec (recon), critic twice.
+  return 2.0 * (forward_params + 2.0 * decoder_params + inverse_params +
+                encoder_params + 2.0 * discriminator_params);
+}
+
+gan::CycleGanConfig paper_scale_config() {
+  gan::CycleGanConfig config;
+  config.input_width = 5;
+  config.scalar_width = 15;
+  config.image_width = 3 * 4 * 64 * 64;  // 3 views x 4 channels x 64x64
+  config.latent_width = 20;
+  config.encoder_hidden = {256, 128};
+  config.decoder_hidden = {128, 256};
+  config.forward_hidden = {256, 256};
+  config.inverse_hidden = {256};
+  config.discriminator_hidden = {256, 128};
+  config.learning_rate = 1e-3f;
+  return config;
+}
+
+double sample_bytes(const gan::CycleGanConfig& config) {
+  // id (8 bytes) + float payload, as stored by the bundle format.
+  return 8.0 + sizeof(float) * static_cast<double>(config.input_width +
+                                                   config.output_width());
+}
+
+}  // namespace ltfb::perf

@@ -1,0 +1,60 @@
+// Analytic cost model of the CycleGAN (parameters, FLOPs, bytes).
+//
+// The performance plane (Figs. 9-11) needs the *paper-scale* network: 64x64
+// images, 3 views x 4 channels (49,152 image features per sample, ~192 KiB
+// per sample — 10M samples is ~2 TB, matching the paper's "2TB database").
+// Training such a network on this repo's CPU substrate is out of reach, so
+// the timing experiments consume this analytic cost model instead, while
+// the quality experiments (Figs. 7, 8, 12, 13) really train the scaled-down
+// network. Both share gan::CycleGanConfig, so cost analysis and real
+// training can never diverge structurally.
+#pragma once
+
+#include "gan/cyclegan.hpp"
+
+namespace ltfb::perf {
+
+struct CycleGanCost {
+  double encoder_params = 0.0;
+  double decoder_params = 0.0;
+  double forward_params = 0.0;
+  double inverse_params = 0.0;
+  double discriminator_params = 0.0;
+
+  double generator_params() const noexcept {
+    return encoder_params + decoder_params + forward_params + inverse_params;
+  }
+  double total_params() const noexcept {
+    return generator_params() + discriminator_params;
+  }
+  double generator_bytes() const noexcept {
+    return generator_params() * sizeof(float);
+  }
+  double total_param_bytes() const noexcept {
+    return total_params() * sizeof(float);
+  }
+
+  /// FLOPs of one full LTFB-GAN training step, per sample: autoencoder
+  /// phase + discriminator phase + generator phase (Sec. gan/cyclegan.cpp).
+  double train_flops_per_sample() const noexcept;
+
+  /// FLOPs of evaluating the tournament metric per sample (forward passes
+  /// of F, Dec, G, E, D).
+  double eval_flops_per_sample() const noexcept;
+};
+
+/// Exact parameter count of an MLP with the given trunk (matches the
+/// layers built by gan::CycleGan: hidden FC+bias, linear head).
+double mlp_params(std::size_t input_width,
+                  const std::vector<std::size_t>& hidden,
+                  std::size_t output_width);
+
+CycleGanCost analyze(const gan::CycleGanConfig& config);
+
+/// The network at the paper's data scale: 64x64x4ch x 3 views images.
+gan::CycleGanConfig paper_scale_config();
+
+/// Bytes of one sample on disk / in the data store.
+double sample_bytes(const gan::CycleGanConfig& config);
+
+}  // namespace ltfb::perf

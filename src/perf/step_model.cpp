@@ -1,0 +1,117 @@
+#include "perf/step_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ltfb::perf {
+
+double gpu_sustained_flops(const sim::GpuSpec& gpu, double per_gpu_batch) {
+  LTFB_CHECK(per_gpu_batch > 0.0);
+  // Michaelis-Menten-shaped utilization: tiny per-GPU batches leave SMs
+  // idle; saturates toward the achievable fraction of peak.
+  const double utilization =
+      per_gpu_batch / (per_gpu_batch + gpu.half_speed_batch);
+  return gpu.peak_flops * gpu.achievable_fraction * utilization;
+}
+
+double compute_time(const CycleGanCost& cost, const sim::ClusterSpec& spec,
+                    const TrainerLayout& layout, std::size_t global_batch) {
+  LTFB_CHECK(layout.gpus > 0 && layout.gpus_per_node > 0);
+  const double per_gpu_batch =
+      static_cast<double>(global_batch) / static_cast<double>(layout.gpus);
+  const double flops =
+      cost.train_flops_per_sample() * per_gpu_batch;
+  return spec.gpu.kernel_overhead_s +
+         flops / gpu_sustained_flops(spec.gpu, per_gpu_batch);
+}
+
+double allreduce_time(const CycleGanCost& cost, const sim::ClusterSpec& spec,
+                      const TrainerLayout& layout, const Calibration& cal) {
+  if (layout.gpus <= 1) return 0.0;
+  const double bytes = cost.total_param_bytes();
+  const int nodes = layout.nodes();
+  const int local = std::min(layout.gpus, layout.gpus_per_node);
+
+  double time = 0.0;
+  if (local > 1) {
+    // Intra-node reduce-scatter + all-gather on NVLink.
+    const double frac =
+        2.0 * static_cast<double>(local - 1) / static_cast<double>(local);
+    time += frac * bytes / spec.node.nvlink_bandwidth;
+    time += 2.0 * static_cast<double>(local - 1) *
+            (spec.node.nvlink_latency_s + cal.intra_hop_overhead_s);
+  }
+  if (nodes > 1) {
+    // Inter-node ring on the reduced shards; the node's IB link is shared
+    // by its `local` concurrent per-GPU rings.
+    const double shard = bytes / static_cast<double>(local);
+    const double frac =
+        2.0 * static_cast<double>(nodes - 1) / static_cast<double>(nodes);
+    const double per_ring_bw =
+        spec.node.ib_bandwidth / static_cast<double>(local);
+    time += frac * shard / per_ring_bw;
+    time += 2.0 * static_cast<double>(nodes - 1) *
+            (spec.node.ib_latency_s + cal.inter_hop_overhead_s);
+  }
+  return time;
+}
+
+double shuffle_residual(double sample_bytes_each,
+                        const sim::ClusterSpec& spec,
+                        const TrainerLayout& layout, std::size_t global_batch,
+                        double compute_s, const Calibration& cal,
+                        bool dynamic_store) {
+  (void)spec;
+  const int nodes = layout.nodes();
+  if (nodes <= 1) return 0.0;  // intra-node exchange is effectively free
+  // Fraction of the mini-batch owned by ranks on a DIFFERENT node
+  // (ownership is uniform over nodes; intra-node moves don't cross IB).
+  const double cross_fraction =
+      static_cast<double>(nodes - 1) / static_cast<double>(nodes);
+  const double cross_bytes =
+      static_cast<double>(global_batch) * cross_fraction * sample_bytes_each;
+  const double per_node_bytes = cross_bytes / static_cast<double>(nodes);
+  double shuffle = per_node_bytes / cal.shuffle_bandwidth;
+  if (dynamic_store) {
+    shuffle /= cal.dynamic_store_efficiency;
+  }
+  return std::max(0.0, shuffle - cal.shuffle_overlap * compute_s);
+}
+
+double step_time(const CycleGanCost& cost, double sample_bytes_each,
+                 const sim::ClusterSpec& spec, const TrainerLayout& layout,
+                 std::size_t global_batch, const Calibration& cal,
+                 bool dynamic_store) {
+  const double comp = compute_time(cost, spec, layout, global_batch);
+  const double ar = allreduce_time(cost, spec, layout, cal);
+  // Backprop is ~2/3 of compute; a fraction of it hides the all-reduce.
+  const double hidden = cal.allreduce_overlap * (2.0 / 3.0) * comp;
+  const double ar_residual = std::max(0.0, ar - hidden);
+  const double shuffle = shuffle_residual(sample_bytes_each, spec, layout,
+                                          global_batch, comp, cal,
+                                          dynamic_store);
+  return comp + ar_residual + shuffle;
+}
+
+double step_time_compute_only(const CycleGanCost& cost,
+                              const sim::ClusterSpec& spec,
+                              const TrainerLayout& layout,
+                              std::size_t global_batch,
+                              const Calibration& cal) {
+  const double comp = compute_time(cost, spec, layout, global_batch);
+  const double ar = allreduce_time(cost, spec, layout, cal);
+  const double hidden = cal.allreduce_overlap * (2.0 / 3.0) * comp;
+  return comp + std::max(0.0, ar - hidden);
+}
+
+double rank_capacity_bytes(const sim::ClusterSpec& spec,
+                           const TrainerLayout& layout,
+                           const Calibration& cal) {
+  const double node_share = spec.node.memory_bytes /
+                            static_cast<double>(layout.gpus_per_node);
+  return std::max(0.0, node_share - cal.rank_reserve_bytes);
+}
+
+}  // namespace ltfb::perf

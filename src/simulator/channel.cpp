@@ -1,0 +1,159 @@
+#include "simulator/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ltfb::sim {
+
+FairShareChannel::FairShareChannel(EventQueue& queue, double capacity)
+    : queue_(queue), capacity_(capacity) {
+  LTFB_CHECK_MSG(capacity > 0.0, "channel capacity must be positive");
+  last_update_ = queue_.now();
+}
+
+void FairShareChannel::transfer(double bytes, double rate_cap,
+                                EventQueue::Handler on_done) {
+  LTFB_CHECK_MSG(bytes >= 0.0, "negative transfer size");
+  LTFB_CHECK_MSG(rate_cap > 0.0, "rate cap must be positive");
+  advance_to_now();
+  flows_.push_back(Flow{bytes, bytes, rate_cap, 0.0, std::move(on_done)});
+  reschedule();
+}
+
+void FairShareChannel::set_capacity(double capacity) {
+  LTFB_CHECK_MSG(capacity > 0.0, "channel capacity must be positive");
+  advance_to_now();
+  capacity_ = capacity;
+  if (!flows_.empty()) reschedule();
+}
+
+void FairShareChannel::advance_to_now() {
+  const SimTime now = queue_.now();
+  const double elapsed = now - last_update_;
+  if (elapsed > 0.0 && !flows_.empty()) {
+    busy_time_ += elapsed;
+    for (auto& flow : flows_) {
+      flow.remaining = std::max(0.0, flow.remaining - flow.rate * elapsed);
+    }
+  }
+  last_update_ = now;
+}
+
+void FairShareChannel::allocate() {
+  // Max-min fair water-filling: repeatedly give every unsaturated flow an
+  // equal share; flows whose cap binds are frozen and their slack
+  // redistributed.
+  double budget = capacity_;
+  std::vector<Flow*> open;
+  open.reserve(flows_.size());
+  for (auto& flow : flows_) {
+    flow.rate = 0.0;
+    open.push_back(&flow);
+  }
+  while (!open.empty() && budget > 1e-12) {
+    const double share = budget / static_cast<double>(open.size());
+    std::vector<Flow*> still_open;
+    double used = 0.0;
+    for (Flow* flow : open) {
+      const double give = std::min(share, flow->cap - flow->rate);
+      flow->rate += give;
+      used += give;
+      if (flow->cap - flow->rate > 1e-12) {
+        still_open.push_back(flow);
+      }
+    }
+    budget -= used;
+    if (still_open.size() == open.size()) break;  // nobody capped: done
+    open.swap(still_open);
+  }
+}
+
+void FairShareChannel::reschedule() {
+  advance_to_now();
+
+  // Collect drained flows first; their handlers run only after the list
+  // and the next completion event are consistent again, because a handler
+  // may immediately start new transfers on this channel.
+  std::vector<EventQueue::Handler> finished;
+  auto sweep_finished = [&] {
+    for (auto it = flows_.begin(); it != flows_.end();) {
+      if (it->remaining <= 1e-9) {
+        completed_bytes_ += it->total;
+        finished.push_back(std::move(it->on_done));
+        it = flows_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  sweep_finished();
+
+  while (!flows_.empty()) {
+    allocate();
+    // Next completion time under the current allocation.
+    double next_dt = std::numeric_limits<double>::infinity();
+    for (const auto& flow : flows_) {
+      if (flow.rate > 0.0) {
+        next_dt = std::min(next_dt, flow.remaining / flow.rate);
+      }
+    }
+    LTFB_CHECK_MSG(std::isfinite(next_dt),
+                   "channel deadlock: active flows but zero allocation");
+    const SimTime target = queue_.now() + next_dt;
+    if (target > queue_.now()) {
+      const std::uint64_t my_epoch = ++epoch_;
+      queue_.at(target, [this, my_epoch] {
+        if (my_epoch != epoch_) return;  // superseded by newer allocation
+        reschedule();
+      });
+      break;
+    }
+    // Floating point cannot represent a time advance this small: the
+    // residual bytes (rounding debris from advance_to_now) are physically
+    // meaningless — force-complete every flow at the minimum and resweep.
+    // This guarantees termination regardless of magnitudes.
+    for (auto& flow : flows_) {
+      if (flow.rate > 0.0 && flow.remaining / flow.rate <= next_dt) {
+        flow.remaining = 0.0;
+      }
+    }
+    sweep_finished();
+  }
+  if (flows_.empty()) {
+    ++epoch_;  // invalidate any pending completion event
+  }
+
+  for (auto& handler : finished) {
+    if (handler) handler();
+  }
+}
+
+LatencyStation::LatencyStation(EventQueue& queue, int servers,
+                               double service_time)
+    : queue_(queue), servers_(servers), service_time_(service_time) {
+  LTFB_CHECK(servers_ > 0 && service_time_ >= 0.0);
+}
+
+void LatencyStation::request(EventQueue::Handler on_done) {
+  waiting_.push_back(Pending{queue_.now(), std::move(on_done)});
+  dispatch();
+}
+
+void LatencyStation::dispatch() {
+  while (busy_ < servers_ && !waiting_.empty()) {
+    Pending pending = std::move(waiting_.front());
+    waiting_.pop_front();
+    max_wait_ = std::max(max_wait_, queue_.now() - pending.enqueued);
+    ++busy_;
+    queue_.after(service_time_,
+                 [this, done = std::move(pending.on_done)]() mutable {
+                   --busy_;
+                   ++served_;
+                   if (done) done();
+                   dispatch();
+                 });
+  }
+}
+
+}  // namespace ltfb::sim

@@ -1,0 +1,97 @@
+// Contended resources for the discrete-event simulator.
+//
+// FairShareChannel models a shared bandwidth resource (GPFS/Lustre
+// aggregate bandwidth, an InfiniBand link) with max-min fair sharing among
+// active flows, each optionally rate-capped (a client NIC). Completion
+// times are recomputed whenever the active set changes — the textbook
+// processor-sharing fluid model.
+//
+// LatencyStation models a fixed-latency service with limited concurrency
+// (metadata servers handling file opens): requests queue FIFO and each of
+// the k servers serves one request per service_time.
+#pragma once
+
+#include <deque>
+#include <limits>
+#include <list>
+
+#include "simulator/event_queue.hpp"
+
+namespace ltfb::sim {
+
+class FairShareChannel {
+ public:
+  /// `capacity` in bytes/second shared by all active flows.
+  FairShareChannel(EventQueue& queue, double capacity);
+
+  /// Starts a flow of `bytes`; `rate_cap` (bytes/s) bounds this flow's
+  /// share (pass infinity for uncapped). `on_done` fires at completion.
+  void transfer(double bytes, double rate_cap, EventQueue::Handler on_done);
+  void transfer(double bytes, EventQueue::Handler on_done) {
+    transfer(bytes, std::numeric_limits<double>::infinity(),
+             std::move(on_done));
+  }
+
+  /// Changes the shared capacity (e.g. interference-degraded aggregate
+  /// bandwidth); in-flight transfers are re-allocated from now on.
+  void set_capacity(double capacity);
+  double capacity() const noexcept { return capacity_; }
+
+  std::size_t active_flows() const noexcept { return flows_.size(); }
+  double total_bytes_completed() const noexcept { return completed_bytes_; }
+  double busy_time() const noexcept { return busy_time_; }
+
+ private:
+  struct Flow {
+    double total;
+    double remaining;
+    double cap;
+    double rate = 0.0;  // current max-min allocation
+    EventQueue::Handler on_done;
+  };
+
+  /// Advances remaining bytes to `now`, recomputes the max-min allocation
+  /// (water-filling respecting caps), completes finished flows, and
+  /// schedules the next completion.
+  void reschedule();
+  void advance_to_now();
+  void allocate();
+
+  EventQueue& queue_;
+  double capacity_;
+  std::list<Flow> flows_;
+  SimTime last_update_ = 0.0;
+  std::uint64_t epoch_ = 0;  // invalidates stale completion events
+  double completed_bytes_ = 0.0;
+  double busy_time_ = 0.0;
+};
+
+class LatencyStation {
+ public:
+  /// `servers` concurrent requests max, each taking `service_time` seconds.
+  LatencyStation(EventQueue& queue, int servers, double service_time);
+
+  void request(EventQueue::Handler on_done);
+
+  std::size_t queued() const noexcept { return waiting_.size(); }
+  std::uint64_t served() const noexcept { return served_; }
+  /// Longest time any request spent waiting before service began.
+  double max_wait() const noexcept { return max_wait_; }
+
+ private:
+  void dispatch();
+
+  EventQueue& queue_;
+  int servers_;
+  double service_time_;
+  int busy_ = 0;
+  struct Pending {
+    SimTime enqueued;
+    EventQueue::Handler on_done;
+  };
+  std::deque<Pending> waiting_;
+  std::uint64_t served_ = 0;
+  double max_wait_ = 0.0;
+};
+
+}  // namespace ltfb::sim

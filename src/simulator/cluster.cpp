@@ -1,0 +1,38 @@
+#include "simulator/cluster.hpp"
+
+namespace ltfb::sim {
+
+ClusterSpec lassen_spec() {
+  ClusterSpec spec;
+  spec.nodes = 795;
+
+  spec.node.gpus = 4;
+  spec.node.memory_bytes = 256.0 * (1ull << 30);
+  spec.node.nvlink_bandwidth = 75e9;
+  // Effective per-node all-reduce payload bandwidth over the dual-rail IB
+  // EDR fabric (protocol + host staging overheads included) — calibrated.
+  spec.node.ib_bandwidth = 9.3e9;
+  spec.node.ib_latency_s = 1.5e-6;
+  spec.node.nvlink_latency_s = 0.7e-6;
+
+  spec.gpu.peak_flops = 15.7e12;
+  // Fully-connected stacks at mini-batch <= 128 run a few percent of peak
+  // on a V100 (skinny GEMMs, framework overhead) — calibrated against the
+  // paper's single-trainer epoch structure; see EXPERIMENTS.md.
+  spec.gpu.achievable_fraction = 0.033;
+  spec.gpu.half_speed_batch = 6.0;
+  spec.gpu.kernel_overhead_s = 9.5e-3;
+  spec.gpu.memory_bytes = 16.0 * (1ull << 30);
+
+  // GPFS at LC CZ scale: strong aggregate bandwidth, limited metadata
+  // concurrency, interference beyond ~512 concurrent heavy readers.
+  spec.fs.open_latency_s = 4.0e-3;
+  spec.fs.metadata_servers = 16;
+  spec.fs.aggregate_bandwidth = 250e9;
+  spec.fs.per_client_bandwidth = 2e9;
+  spec.fs.interference = 0.35;
+  spec.fs.interference_knee = 512;
+  return spec;
+}
+
+}  // namespace ltfb::sim

@@ -1,0 +1,54 @@
+// Modelled cluster hardware (the Lassen substitute, Sec. IV-A).
+//
+// Lassen is CORAL-class: 795 nodes, each with two POWER9 CPUs and four
+// NVIDIA Volta V100 GPUs (16 GB each, NVLINK2-connected), 256 GB host
+// memory per node, dual-rail InfiniBand EDR between nodes, and a GPFS
+// parallel file system. These specifications parameterize the analytic
+// performance models in src/perf and the DES-based ingestion simulations.
+//
+// The `achievable_fraction` and `kernel_overhead` knobs are calibration
+// constants: fully-connected CycleGAN layers at mini-batch <= 128 run far
+// below peak on a V100, and per-step fixed costs (kernel launches, host
+// logic) bound strong scaling. They are tuned so the single-trainer
+// baseline reproduces the Fig. 9 shape; see EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+
+#include "simulator/filesystem.hpp"
+
+namespace ltfb::sim {
+
+struct GpuSpec {
+  double peak_flops = 15.7e12;       // V100 single-precision peak
+  double achievable_fraction = 0.22; // sustained fraction at large batch
+  /// Per-GPU mini-batch at which sustained throughput reaches half of its
+  /// asymptote (small per-GPU batches underutilize the SMs).
+  double half_speed_batch = 6.0;
+  double kernel_overhead_s = 9.5e-3;  // fixed per training step per GPU
+  double memory_bytes = 16.0 * (1ull << 30);
+};
+
+struct NodeSpec {
+  int gpus = 4;
+  double memory_bytes = 256.0 * (1ull << 30);
+  /// NVLINK2: three links per GPU pair grouping; effective per-GPU
+  /// bidirectional payload bandwidth used by intra-node reductions.
+  double nvlink_bandwidth = 75e9;  // bytes/s
+  /// Dual-rail InfiniBand EDR: ~2 x 12.5 GB/s per node.
+  double ib_bandwidth = 23e9;  // bytes/s
+  double ib_latency_s = 1.5e-6;
+  double nvlink_latency_s = 0.7e-6;
+};
+
+struct ClusterSpec {
+  int nodes = 795;
+  NodeSpec node;
+  GpuSpec gpu;
+  FileSystemConfig fs;
+};
+
+/// The modelled Lassen system used by every performance experiment.
+ClusterSpec lassen_spec();
+
+}  // namespace ltfb::sim

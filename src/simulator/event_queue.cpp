@@ -1,0 +1,33 @@
+#include "simulator/event_queue.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace ltfb::sim {
+
+void EventQueue::at(SimTime t, Handler handler) {
+  LTFB_CHECK_MSG(std::isfinite(t), "event time must be finite");
+  LTFB_CHECK_MSG(t >= now_ - 1e-12,
+                 "cannot schedule in the past: " << t << " < " << now_);
+  events_.push(Event{std::max(t, now_), next_seq_++, std::move(handler)});
+}
+
+bool EventQueue::step() {
+  if (events_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast is UB-adjacent,
+  // so copy the handler (handlers are small lambdas).
+  Event event = events_.top();
+  events_.pop();
+  now_ = event.time;
+  ++processed_;
+  event.handler();
+  return true;
+}
+
+SimTime EventQueue::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+}  // namespace ltfb::sim

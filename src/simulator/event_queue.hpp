@@ -1,0 +1,66 @@
+// Discrete-event simulation engine.
+//
+// Virtual time is a double in seconds. Events fire in (time, insertion)
+// order, so simultaneous events are deterministic. Handlers may schedule
+// further events; run() drains the queue.
+//
+// This engine underpins the performance-plane reproduction: the parallel
+// file system, network channels and ingestion pipelines of Figs. 9-11 are
+// simulated on virtual time, which is what lets a single-core host stand in
+// for a 1024-GPU CORAL machine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ltfb::sim {
+
+using SimTime = double;
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules a handler at absolute virtual time `t >= now()`.
+  void at(SimTime t, Handler handler);
+
+  /// Schedules a handler `dt >= 0` seconds from now.
+  void after(SimTime dt, Handler handler) { at(now_ + dt, std::move(handler)); }
+
+  bool empty() const noexcept { return events_.empty(); }
+  std::size_t pending() const noexcept { return events_.size(); }
+
+  /// Fires the earliest event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs until no events remain. Returns the final virtual time.
+  SimTime run();
+
+  std::uint64_t events_processed() const noexcept { return processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace ltfb::sim

@@ -1,0 +1,47 @@
+#include "simulator/filesystem.hpp"
+
+#include <algorithm>
+
+namespace ltfb::sim {
+
+ParallelFileSystem::ParallelFileSystem(EventQueue& queue,
+                                       FileSystemConfig config)
+    : queue_(queue),
+      config_(config),
+      metadata_(queue, config.metadata_servers, config.open_latency_s),
+      data_(queue, config.aggregate_bandwidth) {
+  LTFB_CHECK(config_.aggregate_bandwidth > 0.0 &&
+             config_.per_client_bandwidth > 0.0);
+  LTFB_CHECK(config_.interference >= 0.0 && config_.interference_knee > 0);
+}
+
+double ParallelFileSystem::effective_aggregate() const noexcept {
+  const double knee = static_cast<double>(config_.interference_knee);
+  const double excess =
+      std::max(0.0, static_cast<double>(clients_) - knee) / knee;
+  return config_.aggregate_bandwidth /
+         (1.0 + config_.interference * excess);
+}
+
+void ParallelFileSystem::client_arrived() {
+  ++clients_;
+  data_.set_capacity(effective_aggregate());
+}
+
+void ParallelFileSystem::client_departed() {
+  LTFB_CHECK_MSG(clients_ > 0, "client_departed without client_arrived");
+  --clients_;
+  data_.set_capacity(effective_aggregate());
+}
+
+void ParallelFileSystem::open(EventQueue::Handler on_done) {
+  ++stats_.opens;
+  metadata_.request(std::move(on_done));
+}
+
+void ParallelFileSystem::read(double bytes, EventQueue::Handler on_done) {
+  stats_.bytes_read += bytes;
+  data_.transfer(bytes, config_.per_client_bandwidth, std::move(on_done));
+}
+
+}  // namespace ltfb::sim

@@ -1,0 +1,67 @@
+// Parallel file system model (Lustre/GPFS substitute).
+//
+// Two cost sources, matching the paper's Sec. IV-C diagnosis:
+//   * metadata — every file open passes through a LatencyStation with a
+//     limited number of metadata servers; thousands of concurrent opens
+//     (the naive random-sample access pattern) queue up there;
+//   * data — reads share the filesystem's aggregate bandwidth through a
+//     FairShareChannel, with each client capped at its node's link rate.
+//     Beyond a client-count threshold, cross-client interference degrades
+//     the deliverable aggregate bandwidth (the GPFS inter-trainer
+//     interference the paper observed at 64 trainers).
+#pragma once
+
+#include <memory>
+
+#include "simulator/channel.hpp"
+
+namespace ltfb::sim {
+
+struct FileSystemConfig {
+  double open_latency_s = 4e-3;        // metadata service time per open
+  int metadata_servers = 16;           // concurrent opens served
+  double aggregate_bandwidth = 120e9;  // bytes/s deliverable at best
+  double per_client_bandwidth = 6e9;   // bytes/s cap per client (node link)
+  /// Interference model: with c concurrent clients the deliverable
+  /// aggregate is aggregate / (1 + interference * max(0, c - knee) / knee).
+  double interference = 0.35;
+  int interference_knee = 512;
+};
+
+struct FileSystemStats {
+  std::uint64_t opens = 0;
+  double bytes_read = 0.0;
+};
+
+class ParallelFileSystem {
+ public:
+  ParallelFileSystem(EventQueue& queue, FileSystemConfig config);
+
+  const FileSystemConfig& config() const noexcept { return config_; }
+  const FileSystemStats& stats() const noexcept { return stats_; }
+
+  /// Registers/deregisters a client (a reading rank). The client count
+  /// sets the interference-degraded aggregate bandwidth for NEW transfers.
+  void client_arrived();
+  void client_departed();
+  int clients() const noexcept { return clients_; }
+
+  /// One file open (metadata round-trip).
+  void open(EventQueue::Handler on_done);
+
+  /// A read of `bytes` by one client.
+  void read(double bytes, EventQueue::Handler on_done);
+
+  /// Deliverable aggregate bandwidth at the current client count.
+  double effective_aggregate() const noexcept;
+
+ private:
+  EventQueue& queue_;
+  FileSystemConfig config_;
+  LatencyStation metadata_;
+  FairShareChannel data_;
+  FileSystemStats stats_;
+  int clients_ = 0;
+};
+
+}  // namespace ltfb::sim

@@ -1,0 +1,141 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace ltfb::tensor {
+
+namespace {
+
+struct Dims {
+  std::size_t m, n, k;
+};
+
+Dims check_dims(Op op_a, Op op_b, const Tensor& a, const Tensor& b,
+                const Tensor& c) {
+  LTFB_CHECK_MSG(a.rank() == 2 && b.rank() == 2 && c.rank() == 2,
+                 "gemm requires rank-2 tensors");
+  const std::size_t m = (op_a == Op::None) ? a.rows() : a.cols();
+  const std::size_t ka = (op_a == Op::None) ? a.cols() : a.rows();
+  const std::size_t kb = (op_b == Op::None) ? b.rows() : b.cols();
+  const std::size_t n = (op_b == Op::None) ? b.cols() : b.rows();
+  LTFB_CHECK_MSG(ka == kb, "gemm inner dimension mismatch: "
+                               << ka << " vs " << kb);
+  LTFB_CHECK_MSG(c.rows() == m && c.cols() == n,
+                 "gemm output shape mismatch: got "
+                     << shape_to_string(c.shape()) << ", want [" << m << ", "
+                     << n << "]");
+  return {m, n, ka};
+}
+
+// Packs op(A)'s (i0..i0+mb) x (k0..k0+kb) block row-major into `buf`.
+void pack_a(Op op, const Tensor& a, std::size_t i0, std::size_t mb,
+            std::size_t k0, std::size_t kb, float* buf) {
+  if (op == Op::None) {
+    const std::size_t lda = a.cols();
+    for (std::size_t i = 0; i < mb; ++i) {
+      const float* src = a.raw() + (i0 + i) * lda + k0;
+      std::copy_n(src, kb, buf + i * kb);
+    }
+  } else {
+    const std::size_t lda = a.cols();
+    for (std::size_t i = 0; i < mb; ++i) {
+      for (std::size_t k = 0; k < kb; ++k) {
+        buf[i * kb + k] = a.raw()[(k0 + k) * lda + (i0 + i)];
+      }
+    }
+  }
+}
+
+// Packs op(B)'s (k0..k0+kb) x (j0..j0+nb) block row-major into `buf`.
+void pack_b(Op op, const Tensor& b, std::size_t k0, std::size_t kb,
+            std::size_t j0, std::size_t nb, float* buf) {
+  if (op == Op::None) {
+    const std::size_t ldb = b.cols();
+    for (std::size_t k = 0; k < kb; ++k) {
+      const float* src = b.raw() + (k0 + k) * ldb + j0;
+      std::copy_n(src, nb, buf + k * nb);
+    }
+  } else {
+    const std::size_t ldb = b.cols();
+    for (std::size_t k = 0; k < kb; ++k) {
+      for (std::size_t j = 0; j < nb; ++j) {
+        buf[k * nb + j] = b.raw()[(j0 + j) * ldb + (k0 + k)];
+      }
+    }
+  }
+}
+
+constexpr std::size_t kBlockM = 64;
+constexpr std::size_t kBlockN = 128;
+constexpr std::size_t kBlockK = 128;
+
+}  // namespace
+
+void gemm(Op op_a, Op op_b, float alpha, const Tensor& a, const Tensor& b,
+          float beta, Tensor& c) {
+  const auto [m, n, k] = check_dims(op_a, op_b, a, b, c);
+
+  // Scale C by beta once up front.
+  float* cp = c.raw();
+  if (beta == 0.0f) {
+    std::fill_n(cp, m * n, 0.0f);
+  } else if (beta != 1.0f) {
+    for (std::size_t i = 0; i < m * n; ++i) cp[i] *= beta;
+  }
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+
+  std::array<float, kBlockM * kBlockK> abuf;
+  std::array<float, kBlockK * kBlockN> bbuf;
+
+  for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+    const std::size_t kb = std::min(kBlockK, k - k0);
+    for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
+      const std::size_t nb = std::min(kBlockN, n - j0);
+      pack_b(op_b, b, k0, kb, j0, nb, bbuf.data());
+      for (std::size_t i0 = 0; i0 < m; i0 += kBlockM) {
+        const std::size_t mb = std::min(kBlockM, m - i0);
+        pack_a(op_a, a, i0, mb, k0, kb, abuf.data());
+        // Micro-kernel: row-of-A times packed B, accumulating into C.
+        for (std::size_t i = 0; i < mb; ++i) {
+          float* crow = cp + (i0 + i) * n + j0;
+          const float* arow = abuf.data() + i * kb;
+          for (std::size_t kk = 0; kk < kb; ++kk) {
+            const float av = alpha * arow[kk];
+            const float* brow = bbuf.data() + kk * nb;
+            for (std::size_t j = 0; j < nb; ++j) {
+              crow[j] += av * brow[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
+  gemm(Op::None, Op::None, 1.0f, a, b, 0.0f, c);
+}
+
+void gemm_reference(Op op_a, Op op_b, float alpha, const Tensor& a,
+                    const Tensor& b, float beta, Tensor& c) {
+  const auto [m, n, k] = check_dims(op_a, op_b, a, b, c);
+  auto get_a = [&](std::size_t i, std::size_t kk) {
+    return op_a == Op::None ? a.at(i, kk) : a.at(kk, i);
+  };
+  auto get_b = [&](std::size_t kk, std::size_t j) {
+    return op_b == Op::None ? b.at(kk, j) : b.at(j, kk);
+  };
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(get_a(i, kk)) *
+               static_cast<double>(get_b(kk, j));
+      }
+      c.at(i, j) = alpha * static_cast<float>(acc) + beta * c.at(i, j);
+    }
+  }
+}
+
+}  // namespace ltfb::tensor

@@ -1,0 +1,35 @@
+// Single-precision general matrix multiply.
+//
+// C = alpha * op(A) * op(B) + beta * C, with op in {identity, transpose}.
+// The kernel is cache-blocked with an inner micro-kernel the compiler can
+// vectorise; it is the workhorse behind every fully-connected layer in
+// src/nn. Correctness is checked against a naive reference in the tests
+// and throughput is tracked in bench/micro_kernels.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace ltfb::tensor {
+
+enum class Op { None, Transpose };
+
+/// General matrix multiply on rank-2 tensors.
+/// Shapes: op(A) is m x k, op(B) is k x n, C is m x n.
+void gemm(Op op_a, Op op_b, float alpha, const Tensor& a, const Tensor& b,
+          float beta, Tensor& c);
+
+/// Convenience: C = A * B (both untransposed), overwriting C.
+void matmul(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// Naive triple-loop reference used by the test suite to validate the
+/// blocked kernel.
+void gemm_reference(Op op_a, Op op_b, float alpha, const Tensor& a,
+                    const Tensor& b, float beta, Tensor& c);
+
+/// FLOP count of a gemm with the given logical dimensions (2*m*n*k).
+constexpr double gemm_flops(std::size_t m, std::size_t n, std::size_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+}  // namespace ltfb::tensor

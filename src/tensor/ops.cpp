@@ -1,0 +1,95 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ltfb::tensor {
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  LTFB_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+void scale(float alpha, std::span<float> x) {
+  for (auto& v : x) v *= alpha;
+}
+
+void add(const Tensor& a, const Tensor& b, Tensor& out) {
+  LTFB_CHECK(a.same_shape(b));
+  if (!out.same_shape(a)) out.resize(a.shape());
+  const auto* ap = a.raw();
+  const auto* bp = b.raw();
+  auto* op = out.raw();
+  for (std::size_t i = 0; i < a.size(); ++i) op[i] = ap[i] + bp[i];
+}
+
+void sub(const Tensor& a, const Tensor& b, Tensor& out) {
+  LTFB_CHECK(a.same_shape(b));
+  if (!out.same_shape(a)) out.resize(a.shape());
+  const auto* ap = a.raw();
+  const auto* bp = b.raw();
+  auto* op = out.raw();
+  for (std::size_t i = 0; i < a.size(); ++i) op[i] = ap[i] - bp[i];
+}
+
+void hadamard(const Tensor& a, const Tensor& b, Tensor& out) {
+  LTFB_CHECK(a.same_shape(b));
+  if (!out.same_shape(a)) out.resize(a.shape());
+  const auto* ap = a.raw();
+  const auto* bp = b.raw();
+  auto* op = out.raw();
+  for (std::size_t i = 0; i < a.size(); ++i) op[i] = ap[i] * bp[i];
+}
+
+void add_row_bias(std::span<const float> bias, Tensor& matrix) {
+  LTFB_CHECK(matrix.rank() == 2 && bias.size() == matrix.cols());
+  const std::size_t cols = matrix.cols();
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    float* row = matrix.raw() + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) row[c] += bias[c];
+  }
+}
+
+void column_sums(const Tensor& matrix, std::span<float> out) {
+  LTFB_CHECK(matrix.rank() == 2 && out.size() == matrix.cols());
+  std::fill(out.begin(), out.end(), 0.0f);
+  const std::size_t cols = matrix.cols();
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    const float* row = matrix.raw() + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) out[c] += row[c];
+  }
+}
+
+double sum(std::span<const float> x) {
+  double acc = 0.0;
+  for (const float v : x) acc += v;
+  return acc;
+}
+
+double squared_norm(std::span<const float> x) {
+  double acc = 0.0;
+  for (const float v : x) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+float max_abs(std::span<const float> x) {
+  float m = 0.0f;
+  for (const float v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void clamp(std::span<float> x, float lo, float hi) {
+  LTFB_CHECK(lo <= hi);
+  for (auto& v : x) v = std::clamp(v, lo, hi);
+}
+
+bool all_finite(std::span<const float> x) {
+  for (const float v : x) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace ltfb::tensor

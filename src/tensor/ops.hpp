@@ -1,0 +1,51 @@
+// Elementwise and reduction kernels on tensors / spans.
+//
+// All binary ops require matching sizes (checked). Span overloads exist so
+// optimizers and communication code can operate on raw weight buffers
+// without constructing tensors.
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace ltfb::tensor {
+
+/// y += alpha * x
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// x *= alpha
+void scale(float alpha, std::span<float> x);
+
+/// out = a + b
+void add(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out = a - b
+void sub(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out = a ⊙ b (Hadamard)
+void hadamard(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// Adds a length-`cols` bias vector to every row of a rank-2 tensor.
+void add_row_bias(std::span<const float> bias, Tensor& matrix);
+
+/// Sums each column of a rank-2 tensor into `out` (length cols).
+void column_sums(const Tensor& matrix, std::span<float> out);
+
+/// Σ x_i
+double sum(std::span<const float> x);
+
+/// Σ x_i² — used for gradient norms and weight decay.
+double squared_norm(std::span<const float> x);
+
+/// max |x_i|; 0 for empty input.
+float max_abs(std::span<const float> x);
+
+/// Per-element clamp into [lo, hi].
+void clamp(std::span<float> x, float lo, float hi);
+
+/// True if all elements are finite (no NaN/Inf) — used by training-health
+/// checks and property tests.
+bool all_finite(std::span<const float> x);
+
+}  // namespace ltfb::tensor

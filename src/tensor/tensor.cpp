@@ -1,0 +1,51 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ltfb::tensor {
+
+std::size_t shape_volume(const Shape& shape) {
+  std::size_t volume = 1;
+  for (const auto extent : shape) {
+    volume *= extent;
+  }
+  return shape.empty() ? 0 : volume;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream oss;
+  oss << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    oss << (i ? ", " : "") << shape[i];
+  }
+  oss << ']';
+  return oss.str();
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  LTFB_CHECK_MSG(data_.size() == shape_volume(shape_),
+                 "value count " << data_.size() << " does not match shape "
+                                << shape_to_string(shape_));
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+void Tensor::reshape(Shape shape) {
+  LTFB_CHECK_MSG(shape_volume(shape) == data_.size(),
+                 "reshape volume mismatch: " << shape_to_string(shape)
+                                             << " vs size " << data_.size());
+  shape_ = std::move(shape);
+}
+
+void Tensor::resize(Shape shape) {
+  shape_ = std::move(shape);
+  data_.assign(shape_volume(shape_), 0.0f);
+}
+
+}  // namespace ltfb::tensor

@@ -1,0 +1,120 @@
+// Dense row-major float32 tensor.
+//
+// This is the Hydrogen (distributed dense linear algebra) substitute. The
+// paper trains in single precision, so the element type is float. The class
+// is deliberately small: owning storage, shape, and views — all numerical
+// kernels are free functions in gemm.hpp / ops.hpp so they can be tested and
+// benchmarked in isolation.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ltfb::tensor {
+
+using Shape = std::vector<std::size_t>;
+
+/// Total element count of a shape (1 for rank-0).
+std::size_t shape_volume(const Shape& shape);
+
+/// "[2, 3, 4]" formatting for diagnostics.
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  /// Empty rank-0 tensor with a single zero element is NOT created; a
+  /// default tensor has no elements and empty shape.
+  Tensor() = default;
+
+  /// Zero-initialised tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)), data_(shape_volume(shape_), 0.0f) {}
+
+  /// Convenience 2-D constructor (rows x cols).
+  Tensor(std::size_t rows, std::size_t cols) : Tensor(Shape{rows, cols}) {}
+
+  /// Tensor with explicit contents; `values` must match the shape volume.
+  Tensor(Shape shape, std::vector<float> values);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value);
+
+  const Shape& shape() const noexcept { return shape_; }
+  std::size_t rank() const noexcept { return shape_.size(); }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  /// Extent along dimension `dim`.
+  std::size_t extent(std::size_t dim) const {
+    LTFB_ASSERT(dim < shape_.size());
+    return shape_[dim];
+  }
+
+  /// 2-D accessors; valid only for rank-2 tensors.
+  std::size_t rows() const {
+    LTFB_ASSERT(rank() == 2);
+    return shape_[0];
+  }
+  std::size_t cols() const {
+    LTFB_ASSERT(rank() == 2);
+    return shape_[1];
+  }
+  float& at(std::size_t r, std::size_t c) {
+    LTFB_ASSERT(rank() == 2 && r < shape_[0] && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    LTFB_ASSERT(rank() == 2 && r < shape_[0] && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+  }
+
+  /// Flat element access.
+  float& operator[](std::size_t i) {
+    LTFB_ASSERT(i < data_.size());
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    LTFB_ASSERT(i < data_.size());
+    return data_[i];
+  }
+
+  std::span<float> data() noexcept { return data_; }
+  std::span<const float> data() const noexcept { return data_; }
+  float* raw() noexcept { return data_.data(); }
+  const float* raw() const noexcept { return data_.data(); }
+
+  /// Row view for rank-2 tensors.
+  std::span<float> row(std::size_t r) {
+    LTFB_ASSERT(rank() == 2 && r < shape_[0]);
+    return std::span<float>(data_).subspan(r * shape_[1], shape_[1]);
+  }
+  std::span<const float> row(std::size_t r) const {
+    LTFB_ASSERT(rank() == 2 && r < shape_[0]);
+    return std::span<const float>(data_).subspan(r * shape_[1], shape_[1]);
+  }
+
+  /// Reinterprets the tensor with a new shape of identical volume.
+  void reshape(Shape shape);
+
+  /// Resizes to a new shape, discarding contents (zero-filled).
+  void resize(Shape shape);
+
+  void fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+  void zero() { fill(0.0f); }
+
+  bool same_shape(const Tensor& other) const {
+    return shape_ == other.shape_;
+  }
+
+ private:
+  Shape shape_{};
+  std::vector<float> data_{};
+};
+
+}  // namespace ltfb::tensor

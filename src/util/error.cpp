@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+namespace ltfb::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream oss;
+  oss << "check failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) {
+    oss << " — " << msg;
+  }
+  throw InvalidArgument(oss.str());
+}
+
+}  // namespace ltfb::detail

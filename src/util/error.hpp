@@ -1,0 +1,72 @@
+// Error handling primitives used across all ltfb libraries.
+//
+// Following the C++ Core Guidelines (E.2, E.3) we throw exceptions for
+// violated preconditions and unrecoverable runtime errors instead of
+// returning error codes; hot paths use LTFB_ASSERT which compiles away in
+// release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ltfb {
+
+/// Base class for all exceptions thrown by ltfb libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument or configuration value is invalid.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a modelled resource (e.g. data-store memory) is exhausted.
+/// This is how the repo reproduces the paper's "did not fit in memory"
+/// observations (Fig. 10 preload at 1-2 GPUs, Fig. 11 single-trainer case).
+class CapacityError : public Error {
+ public:
+  explicit CapacityError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on malformed bundle files or schema mismatches.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace ltfb
+
+/// Always-on precondition check; throws ltfb::InvalidArgument on failure.
+#define LTFB_CHECK(expr)                                                     \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::ltfb::detail::throw_check_failure(#expr, __FILE__, __LINE__, "");    \
+    }                                                                        \
+  } while (false)
+
+/// Always-on precondition check with a formatted message (streamed).
+#define LTFB_CHECK_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream oss_;                                               \
+      oss_ << msg;                                                           \
+      ::ltfb::detail::throw_check_failure(#expr, __FILE__, __LINE__,         \
+                                          oss_.str());                       \
+    }                                                                        \
+  } while (false)
+
+/// Debug-only assertion for hot paths.
+#ifndef NDEBUG
+#define LTFB_ASSERT(expr) LTFB_CHECK(expr)
+#else
+#define LTFB_ASSERT(expr) ((void)0)
+#endif

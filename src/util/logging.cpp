@@ -1,0 +1,31 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+namespace ltfb::util {
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view component,
+                   const std::string& message) {
+  const std::scoped_lock lock(mutex_);
+  std::cerr << '[' << to_string(level) << "] [" << component << "] "
+            << message << '\n';
+}
+
+}  // namespace ltfb::util

@@ -1,0 +1,54 @@
+// Minimal leveled logger.
+//
+// The default level is Warn so tests and benches stay quiet; examples turn
+// on Info. The logger is process-global and thread-safe (a single mutex —
+// logging is not on any hot path in this codebase).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace ltfb::util {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+const char* to_string(LogLevel level) noexcept;
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+  bool enabled(LogLevel level) const noexcept { return level >= level_; }
+
+  void write(LogLevel level, std::string_view component,
+             const std::string& message);
+
+ private:
+  Logger() = default;
+  std::mutex mutex_;
+  LogLevel level_ = LogLevel::Warn;
+};
+
+}  // namespace ltfb::util
+
+#define LTFB_LOG(level, component, msg)                                   \
+  do {                                                                    \
+    auto& logger_ = ::ltfb::util::Logger::instance();                     \
+    if (logger_.enabled(level)) {                                         \
+      std::ostringstream oss_;                                            \
+      oss_ << msg;                                                        \
+      logger_.write(level, component, oss_.str());                        \
+    }                                                                     \
+  } while (false)
+
+#define LTFB_LOG_INFO(component, msg) \
+  LTFB_LOG(::ltfb::util::LogLevel::Info, component, msg)
+#define LTFB_LOG_DEBUG(component, msg) \
+  LTFB_LOG(::ltfb::util::LogLevel::Debug, component, msg)
+#define LTFB_LOG_WARN(component, msg) \
+  LTFB_LOG(::ltfb::util::LogLevel::Warn, component, msg)
+#define LTFB_LOG_ERROR(component, msg) \
+  LTFB_LOG(::ltfb::util::LogLevel::Error, component, msg)

@@ -1,0 +1,91 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace ltfb::util {
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+  std::uint64_t s = base ^ (0xa0761d6478bd642full + stream);
+  (void)splitmix64(s);
+  return splitmix64(s);
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t a,
+                          std::uint64_t b) {
+  return derive_seed(derive_seed(base, a), b);
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::string_view label) {
+  // FNV-1a over the label, then mix with the base.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : label) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ull;
+  }
+  return derive_seed(base, h);
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::string_view label,
+                          std::uint64_t stream) {
+  return derive_seed(derive_seed(base, label), stream);
+}
+
+void Xoshiro256::long_jump() noexcept {
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x76e15d3efefdcbbfull, 0xc5004e441c522fb3ull, 0x77710069854ee241ull,
+      0x39109bb02acbe635ull};
+  std::array<std::uint64_t, 4> acc{};
+  for (const std::uint64_t jump : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (jump & (1ull << bit)) {
+        for (std::size_t w = 0; w < 4; ++w) acc[w] ^= state_[w];
+      }
+      (void)(*this)();
+    }
+  }
+  state_ = acc;
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  // Lemire's nearly-divisionless method.
+  if (n == 0) return 0;
+  std::uint64_t x = engine_();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = engine_();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_index(span));
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 is kept away from 0 so log() is finite.
+  double u1 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+Rng Rng::child(std::uint64_t stream) noexcept {
+  return Rng(derive_seed(engine_(), stream));
+}
+
+}  // namespace ltfb::util

@@ -1,0 +1,55 @@
+// Streaming and batch statistics used by experiment harnesses and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ltfb::util {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm) with
+/// min/max tracking. O(1) memory; suitable for long training runs.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Population variance (divide by n).
+  double variance() const noexcept;
+  /// Sample variance (divide by n-1); 0 for fewer than two samples.
+  double sample_variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Pearson correlation coefficient. Returns 0 when either input is constant.
+double pearson(std::span<const float> a, std::span<const float> b);
+double pearson(std::span<const double> a, std::span<const double> b);
+
+/// Mean absolute error between two equally sized sequences.
+double mean_absolute_error(std::span<const float> a, std::span<const float> b);
+
+/// Root mean squared error.
+double rmse(std::span<const float> a, std::span<const float> b);
+
+/// Peak signal-to-noise ratio (dB) given a known dynamic range.
+/// Returns +inf-like large value (99.0) for identical inputs.
+double psnr(std::span<const float> truth, std::span<const float> pred,
+            double peak);
+
+/// Linear-interpolated percentile of a copy of the data; p in [0, 100].
+double percentile(std::vector<double> data, double p);
+
+}  // namespace ltfb::util

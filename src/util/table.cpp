@@ -1,0 +1,108 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "util/error.hpp"
+
+namespace ltfb::util {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+std::string format_seconds(double seconds) {
+  std::ostringstream oss;
+  oss << std::fixed;
+  if (seconds < 1e-3) {
+    oss << std::setprecision(1) << seconds * 1e6 << " us";
+  } else if (seconds < 1.0) {
+    oss << std::setprecision(1) << seconds * 1e3 << " ms";
+  } else if (seconds < 600.0) {
+    oss << std::setprecision(1) << seconds << " s";
+  } else if (seconds < 2.0 * 3600.0) {
+    oss << std::setprecision(1) << seconds / 60.0 << " min";
+  } else {
+    oss << std::setprecision(2) << seconds / 3600.0 << " h";
+  }
+  return oss.str();
+}
+
+std::string format_bytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B",   "KiB", "MiB",
+                                           "GiB", "TiB", "PiB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 5) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(bytes < 10 ? 2 : 1) << bytes << ' '
+      << kUnits[unit];
+  return oss.str();
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  LTFB_CHECK_MSG(!header_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  LTFB_CHECK_MSG(row.size() == header_.size(),
+                 "row arity " << row.size() << " != header arity "
+                              << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      oss << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+          << row[c];
+    }
+    oss << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w;
+  total += 2 * (widths.size() - 1);
+  oss << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return oss.str();
+}
+
+void TablePrinter::print() const { std::cout << render() << std::flush; }
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), arity_(header.size()) {
+  if (!out_) return;
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    out_ << (c ? "," : "") << header[c];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  LTFB_CHECK(row.size() == arity_);
+  if (!out_) return;
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    out_ << (c ? "," : "") << row[c];
+  }
+  out_ << '\n';
+}
+
+}  // namespace ltfb::util

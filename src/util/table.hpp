@@ -1,0 +1,61 @@
+// Console table / CSV emission for the benchmark harness.
+//
+// Every figure-reproduction bench prints a paper-style table: a header row,
+// one row per sweep point, and paper-reported reference values alongside
+// measured values. TablePrinter handles alignment; CsvWriter mirrors the
+// same rows to a file for post-processing.
+#pragma once
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ltfb::util {
+
+/// Fixed-precision float formatting helper.
+std::string format_double(double value, int precision = 2);
+
+/// Formats a duration in seconds with adaptive units (e.g. "983 s",
+/// "3.2 min", "45 ms").
+std::string format_seconds(double seconds);
+
+/// Formats a byte count with binary units ("16 GiB").
+std::string format_bytes(double bytes);
+
+/// Right-aligned console table with automatic column widths.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with a rule under the header.
+  std::string render() const;
+
+  /// Renders to stdout.
+  void print() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Line-oriented CSV writer (no quoting of embedded commas by design —
+/// callers emit plain numeric/identifier cells).
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  void add_row(const std::vector<std::string>& row);
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+}  // namespace ltfb::util

@@ -1,0 +1,67 @@
+#include "workflow/ensemble.hpp"
+
+#include <atomic>
+
+#include "util/error.hpp"
+
+namespace ltfb::workflow {
+
+EnsembleResult run_ensemble(const jag::JagModel& model,
+                            const Sampler& sampler,
+                            const EnsembleConfig& config) {
+  LTFB_CHECK(config.samples_per_file > 0 && config.total_samples > 0);
+  LTFB_CHECK_MSG(!config.output_directory.empty(),
+                 "ensemble needs an output directory");
+  std::filesystem::create_directories(config.output_directory);
+
+  data::SampleSchema schema;
+  schema.input_width = jag::kNumInputs;
+  schema.scalar_width = jag::kNumScalars;
+  schema.image_width = model.config().image_features();
+
+  const std::size_t files =
+      (config.total_samples + config.samples_per_file - 1) /
+      config.samples_per_file;
+
+  EnsembleResult result;
+  result.bundle_paths.resize(files);
+  std::atomic<std::size_t> written{0};
+
+  WorkflowEngine engine(config.workers);
+  for (std::size_t f = 0; f < files; ++f) {
+    char name[48];
+    std::snprintf(name, sizeof(name), "bundle_%05zu.ltfb", f);
+    const auto path = config.output_directory / name;
+    result.bundle_paths[f] = path;
+
+    const std::size_t first = f * config.samples_per_file;
+    const std::size_t last =
+        std::min(first + config.samples_per_file, config.total_samples);
+    engine.add_task(
+        std::string("bundle_") + std::to_string(f),
+        [&model, &sampler, &schema, &written, path, first, last] {
+          data::BundleWriter writer(path, schema);
+          for (std::size_t i = first; i < last; ++i) {
+            const Point point = sampler.point(i);
+            const jag::JagOutput out = model.run(point);
+            data::Sample sample;
+            sample.id = i;
+            sample.input.resize(jag::kNumInputs);
+            for (std::size_t k = 0; k < jag::kNumInputs; ++k) {
+              sample.input[k] = static_cast<float>(point[k]);
+            }
+            sample.scalars.assign(out.scalars.begin(), out.scalars.end());
+            sample.images = out.images;
+            writer.append(sample);
+          }
+          writer.close();
+          written += last - first;
+        });
+  }
+
+  result.success = engine.run();
+  result.samples_written = written.load();
+  return result;
+}
+
+}  // namespace ltfb::workflow

@@ -1,0 +1,39 @@
+// Ensemble runner: drives the JAG model over a sampled design and packages
+// the results into bundle files — the paper's data-generation campaign
+// (10M simulations -> 10,000 HDF5 files of 1,000 samples) at configurable
+// scale.
+//
+// One workflow task per bundle file: run samples_per_file simulations and
+// write the bundle. Batching many fast simulations per task is exactly the
+// Merlin lesson the paper describes ("a workflow system's runtime can be
+// dominated by the overhead of scheduling, placing, and executing jobs").
+#pragma once
+
+#include <filesystem>
+
+#include "data/bundle.hpp"
+#include "workflow/sampler.hpp"
+#include "workflow/workflow.hpp"
+
+namespace ltfb::workflow {
+
+struct EnsembleConfig {
+  std::size_t total_samples = 10'000;
+  std::size_t samples_per_file = 1'000;
+  std::size_t workers = 2;
+  std::filesystem::path output_directory;
+};
+
+struct EnsembleResult {
+  std::vector<std::filesystem::path> bundle_paths;
+  std::size_t samples_written = 0;
+  bool success = false;
+};
+
+/// Runs the campaign; sample i gets design point sampler.point(i) and
+/// sample id i. Bundle f holds ids [f*spf, (f+1)*spf).
+EnsembleResult run_ensemble(const jag::JagModel& model,
+                            const Sampler& sampler,
+                            const EnsembleConfig& config);
+
+}  // namespace ltfb::workflow

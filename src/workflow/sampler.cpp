@@ -1,0 +1,121 @@
+#include "workflow/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ltfb::workflow {
+
+std::vector<Point> Sampler::points(std::size_t count,
+                                   std::size_t first) const {
+  std::vector<Point> result;
+  result.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    result.push_back(point(first + i));
+  }
+  return result;
+}
+
+Point UniformSampler::point(std::size_t index) const {
+  util::Rng rng(util::derive_seed(seed_, index));
+  Point p{};
+  for (auto& coordinate : p) coordinate = rng.uniform();
+  return p;
+}
+
+SpectralSampler::SpectralSampler(std::uint64_t seed) {
+  // phi_d: unique real root of x^(d+1) = x + 1, via Newton iteration.
+  constexpr double d = static_cast<double>(jag::kNumInputs);
+  double phi = 2.0;
+  for (int it = 0; it < 64; ++it) {
+    const double f = std::pow(phi, d + 1.0) - phi - 1.0;
+    const double fp = (d + 1.0) * std::pow(phi, d) - 1.0;
+    phi -= f / fp;
+  }
+  for (std::size_t j = 0; j < jag::kNumInputs; ++j) {
+    alpha_[j] = 1.0 / std::pow(phi, static_cast<double>(j + 1));
+  }
+  // The Cranley-Patterson rotation makes independent replicas possible
+  // without losing the low-discrepancy structure.
+  util::Rng rng(util::derive_seed(seed, "spectral-offset"));
+  for (auto& offset : offset_) offset = (seed == 0) ? 0.5 : rng.uniform();
+}
+
+Point SpectralSampler::point(std::size_t index) const {
+  Point p{};
+  const double n = static_cast<double>(index + 1);
+  for (std::size_t j = 0; j < jag::kNumInputs; ++j) {
+    double v = offset_[j] + n * alpha_[j];
+    p[j] = v - std::floor(v);
+  }
+  return p;
+}
+
+Point HaltonSampler::point(std::size_t index) const {
+  static constexpr std::array<unsigned, jag::kNumInputs> kPrimes = {2, 3, 5,
+                                                                    7, 11};
+  Point p{};
+  for (std::size_t j = 0; j < jag::kNumInputs; ++j) {
+    // Radical inverse of (index+1) in base kPrimes[j].
+    double result = 0.0;
+    double f = 1.0 / static_cast<double>(kPrimes[j]);
+    std::size_t i = index + 1;
+    while (i > 0) {
+      result += f * static_cast<double>(i % kPrimes[j]);
+      i /= kPrimes[j];
+      f /= static_cast<double>(kPrimes[j]);
+    }
+    p[j] = result;
+  }
+  return p;
+}
+
+double min_pairwise_distance(const std::vector<Point>& points) {
+  LTFB_CHECK_MSG(points.size() >= 2, "need at least two points");
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      double d2 = 0.0;
+      for (std::size_t k = 0; k < jag::kNumInputs; ++k) {
+        const double d = points[i][k] - points[j][k];
+        d2 += d * d;
+      }
+      best = std::min(best, d2);
+    }
+  }
+  return std::sqrt(best);
+}
+
+double box_discrepancy(const std::vector<Point>& points, std::size_t probes,
+                       std::uint64_t seed) {
+  LTFB_CHECK(!points.empty() && probes > 0);
+  util::Rng rng(util::derive_seed(seed, "discrepancy"));
+  double worst = 0.0;
+  for (std::size_t probe = 0; probe < probes; ++probe) {
+    // Anchored box [0, u): the classic star-discrepancy test shape.
+    Point u{};
+    double volume = 1.0;
+    for (auto& edge : u) {
+      edge = rng.uniform();
+      volume *= edge;
+    }
+    std::size_t inside = 0;
+    for (const auto& point : points) {
+      bool in = true;
+      for (std::size_t k = 0; k < jag::kNumInputs; ++k) {
+        if (point[k] >= u[k]) {
+          in = false;
+          break;
+        }
+      }
+      if (in) ++inside;
+    }
+    const double fraction =
+        static_cast<double>(inside) / static_cast<double>(points.size());
+    worst = std::max(worst, std::abs(fraction - volume));
+  }
+  return worst;
+}
+
+}  // namespace ltfb::workflow

@@ -1,0 +1,149 @@
+#include "workflow/workflow.hpp"
+
+#include <exception>
+
+#include "util/error.hpp"
+
+namespace ltfb::workflow {
+
+const char* to_string(TaskStatus status) noexcept {
+  switch (status) {
+    case TaskStatus::Pending: return "pending";
+    case TaskStatus::Running: return "running";
+    case TaskStatus::Succeeded: return "succeeded";
+    case TaskStatus::Failed: return "failed";
+    case TaskStatus::Skipped: return "skipped";
+  }
+  return "?";
+}
+
+WorkflowEngine::WorkflowEngine(std::size_t workers) : pool_(workers) {}
+
+TaskId WorkflowEngine::add_task(std::string name, std::function<void()> work,
+                                std::vector<TaskId> deps) {
+  const std::scoped_lock lock(mutex_);
+  LTFB_CHECK_MSG(!running_, "cannot add tasks while the workflow is running");
+  const TaskId id = tasks_.size();
+  Task task;
+  task.name = std::move(name);
+  task.work = std::move(work);
+  task.deps = std::move(deps);
+  task.unmet_deps = task.deps.size();
+  for (const TaskId dep : task.deps) {
+    LTFB_CHECK_MSG(dep < id, "dependency " << dep << " does not exist yet");
+    tasks_[dep].dependents.push_back(id);
+  }
+  tasks_.push_back(std::move(task));
+  return id;
+}
+
+void WorkflowEngine::submit_ready(TaskId id) {
+  // Caller holds mutex_. Mark running and hand to the pool.
+  tasks_[id].status = TaskStatus::Running;
+  pool_.submit([this, id] {
+    TaskStatus result = TaskStatus::Succeeded;
+    std::string error;
+    try {
+      tasks_[id].work();
+    } catch (const std::exception& e) {
+      result = TaskStatus::Failed;
+      error = e.what();
+    } catch (...) {
+      result = TaskStatus::Failed;
+      error = "unknown exception";
+    }
+    on_finished(id, result, error);
+  });
+}
+
+void WorkflowEngine::skip_dependents(TaskId id) {
+  // Caller holds mutex_. Cascades through the DAG.
+  for (const TaskId dependent : tasks_[id].dependents) {
+    Task& task = tasks_[dependent];
+    if (task.status == TaskStatus::Pending) {
+      task.status = TaskStatus::Skipped;
+      --unfinished_;
+      skip_dependents(dependent);
+    }
+  }
+}
+
+void WorkflowEngine::on_finished(TaskId id, TaskStatus status,
+                                 const std::string& error) {
+  const std::scoped_lock lock(mutex_);
+  tasks_[id].status = status;
+  tasks_[id].error = error;
+  --unfinished_;
+  if (status == TaskStatus::Succeeded) {
+    for (const TaskId dependent : tasks_[id].dependents) {
+      Task& task = tasks_[dependent];
+      if (task.status == TaskStatus::Pending && --task.unmet_deps == 0) {
+        submit_ready(dependent);
+      }
+    }
+  } else {
+    skip_dependents(id);
+  }
+  if (unfinished_ == 0) {
+    done_cv_.notify_all();
+  }
+}
+
+bool WorkflowEngine::run() {
+  {
+    const std::scoped_lock lock(mutex_);
+    LTFB_CHECK_MSG(!running_, "workflow already running");
+    running_ = true;
+    unfinished_ = 0;
+    for (const auto& task : tasks_) {
+      if (task.status == TaskStatus::Pending) ++unfinished_;
+    }
+    if (unfinished_ == 0) {
+      running_ = false;
+      return true;
+    }
+    for (TaskId id = 0; id < tasks_.size(); ++id) {
+      if (tasks_[id].status == TaskStatus::Pending &&
+          tasks_[id].unmet_deps == 0) {
+        submit_ready(id);
+      }
+    }
+  }
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return unfinished_ == 0; });
+  running_ = false;
+  bool all_ok = true;
+  for (const auto& task : tasks_) {
+    if (task.status != TaskStatus::Succeeded) all_ok = false;
+  }
+  return all_ok;
+}
+
+TaskStatus WorkflowEngine::status(TaskId id) const {
+  const std::scoped_lock lock(mutex_);
+  LTFB_CHECK(id < tasks_.size());
+  return tasks_[id].status;
+}
+
+const std::string& WorkflowEngine::task_name(TaskId id) const {
+  const std::scoped_lock lock(mutex_);
+  LTFB_CHECK(id < tasks_.size());
+  return tasks_[id].name;
+}
+
+const std::string& WorkflowEngine::error(TaskId id) const {
+  const std::scoped_lock lock(mutex_);
+  LTFB_CHECK(id < tasks_.size());
+  return tasks_[id].error;
+}
+
+std::size_t WorkflowEngine::count_with_status(TaskStatus status) const {
+  const std::scoped_lock lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& task : tasks_) {
+    if (task.status == status) ++count;
+  }
+  return count;
+}
+
+}  // namespace ltfb::workflow

@@ -1,0 +1,72 @@
+// Task-DAG workflow engine — the Merlin substitute (Sec. II-C).
+//
+// The paper's pain point: JAG runs take seconds, so per-job scheduling
+// overhead dominates unless many simulations are batched per task. This
+// engine provides exactly the needed machinery: named tasks with
+// dependencies, a worker pool, failure propagation (dependents of a failed
+// task are skipped), and per-task status inspection.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace ltfb::workflow {
+
+enum class TaskStatus { Pending, Running, Succeeded, Failed, Skipped };
+
+const char* to_string(TaskStatus status) noexcept;
+
+using TaskId = std::size_t;
+
+class WorkflowEngine {
+ public:
+  /// `workers` threads execute ready tasks concurrently.
+  explicit WorkflowEngine(std::size_t workers);
+
+  /// Adds a task; `deps` must already exist. Returns its id.
+  TaskId add_task(std::string name, std::function<void()> work,
+                  std::vector<TaskId> deps = {});
+
+  std::size_t task_count() const noexcept { return tasks_.size(); }
+
+  /// Runs the DAG to completion (every task Succeeded/Failed/Skipped).
+  /// Returns true when every task succeeded.
+  bool run();
+
+  TaskStatus status(TaskId id) const;
+  const std::string& task_name(TaskId id) const;
+  /// what() of the exception that failed the task (empty otherwise).
+  const std::string& error(TaskId id) const;
+
+  std::size_t count_with_status(TaskStatus status) const;
+
+ private:
+  struct Task {
+    std::string name;
+    std::function<void()> work;
+    std::vector<TaskId> deps;
+    std::vector<TaskId> dependents;
+    std::size_t unmet_deps = 0;
+    TaskStatus status = TaskStatus::Pending;
+    std::string error;
+  };
+
+  void submit_ready(TaskId id);
+  void on_finished(TaskId id, TaskStatus status, const std::string& error);
+  void skip_dependents(TaskId id);
+
+  util::ThreadPool pool_;
+  mutable std::mutex mutex_;
+  std::condition_variable done_cv_;
+  std::vector<Task> tasks_;
+  std::size_t unfinished_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace ltfb::workflow

@@ -1,0 +1,413 @@
+// Unit tests for src/comm: point-to-point matching, nonblocking requests,
+// collectives against serial references, and communicator split.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "comm/communicator.hpp"
+
+namespace {
+
+using namespace ltfb;
+using namespace ltfb::comm;
+
+TEST(Buffers, FloatRoundTrip) {
+  const std::vector<float> values{1.5f, -2.25f, 0.0f};
+  const Buffer buffer = to_buffer(values);
+  EXPECT_EQ(buffer.size(), 12u);
+  EXPECT_EQ(floats_from_buffer(buffer), values);
+}
+
+TEST(Buffers, MisalignedBufferThrows) {
+  Buffer buffer(5);
+  EXPECT_THROW(floats_from_buffer(buffer), InvalidArgument);
+}
+
+TEST(World, InvalidSizeThrows) { EXPECT_THROW(World(0), InvalidArgument); }
+
+TEST(World, RankOutOfRangeThrows) {
+  World world(2);
+  EXPECT_THROW(world.communicator(2), InvalidArgument);
+  EXPECT_THROW(world.communicator(-1), InvalidArgument);
+}
+
+TEST(World, RunRethrowsRankException) {
+  EXPECT_THROW(World::run(2,
+                          [](Communicator& comm) {
+                            if (comm.rank() == 1) {
+                              throw std::runtime_error("rank failure");
+                            }
+                            // rank 0 returns immediately; no collective
+                          }),
+               std::runtime_error);
+}
+
+TEST(PointToPoint, SendRecvBasic) {
+  World::run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, std::vector<std::uint8_t>{1, 2, 3});
+    } else {
+      const Buffer buffer = comm.recv(0, 7);
+      EXPECT_EQ(buffer, (Buffer{1, 2, 3}));
+    }
+  });
+}
+
+TEST(PointToPoint, TagMatchingHoldsBackOtherTags) {
+  World::run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 5, std::vector<std::uint8_t>{5});
+      comm.send(1, 6, std::vector<std::uint8_t>{6});
+    } else {
+      // Receive tag 6 first even though tag 5 arrived earlier.
+      EXPECT_EQ(comm.recv(0, 6), (Buffer{6}));
+      EXPECT_EQ(comm.recv(0, 5), (Buffer{5}));
+    }
+  });
+}
+
+TEST(PointToPoint, FifoPerSourceAndTag) {
+  World::run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (std::uint8_t i = 0; i < 10; ++i) {
+        comm.send(1, 3, std::vector<std::uint8_t>{i});
+      }
+    } else {
+      for (std::uint8_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(comm.recv(0, 3), (Buffer{i}));
+      }
+    }
+  });
+}
+
+TEST(PointToPoint, AnySource) {
+  World::run(3, [](Communicator& comm) {
+    if (comm.rank() != 0) {
+      comm.send(0, 1, std::vector<std::uint8_t>{
+                          static_cast<std::uint8_t>(comm.rank())});
+    } else {
+      std::set<int> sources;
+      for (int i = 0; i < 2; ++i) {
+        int source = -1;
+        const Buffer buffer = comm.recv(kAnySource, 1, &source);
+        EXPECT_EQ(buffer[0], static_cast<std::uint8_t>(source));
+        sources.insert(source);
+      }
+      EXPECT_EQ(sources, (std::set<int>{1, 2}));
+    }
+  });
+}
+
+TEST(PointToPoint, SendToSelf) {
+  World::run(1, [](Communicator& comm) {
+    comm.send(0, 9, std::vector<std::uint8_t>{42});
+    EXPECT_EQ(comm.recv(0, 9), (Buffer{42}));
+  });
+}
+
+TEST(PointToPoint, SendRecvExchange) {
+  World::run(2, [](Communicator& comm) {
+    const Buffer mine{static_cast<std::uint8_t>(comm.rank() + 10)};
+    const Buffer theirs = comm.sendrecv(1 - comm.rank(), 2, mine);
+    EXPECT_EQ(theirs[0], static_cast<std::uint8_t>((1 - comm.rank()) + 10));
+  });
+}
+
+TEST(PointToPoint, FloatPayloadHelpers) {
+  World::run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<float> data{3.5f, -1.0f};
+      comm.send(1, 0, std::span<const float>(data));
+    } else {
+      EXPECT_EQ(floats_from_buffer(comm.recv(0, 0)),
+                (std::vector<float>{3.5f, -1.0f}));
+    }
+  });
+}
+
+TEST(Request, IrecvCompletesAfterSend) {
+  World::run(2, [](Communicator& comm) {
+    if (comm.rank() == 1) {
+      Request request = comm.irecv(0, 4);
+      comm.send(0, 8, std::vector<std::uint8_t>{});  // signal readiness
+      request.wait();
+      EXPECT_TRUE(request.test());
+      EXPECT_EQ(comm.take_payload(request), (Buffer{9}));
+    } else {
+      (void)comm.recv(1, 8);
+      comm.send(1, 4, std::vector<std::uint8_t>{9});
+    }
+  });
+}
+
+TEST(Request, TestDoesNotBlock) {
+  World::run(1, [](Communicator& comm) {
+    Request request = comm.irecv(0, 11);
+    EXPECT_FALSE(request.test());  // nothing sent yet
+    comm.send(0, 11, std::vector<std::uint8_t>{1});
+    EXPECT_TRUE(request.test());
+  });
+}
+
+// ---- collectives -----------------------------------------------------------
+
+class CollectiveSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSizes, Barrier) {
+  const int n = GetParam();
+  std::atomic<int> arrived{0};
+  World::run(n, [&](Communicator& comm) {
+    ++arrived;
+    comm.barrier();
+    // After the barrier every rank must have arrived.
+    EXPECT_EQ(arrived.load(), n);
+    comm.barrier();
+  });
+}
+
+TEST_P(CollectiveSizes, BroadcastFromEveryRoot) {
+  const int n = GetParam();
+  World::run(n, [&](Communicator& comm) {
+    for (int root = 0; root < n; ++root) {
+      Buffer payload;
+      if (comm.rank() == root) {
+        payload = Buffer{static_cast<std::uint8_t>(root + 1), 7};
+      }
+      comm.broadcast(root, payload);
+      ASSERT_EQ(payload.size(), 2u);
+      EXPECT_EQ(payload[0], static_cast<std::uint8_t>(root + 1));
+    }
+  });
+}
+
+TEST_P(CollectiveSizes, AllreduceSum) {
+  const int n = GetParam();
+  // 10 elements (not divisible by most n) exercises uneven ring chunks.
+  World::run(n, [&](Communicator& comm) {
+    std::vector<float> values(10);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      values[i] = static_cast<float>(comm.rank() + 1) *
+                  static_cast<float>(i + 1);
+    }
+    comm.allreduce(values, ReduceOp::Sum);
+    const float rank_sum = static_cast<float>(n * (n + 1)) / 2.0f;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      EXPECT_FLOAT_EQ(values[i], rank_sum * static_cast<float>(i + 1));
+    }
+  });
+}
+
+TEST_P(CollectiveSizes, AllreduceMaxMin) {
+  const int n = GetParam();
+  World::run(n, [&](Communicator& comm) {
+    std::vector<float> values{static_cast<float>(comm.rank()),
+                              static_cast<float>(-comm.rank())};
+    std::vector<float> mins = values;
+    comm.allreduce(values, ReduceOp::Max);
+    comm.allreduce(mins, ReduceOp::Min);
+    EXPECT_FLOAT_EQ(values[0], static_cast<float>(n - 1));
+    EXPECT_FLOAT_EQ(mins[1], static_cast<float>(-(n - 1)));
+  });
+}
+
+TEST_P(CollectiveSizes, AllreduceSmallerThanRanks) {
+  const int n = GetParam();
+  World::run(n, [&](Communicator& comm) {
+    std::vector<float> values{1.0f};  // fewer elements than ranks
+    comm.allreduce(values, ReduceOp::Sum);
+    EXPECT_FLOAT_EQ(values[0], static_cast<float>(n));
+  });
+}
+
+TEST_P(CollectiveSizes, Allgather) {
+  const int n = GetParam();
+  World::run(n, [&](Communicator& comm) {
+    const std::vector<float> mine{static_cast<float>(comm.rank()),
+                                  static_cast<float>(comm.rank() * 10)};
+    const std::vector<float> all = comm.allgather(mine);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(2 * n));
+    for (int r = 0; r < n; ++r) {
+      EXPECT_FLOAT_EQ(all[2 * r], static_cast<float>(r));
+      EXPECT_FLOAT_EQ(all[2 * r + 1], static_cast<float>(r * 10));
+    }
+  });
+}
+
+TEST_P(CollectiveSizes, BackToBackCollectivesDoNotCrossMatch) {
+  const int n = GetParam();
+  World::run(n, [&](Communicator& comm) {
+    for (int iteration = 0; iteration < 20; ++iteration) {
+      std::vector<float> values{static_cast<float>(comm.rank() + iteration)};
+      comm.allreduce(values, ReduceOp::Sum);
+      float expected = 0.0f;
+      for (int r = 0; r < n; ++r) {
+        expected += static_cast<float>(r + iteration);
+      }
+      ASSERT_FLOAT_EQ(values[0], expected) << "iteration " << iteration;
+    }
+  });
+}
+
+TEST_P(CollectiveSizes, ReduceToEveryRoot) {
+  const int n = GetParam();
+  World::run(n, [&](Communicator& comm) {
+    for (int root = 0; root < n; ++root) {
+      std::vector<float> values{static_cast<float>(comm.rank() + 1), 2.0f};
+      const std::vector<float> saved = values;
+      comm.reduce(root, values, ReduceOp::Sum);
+      if (comm.rank() == root) {
+        EXPECT_FLOAT_EQ(values[0], static_cast<float>(n * (n + 1)) / 2.0f);
+        EXPECT_FLOAT_EQ(values[1], 2.0f * static_cast<float>(n));
+      } else {
+        EXPECT_EQ(values, saved);  // non-root buffers untouched
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveSizes, ReduceMax) {
+  const int n = GetParam();
+  World::run(n, [&](Communicator& comm) {
+    std::vector<float> values{static_cast<float>(comm.rank())};
+    comm.reduce(0, values, ReduceOp::Max);
+    if (comm.rank() == 0) {
+      EXPECT_FLOAT_EQ(values[0], static_cast<float>(n - 1));
+    }
+  });
+}
+
+TEST_P(CollectiveSizes, GatherAtEveryRoot) {
+  const int n = GetParam();
+  World::run(n, [&](Communicator& comm) {
+    for (int root = 0; root < n; ++root) {
+      const std::vector<float> mine{static_cast<float>(comm.rank() * 2),
+                                    static_cast<float>(comm.rank() * 2 + 1)};
+      const std::vector<float> all = comm.gather(root, mine);
+      if (comm.rank() == root) {
+        ASSERT_EQ(all.size(), static_cast<std::size_t>(2 * n));
+        for (int r = 0; r < n; ++r) {
+          EXPECT_FLOAT_EQ(all[2 * r], static_cast<float>(r * 2));
+          EXPECT_FLOAT_EQ(all[2 * r + 1], static_cast<float>(r * 2 + 1));
+        }
+      } else {
+        EXPECT_TRUE(all.empty());
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveSizes, ScatterFromEveryRoot) {
+  const int n = GetParam();
+  World::run(n, [&](Communicator& comm) {
+    for (int root = 0; root < n; ++root) {
+      std::vector<float> send;
+      if (comm.rank() == root) {
+        for (int r = 0; r < n; ++r) {
+          send.push_back(static_cast<float>(r * 10));
+          send.push_back(static_cast<float>(r * 10 + 1));
+        }
+      }
+      const std::vector<float> mine = comm.scatter(root, send, 2);
+      ASSERT_EQ(mine.size(), 2u);
+      EXPECT_FLOAT_EQ(mine[0], static_cast<float>(comm.rank() * 10));
+      EXPECT_FLOAT_EQ(mine[1], static_cast<float>(comm.rank() * 10 + 1));
+    }
+  });
+}
+
+TEST(Scatter, WrongBufferSizeThrows) {
+  World::run(1, [](Communicator& comm) {
+    std::vector<float> bad(3);  // needs 1 * chunk(2) = 2
+    EXPECT_THROW((void)comm.scatter(0, bad, 2), InvalidArgument);
+  });
+}
+
+TEST(Reduce, GatherReduceComposeWithOtherCollectives) {
+  World::run(4, [](Communicator& comm) {
+    for (int i = 0; i < 10; ++i) {
+      std::vector<float> v{1.0f};
+      comm.reduce(i % 4, v, ReduceOp::Sum);
+      comm.barrier();
+      const auto all = comm.gather((i + 1) % 4, std::vector<float>{2.0f});
+      if (comm.rank() == (i + 1) % 4) {
+        EXPECT_EQ(all.size(), 4u);
+      }
+      std::vector<float> sum{static_cast<float>(comm.rank())};
+      comm.allreduce(sum, ReduceOp::Sum);
+      EXPECT_FLOAT_EQ(sum[0], 6.0f);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST(Split, GroupsByColor) {
+  World::run(6, [](Communicator& comm) {
+    const int color = comm.rank() % 2;
+    Communicator sub = comm.split(color, comm.rank());
+    EXPECT_EQ(sub.size(), 3);
+    // Sub-rank order follows the key (= old rank).
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);
+    // Collectives work within the sub-communicator.
+    std::vector<float> values{static_cast<float>(comm.rank())};
+    sub.allreduce(values, ReduceOp::Sum);
+    const float expected = (color == 0) ? (0 + 2 + 4) : (1 + 3 + 5);
+    EXPECT_FLOAT_EQ(values[0], expected);
+  });
+}
+
+TEST(Split, SubCommunicatorsAreIsolated) {
+  World::run(4, [](Communicator& comm) {
+    Communicator sub = comm.split(comm.rank() / 2, comm.rank());
+    // Same-tag traffic in different sub-communicators must not mix.
+    const Buffer mine{static_cast<std::uint8_t>(comm.rank())};
+    const Buffer theirs = sub.sendrecv(1 - sub.rank(), 0, mine);
+    const int partner_world = (comm.rank() / 2) * 2 + (1 - comm.rank() % 2);
+    EXPECT_EQ(theirs[0], static_cast<std::uint8_t>(partner_world));
+  });
+}
+
+TEST(Split, WorldRankMapping) {
+  World::run(4, [](Communicator& comm) {
+    Communicator sub = comm.split(comm.rank() % 2, comm.rank());
+    EXPECT_EQ(sub.world_rank_of(sub.rank()), comm.rank());
+  });
+}
+
+TEST(Split, NestedSplit) {
+  World::run(8, [](Communicator& comm) {
+    Communicator half = comm.split(comm.rank() / 4, comm.rank());
+    Communicator quarter = half.split(half.rank() / 2, half.rank());
+    EXPECT_EQ(quarter.size(), 2);
+    std::vector<float> values{1.0f};
+    quarter.allreduce(values, ReduceOp::Sum);
+    EXPECT_FLOAT_EQ(values[0], 2.0f);
+  });
+}
+
+TEST(Stress, ManyMixedOperations) {
+  World::run(4, [](Communicator& comm) {
+    for (int i = 0; i < 30; ++i) {
+      comm.barrier();
+      std::vector<float> values(7, static_cast<float>(comm.rank()));
+      comm.allreduce(values, ReduceOp::Sum);
+      EXPECT_FLOAT_EQ(values[3], 6.0f);  // 0+1+2+3
+      Buffer payload;
+      if (comm.rank() == i % 4) {
+        payload = Buffer{static_cast<std::uint8_t>(i)};
+      }
+      comm.broadcast(i % 4, payload);
+      EXPECT_EQ(payload[0], static_cast<std::uint8_t>(i));
+      const Buffer exchanged =
+          comm.sendrecv(comm.size() - 1 - comm.rank(), 100 + i,
+                        Buffer{static_cast<std::uint8_t>(comm.rank())});
+      EXPECT_EQ(exchanged[0],
+                static_cast<std::uint8_t>(comm.size() - 1 - comm.rank()));
+    }
+  });
+}
+
+}  // namespace

@@ -1,0 +1,311 @@
+// Tests for the distributed in-memory data store: catalog access patterns,
+// preloaded vs dynamic population, directory construction, the per-step
+// exchange protocol, and memory-capacity enforcement.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <mutex>
+#include <numeric>
+
+#include "comm/communicator.hpp"
+#include "data/dataset.hpp"
+#include "datastore/data_store.hpp"
+
+namespace {
+
+using namespace ltfb;
+using namespace ltfb::data;
+using namespace ltfb::datastore;
+
+struct Fixture {
+  std::filesystem::path dir;
+  std::vector<std::filesystem::path> paths;
+  SampleSchema schema;
+  std::vector<Sample> samples;
+};
+
+/// Writes `total` samples across `files` bundles into a temp directory.
+Fixture make_fixture(const std::string& name, std::size_t total,
+                     std::size_t files) {
+  Fixture fx;
+  fx.dir = std::filesystem::temp_directory_path() / ("ltfb_ds_" + name);
+  std::filesystem::remove_all(fx.dir);
+  fx.schema.input_width = 5;
+  fx.schema.scalar_width = 15;
+  fx.schema.image_width = 6;
+  for (SampleId id = 0; id < total; ++id) {
+    Sample sample;
+    sample.id = id;
+    sample.input.assign(5, static_cast<float>(id));
+    sample.scalars.assign(15, static_cast<float>(id) * 2.0f);
+    sample.images.assign(6, static_cast<float>(id) * 3.0f);
+    fx.samples.push_back(std::move(sample));
+  }
+  fx.paths = write_bundle_set(fx.dir, fx.schema, fx.samples, files);
+  return fx;
+}
+
+// ---- catalog -------------------------------------------------------------------
+
+TEST(Catalog, LocateMapsSequentialIds) {
+  const Fixture fx = make_fixture("locate", 20, 4);
+  BundleCatalog catalog(fx.paths);
+  EXPECT_EQ(catalog.total_samples(), 20u);
+  EXPECT_EQ(catalog.file_count(), 4u);
+  EXPECT_EQ(catalog.samples_in_file(0), 5u);
+  const auto loc = catalog.locate(12);
+  EXPECT_EQ(loc.file, 2u);
+  EXPECT_EQ(loc.index, 2u);
+}
+
+TEST(Catalog, LocateOutOfRangeThrows) {
+  const Fixture fx = make_fixture("locate_oor", 10, 2);
+  BundleCatalog catalog(fx.paths);
+  EXPECT_THROW(catalog.locate(10), InvalidArgument);
+}
+
+TEST(Catalog, RandomReadCountsOpens) {
+  const Fixture fx = make_fixture("rand", 20, 4);
+  BundleCatalog catalog(fx.paths);
+  for (const SampleId id : {SampleId{3}, SampleId{17}, SampleId{8}}) {
+    const Sample sample = catalog.read(id);
+    EXPECT_EQ(sample.id, id);
+    EXPECT_FLOAT_EQ(sample.scalars[0], static_cast<float>(id) * 2.0f);
+  }
+  EXPECT_EQ(catalog.stats().file_opens, 3u);
+  EXPECT_EQ(catalog.stats().sample_reads, 3u);
+}
+
+TEST(Catalog, WholeFileReadIsOneOpen) {
+  const Fixture fx = make_fixture("whole", 20, 4);
+  BundleCatalog catalog(fx.paths);
+  const auto samples = catalog.read_file(1);
+  ASSERT_EQ(samples.size(), 5u);
+  EXPECT_EQ(samples.front().id, 5u);
+  EXPECT_EQ(catalog.stats().file_opens, 1u);
+  EXPECT_EQ(catalog.stats().whole_file_reads, 1u);
+  EXPECT_EQ(catalog.stats().sample_reads, 5u);
+}
+
+TEST(Catalog, EmptyPathListThrows) {
+  EXPECT_THROW(BundleCatalog catalog({}), InvalidArgument);
+}
+
+// ---- preloaded mode ---------------------------------------------------------------
+
+TEST(DataStore, PreloadPartitionsOwnershipAcrossRanks) {
+  const Fixture fx = make_fixture("preload", 40, 8);
+  BundleCatalog catalog(fx.paths);
+  std::mutex mutex;
+  std::size_t total_owned = 0;
+  comm::World::run(4, [&](comm::Communicator& comm) {
+    DataStore store(comm, &catalog, PopulateMode::Preloaded);
+    store.preload();
+    EXPECT_TRUE(store.has_directory());
+    // 8 files round-robin over 4 ranks -> 2 files = 10 samples each.
+    EXPECT_EQ(store.owned_samples(), 10u);
+    const std::scoped_lock lock(mutex);
+    total_owned += store.owned_samples();
+  });
+  EXPECT_EQ(total_owned, 40u);
+}
+
+TEST(DataStore, FetchReturnsCorrectSamplesInOrder) {
+  const Fixture fx = make_fixture("fetch", 40, 8);
+  BundleCatalog catalog(fx.paths);
+  comm::World::run(4, [&](comm::Communicator& comm) {
+    DataStore store(comm, &catalog, PopulateMode::Preloaded);
+    store.preload();
+    // Each rank asks for a different mix of local and remote samples.
+    const std::vector<SampleId> wanted{
+        static_cast<SampleId>(comm.rank()),
+        static_cast<SampleId>(39 - comm.rank()),
+        static_cast<SampleId>(20 + comm.rank())};
+    const auto got = store.fetch(wanted);
+    ASSERT_EQ(got.size(), wanted.size());
+    for (std::size_t i = 0; i < wanted.size(); ++i) {
+      EXPECT_EQ(got[i].id, wanted[i]);
+      EXPECT_FLOAT_EQ(got[i].images[0], static_cast<float>(wanted[i]) * 3.0f);
+    }
+  });
+}
+
+TEST(DataStore, NoFileTrafficAfterPreload) {
+  const Fixture fx = make_fixture("nofile", 20, 4);
+  BundleCatalog catalog(fx.paths);
+  comm::World::run(2, [&](comm::Communicator& comm) {
+    DataStore store(comm, &catalog, PopulateMode::Preloaded);
+    store.preload();
+    comm.barrier();
+    const std::size_t opens_after_preload = catalog.stats().file_opens;
+    for (int step = 0; step < 5; ++step) {
+      (void)store.fetch({static_cast<SampleId>(step),
+                         static_cast<SampleId>(19 - step)});
+    }
+    comm.barrier();
+    // "During training itself, no data is read from the file system."
+    EXPECT_EQ(catalog.stats().file_opens, opens_after_preload);
+  });
+}
+
+TEST(DataStore, FetchWithDuplicateIds) {
+  const Fixture fx = make_fixture("dup", 20, 4);
+  BundleCatalog catalog(fx.paths);
+  comm::World::run(2, [&](comm::Communicator& comm) {
+    DataStore store(comm, &catalog, PopulateMode::Preloaded);
+    store.preload();
+    const auto got = store.fetch({7, 7, 7});
+    ASSERT_EQ(got.size(), 3u);
+    for (const auto& sample : got) EXPECT_EQ(sample.id, 7u);
+  });
+}
+
+TEST(DataStore, SingleRankWorksWithoutExchange) {
+  const Fixture fx = make_fixture("single", 10, 2);
+  BundleCatalog catalog(fx.paths);
+  comm::World::run(1, [&](comm::Communicator& comm) {
+    DataStore store(comm, &catalog, PopulateMode::Preloaded);
+    store.preload();
+    const auto got = store.fetch({0, 9, 5});
+    EXPECT_EQ(got[1].id, 9u);
+    EXPECT_EQ(store.stats().remote_fetches, 0u);
+    EXPECT_EQ(store.stats().local_hits, 3u);
+  });
+}
+
+TEST(DataStore, PreloadOnDynamicStoreThrows) {
+  const Fixture fx = make_fixture("wrongmode", 10, 2);
+  BundleCatalog catalog(fx.paths);
+  comm::World::run(1, [&](comm::Communicator& comm) {
+    DataStore store(comm, &catalog, PopulateMode::Dynamic);
+    EXPECT_THROW(store.preload(), InvalidArgument);
+  });
+}
+
+// ---- dynamic mode ------------------------------------------------------------------
+
+TEST(DataStore, DynamicFirstEpochReadsFilesThenCaches) {
+  const Fixture fx = make_fixture("dynamic", 20, 4);
+  BundleCatalog catalog(fx.paths);
+  comm::World::run(1, [&](comm::Communicator& comm) {
+    DataStore store(comm, &catalog, PopulateMode::Dynamic);
+    // Epoch 0: every sample comes off the file system once.
+    (void)store.fetch({0, 1, 2});
+    EXPECT_EQ(store.stats().file_reads, 3u);
+    // Repeat fetch within epoch 0: local hits now.
+    (void)store.fetch({0, 1, 2});
+    EXPECT_EQ(store.stats().file_reads, 3u);
+    EXPECT_EQ(store.stats().local_hits, 3u);
+  });
+}
+
+TEST(DataStore, DynamicDirectoryServesLaterEpochsFromMemory) {
+  const Fixture fx = make_fixture("dyn_dir", 24, 4);
+  BundleCatalog catalog(fx.paths);
+  comm::World::run(3, [&](comm::Communicator& comm) {
+    DataStore store(comm, &catalog, PopulateMode::Dynamic);
+    // Epoch 0: rank r consumes its disjoint shard.
+    std::vector<SampleId> shard;
+    for (SampleId id = static_cast<SampleId>(comm.rank()); id < 24; id += 3) {
+      shard.push_back(id);
+    }
+    (void)store.fetch(shard);
+    store.build_directory();
+    EXPECT_TRUE(store.has_directory());
+    comm.barrier();
+    const std::size_t file_reads_frozen = store.stats().file_reads;
+    // Epoch 1: arbitrary samples come from memory via exchange.
+    const auto got = store.fetch({5, 11, 17});
+    EXPECT_EQ(got[0].id, 5u);
+    EXPECT_EQ(got[2].id, 17u);
+    EXPECT_EQ(store.stats().file_reads, file_reads_frozen);
+  });
+}
+
+TEST(DataStore, OrphansAdoptedDuringDirectoryBuild) {
+  const Fixture fx = make_fixture("orphans", 12, 3);
+  BundleCatalog catalog(fx.paths);
+  comm::World::run(2, [&](comm::Communicator& comm) {
+    DataStore store(comm, &catalog, PopulateMode::Dynamic);
+    // Only ids 0..5 are used in "epoch 0"; 6..11 become orphans.
+    std::vector<SampleId> used;
+    for (SampleId id = static_cast<SampleId>(comm.rank()); id < 6; id += 2) {
+      used.push_back(id);
+    }
+    (void)store.fetch(used);
+    store.build_directory();
+    // Orphans must now be fetchable without error.
+    const auto got = store.fetch({9, 10});
+    EXPECT_EQ(got[0].id, 9u);
+    EXPECT_EQ(got[1].id, 10u);
+  });
+}
+
+TEST(DataStore, UniverseRestrictsAdoption) {
+  const Fixture fx = make_fixture("universe", 20, 4);
+  BundleCatalog catalog(fx.paths);
+  comm::World::run(1, [&](comm::Communicator& comm) {
+    // Universe = first half only.
+    std::vector<SampleId> universe(10);
+    std::iota(universe.begin(), universe.end(), 0);
+    DataStore store(comm, &catalog, PopulateMode::Dynamic, 0, universe);
+    (void)store.fetch({0, 1});
+    store.build_directory();
+    // All universe samples owned; out-of-universe ids are NOT adopted.
+    EXPECT_EQ(store.owned_samples(), 10u);
+    EXPECT_THROW((void)store.fetch({15}), InvalidArgument);
+  });
+}
+
+TEST(DataStore, UniverseOutOfCatalogThrows) {
+  const Fixture fx = make_fixture("universe_bad", 10, 2);
+  BundleCatalog catalog(fx.paths);
+  comm::World::run(1, [&](comm::Communicator& comm) {
+    EXPECT_THROW(DataStore(comm, &catalog, PopulateMode::Dynamic, 0, {99}),
+                 InvalidArgument);
+  });
+}
+
+// ---- capacity accounting -------------------------------------------------------------
+
+TEST(DataStore, CapacityEnforcedOnPreload) {
+  const Fixture fx = make_fixture("capacity", 40, 8);
+  BundleCatalog catalog(fx.paths);
+  const std::size_t sample_bytes = fx.samples[0].byte_size();
+  comm::World::run(1, [&](comm::Communicator& comm) {
+    // Room for only 5 samples; the rank must load 40.
+    DataStore store(comm, &catalog, PopulateMode::Preloaded,
+                    5 * sample_bytes + 1);
+    EXPECT_THROW(store.preload(), CapacityError);
+  });
+}
+
+TEST(DataStore, CapacitySufficientSucceeds) {
+  const Fixture fx = make_fixture("capacity_ok", 20, 4);
+  BundleCatalog catalog(fx.paths);
+  const std::size_t sample_bytes = fx.samples[0].byte_size();
+  comm::World::run(2, [&](comm::Communicator& comm) {
+    DataStore store(comm, &catalog, PopulateMode::Preloaded,
+                    10 * sample_bytes + 16);
+    EXPECT_NO_THROW(store.preload());
+    EXPECT_EQ(store.stats().cached_samples, 10u);
+    EXPECT_EQ(store.stats().cached_bytes, 10 * sample_bytes);
+  });
+}
+
+TEST(DataStore, BytesExchangedTracked) {
+  const Fixture fx = make_fixture("bytes", 20, 4);
+  BundleCatalog catalog(fx.paths);
+  comm::World::run(2, [&](comm::Communicator& comm) {
+    DataStore store(comm, &catalog, PopulateMode::Preloaded);
+    store.preload();
+    // Every rank requests one sample the other rank owns (files are
+    // round-robin: rank 0 owns ids 0-4 and 10-14).
+    const SampleId remote = comm.rank() == 0 ? SampleId{5} : SampleId{0};
+    (void)store.fetch({remote});
+    EXPECT_EQ(store.stats().remote_fetches, 1u);
+    EXPECT_GT(store.stats().bytes_exchanged, 0u);
+  });
+}
+
+}  // namespace

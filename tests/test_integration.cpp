@@ -1,0 +1,198 @@
+// End-to-end integration tests: the full paper pipeline at miniature scale.
+//
+//   ensemble workflow (JAG + spectral DOE -> bundle files)
+//     -> bundle catalog -> distributed in-memory data store (preload)
+//     -> normalization -> LTFB tournament training of the CycleGAN
+//     -> validation on held-out data.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <mutex>
+#include <numeric>
+
+#include "comm/communicator.hpp"
+#include "core/ltfb.hpp"
+#include "core/ltfb_comm.hpp"
+#include "core/population.hpp"
+#include "datastore/data_store.hpp"
+#include "workflow/ensemble.hpp"
+
+namespace {
+
+using namespace ltfb;
+
+jag::JagConfig tiny_jag() {
+  jag::JagConfig config;
+  config.image_size = 4;
+  config.num_views = 3;
+  config.num_channels = 1;
+  config.noise_level = 0.01;
+  return config;
+}
+
+gan::CycleGanConfig tiny_gan(const jag::JagConfig& jag_config) {
+  gan::CycleGanConfig config;
+  config.image_width = jag_config.image_features();
+  config.latent_width = 8;
+  config.encoder_hidden = {16};
+  config.decoder_hidden = {16};
+  config.forward_hidden = {12};
+  config.inverse_hidden = {8};
+  config.discriminator_hidden = {8};
+  config.learning_rate = 2e-3f;
+  return config;
+}
+
+TEST(Integration, EnsembleToDataStoreToDataset) {
+  // Phase 1: generate the campaign into bundle files.
+  const jag::JagConfig jag_config = tiny_jag();
+  const jag::JagModel model(jag_config);
+  const workflow::SpectralSampler sampler;
+  workflow::EnsembleConfig ensemble;
+  ensemble.total_samples = 120;
+  ensemble.samples_per_file = 20;
+  ensemble.workers = 2;
+  ensemble.output_directory =
+      std::filesystem::temp_directory_path() / "ltfb_integration_e2e";
+  std::filesystem::remove_all(ensemble.output_directory);
+  const auto result = workflow::run_ensemble(model, sampler, ensemble);
+  ASSERT_TRUE(result.success);
+
+  // Phase 2: two trainer ranks preload the campaign through the store and
+  // reassemble the full dataset from fetches.
+  datastore::BundleCatalog catalog(result.bundle_paths);
+  std::mutex mutex;
+  std::vector<data::Sample> fetched;
+  comm::World::run(2, [&](comm::Communicator& comm) {
+    datastore::DataStore store(comm, &catalog,
+                               datastore::PopulateMode::Preloaded);
+    store.preload();
+    // Rank 0 gathers everything through the exchange protocol; rank 1
+    // participates by serving (fetching a dummy spread of its own).
+    std::vector<data::SampleId> wanted;
+    for (data::SampleId id = 0; id < 120; ++id) {
+      if (comm.rank() == 0 || id % 2 == 1) wanted.push_back(id);
+    }
+    auto samples = store.fetch(wanted);
+    if (comm.rank() == 0) {
+      const std::scoped_lock lock(mutex);
+      fetched = std::move(samples);
+    }
+  });
+  ASSERT_EQ(fetched.size(), 120u);
+
+  // Phase 3: the fetched data must be byte-identical to the simulator.
+  for (const auto& sample : fetched) {
+    const auto expected = model.run(sampler.point(sample.id));
+    ASSERT_EQ(sample.scalars.size(), jag::kNumScalars);
+    EXPECT_EQ(sample.scalars[0], expected.scalars[0]);
+    EXPECT_EQ(sample.images, expected.images);
+  }
+
+  // Phase 4: normalize and train a small LTFB population on it.
+  data::SampleSchema schema = catalog.schema();
+  data::Dataset dataset(schema, std::move(fetched));
+  const auto norms = data::fit_normalizers(dataset);
+  data::normalize_dataset(dataset, norms);
+  const auto splits = data::split_dataset(dataset.size(), 0.6, 0.2, 80);
+
+  core::PopulationConfig population;
+  population.num_trainers = 2;
+  population.batch_size = 8;
+  population.model = tiny_gan(jag_config);
+  population.seed = 81;
+
+  core::LtfbConfig ltfb;
+  ltfb.steps_per_round = 6;
+  ltfb.rounds = 4;
+  ltfb.pretrain_steps = 10;
+
+  core::LocalLtfbDriver driver(
+      core::build_population(dataset, splits, population), ltfb);
+  const double initial =
+      core::evaluate_gan(driver.trainer(0).model(), dataset,
+                         splits.validation, 8)
+          .total();
+  driver.run();
+  const std::size_t best = driver.best_trainer(splits.validation, 8);
+  const double final_loss =
+      core::evaluate_gan(driver.trainer(best).model(), dataset,
+                         splits.validation, 8)
+          .total();
+  EXPECT_LT(final_loss, initial);
+}
+
+TEST(Integration, DistributedPipelineWithDataParallelTrainers) {
+  // Generated data -> distributed LTFB with 2 trainers x 2 ranks.
+  const jag::JagConfig jag_config = tiny_jag();
+  const jag::JagModel model(jag_config);
+  data::Dataset dataset = data::generate_jag_dataset(model, 320, 90);
+  const auto norms = data::fit_normalizers(dataset);
+  data::normalize_dataset(dataset, norms);
+  const auto splits = data::split_dataset(dataset.size(), 0.7, 0.15, 91);
+
+  core::DistributedLtfbConfig config;
+  config.ranks_per_trainer = 2;
+  config.batch_size = 16;
+  config.ltfb.steps_per_round = 5;
+  config.ltfb.rounds = 3;
+  config.ltfb.pretrain_steps = 5;
+  config.model = tiny_gan(jag_config);
+  config.seed = 92;
+
+  std::mutex mutex;
+  std::vector<core::DistributedLtfbOutcome> outcomes;
+  comm::World::run(4, [&](comm::Communicator& world) {
+    const auto outcome =
+        core::run_distributed_ltfb(world, dataset, splits, config);
+    const std::scoped_lock lock(mutex);
+    outcomes.push_back(outcome);
+  });
+  ASSERT_EQ(outcomes.size(), 4u);
+  for (const auto& outcome : outcomes) {
+    EXPECT_TRUE(std::isfinite(outcome.final_validation_loss));
+  }
+}
+
+TEST(Integration, LtfbSpreadsGoodModelsThroughPopulation) {
+  // After enough rounds every trainer should be close in validation loss:
+  // winners propagate ("thousand flowers"), so the population cannot
+  // contain a trainer stuck at its initial loss.
+  const jag::JagConfig jag_config = tiny_jag();
+  const jag::JagModel model(jag_config);
+  data::Dataset dataset = data::generate_jag_dataset(model, 400, 93);
+  const auto norms = data::fit_normalizers(dataset);
+  data::normalize_dataset(dataset, norms);
+  const auto splits = data::split_dataset(dataset.size(), 0.7, 0.15, 94);
+
+  core::PopulationConfig population;
+  population.num_trainers = 4;
+  population.batch_size = 16;
+  population.model = tiny_gan(jag_config);
+  population.seed = 95;
+
+  core::LtfbConfig ltfb;
+  ltfb.steps_per_round = 8;
+  ltfb.rounds = 5;
+  ltfb.pretrain_steps = 10;
+
+  // Capture untrained loss before the driver takes ownership.
+  auto trainers = core::build_population(dataset, splits, population);
+  const double untrained =
+      core::evaluate_gan(trainers[0]->model(), dataset, splits.validation,
+                         16)
+          .total();
+  core::LocalLtfbDriver driver(std::move(trainers), ltfb);
+  driver.run();
+
+  for (std::size_t i = 0; i < driver.population(); ++i) {
+    const double loss =
+        core::evaluate_gan(driver.trainer(i).model(), dataset,
+                           splits.validation, 16)
+            .total();
+    EXPECT_LT(loss, untrained) << "trainer " << i << " never improved";
+  }
+}
+
+}  // namespace

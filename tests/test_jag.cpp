@@ -1,0 +1,333 @@
+// Unit and property tests for the synthetic JAG ICF simulator: determinism,
+// physical scaling laws, the ignition cliff, and the image response to
+// shape parameters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "jag/jag_model.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ltfb;
+using namespace ltfb::jag;
+
+JagConfig small_config() {
+  JagConfig config;
+  config.image_size = 8;
+  return config;
+}
+
+std::array<double, kNumInputs> nominal() {
+  // drive = 1.0, mid adiabat, round shell, mid phase.
+  return {0.5, 0.5, 0.5, 0.5, 0.5};
+}
+
+TEST(JagConfig, FeatureArithmetic) {
+  JagConfig config;
+  config.image_size = 16;
+  EXPECT_EQ(config.images_per_sample(), 12u);
+  EXPECT_EQ(config.image_pixels(), 256u);
+  EXPECT_EQ(config.image_features(), 3072u);
+}
+
+TEST(JagConfig, InvalidConfigThrows) {
+  JagConfig config;
+  config.image_size = 2;
+  EXPECT_THROW(JagModel{config}, InvalidArgument);
+  config = JagConfig{};
+  config.noise_level = 0.9;
+  EXPECT_THROW(JagModel{config}, InvalidArgument);
+}
+
+TEST(Jag, Deterministic) {
+  const JagModel model(small_config());
+  const auto a = model.run(nominal());
+  const auto b = model.run(nominal());
+  EXPECT_EQ(a.scalars, b.scalars);
+  EXPECT_EQ(a.images, b.images);
+}
+
+TEST(Jag, OutputShapes) {
+  const JagModel model(small_config());
+  const auto out = model.run(nominal());
+  EXPECT_EQ(out.scalars.size(), kNumScalars);
+  EXPECT_EQ(out.images.size(), small_config().image_features());
+}
+
+TEST(Jag, ScalarNamesComplete) {
+  const auto& names = JagModel::scalar_names();
+  EXPECT_EQ(names.size(), kNumScalars);
+  for (const auto& name : names) {
+    EXPECT_FALSE(name.empty());
+  }
+  EXPECT_EQ(names[0], "log10_yield");
+}
+
+TEST(Jag, InputRangesSane) {
+  for (const auto& [lo, hi] : JagModel::input_ranges()) {
+    EXPECT_LT(lo, hi);
+  }
+}
+
+TEST(Jag, InputsAreClamped) {
+  const JagModel model(small_config());
+  std::array<double, kNumInputs> below{-1, -1, -1, -1, -1};
+  std::array<double, kNumInputs> zero{0, 0, 0, 0, 0};
+  EXPECT_EQ(model.run(below).scalars, model.run(zero).scalars);
+}
+
+// ---- scaling laws -----------------------------------------------------------
+
+TEST(JagPhysics, VelocityIncreasesWithDrive) {
+  const JagModel model(small_config());
+  auto lo = nominal(), hi = nominal();
+  lo[0] = 0.1;
+  hi[0] = 0.9;
+  EXPECT_LT(model.implosion_state(lo).velocity,
+            model.implosion_state(hi).velocity);
+}
+
+TEST(JagPhysics, CompressionFallsWithAdiabat) {
+  const JagModel model(small_config());
+  auto lo = nominal(), hi = nominal();
+  lo[1] = 0.1;
+  hi[1] = 0.9;
+  EXPECT_GT(model.implosion_state(lo).areal_density,
+            model.implosion_state(hi).areal_density);
+}
+
+TEST(JagPhysics, AsymmetryDegradesShape) {
+  const JagModel model(small_config());
+  auto round = nominal();
+  round[2] = 0.5;  // P2 = 0
+  auto oblate = nominal();
+  oblate[2] = 0.95;
+  EXPECT_GT(model.implosion_state(round).shape_degradation,
+            model.implosion_state(oblate).shape_degradation);
+  EXPECT_LE(model.implosion_state(oblate).shape_degradation, 1.0);
+  EXPECT_GT(model.implosion_state(oblate).shape_degradation, 0.0);
+}
+
+TEST(JagPhysics, IgnitionCliffIsSharp) {
+  const JagModel model(small_config());
+  // Scan drive at low adiabat; the yield amplification must transition
+  // from near-1 to a large value over the scan.
+  auto point = nominal();
+  point[1] = 0.1;  // low adiabat compresses well
+  point[2] = 0.5;
+  point[3] = 0.5;
+  double min_amp = 1e30, max_amp = 0.0;
+  for (double drive = 0.0; drive <= 1.0; drive += 0.05) {
+    point[0] = drive;
+    const double amp = model.implosion_state(point).yield_amplification;
+    min_amp = std::min(min_amp, amp);
+    max_amp = std::max(max_amp, amp);
+  }
+  EXPECT_LT(min_amp, 2.0);
+  EXPECT_GT(max_amp, 20.0);
+}
+
+TEST(JagPhysics, YieldMonotoneInDriveAtFixedShape) {
+  const JagModel model(small_config());
+  auto point = nominal();
+  point[1] = 0.3;
+  double previous = -1.0;
+  for (double drive = 0.05; drive <= 1.0; drive += 0.05) {
+    point[0] = drive;
+    const double yield = model.implosion_state(point).yield;
+    EXPECT_GT(yield, previous);
+    previous = yield;
+  }
+}
+
+TEST(JagPhysics, AsymmetryReducesYield) {
+  const JagModel model(small_config());
+  auto round = nominal(), perturbed = nominal();
+  perturbed[2] = 0.95;
+  perturbed[3] = 0.9;
+  EXPECT_GT(model.implosion_state(round).yield,
+            model.implosion_state(perturbed).yield);
+}
+
+TEST(JagPhysics, HotspotTemperaturePositive) {
+  const JagModel model(small_config());
+  util::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    std::array<double, kNumInputs> point{};
+    for (auto& c : point) c = rng.uniform();
+    const auto state = model.implosion_state(point);
+    EXPECT_GT(state.hotspot_temperature, 0.0);
+    EXPECT_GT(state.velocity, 0.0);
+    EXPECT_GT(state.areal_density, 0.0);
+    EXPECT_GE(state.yield_amplification, 1.0);
+  }
+}
+
+// ---- scalar outputs -----------------------------------------------------------
+
+TEST(JagScalars, AllFiniteOverInputSpace) {
+  const JagModel model(small_config());
+  util::Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    std::array<double, kNumInputs> point{};
+    for (auto& c : point) c = rng.uniform();
+    const auto out = model.run(point);
+    for (const float s : out.scalars) {
+      EXPECT_TRUE(std::isfinite(s));
+    }
+  }
+}
+
+TEST(JagScalars, DriveMovesYieldStrongly) {
+  // The paper: "varying the drive parameters resulted in highly non-linear
+  // variations in the scalar performance metrics".
+  const JagModel model(small_config());
+  auto lo = nominal(), hi = nominal();
+  lo[0] = 0.05;
+  lo[1] = 0.1;
+  hi[0] = 0.95;
+  hi[1] = 0.1;
+  const float yield_lo = model.run(lo).scalars[0];
+  const float yield_hi = model.run(hi).scalars[0];
+  EXPECT_GT(yield_hi - yield_lo, 1.0f);  // > 1 decade in log10 yield
+}
+
+TEST(JagScalars, PhaseAffectsViewBrightnessDifferently) {
+  const JagModel model(small_config());
+  auto a = nominal(), b = nominal();
+  a[2] = 0.9;  // strong P2 so view effects are visible
+  b[2] = 0.9;
+  a[4] = 0.1;
+  b[4] = 0.9;
+  const auto oa = model.run(a), ob = model.run(b);
+  // At least one of the three view-brightness scalars must differ.
+  bool differs = false;
+  for (std::size_t v = 9; v < 12; ++v) {
+    if (std::abs(oa.scalars[v] - ob.scalars[v]) > 1e-4f) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+// ---- images --------------------------------------------------------------------
+
+TEST(JagImages, NonNegativeAndBounded) {
+  const JagModel model(small_config());
+  util::Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    std::array<double, kNumInputs> point{};
+    for (auto& c : point) c = rng.uniform();
+    for (const float pixel : model.run(point).images) {
+      EXPECT_GE(pixel, 0.0f);
+      EXPECT_LT(pixel, 100.0f);
+      EXPECT_TRUE(std::isfinite(pixel));
+    }
+  }
+}
+
+TEST(JagImages, HotterImplosionIsBrighter) {
+  const JagModel model(small_config());
+  auto cold = nominal(), hot = nominal();
+  cold[0] = 0.1;
+  hot[0] = 0.9;
+  const auto out_cold = model.run(cold), out_hot = model.run(hot);
+  double sum_cold = 0.0, sum_hot = 0.0;
+  for (const float p : out_cold.images) sum_cold += p;
+  for (const float p : out_hot.images) sum_hot += p;
+  EXPECT_GT(sum_hot, sum_cold);
+}
+
+TEST(JagImages, ShapeParametersChangeImages) {
+  // The paper: "varying the shape parameters resulted in major changes in
+  // the X-ray images".
+  const JagModel model(small_config());
+  auto round = nominal(), perturbed = nominal();
+  perturbed[2] = 0.95;
+  const auto a = model.run(round), b = model.run(perturbed);
+  double diff = 0.0, magnitude = 0.0;
+  for (std::size_t i = 0; i < a.images.size(); ++i) {
+    diff += std::abs(a.images[i] - b.images[i]);
+    magnitude += std::abs(a.images[i]);
+  }
+  EXPECT_GT(diff / magnitude, 0.05);  // >5% relative image change
+}
+
+TEST(JagImages, P2BreaksRotationalSymmetry) {
+  JagConfig config = small_config();
+  config.image_size = 16;
+  const JagModel model(config);
+  auto perturbed = nominal();
+  perturbed[2] = 0.95;
+  perturbed[4] = 0.0;
+  const auto out = model.run(perturbed);
+  // Compare horizontal vs vertical second moments of view 0, channel 0.
+  const std::size_t size = config.image_size;
+  double mxx = 0.0, myy = 0.0;
+  for (std::size_t y = 0; y < size; ++y) {
+    for (std::size_t x = 0; x < size; ++x) {
+      const double cy = static_cast<double>(y) - 7.5;
+      const double cx = static_cast<double>(x) - 7.5;
+      const double w = out.images[y * size + x];
+      mxx += w * cx * cx;
+      myy += w * cy * cy;
+    }
+  }
+  EXPECT_GT(std::abs(mxx - myy) / (mxx + myy), 0.01);
+}
+
+TEST(JagImages, ChannelsHaveDistinctProfiles) {
+  const JagModel model(small_config());
+  const auto out = model.run(nominal());
+  const std::size_t pixels = small_config().image_pixels();
+  // Channel 0 vs channel 3 of view 0 must differ (hyperspectral response).
+  double diff = 0.0;
+  for (std::size_t i = 0; i < pixels; ++i) {
+    diff += std::abs(out.images[i] - out.images[3 * pixels + i]);
+  }
+  EXPECT_GT(diff, 0.01);
+}
+
+TEST(JagImages, ViewsSeeDifferentProjections) {
+  const JagModel model(small_config());
+  auto perturbed = nominal();
+  perturbed[2] = 0.9;
+  const auto out = model.run(perturbed);
+  const std::size_t view_stride =
+      small_config().num_channels * small_config().image_pixels();
+  double diff = 0.0;
+  for (std::size_t i = 0; i < small_config().image_pixels(); ++i) {
+    diff += std::abs(out.images[i] - out.images[view_stride + i]);
+  }
+  EXPECT_GT(diff, 0.01);
+}
+
+// ---- pseudo-noise --------------------------------------------------------------
+
+TEST(JagNoise, ZeroNoiseIsExactlyClean) {
+  JagConfig noisy = small_config();
+  noisy.noise_level = 0.05;
+  const JagModel clean_model(small_config());
+  const JagModel noisy_model(noisy);
+  const auto a = clean_model.run(nominal());
+  const auto b = noisy_model.run(nominal());
+  // Noise changes scalars but stays bounded by the configured level-ish.
+  bool changed = false;
+  for (std::size_t i = 0; i < kNumScalars; ++i) {
+    if (a.scalars[i] != b.scalars[i]) changed = true;
+    if (std::abs(a.scalars[i]) > 1e-6f) {
+      EXPECT_LT(std::abs(b.scalars[i] / a.scalars[i] - 1.0f), 0.08f);
+    }
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(JagNoise, NoiseIsDeterministic) {
+  JagConfig config = small_config();
+  config.noise_level = 0.05;
+  const JagModel model(config);
+  EXPECT_EQ(model.run(nominal()).scalars, model.run(nominal()).scalars);
+}
+
+}  // namespace

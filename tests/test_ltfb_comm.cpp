@@ -1,0 +1,186 @@
+// Integration tests for distributed LTFB over the message-passing
+// substrate: trainer grouping, data-parallel equivalence, tournament
+// exchange between leader ranks, and winner propagation inside trainers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "core/ltfb_comm.hpp"
+
+namespace {
+
+using namespace ltfb;
+using namespace ltfb::core;
+
+gan::CycleGanConfig tiny_config() {
+  gan::CycleGanConfig config;
+  config.image_width = 48;
+  config.latent_width = 8;
+  config.encoder_hidden = {16};
+  config.decoder_hidden = {16};
+  config.forward_hidden = {12};
+  config.inverse_hidden = {8};
+  config.discriminator_hidden = {8};
+  config.learning_rate = 2e-3f;
+  return config;
+}
+
+data::Dataset tiny_dataset(std::size_t n, std::uint64_t seed) {
+  jag::JagConfig jag_config;
+  jag_config.image_size = 4;
+  jag_config.num_views = 3;
+  jag_config.num_channels = 1;
+  const jag::JagModel model(jag_config);
+  data::Dataset dataset = data::generate_jag_dataset(model, n, seed);
+  const auto norms = data::fit_normalizers(dataset);
+  data::normalize_dataset(dataset, norms);
+  return dataset;
+}
+
+DistributedLtfbConfig base_config() {
+  DistributedLtfbConfig config;
+  config.ranks_per_trainer = 1;
+  config.batch_size = 16;
+  config.ltfb.steps_per_round = 4;
+  config.ltfb.rounds = 3;
+  config.ltfb.pretrain_steps = 4;
+  config.model = tiny_config();
+  config.seed = 60;
+  return config;
+}
+
+TEST(DistributedLtfb, FourSingleRankTrainers) {
+  const data::Dataset dataset = tiny_dataset(400, 61);
+  const auto splits = data::split_dataset(dataset.size(), 0.7, 0.15, 62);
+  const auto config = base_config();
+
+  std::mutex mutex;
+  std::vector<DistributedLtfbOutcome> outcomes;
+  comm::World::run(4, [&](comm::Communicator& world) {
+    const auto outcome =
+        run_distributed_ltfb(world, dataset, splits, config);
+    const std::scoped_lock lock(mutex);
+    outcomes.push_back(outcome);
+  });
+
+  ASSERT_EQ(outcomes.size(), 4u);
+  std::set<int> trainer_ids;
+  for (const auto& outcome : outcomes) {
+    trainer_ids.insert(outcome.trainer_id);
+    EXPECT_TRUE(std::isfinite(outcome.final_validation_loss));
+    EXPECT_GT(outcome.final_validation_loss, 0.0);
+    // Every round either keeps or adopts.
+    EXPECT_EQ(outcome.tournaments_won + outcome.adoptions,
+              config.ltfb.rounds);
+  }
+  EXPECT_EQ(trainer_ids.size(), 4u);
+}
+
+TEST(DistributedLtfb, MultiRankTrainersStaySynchronized) {
+  const data::Dataset dataset = tiny_dataset(400, 63);
+  const auto splits = data::split_dataset(dataset.size(), 0.7, 0.15, 64);
+  auto config = base_config();
+  config.ranks_per_trainer = 2;
+  config.ltfb.rounds = 2;
+
+  std::mutex mutex;
+  std::map<int, std::vector<DistributedLtfbOutcome>> by_trainer;
+  comm::World::run(4, [&](comm::Communicator& world) {  // 2 trainers x 2
+    const auto outcome =
+        run_distributed_ltfb(world, dataset, splits, config);
+    const std::scoped_lock lock(mutex);
+    by_trainer[outcome.trainer_id].push_back(outcome);
+  });
+
+  ASSERT_EQ(by_trainer.size(), 2u);
+  for (const auto& [trainer_id, ranks] : by_trainer) {
+    ASSERT_EQ(ranks.size(), 2u);
+    // Leader broadcast the final metrics: both ranks agree exactly.
+    EXPECT_DOUBLE_EQ(ranks[0].final_validation_loss,
+                     ranks[1].final_validation_loss);
+    EXPECT_EQ(ranks[0].tournaments_won, ranks[1].tournaments_won);
+  }
+}
+
+TEST(DistributedLtfb, SingleTrainerIsPlainDataParallelTraining) {
+  const data::Dataset dataset = tiny_dataset(300, 65);
+  const auto splits = data::split_dataset(dataset.size(), 0.7, 0.15, 66);
+  auto config = base_config();
+  config.ranks_per_trainer = 2;
+  config.ltfb.rounds = 2;
+
+  std::mutex mutex;
+  std::vector<DistributedLtfbOutcome> outcomes;
+  comm::World::run(2, [&](comm::Communicator& world) {  // one trainer
+    const auto outcome =
+        run_distributed_ltfb(world, dataset, splits, config);
+    const std::scoped_lock lock(mutex);
+    outcomes.push_back(outcome);
+  });
+  for (const auto& outcome : outcomes) {
+    // No partner ever exists: no wins, no adoptions.
+    EXPECT_EQ(outcome.tournaments_won, 0u);
+    EXPECT_EQ(outcome.adoptions, 0u);
+    EXPECT_TRUE(std::isfinite(outcome.final_validation_loss));
+  }
+}
+
+TEST(DistributedLtfb, TrainingImprovesOverInitialModel) {
+  const data::Dataset dataset = tiny_dataset(400, 67);
+  const auto splits = data::split_dataset(dataset.size(), 0.7, 0.15, 68);
+  auto config = base_config();
+  config.ltfb.rounds = 6;
+  config.ltfb.steps_per_round = 10;
+  config.ltfb.pretrain_steps = 15;
+
+  // Reference: untrained model's validation loss.
+  gan::CycleGan untrained(config.model,
+                          util::derive_seed(config.seed, "model", 0));
+  const double initial_loss =
+      evaluate_gan(untrained, dataset, splits.validation, config.batch_size)
+          .total();
+
+  std::mutex mutex;
+  double best_final = 1e30;
+  comm::World::run(2, [&](comm::Communicator& world) {
+    const auto outcome =
+        run_distributed_ltfb(world, dataset, splits, config);
+    const std::scoped_lock lock(mutex);
+    best_final = std::min(best_final, outcome.final_validation_loss);
+  });
+  EXPECT_LT(best_final, initial_loss);
+}
+
+TEST(DistributedLtfb, InvalidConfigurationThrows) {
+  const data::Dataset dataset = tiny_dataset(120, 69);
+  const auto splits = data::split_dataset(dataset.size(), 0.7, 0.15, 70);
+  auto config = base_config();
+  config.ranks_per_trainer = 3;  // does not divide world size 4
+  EXPECT_THROW(
+      comm::World::run(4,
+                       [&](comm::Communicator& world) {
+                         (void)run_distributed_ltfb(world, dataset, splits,
+                                                    config);
+                       }),
+      InvalidArgument);
+}
+
+TEST(DistributedLtfb, BatchMustDivideAcrossRanks) {
+  const data::Dataset dataset = tiny_dataset(120, 71);
+  const auto splits = data::split_dataset(dataset.size(), 0.7, 0.15, 72);
+  auto config = base_config();
+  config.ranks_per_trainer = 2;
+  config.batch_size = 15;  // odd
+  EXPECT_THROW(
+      comm::World::run(2,
+                       [&](comm::Communicator& world) {
+                         (void)run_distributed_ltfb(world, dataset, splits,
+                                                    config);
+                       }),
+      InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,566 @@
+// Unit tests for src/nn: layer semantics, finite-difference gradient checks
+// across the whole DAG, optimizers, losses, and data-parallel hooks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+
+#include "comm/communicator.hpp"
+#include "nn/initializer.hpp"
+#include "nn/loss.hpp"
+#include "nn/model.hpp"
+#include "nn/parallel.hpp"
+#include "tensor/ops.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace ltfb;
+using namespace ltfb::nn;
+using ltfb::tensor::Tensor;
+
+Tensor random_batch(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor t(rows, cols);
+  for (auto& v : t.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+// ---- initializers ------------------------------------------------------------
+
+TEST(Initializer, GlorotRange) {
+  util::Rng rng(1);
+  std::vector<float> w(1000);
+  glorot_uniform(rng, 10, 20, w);
+  const double limit = std::sqrt(6.0 / 30.0);
+  for (const float v : w) {
+    EXPECT_LE(std::abs(v), limit);
+  }
+}
+
+TEST(Initializer, HeNormalStddev) {
+  util::Rng rng(2);
+  std::vector<float> w(20000);
+  he_normal(rng, 50, w);
+  util::RunningStats stats;
+  for (const float v : w) stats.add(v);
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(2.0 / 50.0), 0.01);
+}
+
+TEST(Initializer, Constant) {
+  std::vector<float> w(5);
+  constant_init(2.5f, w);
+  for (const float v : w) EXPECT_EQ(v, 2.5f);
+}
+
+// ---- optimizers ---------------------------------------------------------------
+
+TEST(Optimizer, SgdStep) {
+  Sgd sgd(0.1f);
+  std::vector<float> w{1.0f, 2.0f};
+  const std::vector<float> g{1.0f, -1.0f};
+  sgd.step(w, g);
+  EXPECT_FLOAT_EQ(w[0], 0.9f);
+  EXPECT_FLOAT_EQ(w[1], 2.1f);
+}
+
+TEST(Optimizer, MomentumAccumulates) {
+  Momentum momentum(0.1f, 0.9f);
+  std::vector<float> w{0.0f};
+  const std::vector<float> g{1.0f};
+  momentum.step(w, g);  // v = -0.1, w = -0.1
+  momentum.step(w, g);  // v = -0.19, w = -0.29
+  EXPECT_NEAR(w[0], -0.29f, 1e-6f);
+}
+
+TEST(Optimizer, AdamConvergesOnQuadratic) {
+  // minimize f(w) = (w - 3)^2
+  Adam adam(0.1f);
+  std::vector<float> w{0.0f};
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<float> g{2.0f * (w[0] - 3.0f)};
+    adam.step(w, g);
+  }
+  EXPECT_NEAR(w[0], 3.0f, 0.05f);
+}
+
+TEST(Optimizer, AdamFirstStepIsLearningRateSized) {
+  Adam adam(0.01f);
+  std::vector<float> w{1.0f};
+  adam.step(w, std::vector<float>{123.0f});
+  // Bias-corrected Adam moves ~lr on the first step regardless of scale.
+  EXPECT_NEAR(w[0], 1.0f - 0.01f, 1e-4f);
+}
+
+TEST(Optimizer, CloneFreshDropsState) {
+  Momentum momentum(0.1f, 0.9f);
+  std::vector<float> w{0.0f};
+  momentum.step(w, std::vector<float>{1.0f});
+  auto fresh = momentum.clone_fresh();
+  std::vector<float> w2{0.0f};
+  fresh->step(w2, std::vector<float>{1.0f});
+  EXPECT_FLOAT_EQ(w2[0], -0.1f);  // no inherited velocity
+}
+
+TEST(Optimizer, LearningRateMutable) {
+  Sgd sgd(0.1f);
+  sgd.set_learning_rate(0.5f);
+  EXPECT_FLOAT_EQ(sgd.learning_rate(), 0.5f);
+}
+
+// ---- losses --------------------------------------------------------------------
+
+TEST(Loss, MaeValueAndGrad) {
+  Tensor pred({1, 2}, {1.0f, -2.0f});
+  Tensor target({1, 2}, {0.0f, 0.0f});
+  Tensor grad;
+  EXPECT_DOUBLE_EQ(mae_loss(pred, target, &grad), 1.5);
+  EXPECT_FLOAT_EQ(grad[0], 0.5f);
+  EXPECT_FLOAT_EQ(grad[1], -0.5f);
+}
+
+TEST(Loss, MseValueAndGrad) {
+  Tensor pred({1, 2}, {1.0f, -2.0f});
+  Tensor target({1, 2}, {0.0f, 0.0f});
+  Tensor grad;
+  EXPECT_DOUBLE_EQ(mse_loss(pred, target, &grad), 2.5);
+  EXPECT_FLOAT_EQ(grad[0], 1.0f);
+  EXPECT_FLOAT_EQ(grad[1], -2.0f);
+}
+
+TEST(Loss, BceAtZeroLogitIsLog2) {
+  Tensor logits({1, 1}, {0.0f});
+  EXPECT_NEAR(bce_with_logits(logits, 1.0f, nullptr), std::log(2.0), 1e-9);
+  EXPECT_NEAR(bce_with_logits(logits, 0.0f, nullptr), std::log(2.0), 1e-9);
+}
+
+TEST(Loss, BceGradSign) {
+  Tensor logits({1, 1}, {2.0f});
+  Tensor grad;
+  bce_with_logits(logits, 1.0f, &grad);
+  EXPECT_LT(grad[0], 0.0f);  // push logit up toward "real"
+  bce_with_logits(logits, 0.0f, &grad);
+  EXPECT_GT(grad[0], 0.0f);
+}
+
+TEST(Loss, BceStableAtExtremeLogits) {
+  Tensor logits({1, 2}, {60.0f, -60.0f});
+  Tensor labels({1, 2}, {1.0f, 0.0f});
+  const double loss = bce_with_logits(logits, labels, nullptr);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, 0.0, 1e-9);
+}
+
+TEST(Loss, MseFiniteDifferenceGradients) {
+  const Tensor target = random_batch(3, 4, 10);
+  Tensor pred = random_batch(3, 4, 11);
+  const float eps = 1e-3f;
+  Tensor grad;
+  mse_loss(pred, target, &grad);
+  for (std::size_t i = 0; i < pred.size(); i += 3) {
+    const float saved = pred[i];
+    pred[i] = saved + eps;
+    const double up = mse_loss(pred, target, nullptr);
+    pred[i] = saved - eps;
+    const double down = mse_loss(pred, target, nullptr);
+    pred[i] = saved;
+    EXPECT_NEAR(grad[i], (up - down) / (2.0 * eps), 2e-3);
+  }
+}
+
+TEST(Loss, BceFiniteDifferenceGradients) {
+  Tensor logits = random_batch(4, 2, 12);
+  const float eps = 1e-3f;
+  Tensor grad;
+  bce_with_logits(logits, 1.0f, &grad);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + eps;
+    const double up = bce_with_logits(logits, 1.0f, nullptr);
+    logits[i] = saved - eps;
+    const double down = bce_with_logits(logits, 1.0f, nullptr);
+    logits[i] = saved;
+    EXPECT_NEAR(grad[i], (up - down) / (2.0 * eps), 2e-3);
+  }
+}
+
+// ---- layers: forward semantics ---------------------------------------------------
+
+TEST(Layers, FullyConnectedComputesAffine) {
+  Model model("m", 1);
+  const LayerId in = model.add_input(2);
+  const LayerId fc = model.add_linear(in, 3);
+  // Overwrite weights for a deterministic check.
+  auto weights = model.weights();
+  ASSERT_EQ(weights.size(), 2u);
+  weights[0]->values() = Tensor({2, 3}, {1, 0, 2, 0, 1, 3});
+  weights[1]->values() = Tensor({3}, {1, 1, 1});
+  const Tensor x({1, 2}, {2.0f, 5.0f});
+  model.forward({&x});
+  const Tensor& y = model.output(fc);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 3.0f);   // 2*1 + 5*0 + 1
+  EXPECT_FLOAT_EQ(y.at(0, 1), 6.0f);   // 5 + 1
+  EXPECT_FLOAT_EQ(y.at(0, 2), 20.0f);  // 4 + 15 + 1
+}
+
+TEST(Layers, ActivationsElementwise) {
+  Model model("m", 2);
+  const LayerId in = model.add_input(4);
+  const LayerId relu =
+      model.add(std::make_unique<Activation>(ActivationKind::Relu), {in});
+  const LayerId tanh_id =
+      model.add(std::make_unique<Activation>(ActivationKind::Tanh), {in});
+  const LayerId sig =
+      model.add(std::make_unique<Activation>(ActivationKind::Sigmoid), {in});
+  const LayerId leaky = model.add(
+      std::make_unique<Activation>(ActivationKind::LeakyRelu, 0.1f), {in});
+  const Tensor x({1, 4}, {-2.0f, -0.5f, 0.5f, 2.0f});
+  model.forward({&x});
+  EXPECT_FLOAT_EQ(model.output(relu)[0], 0.0f);
+  EXPECT_FLOAT_EQ(model.output(relu)[3], 2.0f);
+  EXPECT_NEAR(model.output(tanh_id)[3], std::tanh(2.0f), 1e-6);
+  EXPECT_NEAR(model.output(sig)[2], 1.0f / (1.0f + std::exp(-0.5f)), 1e-6);
+  EXPECT_FLOAT_EQ(model.output(leaky)[0], -0.2f);
+}
+
+TEST(Layers, ConcatAndSlice) {
+  Model model("m", 3);
+  const LayerId a = model.add_input(2);
+  const LayerId b = model.add_input(3);
+  const LayerId cat = model.add(std::make_unique<Concat>(), {a, b});
+  const LayerId sl = model.add(std::make_unique<Slice>(1, 4), {cat});
+  const Tensor xa({2, 2}, {1, 2, 3, 4});
+  const Tensor xb({2, 3}, {5, 6, 7, 8, 9, 10});
+  model.forward({&xa, &xb});
+  const Tensor& c = model.output(cat);
+  EXPECT_EQ(c.cols(), 5u);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 3.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 2), 8.0f);
+  const Tensor& s = model.output(sl);
+  EXPECT_EQ(s.cols(), 3u);
+  EXPECT_FLOAT_EQ(s.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(s.at(0, 2), 6.0f);
+}
+
+TEST(Layers, SliceOutOfRangeThrows) {
+  Model model("m", 4);
+  const LayerId in = model.add_input(3);
+  EXPECT_THROW(model.add(std::make_unique<Slice>(1, 5), {in}),
+               InvalidArgument);
+}
+
+TEST(Layers, DropoutTrainVsEval) {
+  Model model("m", 5);
+  const LayerId in = model.add_input(1000);
+  const LayerId dropped = model.add(std::make_unique<Dropout>(0.5f), {in});
+  const Tensor x = Tensor::full({1, 1000}, 1.0f);
+  model.forward({&x}, /*training=*/true);
+  std::size_t zeros = 0;
+  double mean = 0.0;
+  for (const float v : model.output(dropped).data()) {
+    if (v == 0.0f) ++zeros;
+    mean += v;
+  }
+  mean /= 1000.0;
+  EXPECT_NEAR(static_cast<double>(zeros) / 1000.0, 0.5, 0.08);
+  EXPECT_NEAR(mean, 1.0, 0.15);  // inverted dropout preserves expectation
+
+  model.forward({&x}, /*training=*/false);
+  for (const float v : model.output(dropped).data()) {
+    EXPECT_FLOAT_EQ(v, 1.0f);
+  }
+}
+
+TEST(Layers, InvalidDropoutProbabilityThrows) {
+  Model model("m", 55);
+  const LayerId in = model.add_input(4);
+  EXPECT_THROW(model.add(std::make_unique<Dropout>(1.0f), {in}),
+               InvalidArgument);
+}
+
+// ---- model mechanics ----------------------------------------------------------
+
+TEST(Model, InputWidthMismatchThrows) {
+  Model model("m", 6);
+  model.add_input(3);
+  const Tensor x(1, 4);
+  EXPECT_THROW(model.forward({&x}), InvalidArgument);
+}
+
+TEST(Model, InputCountMismatchThrows) {
+  Model model("m", 7);
+  model.add_input(3);
+  const Tensor x(1, 3);
+  EXPECT_THROW(model.forward({&x, &x}), InvalidArgument);
+}
+
+TEST(Model, SameSeedSameWeights) {
+  auto build = [](std::uint64_t seed) {
+    Model model("m", seed);
+    const LayerId in = model.add_input(4);
+    model.add_dense(in, 8, ActivationKind::Relu);
+    return model.flatten_weights();
+  };
+  EXPECT_EQ(build(42), build(42));
+  EXPECT_NE(build(42), build(43));
+}
+
+TEST(Model, FlattenLoadRoundTrip) {
+  Model model("m", 9);
+  const LayerId in = model.add_input(3);
+  model.add_dense(in, 5, ActivationKind::Tanh);
+  auto flat = model.flatten_weights();
+  EXPECT_EQ(flat.size(), model.parameter_count());
+  for (auto& v : flat) v += 1.0f;
+  model.load_flat_weights(flat);
+  EXPECT_EQ(model.flatten_weights(), flat);
+}
+
+TEST(Model, LoadWrongSizeThrows) {
+  Model model("m", 10);
+  const LayerId in = model.add_input(3);
+  model.add_linear(in, 2);
+  std::vector<float> wrong(model.parameter_count() + 1);
+  EXPECT_THROW(model.load_flat_weights(wrong), InvalidArgument);
+}
+
+TEST(Model, ParameterCountMatchesStructure) {
+  Model model("m", 16);
+  const LayerId in = model.add_input(3);
+  model.add_dense(in, 4, ActivationKind::Relu);  // 3*4+4 = 16
+  EXPECT_EQ(model.parameter_count(), 16u);
+}
+
+// ---- whole-model finite-difference gradient check --------------------------------
+
+TEST(Model, FiniteDifferenceGradientCheck) {
+  // Diamond DAG: input -> (dense tanh | slice) -> concat -> linear.
+  Model model("m", 11);
+  const LayerId in = model.add_input(3);
+  const LayerId left = model.add_dense(in, 4, ActivationKind::Tanh);
+  const LayerId right = model.add(std::make_unique<Slice>(0, 2), {in});
+  const LayerId cat = model.add(std::make_unique<Concat>(), {left, right});
+  const LayerId out = model.add_linear(cat, 2);
+
+  const Tensor x = random_batch(5, 3, 20);
+  const Tensor target = random_batch(5, 2, 21);
+
+  auto loss_at = [&]() {
+    model.forward({&x}, /*training=*/false);
+    return mse_loss(model.output(out), target, nullptr);
+  };
+
+  model.forward({&x}, false);
+  Tensor grad;
+  mse_loss(model.output(out), target, &grad);
+  model.zero_gradients();
+  model.add_output_gradient(out, grad);
+  model.backward();
+
+  const float eps = 1e-3f;
+  for (Weights* w : model.weights()) {
+    auto values = w->values().data();
+    const auto analytic = w->gradient().data();
+    for (std::size_t i = 0; i < values.size(); i += 5) {
+      const float saved = values[i];
+      values[i] = saved + eps;
+      const double up = loss_at();
+      values[i] = saved - eps;
+      const double down = loss_at();
+      values[i] = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(analytic[i], numeric, 5e-3)
+          << w->name() << " element " << i;
+    }
+  }
+}
+
+TEST(Model, LeakyReluGradientCheck) {
+  Model model("m", 17);
+  const LayerId in = model.add_input(3);
+  const LayerId h = model.add_dense(in, 6, ActivationKind::LeakyRelu);
+  const LayerId out = model.add_linear(h, 2);
+  const Tensor x = random_batch(4, 3, 22);
+  const Tensor target = random_batch(4, 2, 23);
+
+  model.forward({&x}, false);
+  Tensor grad;
+  mse_loss(model.output(out), target, &grad);
+  model.zero_gradients();
+  model.add_output_gradient(out, grad);
+  model.backward();
+
+  const float eps = 1e-3f;
+  Weights* kernel = model.weights()[0];
+  auto values = kernel->values().data();
+  const auto analytic = kernel->gradient().data();
+  for (std::size_t i = 0; i < values.size(); i += 2) {
+    const float saved = values[i];
+    values[i] = saved + eps;
+    model.forward({&x}, false);
+    const double up = mse_loss(model.output(out), target, nullptr);
+    values[i] = saved - eps;
+    model.forward({&x}, false);
+    const double down = mse_loss(model.output(out), target, nullptr);
+    values[i] = saved;
+    EXPECT_NEAR(analytic[i], (up - down) / (2.0 * eps), 5e-3);
+  }
+}
+
+TEST(Model, InputGradientFlowsToSource) {
+  Model model("m", 12);
+  const LayerId in = model.add_input(2);
+  const LayerId out = model.add_linear(in, 1);
+  auto weights = model.weights();
+  weights[0]->values() = Tensor({2, 1}, {3.0f, -2.0f});
+  weights[1]->values() = Tensor(tensor::Shape{1}, {0.0f});
+  const Tensor x({1, 2}, {1.0f, 1.0f});
+  model.forward({&x});
+  Tensor grad({1, 1}, {1.0f});
+  model.zero_gradients();
+  model.add_output_gradient(out, grad);
+  model.backward();
+  const Tensor& dx = model.input_gradient(0);
+  EXPECT_FLOAT_EQ(dx.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(dx.at(0, 1), -2.0f);
+}
+
+TEST(Model, InputGradientBeforeBackwardThrows) {
+  Model model("m", 13);
+  const LayerId in = model.add_input(2);
+  model.add_linear(in, 1);
+  const Tensor x(1, 2);
+  model.forward({&x});
+  model.zero_gradients();
+  EXPECT_THROW(model.input_gradient(0), InvalidArgument);
+}
+
+TEST(Model, FanOutGradientsAccumulate) {
+  // y = w*x used twice: dL/dw = 2x when both uses receive gradient 1.
+  Model model("m", 14);
+  const LayerId in = model.add_input(1);
+  const LayerId mid =
+      model.add(std::make_unique<FullyConnected>(1, /*has_bias=*/false), {in});
+  auto weights = model.weights();
+  weights[0]->values() = Tensor({1, 1}, {1.0f});
+  const Tensor x({1, 1}, {3.0f});
+  model.forward({&x});
+  const Tensor ones({1, 1}, {1.0f});
+  model.zero_gradients();
+  model.add_output_gradient(mid, ones);
+  model.add_output_gradient(mid, ones);
+  model.backward();
+  EXPECT_FLOAT_EQ(weights[0]->gradient()[0], 6.0f);
+}
+
+TEST(Model, TrainingReducesLossOnRegression) {
+  Model model("m", 15);
+  const LayerId in = model.add_input(1);
+  const LayerId hidden = model.add_dense(in, 16, ActivationKind::Tanh);
+  const LayerId out = model.add_linear(hidden, 1);
+  model.set_optimizer(make_adam_factory(0.01f));
+
+  util::Rng rng(77);
+  Tensor x(64, 1), y(64, 1), grad;
+  for (std::size_t i = 0; i < 64; ++i) {
+    const double xv = rng.uniform(-1.0, 1.0);
+    x[i] = static_cast<float>(xv);
+    y[i] = static_cast<float>(std::sin(3.0 * xv));
+  }
+
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int step = 0; step < 300; ++step) {
+    model.forward({&x});
+    const double loss = mse_loss(model.output(out), y, &grad);
+    if (step == 0) first_loss = loss;
+    last_loss = loss;
+    model.zero_gradients();
+    model.add_output_gradient(out, grad);
+    model.backward();
+    model.apply_optimizer_step();
+  }
+  EXPECT_LT(last_loss, 0.1 * first_loss);
+}
+
+// ---- data-parallel hooks -----------------------------------------------------------
+
+TEST(Parallel, AllreduceGradientsAverages) {
+  comm::World::run(4, [](comm::Communicator& comm) {
+    Model model("m", 100);  // same seed everywhere -> same structure
+    const LayerId in = model.add_input(2);
+    model.add_linear(in, 2);
+    std::vector<float> grads(model.parameter_count(),
+                             static_cast<float>(comm.rank() + 1));
+    model.load_flat_gradients(grads);
+    allreduce_gradients(model, comm);
+    for (const float g : model.flatten_gradients()) {
+      EXPECT_FLOAT_EQ(g, 2.5f);  // mean of 1..4
+    }
+  });
+}
+
+TEST(Parallel, BroadcastWeightsSynchronizes) {
+  comm::World::run(3, [](comm::Communicator& comm) {
+    Model model("m", 200 + static_cast<std::uint64_t>(comm.rank()));
+    const LayerId in = model.add_input(3);
+    model.add_dense(in, 4, ActivationKind::Relu);
+    EXPECT_FALSE(weights_in_sync(model, comm));
+    broadcast_weights(model, comm, /*root=*/0);
+    EXPECT_TRUE(weights_in_sync(model, comm));
+  });
+}
+
+TEST(Parallel, DataParallelMatchesSerialGradients) {
+  // 2 ranks each compute gradients on half the batch; after averaging they
+  // must equal the serial full-batch gradient (MSE is a mean).
+  const Tensor x = random_batch(8, 2, 30);
+  const Tensor y = random_batch(8, 1, 31);
+
+  auto build = [] {
+    Model model("m", 300);
+    const LayerId in = model.add_input(2);
+    model.add_linear(in, 1);
+    return model;
+  };
+
+  Model serial = build();
+  const LayerId serial_out = 1;
+  serial.forward({&x});
+  Tensor grad;
+  mse_loss(serial.output(serial_out), y, &grad);
+  serial.zero_gradients();
+  serial.add_output_gradient(serial_out, grad);
+  serial.backward();
+  const std::vector<float> reference = serial.flatten_gradients();
+
+  std::vector<float> parallel_result;
+  std::mutex mutex;
+  comm::World::run(2, [&](comm::Communicator& comm) {
+    Model model = build();
+    Tensor xs(4, 2), ys(4, 1);
+    const std::size_t offset = static_cast<std::size_t>(comm.rank()) * 4;
+    for (std::size_t r = 0; r < 4; ++r) {
+      for (std::size_t c = 0; c < 2; ++c) xs.at(r, c) = x.at(offset + r, c);
+      ys.at(r, 0) = y.at(offset + r, 0);
+    }
+    model.forward({&xs});
+    Tensor local_grad;
+    mse_loss(model.output(1), ys, &local_grad);
+    model.zero_gradients();
+    model.add_output_gradient(1, local_grad);
+    model.backward();
+    allreduce_gradients(model, comm);
+    if (comm.rank() == 0) {
+      const std::scoped_lock lock(mutex);
+      parallel_result = model.flatten_gradients();
+    }
+  });
+
+  ASSERT_EQ(parallel_result.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_NEAR(parallel_result[i], reference[i], 1e-5f);
+  }
+}
+
+}  // namespace

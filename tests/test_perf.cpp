@@ -1,0 +1,259 @@
+// Tests for the performance models: cost analysis cross-checked against
+// the real network, step-time monotonicity properties, ingestion
+// simulations, and — crucially — regression tests pinning the paper's
+// published shapes for Figs. 9, 10 and 11.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perf/experiments.hpp"
+#include "perf/ingestion_sim.hpp"
+#include "perf/model_cost.hpp"
+#include "perf/step_model.hpp"
+#include "simulator/cluster.hpp"
+
+namespace {
+
+using namespace ltfb;
+using namespace ltfb::perf;
+
+// ---- model cost ------------------------------------------------------------------
+
+TEST(ModelCost, MlpParamsFormula) {
+  // 3 -> 4 -> 2: (3*4 + 4) + (4*2 + 2) = 26.
+  EXPECT_DOUBLE_EQ(mlp_params(3, {4}, 2), 26.0);
+  EXPECT_DOUBLE_EQ(mlp_params(3, {}, 2), 8.0);
+}
+
+TEST(ModelCost, PaperScaleMatchesPaperNumbers) {
+  const auto config = paper_scale_config();
+  // 3 views x 4 channels x 64x64 images + 15 scalars.
+  EXPECT_EQ(config.image_width, 49152u);
+  EXPECT_EQ(config.output_width(), 49167u);
+  EXPECT_EQ(config.latent_width, 20u);
+  // ~192 KiB per sample -> 10M samples is ~2 TB, the paper's database.
+  const double bytes = sample_bytes(config);
+  EXPECT_NEAR(bytes, 4.0 * 49172.0 + 8.0, 1.0);
+  EXPECT_NEAR(bytes * 10e6 / 1e12, 2.0, 0.1);  // ~2 TB
+}
+
+TEST(ModelCost, FlopsArePositiveAndOrdered) {
+  const CycleGanCost cost = analyze(paper_scale_config());
+  EXPECT_GT(cost.total_params(), 0.0);
+  EXPECT_GT(cost.train_flops_per_sample(), cost.eval_flops_per_sample());
+  // The train step runs each network at most a handful of times.
+  EXPECT_LT(cost.train_flops_per_sample(), 40.0 * cost.total_params());
+  EXPECT_GT(cost.train_flops_per_sample(), 6.0 * cost.total_params());
+}
+
+TEST(ModelCost, GeneratorExcludesDiscriminator) {
+  const CycleGanCost cost = analyze(paper_scale_config());
+  EXPECT_DOUBLE_EQ(
+      cost.total_params(),
+      cost.generator_params() + cost.discriminator_params);
+}
+
+// ---- step model ---------------------------------------------------------------------
+
+TEST(StepModel, SustainedFlopsMonotoneInBatch) {
+  const auto spec = sim::lassen_spec();
+  double previous = 0.0;
+  for (const double batch : {1.0, 2.0, 8.0, 32.0, 128.0}) {
+    const double rate = gpu_sustained_flops(spec.gpu, batch);
+    EXPECT_GT(rate, previous);
+    previous = rate;
+  }
+  EXPECT_LT(previous, spec.gpu.peak_flops);
+}
+
+TEST(StepModel, ComputeTimeFallsWithMoreGpus) {
+  const auto spec = sim::lassen_spec();
+  const auto cost = analyze(paper_scale_config());
+  double previous = 1e30;
+  for (const int gpus : {1, 2, 4, 8, 16}) {
+    TrainerLayout layout{gpus, std::min(gpus, 4)};
+    const double t = compute_time(cost, spec, layout, 128);
+    EXPECT_LT(t, previous);
+    previous = t;
+  }
+}
+
+TEST(StepModel, ComputeScalingIsSublinear) {
+  // Fixed global mini-batch: doubling GPUs must less-than-halve the time
+  // (kernel overhead + utilization loss) — the Fig. 9 mechanism.
+  const auto spec = sim::lassen_spec();
+  const auto cost = analyze(paper_scale_config());
+  const double t1 = compute_time(cost, spec, {1, 1}, 128);
+  const double t16 = compute_time(cost, spec, {16, 4}, 128);
+  EXPECT_GT(t16, t1 / 16.0);
+  EXPECT_LT(t16, t1);
+}
+
+TEST(StepModel, AllreduceZeroForSingleGpu) {
+  const auto spec = sim::lassen_spec();
+  const auto cost = analyze(paper_scale_config());
+  EXPECT_DOUBLE_EQ(allreduce_time(cost, spec, {1, 1}, {}), 0.0);
+}
+
+TEST(StepModel, OneGpuPerNodeRingCostsMoreThanHierarchical) {
+  // The Fig. 11 superlinearity mechanism: the paper's 16-node x 1-GPU
+  // baseline pays more ring hops over IB than 4 nodes x 4 GPUs.
+  const auto spec = sim::lassen_spec();
+  const auto cost = analyze(paper_scale_config());
+  const Calibration cal;
+  const double hierarchical = allreduce_time(cost, spec, {16, 4}, cal);
+  const double flat = allreduce_time(cost, spec, {16, 1}, cal);
+  EXPECT_GT(flat, hierarchical);
+}
+
+TEST(StepModel, ShuffleResidualZeroWhenOverlapped) {
+  const auto spec = sim::lassen_spec();
+  const Calibration cal;
+  // A huge compute time fully hides the shuffle.
+  EXPECT_DOUBLE_EQ(
+      shuffle_residual(200e3, spec, {16, 4}, 128, /*compute_s=*/10.0, cal,
+                       false),
+      0.0);
+}
+
+TEST(StepModel, DynamicStoreShuffleSlower) {
+  const auto spec = sim::lassen_spec();
+  const Calibration cal;
+  const double dyn = shuffle_residual(200e3, spec, {16, 4}, 128, 0.0, cal,
+                                      /*dynamic_store=*/true);
+  const double pre = shuffle_residual(200e3, spec, {16, 4}, 128, 0.0, cal,
+                                      /*dynamic_store=*/false);
+  EXPECT_GT(dyn, pre);
+}
+
+TEST(StepModel, RankCapacityScalesWithNodeShare) {
+  const auto spec = sim::lassen_spec();
+  const Calibration cal;
+  // 1 GPU/node ranks get the whole node; 4 GPUs/node a quarter.
+  EXPECT_GT(rank_capacity_bytes(spec, {16, 1}, cal),
+            3.0 * rank_capacity_bytes(spec, {16, 4}, cal));
+}
+
+// ---- ingestion simulations --------------------------------------------------------------
+
+TEST(Ingestion, RandomReadsScaleDownWithReaders) {
+  const auto fs = sim::lassen_spec().fs;
+  const double t1 = simulate_random_reads(fs, 1, 2000, 196688.0);
+  const double t4 = simulate_random_reads(fs, 4, 2000, 196688.0);
+  EXPECT_LT(t4, t1);
+  EXPECT_GT(t4, t1 / 8.0);  // not superlinear
+}
+
+TEST(Ingestion, PreloadFasterThanRandomReads) {
+  // Whole-file sequential preload beats per-sample random access on the
+  // same data — the data store's raison d'etre.
+  const auto fs = sim::lassen_spec().fs;
+  const double bytes = 196688.0;
+  const double random_t = simulate_random_reads(fs, 4, 10'000, bytes);
+  const double preload_t = simulate_preload(fs, 1, 4, 10, 1000, bytes);
+  EXPECT_LT(preload_t, random_t);
+}
+
+TEST(Ingestion, PreloadDegradesWithManyTrainers) {
+  // Beyond the interference knee (512 clients), aggregate preload time
+  // rises again — the Fig. 11 observation at 64 trainers.
+  const auto fs = sim::lassen_spec().fs;
+  const double bytes = 196688.0;
+  // Per-trainer share shrinks with trainer count (10M total samples).
+  const double t32 = simulate_preload(fs, 32, 16, 10'000 / 32, 1000, bytes);
+  const double t64 = simulate_preload(fs, 64, 16, 10'000 / 64, 1000, bytes);
+  EXPECT_GT(t64, t32);
+}
+
+// ---- figure shape regression tests --------------------------------------------------------
+
+TEST(Fig9, ShapeMatchesPaper) {
+  const auto rows = run_fig9(sim::lassen_spec(), PerfWorkload{});
+  ASSERT_EQ(rows.size(), 5u);
+  // Monotone decreasing epoch time.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i].epoch_s, rows[i - 1].epoch_s);
+  }
+  // Paper: 9.36x speedup at 16 GPUs, 58% parallel efficiency.
+  const auto& last = rows.back();
+  EXPECT_EQ(last.gpus, 16);
+  EXPECT_NEAR(last.speedup, 9.36, 1.2);
+  EXPECT_NEAR(last.efficiency, 0.585, 0.08);
+  // Diminishing returns: efficiency strictly falls with GPU count.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i].efficiency, rows[i - 1].efficiency + 1e-9);
+  }
+}
+
+TEST(Fig10, ShapeMatchesPaper) {
+  const auto rows = run_fig10(sim::lassen_spec(), PerfWorkload{});
+  ASSERT_EQ(rows.size(), 5u);
+  // Preload infeasible at 1 and 2 GPUs (memory), feasible from 4.
+  EXPECT_FALSE(rows[0].preload_steady.has_value());
+  EXPECT_FALSE(rows[1].preload_steady.has_value());
+  EXPECT_TRUE(rows[2].preload_steady.has_value());
+  EXPECT_TRUE(rows[4].preload_steady.has_value());
+
+  // Paper: data store benefit 7.73x at 1 GPU.
+  const double benefit_1gpu = rows[0].naive_steady / rows[0].dynamic_steady;
+  EXPECT_NEAR(benefit_1gpu, 7.73, 1.5);
+
+  // Paper at 16 GPUs: 1.31x (dynamic store), 1.43x (preload), and preload
+  // 1.10x over dynamic.
+  const auto& r16 = rows[4];
+  EXPECT_NEAR(r16.naive_steady / r16.dynamic_steady, 1.31, 0.25);
+  EXPECT_NEAR(r16.naive_steady / *r16.preload_steady, 1.43, 0.25);
+  EXPECT_NEAR(r16.dynamic_steady / *r16.preload_steady, 1.10, 0.08);
+
+  // Initial epochs pay the file system; steady state does not.
+  for (const auto& row : rows) {
+    EXPECT_GE(row.dynamic_initial, row.dynamic_steady);
+    if (row.preload_initial) {
+      EXPECT_GE(*row.preload_initial, *row.preload_steady);
+    }
+  }
+}
+
+TEST(Fig11, ShapeMatchesPaper) {
+  PerfWorkload workload;
+  workload.samples = 10'000'000;
+  const auto rows = run_fig11(sim::lassen_spec(), workload);
+  ASSERT_EQ(rows.size(), 5u);
+  // The 1-trainer baseline had to spread over 16 nodes (memory).
+  EXPECT_EQ(rows[0].trainers, 1);
+  EXPECT_EQ(rows[0].gpus_per_node, 1);
+  EXPECT_FALSE(rows[0].note.empty());
+  EXPECT_EQ(rows[1].gpus_per_node, 4);
+
+  // Paper: 70.2x speedup at 64 trainers, ~109% parallel efficiency.
+  const auto& last = rows.back();
+  EXPECT_EQ(last.trainers, 64);
+  EXPECT_EQ(last.total_gpus, 1024);
+  EXPECT_NEAR(last.speedup, 70.2, 8.0);
+  EXPECT_GT(last.efficiency, 1.0);  // superlinear
+  EXPECT_LT(last.efficiency, 1.25);
+
+  // Epoch time strictly decreases with trainers.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i].epoch_s, rows[i - 1].epoch_s);
+  }
+  // Preload improves up to 32 trainers, then degrades at 64 (GPFS
+  // interference) — the paper's observation.
+  EXPECT_LT(rows[3].preload_s, rows[1].preload_s);
+  EXPECT_GT(rows[4].preload_s, rows[3].preload_s);
+}
+
+TEST(Fig11, LayoutFallsBackForLargePartitions) {
+  PerfWorkload workload;
+  workload.samples = 10'000'000;
+  std::string note;
+  const auto layout =
+      fig11_layout(sim::lassen_spec(), workload, 1, {}, &note);
+  EXPECT_EQ(layout.gpus_per_node, 1);
+  EXPECT_FALSE(note.empty());
+  const auto layout8 =
+      fig11_layout(sim::lassen_spec(), workload, 8, {}, &note);
+  EXPECT_EQ(layout8.gpus_per_node, 4);
+}
+
+}  // namespace

@@ -1,0 +1,360 @@
+// Property-based tests: randomized sweeps asserting invariants across
+// modules — the blocked GEMM against the naive reference on random
+// problems, message-passing under randomized traffic, data-store fetch
+// correctness under fuzzed access patterns, DES work conservation, model
+// gradients for every activation, and sampler uniformity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "comm/communicator.hpp"
+#include "core/ltfb.hpp"
+#include "data/dataset.hpp"
+#include "datastore/data_store.hpp"
+#include "jag/jag_model.hpp"
+#include "nn/loss.hpp"
+#include "nn/model.hpp"
+#include "simulator/channel.hpp"
+#include "tensor/gemm.hpp"
+#include "workflow/sampler.hpp"
+
+namespace {
+
+using namespace ltfb;
+
+// ---- GEMM: randomized configurations vs the reference kernel -----------------
+
+class RandomGemm : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGemm, MatchesReference) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const auto m = static_cast<std::size_t>(rng.uniform_int(1, 90));
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 90));
+  const auto k = static_cast<std::size_t>(rng.uniform_int(1, 160));
+  const auto op_a = rng.bernoulli(0.5) ? tensor::Op::Transpose
+                                       : tensor::Op::None;
+  const auto op_b = rng.bernoulli(0.5) ? tensor::Op::Transpose
+                                       : tensor::Op::None;
+  const auto alpha = static_cast<float>(rng.uniform(-2.0, 2.0));
+  const auto beta = static_cast<float>(rng.uniform(-2.0, 2.0));
+
+  tensor::Tensor a(op_a == tensor::Op::None ? tensor::Shape{m, k}
+                                            : tensor::Shape{k, m});
+  tensor::Tensor b(op_b == tensor::Op::None ? tensor::Shape{k, n}
+                                            : tensor::Shape{n, k});
+  tensor::Tensor c(m, n);
+  for (auto& v : a.data()) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b.data()) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : c.data()) v = static_cast<float>(rng.uniform(-1, 1));
+  tensor::Tensor c_ref = c;
+
+  tensor::gemm(op_a, op_b, alpha, a, b, beta, c);
+  tensor::gemm_reference(op_a, op_b, alpha, a, b, beta, c_ref);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(c[i], c_ref[i], 2e-3f)
+        << "m=" << m << " n=" << n << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGemm, ::testing::Range(0, 12));
+
+// ---- comm: randomized traffic, deterministic plan --------------------------------
+
+class MessageStorm : public ::testing::TestWithParam<int> {};
+
+TEST_P(MessageStorm, AllMessagesDelivered) {
+  // Both sides derive the SAME traffic plan from the seed: a list of
+  // (src, dst, tag, payload-value) tuples. Every rank sends its outgoing
+  // messages, then receives its incoming ones in order per (src, tag).
+  const int ranks = 4;
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  struct Msg {
+    int src, dst, tag;
+    std::uint8_t value;
+  };
+  std::vector<Msg> plan;
+  util::Rng rng(util::derive_seed(seed, "storm"));
+  for (int i = 0; i < 120; ++i) {
+    Msg msg;
+    msg.src = static_cast<int>(rng.uniform_index(ranks));
+    msg.dst = static_cast<int>(rng.uniform_index(ranks));
+    msg.tag = static_cast<int>(rng.uniform_index(5));
+    msg.value = static_cast<std::uint8_t>(rng.uniform_index(256));
+    plan.push_back(msg);
+  }
+  comm::World::run(ranks, [&](comm::Communicator& comm) {
+    for (const auto& msg : plan) {
+      if (msg.src == comm.rank()) {
+        comm.send(msg.dst, msg.tag, comm::Buffer{msg.value});
+      }
+    }
+    for (const auto& msg : plan) {
+      if (msg.dst == comm.rank()) {
+        const comm::Buffer got = comm.recv(msg.src, msg.tag);
+        ASSERT_EQ(got.size(), 1u);
+        // FIFO per (src, tag): the value must match the plan order.
+        EXPECT_EQ(got[0], msg.value);
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MessageStorm, ::testing::Range(0, 6));
+
+// ---- data store: fuzzed access patterns vs ground truth ---------------------------
+
+class DataStoreFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DataStoreFuzz, FetchAlwaysReturnsGroundTruth) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("ltfb_fuzz_" + std::to_string(seed));
+  std::filesystem::remove_all(dir);
+
+  data::SampleSchema schema;
+  schema.input_width = 3;
+  schema.scalar_width = 2;
+  schema.image_width = 5;
+  std::vector<data::Sample> samples;
+  util::Rng maker(util::derive_seed(seed, "samples"));
+  const std::size_t total = 60;
+  for (data::SampleId id = 0; id < total; ++id) {
+    data::Sample sample;
+    sample.id = id;
+    sample.input.resize(3);
+    sample.scalars.resize(2);
+    sample.images.resize(5);
+    for (auto& v : sample.input) v = static_cast<float>(maker.uniform());
+    for (auto& v : sample.scalars) v = static_cast<float>(maker.uniform());
+    for (auto& v : sample.images) v = static_cast<float>(maker.uniform());
+    samples.push_back(sample);
+  }
+  const auto paths = data::write_bundle_set(dir, schema, samples, 6);
+  datastore::BundleCatalog catalog(paths);
+
+  // A deterministic plan of 10 collective fetches with random ids (shared
+  // across ranks so they stay in lockstep; each rank uses its own slice).
+  std::vector<std::vector<data::SampleId>> plan(10);
+  util::Rng planner(util::derive_seed(seed, "plan"));
+  for (auto& step : plan) {
+    const auto count = 1 + planner.uniform_index(8);
+    for (std::size_t i = 0; i < count * 3; ++i) {
+      step.push_back(planner.uniform_index(total));
+    }
+  }
+
+  comm::World::run(3, [&](comm::Communicator& comm) {
+    datastore::DataStore store(comm, &catalog,
+                               datastore::PopulateMode::Preloaded);
+    store.preload();
+    for (const auto& step : plan) {
+      // Rank r takes every third id, offset by rank — arbitrary overlap.
+      std::vector<data::SampleId> mine;
+      for (std::size_t i = static_cast<std::size_t>(comm.rank());
+           i < step.size(); i += 3) {
+        mine.push_back(step[i]);
+      }
+      if (mine.empty()) mine.push_back(step[0]);
+      const auto got = store.fetch(mine);
+      ASSERT_EQ(got.size(), mine.size());
+      for (std::size_t i = 0; i < mine.size(); ++i) {
+        const auto& truth = samples[mine[i]];
+        EXPECT_EQ(got[i].id, truth.id);
+        EXPECT_EQ(got[i].input, truth.input);
+        EXPECT_EQ(got[i].scalars, truth.scalars);
+        EXPECT_EQ(got[i].images, truth.images);
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DataStoreFuzz, ::testing::Range(0, 5));
+
+// ---- DES: work conservation under random load --------------------------------------
+
+class ChannelLoad : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChannelLoad, WorkConservationInvariants) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  util::Rng rng(util::derive_seed(seed, "channel"));
+  sim::EventQueue queue;
+  const double capacity = 100.0;
+  sim::FairShareChannel channel(queue, capacity);
+
+  double total_bytes = 0.0;
+  double max_arrival = 0.0;
+  double last_done = 0.0;
+  std::size_t completed = 0;
+  const int flows = 12;
+  for (int i = 0; i < flows; ++i) {
+    const double at = rng.uniform(0.0, 5.0);
+    const double bytes = rng.uniform(10.0, 500.0);
+    const double cap = rng.bernoulli(0.5) ? rng.uniform(5.0, 50.0) : 1e18;
+    total_bytes += bytes;
+    max_arrival = std::max(max_arrival, at);
+    queue.at(at, [&, bytes, cap] {
+      channel.transfer(bytes, cap, [&] {
+        ++completed;
+        last_done = std::max(last_done, queue.now());
+      });
+    });
+  }
+  queue.run();
+  EXPECT_EQ(completed, static_cast<std::size_t>(flows));
+  EXPECT_DOUBLE_EQ(channel.total_bytes_completed(), total_bytes);
+  // The channel cannot beat its capacity: finishing all bytes takes at
+  // least total/capacity seconds of busy time.
+  EXPECT_GE(channel.busy_time() + 1e-9, total_bytes / capacity);
+  // And cannot finish before the busiest lower bound.
+  EXPECT_GE(last_done + 1e-9, total_bytes / capacity);
+  EXPECT_LE(channel.busy_time(), last_done + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChannelLoad, ::testing::Range(0, 8));
+
+// ---- model gradients for every activation -------------------------------------------
+
+class ActivationGradients
+    : public ::testing::TestWithParam<nn::ActivationKind> {};
+
+TEST_P(ActivationGradients, FiniteDifferenceCheck) {
+  nn::Model model("m", 19);
+  const auto in = model.add_input(3);
+  const auto hidden = model.add_dense(in, 5, GetParam());
+  const auto out = model.add_linear(hidden, 2);
+
+  util::Rng rng(23);
+  tensor::Tensor x(4, 3), target(4, 2);
+  for (auto& v : x.data()) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : target.data()) v = static_cast<float>(rng.uniform(-1, 1));
+
+  model.forward({&x}, false);
+  tensor::Tensor grad;
+  nn::mse_loss(model.output(out), target, &grad);
+  model.zero_gradients();
+  model.add_output_gradient(out, grad);
+  model.backward();
+
+  const float eps = 1e-3f;
+  for (nn::Weights* w : model.weights()) {
+    auto values = w->values().data();
+    const auto analytic = w->gradient().data();
+    for (std::size_t i = 0; i < values.size(); i += 3) {
+      const float saved = values[i];
+      values[i] = saved + eps;
+      model.forward({&x}, false);
+      const double up = nn::mse_loss(model.output(out), target, nullptr);
+      values[i] = saved - eps;
+      model.forward({&x}, false);
+      const double down = nn::mse_loss(model.output(out), target, nullptr);
+      values[i] = saved;
+      EXPECT_NEAR(analytic[i], (up - down) / (2.0 * eps), 5e-3);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ActivationGradients,
+                         ::testing::Values(nn::ActivationKind::Relu,
+                                           nn::ActivationKind::LeakyRelu,
+                                           nn::ActivationKind::Sigmoid,
+                                           nn::ActivationKind::Tanh));
+
+// ---- tournament pairing over many configurations -------------------------------------
+
+class PairingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PairingSweep, AlwaysAValidMatching) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  for (std::size_t round = 0; round < 12; ++round) {
+    const auto pairs = core::tournament_pairs(n, 99, round);
+    EXPECT_EQ(pairs.size(), n / 2);
+    std::set<int> seen;
+    for (const auto& [a, b] : pairs) {
+      EXPECT_GE(a, 0);
+      EXPECT_LT(a, static_cast<int>(n));
+      EXPECT_NE(a, b);
+      EXPECT_TRUE(seen.insert(a).second);
+      EXPECT_TRUE(seen.insert(b).second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PairingSweep,
+                         ::testing::Values(2, 3, 5, 8, 16, 33, 64));
+
+TEST(PairingSweep, PartnersRotateOverRounds) {
+  // Over many rounds each trainer should meet several distinct partners —
+  // the mechanism by which knowledge percolates through the population.
+  std::map<int, std::set<int>> partners;
+  for (std::size_t round = 0; round < 24; ++round) {
+    for (const auto& [a, b] : core::tournament_pairs(8, 7, round)) {
+      partners[a].insert(b);
+      partners[b].insert(a);
+    }
+  }
+  for (const auto& [trainer, met] : partners) {
+    EXPECT_GE(met.size(), 4u) << "trainer " << trainer
+                              << " met too few partners";
+  }
+}
+
+// ---- sampler projections are near-uniform -------------------------------------------
+
+TEST(SamplerProperties, SpectralProjectionsUniform) {
+  const workflow::SpectralSampler sampler;
+  const auto points = sampler.points(2000);
+  for (std::size_t dim = 0; dim < jag::kNumInputs; ++dim) {
+    std::array<int, 10> bins{};
+    for (const auto& point : points) {
+      ++bins[std::min<std::size_t>(
+          9, static_cast<std::size_t>(point[dim] * 10.0))];
+    }
+    for (const int count : bins) {
+      // Perfect uniformity would be 200 per bin.
+      EXPECT_NEAR(count, 200, 25) << "dimension " << dim;
+    }
+  }
+}
+
+TEST(SamplerProperties, JagOverSpectralDesignAllFinite) {
+  jag::JagConfig config;
+  config.image_size = 4;
+  const jag::JagModel model(config);
+  const workflow::SpectralSampler sampler;
+  for (std::size_t i = 0; i < 300; ++i) {
+    const auto out = model.run(sampler.point(i));
+    for (const float s : out.scalars) ASSERT_TRUE(std::isfinite(s));
+  }
+}
+
+// ---- normalizer roundtrip under random data -------------------------------------------
+
+class NormalizerFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormalizerFuzz, TransformInverseIsIdentity) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 555);
+  const auto width = static_cast<std::size_t>(rng.uniform_int(1, 12));
+  const auto rows = static_cast<std::size_t>(rng.uniform_int(2, 50));
+  std::vector<float> values(width * rows);
+  for (auto& v : values) {
+    v = static_cast<float>(rng.normal(rng.uniform(-100, 100),
+                                      rng.uniform(0.001, 50)));
+  }
+  data::Normalizer norm;
+  norm.fit(values, width);
+  std::vector<float> copy = values;
+  norm.transform(copy);
+  norm.inverse(copy);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(copy[i], values[i],
+                std::max(1e-3f, std::abs(values[i]) * 1e-4f));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizerFuzz, ::testing::Range(0, 6));
+
+}  // namespace

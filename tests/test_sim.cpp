@@ -1,0 +1,310 @@
+// Tests for the discrete-event simulator: event ordering, the fair-share
+// channel's processor-sharing behaviour, the latency station, and the
+// parallel file-system contention model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "simulator/channel.hpp"
+#include "simulator/cluster.hpp"
+#include "simulator/event_queue.hpp"
+#include "simulator/filesystem.hpp"
+
+namespace {
+
+using namespace ltfb;
+using namespace ltfb::sim;
+
+// ---- event queue ----------------------------------------------------------------
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.at(3.0, [&] { order.push_back(3); });
+  queue.at(1.0, [&] { order.push_back(1); });
+  queue.at(2.0, [&] { order.push_back(2); });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, SimultaneousEventsFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.at(1.0, [&] { order.push_back(0); });
+  queue.at(1.0, [&] { order.push_back(1); });
+  queue.at(1.0, [&] { order.push_back(2); });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, HandlersMayScheduleMore) {
+  EventQueue queue;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) queue.after(1.0, chain);
+  };
+  queue.after(0.0, chain);
+  queue.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(queue.now(), 4.0);
+}
+
+TEST(EventQueue, SchedulingInPastThrows) {
+  EventQueue queue;
+  queue.at(5.0, [] {});
+  queue.run();
+  EXPECT_THROW(queue.at(1.0, [] {}), InvalidArgument);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.step());
+  queue.at(0.0, [] {});
+  EXPECT_TRUE(queue.step());
+  EXPECT_FALSE(queue.step());
+  EXPECT_EQ(queue.events_processed(), 1u);
+}
+
+// ---- fair-share channel -----------------------------------------------------------
+
+TEST(Channel, SingleFlowTakesBytesOverCapacity) {
+  EventQueue queue;
+  FairShareChannel channel(queue, 100.0);  // 100 B/s
+  double done_at = -1.0;
+  channel.transfer(500.0, [&] { done_at = queue.now(); });
+  queue.run();
+  EXPECT_NEAR(done_at, 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(channel.total_bytes_completed(), 500.0);
+}
+
+TEST(Channel, TwoEqualFlowsShareFairly) {
+  EventQueue queue;
+  FairShareChannel channel(queue, 100.0);
+  double a = -1, b = -1;
+  channel.transfer(500.0, [&] { a = queue.now(); });
+  channel.transfer(500.0, [&] { b = queue.now(); });
+  queue.run();
+  // Both progress at 50 B/s -> both complete at t = 10.
+  EXPECT_NEAR(a, 10.0, 1e-9);
+  EXPECT_NEAR(b, 10.0, 1e-9);
+}
+
+TEST(Channel, ShortFlowFreesBandwidthForLongFlow) {
+  EventQueue queue;
+  FairShareChannel channel(queue, 100.0);
+  double short_done = -1, long_done = -1;
+  channel.transfer(100.0, [&] { short_done = queue.now(); });
+  channel.transfer(900.0, [&] { long_done = queue.now(); });
+  queue.run();
+  // Shared until t=2 (100 each at 50 B/s); short finishes, long has 800
+  // left at 100 B/s -> 2 + 8 = 10.
+  EXPECT_NEAR(short_done, 2.0, 1e-9);
+  EXPECT_NEAR(long_done, 10.0, 1e-9);
+}
+
+TEST(Channel, RateCapLimitsFlow) {
+  EventQueue queue;
+  FairShareChannel channel(queue, 1000.0);
+  double done = -1;
+  channel.transfer(100.0, /*rate_cap=*/10.0, [&] { done = queue.now(); });
+  queue.run();
+  EXPECT_NEAR(done, 10.0, 1e-9);
+}
+
+TEST(Channel, CappedFlowSlackGoesToOthers) {
+  EventQueue queue;
+  FairShareChannel channel(queue, 100.0);
+  double capped = -1, open = -1;
+  channel.transfer(100.0, /*rate_cap=*/20.0, [&] { capped = queue.now(); });
+  channel.transfer(400.0, [&] { open = queue.now(); });
+  queue.run();
+  // Capped flow: 20 B/s -> done at 5. Open flow: 80 B/s until t=5
+  // (400 bytes done) -> both at 5.
+  EXPECT_NEAR(capped, 5.0, 1e-9);
+  EXPECT_NEAR(open, 5.0, 1e-9);
+}
+
+TEST(Channel, StaggeredArrivals) {
+  EventQueue queue;
+  FairShareChannel channel(queue, 100.0);
+  double first = -1, second = -1;
+  channel.transfer(300.0, [&] { first = queue.now(); });
+  queue.at(1.0, [&] {
+    channel.transfer(100.0, [&] { second = queue.now(); });
+  });
+  queue.run();
+  // t<1: first at 100 B/s (100 done). t in [1, 3]: both at 50 B/s; second
+  // finishes at t=3 (100 bytes). first has 100 left -> done at t=4.
+  EXPECT_NEAR(second, 3.0, 1e-9);
+  EXPECT_NEAR(first, 4.0, 1e-9);
+}
+
+TEST(Channel, SetCapacityRescalesInFlight) {
+  EventQueue queue;
+  FairShareChannel channel(queue, 100.0);
+  double done = -1;
+  channel.transfer(1000.0, [&] { done = queue.now(); });
+  queue.at(5.0, [&] { channel.set_capacity(50.0); });
+  queue.run();
+  // 500 bytes in first 5 s; remaining 500 at 50 B/s -> 5 + 10 = 15.
+  EXPECT_NEAR(done, 15.0, 1e-9);
+}
+
+TEST(Channel, ZeroByteTransferCompletes) {
+  EventQueue queue;
+  FairShareChannel channel(queue, 100.0);
+  bool done = false;
+  channel.transfer(0.0, [&] { done = true; });
+  queue.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Channel, CompletionHandlerCanStartNewTransfer) {
+  EventQueue queue;
+  FairShareChannel channel(queue, 100.0);
+  double final_time = -1;
+  channel.transfer(100.0, [&] {
+    channel.transfer(100.0, [&] { final_time = queue.now(); });
+  });
+  queue.run();
+  EXPECT_NEAR(final_time, 2.0, 1e-9);
+}
+
+TEST(Channel, BusyTimeTracked) {
+  EventQueue queue;
+  FairShareChannel channel(queue, 100.0);
+  channel.transfer(200.0, [] {});
+  queue.run();
+  EXPECT_NEAR(channel.busy_time(), 2.0, 1e-9);
+}
+
+TEST(Channel, InvalidParametersThrow) {
+  EventQueue queue;
+  EXPECT_THROW(FairShareChannel(queue, 0.0), InvalidArgument);
+  FairShareChannel channel(queue, 10.0);
+  EXPECT_THROW(channel.transfer(-1.0, [] {}), InvalidArgument);
+  EXPECT_THROW(channel.set_capacity(-5.0), InvalidArgument);
+}
+
+// ---- latency station ----------------------------------------------------------------
+
+TEST(Station, SingleServerSerializes) {
+  EventQueue queue;
+  LatencyStation station(queue, 1, 2.0);
+  std::vector<double> done;
+  for (int i = 0; i < 3; ++i) {
+    station.request([&] { done.push_back(queue.now()); });
+  }
+  queue.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_NEAR(done[0], 2.0, 1e-9);
+  EXPECT_NEAR(done[1], 4.0, 1e-9);
+  EXPECT_NEAR(done[2], 6.0, 1e-9);
+  EXPECT_EQ(station.served(), 3u);
+  EXPECT_NEAR(station.max_wait(), 4.0, 1e-9);
+}
+
+TEST(Station, ParallelServersOverlap) {
+  EventQueue queue;
+  LatencyStation station(queue, 3, 2.0);
+  std::vector<double> done;
+  for (int i = 0; i < 3; ++i) {
+    station.request([&] { done.push_back(queue.now()); });
+  }
+  queue.run();
+  for (const double t : done) {
+    EXPECT_NEAR(t, 2.0, 1e-9);
+  }
+  EXPECT_NEAR(station.max_wait(), 0.0, 1e-9);
+}
+
+TEST(Station, QueueDepthVisible) {
+  EventQueue queue;
+  LatencyStation station(queue, 1, 1.0);
+  for (int i = 0; i < 5; ++i) station.request([] {});
+  // One dispatched immediately, four waiting.
+  EXPECT_EQ(station.queued(), 4u);
+  queue.run();
+  EXPECT_EQ(station.queued(), 0u);
+}
+
+// ---- parallel file system --------------------------------------------------------------
+
+FileSystemConfig test_fs() {
+  FileSystemConfig fs;
+  fs.open_latency_s = 0.1;
+  fs.metadata_servers = 2;
+  fs.aggregate_bandwidth = 1000.0;
+  fs.per_client_bandwidth = 300.0;
+  fs.interference = 0.5;
+  fs.interference_knee = 4;
+  return fs;
+}
+
+TEST(FileSystem, OpenGoesThroughMetadata) {
+  EventQueue queue;
+  ParallelFileSystem fs(queue, test_fs());
+  double done = -1;
+  fs.open([&] { done = queue.now(); });
+  queue.run();
+  EXPECT_NEAR(done, 0.1, 1e-9);
+  EXPECT_EQ(fs.stats().opens, 1u);
+}
+
+TEST(FileSystem, ReadCappedPerClient) {
+  EventQueue queue;
+  ParallelFileSystem fs(queue, test_fs());
+  double done = -1;
+  fs.read(600.0, [&] { done = queue.now(); });
+  queue.run();
+  EXPECT_NEAR(done, 2.0, 1e-9);  // 600 / 300 cap, aggregate not binding
+  EXPECT_DOUBLE_EQ(fs.stats().bytes_read, 600.0);
+}
+
+TEST(FileSystem, AggregateBindsManyClients) {
+  EventQueue queue;
+  ParallelFileSystem fs(queue, test_fs());
+  std::vector<double> done(5, -1.0);
+  for (int i = 0; i < 5; ++i) {
+    fs.read(200.0, [&done, i, &queue] { done[static_cast<std::size_t>(i)] =
+                                            queue.now(); });
+  }
+  queue.run();
+  // 5 clients want 300 each; aggregate 1000 -> 200 B/s each -> t = 1.
+  for (const double t : done) EXPECT_NEAR(t, 1.0, 1e-9);
+}
+
+TEST(FileSystem, EffectiveAggregateDegradesBeyondKnee) {
+  EventQueue queue;
+  ParallelFileSystem fs(queue, test_fs());
+  EXPECT_DOUBLE_EQ(fs.effective_aggregate(), 1000.0);
+  for (int i = 0; i < 4; ++i) fs.client_arrived();
+  EXPECT_DOUBLE_EQ(fs.effective_aggregate(), 1000.0);  // at the knee
+  for (int i = 0; i < 4; ++i) fs.client_arrived();
+  // 8 clients, knee 4 -> 1000 / (1 + 0.5 * 1) = 666.7
+  EXPECT_NEAR(fs.effective_aggregate(), 1000.0 / 1.5, 1e-6);
+  for (int i = 0; i < 8; ++i) fs.client_departed();
+  EXPECT_DOUBLE_EQ(fs.effective_aggregate(), 1000.0);
+}
+
+TEST(FileSystem, DepartWithoutArriveThrows) {
+  EventQueue queue;
+  ParallelFileSystem fs(queue, test_fs());
+  EXPECT_THROW(fs.client_departed(), InvalidArgument);
+}
+
+// ---- cluster spec ---------------------------------------------------------------------
+
+TEST(Cluster, LassenSpecMatchesPaper) {
+  const ClusterSpec spec = lassen_spec();
+  EXPECT_EQ(spec.nodes, 795);
+  EXPECT_EQ(spec.node.gpus, 4);
+  EXPECT_DOUBLE_EQ(spec.node.memory_bytes, 256.0 * (1ull << 30));
+  EXPECT_DOUBLE_EQ(spec.gpu.memory_bytes, 16.0 * (1ull << 30));
+  EXPECT_GT(spec.node.nvlink_bandwidth, spec.node.ib_bandwidth);
+}
+
+}  // namespace

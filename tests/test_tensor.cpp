@@ -1,0 +1,232 @@
+// Unit tests for src/tensor: shapes, blocked GEMM vs the naive reference,
+// and elementwise kernels.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ltfb;
+using namespace ltfb::tensor;
+
+void fill_random(Tensor& t, std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (auto& v : t.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+}
+
+// ---- tensor basics -----------------------------------------------------------
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{3, 4});
+  EXPECT_EQ(t.size(), 12u);
+  for (const float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, TwoDAccessors) {
+  Tensor t(2, 3);
+  t.at(1, 2) = 7.0f;
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.at(1, 2), 7.0f);
+  EXPECT_EQ(t[1 * 3 + 2], 7.0f);
+}
+
+TEST(Tensor, RowView) {
+  Tensor t(2, 3);
+  auto row = t.row(1);
+  row[0] = 5.0f;
+  EXPECT_EQ(t.at(1, 0), 5.0f);
+  EXPECT_EQ(row.size(), 3u);
+}
+
+TEST(Tensor, ConstructorWithValues) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+}
+
+TEST(Tensor, ConstructorValueCountMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), InvalidArgument);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  t.reshape({3, 2});
+  EXPECT_EQ(t.at(2, 1), 6.0f);
+}
+
+TEST(Tensor, ReshapeVolumeMismatchThrows) {
+  Tensor t(2, 3);
+  EXPECT_THROW(t.reshape({4, 2}), InvalidArgument);
+}
+
+TEST(Tensor, ResizeZeroesContents) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  t.resize({3, 3});
+  EXPECT_EQ(t.size(), 9u);
+  for (const float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FullFillsValue) {
+  const Tensor t = Tensor::full({2, 2}, 3.5f);
+  for (const float v : t.data()) EXPECT_EQ(v, 3.5f);
+}
+
+TEST(Tensor, ShapeHelpers) {
+  EXPECT_EQ(shape_volume({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_volume({}), 0u);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+}
+
+// ---- gemm ---------------------------------------------------------------------
+
+struct GemmCase {
+  std::size_t m, n, k;
+  Op op_a, op_b;
+  float alpha, beta;
+};
+
+class GemmParamTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmParamTest, MatchesReference) {
+  const auto& p = GetParam();
+  Tensor a(p.op_a == Op::None ? Shape{p.m, p.k} : Shape{p.k, p.m});
+  Tensor b(p.op_b == Op::None ? Shape{p.k, p.n} : Shape{p.n, p.k});
+  Tensor c(p.m, p.n), c_ref(p.m, p.n);
+  fill_random(a, 1);
+  fill_random(b, 2);
+  fill_random(c, 3);
+  std::copy(c.data().begin(), c.data().end(), c_ref.data().begin());
+
+  gemm(p.op_a, p.op_b, p.alpha, a, b, p.beta, c);
+  gemm_reference(p.op_a, p.op_b, p.alpha, a, b, p.beta, c_ref);
+
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], c_ref[i], 1e-3f) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndTransposes, GemmParamTest,
+    ::testing::Values(
+        GemmCase{1, 1, 1, Op::None, Op::None, 1.0f, 0.0f},
+        GemmCase{4, 5, 3, Op::None, Op::None, 1.0f, 0.0f},
+        GemmCase{16, 16, 16, Op::None, Op::None, 1.0f, 0.0f},
+        GemmCase{7, 9, 11, Op::Transpose, Op::None, 1.0f, 0.0f},
+        GemmCase{7, 9, 11, Op::None, Op::Transpose, 1.0f, 0.0f},
+        GemmCase{7, 9, 11, Op::Transpose, Op::Transpose, 1.0f, 0.0f},
+        GemmCase{65, 129, 130, Op::None, Op::None, 1.0f, 0.0f},   // > blocks
+        GemmCase{128, 64, 200, Op::Transpose, Op::None, 1.0f, 1.0f},
+        GemmCase{33, 17, 250, Op::None, Op::Transpose, 0.5f, -1.0f},
+        GemmCase{5, 5, 5, Op::None, Op::None, 2.0f, 3.0f},
+        GemmCase{5, 5, 5, Op::None, Op::None, 0.0f, 2.0f}));
+
+TEST(Gemm, InnerDimensionMismatchThrows) {
+  Tensor a(2, 3), b(4, 5), c(2, 5);
+  EXPECT_THROW(matmul(a, b, c), InvalidArgument);
+}
+
+TEST(Gemm, OutputShapeMismatchThrows) {
+  Tensor a(2, 3), b(3, 5), c(2, 4);
+  EXPECT_THROW(matmul(a, b, c), InvalidArgument);
+}
+
+TEST(Gemm, IdentityMultiplication) {
+  Tensor eye(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) eye.at(i, i) = 1.0f;
+  Tensor a(3, 3);
+  fill_random(a, 4);
+  Tensor c(3, 3);
+  matmul(eye, a, c);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(c[i], a[i]);
+}
+
+TEST(Gemm, FlopsFormula) {
+  EXPECT_DOUBLE_EQ(gemm_flops(2, 3, 4), 48.0);
+}
+
+// ---- ops ----------------------------------------------------------------------
+
+TEST(Ops, Axpy) {
+  std::vector<float> x{1, 2, 3}, y{10, 20, 30};
+  axpy(2.0f, x, y);
+  EXPECT_EQ(y, (std::vector<float>{12, 24, 36}));
+}
+
+TEST(Ops, AxpySizeMismatchThrows) {
+  std::vector<float> x{1}, y{1, 2};
+  EXPECT_THROW(axpy(1.0f, x, y), InvalidArgument);
+}
+
+TEST(Ops, Scale) {
+  std::vector<float> x{2, 4};
+  scale(0.5f, x);
+  EXPECT_EQ(x, (std::vector<float>{1, 2}));
+}
+
+TEST(Ops, AddSubHadamard) {
+  Tensor a({1, 3}, {1, 2, 3});
+  Tensor b({1, 3}, {4, 5, 6});
+  Tensor out;
+  add(a, b, out);
+  EXPECT_EQ(out[0], 5.0f);
+  sub(b, a, out);
+  EXPECT_EQ(out[2], 3.0f);
+  hadamard(a, b, out);
+  EXPECT_EQ(out[1], 10.0f);
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  Tensor a(1, 3), b(1, 4), out;
+  EXPECT_THROW(add(a, b, out), InvalidArgument);
+}
+
+TEST(Ops, AddRowBias) {
+  Tensor m({2, 3}, {0, 0, 0, 1, 1, 1});
+  const std::vector<float> bias{10, 20, 30};
+  add_row_bias(bias, m);
+  EXPECT_EQ(m.at(0, 1), 20.0f);
+  EXPECT_EQ(m.at(1, 2), 31.0f);
+}
+
+TEST(Ops, ColumnSums) {
+  Tensor m({2, 3}, {1, 2, 3, 4, 5, 6});
+  std::vector<float> sums(3);
+  column_sums(m, sums);
+  EXPECT_EQ(sums, (std::vector<float>{5, 7, 9}));
+}
+
+TEST(Ops, SumAndNorms) {
+  const std::vector<float> x{1, -2, 3};
+  EXPECT_DOUBLE_EQ(sum(x), 2.0);
+  EXPECT_DOUBLE_EQ(squared_norm(x), 14.0);
+  EXPECT_FLOAT_EQ(max_abs(x), 3.0f);
+}
+
+TEST(Ops, Clamp) {
+  std::vector<float> x{-5, 0, 5};
+  clamp(x, -1.0f, 1.0f);
+  EXPECT_EQ(x, (std::vector<float>{-1, 0, 1}));
+}
+
+TEST(Ops, AllFinite) {
+  std::vector<float> ok{1, 2, 3};
+  EXPECT_TRUE(all_finite(ok));
+  std::vector<float> bad{1, std::numeric_limits<float>::quiet_NaN()};
+  EXPECT_FALSE(all_finite(bad));
+  std::vector<float> inf{1, std::numeric_limits<float>::infinity()};
+  EXPECT_FALSE(all_finite(inf));
+}
+
+}  // namespace

@@ -1,0 +1,397 @@
+// Unit tests for src/util: RNG determinism and quality, statistics,
+// formatting, tables, and the thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace ltfb;
+using namespace ltfb::util;
+
+// ---- rng --------------------------------------------------------------------
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.engine()() == b.engine()()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DeriveSeedIsDeterministic) {
+  EXPECT_EQ(derive_seed(7, 3), derive_seed(7, 3));
+  EXPECT_NE(derive_seed(7, 3), derive_seed(7, 4));
+  EXPECT_NE(derive_seed(7, 3), derive_seed(8, 3));
+}
+
+TEST(Rng, DeriveSeedLabelOverloads) {
+  EXPECT_EQ(derive_seed(1, "model"), derive_seed(1, "model"));
+  EXPECT_NE(derive_seed(1, "model"), derive_seed(1, "reader"));
+  EXPECT_EQ(derive_seed(1, "model", 2), derive_seed(1, "model", 2));
+  EXPECT_NE(derive_seed(1, "model", 2), derive_seed(1, "model", 3));
+}
+
+TEST(Rng, AdjacentSeedsAreUnrelated) {
+  // SplitMix expansion: streams from seeds s and s+1 must not correlate.
+  Rng a(100), b(101);
+  double dot = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    dot += (a.uniform() - 0.5) * (b.uniform() - 0.5);
+  }
+  EXPECT_LT(std::abs(dot / n), 0.01);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(5);
+  for (std::uint64_t n : {1ull, 2ull, 7ull, 100ull, 12345ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.uniform_index(n), n);
+    }
+  }
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    seen.insert(rng.uniform_index(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= (v == -3);
+    hit_hi |= (v == 3);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(8);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.add(rng.normal());
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.add(rng.normal(5.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(10);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleDeterministicPerSeed) {
+  std::vector<int> a{1, 2, 3, 4, 5}, b{1, 2, 3, 4, 5};
+  Rng r1(12), r2(12);
+  r1.shuffle(a);
+  r2.shuffle(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ChildStreamsIndependent) {
+  Rng parent(13);
+  Rng c1 = parent.child(1);
+  Rng c2 = parent.child(2);
+  EXPECT_NE(c1.engine()(), c2.engine()());
+}
+
+TEST(Rng, LongJumpChangesState) {
+  Xoshiro256 a(55), b(55);
+  b.long_jump();
+  EXPECT_NE(a(), b());
+}
+
+// ---- stats ------------------------------------------------------------------
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSinglePass) {
+  Rng rng(14);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 1.5);
+    whole.add(v);
+    (i < 400 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<float> a{1, 2, 3, 4, 5};
+  const std::vector<float> b{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(std::span<const float>(a), std::span<const float>(b)),
+              1.0, 1e-9);
+}
+
+TEST(Stats, PearsonAntiCorrelation) {
+  const std::vector<float> a{1, 2, 3};
+  const std::vector<float> b{3, 2, 1};
+  EXPECT_NEAR(pearson(std::span<const float>(a), std::span<const float>(b)),
+              -1.0, 1e-9);
+}
+
+TEST(Stats, PearsonConstantInputIsZero) {
+  const std::vector<float> a{1, 1, 1};
+  const std::vector<float> b{1, 2, 3};
+  EXPECT_EQ(pearson(std::span<const float>(a), std::span<const float>(b)),
+            0.0);
+}
+
+TEST(Stats, MaeAndRmse) {
+  const std::vector<float> a{0, 0, 0, 0};
+  const std::vector<float> b{1, -1, 2, -2};
+  EXPECT_DOUBLE_EQ(
+      mean_absolute_error(std::span<const float>(a), std::span<const float>(b)),
+      1.5);
+  EXPECT_NEAR(rmse(std::span<const float>(a), std::span<const float>(b)),
+              std::sqrt(2.5), 1e-6);
+}
+
+TEST(Stats, PsnrIdenticalIsLarge) {
+  const std::vector<float> a{1, 2, 3};
+  EXPECT_DOUBLE_EQ(psnr(std::span<const float>(a), std::span<const float>(a),
+                        1.0),
+                   99.0);
+}
+
+TEST(Stats, PsnrKnownValue) {
+  const std::vector<float> a{0, 0};
+  const std::vector<float> b{1, 1};  // rmse = 1, peak = 10 -> 20 dB
+  EXPECT_NEAR(psnr(std::span<const float>(a), std::span<const float>(b), 10.0),
+              20.0, 1e-9);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> data{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(data, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 25), 2.0);
+}
+
+TEST(Stats, PercentileEmptyThrows) {
+  EXPECT_THROW(percentile({}, 50), InvalidArgument);
+}
+
+// ---- error ------------------------------------------------------------------
+
+TEST(Error, CheckThrowsWithMessage) {
+  try {
+    LTFB_CHECK_MSG(false, "context " << 42);
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesQuietly) {
+  EXPECT_NO_THROW(LTFB_CHECK(1 + 1 == 2));
+}
+
+// ---- table / formatting -------------------------------------------------------
+
+TEST(Table, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(Table, FormatSeconds) {
+  EXPECT_EQ(format_seconds(0.0005), "500.0 us");
+  EXPECT_EQ(format_seconds(0.25), "250.0 ms");
+  EXPECT_EQ(format_seconds(12.0), "12.0 s");
+  EXPECT_EQ(format_seconds(1200.0), "20.0 min");
+  EXPECT_EQ(format_seconds(7200.0 + 1800.0), "2.50 h");
+}
+
+TEST(Table, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512.0 B");
+  EXPECT_EQ(format_bytes(2.0 * 1024 * 1024 * 1024), "2.00 GiB");
+}
+
+TEST(Table, RenderAlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"long-name", "12345"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Table, CsvWriterWritesRows) {
+  const std::string path = testing::TempDir() + "/ltfb_test.csv";
+  {
+    CsvWriter csv(path, {"x", "y"});
+    ASSERT_TRUE(csv.ok());
+    csv.add_row({"1", "2"});
+    csv.add_row({"3", "4"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+}
+
+// ---- thread pool ---------------------------------------------------------------
+
+TEST(ThreadPool, ExecutesSubmittedWork) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&counter] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      ++counter;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroRequestedStillHasOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(Stopwatch, MeasuresElapsed) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(sw.elapsed_seconds(), 0.005);
+  sw.reset();
+  EXPECT_LT(sw.elapsed_seconds(), 0.5);
+}
+
+}  // namespace

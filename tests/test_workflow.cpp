@@ -1,0 +1,248 @@
+// Tests for the workflow engine (Merlin substitute), the experiment-design
+// samplers, and the ensemble runner.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+
+#include "datastore/bundle_catalog.hpp"
+#include "workflow/ensemble.hpp"
+#include "workflow/sampler.hpp"
+#include "workflow/workflow.hpp"
+
+namespace {
+
+using namespace ltfb;
+using namespace ltfb::workflow;
+
+// ---- samplers -------------------------------------------------------------------
+
+TEST(Sampler, UniformDeterministicPerIndex) {
+  UniformSampler sampler(5);
+  EXPECT_EQ(sampler.point(3), sampler.point(3));
+  EXPECT_NE(sampler.point(3), sampler.point(4));
+}
+
+TEST(Sampler, AllSamplersInUnitCube) {
+  const UniformSampler uniform(1);
+  const SpectralSampler spectral;
+  const HaltonSampler halton;
+  for (const Sampler* sampler :
+       std::initializer_list<const Sampler*>{&uniform, &spectral, &halton}) {
+    for (std::size_t i = 0; i < 500; ++i) {
+      for (const double c : sampler->point(i)) {
+        EXPECT_GE(c, 0.0) << sampler->name() << " index " << i;
+        EXPECT_LT(c, 1.0) << sampler->name() << " index " << i;
+      }
+    }
+  }
+}
+
+TEST(Sampler, PointsBatchMatchesPointwise) {
+  SpectralSampler sampler;
+  const auto batch = sampler.points(10, 5);
+  ASSERT_EQ(batch.size(), 10u);
+  EXPECT_EQ(batch[0], sampler.point(5));
+  EXPECT_EQ(batch[9], sampler.point(14));
+}
+
+TEST(Sampler, SpectralBeatsUniformOnMinDistance) {
+  // The spectral (low-discrepancy) design must spread points much better
+  // than i.i.d. sampling — that is its purpose in the paper's DOE.
+  const std::size_t n = 200;
+  const SpectralSampler spectral;
+  const UniformSampler uniform(3);
+  const double d_spectral = min_pairwise_distance(spectral.points(n));
+  const double d_uniform = min_pairwise_distance(uniform.points(n));
+  EXPECT_GT(d_spectral, 2.0 * d_uniform);
+}
+
+TEST(Sampler, SpectralBeatsUniformOnDiscrepancy) {
+  const std::size_t n = 512;
+  const SpectralSampler spectral;
+  const UniformSampler uniform(7);
+  const double disc_spectral =
+      box_discrepancy(spectral.points(n), 200, 99);
+  const double disc_uniform = box_discrepancy(uniform.points(n), 200, 99);
+  EXPECT_LT(disc_spectral, disc_uniform);
+}
+
+TEST(Sampler, SpectralSeedRotatesSequence) {
+  const SpectralSampler a(1), b(2);
+  EXPECT_NE(a.point(0), b.point(0));
+  // Rotation preserves the low-discrepancy structure.
+  EXPECT_GT(min_pairwise_distance(b.points(100)), 0.0);
+}
+
+TEST(Sampler, HaltonFirstPointsKnown) {
+  const HaltonSampler halton;
+  const auto p0 = halton.point(0);  // index 1 in each base
+  EXPECT_NEAR(p0[0], 0.5, 1e-12);        // base 2
+  EXPECT_NEAR(p0[1], 1.0 / 3.0, 1e-12);  // base 3
+  EXPECT_NEAR(p0[2], 0.2, 1e-12);        // base 5
+}
+
+TEST(Sampler, DiagnosticsRejectDegenerateInput) {
+  EXPECT_THROW(min_pairwise_distance({}), InvalidArgument);
+  EXPECT_THROW(box_discrepancy({}, 10, 1), InvalidArgument);
+}
+
+// ---- workflow engine -----------------------------------------------------------------
+
+TEST(Workflow, RunsAllIndependentTasks) {
+  WorkflowEngine engine(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    engine.add_task("t" + std::to_string(i), [&counter] { ++counter; });
+  }
+  EXPECT_TRUE(engine.run());
+  EXPECT_EQ(counter.load(), 20);
+  EXPECT_EQ(engine.count_with_status(TaskStatus::Succeeded), 20u);
+}
+
+TEST(Workflow, RespectsDependencies) {
+  WorkflowEngine engine(4);
+  std::atomic<int> stage{0};
+  const TaskId a = engine.add_task("a", [&] {
+    int expected = 0;
+    EXPECT_TRUE(stage.compare_exchange_strong(expected, 1));
+  });
+  const TaskId b = engine.add_task(
+      "b",
+      [&] {
+        int expected = 1;
+        EXPECT_TRUE(stage.compare_exchange_strong(expected, 2));
+      },
+      {a});
+  engine.add_task(
+      "c",
+      [&] {
+        int expected = 2;
+        EXPECT_TRUE(stage.compare_exchange_strong(expected, 3));
+      },
+      {b});
+  EXPECT_TRUE(engine.run());
+  EXPECT_EQ(stage.load(), 3);
+}
+
+TEST(Workflow, DiamondDependency) {
+  WorkflowEngine engine(4);
+  std::atomic<int> finished{0};
+  const TaskId root = engine.add_task("root", [&] { ++finished; });
+  const TaskId left = engine.add_task("left", [&] { ++finished; }, {root});
+  const TaskId right = engine.add_task("right", [&] { ++finished; }, {root});
+  engine.add_task(
+      "join", [&] { EXPECT_EQ(finished.load(), 3); }, {left, right});
+  EXPECT_TRUE(engine.run());
+}
+
+TEST(Workflow, FailureSkipsDependents) {
+  WorkflowEngine engine(2);
+  const TaskId bad =
+      engine.add_task("bad", [] { throw std::runtime_error("exploded"); });
+  const TaskId child = engine.add_task("child", [] {}, {bad});
+  const TaskId grandchild = engine.add_task("grandchild", [] {}, {child});
+  const TaskId independent = engine.add_task("independent", [] {});
+  EXPECT_FALSE(engine.run());
+  EXPECT_EQ(engine.status(bad), TaskStatus::Failed);
+  EXPECT_EQ(engine.error(bad), "exploded");
+  EXPECT_EQ(engine.status(child), TaskStatus::Skipped);
+  EXPECT_EQ(engine.status(grandchild), TaskStatus::Skipped);
+  EXPECT_EQ(engine.status(independent), TaskStatus::Succeeded);
+}
+
+TEST(Workflow, UnknownDependencyThrows) {
+  WorkflowEngine engine(1);
+  EXPECT_THROW(engine.add_task("x", [] {}, {5}), InvalidArgument);
+}
+
+TEST(Workflow, TaskNamesRetained) {
+  WorkflowEngine engine(1);
+  const TaskId id = engine.add_task("my-task", [] {});
+  EXPECT_EQ(engine.task_name(id), "my-task");
+  EXPECT_EQ(engine.status(id), TaskStatus::Pending);
+}
+
+TEST(Workflow, EmptyWorkflowSucceeds) {
+  WorkflowEngine engine(1);
+  EXPECT_TRUE(engine.run());
+}
+
+TEST(Workflow, StatusToString) {
+  EXPECT_STREQ(to_string(TaskStatus::Succeeded), "succeeded");
+  EXPECT_STREQ(to_string(TaskStatus::Skipped), "skipped");
+}
+
+// ---- ensemble runner ------------------------------------------------------------------
+
+TEST(Ensemble, WritesSequentialBundles) {
+  jag::JagConfig config;
+  config.image_size = 4;
+  const jag::JagModel model(config);
+  const SpectralSampler sampler;
+
+  EnsembleConfig ensemble;
+  ensemble.total_samples = 25;
+  ensemble.samples_per_file = 10;
+  ensemble.workers = 2;
+  ensemble.output_directory =
+      std::filesystem::temp_directory_path() / "ltfb_ensemble_test";
+  std::filesystem::remove_all(ensemble.output_directory);
+
+  const EnsembleResult result = run_ensemble(model, sampler, ensemble);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.samples_written, 25u);
+  ASSERT_EQ(result.bundle_paths.size(), 3u);  // 10 + 10 + 5
+
+  // The catalog must see sequential ids and the right schema.
+  datastore::BundleCatalog catalog(result.bundle_paths);
+  EXPECT_EQ(catalog.total_samples(), 25u);
+  EXPECT_EQ(catalog.schema().image_width, config.image_features());
+  const data::Sample sample = catalog.read(17);
+  EXPECT_EQ(sample.id, 17u);
+  // The stored input must be the sampler's design point.
+  const Point point = sampler.point(17);
+  for (std::size_t k = 0; k < jag::kNumInputs; ++k) {
+    EXPECT_NEAR(sample.input[k], static_cast<float>(point[k]), 1e-6f);
+  }
+  // And the payload must be the simulator's output for that point.
+  const auto expected = model.run(point);
+  EXPECT_EQ(sample.scalars[0], expected.scalars[0]);
+  EXPECT_EQ(sample.images, expected.images);
+}
+
+TEST(Ensemble, DeterministicAcrossRuns) {
+  jag::JagConfig config;
+  config.image_size = 4;
+  const jag::JagModel model(config);
+  const SpectralSampler sampler;
+
+  auto run_once = [&](const std::string& tag) {
+    EnsembleConfig ensemble;
+    ensemble.total_samples = 12;
+    ensemble.samples_per_file = 4;
+    ensemble.workers = 3;
+    ensemble.output_directory =
+        std::filesystem::temp_directory_path() / ("ltfb_ens_" + tag);
+    std::filesystem::remove_all(ensemble.output_directory);
+    return run_ensemble(model, sampler, ensemble);
+  };
+  const auto a = run_once("a");
+  const auto b = run_once("b");
+  datastore::BundleCatalog ca(a.bundle_paths), cb(b.bundle_paths);
+  for (data::SampleId id = 0; id < 12; ++id) {
+    EXPECT_EQ(ca.read(id).scalars, cb.read(id).scalars);
+  }
+}
+
+TEST(Ensemble, InvalidConfigThrows) {
+  jag::JagConfig config;
+  config.image_size = 4;
+  const jag::JagModel model(config);
+  const UniformSampler sampler(1);
+  EnsembleConfig ensemble;  // no output directory
+  ensemble.total_samples = 5;
+  EXPECT_THROW(run_ensemble(model, sampler, ensemble), InvalidArgument);
+}
+
+}  // namespace
