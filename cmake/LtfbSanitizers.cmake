@@ -1,0 +1,54 @@
+# Sanitizer build modes for the whole tree.
+#
+# LTFB_SANITIZE is a semicolon-separated list of sanitizers applied to every
+# target (libraries, tests, benches, examples). Supported values:
+#
+#   -DLTFB_SANITIZE="address;undefined"   # ASan + UBSan (memory errors, UB)
+#   -DLTFB_SANITIZE=thread                # TSan (data races, lock inversions)
+#   -DLTFB_SANITIZE=undefined             # UBSan alone
+#
+# ThreadSanitizer is incompatible with AddressSanitizer / LeakSanitizer at
+# the toolchain level, so mixing `thread` with `address` is rejected here
+# rather than producing a link error three minutes into the build.
+#
+# Flags are applied with add_compile_options/add_link_options at the top
+# level so that no target — including ones added by future PRs — can be
+# built without instrumentation by forgetting to link an interface library.
+
+set(LTFB_SANITIZE "" CACHE STRING
+    "Semicolon-separated sanitizer list: address;undefined | thread | undefined")
+
+set(_LTFB_KNOWN_SANITIZERS address undefined thread leak)
+
+function(ltfb_enable_sanitizers)
+  if(NOT LTFB_SANITIZE)
+    return()
+  endif()
+
+  foreach(san IN LISTS LTFB_SANITIZE)
+    if(NOT san IN_LIST _LTFB_KNOWN_SANITIZERS)
+      message(FATAL_ERROR
+        "LTFB_SANITIZE: unknown sanitizer '${san}' "
+        "(expected one of: ${_LTFB_KNOWN_SANITIZERS})")
+    endif()
+  endforeach()
+
+  if("thread" IN_LIST LTFB_SANITIZE AND
+     ("address" IN_LIST LTFB_SANITIZE OR "leak" IN_LIST LTFB_SANITIZE))
+    message(FATAL_ERROR
+      "LTFB_SANITIZE: 'thread' cannot be combined with 'address'/'leak' "
+      "(TSan and ASan shadow memory are mutually exclusive)")
+  endif()
+
+  list(JOIN LTFB_SANITIZE "," _san_csv)
+  set(_san_flags -fsanitize=${_san_csv} -fno-omit-frame-pointer)
+  if("undefined" IN_LIST LTFB_SANITIZE)
+    # Abort on the first UB report instead of printing and continuing, so
+    # ctest fails loudly; -fno-sanitize-recover makes runtime reports fatal.
+    list(APPEND _san_flags -fno-sanitize-recover=all)
+  endif()
+
+  add_compile_options(${_san_flags})
+  add_link_options(${_san_flags})
+  message(STATUS "ltfb: sanitizers enabled: ${_san_csv}")
+endfunction()

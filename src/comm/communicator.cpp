@@ -44,6 +44,32 @@ struct PendingRecv {
   int source_world = -1;
 };
 
+void ThreadUseStamp::enter(const char* what) {
+  const std::thread::id me = std::this_thread::get_id();
+  std::thread::id expected{};
+  if (user_.compare_exchange_strong(expected, me,
+                                    std::memory_order_acq_rel)) {
+    depth_ = 1;
+    return;
+  }
+  if (expected == me) {
+    ++depth_;  // reentrant: e.g. recv() -> irecv()/take_payload()
+    return;
+  }
+  std::ostringstream oss;
+  oss << "Communicator::" << what << ": handle is already in use by thread "
+      << expected << " (called from thread " << me
+      << "); a communicator handle is single-threaded — use one handle per "
+         "thread, or hand it off between calls, never concurrently";
+  throw Error(oss.str());
+}
+
+void ThreadUseStamp::leave() noexcept {
+  if (--depth_ == 0) {
+    user_.store(std::thread::id{}, std::memory_order_release);
+  }
+}
+
 namespace {
 
 bool matches(const Envelope& env, std::uint64_t comm_id, int src_world,
@@ -72,6 +98,17 @@ bool try_complete(PendingRecv& pending) {
 
 }  // namespace
 }  // namespace detail
+
+// Debug-mode single-thread contract check on every public send/recv/
+// collective entry point; compiles to nothing when LTFB_ASSERT is off.
+#if LTFB_ASSERT_ENABLED
+#define LTFB_COMM_GUARD(what) \
+  const detail::ScopedUse comm_use_guard_(use_stamp_, what)
+#else
+#define LTFB_COMM_GUARD(what) \
+  do {                        \
+  } while (false)
+#endif
 
 Buffer to_buffer(std::span<const float> values) {
   Buffer buffer(values.size() * sizeof(float));
@@ -113,6 +150,7 @@ int Communicator::world_rank_of(int rank) const {
 }
 
 void Communicator::send(int dst, int tag, const Buffer& payload) {
+  LTFB_COMM_GUARD("send");
   LTFB_CHECK(tag >= 0);
   const int world_dst = world_rank_of(dst);
   auto& mailbox = *world_->mailboxes[static_cast<std::size_t>(world_dst)];
@@ -129,6 +167,7 @@ void Communicator::send(int dst, int tag, std::span<const float> values) {
 }
 
 Buffer Communicator::recv(int src, int tag, int* source_out) {
+  LTFB_COMM_GUARD("recv");
   LTFB_CHECK(tag >= 0);
   Request request = irecv(src, tag);
   request.wait();
@@ -142,6 +181,7 @@ Buffer Communicator::recv(int src, int tag, int* source_out) {
 }
 
 Request Communicator::irecv(int src, int tag) {
+  LTFB_COMM_GUARD("irecv");
   auto pending = std::make_shared<detail::PendingRecv>();
   const int me = group_[static_cast<std::size_t>(rank_)];
   pending->mailbox = world_->mailboxes[static_cast<std::size_t>(me)].get();
@@ -153,12 +193,14 @@ Request Communicator::irecv(int src, int tag) {
 }
 
 Buffer Communicator::take_payload(Request& request) {
+  LTFB_COMM_GUARD("take_payload");
   LTFB_CHECK_MSG(request.state_ && request.state_->done,
                  "take_payload before completion");
   return std::move(request.state_->payload);
 }
 
 Buffer Communicator::sendrecv(int partner, int tag, const Buffer& payload) {
+  LTFB_COMM_GUARD("sendrecv");
   // Sends never block (mailboxes are unbounded), so send-then-recv is
   // deadlock-free even when both sides target each other.
   send(partner, tag, payload);
@@ -229,6 +271,7 @@ float reduce_elem(float a, float b, ReduceOp op) {
 }  // namespace
 
 void Communicator::barrier() {
+  LTFB_COMM_GUARD("barrier");
   const auto tag = static_cast<std::int64_t>(next_internal_tag(1));
   const int n = size();
   // Dissemination barrier: log2(n) rounds.
@@ -243,6 +286,7 @@ void Communicator::barrier() {
 }
 
 void Communicator::broadcast(int root, Buffer& payload) {
+  LTFB_COMM_GUARD("broadcast");
   const auto tag = static_cast<std::int64_t>(next_internal_tag(2));
   const int n = size();
   LTFB_CHECK(root >= 0 && root < n);
@@ -280,6 +324,7 @@ void Communicator::broadcast(int root, std::span<float> values) {
 }
 
 void Communicator::allreduce(std::span<float> values, ReduceOp op) {
+  LTFB_COMM_GUARD("allreduce");
   const auto tag = static_cast<std::int64_t>(next_internal_tag(3));
   const int n = size();
   if (n == 1 || values.empty()) return;
@@ -329,6 +374,7 @@ void Communicator::allreduce(std::span<float> values, ReduceOp op) {
 }
 
 std::vector<float> Communicator::allgather(std::span<const float> contribution) {
+  LTFB_COMM_GUARD("allgather");
   const auto tag = static_cast<std::int64_t>(next_internal_tag(4));
   const int n = size();
   const std::size_t per_rank = contribution.size();
@@ -361,6 +407,7 @@ std::vector<float> Communicator::allgather(std::span<const float> contribution) 
 }
 
 void Communicator::reduce(int root, std::span<float> values, ReduceOp op) {
+  LTFB_COMM_GUARD("reduce");
   const auto tag = static_cast<std::int64_t>(next_internal_tag(5));
   const int n = size();
   LTFB_CHECK(root >= 0 && root < n);
@@ -402,6 +449,7 @@ void Communicator::reduce(int root, std::span<float> values, ReduceOp op) {
 
 std::vector<float> Communicator::gather(int root,
                                         std::span<const float> contribution) {
+  LTFB_COMM_GUARD("gather");
   const auto tag = static_cast<std::int64_t>(next_internal_tag(6));
   const int n = size();
   LTFB_CHECK(root >= 0 && root < n);
@@ -434,6 +482,7 @@ std::vector<float> Communicator::gather(int root,
 std::vector<float> Communicator::scatter(int root,
                                          std::span<const float> send,
                                          std::size_t chunk) {
+  LTFB_COMM_GUARD("scatter");
   const auto tag = static_cast<std::int64_t>(next_internal_tag(7));
   const int n = size();
   LTFB_CHECK(root >= 0 && root < n);
@@ -459,6 +508,7 @@ std::vector<float> Communicator::scatter(int root,
 }
 
 Communicator Communicator::split(int color, int key) {
+  LTFB_COMM_GUARD("split");
   // Exchange (color, key, rank) triples; every rank then derives the same
   // membership and ordering. Values are exchanged as floats, which is exact
   // for magnitudes below 2^24 — far beyond any realistic rank count.

@@ -17,6 +17,7 @@
 // sequence number isolates concurrent collectives from one another.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -24,6 +25,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "util/error.hpp"
@@ -45,9 +47,58 @@ std::vector<float> floats_from_buffer(const Buffer& buffer);
 namespace detail {
 struct WorldState;
 struct PendingRecv;
+
+/// Debug-mode detector for the communicator single-thread contract: a
+/// handle is stamped with the calling thread's id for the duration of each
+/// send/recv/collective. A second thread entering while the stamp is held
+/// fails fast with a clear message instead of racing on mailbox matching
+/// and the collective sequence number. Sequential hand-off between threads
+/// (e.g. DataStore::begin_fetch moving comm work to a helper thread) is
+/// allowed: the stamp clears on exit. Copying a handle resets the stamp —
+/// each copy is an independent single-threaded handle.
+class ThreadUseStamp {
+ public:
+  ThreadUseStamp() = default;
+  ThreadUseStamp(const ThreadUseStamp&) noexcept {}
+  ThreadUseStamp& operator=(const ThreadUseStamp&) noexcept { return *this; }
+
+  /// Claims the stamp for the calling thread (reentrant); throws
+  /// ltfb::Error naming `what` if another thread currently holds it.
+  void enter(const char* what);
+  void leave() noexcept;
+
+ private:
+  std::atomic<std::thread::id> user_{};
+  int depth_ = 0;  // touched only by the thread holding user_
+};
+
+/// RAII wrapper around ThreadUseStamp::enter/leave.
+class ScopedUse {
+ public:
+  ScopedUse(ThreadUseStamp& stamp, const char* what) : stamp_(stamp) {
+    stamp_.enter(what);
+  }
+  ~ScopedUse() { stamp_.leave(); }
+  ScopedUse(const ScopedUse&) = delete;
+  ScopedUse& operator=(const ScopedUse&) = delete;
+
+ private:
+  ThreadUseStamp& stamp_;
+};
 }  // namespace detail
 
 /// Completion handle for nonblocking operations.
+///
+/// Edge-case contract (tested in tests/test_comm.cpp):
+///   * test()/wait() on a default-constructed (invalid) handle throw.
+///   * wait() after completion returns immediately; calling it twice is
+///     legal and idempotent.
+///   * Communicator::take_payload before completion throws; after a
+///     successful take, the request stays completed but its payload is
+///     gone (a second take returns an empty buffer).
+///   * Destroying an incomplete request is safe: the pending receive is
+///     simply abandoned and the matching message (if any) stays in the
+///     mailbox for a later receive to claim.
 class Request {
  public:
   Request() = default;
@@ -70,7 +121,10 @@ class Request {
 /// A rank's handle onto a (sub-)communicator. Cheap to copy; all copies of
 /// the same rank's handle share mailbox state. NOT thread-safe across
 /// threads for the same rank (same as an MPI communicator used from one
-/// thread).
+/// thread). Debug builds (and LTFB_BOUNDS_CHECK builds) enforce this: two
+/// threads inside send/recv/collectives of the same handle at the same
+/// time fail fast with ltfb::Error instead of racing. Handing the handle
+/// from one thread to another between calls remains legal.
 class Communicator {
  public:
   int rank() const noexcept { return rank_; }
@@ -142,6 +196,7 @@ class Communicator {
   int rank_ = 0;
   std::uint64_t collective_seq_ = 0;
   std::uint64_t split_seq_ = 0;
+  mutable detail::ThreadUseStamp use_stamp_;  // single-thread contract check
 };
 
 /// Owns the mailboxes for `size` ranks and creates per-rank handles.

@@ -62,7 +62,20 @@ void DataStore::insert_local(data::Sample sample) {
   cache_.emplace(sample.id, std::move(sample));
 }
 
+const DataStoreStats& DataStore::stats() const {
+  check_no_fetch_in_flight("stats");
+  return stats_;
+}
+
+void DataStore::check_no_fetch_in_flight(const char* what) const {
+  LTFB_CHECK_MSG(!prefetch_active_,
+                 "DataStore::" << what
+                               << " while a begin_fetch is in flight; call "
+                                  "collect_fetch first");
+}
+
 void DataStore::preload() {
+  check_no_fetch_in_flight("preload");
   LTFB_CHECK_MSG(mode_ == PopulateMode::Preloaded,
                  "preload() requires Preloaded mode");
   LTFB_CHECK_MSG(!has_directory(), "preload() called twice");
@@ -83,6 +96,7 @@ void DataStore::preload() {
 }
 
 void DataStore::build_directory() {
+  check_no_fetch_in_flight("build_directory");
   directory_.clear();
   const int ranks = comm_.size();
 
@@ -130,6 +144,12 @@ void DataStore::build_directory() {
 
 std::vector<data::Sample> DataStore::fetch(
     const std::vector<data::SampleId>& ids) {
+  check_no_fetch_in_flight("fetch");
+  return fetch_now(ids);
+}
+
+std::vector<data::Sample> DataStore::fetch_now(
+    const std::vector<data::SampleId>& ids) {
   if (!has_directory()) {
     LTFB_CHECK_MSG(mode_ == PopulateMode::Dynamic,
                    "preloaded store used before preload()");
@@ -166,7 +186,7 @@ void DataStore::begin_fetch(std::vector<data::SampleId> ids) {
   prefetch_result_.clear();
   prefetch_thread_ = std::thread([this, ids = std::move(ids)] {
     try {
-      prefetch_result_ = fetch(ids);
+      prefetch_result_ = fetch_now(ids);
     } catch (...) {
       prefetch_error_ = std::current_exception();
     }

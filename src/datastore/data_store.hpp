@@ -60,7 +60,12 @@ class DataStore {
   DataStore& operator=(const DataStore&) = delete;
 
   PopulateMode mode() const noexcept { return mode_; }
-  const DataStoreStats& stats() const noexcept { return stats_; }
+
+  /// Counters are updated by whichever thread is executing a fetch, so
+  /// reading them while a begin_fetch is in flight would race; throws
+  /// ltfb::InvalidArgument in that case (call collect_fetch first).
+  const DataStoreStats& stats() const;
+
   bool has_directory() const noexcept { return !directory_.empty(); }
   std::size_t owned_samples() const noexcept { return cache_.size(); }
 
@@ -87,7 +92,9 @@ class DataStore {
   // current one; collect_fetch joins and returns the samples. Between the
   // two calls the caller must not use the trainer communicator (the helper
   // owns it for the duration), and every rank must pair begin/collect in
-  // lockstep exactly like fetch().
+  // lockstep exactly like fetch(). The contract is enforced: fetch(),
+  // preload(), build_directory(), and stats() throw while a prefetch is in
+  // flight rather than racing with the helper thread.
 
   void begin_fetch(std::vector<data::SampleId> ids);
   std::vector<data::Sample> collect_fetch();
@@ -95,10 +102,16 @@ class DataStore {
 
  private:
   void insert_local(data::Sample sample);
+  /// Shared implementation of fetch(); also run by the prefetch helper
+  /// thread (which must bypass the prefetch-in-flight entry check).
+  std::vector<data::Sample> fetch_now(const std::vector<data::SampleId>& ids);
   std::vector<data::Sample> fetch_via_exchange(
       const std::vector<data::SampleId>& ids);
   std::vector<data::Sample> fetch_from_files(
       const std::vector<data::SampleId>& ids);
+  /// Fails fast if called while a begin_fetch helper owns the communicator
+  /// and the store's internal state.
+  void check_no_fetch_in_flight(const char* what) const;
 
   bool in_universe(data::SampleId id) const {
     return universe_.empty() || universe_set_.count(id) != 0;

@@ -64,9 +64,14 @@ namespace detail {
     }                                                                        \
   } while (false)
 
-/// Debug-only assertion for hot paths.
-#ifndef NDEBUG
+/// Hot-path assertion. Live in Debug builds, and — unlike a plain assert —
+/// also in optimized builds configured with -DLTFB_BOUNDS_CHECK=ON, so that
+/// Tensor::at/operator[]/row and similar index checks stay armed in the
+/// sanitizer CI jobs (which build RelWithDebInfo for realistic timings).
+#if !defined(NDEBUG) || defined(LTFB_BOUNDS_CHECK)
+#define LTFB_ASSERT_ENABLED 1
 #define LTFB_ASSERT(expr) LTFB_CHECK(expr)
 #else
+#define LTFB_ASSERT_ENABLED 0
 #define LTFB_ASSERT(expr) ((void)0)
 #endif

@@ -2,6 +2,23 @@
 //
 // Used by the workflow engine (Merlin substitute) to execute ensemble
 // simulation tasks, and by tests exercising concurrent data-store traffic.
+//
+// Shutdown semantics (load-bearing for TSan-clean teardown, tested by
+// tests/test_sanitize_stress.cpp):
+//
+//   * The destructor drains every task already enqueued — work accepted by
+//     submit() is never dropped — then joins all workers.
+//   * submit() racing with destruction either enqueues the task (it will
+//     run) or throws ltfb::Error("ThreadPool::submit after shutdown"). It
+//     never deadlocks and never silently discards the callable. Note that
+//     the caller is still responsible for keeping the pool object alive for
+//     the duration of the submit() call itself (the usual rule for any
+//     member function vs. the destructor).
+//   * wait_idle() returns only when the queue is empty AND no worker is
+//     executing a task (a task counts as in flight from the moment it is
+//     popped until its side effects are published under the pool mutex), so
+//     results written by tasks are visible to the waiter without extra
+//     synchronisation.
 #pragma once
 
 #include <condition_variable>
@@ -12,6 +29,8 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/error.hpp"
 
 namespace ltfb::util {
 
@@ -28,7 +47,8 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueues a callable; returns a future for its result.
+  /// Enqueues a callable; returns a future for its result. Throws
+  /// ltfb::Error if the pool has begun shutting down (see file comment).
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -38,7 +58,7 @@ class ThreadPool {
     {
       const std::scoped_lock lock(mutex_);
       if (stopping_) {
-        throw std::runtime_error("ThreadPool::submit after shutdown");
+        throw Error("ThreadPool::submit after shutdown");
       }
       queue_.emplace_back([task] { (*task)(); });
     }
@@ -46,7 +66,8 @@ class ThreadPool {
     return fut;
   }
 
-  /// Blocks until the queue is empty and all workers are idle.
+  /// Blocks until the queue is empty and all workers are idle. A worker
+  /// mid-task holds the pool non-idle until the task completes.
   void wait_idle();
 
  private:

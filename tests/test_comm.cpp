@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <set>
+#include <thread>
 
 #include "comm/communicator.hpp"
 
@@ -150,6 +151,101 @@ TEST(Request, TestDoesNotBlock) {
     EXPECT_TRUE(request.test());
   });
 }
+
+TEST(Request, InvalidHandleThrows) {
+  Request request;
+  EXPECT_FALSE(request.valid());
+  EXPECT_THROW(request.test(), InvalidArgument);
+  EXPECT_THROW(request.wait(), InvalidArgument);
+}
+
+TEST(Request, DoubleWaitIsIdempotent) {
+  World::run(1, [](Communicator& comm) {
+    Request request = comm.irecv(0, 3);
+    comm.send(0, 3, std::vector<std::uint8_t>{42});
+    request.wait();
+    request.wait();  // already complete: returns immediately
+    EXPECT_TRUE(request.test());
+    EXPECT_EQ(comm.take_payload(request), (Buffer{42}));
+  });
+}
+
+TEST(Request, TakePayloadBeforeCompletionThrows) {
+  World::run(1, [](Communicator& comm) {
+    Request request = comm.irecv(0, 5);
+    EXPECT_THROW(comm.take_payload(request), InvalidArgument);
+    // The failed take must not have corrupted the pending receive.
+    comm.send(0, 5, std::vector<std::uint8_t>{7});
+    request.wait();
+    EXPECT_EQ(comm.take_payload(request), (Buffer{7}));
+  });
+}
+
+TEST(Request, SecondTakePayloadReturnsEmpty) {
+  World::run(1, [](Communicator& comm) {
+    Request request = comm.irecv(0, 6);
+    comm.send(0, 6, std::vector<std::uint8_t>{1, 2});
+    request.wait();
+    EXPECT_EQ(comm.take_payload(request).size(), 2u);
+    EXPECT_TRUE(request.test());  // still complete...
+    EXPECT_TRUE(comm.take_payload(request).empty());  // ...but drained
+  });
+}
+
+TEST(Request, DestroyingIncompleteRequestLeavesMessageClaimable) {
+  World::run(1, [](Communicator& comm) {
+    {
+      Request abandoned = comm.irecv(0, 9);
+      EXPECT_FALSE(abandoned.test());
+    }  // destroyed incomplete: the pending receive is simply dropped
+    comm.send(0, 9, std::vector<std::uint8_t>{5});
+    // A fresh receive can still claim the message.
+    EXPECT_EQ(comm.recv(0, 9), (Buffer{5}));
+  });
+}
+
+TEST(Request, DestroyingCompletedButUntakenRequestDropsPayload) {
+  World::run(1, [](Communicator& comm) {
+    comm.send(0, 12, std::vector<std::uint8_t>{1});
+    {
+      Request request = comm.irecv(0, 12);
+      request.wait();  // message consumed from the mailbox into the request
+    }  // payload destroyed with the request
+    Request probe = comm.irecv(0, 12);
+    EXPECT_FALSE(probe.test());  // the message is gone, not re-queued
+  });
+}
+
+#if LTFB_ASSERT_ENABLED
+TEST(Request, ConcurrentHandleUseFailsFast) {
+  // The single-thread contract check: while one thread is blocked inside
+  // recv() on a handle, a second thread entering any comm call on the SAME
+  // handle must fail fast with ltfb::Error instead of racing.
+  World world(2);
+  Communicator comm0 = world.communicator(0);
+  Communicator comm1 = world.communicator(1);
+  std::thread receiver([&comm0] {
+    const Buffer buffer = comm0.recv(1, 77);  // blocks until released below
+    EXPECT_EQ(buffer, (Buffer{1}));
+  });
+  // Once the receiver is parked inside recv() it holds the use stamp until
+  // the matching send arrives, so eventually our probe must throw.
+  bool threw = false;
+  for (int i = 0; i < 200000 && !threw; ++i) {
+    try {
+      comm0.send(0, 1, Buffer{});
+      // Accepted: receiver was not inside recv yet. Drain our own probe
+      // message later is unnecessary — tag 1 never matches tag 77.
+      std::this_thread::yield();
+    } catch (const Error&) {
+      threw = true;
+    }
+  }
+  EXPECT_TRUE(threw);
+  comm1.send(0, 77, Buffer{1});  // release the receiver
+  receiver.join();
+}
+#endif  // LTFB_ASSERT_ENABLED
 
 // ---- collectives -----------------------------------------------------------
 

@@ -308,4 +308,29 @@ TEST(DataStore, BytesExchangedTracked) {
   });
 }
 
+TEST(DataStore, PrefetchRoundTripAndContractChecks) {
+  const Fixture fx = make_fixture("prefetch_contract", 20, 4);
+  BundleCatalog catalog(fx.paths);
+  comm::World::run(2, [&](comm::Communicator& comm) {
+    DataStore store(comm, &catalog, PopulateMode::Preloaded);
+    store.preload();
+    EXPECT_THROW(store.collect_fetch(), InvalidArgument);  // nothing begun
+    store.begin_fetch({SampleId{1}, SampleId{7}});
+    EXPECT_TRUE(store.fetch_in_flight());
+    // While the helper owns the communicator and the store's internals,
+    // every other entry point fails fast instead of racing.
+    EXPECT_THROW(store.begin_fetch({SampleId{2}}), InvalidArgument);
+    EXPECT_THROW(store.fetch({SampleId{2}}), InvalidArgument);
+    EXPECT_THROW(store.stats(), InvalidArgument);
+    EXPECT_THROW(store.build_directory(), InvalidArgument);
+    const auto batch = store.collect_fetch();
+    EXPECT_FALSE(store.fetch_in_flight());
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch[0].id, SampleId{1});
+    EXPECT_EQ(batch[1].id, SampleId{7});
+    // After collect, the store is usable again.
+    EXPECT_GE(store.stats().local_hits + store.stats().remote_fetches, 2u);
+  });
+}
+
 }  // namespace

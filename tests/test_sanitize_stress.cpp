@@ -1,0 +1,355 @@
+// Multi-threaded stress tests for the concurrency substrate.
+//
+// These exist to give TSan/ASan/UBSan (-DLTFB_SANITIZE=...) something to
+// bite on: they hammer World::run point-to-point matching and collectives,
+// concurrent data-store get/put (including the begin_fetch helper thread),
+// and ThreadPool submit/wait_idle/shutdown races. They also assert
+// functional correctness so they are useful in uninstrumented builds.
+//
+// Thread counts and iteration counts are deliberately modest: under TSan a
+// single test may run ~10x slower, and CI runs the whole suite three times
+// (plain, asan+ubsan, tsan).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <numeric>
+#include <thread>
+
+#include "comm/communicator.hpp"
+#include "data/dataset.hpp"
+#include "datastore/data_store.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace ltfb;
+using namespace ltfb::comm;
+using namespace ltfb::util;
+
+// ---- World::run / communicator -------------------------------------------------
+
+TEST(WorldStress, PointToPointStormAnySource) {
+  constexpr int kRanks = 4;
+  constexpr int kMessages = 200;  // per sender, per peer
+  World::run(kRanks, [](Communicator& comm) {
+    const int n = comm.size();
+    const int me = comm.rank();
+    // Everyone floods everyone (including mixed tags), then drains with
+    // ANY_SOURCE and checks per-source totals.
+    for (int m = 0; m < kMessages; ++m) {
+      for (int peer = 0; peer < n; ++peer) {
+        if (peer == me) continue;
+        const float value[2] = {static_cast<float>(me),
+                                static_cast<float>(m)};
+        comm.send(peer, m % 3, std::span<const float>(value, 2));
+      }
+    }
+    std::vector<int> received(static_cast<std::size_t>(n), 0);
+    for (int m = 0; m < kMessages; ++m) {
+      for (int peer = 0; peer < n - 1; ++peer) {
+        int source = -1;
+        const Buffer raw = comm.recv(kAnySource, m % 3, &source);
+        const std::vector<float> payload = floats_from_buffer(raw);
+        ASSERT_EQ(payload.size(), 2u);
+        ASSERT_EQ(static_cast<int>(payload[0]), source);
+        ++received[static_cast<std::size_t>(source)];
+      }
+    }
+    for (int peer = 0; peer < n; ++peer) {
+      EXPECT_EQ(received[static_cast<std::size_t>(peer)],
+                peer == me ? 0 : kMessages);
+    }
+  });
+}
+
+TEST(WorldStress, BackToBackMixedCollectives) {
+  constexpr int kRanks = 4;
+  constexpr int kIters = 40;
+  World::run(kRanks, [](Communicator& comm) {
+    const int n = comm.size();
+    const float fn = static_cast<float>(n);
+    for (int iter = 0; iter < kIters; ++iter) {
+      const float fi = static_cast<float>(iter);
+
+      std::vector<float> sum(7, static_cast<float>(comm.rank()) + fi);
+      comm.allreduce(sum);
+      const float expected =
+          fn * fi + fn * (fn - 1.0f) / 2.0f;  // sum of ranks + n*iter
+      for (const float v : sum) ASSERT_FLOAT_EQ(v, expected);
+
+      comm.barrier();
+
+      std::vector<float> bcast(3, 0.0f);
+      if (comm.rank() == iter % n) {
+        bcast.assign(3, fi);
+      }
+      comm.broadcast(iter % n, std::span<float>(bcast));
+      for (const float v : bcast) ASSERT_FLOAT_EQ(v, fi);
+
+      const float mine[1] = {static_cast<float>(comm.rank()) * fi};
+      const std::vector<float> all = comm.allgather(mine);
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+      for (int r = 0; r < n; ++r) {
+        ASSERT_FLOAT_EQ(all[static_cast<std::size_t>(r)],
+                        static_cast<float>(r) * fi);
+      }
+
+      std::vector<float> reduced(5, 1.0f);
+      comm.reduce(iter % n, reduced, ReduceOp::Sum);
+      if (comm.rank() == iter % n) {
+        for (const float v : reduced) ASSERT_FLOAT_EQ(v, fn);
+      }
+    }
+  });
+}
+
+TEST(WorldStress, SplitSubcommunicatorsRunCollectivesConcurrently) {
+  constexpr int kRanks = 8;
+  constexpr int kIters = 30;
+  World::run(kRanks, [](Communicator& world) {
+    // Even / odd trainers run independent allreduce streams at full speed;
+    // nothing synchronises the two groups, so their internal-tag traffic
+    // interleaves arbitrarily in the shared mailboxes.
+    const int color = world.rank() % 2;
+    Communicator trainer = world.split(color, world.rank());
+    const float group_size = static_cast<float>(trainer.size());
+    for (int iter = 0; iter < kIters; ++iter) {
+      std::vector<float> acc(11, static_cast<float>(iter + color));
+      trainer.allreduce(acc);
+      for (const float v : acc) {
+        ASSERT_FLOAT_EQ(v, group_size * static_cast<float>(iter + color));
+      }
+      trainer.barrier();
+    }
+    world.barrier();
+  });
+}
+
+TEST(WorldStress, RepeatedWorldConstructionAndTeardown) {
+  for (int round = 0; round < 15; ++round) {
+    World::run(3, [round](Communicator& comm) {
+      std::vector<float> v(4, static_cast<float>(comm.rank() + round));
+      comm.allreduce(v, ReduceOp::Max);
+      for (const float x : v) {
+        ASSERT_FLOAT_EQ(x, static_cast<float>(comm.size() - 1 + round));
+      }
+    });
+  }
+}
+
+// ---- data store ----------------------------------------------------------------
+
+struct StressFixture {
+  std::filesystem::path dir;
+  std::vector<std::filesystem::path> paths;
+  data::SampleSchema schema;
+};
+
+StressFixture make_stress_fixture(const std::string& name, std::size_t total,
+                                  std::size_t files) {
+  StressFixture fx;
+  fx.dir = std::filesystem::temp_directory_path() / ("ltfb_stress_" + name);
+  std::filesystem::remove_all(fx.dir);
+  fx.schema.input_width = 4;
+  fx.schema.scalar_width = 6;
+  fx.schema.image_width = 2;
+  std::vector<data::Sample> samples;
+  for (data::SampleId id = 0; id < total; ++id) {
+    data::Sample sample;
+    sample.id = id;
+    sample.input.assign(4, static_cast<float>(id));
+    sample.scalars.assign(6, static_cast<float>(id) * 2.0f);
+    sample.images.assign(2, static_cast<float>(id) * 3.0f);
+    samples.push_back(std::move(sample));
+  }
+  fx.paths = data::write_bundle_set(fx.dir, fx.schema, samples, files);
+  return fx;
+}
+
+void expect_sample(const data::Sample& sample, data::SampleId id) {
+  ASSERT_EQ(sample.id, id);
+  ASSERT_FALSE(sample.scalars.empty());
+  ASSERT_FLOAT_EQ(sample.scalars[0], static_cast<float>(id) * 2.0f);
+}
+
+TEST(DataStoreStress, ConcurrentExchangeAcrossRanks) {
+  const StressFixture fx = make_stress_fixture("exchange", 64, 4);
+  datastore::BundleCatalog catalog(fx.paths);
+  constexpr int kRanks = 4;
+  constexpr std::size_t kSteps = 25;
+  World::run(kRanks, [&](Communicator& comm) {
+    datastore::DataStore store(comm, &catalog, datastore::PopulateMode::Preloaded);
+    store.preload();
+    const auto total = catalog.total_samples();
+    for (std::size_t step = 0; step < kSteps; ++step) {
+      // Each rank wants a different, overlapping, rotating window of ids;
+      // most are remote, so every step is a full request/reply exchange.
+      std::vector<data::SampleId> want;
+      for (std::size_t k = 0; k < 12; ++k) {
+        want.push_back(
+            (static_cast<std::size_t>(comm.rank()) * 17 + step * 5 + k * 3) %
+            total);
+      }
+      const auto got = store.fetch(want);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        expect_sample(got[i], want[i]);
+      }
+    }
+    EXPECT_GT(store.stats().remote_fetches, 0u);
+  });
+}
+
+TEST(DataStoreStress, DynamicFirstEpochThenExchange) {
+  const StressFixture fx = make_stress_fixture("dynamic", 48, 3);
+  datastore::BundleCatalog catalog(fx.paths);
+  constexpr int kRanks = 3;
+  World::run(kRanks, [&](Communicator& comm) {
+    datastore::DataStore store(comm, &catalog, datastore::PopulateMode::Dynamic);
+    const auto total = catalog.total_samples();
+    // Epoch 1: disjoint ids per rank (ownership must be unambiguous).
+    std::vector<data::SampleId> mine;
+    for (data::SampleId id = 0; id < total; ++id) {
+      if (static_cast<int>(id % static_cast<std::size_t>(comm.size())) ==
+          comm.rank()) {
+        mine.push_back(id);
+      }
+    }
+    const auto first_epoch = store.fetch(mine);
+    for (const auto& sample : first_epoch) {
+      ASSERT_FALSE(sample.scalars.empty());
+    }
+    store.build_directory();
+    // Epoch 2+: everyone asks for everything, in shifted order.
+    for (int epoch = 0; epoch < 6; ++epoch) {
+      std::vector<data::SampleId> want;
+      for (std::size_t k = 0; k < total; ++k) {
+        want.push_back((k + static_cast<std::size_t>(comm.rank() + epoch)) %
+                       total);
+      }
+      const auto got = store.fetch(want);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        expect_sample(got[i], want[i]);
+      }
+    }
+  });
+}
+
+TEST(DataStoreStress, PrefetchPipelineOverlapsSteps) {
+  const StressFixture fx = make_stress_fixture("prefetch", 40, 4);
+  datastore::BundleCatalog catalog(fx.paths);
+  constexpr int kRanks = 4;
+  constexpr std::size_t kSteps = 12;
+  World::run(kRanks, [&](Communicator& comm) {
+    datastore::DataStore store(comm, &catalog, datastore::PopulateMode::Preloaded);
+    store.preload();
+    const auto total = catalog.total_samples();
+    auto ids_for_step = [&](std::size_t step) {
+      std::vector<data::SampleId> want;
+      for (std::size_t k = 0; k < 8; ++k) {
+        want.push_back(
+            (step * 7 + k + static_cast<std::size_t>(comm.rank()) * 11) %
+            total);
+      }
+      return want;
+    };
+    store.begin_fetch(ids_for_step(0));
+    for (std::size_t step = 0; step < kSteps; ++step) {
+      // While the helper owns the communicator, the owner thread must not
+      // touch the store; it "trains" on the previous batch instead.
+      EXPECT_TRUE(store.fetch_in_flight());
+      const auto batch = store.collect_fetch();
+      if (step + 1 < kSteps) {
+        store.begin_fetch(ids_for_step(step + 1));
+      }
+      const auto want = ids_for_step(step);
+      ASSERT_EQ(batch.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        expect_sample(batch[i], want[i]);
+      }
+    }
+  });
+}
+
+// ---- thread pool ---------------------------------------------------------------
+
+TEST(ThreadPoolStress, ConcurrentSubmittersAndWaitIdle) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 3;
+  constexpr int kTasksEach = 300;
+  std::atomic<int> executed{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &executed] {
+      for (int i = 0; i < kTasksEach; ++i) {
+        pool.submit([&executed] { ++executed; });
+      }
+    });
+  }
+  // wait_idle churn concurrent with submission: every return must observe
+  // a consistent (momentarily idle) pool, never a worker mid-task.
+  for (int i = 0; i < 20; ++i) {
+    pool.wait_idle();
+  }
+  for (auto& t : submitters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(executed.load(), kSubmitters * kTasksEach);
+}
+
+TEST(ThreadPoolStress, WaitIdleNeverReturnsMidTask) {
+  ThreadPool pool(4);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> done{0};
+  constexpr int kTasks = 64;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&in_flight, &done] {
+      ++in_flight;
+      std::this_thread::yield();
+      --in_flight;
+      ++done;
+    });
+  }
+  pool.wait_idle();
+  // wait_idle holds until active_ == 0, which is only decremented after the
+  // task body (including the counter updates above) has finished.
+  EXPECT_EQ(in_flight.load(), 0);
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolStress, ShutdownRacingSubmitThrowsOrRuns) {
+  // Tear a pool down while this thread keeps submitting. Every submit must
+  // either enqueue (and the task then runs before the workers join) or
+  // throw ltfb::Error — never deadlock, never drop an accepted task. A
+  // gate-blocked worker keeps the destructor parked in join() so the pool
+  // object is guaranteed alive for the whole submit loop.
+  for (int round = 0; round < 5; ++round) {
+    auto pool = std::make_unique<ThreadPool>(1);
+    ThreadPool* p = pool.get();
+    std::promise<void> release;
+    std::shared_future<void> gate(release.get_future());
+    p->submit([gate] { gate.wait(); });
+    std::atomic<int> accepted{0};
+    std::atomic<int> executed{0};
+    std::thread destroyer([&pool] { pool.reset(); });
+    bool threw = false;
+    for (int i = 0; i < 200000 && !threw; ++i) {
+      if (i % 64 == 0) std::this_thread::yield();  // let the destroyer run
+      try {
+        p->submit([&executed] { ++executed; });
+        ++accepted;
+      } catch (const Error&) {
+        threw = true;  // destructor has flagged shutdown
+      }
+    }
+    EXPECT_TRUE(threw);
+    release.set_value();  // unblock the worker; destructor drains and joins
+    destroyer.join();
+    EXPECT_EQ(executed.load(), accepted.load());
+  }
+}
+
+}  // namespace

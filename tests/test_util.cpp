@@ -5,6 +5,8 @@
 #include <atomic>
 #include <cmath>
 #include <fstream>
+#include <future>
+#include <memory>
 #include <set>
 #include <thread>
 
@@ -384,6 +386,47 @@ TEST(ThreadPool, ZeroRequestedStillHasOneWorker) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.size(), 1u);
   EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(1);
+    std::promise<void> release;
+    std::shared_future<void> gate(release.get_future());
+    pool.submit([gate] { gate.wait(); });
+    // These queue up behind the blocked worker; the destructor must run
+    // them all before joining — accepted work is never dropped.
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&executed] { ++executed; });
+    }
+    release.set_value();
+  }
+  EXPECT_EQ(executed.load(), 20);
+}
+
+TEST(ThreadPool, SubmitDuringShutdownThrowsInsteadOfDeadlocking) {
+  auto pool = std::make_unique<ThreadPool>(1);
+  ThreadPool* p = pool.get();
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  p->submit([gate] { gate.wait(); });
+  // The destructor flags shutdown under the pool mutex almost immediately,
+  // then parks in join() on the gate-blocked worker — so the pool object
+  // stays alive while we probe submit() from this thread.
+  std::thread destroyer([&pool] { pool.reset(); });
+  bool threw = false;
+  for (int i = 0; i < 200000 && !threw; ++i) {
+    if (i % 64 == 0) std::this_thread::yield();
+    try {
+      p->submit([] {});
+    } catch (const Error&) {
+      threw = true;
+    }
+  }
+  EXPECT_TRUE(threw);
+  release.set_value();
+  destroyer.join();
 }
 
 TEST(Stopwatch, MeasuresElapsed) {
