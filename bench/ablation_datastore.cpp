@@ -9,6 +9,7 @@
 //      interference knee the paper hit at 64 trainers.
 #include <iostream>
 
+#include "bench_telemetry.hpp"
 #include "perf/ingestion_sim.hpp"
 #include "perf/model_cost.hpp"
 #include "simulator/cluster.hpp"
@@ -16,6 +17,8 @@
 
 int main() {
   using namespace ltfb;
+  bench::BenchTelemetry bench_telemetry("ablation_datastore");
+  LTFB_SPAN("bench/run");
 
   const auto spec = sim::lassen_spec();
   const double bytes = perf::sample_bytes(perf::paper_scale_config());

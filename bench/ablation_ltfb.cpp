@@ -12,6 +12,7 @@
 // same total steps); only the tournament rule changes.
 #include <iostream>
 
+#include "bench_telemetry.hpp"
 #include "core/ltfb.hpp"
 #include "quality_common.hpp"
 #include "util/table.hpp"
@@ -40,9 +41,14 @@ double run_variant(const bench::QualitySetup& setup,
 }  // namespace
 
 int main() {
+  bench::BenchTelemetry bench_telemetry("ablation_ltfb");
+  LTFB_SPAN("bench/run");
+
+  ltfb::telemetry::Stopwatch setup_watch;
   const std::size_t samples = bench::env_size("LTFB_BENCH_SAMPLES", 1600);
   bench::QualitySetup setup(samples, 4201);
   const std::size_t total_steps = bench::env_size("LTFB_BENCH_STEPS", 400);
+  LTFB_TIMER_RECORD("bench/setup", setup_watch.elapsed_seconds());
 
   std::cout << "LTFB ablations (4 trainers, " << samples << " samples, "
             << total_steps << " steps per trainer)\n\n";

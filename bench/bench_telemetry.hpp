@@ -1,0 +1,47 @@
+// Uniform timing for the figure benches. Every bench binary owns one
+// BenchTelemetry for main()'s lifetime: construction switches the telemetry
+// Registry on, destruction writes the bench's metrics dump to
+// BENCH_<name>.json (one schema for every bench, so trajectory tooling can
+// diff runs without per-bench parsers) and honours LTFB_TELEMETRY_OUT /
+// LTFB_TELEMETRY_METRICS for full traces. This replaces the divergent
+// per-bench timing idioms — benches do not keep their own stopwatches; they
+// mark phases with LTFB_SPAN / LTFB_TIMED_SCOPE like any other subsystem.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "telemetry/telemetry.hpp"
+
+namespace bench {
+
+class BenchTelemetry {
+ public:
+  explicit BenchTelemetry(std::string name) : name_(std::move(name)) {
+    ltfb::telemetry::init_from_env();
+    // Benches always record (that is the point of a bench); the env hook
+    // above only adds trace output destinations on top.
+    ltfb::telemetry::Registry::instance().set_enabled(true);
+  }
+
+  ~BenchTelemetry() {
+    auto& registry = ltfb::telemetry::Registry::instance();
+    const std::string metrics_path = "BENCH_" + name_ + ".json";
+    if (registry.write_metrics_json(metrics_path)) {
+      std::cout << "telemetry metrics: " << metrics_path << "\n";
+    }
+    const std::string flushed = ltfb::telemetry::flush_from_env();
+    if (!flushed.empty()) {
+      std::cout << flushed << "\n";
+    }
+  }
+
+  BenchTelemetry(const BenchTelemetry&) = delete;
+  BenchTelemetry& operator=(const BenchTelemetry&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace bench

@@ -9,6 +9,7 @@
 #include <iostream>
 #include <numeric>
 
+#include "bench_telemetry.hpp"
 #include "core/ltfb.hpp"
 #include "quality_common.hpp"
 #include "util/stats.hpp"
@@ -16,9 +17,13 @@
 
 int main() {
   using namespace ltfb;
+  bench::BenchTelemetry bench_telemetry("fig07_scalar_fidelity");
+  LTFB_SPAN("bench/run");
 
+  telemetry::Stopwatch setup_watch;
   const std::size_t samples = bench::env_size("LTFB_BENCH_SAMPLES", 2400);
   bench::QualitySetup setup(samples, 701);
+  LTFB_TIMER_RECORD("bench/setup", setup_watch.elapsed_seconds());
 
   core::PopulationConfig population;
   population.num_trainers = 4;

@@ -8,12 +8,15 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_telemetry.hpp"
 #include "perf/experiments.hpp"
 #include "simulator/cluster.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace ltfb;
+  bench::BenchTelemetry bench_telemetry("fig09_data_parallel");
+  LTFB_SPAN("bench/run");
 
   const auto spec = sim::lassen_spec();
   const perf::PerfWorkload workload;  // 1M samples, batch 128

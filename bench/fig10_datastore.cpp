@@ -9,12 +9,15 @@
 // at 1-2 GPUs.
 #include <iostream>
 
+#include "bench_telemetry.hpp"
 #include "perf/experiments.hpp"
 #include "simulator/cluster.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace ltfb;
+  bench::BenchTelemetry bench_telemetry("fig10_datastore");
+  LTFB_SPAN("bench/run");
 
   const auto spec = sim::lassen_spec();
   const perf::PerfWorkload workload;

@@ -10,12 +10,15 @@
 // due to GPFS inter-trainer interference.
 #include <iostream>
 
+#include "bench_telemetry.hpp"
 #include "perf/experiments.hpp"
 #include "simulator/cluster.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace ltfb;
+  bench::BenchTelemetry bench_telemetry("fig11_ltfb_scale");
+  LTFB_SPAN("bench/run");
 
   const auto spec = sim::lassen_spec();
   perf::PerfWorkload workload;

@@ -12,14 +12,19 @@
 #include <map>
 
 #include "core/ltfb.hpp"
+#include "bench_telemetry.hpp"
 #include "quality_common.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace ltfb;
+  bench::BenchTelemetry bench_telemetry("fig12_quality_steps");
+  LTFB_SPAN("bench/run");
 
+  telemetry::Stopwatch setup_watch;
   const std::size_t samples = bench::env_size("LTFB_BENCH_SAMPLES", 2400);
   bench::QualitySetup setup(samples, 1201);
+  LTFB_TIMER_RECORD("bench/setup", setup_watch.elapsed_seconds());
 
   const std::size_t steps_per_round =
       bench::env_size("LTFB_BENCH_STEPS", 50);

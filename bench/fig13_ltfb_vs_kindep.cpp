@@ -9,11 +9,14 @@
 #include <iostream>
 
 #include "core/ltfb.hpp"
+#include "bench_telemetry.hpp"
 #include "quality_common.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace ltfb;
+  bench::BenchTelemetry bench_telemetry("fig13_ltfb_vs_kindep");
+  LTFB_SPAN("bench/run");
 
   // --exchange=full runs the full-model-exchange ablation (discriminators
   // travel too) instead of the paper's generator-only scheme.
@@ -24,8 +27,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  telemetry::Stopwatch setup_watch;
   const std::size_t samples = bench::env_size("LTFB_BENCH_SAMPLES", 2400);
   bench::QualitySetup setup(samples, 1301);
+  LTFB_TIMER_RECORD("bench/setup", setup_watch.elapsed_seconds());
 
   const std::size_t steps_per_round =
       bench::env_size("LTFB_BENCH_STEPS", 50);

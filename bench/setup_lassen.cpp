@@ -5,12 +5,15 @@
 // the setup in prose; no numbered tables exist).
 #include <iostream>
 
+#include "bench_telemetry.hpp"
 #include "perf/model_cost.hpp"
 #include "simulator/cluster.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace ltfb;
+  bench::BenchTelemetry bench_telemetry("setup_lassen");
+  LTFB_SPAN("bench/run");
 
   const auto spec = sim::lassen_spec();
   const auto config = perf::paper_scale_config();

@@ -1,0 +1,88 @@
+// Telemetry overhead contract check: trains the same scaled-down CycleGAN
+// with the registry disabled and enabled, and fails (exit 1) if the enabled
+// median step time exceeds the disabled one by more than 2%. The disabled
+// configuration is the baseline the rest of the repo pays by default — a
+// relaxed atomic load per probe — so this bench guards both halves of the
+// contract stated in src/telemetry/telemetry.hpp.
+//
+// Trials interleave the two modes so CPU frequency drift hits both equally,
+// and the comparison uses medians over many short trials rather than one
+// long run.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_telemetry.hpp"
+#include "core/gan_trainer.hpp"
+#include "quality_common.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  using namespace ltfb;
+
+  // Emits BENCH_telemetry_overhead.json like every other bench; the timed
+  // trials below own the enable flag, so the initial enable only covers
+  // setup and warm-up.
+  bench::BenchTelemetry bench_telemetry("telemetry_overhead");
+
+  const std::size_t samples = bench::env_size("LTFB_BENCH_SAMPLES", 512);
+  const std::size_t steps = bench::env_size("LTFB_BENCH_STEPS", 20);
+  const std::size_t trials = bench::env_size("LTFB_BENCH_TRIALS", 21);
+
+  bench::QualitySetup setup(samples, 9901);
+  core::GanTrainer trainer(0, bench::bench_gan_config(setup.jag_config),
+                           setup.dataset, setup.splits.train,
+                           setup.splits.tournament, 32, 9902);
+
+  auto& registry = telemetry::Registry::instance();
+
+  std::cout << "telemetry overhead check ("
+            << (LTFB_TELEMETRY_ENABLED ? "probes compiled in"
+                                       : "probes compiled OUT")
+            << "; " << trials << " trials x " << steps << " steps)\n\n";
+
+  // Warm-up: fault in code paths and let the model leave its initial
+  // transient before any timed trial.
+  trainer.train_steps(steps);
+
+  std::vector<double> disabled_s, enabled_s;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const bool on = (t % 2 == 1);
+    registry.set_enabled(on);
+    telemetry::Stopwatch watch;
+    trainer.train_steps(steps);
+    const double elapsed = watch.elapsed_seconds();
+    registry.set_enabled(false);
+    (on ? enabled_s : disabled_s).push_back(elapsed);
+    // Keep span buffers tiny so trial N+1 never pays for trial N's trace.
+    registry.clear_trace();
+  }
+
+  const double dis = median(disabled_s) / static_cast<double>(steps);
+  const double en = median(enabled_s) / static_cast<double>(steps);
+  const double overhead = (en - dis) / dis;
+
+  util::TablePrinter table({"mode", "median step time", "overhead"});
+  table.add_row({"telemetry disabled", util::format_seconds(dis), "baseline"});
+  table.add_row({"telemetry enabled", util::format_seconds(en),
+                 util::format_double(overhead * 100.0, 2) + "%"});
+  table.print();
+
+  if (overhead > 0.02) {
+    std::cerr << "\nFAIL: enabled-telemetry step-time overhead "
+              << util::format_double(overhead * 100.0, 2)
+              << "% exceeds the 2% contract\n";
+    return 1;
+  }
+  std::cout << "\noverhead check: OK (<= 2%)\n";
+  return 0;
+}

@@ -10,17 +10,40 @@
 //     -> validation of the trained surrogate.
 //
 // Build & run:  ./examples/icf_surrogate_pipeline [output_dir]
+//
+// LTFB_TELEMETRY=1 enables the instrumentation built into every phase
+// (workflow, datastore, comm, trainer); LTFB_TELEMETRY_OUT=trace.json
+// additionally writes a Perfetto-loadable trace of the whole pipeline.
+#include <atomic>
 #include <filesystem>
 #include <iostream>
 #include <mutex>
 
 #include "core/ltfb_comm.hpp"
 #include "datastore/data_store.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/logging.hpp"
 #include "util/table.hpp"
 #include "workflow/ensemble.hpp"
 
 int main(int argc, char** argv) {
   using namespace ltfb;
+
+  const bool telemetry_on = telemetry::init_from_env();
+  if (telemetry_on) {
+    // The metrics dump logs at Info; the logger admits Warn+ by default.
+    util::Logger::instance().set_level(util::LogLevel::Info);
+  }
+
+  // Structured log capture: sinks receive LogRecord{level, component,
+  // message} instead of scraping stderr. Count warnings-or-worse so the
+  // final report can say whether the pipeline ran clean.
+  std::atomic<int> log_warnings{0};
+  util::Logger::instance().add_sink([&](const util::LogRecord& record) {
+    if (record.level >= util::LogLevel::Warn) {
+      log_warnings.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
 
   const std::filesystem::path out_dir =
       argc > 1 ? std::filesystem::path(argv[1])
@@ -130,7 +153,16 @@ int main(int argc, char** argv) {
   table.print();
   std::cout << "\nbest validation loss (forward + inverse MAE): "
             << util::format_double(best_loss, 4) << "\n"
-            << "pipeline complete — bundles remain under " << out_dir
+            << "pipeline complete — bundles remain under " << out_dir << "\n"
+            << "log warnings/errors during run: " << log_warnings.load()
             << "\n";
+
+  if (telemetry_on) {
+    telemetry::Registry::instance().log_metrics();
+    const std::string trace_path = telemetry::flush_from_env();
+    if (!trace_path.empty()) {
+      std::cout << "telemetry trace: " << trace_path << '\n';
+    }
+  }
   return 0;
 }

@@ -7,14 +7,28 @@
 //   5. Evaluate the winning surrogate on held-out data.
 //
 // Build & run:  ./examples/quickstart
+//
+// Set LTFB_TELEMETRY=1 to print a metrics snapshot at exit, and
+// LTFB_TELEMETRY_OUT=trace.json to also write a Chrome/Perfetto trace of
+// the whole run (open it at https://ui.perfetto.dev).
 #include <iostream>
 
 #include "core/ltfb.hpp"
 #include "core/population.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/logging.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace ltfb;
+
+  // Honour LTFB_TELEMETRY / LTFB_TELEMETRY_OUT from the environment. The
+  // logger admits Warn+ by default; open it up so the metrics dump at the
+  // end (logged at Info) reaches stderr.
+  const bool telemetry_on = telemetry::init_from_env();
+  if (telemetry_on) {
+    util::Logger::instance().set_level(util::LogLevel::Info);
+  }
 
   // 1. Synthetic JAG campaign: 800 implosion simulations at 8x8 resolution.
   jag::JagConfig jag_config;
@@ -88,5 +102,15 @@ int main() {
             << jag::kNumScalars << " scalars and "
             << jag_config.images_per_sample()
             << " images jointly from the 5-D input.\n";
+
+  // 6. Flush telemetry: dump metrics through the logger and honour
+  //    LTFB_TELEMETRY_OUT if set.
+  if (telemetry_on) {
+    telemetry::Registry::instance().log_metrics();
+    const std::string trace_path = telemetry::flush_from_env();
+    if (!trace_path.empty()) {
+      std::cout << "telemetry trace: " << trace_path << '\n';
+    }
+  }
   return 0;
 }

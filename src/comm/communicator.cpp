@@ -4,6 +4,7 @@
 #include <cstring>
 #include <thread>
 
+#include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 
 namespace ltfb::comm {
@@ -137,6 +138,7 @@ bool Request::test() {
 
 void Request::wait() {
   LTFB_CHECK_MSG(state_, "wait() on an invalid request");
+  LTFB_TIMED_SCOPE("comm/recv_wait");
   std::unique_lock lock(state_->mailbox->mutex);
   state_->mailbox->cv.wait(lock, [this] {
     return state_->done || detail::try_complete(*state_);
@@ -152,6 +154,8 @@ int Communicator::world_rank_of(int rank) const {
 void Communicator::send(int dst, int tag, const Buffer& payload) {
   LTFB_COMM_GUARD("send");
   LTFB_CHECK(tag >= 0);
+  LTFB_COUNTER_ADD("comm/send_messages", 1);
+  LTFB_COUNTER_ADD("comm/send_bytes", payload.size());
   const int world_dst = world_rank_of(dst);
   auto& mailbox = *world_->mailboxes[static_cast<std::size_t>(world_dst)];
   {
@@ -223,6 +227,8 @@ void internal_send(Communicator& comm, detail::WorldState& world,
                    std::uint64_t comm_id, std::int64_t tag,
                    const Buffer& payload) {
   (void)comm;
+  LTFB_COUNTER_ADD("comm/collective_messages", 1);
+  LTFB_COUNTER_ADD("comm/collective_bytes", payload.size());
   auto& mailbox =
       *world.mailboxes[static_cast<std::size_t>(group[static_cast<std::size_t>(dst)])];
   {
@@ -272,6 +278,7 @@ float reduce_elem(float a, float b, ReduceOp op) {
 
 void Communicator::barrier() {
   LTFB_COMM_GUARD("barrier");
+  LTFB_SPAN("comm/barrier");
   const auto tag = static_cast<std::int64_t>(next_internal_tag(1));
   const int n = size();
   // Dissemination barrier: log2(n) rounds.
@@ -287,6 +294,7 @@ void Communicator::barrier() {
 
 void Communicator::broadcast(int root, Buffer& payload) {
   LTFB_COMM_GUARD("broadcast");
+  LTFB_SPAN("comm/broadcast");
   const auto tag = static_cast<std::int64_t>(next_internal_tag(2));
   const int n = size();
   LTFB_CHECK(root >= 0 && root < n);
@@ -325,6 +333,7 @@ void Communicator::broadcast(int root, std::span<float> values) {
 
 void Communicator::allreduce(std::span<float> values, ReduceOp op) {
   LTFB_COMM_GUARD("allreduce");
+  LTFB_SPAN("comm/allreduce");
   const auto tag = static_cast<std::int64_t>(next_internal_tag(3));
   const int n = size();
   if (n == 1 || values.empty()) return;
@@ -375,6 +384,7 @@ void Communicator::allreduce(std::span<float> values, ReduceOp op) {
 
 std::vector<float> Communicator::allgather(std::span<const float> contribution) {
   LTFB_COMM_GUARD("allgather");
+  LTFB_SPAN("comm/allgather");
   const auto tag = static_cast<std::int64_t>(next_internal_tag(4));
   const int n = size();
   const std::size_t per_rank = contribution.size();
@@ -408,6 +418,7 @@ std::vector<float> Communicator::allgather(std::span<const float> contribution) 
 
 void Communicator::reduce(int root, std::span<float> values, ReduceOp op) {
   LTFB_COMM_GUARD("reduce");
+  LTFB_SPAN("comm/reduce");
   const auto tag = static_cast<std::int64_t>(next_internal_tag(5));
   const int n = size();
   LTFB_CHECK(root >= 0 && root < n);
@@ -450,6 +461,7 @@ void Communicator::reduce(int root, std::span<float> values, ReduceOp op) {
 std::vector<float> Communicator::gather(int root,
                                         std::span<const float> contribution) {
   LTFB_COMM_GUARD("gather");
+  LTFB_SPAN("comm/gather");
   const auto tag = static_cast<std::int64_t>(next_internal_tag(6));
   const int n = size();
   LTFB_CHECK(root >= 0 && root < n);
@@ -483,6 +495,7 @@ std::vector<float> Communicator::scatter(int root,
                                          std::span<const float> send,
                                          std::size_t chunk) {
   LTFB_COMM_GUARD("scatter");
+  LTFB_SPAN("comm/scatter");
   const auto tag = static_cast<std::int64_t>(next_internal_tag(7));
   const int n = size();
   LTFB_CHECK(root >= 0 && root < n);
@@ -509,6 +522,7 @@ std::vector<float> Communicator::scatter(int root,
 
 Communicator Communicator::split(int color, int key) {
   LTFB_COMM_GUARD("split");
+  LTFB_SPAN("comm/split");
   // Exchange (color, key, rank) triples; every rank then derives the same
   // membership and ordering. Values are exchanged as floats, which is exact
   // for magnitudes below 2^24 — far beyond any realistic rank count.

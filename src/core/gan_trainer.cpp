@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 
 namespace ltfb::core {
@@ -11,6 +12,7 @@ gan::EvalMetrics evaluate_gan(gan::CycleGan& model,
                               const std::vector<std::size_t>& view,
                               std::size_t batch_size) {
   LTFB_CHECK_MSG(!view.empty(), "evaluation view is empty");
+  LTFB_SPAN("trainer/evaluate");
   gan::EvalMetrics mean;
   std::size_t batches = 0;
   for (std::size_t begin = 0; begin < view.size(); begin += batch_size) {
@@ -56,6 +58,7 @@ GanTrainer::GanTrainer(int trainer_id, gan::CycleGanConfig model_config,
 }
 
 void GanTrainer::pretrain_autoencoder(std::size_t steps) {
+  LTFB_SPAN("trainer/pretrain");
   for (std::size_t s = 0; s < steps; ++s) {
     const data::Batch batch = reader_.next();
     model_.pretrain_autoencoder_step(batch);
@@ -63,8 +66,10 @@ void GanTrainer::pretrain_autoencoder(std::size_t steps) {
 }
 
 gan::StepMetrics GanTrainer::train_steps(std::size_t steps) {
+  LTFB_SPAN("trainer/train_steps");
   gan::StepMetrics last{};
   for (std::size_t s = 0; s < steps; ++s) {
+    LTFB_TIMED_SCOPE("trainer/step");
     const data::Batch batch = reader_.next();
     last = model_.train_step(batch);
     ++steps_;

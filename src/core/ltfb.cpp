@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -79,9 +80,14 @@ void LocalLtfbDriver::pretrain() {
 }
 
 const RoundRecord& LocalLtfbDriver::run_round() {
+  LTFB_SPAN("ltfb/round");
+  LTFB_COUNTER_ADD("ltfb/rounds", 1);
   // Independent training phase (lockstep stands in for parallel trainers).
-  for (auto& trainer : trainers_) {
-    trainer->train_steps(config_.steps_per_round);
+  {
+    LTFB_SPAN("ltfb/train_phase");
+    for (auto& trainer : trainers_) {
+      trainer->train_steps(config_.steps_per_round);
+    }
   }
 
   RoundRecord record;
@@ -94,6 +100,7 @@ const RoundRecord& LocalLtfbDriver::run_round() {
   // Tournament: pair up, exchange, evaluate on the LOCAL tournament set,
   // keep the better model. Both sides snapshot before either adopts so the
   // exchange is symmetric (as if the messages crossed on the wire).
+  LTFB_SPAN("ltfb/tournament");
   const auto pairs = tournament_pairs(trainers_.size(), config_.pairing_seed,
                                       round_counter_);
   for (const auto& [a, b] : pairs) {
@@ -112,6 +119,7 @@ const RoundRecord& LocalLtfbDriver::run_round() {
       stat.partner_score = metric_score(local);
       if (stat.partner_score < stat.own_score) {
         stat.adopted_partner = true;  // keep the received model
+        LTFB_COUNTER_ADD("ltfb/adoptions", 1);
         if (config_.lr_perturbation > 0.0f) {
           // PBT exploit/explore: inherit the winner's learning rate with a
           // deterministic perturbation.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "nn/parallel.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 
 namespace ltfb::core {
@@ -122,11 +123,17 @@ DistributedLtfbOutcome run_distributed_ltfb(
 
   // -- LTFB rounds -------------------------------------------------------------
   for (std::size_t round = 0; round < config.ltfb.rounds; ++round) {
-    for (std::size_t s = 0; s < config.ltfb.steps_per_round; ++s) {
-      const data::Batch batch = reader.next();
-      const data::Batch mine =
-          slice_batch(batch, my_shard_begin, my_shard_begin + shard);
-      model.train_step(mine);
+    LTFB_SPAN("ltfb/round");
+    LTFB_COUNTER_ADD("ltfb/rounds", 1);
+    {
+      LTFB_SPAN("ltfb/train_phase");
+      for (std::size_t s = 0; s < config.ltfb.steps_per_round; ++s) {
+        LTFB_TIMED_SCOPE("trainer/step");
+        const data::Batch batch = reader.next();
+        const data::Batch mine =
+            slice_batch(batch, my_shard_begin, my_shard_begin + shard);
+        model.train_step(mine);
+      }
     }
 
     // Deterministic pairing — every rank derives the same schedule.
@@ -140,11 +147,16 @@ DistributedLtfbOutcome run_distributed_ltfb(
     }
 
     if (leader && partner >= 0) {
+      LTFB_SPAN("ltfb/tournament");
       // Leaders exchange weights (leader_comm rank == trainer id by
       // construction of the split keys) and duel on the LOCAL set.
       const std::vector<float> own = snapshot(model, config.ltfb.scope);
-      const comm::Buffer received = leader_comm.sendrecv(
-          partner, static_cast<int>(round), comm::to_buffer(own));
+      comm::Buffer received;
+      {
+        LTFB_SPAN("ltfb/exchange");
+        received = leader_comm.sendrecv(partner, static_cast<int>(round),
+                                        comm::to_buffer(own));
+      }
       const std::vector<float> candidate =
           comm::floats_from_buffer(received);
 
@@ -153,6 +165,7 @@ DistributedLtfbOutcome run_distributed_ltfb(
       const double candidate_score = local_score();
       if (candidate_score < own_score) {
         ++outcome.adoptions;
+        LTFB_COUNTER_ADD("ltfb/adoptions", 1);
       } else {
         restore(model, own, config.ltfb.scope);
         ++outcome.tournaments_won;
@@ -162,6 +175,7 @@ DistributedLtfbOutcome run_distributed_ltfb(
     // Winner propagation within the trainer: the leader's current weights
     // become the trainer's weights.
     if (rpt > 1) {
+      LTFB_SPAN("ltfb/broadcast_winner");
       std::vector<float> current =
           leader ? snapshot(model, config.ltfb.scope) : std::vector<float>();
       comm::Buffer payload =

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "telemetry/telemetry.hpp"
+
 namespace ltfb::datastore {
 
 namespace {
@@ -76,6 +78,7 @@ void DataStore::check_no_fetch_in_flight(const char* what) const {
 
 void DataStore::preload() {
   check_no_fetch_in_flight("preload");
+  LTFB_SPAN("datastore/preload");
   LTFB_CHECK_MSG(mode_ == PopulateMode::Preloaded,
                  "preload() requires Preloaded mode");
   LTFB_CHECK_MSG(!has_directory(), "preload() called twice");
@@ -87,6 +90,7 @@ void DataStore::preload() {
     }
     for (auto& sample : catalog_->read_file(file)) {
       ++stats_.file_reads;
+      LTFB_COUNTER_ADD("datastore/file_reads", 1);
       if (in_universe(sample.id)) {
         insert_local(std::move(sample));
       }
@@ -97,6 +101,7 @@ void DataStore::preload() {
 
 void DataStore::build_directory() {
   check_no_fetch_in_flight("build_directory");
+  LTFB_SPAN("datastore/build_directory");
   directory_.clear();
   const int ranks = comm_.size();
 
@@ -137,6 +142,7 @@ void DataStore::build_directory() {
     directory_.emplace(id, owner);
     if (owner == comm_.rank()) {
       ++stats_.file_reads;
+      LTFB_COUNTER_ADD("datastore/file_reads", 1);
       insert_local(catalog_->read(id));
     }
   }
@@ -145,6 +151,8 @@ void DataStore::build_directory() {
 std::vector<data::Sample> DataStore::fetch(
     const std::vector<data::SampleId>& ids) {
   check_no_fetch_in_flight("fetch");
+  LTFB_SPAN("datastore/fetch");
+  LTFB_TIMED_SCOPE("datastore/fetch");
   return fetch_now(ids);
 }
 
@@ -166,6 +174,7 @@ std::vector<data::Sample> DataStore::fetch_from_files(
     const auto it = cache_.find(id);
     if (it != cache_.end()) {
       ++stats_.local_hits;
+      LTFB_COUNTER_ADD("datastore/local_hits", 1);
       result.push_back(it->second);
       continue;
     }
@@ -173,6 +182,7 @@ std::vector<data::Sample> DataStore::fetch_from_files(
     // next epoch is served from memory.
     data::Sample sample = catalog_->read(id);
     ++stats_.file_reads;
+    LTFB_COUNTER_ADD("datastore/file_reads", 1);
     result.push_back(sample);
     insert_local(std::move(sample));
   }
@@ -185,6 +195,8 @@ void DataStore::begin_fetch(std::vector<data::SampleId> ids) {
   prefetch_error_ = nullptr;
   prefetch_result_.clear();
   prefetch_thread_ = std::thread([this, ids = std::move(ids)] {
+    LTFB_SPAN("datastore/prefetch");
+    LTFB_TIMED_SCOPE("datastore/prefetch");
     try {
       prefetch_result_ = fetch_now(ids);
     } catch (...) {
@@ -205,6 +217,7 @@ std::vector<data::Sample> DataStore::collect_fetch() {
 
 std::vector<data::Sample> DataStore::fetch_via_exchange(
     const std::vector<data::SampleId>& ids) {
+  LTFB_SPAN("datastore/exchange");
   const int ranks = comm_.size();
   const int req_tag = step_seq_ * 2;
   const int rep_tag = step_seq_ * 2 + 1;
@@ -226,6 +239,7 @@ std::vector<data::Sample> DataStore::fetch_via_exchange(
                      "directory claims rank owns sample " << id
                                                           << " but cache misses");
       ++stats_.local_hits;
+      LTFB_COUNTER_ADD("datastore/local_hits", 1);
       gathered.emplace(id, it->second);
     } else {
       if (needs[static_cast<std::size_t>(owner)].empty()) {
@@ -270,12 +284,14 @@ std::vector<data::Sample> DataStore::fetch_via_exchange(
       const std::vector<float> flat = comm::floats_from_buffer(raw);
       LTFB_CHECK(flat.size() % packed_width == 0);
       stats_.bytes_exchanged += raw.size();
+      LTFB_COUNTER_ADD("datastore/bytes_exchanged", raw.size());
       for (std::size_t offset = 0; offset < flat.size();
            offset += packed_width) {
         data::Sample sample = data::unpack_sample(
             std::span<const float>(flat).subspan(offset, packed_width),
             catalog_->schema());
         ++stats_.remote_fetches;
+        LTFB_COUNTER_ADD("datastore/remote_fetches", 1);
         gathered[sample.id] = std::move(sample);
       }
     }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace ltfb::perf {
@@ -31,6 +32,7 @@ double steps_per_epoch(const PerfWorkload& workload, std::size_t samples) {
 std::vector<Fig9Row> run_fig9(const sim::ClusterSpec& spec,
                               const PerfWorkload& workload,
                               const Calibration& cal) {
+  LTFB_SPAN("perf/fig9");
   const CycleGanCost cost = analyze(paper_scale_config());
   const double bytes = sample_bytes(paper_scale_config());
   std::vector<Fig9Row> rows;
@@ -145,6 +147,7 @@ TrainerLayout fig11_layout(const sim::ClusterSpec& spec,
 std::vector<Fig11Row> run_fig11(const sim::ClusterSpec& spec,
                                 const PerfWorkload& workload,
                                 const Calibration& cal) {
+  LTFB_SPAN("perf/fig11");
   const auto config = paper_scale_config();
   const CycleGanCost cost = analyze(config);
   const double bytes = sample_bytes(config);

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "simulator/event_queue.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace ltfb::perf {
@@ -17,8 +18,11 @@ struct ReaderActor : std::enable_shared_from_this<ReaderActor> {
   double bytes_per_op = 0.0;
   sim::EventQueue* queue = nullptr;
   double* finish_time = nullptr;
+  int lane = 0;  // trace lane (virtual-time tid); capped by the caller
+  double start_time = 0.0;
 
   void start() {
+    start_time = queue->now();
     fs->client_arrived();
     next();
   }
@@ -27,6 +31,8 @@ struct ReaderActor : std::enable_shared_from_this<ReaderActor> {
     if (ops == 0) {
       fs->client_departed();
       *finish_time = std::max(*finish_time, queue->now());
+      telemetry::Registry::instance().record_sim_span(
+          "sim/reader", start_time, queue->now() - start_time, lane);
       return;
     }
     --ops;
@@ -51,12 +57,17 @@ double run_readers(const sim::FileSystemConfig& fs_config,
     actor->bytes_per_op = bytes;
     actor->queue = &queue;
     actor->finish_time = &finish_time;
+    // Big sweeps spawn thousands of readers; fold the tail into lane 63 so
+    // the Perfetto track list stays readable.
+    actor->lane = static_cast<int>(std::min<std::size_t>(actors.size(), 63));
     actors.push_back(actor);
   }
   queue.at(0.0, [&actors] {
     for (auto& actor : actors) actor->start();
   });
   queue.run();
+  telemetry::Registry::instance().record_sim_span("sim/ingest", 0.0,
+                                                  finish_time, 0);
   return finish_time;
 }
 

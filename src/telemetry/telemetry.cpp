@@ -1,0 +1,504 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace ltfb::telemetry {
+
+// ---------------------------------------------------------------------------
+// Clock
+// ---------------------------------------------------------------------------
+
+std::uint64_t now_ns() noexcept {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// Names
+// ---------------------------------------------------------------------------
+
+bool valid_metric_name(std::string_view name) noexcept {
+  // subsystem/verb: at least two lowercase [a-z0-9_]+ segments joined by
+  // single '/'. No leading/trailing/doubled slashes.
+  bool seen_slash = false;
+  bool segment_open = false;
+  for (const char c : name) {
+    if (c == '/') {
+      if (!segment_open) return false;
+      seen_slash = true;
+      segment_open = false;
+    } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_') {
+      segment_open = true;
+    } else {
+      return false;
+    }
+  }
+  return seen_slash && segment_open;
+}
+
+namespace {
+
+/// Minimal JSON string escaping (metric names are convention-restricted,
+/// but exporters must never emit malformed JSON regardless).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream oss;
+          oss << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c);
+          out += oss.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  std::ostringstream oss;
+  oss << std::setprecision(12) << v;
+  const std::string s = oss.str();
+  // JSON has no inf/nan; clamp to null-safe sentinels.
+  if (s.find("inf") != std::string::npos ||
+      s.find("nan") != std::string::npos) {
+    return "0";
+  }
+  return s;
+}
+
+/// Approximate percentile from the log2 histogram: the upper bound of the
+/// bucket where the cumulative count crosses q.
+double histogram_percentile(
+    const std::array<std::atomic<std::uint64_t>, detail::kTimerBuckets>&
+        buckets,
+    std::uint64_t total, double q) {
+  if (total == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total) + 0.5);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < detail::kTimerBuckets; ++i) {
+    cumulative += buckets[i].load(std::memory_order_relaxed);
+    if (cumulative >= target && cumulative > 0) {
+      return static_cast<double>(1ull << std::min<std::size_t>(i, 62)) * 1e-9;
+    }
+  }
+  return static_cast<double>(1ull << (detail::kTimerBuckets - 1)) * 1e-9;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Registry storage
+// ---------------------------------------------------------------------------
+
+struct Registry::TraceBuffer {
+  std::mutex mutex;
+  std::uint32_t tid = 0;
+  struct WallSpan {
+    const char* name;
+    std::uint64_t start_ns;
+    std::uint64_t dur_ns;
+  };
+  std::vector<WallSpan> spans;
+};
+
+struct Registry::SimSpan {
+  std::string name;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  int lane = 0;
+};
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+namespace {
+
+template <typename Slots>
+auto* find_slot(Slots& slots, std::string_view name) {
+  for (auto& [slot_name, slot] : slots) {
+    if (slot_name == name) return slot.get();
+  }
+  return static_cast<
+      typename Slots::value_type::second_type::element_type*>(nullptr);
+}
+
+template <typename Slots>
+bool name_taken(const Slots& slots, std::string_view name) {
+  for (const auto& [slot_name, slot] : slots) {
+    if (slot_name == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Counter Registry::counter(std::string_view name) {
+  LTFB_CHECK_MSG(valid_metric_name(name),
+                 "telemetry metric name \""
+                     << name
+                     << "\" violates the subsystem/verb convention "
+                        "([a-z0-9_]+ segments joined by '/')");
+  const std::scoped_lock lock(metrics_mutex_);
+  if (auto* slot = find_slot(counters_, name)) return Counter(slot);
+  LTFB_CHECK_MSG(!name_taken(gauges_, name) && !name_taken(timers_, name),
+                 "telemetry metric \"" << name
+                                       << "\" already registered as a "
+                                          "different kind");
+  counters_.emplace_back(std::string(name),
+                         std::make_unique<detail::CounterSlot>());
+  return Counter(counters_.back().second.get());
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  LTFB_CHECK_MSG(valid_metric_name(name),
+                 "telemetry metric name \""
+                     << name
+                     << "\" violates the subsystem/verb convention "
+                        "([a-z0-9_]+ segments joined by '/')");
+  const std::scoped_lock lock(metrics_mutex_);
+  if (auto* slot = find_slot(gauges_, name)) return Gauge(slot);
+  LTFB_CHECK_MSG(!name_taken(counters_, name) && !name_taken(timers_, name),
+                 "telemetry metric \"" << name
+                                       << "\" already registered as a "
+                                          "different kind");
+  gauges_.emplace_back(std::string(name),
+                       std::make_unique<detail::GaugeSlot>());
+  return Gauge(gauges_.back().second.get());
+}
+
+Timer Registry::timer(std::string_view name) {
+  LTFB_CHECK_MSG(valid_metric_name(name),
+                 "telemetry metric name \""
+                     << name
+                     << "\" violates the subsystem/verb convention "
+                        "([a-z0-9_]+ segments joined by '/')");
+  const std::scoped_lock lock(metrics_mutex_);
+  if (auto* slot = find_slot(timers_, name)) return Timer(slot);
+  LTFB_CHECK_MSG(!name_taken(counters_, name) && !name_taken(gauges_, name),
+                 "telemetry metric \"" << name
+                                       << "\" already registered as a "
+                                          "different kind");
+  timers_.emplace_back(std::string(name),
+                       std::make_unique<detail::TimerSlot>());
+  return Timer(timers_.back().second.get());
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::scoped_lock lock(metrics_mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, slot] : counters_) {
+    snap.counters.push_back(
+        {name, slot->value.load(std::memory_order_relaxed)});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, slot] : gauges_) {
+    snap.gauges.push_back({name, slot->value.load(std::memory_order_relaxed),
+                           slot->max.load(std::memory_order_relaxed),
+                           slot->sets.load(std::memory_order_relaxed)});
+  }
+  snap.timers.reserve(timers_.size());
+  for (const auto& [name, slot] : timers_) {
+    TimerStat stat;
+    stat.name = name;
+    stat.count = slot->count.load(std::memory_order_relaxed);
+    stat.total_s = slot->sum_s.load(std::memory_order_relaxed);
+    stat.min_s =
+        stat.count ? slot->min_s.load(std::memory_order_relaxed) : 0.0;
+    stat.max_s = slot->max_s.load(std::memory_order_relaxed);
+    stat.mean_s =
+        stat.count ? stat.total_s / static_cast<double>(stat.count) : 0.0;
+    stat.p50_s = histogram_percentile(slot->buckets, stat.count, 0.50);
+    stat.p95_s = histogram_percentile(slot->buckets, stat.count, 0.95);
+    snap.timers.push_back(std::move(stat));
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.timers.begin(), snap.timers.end(), by_name);
+  return snap;
+}
+
+void Registry::reset_metrics() noexcept {
+  const std::scoped_lock lock(metrics_mutex_);
+  for (auto& [name, slot] : counters_) {
+    slot->value.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, slot] : gauges_) {
+    slot->value.store(0.0, std::memory_order_relaxed);
+    slot->max.store(0.0, std::memory_order_relaxed);
+    slot->sets.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, slot] : timers_) {
+    slot->count.store(0, std::memory_order_relaxed);
+    slot->sum_s.store(0.0, std::memory_order_relaxed);
+    slot->min_s.store(std::numeric_limits<double>::infinity(),
+                      std::memory_order_relaxed);
+    slot->max_s.store(0.0, std::memory_order_relaxed);
+    for (auto& bucket : slot->buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans
+// ---------------------------------------------------------------------------
+
+Span::~Span() {
+  if (name_ != nullptr) {
+    Registry::instance().record_span(name_, start_ns_,
+                                     now_ns() - start_ns_);
+  }
+}
+
+Registry::TraceBuffer& Registry::local_buffer() {
+  thread_local std::shared_ptr<TraceBuffer> buffer;
+  if (!buffer) {
+    buffer = std::make_shared<TraceBuffer>();
+    const std::scoped_lock lock(trace_mutex_);
+    buffer->tid = next_tid_++;
+    buffers_.push_back(buffer);
+  }
+  return *buffer;
+}
+
+void Registry::record_span(const char* name, std::uint64_t start_ns,
+                           std::uint64_t dur_ns) {
+  LTFB_ASSERT(name != nullptr);
+  TraceBuffer& buffer = local_buffer();
+  const std::scoped_lock lock(buffer.mutex);
+  if (buffer.spans.size() >= kMaxSpansPerThread) {
+    dropped_spans_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.spans.push_back({name, start_ns, dur_ns});
+}
+
+void Registry::record_sim_span(std::string name, double start_s,
+                               double duration_s, int lane) {
+  LTFB_CHECK_MSG(valid_metric_name(name),
+                 "telemetry sim span name \""
+                     << name << "\" violates the subsystem/verb convention");
+  LTFB_CHECK_MSG(start_s >= 0.0 && duration_s >= 0.0,
+                 "sim span " << name << " has negative time: start "
+                             << start_s << "s duration " << duration_s
+                             << "s");
+  if (!enabled()) return;
+  const std::scoped_lock lock(trace_mutex_);
+  if (sim_spans_.size() >= kMaxSpansPerThread) {
+    dropped_spans_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  sim_spans_.push_back({std::move(name), start_s, duration_s, lane});
+}
+
+std::size_t Registry::span_count() const {
+  const std::scoped_lock lock(trace_mutex_);
+  std::size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    const std::scoped_lock buffer_lock(buffer->mutex);
+    total += buffer->spans.size();
+  }
+  return total;
+}
+
+std::size_t Registry::sim_span_count() const {
+  const std::scoped_lock lock(trace_mutex_);
+  return sim_spans_.size();
+}
+
+void Registry::clear_trace() {
+  const std::scoped_lock lock(trace_mutex_);
+  for (const auto& buffer : buffers_) {
+    const std::scoped_lock buffer_lock(buffer->mutex);
+    buffer->spans.clear();
+  }
+  sim_spans_.clear();
+  dropped_spans_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+void Registry::write_metrics_json(std::ostream& out) const {
+  const MetricsSnapshot snap = snapshot();
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out << (i ? "," : "") << "\n    \"" << json_escape(snap.counters[i].name)
+        << "\": " << snap.counters[i].value;
+  }
+  out << (snap.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    const auto& g = snap.gauges[i];
+    out << (i ? "," : "") << "\n    \"" << json_escape(g.name)
+        << "\": {\"value\": " << json_double(g.value)
+        << ", \"max\": " << json_double(g.max) << ", \"sets\": " << g.sets
+        << "}";
+  }
+  out << (snap.gauges.empty() ? "" : "\n  ") << "},\n  \"timers\": {";
+  for (std::size_t i = 0; i < snap.timers.size(); ++i) {
+    const auto& t = snap.timers[i];
+    out << (i ? "," : "") << "\n    \"" << json_escape(t.name)
+        << "\": {\"count\": " << t.count
+        << ", \"total_s\": " << json_double(t.total_s)
+        << ", \"min_s\": " << json_double(t.min_s)
+        << ", \"max_s\": " << json_double(t.max_s)
+        << ", \"mean_s\": " << json_double(t.mean_s)
+        << ", \"p50_s\": " << json_double(t.p50_s)
+        << ", \"p95_s\": " << json_double(t.p95_s) << "}";
+  }
+  out << (snap.timers.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+std::string Registry::metrics_json() const {
+  std::ostringstream oss;
+  write_metrics_json(oss);
+  return oss.str();
+}
+
+bool Registry::write_metrics_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_metrics_json(out);
+  return static_cast<bool>(out);
+}
+
+void Registry::write_trace_json(std::ostream& out) const {
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  const auto emit = [&](const std::string& line) {
+    out << (first ? "" : ",\n") << "  " << line;
+    first = false;
+  };
+  // Process metadata: two tracks, one per time base.
+  emit(R"({"ph": "M", "name": "process_name", "pid": 1, "tid": 0, )"
+       R"("args": {"name": "wall clock"}})");
+  emit(R"({"ph": "M", "name": "process_name", "pid": 2, "tid": 0, )"
+       R"("args": {"name": "simulator virtual time"}})");
+
+  const std::scoped_lock lock(trace_mutex_);
+  for (const auto& buffer : buffers_) {
+    const std::scoped_lock buffer_lock(buffer->mutex);
+    for (const auto& span : buffer->spans) {
+      std::ostringstream line;
+      line << "{\"name\": \"" << json_escape(span.name)
+           << "\", \"cat\": \"wall\", \"ph\": \"X\", \"ts\": "
+           << json_double(static_cast<double>(span.start_ns) * 1e-3)
+           << ", \"dur\": "
+           << json_double(static_cast<double>(span.dur_ns) * 1e-3)
+           << ", \"pid\": 1, \"tid\": " << buffer->tid << "}";
+      emit(line.str());
+    }
+  }
+  for (const auto& span : sim_spans_) {
+    std::ostringstream line;
+    line << "{\"name\": \"" << json_escape(span.name)
+         << "\", \"cat\": \"sim\", \"ph\": \"X\", \"ts\": "
+         << json_double(span.start_s * 1e6)
+         << ", \"dur\": " << json_double(span.duration_s * 1e6)
+         << ", \"pid\": 2, \"tid\": " << span.lane << "}";
+    emit(line.str());
+  }
+  out << "\n]}\n";
+}
+
+std::string Registry::trace_json() const {
+  std::ostringstream oss;
+  write_trace_json(oss);
+  return oss.str();
+}
+
+bool Registry::write_trace_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_trace_json(out);
+  return static_cast<bool>(out);
+}
+
+void Registry::log_metrics(util::LogLevel level) const {
+  const MetricsSnapshot snap = snapshot();
+  auto& logger = util::Logger::instance();
+  if (!logger.enabled(level)) return;
+  for (const auto& c : snap.counters) {
+    std::ostringstream oss;
+    oss << c.name << " = " << c.value;
+    logger.write(level, "telemetry", oss.str());
+  }
+  for (const auto& g : snap.gauges) {
+    std::ostringstream oss;
+    oss << g.name << " = " << g.value << " (max " << g.max << ")";
+    logger.write(level, "telemetry", oss.str());
+  }
+  for (const auto& t : snap.timers) {
+    std::ostringstream oss;
+    oss << t.name << ": count " << t.count << ", total " << t.total_s
+        << "s, mean " << t.mean_s << "s, p95 " << t.p95_s << "s";
+    logger.write(level, "telemetry", oss.str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Environment-driven setup
+// ---------------------------------------------------------------------------
+
+bool init_from_env() {
+  const char* toggle = std::getenv("LTFB_TELEMETRY");
+  const char* trace_out = std::getenv("LTFB_TELEMETRY_OUT");
+  const char* metrics_out = std::getenv("LTFB_TELEMETRY_METRICS");
+  bool on = trace_out != nullptr || metrics_out != nullptr;
+  if (toggle != nullptr) {
+    on = !(toggle[0] == '0' && toggle[1] == '\0');
+  }
+  Registry::instance().set_enabled(on);
+  return on;
+}
+
+std::string flush_from_env() {
+  auto& registry = Registry::instance();
+  std::string summary;
+  if (const char* trace_out = std::getenv("LTFB_TELEMETRY_OUT")) {
+    if (registry.write_trace_json(std::string(trace_out))) {
+      summary += "trace -> " + std::string(trace_out);
+    } else {
+      LTFB_LOG_WARN("telemetry",
+                    "failed to write trace to " << trace_out);
+    }
+  }
+  if (const char* metrics_out = std::getenv("LTFB_TELEMETRY_METRICS")) {
+    if (registry.write_metrics_json(std::string(metrics_out))) {
+      summary += (summary.empty() ? "" : ", ");
+      summary += "metrics -> " + std::string(metrics_out);
+    } else {
+      LTFB_LOG_WARN("telemetry",
+                    "failed to write metrics to " << metrics_out);
+    }
+  }
+  return summary;
+}
+
+}  // namespace ltfb::telemetry

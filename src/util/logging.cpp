@@ -21,11 +21,43 @@ Logger& Logger::instance() {
   return logger;
 }
 
+Logger::Logger() {
+  // The pre-sink-interface behaviour, preserved as the default sink.
+  sinks_.emplace_back(kDefaultSink, [](const LogRecord& record) {
+    std::cerr << '[' << to_string(record.level) << "] [" << record.component
+              << "] " << record.message << '\n';
+  });
+}
+
+int Logger::add_sink(Sink sink) {
+  const std::scoped_lock lock(mutex_);
+  const int id = next_sink_id_++;
+  sinks_.emplace_back(id, std::move(sink));
+  return id;
+}
+
+void Logger::remove_sink(int id) {
+  const std::scoped_lock lock(mutex_);
+  for (auto it = sinks_.begin(); it != sinks_.end(); ++it) {
+    if (it->first == id) {
+      sinks_.erase(it);
+      return;
+    }
+  }
+}
+
+std::size_t Logger::sink_count() const {
+  const std::scoped_lock lock(mutex_);
+  return sinks_.size();
+}
+
 void Logger::write(LogLevel level, std::string_view component,
                    const std::string& message) {
+  const LogRecord record{level, component, message};
   const std::scoped_lock lock(mutex_);
-  std::cerr << '[' << to_string(level) << "] [" << component << "] "
-            << message << '\n';
+  for (const auto& [id, sink] : sinks_) {
+    sink(record);
+  }
 }
 
 }  // namespace ltfb::util

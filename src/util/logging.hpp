@@ -1,13 +1,24 @@
-// Minimal leveled logger.
+// Minimal leveled logger with a pluggable sink interface.
 //
 // The default level is Warn so tests and benches stay quiet; examples turn
 // on Info. The logger is process-global and thread-safe (a single mutex —
 // logging is not on any hot path in this codebase).
+//
+// Output goes through sinks: callables receiving a structured LogRecord.
+// The stderr formatter that used to be hard-wired into write() is now just
+// the default sink (id Logger::kDefaultSink); telemetry's metrics dump
+// (telemetry::Registry::log_metrics) and ordinary log lines share this one
+// output path, so installing a sink captures both. Do not assume write()
+// formats anything itself — formatting belongs to sinks.
 #pragma once
 
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace ltfb::util {
 
@@ -15,21 +26,51 @@ enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
 
 const char* to_string(LogLevel level) noexcept;
 
+/// One log event as handed to every sink. The string_views borrow from the
+/// write() call's arguments — sinks must copy what they keep.
+struct LogRecord {
+  LogLevel level = LogLevel::Info;
+  std::string_view component;
+  std::string_view message;
+};
+
 class Logger {
  public:
+  using Sink = std::function<void(const LogRecord&)>;
+
+  /// The stderr formatter installed at construction:
+  /// "[LEVEL] [component] message".
+  static constexpr int kDefaultSink = 0;
+
   static Logger& instance();
 
   void set_level(LogLevel level) noexcept { level_ = level; }
   LogLevel level() const noexcept { return level_; }
   bool enabled(LogLevel level) const noexcept { return level >= level_; }
 
+  /// Registers a sink; returns an id for remove_sink. Sinks run in
+  /// registration order under the logger mutex — keep them quick and never
+  /// log from inside one.
+  int add_sink(Sink sink);
+
+  /// Removes a sink by id (including kDefaultSink, to silence stderr).
+  /// Unknown ids are ignored.
+  void remove_sink(int id);
+
+  std::size_t sink_count() const;
+
+  /// Dispatches one record to every sink. Level filtering is the caller's
+  /// job (the LTFB_LOG macros check enabled() first, so message formatting
+  /// is skipped for suppressed levels).
   void write(LogLevel level, std::string_view component,
              const std::string& message);
 
  private:
-  Logger() = default;
-  std::mutex mutex_;
+  Logger();
+  mutable std::mutex mutex_;
   LogLevel level_ = LogLevel::Warn;
+  std::vector<std::pair<int, Sink>> sinks_;
+  int next_sink_id_ = 1;
 };
 
 }  // namespace ltfb::util

@@ -1,38 +1,21 @@
-// Streaming and batch statistics used by experiment harnesses and tests.
+// Batch statistics used by experiment harnesses and tests.
+//
+// The streaming RunningStats engine moved to src/telemetry (it is the
+// summary machinery behind telemetry timers); the alias below keeps the
+// util::RunningStats spelling working. What remains here are the
+// data-quality metrics (correlation, error measures, percentiles) — these
+// compare model outputs, not timings, so they stay in util.
 #pragma once
 
-#include <cstddef>
 #include <span>
 #include <vector>
 
+#include "telemetry/running_stats.hpp"
+
 namespace ltfb::util {
 
-/// Numerically stable streaming mean/variance (Welford's algorithm) with
-/// min/max tracking. O(1) memory; suitable for long training runs.
-class RunningStats {
- public:
-  void add(double x) noexcept;
-  void merge(const RunningStats& other) noexcept;
-  void reset() noexcept { *this = RunningStats{}; }
-
-  std::size_t count() const noexcept { return count_; }
-  double mean() const noexcept { return count_ ? mean_ : 0.0; }
-  /// Population variance (divide by n).
-  double variance() const noexcept;
-  /// Sample variance (divide by n-1); 0 for fewer than two samples.
-  double sample_variance() const noexcept;
-  double stddev() const noexcept;
-  double min() const noexcept { return min_; }
-  double max() const noexcept { return max_; }
-  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
-
- private:
-  std::size_t count_ = 0;
-  double mean_ = 0.0;
-  double m2_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-};
+/// Streaming mean/variance/min/max — see telemetry/running_stats.hpp.
+using RunningStats = ::ltfb::telemetry::RunningStats;
 
 /// Pearson correlation coefficient. Returns 0 when either input is constant.
 double pearson(std::span<const float> a, std::span<const float> b);

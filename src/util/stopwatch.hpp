@@ -1,24 +1,15 @@
-// Simple wall-clock stopwatch.
+// Compatibility shim: the wall-clock stopwatch moved into the telemetry
+// subsystem (src/telemetry/telemetry.hpp), which owns all timing now.
+// New code should use telemetry::Stopwatch — or better, LTFB_TIMED_SCOPE /
+// LTFB_SPAN so the measurement lands in the shared Registry.
+// tools/ltfb_lint.py bans new direct util::Stopwatch spellings outside
+// src/telemetry.
 #pragma once
 
-#include <chrono>
+#include "telemetry/telemetry.hpp"
 
 namespace ltfb::util {
 
-class Stopwatch {
- public:
-  Stopwatch() : start_(Clock::now()) {}
-
-  void reset() { start_ = Clock::now(); }
-
-  /// Elapsed seconds since construction or the last reset().
-  double elapsed_seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
-
- private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
-};
+using Stopwatch = ::ltfb::telemetry::Stopwatch;
 
 }  // namespace ltfb::util

@@ -36,7 +36,11 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    {
+      LTFB_SPAN("threadpool/task");
+      LTFB_TIMED_SCOPE("threadpool/task");
+      task();
+    }
     {
       const std::scoped_lock lock(mutex_);
       --active_;

@@ -30,6 +30,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace ltfb::util {
@@ -61,6 +62,9 @@ class ThreadPool {
         throw Error("ThreadPool::submit after shutdown");
       }
       queue_.emplace_back([task] { (*task)(); });
+      LTFB_COUNTER_ADD("threadpool/tasks_submitted", 1);
+      LTFB_GAUGE_SET("threadpool/queue_depth",
+                     static_cast<double>(queue_.size()));
     }
     cv_.notify_one();
     return fut;

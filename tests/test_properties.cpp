@@ -5,6 +5,7 @@
 // gradients for every activation, and sampler uniformity.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
 #include <map>
@@ -285,6 +286,40 @@ TEST_P(PairingSweep, AlwaysAValidMatching) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, PairingSweep,
                          ::testing::Values(2, 3, 5, 8, 16, 33, 64));
+
+TEST(PairingSweep, OddPopulationSitOutRotates) {
+  // Odd populations produce floor(n/2) pairs and exactly one sit-out per
+  // round. Every id must appear exactly once (in a pair or as the
+  // sit-out), the schedule must be deterministic per (seed, round), and
+  // because the sit-out comes from the seeded permutation it must rotate
+  // across rounds instead of benching the same trainer forever.
+  for (const std::size_t n : {3u, 5u, 9u, 17u}) {
+    std::set<int> sat_out;
+    for (std::size_t round = 0; round < 16; ++round) {
+      const auto pairs = core::tournament_pairs(n, 4242, round);
+      ASSERT_EQ(pairs.size(), n / 2);
+      std::set<int> seen;
+      for (const auto& [a, b] : pairs) {
+        ASSERT_TRUE(seen.insert(a).second) << a << " paired twice";
+        ASSERT_TRUE(seen.insert(b).second) << b << " paired twice";
+      }
+      int sit_out = -1;
+      for (int id = 0; id < static_cast<int>(n); ++id) {
+        if (seen.count(id) == 0) {
+          ASSERT_EQ(sit_out, -1) << "more than one trainer sat out";
+          sit_out = id;
+        }
+      }
+      ASSERT_GE(sit_out, 0);
+      sat_out.insert(sit_out);
+
+      // Same (n, seed, round) -> identical schedule.
+      ASSERT_EQ(pairs, core::tournament_pairs(n, 4242, round));
+    }
+    EXPECT_GE(sat_out.size(), std::min<std::size_t>(n, 3u))
+        << "sit-out never rotates for n=" << n;
+  }
+}
 
 TEST(PairingSweep, PartnersRotateOverRounds) {
   // Over many rounds each trainer should meet several distinct partners —

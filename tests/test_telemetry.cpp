@@ -1,0 +1,659 @@
+// Telemetry subsystem tests: registry semantics (idempotent registration,
+// naming convention, kind conflicts), counter/gauge/timer accumulation
+// hammered concurrently from the ThreadPool (exact totals — run under
+// LTFB_SANITIZE=thread in CI), span nesting, disabled-mode no-ops, the
+// Logger-sink metrics path, and a golden check that an end-to-end run
+// produces a structurally valid Chrome trace with spans from all four
+// instrumented runtime subsystems.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "core/gan_trainer.hpp"
+#include "data/bundle.hpp"
+#include "data/dataset.hpp"
+#include "datastore/data_store.hpp"
+#include "jag/jag_model.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using ltfb::telemetry::Registry;
+
+/// Re-arms the registry for one test and restores the quiet default after.
+class TelemetryGuard {
+ public:
+  TelemetryGuard() {
+    auto& registry = Registry::instance();
+    registry.clear_trace();
+    registry.reset_metrics();
+    registry.set_enabled(true);
+  }
+  ~TelemetryGuard() {
+    auto& registry = Registry::instance();
+    registry.set_enabled(false);
+    registry.clear_trace();
+    registry.reset_metrics();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser — just enough to validate exporter output without a
+// third-party dependency. Numbers parse as double; no \u escapes (the
+// exporters never emit them for the names this repo uses).
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& key) const {
+    const auto it = object.find(key);
+    if (it == object.end()) {
+      throw ltfb::Error("json: missing key '" + key + "'");
+    }
+    return it->second;
+  }
+  bool has(const std::string& key) const { return object.count(key) != 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw ltfb::Error("json: trailing characters at " + std::to_string(pos_));
+    }
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) throw ltfb::Error("json: unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw ltfb::Error(std::string("json: expected '") + c + "' at " +
+                        std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::String;
+      v.string = parse_string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == 'n') return parse_null();
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (peek() != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          default:
+            throw ltfb::Error(std::string("json: unsupported escape \\") +
+                              esc);
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    ++pos_;
+    return out;
+  }
+
+  JsonValue parse_bool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Bool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      throw ltfb::Error("json: bad literal");
+    }
+    return v;
+  }
+
+  JsonValue parse_null() {
+    if (text_.compare(pos_, 4, "null") != 0) {
+      throw ltfb::Error("json: bad literal");
+    }
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Naming and registration
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryNames, ConventionIsEnforced) {
+  using ltfb::telemetry::valid_metric_name;
+  EXPECT_TRUE(valid_metric_name("comm/send_bytes"));
+  EXPECT_TRUE(valid_metric_name("a/b/c"));
+  EXPECT_TRUE(valid_metric_name("sim2/reader_0"));
+  EXPECT_FALSE(valid_metric_name(""));
+  EXPECT_FALSE(valid_metric_name("noslash"));
+  EXPECT_FALSE(valid_metric_name("/leading"));
+  EXPECT_FALSE(valid_metric_name("trailing/"));
+  EXPECT_FALSE(valid_metric_name("double//slash"));
+  EXPECT_FALSE(valid_metric_name("Upper/case"));
+  EXPECT_FALSE(valid_metric_name("with space/x"));
+  EXPECT_FALSE(valid_metric_name("dash-es/x"));
+}
+
+TEST(TelemetryNames, BadNamesThrowOnRegistration) {
+  auto& registry = Registry::instance();
+  EXPECT_THROW(registry.counter("NoSlash"), ltfb::InvalidArgument);
+  EXPECT_THROW(registry.gauge("bad name/x"), ltfb::InvalidArgument);
+  EXPECT_THROW(registry.timer("x/"), ltfb::InvalidArgument);
+}
+
+TEST(TelemetryNames, KindConflictThrows) {
+  auto& registry = Registry::instance();
+  registry.counter("testnames/kind_conflict");
+  EXPECT_THROW(registry.gauge("testnames/kind_conflict"),
+               ltfb::InvalidArgument);
+  EXPECT_THROW(registry.timer("testnames/kind_conflict"),
+               ltfb::InvalidArgument);
+}
+
+TEST(TelemetryNames, RegistrationIsIdempotent) {
+  TelemetryGuard guard;
+  auto& registry = Registry::instance();
+  auto a = registry.counter("testnames/idempotent");
+  auto b = registry.counter("testnames/idempotent");
+  a.add(2);
+  b.add(3);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(b.value(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Counters / gauges / timers
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryMetrics, CounterAccumulates) {
+  TelemetryGuard guard;
+  auto counter = Registry::instance().counter("testmetrics/counter");
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(TelemetryMetrics, DisabledRecordingIsANoOp) {
+  TelemetryGuard guard;
+  auto& registry = Registry::instance();
+  auto counter = registry.counter("testmetrics/disabled_counter");
+  auto gauge = registry.gauge("testmetrics/disabled_gauge");
+  auto timer = registry.timer("testmetrics/disabled_timer");
+  registry.set_enabled(false);
+  counter.add(7);
+  gauge.set(3.0);
+  timer.record(0.5);
+  {
+    LTFB_SPAN("testmetrics/disabled_span");
+    LTFB_COUNTER_ADD("testmetrics/disabled_counter", 9);
+  }
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(timer.count(), 0u);
+  EXPECT_EQ(registry.span_count(), 0u);
+}
+
+TEST(TelemetryMetrics, ResetZeroesButKeepsHandles) {
+  TelemetryGuard guard;
+  auto& registry = Registry::instance();
+  auto counter = registry.counter("testmetrics/reset_counter");
+  auto timer = registry.timer("testmetrics/reset_timer");
+  counter.add(5);
+  timer.record(0.25);
+  registry.reset_metrics();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(timer.count(), 0u);
+  counter.add(1);  // handle still live after reset
+  timer.record(0.5);
+  EXPECT_EQ(counter.value(), 1u);
+  EXPECT_EQ(timer.count(), 1u);
+}
+
+TEST(TelemetryMetrics, GaugeTracksLastAndMax) {
+  TelemetryGuard guard;
+  auto gauge = Registry::instance().gauge("testmetrics/gauge");
+  gauge.set(2.0);
+  gauge.set(9.0);
+  gauge.set(4.0);
+  EXPECT_EQ(gauge.value(), 4.0);
+  EXPECT_EQ(gauge.max(), 9.0);
+}
+
+TEST(TelemetryMetrics, TimerSnapshotStats) {
+  TelemetryGuard guard;
+  auto& registry = Registry::instance();
+  auto timer = registry.timer("testmetrics/timer");
+  timer.record(0.001);
+  timer.record(0.002);
+  timer.record(0.004);
+  const auto snapshot = registry.snapshot();
+  const ltfb::telemetry::TimerStat* stat = nullptr;
+  for (const auto& t : snapshot.timers) {
+    if (t.name == "testmetrics/timer") stat = &t;
+  }
+  ASSERT_NE(stat, nullptr);
+  EXPECT_EQ(stat->count, 3u);
+  EXPECT_NEAR(stat->total_s, 0.007, 1e-9);
+  EXPECT_NEAR(stat->min_s, 0.001, 1e-9);
+  EXPECT_NEAR(stat->max_s, 0.004, 1e-9);
+  EXPECT_NEAR(stat->mean_s, 0.007 / 3.0, 1e-9);
+  // Percentiles come from log2 buckets: upper bounds, monotone.
+  EXPECT_GE(stat->p50_s, stat->min_s);
+  EXPECT_LE(stat->p50_s, stat->p95_s);
+}
+
+TEST(TelemetryMetrics, ScopedTimerRecordsElapsed) {
+  TelemetryGuard guard;
+  auto& registry = Registry::instance();
+  auto timer = registry.timer("testmetrics/scoped");
+  { ltfb::telemetry::ScopedTimer scope(timer); }
+  EXPECT_EQ(timer.count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (exact totals, TSan-clean)
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryConcurrency, ThreadPoolHammerExactCounts) {
+  TelemetryGuard guard;
+  auto& registry = Registry::instance();
+  auto counter = registry.counter("testconc/hits");
+  auto timer = registry.timer("testconc/latency");
+  constexpr int kTasks = 64;
+  constexpr int kIters = 500;
+  {
+    ltfb::util::ThreadPool pool(8);
+    for (int t = 0; t < kTasks; ++t) {
+      pool.submit([counter, timer]() mutable {
+        for (int i = 0; i < kIters; ++i) {
+          counter.add(1);
+          timer.record(1e-6);
+          LTFB_COUNTER_ADD("testconc/macro_hits", 1);
+          LTFB_SPAN("testconc/span");
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kTasks) * kIters);
+  EXPECT_EQ(timer.count(), static_cast<std::uint64_t>(kTasks) * kIters);
+  EXPECT_EQ(registry.counter("testconc/macro_hits").value(),
+            static_cast<std::uint64_t>(kTasks) * kIters);
+  // One span per iteration plus the pool's own threadpool/task spans.
+  EXPECT_GE(registry.span_count(),
+            static_cast<std::size_t>(kTasks) * kIters);
+  EXPECT_EQ(registry.dropped_spans(), 0u);
+}
+
+TEST(TelemetryConcurrency, GaugeMaxIsMonotone) {
+  TelemetryGuard guard;
+  auto gauge = Registry::instance().gauge("testconc/gauge");
+  {
+    ltfb::util::ThreadPool pool(4);
+    for (int t = 1; t <= 32; ++t) {
+      pool.submit([gauge, t]() mutable { gauge.set(t); });
+    }
+    pool.wait_idle();
+  }
+  EXPECT_EQ(gauge.max(), 32.0);
+}
+
+// ---------------------------------------------------------------------------
+// Spans and trace export
+// ---------------------------------------------------------------------------
+
+TEST(TelemetrySpans, NestedSpansAreContained) {
+  TelemetryGuard guard;
+  auto& registry = Registry::instance();
+  {
+    LTFB_SPAN("testspan/outer");
+    LTFB_SPAN("testspan/inner");
+  }
+  EXPECT_EQ(registry.span_count(), 2u);
+
+  const std::string json = registry.trace_json();
+  const JsonValue trace = JsonParser(json).parse();
+  const auto& events = trace.at("traceEvents").array;
+  double outer_start = -1.0, outer_end = -1.0;
+  double inner_start = -1.0, inner_end = -1.0;
+  double outer_tid = -1.0, inner_tid = -2.0;
+  for (const auto& event : events) {
+    if (event.at("ph").string != "X") continue;
+    const std::string& name = event.at("name").string;
+    const double ts = event.at("ts").number;
+    const double dur = event.at("dur").number;
+    if (name == "testspan/outer") {
+      outer_start = ts;
+      outer_end = ts + dur;
+      outer_tid = event.at("tid").number;
+    } else if (name == "testspan/inner") {
+      inner_start = ts;
+      inner_end = ts + dur;
+      inner_tid = event.at("tid").number;
+    }
+  }
+  ASSERT_GE(outer_start, 0.0);
+  ASSERT_GE(inner_start, 0.0);
+  EXPECT_EQ(outer_tid, inner_tid);
+  EXPECT_LE(outer_start, inner_start);
+  EXPECT_GE(outer_end, inner_end);
+}
+
+TEST(TelemetrySpans, SimSpansLandOnVirtualTimeTrack) {
+  TelemetryGuard guard;
+  auto& registry = Registry::instance();
+  registry.record_sim_span("testsim/reader", 1.5, 2.0, 3);
+  EXPECT_EQ(registry.sim_span_count(), 1u);
+
+  const JsonValue trace = JsonParser(registry.trace_json()).parse();
+  bool found = false;
+  for (const auto& event : trace.at("traceEvents").array) {
+    if (event.at("ph").string == "X" &&
+        event.at("name").string == "testsim/reader") {
+      found = true;
+      EXPECT_EQ(event.at("pid").number, 2.0);  // virtual-time process
+      EXPECT_EQ(event.at("tid").number, 3.0);
+      EXPECT_NEAR(event.at("ts").number, 1.5e6, 1.0);  // seconds -> us
+      EXPECT_NEAR(event.at("dur").number, 2.0e6, 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TelemetrySpans, SimSpanValidatesArguments) {
+  TelemetryGuard guard;
+  auto& registry = Registry::instance();
+  EXPECT_THROW(registry.record_sim_span("BadName", 0.0, 1.0, 0),
+               ltfb::InvalidArgument);
+  EXPECT_THROW(registry.record_sim_span("testsim/x", -1.0, 1.0, 0),
+               ltfb::InvalidArgument);
+  EXPECT_THROW(registry.record_sim_span("testsim/x", 0.0, -1.0, 0),
+               ltfb::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end golden trace: all four runtime subsystems in one trace.json
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryTrace, EndToEndChromeTraceFromFourSubsystems) {
+  TelemetryGuard guard;
+  auto& registry = Registry::instance();
+
+  // comm + datastore: two ranks preload a bundled catalog and fetch across
+  // the rank boundary (collectives inside build_directory hit comm spans).
+  const auto bundle_dir =
+      std::filesystem::temp_directory_path() / "ltfb_telemetry_trace";
+  std::filesystem::remove_all(bundle_dir);
+  ltfb::data::SampleSchema schema;
+  schema.input_width = 5;
+  schema.scalar_width = 15;
+  schema.image_width = 6;
+  std::vector<ltfb::data::Sample> bundle_samples;
+  for (ltfb::data::SampleId id = 0; id < 24; ++id) {
+    ltfb::data::Sample sample;
+    sample.id = id;
+    sample.input.assign(5, static_cast<float>(id));
+    sample.scalars.assign(15, static_cast<float>(id));
+    sample.images.assign(6, static_cast<float>(id));
+    bundle_samples.push_back(std::move(sample));
+  }
+  const auto paths =
+      ltfb::data::write_bundle_set(bundle_dir, schema, bundle_samples, 6);
+  const ltfb::datastore::BundleCatalog catalog(paths);
+  ltfb::comm::World::run(2, [&](ltfb::comm::Communicator& comm) {
+    ltfb::datastore::DataStore store(
+        comm, &catalog, ltfb::datastore::PopulateMode::Preloaded,
+        /*capacity_bytes_per_rank=*/0, {});
+    store.preload();
+    std::vector<ltfb::data::SampleId> wanted{0, 7, 13, 23};
+    const auto samples = store.fetch(wanted);
+    ASSERT_EQ(samples.size(), wanted.size());
+    float one[1] = {1.0f};
+    comm.allreduce(std::span<float>(one, 1), ltfb::comm::ReduceOp::Sum);
+  });
+
+  // threadpool: a task span.
+  {
+    ltfb::util::ThreadPool pool(2);
+    pool.submit([] {}).get();
+    pool.wait_idle();
+  }
+
+  // trainer: a couple of real (tiny) GAN steps.
+  {
+    ltfb::jag::JagConfig jag_config;
+    jag_config.image_size = 4;
+    jag_config.num_views = 1;
+    jag_config.num_channels = 1;
+    const ltfb::jag::JagModel jag(jag_config);
+    const auto dataset = ltfb::data::generate_jag_dataset(jag, 24, 515);
+    ltfb::gan::CycleGanConfig model_config;
+    model_config.image_width = jag_config.image_features();
+    model_config.latent_width = 4;
+    model_config.encoder_hidden = {8};
+    model_config.decoder_hidden = {8};
+    model_config.forward_hidden = {8};
+    model_config.inverse_hidden = {8};
+    model_config.discriminator_hidden = {8};
+    std::vector<std::size_t> view(dataset.size());
+    for (std::size_t i = 0; i < view.size(); ++i) view[i] = i;
+    ltfb::core::GanTrainer trainer(0, model_config, dataset, view, view,
+                                   /*batch_size=*/8, 516);
+    trainer.train_steps(2);
+  }
+
+  const std::string path =
+      (::testing::TempDir().empty() ? std::string(".")
+                                    : ::testing::TempDir()) +
+      "/ltfb_test_trace.json";
+  ASSERT_TRUE(registry.write_trace_json(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  // Golden structure: parses as JSON, has traceEvents, every event carries
+  // the Chrome-required keys, complete events have non-negative ts/dur.
+  const JsonValue trace = JsonParser(buffer.str()).parse();
+  ASSERT_TRUE(trace.has("traceEvents"));
+  const auto& events = trace.at("traceEvents").array;
+  ASSERT_FALSE(events.empty());
+  std::set<std::string> subsystems;
+  bool saw_process_metadata = false;
+  for (const auto& event : events) {
+    ASSERT_TRUE(event.has("ph"));
+    ASSERT_TRUE(event.has("name"));
+    ASSERT_TRUE(event.has("pid"));
+    const std::string& ph = event.at("ph").string;
+    if (ph == "M") {
+      saw_process_metadata |= event.at("name").string == "process_name";
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    ASSERT_TRUE(event.has("tid"));
+    ASSERT_TRUE(event.has("ts"));
+    ASSERT_TRUE(event.has("dur"));
+    EXPECT_GE(event.at("ts").number, 0.0);
+    EXPECT_GE(event.at("dur").number, 0.0);
+    const std::string& name = event.at("name").string;
+    subsystems.insert(name.substr(0, name.find('/')));
+  }
+  EXPECT_TRUE(saw_process_metadata);
+  EXPECT_TRUE(subsystems.count("comm")) << "no comm spans in trace";
+  EXPECT_TRUE(subsystems.count("datastore")) << "no datastore spans";
+  EXPECT_TRUE(subsystems.count("threadpool")) << "no threadpool spans";
+  EXPECT_TRUE(subsystems.count("trainer")) << "no trainer spans";
+}
+
+// ---------------------------------------------------------------------------
+// Metrics JSON and the Logger sink path
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryExport, MetricsJsonRoundTrips) {
+  TelemetryGuard guard;
+  auto& registry = Registry::instance();
+  registry.counter("testexport/hits").add(3);
+  registry.gauge("testexport/depth").set(2.5);
+  registry.timer("testexport/lat").record(0.5);
+
+  const JsonValue metrics = JsonParser(registry.metrics_json()).parse();
+  EXPECT_EQ(metrics.at("counters").at("testexport/hits").number, 3.0);
+  EXPECT_EQ(metrics.at("gauges").at("testexport/depth").at("value").number,
+            2.5);
+  const auto& timer = metrics.at("timers").at("testexport/lat");
+  EXPECT_EQ(timer.at("count").number, 1.0);
+  EXPECT_NEAR(timer.at("total_s").number, 0.5, 1e-9);
+}
+
+TEST(TelemetryExport, LogMetricsFlowsThroughLoggerSinks) {
+  TelemetryGuard guard;
+  auto& registry = Registry::instance();
+  registry.counter("testexport/sinkhits").add(7);
+
+  auto& logger = ltfb::util::Logger::instance();
+  const auto saved_level = logger.level();
+  logger.set_level(ltfb::util::LogLevel::Info);
+  std::vector<std::string> captured;
+  const int sink_id =
+      logger.add_sink([&captured](const ltfb::util::LogRecord& record) {
+        if (record.component == "telemetry") {
+          captured.emplace_back(record.message);
+        }
+      });
+  registry.log_metrics();
+  logger.remove_sink(sink_id);
+  logger.set_level(saved_level);
+
+  bool found = false;
+  for (const auto& line : captured) {
+    if (line.find("testexport/sinkhits") != std::string::npos &&
+        line.find('7') != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "metrics dump never reached the installed sink";
+}
+
+}  // namespace

@@ -8,9 +8,14 @@
 #include <future>
 #include <memory>
 #include <set>
+#include <string>
 #include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/stopwatch.hpp"
@@ -435,6 +440,66 @@ TEST(Stopwatch, MeasuresElapsed) {
   EXPECT_GE(sw.elapsed_seconds(), 0.005);
   sw.reset();
   EXPECT_LT(sw.elapsed_seconds(), 0.5);
+}
+
+TEST(Stopwatch, ShimAliasesTelemetryStopwatch) {
+  // util/stopwatch.hpp is a compatibility shim over the telemetry clock.
+  static_assert(
+      std::is_same_v<util::Stopwatch, ltfb::telemetry::Stopwatch>);
+}
+
+// ---- logger sinks -----------------------------------------------------------
+
+TEST(Logger, DefaultSinkIsInstalled) {
+  auto& logger = Logger::instance();
+  EXPECT_GE(logger.sink_count(), 1u);
+}
+
+TEST(Logger, SinksReceiveStructuredRecords) {
+  auto& logger = Logger::instance();
+  const auto saved_level = logger.level();
+  logger.set_level(LogLevel::Info);
+  std::vector<std::pair<std::string, std::string>> seen;
+  const int id = logger.add_sink([&seen](const LogRecord& record) {
+    seen.emplace_back(std::string(record.component),
+                      std::string(record.message));
+  });
+  LTFB_LOG_INFO("testsink", "hello " << 42);
+  LTFB_LOG_DEBUG("testsink", "suppressed");  // below Info: never dispatched
+  logger.remove_sink(id);
+  LTFB_LOG_INFO("testsink", "after removal");
+  logger.set_level(saved_level);
+
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].first, "testsink");
+  EXPECT_EQ(seen[0].second, "hello 42");
+}
+
+TEST(Logger, RemoveSinkIgnoresUnknownIds) {
+  auto& logger = Logger::instance();
+  const std::size_t before = logger.sink_count();
+  logger.remove_sink(123456);
+  EXPECT_EQ(logger.sink_count(), before);
+}
+
+TEST(Logger, SinksStackAndRemoveIndependently) {
+  auto& logger = Logger::instance();
+  const auto saved_level = logger.level();
+  logger.set_level(LogLevel::Warn);
+  int first_hits = 0, second_hits = 0;
+  const int first = logger.add_sink([&first_hits](const LogRecord&) {
+    ++first_hits;
+  });
+  const int second = logger.add_sink([&second_hits](const LogRecord&) {
+    ++second_hits;
+  });
+  LTFB_LOG_WARN("testsink", "both");
+  logger.remove_sink(first);
+  LTFB_LOG_WARN("testsink", "second only");
+  logger.remove_sink(second);
+  logger.set_level(saved_level);
+  EXPECT_EQ(first_hits, 1);
+  EXPECT_EQ(second_hits, 2);
 }
 
 }  // namespace

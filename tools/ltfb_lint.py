@@ -23,6 +23,13 @@ target, so `ctest` and CI exercise it on every build):
                     validate their arguments/state (LTFB_CHECK/LTFB_ASSERT
                     or an explicit throw) in their own body — the manifest
                     below names each one.
+  telemetry         src/, bench/ and examples/ must not spell util::Stopwatch
+                    or include util/stopwatch.hpp directly (the shim exists
+                    only for source compatibility; new timing goes through
+                    src/telemetry), and every metric/span name literal handed
+                    to the telemetry macros or Registry registration calls
+                    must follow the subsystem/verb convention
+                    ([a-z0-9_]+ segments joined by '/').
 
 Exit status is the number of findings (0 = clean). `--list` prints the
 checked files; `--root` points at the repo checkout (default: the parent of
@@ -108,7 +115,32 @@ ENTRY_CHECK_MANIFEST = {
     "src/tensor/tensor.cpp": [
         ("Tensor::reshape", "Tensor::reshape"),
     ],
+    "src/telemetry/telemetry.cpp": [
+        ("Registry::counter", "Registry::counter"),
+        ("Registry::gauge", "Registry::gauge"),
+        ("Registry::timer", "Registry::timer"),
+        ("Registry::record_sim_span", "Registry::record_sim_span"),
+    ],
 }
+
+# The stopwatch shim is compatibility-only: new code names the telemetry
+# clock directly. Tests are exempt (they assert the shim aliases correctly);
+# the shim header itself is the one allowed definition site.
+STOPWATCH_TOKEN = re.compile(r"\butil::Stopwatch\b")
+STOPWATCH_INCLUDE = re.compile(
+    r'^[ \t]*#[ \t]*include[ \t]+"util/stopwatch\.hpp"', re.MULTILINE)
+STOPWATCH_ALLOWED = {"src/util/stopwatch.hpp"}
+
+# Metric and span names are registered once and become JSON keys / Perfetto
+# track labels; enforce the subsystem/verb convention at lint time so a typo
+# never ships. Matches string literals passed to the telemetry macros and to
+# Registry registration calls.
+METRIC_NAME = re.compile(r"^[a-z0-9_]+(/[a-z0-9_]+)+$")
+METRIC_CALL = re.compile(
+    r"(?:\bLTFB_SPAN|\bLTFB_COUNTER_ADD|\bLTFB_GAUGE_SET"
+    r"|\bLTFB_TIMER_RECORD|\bLTFB_TIMED_SCOPE"
+    r"|\.\s*counter|\.\s*gauge|\.\s*timer|\brecord_sim_span)"
+    r"\s*\(\s*\"([^\"]*)\"")
 
 VALIDATION_KEYWORDS = re.compile(
     r"\bLTFB_CHECK\b|\bLTFB_CHECK_MSG\b|\bLTFB_ASSERT\b|\bthrow\b"
@@ -235,7 +267,7 @@ INCLUDE_PATTERN = re.compile(r'^[ \t]*#[ \t]*include[ \t]+([<"][^>"]+[>"])',
 # src/-relative path.
 PROJECT_INCLUDE_DIRS = ("util/", "tensor/", "comm/", "nn/", "jag/", "data/",
                         "datastore/", "gan/", "workflow/", "core/",
-                        "simulator/", "perf/")
+                        "simulator/", "perf/", "telemetry/")
 
 
 def check_include_hygiene(root: pathlib.Path, rel: str, raw: str, stripped,
@@ -333,6 +365,30 @@ def find_function_bodies(stripped: str, token: str):
         yield m.start(), stripped[j:k + 1]
 
 
+def check_telemetry(rel: str, stripped: str, code_with_strings: str,
+                    findings):
+    if not rel.startswith(("src/", "bench/", "examples/")):
+        return
+    if rel not in STOPWATCH_ALLOWED:
+        for m in STOPWATCH_TOKEN.finditer(stripped):
+            findings.append(Finding(
+                rel, line_of(stripped, m.start()), "telemetry",
+                "util::Stopwatch is a compatibility shim; new code uses "
+                "ltfb::telemetry::Stopwatch (or a telemetry timer/span)"))
+        for m in STOPWATCH_INCLUDE.finditer(code_with_strings):
+            findings.append(Finding(
+                rel, line_of(code_with_strings, m.start()), "telemetry",
+                'include "telemetry/telemetry.hpp" instead of the '
+                '"util/stopwatch.hpp" shim'))
+    for m in METRIC_CALL.finditer(code_with_strings):
+        name = m.group(1)
+        if not METRIC_NAME.match(name):
+            findings.append(Finding(
+                rel, line_of(code_with_strings, m.start()), "telemetry",
+                f'metric name "{name}" violates the subsystem/verb '
+                "convention ([a-z0-9_]+ segments joined by '/')"))
+
+
 def check_entry_points(rel: str, stripped: str, findings):
     manifest = ENTRY_CHECK_MANIFEST.get(rel)
     if not manifest:
@@ -382,6 +438,7 @@ def main() -> int:
         check_stdout(rel, stripped, findings)
         check_comm_tags(rel, stripped, findings)
         check_include_hygiene(root, rel, raw, code_with_strings, findings)
+        check_telemetry(rel, stripped, code_with_strings, findings)
         check_entry_points(rel, stripped, findings)
 
     if args.list:
