@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
 #include <thread>
+#include <utility>
 
 #include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
@@ -24,14 +26,72 @@ struct Mailbox {
   std::deque<Envelope> messages;
 };
 
+/// Per-rank liveness and deterministic fault-injection counters. `dead`
+/// means fault-killed or exited by exception (a crash survivors must react
+/// to); `departed` means the rank's function returned cleanly (all its
+/// obligated messages were already delivered). Counters are only ever
+/// advanced by the owning rank's thread; flags are written once and read by
+/// everyone, hence the atomics.
+struct RankStatus {
+  std::atomic<bool> dead{false};
+  std::atomic<bool> departed{false};
+  std::atomic<std::uint64_t> ops{0};   // top-level communication ops
+  std::atomic<std::uint64_t> msgs{0};  // user-level messages sent
+};
+
+/// One shrink rendezvous, keyed by (comm_id, per-comm shrink sequence).
+struct ShrinkPoint {
+  std::vector<int> arrived;  // world ranks registered so far
+  bool sealed = false;
+  bool aborted = false;
+  std::vector<int> survivors;  // valid once sealed
+};
+
 struct WorldState {
   explicit WorldState(int size) {
     mailboxes.reserve(static_cast<std::size_t>(size));
+    status.reserve(static_cast<std::size_t>(size));
     for (int i = 0; i < size; ++i) {
       mailboxes.push_back(std::make_unique<Mailbox>());
+      status.push_back(std::make_unique<RankStatus>());
     }
   }
+
+  bool dead(int world_rank) const {
+    return status[static_cast<std::size_t>(world_rank)]->dead.load(
+        std::memory_order_acquire);
+  }
+
+  /// Failed or cleanly departed: either way this rank will never send
+  /// another message.
+  bool gone(int world_rank) const {
+    const RankStatus& s = *status[static_cast<std::size_t>(world_rank)];
+    return s.dead.load(std::memory_order_acquire) ||
+           s.departed.load(std::memory_order_acquire);
+  }
+
+  /// Marks a rank dead (clean=false) or departed (clean=true) and wakes
+  /// every blocked receiver and shrink rendezvous so failure-aware waits
+  /// re-evaluate their predicates. The empty lock/unlock before each notify
+  /// pairs with waiters that checked the flag before it was set and are
+  /// already inside cv.wait.
+  void mark_gone(int world_rank, bool clean) {
+    RankStatus& s = *status[static_cast<std::size_t>(world_rank)];
+    (clean ? s.departed : s.dead).store(true, std::memory_order_release);
+    for (const auto& mailbox : mailboxes) {
+      { const std::scoped_lock lock(mailbox->mutex); }
+      mailbox->cv.notify_all();
+    }
+    { const std::scoped_lock lock(shrink_mutex); }
+    shrink_cv.notify_all();
+  }
+
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  std::vector<std::unique_ptr<RankStatus>> status;
+  FaultSchedule faults;
+  std::mutex shrink_mutex;
+  std::condition_variable shrink_cv;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, ShrinkPoint> shrink_points;
 };
 
 struct PendingRecv {
@@ -43,6 +103,10 @@ struct PendingRecv {
   bool done = false;
   Buffer payload;
   int source_world = -1;
+  // Failure detection (see hopeless_peer):
+  WorldState* world = nullptr;
+  int self_world = -1;
+  bool collective = false;  // widen the failure check to the whole group
 };
 
 void ThreadUseStamp::enter(const char* what) {
@@ -97,6 +161,44 @@ bool try_complete(PendingRecv& pending) {
   return false;
 }
 
+/// Returns the world rank of a peer whose failure makes `pending` hopeless,
+/// or -1. Must be called AFTER try_complete under the mailbox mutex: sends
+/// are synchronous mailbox pushes, so once a peer is gone every message it
+/// ever sent is already claimable — if the matching message is absent now,
+/// it can never arrive. Specific-source receives fail when that source is
+/// gone; ANY_SOURCE fails when every peer in the group is gone. Collective
+/// receives additionally fail when ANY group member is DEAD (a crash stalls
+/// the whole communication pattern, not just the direct sender) — but not
+/// when a member merely departed, since a clean exit implies it completed
+/// every collective it was part of.
+int hopeless_peer(const PendingRecv& pending) {
+  const WorldState* world = pending.world;
+  if (world == nullptr) return -1;
+  if (pending.collective) {
+    for (const int r : pending.group) {
+      if (r != pending.self_world && world->dead(r)) return r;
+    }
+  }
+  if (pending.src_world != kAnySource) {
+    return world->gone(pending.src_world) ? pending.src_world : -1;
+  }
+  int candidate = -1;
+  for (const int r : pending.group) {
+    if (r == pending.self_world) continue;
+    if (!world->gone(r)) return -1;
+    candidate = r;
+  }
+  return candidate;
+}
+
+[[noreturn]] void throw_rank_failed(const PendingRecv& pending, int failed) {
+  LTFB_COUNTER_ADD("comm/rank_failures_detected", 1);
+  std::ostringstream oss;
+  oss << "peer failed: world rank " << failed << " is gone and the awaited "
+      << "message (tag " << pending.tag << ") never arrived";
+  throw RankFailedError(oss.str(), failed);
+}
+
 }  // namespace
 }  // namespace detail
 
@@ -110,6 +212,42 @@ bool try_complete(PendingRecv& pending) {
   do {                        \
   } while (false)
 #endif
+
+// Counts one top-level communication operation and fires this rank's
+// scheduled kill, if any. Unlike LTFB_COMM_GUARD this is always compiled in:
+// fault schedules must behave identically in release builds, and the
+// per-rank op counter is what makes injected failures deterministic.
+class Communicator::FaultScope {
+ public:
+  FaultScope(Communicator& comm, const char* what) : comm_(comm) {
+    if (comm_.fault_depth_++ == 0) comm_.fault_tick(what);
+  }
+  ~FaultScope() { --comm_.fault_depth_; }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  Communicator& comm_;
+};
+
+#define LTFB_FAULT_TICK(what) const FaultScope fault_tick_guard_(*this, what)
+
+void Communicator::fault_tick(const char* what) {
+  const int me = group_[static_cast<std::size_t>(rank_)];
+  detail::RankStatus& status = *world_->status[static_cast<std::size_t>(me)];
+  const std::uint64_t op = status.ops.fetch_add(1, std::memory_order_relaxed);
+  if (world_->faults.empty()) return;
+  const std::optional<std::uint64_t> kill = world_->faults.kill_op(me);
+  if (kill.has_value() && op >= *kill &&
+      !status.dead.load(std::memory_order_relaxed)) {
+    world_->mark_gone(me, /*clean=*/false);
+    LTFB_COUNTER_ADD("comm/faults_injected", 1);
+    std::ostringstream oss;
+    oss << "injected kill: world rank " << me << " dies at op " << op
+        << " (entering " << what << ", scheduled op " << *kill << ")";
+    throw FaultInjected(oss.str());
+  }
+}
 
 Buffer to_buffer(std::span<const float> values) {
   Buffer buffer(values.size() * sizeof(float));
@@ -136,13 +274,42 @@ bool Request::test() {
   return detail::try_complete(*state_);
 }
 
-void Request::wait() {
+void Request::wait() { wait_impl(nullptr); }
+
+void Request::wait(std::chrono::milliseconds timeout) {
+  LTFB_CHECK_MSG(timeout.count() > 0,
+                 "wait() timeout must be positive, got " << timeout.count()
+                                                         << "ms");
+  wait_impl(&timeout);
+}
+
+void Request::wait_impl(const std::chrono::milliseconds* timeout) {
   LTFB_CHECK_MSG(state_, "wait() on an invalid request");
   LTFB_TIMED_SCOPE("comm/recv_wait");
   std::unique_lock lock(state_->mailbox->mutex);
-  state_->mailbox->cv.wait(lock, [this] {
-    return state_->done || detail::try_complete(*state_);
-  });
+  const auto deadline = (timeout != nullptr)
+                            ? std::chrono::steady_clock::now() + *timeout
+                            : std::chrono::steady_clock::time_point{};
+  for (;;) {
+    if (state_->done || detail::try_complete(*state_)) return;
+    const int failed = detail::hopeless_peer(*state_);
+    if (failed >= 0) detail::throw_rank_failed(*state_, failed);
+    if (timeout == nullptr) {
+      state_->mailbox->cv.wait(lock);
+    } else if (state_->mailbox->cv.wait_until(lock, deadline) ==
+               std::cv_status::timeout) {
+      // Final completion check under the lock, then give up. The pending
+      // receive is left registered-but-unconsumed: the request stays valid
+      // and a later wait()/test() can still complete it.
+      if (state_->done || detail::try_complete(*state_)) return;
+      LTFB_COUNTER_ADD("comm/timeouts", 1);
+      std::ostringstream oss;
+      oss << "recv timed out after " << timeout->count()
+          << "ms (tag " << state_->tag << ", source world rank "
+          << state_->src_world << ")";
+      throw TimeoutError(oss.str());
+    }
+  }
 }
 
 int Communicator::world_rank_of(int rank) const {
@@ -153,15 +320,38 @@ int Communicator::world_rank_of(int rank) const {
 
 void Communicator::send(int dst, int tag, const Buffer& payload) {
   LTFB_COMM_GUARD("send");
+  LTFB_FAULT_TICK("send");
   LTFB_CHECK(tag >= 0);
   LTFB_COUNTER_ADD("comm/send_messages", 1);
   LTFB_COUNTER_ADD("comm/send_bytes", payload.size());
   const int world_dst = world_rank_of(dst);
+  const int me = group_[static_cast<std::size_t>(rank_)];
+  if (world_->dead(world_dst)) {
+    LTFB_COUNTER_ADD("comm/rank_failures_detected", 1);
+    std::ostringstream oss;
+    oss << "send to failed peer: world rank " << world_dst << " is dead";
+    throw RankFailedError(oss.str(), world_dst);
+  }
+  // Drop/delay injection applies to user-level messages only (collective
+  // traffic goes through internal_send and counts ops, not messages).
+  const std::uint64_t msg_index =
+      world_->status[static_cast<std::size_t>(me)]->msgs.fetch_add(
+          1, std::memory_order_relaxed);
+  if (!world_->faults.empty()) {
+    const FaultAction* action = world_->faults.message_action(me, msg_index);
+    if (action != nullptr) {
+      if (action->kind == FaultAction::Kind::Drop) {
+        LTFB_COUNTER_ADD("comm/messages_dropped", 1);
+        return;  // silently lost; the receiver sees a timeout
+      }
+      LTFB_COUNTER_ADD("comm/messages_delayed", 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(action->delay_ms));
+    }
+  }
   auto& mailbox = *world_->mailboxes[static_cast<std::size_t>(world_dst)];
   {
     const std::scoped_lock lock(mailbox.mutex);
-    mailbox.messages.push_back(detail::Envelope{
-        group_[static_cast<std::size_t>(rank_)], comm_id_, tag, payload});
+    mailbox.messages.push_back(detail::Envelope{me, comm_id_, tag, payload});
   }
   mailbox.cv.notify_all();
 }
@@ -172,6 +362,7 @@ void Communicator::send(int dst, int tag, std::span<const float> values) {
 
 Buffer Communicator::recv(int src, int tag, int* source_out) {
   LTFB_COMM_GUARD("recv");
+  LTFB_FAULT_TICK("recv");
   LTFB_CHECK(tag >= 0);
   Request request = irecv(src, tag);
   request.wait();
@@ -184,8 +375,25 @@ Buffer Communicator::recv(int src, int tag, int* source_out) {
   return take_payload(request);
 }
 
+Buffer Communicator::recv(int src, int tag, std::chrono::milliseconds timeout,
+                          int* source_out) {
+  LTFB_COMM_GUARD("recv");
+  LTFB_FAULT_TICK("recv");
+  LTFB_CHECK(tag >= 0);
+  Request request = irecv(src, tag);
+  request.wait(timeout);
+  if (source_out != nullptr) {
+    const int world_src = request.state_->source_world;
+    const auto it = std::find(group_.begin(), group_.end(), world_src);
+    LTFB_ASSERT(it != group_.end());
+    *source_out = static_cast<int>(it - group_.begin());
+  }
+  return take_payload(request);
+}
+
 Request Communicator::irecv(int src, int tag) {
   LTFB_COMM_GUARD("irecv");
+  LTFB_FAULT_TICK("irecv");
   auto pending = std::make_shared<detail::PendingRecv>();
   const int me = group_[static_cast<std::size_t>(rank_)];
   pending->mailbox = world_->mailboxes[static_cast<std::size_t>(me)].get();
@@ -193,6 +401,8 @@ Request Communicator::irecv(int src, int tag) {
   pending->group = group_;
   pending->src_world = (src == kAnySource) ? kAnySource : world_rank_of(src);
   pending->tag = tag;
+  pending->world = world_.get();
+  pending->self_world = me;
   return Request(std::move(pending));
 }
 
@@ -205,10 +415,21 @@ Buffer Communicator::take_payload(Request& request) {
 
 Buffer Communicator::sendrecv(int partner, int tag, const Buffer& payload) {
   LTFB_COMM_GUARD("sendrecv");
+  LTFB_FAULT_TICK("sendrecv");
+  LTFB_CHECK(tag >= 0);
   // Sends never block (mailboxes are unbounded), so send-then-recv is
   // deadlock-free even when both sides target each other.
   send(partner, tag, payload);
   return recv(partner, tag);
+}
+
+Buffer Communicator::sendrecv(int partner, int tag, const Buffer& payload,
+                              std::chrono::milliseconds timeout) {
+  LTFB_COMM_GUARD("sendrecv");
+  LTFB_FAULT_TICK("sendrecv");
+  LTFB_CHECK(tag >= 0);
+  send(partner, tag, payload);
+  return recv(partner, tag, timeout);
 }
 
 std::uint64_t Communicator::next_internal_tag(std::uint64_t kind) {
@@ -229,8 +450,14 @@ void internal_send(Communicator& comm, detail::WorldState& world,
   (void)comm;
   LTFB_COUNTER_ADD("comm/collective_messages", 1);
   LTFB_COUNTER_ADD("comm/collective_bytes", payload.size());
-  auto& mailbox =
-      *world.mailboxes[static_cast<std::size_t>(group[static_cast<std::size_t>(dst)])];
+  const int world_dst = group[static_cast<std::size_t>(dst)];
+  if (world.dead(world_dst)) {
+    LTFB_COUNTER_ADD("comm/rank_failures_detected", 1);
+    std::ostringstream oss;
+    oss << "collective peer failed: world rank " << world_dst << " is dead";
+    throw RankFailedError(oss.str(), world_dst);
+  }
+  auto& mailbox = *world.mailboxes[static_cast<std::size_t>(world_dst)];
   {
     const std::scoped_lock lock(mailbox.mutex);
     mailbox.messages.push_back(detail::Envelope{
@@ -251,9 +478,20 @@ Buffer internal_recv(detail::WorldState& world, const std::vector<int>& group,
   pending.src_world =
       (src == kAnySource) ? kAnySource : group[static_cast<std::size_t>(src)];
   pending.tag = tag;
+  pending.world = &world;
+  pending.self_world = group[static_cast<std::size_t>(my_rank)];
+  pending.collective = true;
   std::unique_lock lock(mailbox.mutex);
-  mailbox.cv.wait(lock,
-                  [&] { return pending.done || detail::try_complete(pending); });
+  for (;;) {
+    if (pending.done || detail::try_complete(pending)) break;
+    // A dead rank anywhere in the group stalls the whole pattern (possibly
+    // transitively: a peer blocked on the dead rank throws, is marked dead
+    // in turn by World::run_ranks, and the check here sees it). Failing the
+    // collective eagerly is the ULFM convention.
+    const int failed = detail::hopeless_peer(pending);
+    if (failed >= 0) detail::throw_rank_failed(pending, failed);
+    mailbox.cv.wait(lock);
+  }
   return std::move(pending.payload);
 }
 
@@ -278,6 +516,7 @@ float reduce_elem(float a, float b, ReduceOp op) {
 
 void Communicator::barrier() {
   LTFB_COMM_GUARD("barrier");
+  LTFB_FAULT_TICK("barrier");
   LTFB_SPAN("comm/barrier");
   const auto tag = static_cast<std::int64_t>(next_internal_tag(1));
   const int n = size();
@@ -294,6 +533,7 @@ void Communicator::barrier() {
 
 void Communicator::broadcast(int root, Buffer& payload) {
   LTFB_COMM_GUARD("broadcast");
+  LTFB_FAULT_TICK("broadcast");
   LTFB_SPAN("comm/broadcast");
   const auto tag = static_cast<std::int64_t>(next_internal_tag(2));
   const int n = size();
@@ -333,6 +573,7 @@ void Communicator::broadcast(int root, std::span<float> values) {
 
 void Communicator::allreduce(std::span<float> values, ReduceOp op) {
   LTFB_COMM_GUARD("allreduce");
+  LTFB_FAULT_TICK("allreduce");
   LTFB_SPAN("comm/allreduce");
   const auto tag = static_cast<std::int64_t>(next_internal_tag(3));
   const int n = size();
@@ -384,6 +625,7 @@ void Communicator::allreduce(std::span<float> values, ReduceOp op) {
 
 std::vector<float> Communicator::allgather(std::span<const float> contribution) {
   LTFB_COMM_GUARD("allgather");
+  LTFB_FAULT_TICK("allgather");
   LTFB_SPAN("comm/allgather");
   const auto tag = static_cast<std::int64_t>(next_internal_tag(4));
   const int n = size();
@@ -418,6 +660,7 @@ std::vector<float> Communicator::allgather(std::span<const float> contribution) 
 
 void Communicator::reduce(int root, std::span<float> values, ReduceOp op) {
   LTFB_COMM_GUARD("reduce");
+  LTFB_FAULT_TICK("reduce");
   LTFB_SPAN("comm/reduce");
   const auto tag = static_cast<std::int64_t>(next_internal_tag(5));
   const int n = size();
@@ -461,6 +704,7 @@ void Communicator::reduce(int root, std::span<float> values, ReduceOp op) {
 std::vector<float> Communicator::gather(int root,
                                         std::span<const float> contribution) {
   LTFB_COMM_GUARD("gather");
+  LTFB_FAULT_TICK("gather");
   LTFB_SPAN("comm/gather");
   const auto tag = static_cast<std::int64_t>(next_internal_tag(6));
   const int n = size();
@@ -495,6 +739,7 @@ std::vector<float> Communicator::scatter(int root,
                                          std::span<const float> send,
                                          std::size_t chunk) {
   LTFB_COMM_GUARD("scatter");
+  LTFB_FAULT_TICK("scatter");
   LTFB_SPAN("comm/scatter");
   const auto tag = static_cast<std::int64_t>(next_internal_tag(7));
   const int n = size();
@@ -522,6 +767,7 @@ std::vector<float> Communicator::scatter(int root,
 
 Communicator Communicator::split(int color, int key) {
   LTFB_COMM_GUARD("split");
+  LTFB_FAULT_TICK("split");
   LTFB_SPAN("comm/split");
   // Exchange (color, key, rank) triples; every rank then derives the same
   // membership and ordering. Values are exchanged as floats, which is exact
@@ -566,9 +812,93 @@ Communicator Communicator::split(int color, int key) {
   return Communicator(world_, new_id, std::move(group), my_new_rank);
 }
 
+Communicator Communicator::shrink(std::chrono::milliseconds timeout) {
+  LTFB_COMM_GUARD("shrink");
+  LTFB_FAULT_TICK("shrink");
+  LTFB_SPAN("comm/shrink");
+  LTFB_CHECK_MSG(timeout.count() > 0,
+                 "shrink timeout must be positive, got " << timeout.count()
+                                                         << "ms");
+  const int me = group_[static_cast<std::size_t>(rank_)];
+  // Rendezvous key: all members share (comm_id_, shrink_seq_) because
+  // shrink is collective and called in lockstep on each live rank.
+  const std::pair<std::uint64_t, std::uint64_t> key(comm_id_, shrink_seq_++);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::vector<int> survivors;
+  {
+    std::unique_lock lock(world_->shrink_mutex);
+    detail::ShrinkPoint& point = world_->shrink_points[key];
+    point.arrived.push_back(me);
+    world_->shrink_cv.notify_all();
+    // Agreement predicate: every group member either arrived here or is
+    // gone. Arrived ranks cannot die while blocked (kills fire only at op
+    // entry, and a rank inside shrink performs no other ops), so once the
+    // predicate holds the arrival set is stable — the first rank through
+    // seals it as THE survivor set and everyone reads the sealed copy.
+    const auto ready = [&] {
+      if (point.sealed || point.aborted) return true;
+      for (const int wr : group_) {
+        if (std::find(point.arrived.begin(), point.arrived.end(), wr) !=
+            point.arrived.end()) {
+          continue;
+        }
+        if (!world_->gone(wr)) return false;
+      }
+      return true;
+    };
+    while (!ready()) {
+      if (world_->shrink_cv.wait_until(lock, deadline) ==
+              std::cv_status::timeout &&
+          !ready()) {
+        // Abort the rendezvous for everyone: a divergent survivor set
+        // (some ranks proceed, some give up) would be worse than a clean
+        // collective failure.
+        point.aborted = true;
+        world_->shrink_cv.notify_all();
+        break;
+      }
+    }
+    if (point.aborted) {
+      LTFB_COUNTER_ADD("comm/timeouts", 1);
+      std::ostringstream oss;
+      oss << "shrink timed out after " << timeout.count()
+          << "ms: a peer is neither arrived nor known gone";
+      throw TimeoutError(oss.str());
+    }
+    if (!point.sealed) {
+      point.survivors = point.arrived;
+      std::sort(point.survivors.begin(), point.survivors.end());
+      point.sealed = true;
+      world_->shrink_cv.notify_all();
+    }
+    survivors = point.survivors;
+  }
+  // Every survivor derives the identical communicator id from the agreed
+  // set, then renumbers ranks 0..k-1 in world-rank order.
+  std::uint64_t new_id = util::derive_seed(
+      comm_id_ ^ 0x7a3f'9e2b'44c1'd05bull, key.second,
+      static_cast<std::uint64_t>(survivors.size()));
+  for (const int wr : survivors) {
+    new_id = util::derive_seed(new_id, static_cast<std::uint64_t>(wr), 0x51ull);
+  }
+  const auto my_it = std::find(survivors.begin(), survivors.end(), me);
+  LTFB_CHECK_MSG(my_it != survivors.end(),
+                 "shrink survivor set lost the calling rank");
+  const int my_new_rank = static_cast<int>(my_it - survivors.begin());
+  LTFB_COUNTER_ADD("comm/shrinks", 1);
+  return Communicator(world_, new_id, std::move(survivors), my_new_rank);
+}
+
 World::World(int size) {
   LTFB_CHECK_MSG(size > 0, "world size must be positive, got " << size);
   state_ = std::make_shared<detail::WorldState>(size);
+  if (auto env_schedule = FaultSchedule::from_env()) {
+    state_->faults = std::move(*env_schedule);
+  }
+}
+
+void World::set_fault_schedule(FaultSchedule schedule) {
+  state_->faults = std::move(schedule);
 }
 
 int World::size() const noexcept {
@@ -584,22 +914,33 @@ Communicator World::communicator(int rank) {
   return Communicator(state_, 0, std::move(group), rank);
 }
 
-void World::run(int size, const std::function<void(Communicator&)>& fn) {
-  World world(size);
+std::vector<std::exception_ptr> World::run_ranks(
+    const std::function<void(Communicator&)>& fn) {
+  const int n = size();
   std::vector<std::thread> threads;
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size));
-  threads.reserve(static_cast<std::size_t>(size));
-  for (int rank = 0; rank < size; ++rank) {
-    threads.emplace_back([&world, &fn, &errors, rank] {
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int rank = 0; rank < n; ++rank) {
+    threads.emplace_back([this, &fn, &errors, rank] {
       try {
-        Communicator comm = world.communicator(rank);
+        Communicator comm = communicator(rank);
         fn(comm);
+        // Clean return: obligated messages were all delivered. Peers still
+        // blocked on this rank fail fast instead of hanging.
+        state_->mark_gone(rank, /*clean=*/true);
       } catch (...) {
         errors[static_cast<std::size_t>(rank)] = std::current_exception();
+        state_->mark_gone(rank, /*clean=*/false);
       }
     });
   }
   for (auto& thread : threads) thread.join();
+  return errors;
+}
+
+void World::run(int size, const std::function<void(Communicator&)>& fn) {
+  World world(size);
+  const std::vector<std::exception_ptr> errors = world.run_ranks(fn);
   for (const auto& error : errors) {
     if (error) std::rethrow_exception(error);
   }

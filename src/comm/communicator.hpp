@@ -18,6 +18,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -28,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "comm/fault.hpp"
 #include "util/error.hpp"
 
 namespace ltfb::comm {
@@ -106,8 +108,16 @@ class Request {
   /// True once the operation has completed. Never blocks.
   bool test();
 
-  /// Blocks until completion.
+  /// Blocks until completion. Throws ltfb::RankFailedError if the awaited
+  /// peer (or, for ANY_SOURCE, every peer in the group) is known to have
+  /// failed or departed without the message ever arriving.
   void wait();
+
+  /// Deadline overload: blocks at most `timeout`, then throws
+  /// ltfb::TimeoutError. A timed-out request stays VALID and re-waitable —
+  /// the receive is not cancelled, the message can still arrive, and a
+  /// later wait()/test() can complete it (tested in tests/test_comm.cpp).
+  void wait(std::chrono::milliseconds timeout);
 
   bool valid() const noexcept { return state_ != nullptr; }
 
@@ -115,6 +125,7 @@ class Request {
   friend class Communicator;
   explicit Request(std::shared_ptr<detail::PendingRecv> state)
       : state_(std::move(state)) {}
+  void wait_impl(const std::chrono::milliseconds* timeout);
   std::shared_ptr<detail::PendingRecv> state_;
 };
 
@@ -138,8 +149,16 @@ class Communicator {
   void send(int dst, int tag, const Buffer& payload);
   void send(int dst, int tag, std::span<const float> values);
 
-  /// Blocking receive; fills `source_out`/`tag_out` when non-null.
+  /// Blocking receive; fills `source_out`/`tag_out` when non-null. Throws
+  /// ltfb::RankFailedError if the awaited peer has failed (and the message
+  /// never arrived).
   Buffer recv(int src, int tag, int* source_out = nullptr);
+
+  /// Deadline overload: throws ltfb::TimeoutError when no matching message
+  /// arrives within `timeout` (the message is NOT consumed if it arrives
+  /// later — a subsequent recv can still claim it).
+  Buffer recv(int src, int tag, std::chrono::milliseconds timeout,
+              int* source_out = nullptr);
 
   /// Nonblocking receive; the returned request owns the landing buffer,
   /// retrievable with `take_payload` after completion.
@@ -148,6 +167,12 @@ class Communicator {
 
   /// Simultaneous exchange with a partner (deadlock-free).
   Buffer sendrecv(int partner, int tag, const Buffer& payload);
+
+  /// Deadline overload of sendrecv: the send always completes (mailboxes
+  /// are unbounded); the receive half throws ltfb::TimeoutError past the
+  /// deadline or ltfb::RankFailedError when the partner is dead.
+  Buffer sendrecv(int partner, int tag, const Buffer& payload,
+                  std::chrono::milliseconds timeout);
 
   // -- collectives (must be called by every rank, in the same order) -------
 
@@ -179,6 +204,17 @@ class Communicator {
   /// up in the same sub-communicator, ordered by (key, old rank).
   Communicator split(int color, int key);
 
+  /// ULFM-style survivor agreement (in miniature): every live rank of this
+  /// communicator calls shrink; the call blocks until each group member has
+  /// either arrived at the same rendezvous or is known gone (failed or
+  /// departed), then all arrivals agree on the identical sorted survivor
+  /// set and receive a rebuilt sub-communicator over exactly those ranks
+  /// (ranks renumbered 0..k-1 in world-rank order, fresh communicator id).
+  /// Throws ltfb::TimeoutError — on every blocked arrival — if agreement is
+  /// not reached within `timeout` (e.g. a peer is alive but wedged), so a
+  /// stuck shrink never hangs the survivors.
+  Communicator shrink(std::chrono::milliseconds timeout);
+
  private:
   friend class World;
   Communicator(std::shared_ptr<detail::WorldState> world, std::uint64_t id,
@@ -190,16 +226,29 @@ class Communicator {
 
   std::uint64_t next_internal_tag(std::uint64_t kind);
 
+  /// RAII op counter for deterministic fault injection: counts one
+  /// top-level communication operation per public entry point (nested
+  /// internal calls do not re-count) and fires the rank's scheduled kill,
+  /// if any. Always on — fault schedules must work in release builds.
+  class FaultScope;
+  void fault_tick(const char* what);
+
   std::shared_ptr<detail::WorldState> world_;
   std::uint64_t comm_id_ = 0;
   std::vector<int> group_;  // group_[r] = world rank of communicator rank r
   int rank_ = 0;
   std::uint64_t collective_seq_ = 0;
   std::uint64_t split_seq_ = 0;
+  std::uint64_t shrink_seq_ = 0;
+  int fault_depth_ = 0;  // >0 while inside a counted operation
   mutable detail::ThreadUseStamp use_stamp_;  // single-thread contract check
 };
 
 /// Owns the mailboxes for `size` ranks and creates per-rank handles.
+///
+/// The constructor auto-installs any schedule found in the
+/// LTFB_FAULT_SCHEDULE environment variable (see comm/fault.hpp for the
+/// grammar), so fault injection works on unmodified binaries.
 class World {
  public:
   explicit World(int size);
@@ -209,6 +258,19 @@ class World {
   /// The world communicator handle for `rank`. Each rank (thread) should
   /// obtain exactly one handle and use it from that thread only.
   Communicator communicator(int rank);
+
+  /// Installs a deterministic fault schedule (replacing any env-installed
+  /// one). Must be called before rank threads start communicating.
+  void set_fault_schedule(FaultSchedule schedule);
+
+  /// Spawns one thread per rank, runs `fn` on each with its world
+  /// communicator, and joins. A rank that returns normally is marked
+  /// departed; a rank that exits by exception is marked FAILED, which
+  /// wakes every peer blocked on it with ltfb::RankFailedError. Returns
+  /// each rank's exception (null for clean ranks) — the chaos-harness
+  /// entry point: injected faults are inspected, not rethrown.
+  std::vector<std::exception_ptr> run_ranks(
+      const std::function<void(Communicator&)>& fn);
 
   /// Convenience: spawns `size` threads, runs `fn` on each with its world
   /// communicator, and joins. Exceptions thrown by any rank are rethrown

@@ -1,0 +1,151 @@
+#include "comm/fault.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace ltfb::comm {
+
+FaultSchedule& FaultSchedule::kill(int rank, std::uint64_t at_op) {
+  LTFB_CHECK_MSG(rank >= 0, "fault rank must be non-negative, got " << rank);
+  actions_.push_back({FaultAction::Kind::Kill, rank, at_op, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::drop(int rank, std::uint64_t message) {
+  LTFB_CHECK_MSG(rank >= 0, "fault rank must be non-negative, got " << rank);
+  actions_.push_back({FaultAction::Kind::Drop, rank, message, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::delay(int rank, std::uint64_t message,
+                                    std::uint64_t ms) {
+  LTFB_CHECK_MSG(rank >= 0, "fault rank must be non-negative, got " << rank);
+  actions_.push_back({FaultAction::Kind::Delay, rank, message, ms});
+  return *this;
+}
+
+namespace {
+
+// Splits on `sep`, dropping empty pieces (so trailing ';' is legal).
+std::vector<std::string> split_nonempty(const std::string& text, char sep) {
+  std::vector<std::string> pieces;
+  std::string current;
+  for (const char c : text) {
+    if (c == ' ' || c == '\t') continue;
+    if (c == sep) {
+      if (!current.empty()) pieces.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) pieces.push_back(std::move(current));
+  return pieces;
+}
+
+std::uint64_t parse_u64(const std::string& text, const std::string& action) {
+  LTFB_CHECK_MSG(!text.empty() &&
+                     text.find_first_not_of("0123456789") == std::string::npos,
+                 "fault schedule action '" << action
+                                           << "': expected a non-negative "
+                                              "integer, got '"
+                                           << text << "'");
+  return std::stoull(text);
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::parse(const std::string& spec) {
+  FaultSchedule schedule;
+  for (const std::string& action : split_nonempty(spec, ';')) {
+    const std::size_t colon = action.find(':');
+    LTFB_CHECK_MSG(colon != std::string::npos,
+                   "fault schedule action '" << action
+                                             << "' is missing ':' (grammar: "
+                                                "kill:R@N | drop:R@M | "
+                                                "delay:R@M:MS)");
+    const std::string verb = action.substr(0, colon);
+    const std::string rest = action.substr(colon + 1);
+    const std::size_t at = rest.find('@');
+    LTFB_CHECK_MSG(at != std::string::npos,
+                   "fault schedule action '" << action << "' is missing '@'");
+    const int rank = static_cast<int>(parse_u64(rest.substr(0, at), action));
+    std::string index_text = rest.substr(at + 1);
+    if (verb == "kill") {
+      schedule.kill(rank, parse_u64(index_text, action));
+    } else if (verb == "drop") {
+      schedule.drop(rank, parse_u64(index_text, action));
+    } else if (verb == "delay") {
+      const std::size_t ms_colon = index_text.find(':');
+      LTFB_CHECK_MSG(ms_colon != std::string::npos,
+                     "fault schedule action '"
+                         << action << "' is missing the ':MS' delay suffix");
+      schedule.delay(rank, parse_u64(index_text.substr(0, ms_colon), action),
+                     parse_u64(index_text.substr(ms_colon + 1), action));
+    } else {
+      LTFB_CHECK_MSG(false, "fault schedule verb '"
+                                << verb << "' is not one of kill/drop/delay");
+    }
+  }
+  return schedule;
+}
+
+std::optional<FaultSchedule> FaultSchedule::from_env() {
+  const char* spec = std::getenv("LTFB_FAULT_SCHEDULE");
+  if (spec == nullptr || *spec == '\0') return std::nullopt;
+  return parse(spec);
+}
+
+FaultSchedule FaultSchedule::random_kill(std::uint64_t seed, int ranks,
+                                         std::uint64_t max_op) {
+  LTFB_CHECK_MSG(ranks > 0, "random_kill needs at least one rank");
+  LTFB_CHECK_MSG(max_op > 0, "random_kill needs a positive op range");
+  util::Rng rng(util::derive_seed(seed, 0xfa17ull, 0x5c4edull));
+  FaultSchedule schedule;
+  schedule.kill(static_cast<int>(
+                    rng.uniform_index(static_cast<std::size_t>(ranks))),
+                rng.uniform_index(static_cast<std::size_t>(max_op)));
+  return schedule;
+}
+
+std::string FaultSchedule::str() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < actions_.size(); ++i) {
+    if (i > 0) oss << ';';
+    const FaultAction& a = actions_[i];
+    switch (a.kind) {
+      case FaultAction::Kind::Kill:
+        oss << "kill:" << a.rank << '@' << a.index;
+        break;
+      case FaultAction::Kind::Drop:
+        oss << "drop:" << a.rank << '@' << a.index;
+        break;
+      case FaultAction::Kind::Delay:
+        oss << "delay:" << a.rank << '@' << a.index << ':' << a.delay_ms;
+        break;
+    }
+  }
+  return oss.str();
+}
+
+std::optional<std::uint64_t> FaultSchedule::kill_op(int rank) const {
+  std::optional<std::uint64_t> earliest;
+  for (const FaultAction& a : actions_) {
+    if (a.kind != FaultAction::Kind::Kill || a.rank != rank) continue;
+    if (!earliest || a.index < *earliest) earliest = a.index;
+  }
+  return earliest;
+}
+
+const FaultAction* FaultSchedule::message_action(int rank,
+                                                 std::uint64_t message) const {
+  for (const FaultAction& a : actions_) {
+    if (a.kind == FaultAction::Kind::Kill) continue;
+    if (a.rank == rank && a.index == message) return &a;
+  }
+  return nullptr;
+}
+
+}  // namespace ltfb::comm

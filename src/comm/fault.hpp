@@ -1,0 +1,100 @@
+// Deterministic fault injection for the in-process message-passing world.
+//
+// The paper's LTFB runs span hours on 1024 GPUs, where node loss is routine;
+// LBANN survives it with trainer-level checkpointing and a loosely coupled
+// tournament. To test those recovery paths without real hardware faults, a
+// FaultSchedule describes a reproducible set of injected failures:
+//
+//   * kill rank R at its N-th communication operation (the rank throws
+//     FaultInjected out of its next send/recv/collective and is marked dead
+//     in the world, exactly like a node crash mid-call),
+//   * drop rank R's M-th user-level message (it is silently discarded, so
+//     the receiver sees a timeout),
+//   * delay rank R's M-th user-level message by a fixed number of
+//     milliseconds before delivery.
+//
+// Operation and message indices are deterministic per rank: the same
+// schedule against the same program produces the same failure, which is what
+// makes the chaos harness in tests/test_fault.cpp and the bit-identical
+// restart test possible. Collective-internal messages are not addressable by
+// drop/delay (they count operations, not messages); kill applies to every
+// communication entry point.
+//
+// Textual grammar (';'-separated actions, whitespace ignored):
+//
+//   kill:R@N        kill rank R at operation index N (0-based)
+//   drop:R@M        drop rank R's user message index M (0-based)
+//   delay:R@M:MS    delay rank R's user message index M by MS milliseconds
+//
+// e.g.  LTFB_FAULT_SCHEDULE="kill:2@40;drop:0@3"  (see World::run).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ltfb::comm {
+
+/// Thrown on the victim rank itself when its scheduled kill fires. Distinct
+/// from RankFailedError (which survivors see) so a chaos harness can tell
+/// "I was the injected victim" apart from "my peer died".
+class FaultInjected : public Error {
+ public:
+  explicit FaultInjected(const std::string& what) : Error(what) {}
+};
+
+/// One injected fault.
+struct FaultAction {
+  enum class Kind { Kill, Drop, Delay };
+  Kind kind = Kind::Kill;
+  int rank = 0;               // world rank the fault applies to
+  std::uint64_t index = 0;    // op index (Kill) or user-message index
+  std::uint64_t delay_ms = 0; // Delay only
+};
+
+/// A deterministic, seedable set of injected faults for one World.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  /// Builder-style additions (chainable).
+  FaultSchedule& kill(int rank, std::uint64_t at_op);
+  FaultSchedule& drop(int rank, std::uint64_t message);
+  FaultSchedule& delay(int rank, std::uint64_t message, std::uint64_t ms);
+
+  /// Parses the textual grammar documented above; throws
+  /// ltfb::InvalidArgument on malformed specs.
+  static FaultSchedule parse(const std::string& spec);
+
+  /// Reads LTFB_FAULT_SCHEDULE from the environment; nullopt when unset or
+  /// empty. World's constructor installs this automatically, so exported
+  /// schedules apply to any binary built on comm::World without code
+  /// changes.
+  static std::optional<FaultSchedule> from_env();
+
+  /// Deterministically derives a single-kill schedule from a seed: some
+  /// rank in [0, ranks) dies at some op in [0, max_op). Used by the chaos
+  /// sweep to cover many failure points from a handful of seeds.
+  static FaultSchedule random_kill(std::uint64_t seed, int ranks,
+                                   std::uint64_t max_op);
+
+  bool empty() const noexcept { return actions_.empty(); }
+  const std::vector<FaultAction>& actions() const noexcept { return actions_; }
+
+  /// Round-trips back to the textual grammar (for logs and messages).
+  std::string str() const;
+
+  /// Earliest kill op for `rank`, if any.
+  std::optional<std::uint64_t> kill_op(int rank) const;
+
+  /// The drop/delay action for `rank`'s user message `message`, else null.
+  const FaultAction* message_action(int rank, std::uint64_t message) const;
+
+ private:
+  std::vector<FaultAction> actions_;
+};
+
+}  // namespace ltfb::comm

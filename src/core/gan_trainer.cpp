@@ -91,4 +91,33 @@ double GanTrainer::score_candidate_generator(
   return score;
 }
 
+GanTrainerState GanTrainer::capture_state() const {
+  GanTrainerState state;
+  state.trainer_id = id_;
+  state.learning_rate = model_.learning_rate();
+  state.steps = steps_;
+  state.reader_epoch = reader_.epoch();
+  state.reader_cursor = reader_.cursor();
+  state.generator = model_.generator_weights();
+  state.discriminator = model_.discriminator_weights();
+  state.optimizer_state = model_.optimizer_state();
+  return state;
+}
+
+void GanTrainer::restore_state(const GanTrainerState& state) {
+  LTFB_CHECK_MSG(state.trainer_id == id_,
+                 "checkpoint slot is for trainer " << state.trainer_id
+                                                   << ", this is trainer "
+                                                   << id_);
+  model_.load_generator_weights(state.generator);
+  model_.load_discriminator_weights(state.discriminator);
+  model_.load_optimizer_state(state.optimizer_state);
+  // Learning rate AFTER optimizer state: set_learning_rate writes through
+  // to every component optimizer, which deserialize does not touch.
+  model_.set_learning_rate(state.learning_rate);
+  reader_.restore(static_cast<std::size_t>(state.reader_epoch),
+                  static_cast<std::size_t>(state.reader_cursor));
+  steps_ = static_cast<std::size_t>(state.steps);
+}
+
 }  // namespace ltfb::core

@@ -24,6 +24,22 @@ gan::EvalMetrics evaluate_gan(gan::CycleGan& model,
                               const std::vector<std::size_t>& view,
                               std::size_t batch_size);
 
+/// Complete resumable state of one GanTrainer. Weights alone are not
+/// enough for a bit-identical restart: the optimizer moments and the
+/// reader's (epoch, cursor) position change every subsequent step, so all
+/// of it travels together (checkpoint format v2, see core/
+/// population_checkpoint.hpp).
+struct GanTrainerState {
+  int trainer_id = 0;
+  float learning_rate = 0.0f;
+  std::uint64_t steps = 0;
+  std::uint64_t reader_epoch = 0;
+  std::uint64_t reader_cursor = 0;
+  std::vector<float> generator;
+  std::vector<float> discriminator;
+  std::vector<float> optimizer_state;
+};
+
 class GanTrainer {
  public:
   /// `train_view` — this trainer's partition of the training set;
@@ -59,6 +75,13 @@ class GanTrainer {
     return tournament_view_;
   }
   std::size_t batch_size() const noexcept { return batch_size_; }
+
+  /// Snapshot of everything needed to resume this trainer bit-identically.
+  GanTrainerState capture_state() const;
+
+  /// Restores a snapshot onto an identically configured trainer; throws
+  /// ltfb::InvalidArgument on an id or shape mismatch.
+  void restore_state(const GanTrainerState& state);
 
  private:
   int id_;

@@ -1,9 +1,11 @@
 #include "core/ltfb.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <limits>
 #include <numeric>
 
+#include "core/population_checkpoint.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -50,10 +52,30 @@ void restore(gan::CycleGan& model, std::span<const float> flat,
 
 LocalLtfbDriver::LocalLtfbDriver(
     std::vector<std::unique_ptr<GanTrainer>> trainers, LtfbConfig config)
-    : trainers_(std::move(trainers)), config_(config) {
+    : trainers_(std::move(trainers)), config_(std::move(config)) {
   LTFB_CHECK_MSG(!trainers_.empty(), "LTFB needs at least one trainer");
   for (const auto& trainer : trainers_) {
     LTFB_CHECK(trainer != nullptr);
+  }
+  if (!config_.resume_from.empty()) {
+    const PopulationCheckpoint checkpoint =
+        load_population_checkpoint(config_.resume_from);
+    LTFB_CHECK_MSG(checkpoint.trainers.size() == trainers_.size(),
+                   "checkpoint holds " << checkpoint.trainers.size()
+                                       << " trainers, driver has "
+                                       << trainers_.size());
+    LTFB_CHECK_MSG(checkpoint.pairing_seed == config_.pairing_seed,
+                   "checkpoint pairing seed " << checkpoint.pairing_seed
+                                              << " != configured seed "
+                                              << config_.pairing_seed
+                                              << "; resume would repair "
+                                                 "trainers differently");
+    for (std::size_t i = 0; i < trainers_.size(); ++i) {
+      trainers_[i]->restore_state(checkpoint.trainers[i].trainer);
+    }
+    round_counter_ = static_cast<std::size_t>(checkpoint.round);
+    history_ = checkpoint.history;
+    resumed_ = true;
   }
 }
 
@@ -146,14 +168,44 @@ const RoundRecord& LocalLtfbDriver::run_round() {
 
   ++round_counter_;
   history_.push_back(std::move(record));
+  if (config_.checkpoint_every > 0 && !config_.checkpoint_path.empty() &&
+      round_counter_ % config_.checkpoint_every == 0) {
+    save_checkpoint(config_.checkpoint_path);
+  }
   return history_.back();
 }
 
 void LocalLtfbDriver::run() {
-  pretrain();
-  for (std::size_t r = 0; r < config_.rounds; ++r) {
+  if (!resumed_) pretrain();
+  while (round_counter_ < config_.rounds) {
     run_round();
   }
+}
+
+void LocalLtfbDriver::save_checkpoint(const std::string& path) const {
+  LTFB_SPAN("ltfb/checkpoint");
+  PopulationCheckpoint checkpoint;
+  checkpoint.round = round_counter_;
+  checkpoint.pairing_seed = config_.pairing_seed;
+  checkpoint.trainers.reserve(trainers_.size());
+  for (const auto& trainer : trainers_) {
+    TrainerSlot slot;
+    slot.trainer = trainer->capture_state();
+    for (const RoundRecord& record : history_) {
+      for (const TrainerRoundStat& stat : record.stats) {
+        if (stat.trainer_id != trainer->id() || stat.partner_id < 0) continue;
+        if (stat.adopted_partner) {
+          ++slot.adoptions;
+        } else if (!stat.partner_failed) {
+          ++slot.tournaments_won;
+        }
+      }
+    }
+    checkpoint.trainers.push_back(std::move(slot));
+  }
+  checkpoint.history = history_;
+  save_population_checkpoint(path, checkpoint);
+  LTFB_COUNTER_ADD("ltfb/checkpoints_written", 1);
 }
 
 std::size_t LocalLtfbDriver::best_trainer(
@@ -175,18 +227,36 @@ std::size_t LocalLtfbDriver::best_trainer(
 
 bool export_history_csv(const std::vector<RoundRecord>& history,
                         const std::string& path) {
-  util::CsvWriter csv(path, {"round", "trainer", "partner", "own_score",
-                             "partner_score", "adopted"});
-  if (!csv.ok()) return false;
-  for (const auto& record : history) {
-    for (const auto& stat : record.stats) {
-      csv.add_row({std::to_string(record.round),
-                   std::to_string(stat.trainer_id),
-                   std::to_string(stat.partner_id),
-                   util::format_double(stat.own_score, 6),
-                   util::format_double(stat.partner_score, 6),
-                   stat.adopted_partner ? "1" : "0"});
+  // Atomic export: rows go to a temp sibling; only after a healthy
+  // flush+close is it renamed over the target. An I/O failure (full disk,
+  // unwritable directory) leaves no partial CSV behind.
+  const std::string tmp = path + ".tmp";
+  {
+    util::CsvWriter csv(tmp, {"round", "trainer", "partner", "own_score",
+                              "partner_score", "adopted", "partner_failed"});
+    if (!csv.ok()) return false;
+    for (const auto& record : history) {
+      for (const auto& stat : record.stats) {
+        csv.add_row({std::to_string(record.round),
+                     std::to_string(stat.trainer_id),
+                     std::to_string(stat.partner_id),
+                     util::format_double(stat.own_score, 6),
+                     util::format_double(stat.partner_score, 6),
+                     stat.adopted_partner ? "1" : "0",
+                     stat.partner_failed ? "1" : "0"});
+      }
     }
+    if (!csv.close()) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
   }
   return true;
 }

@@ -57,6 +57,17 @@ struct LtfbConfig {
   /// rate, perturbed by a factor in [1-x, 1+x] — exploit plus explore.
   /// 0 disables (the paper's LTFB keeps hyperparameters fixed).
   float lr_perturbation = 0.0f;
+  /// Population checkpointing: when `checkpoint_every` > 0, the driver
+  /// writes a v2 population checkpoint to `checkpoint_path` after every K
+  /// completed rounds (atomically — see core/population_checkpoint.hpp).
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 0;
+  /// When non-empty, the constructor restores the full population state
+  /// (weights, optimizer moments, reader positions, round counter, history)
+  /// from this checkpoint; run() then skips pretraining and continues from
+  /// the recorded round. The restarted history is bit-identical to an
+  /// uninterrupted run.
+  std::string resume_from;
 };
 
 /// Deterministic random pairing for a round: a seeded permutation of
@@ -71,6 +82,9 @@ struct TrainerRoundStat {
   double own_score = 0.0;       // tournament metric of the local model
   double partner_score = 0.0;   // tournament metric of the received model
   bool adopted_partner = false;
+  /// True when the paired partner died mid-tournament (distributed runs):
+  /// the survivor kept its own model and the round counts as degraded.
+  bool partner_failed = false;
 };
 
 struct RoundRecord {
@@ -95,13 +109,22 @@ class LocalLtfbDriver {
   /// then the tournament runs.
   const RoundRecord& run_round();
 
-  /// pretrain() + config.rounds tournament rounds.
+  /// pretrain() + config.rounds tournament rounds. When the driver was
+  /// resumed from a checkpoint, pretraining is skipped (it happened before
+  /// the checkpoint was written) and only the remaining rounds run.
   void run();
 
   /// Index of the trainer whose model scores best (lowest forward+inverse
   /// loss) on the given validation view.
   std::size_t best_trainer(const std::vector<std::size_t>& validation_view,
                            std::size_t batch_size);
+
+  /// Writes the whole population atomically to `path` (checkpoint v2).
+  void save_checkpoint(const std::string& path) const;
+
+  /// Rounds completed so far (resumes mid-sequence after restore).
+  std::size_t rounds_completed() const noexcept { return round_counter_; }
+  bool resumed() const noexcept { return resumed_; }
 
  private:
   double metric_score(GanTrainer& trainer);
@@ -110,11 +133,15 @@ class LocalLtfbDriver {
   LtfbConfig config_;
   std::vector<RoundRecord> history_;
   std::size_t round_counter_ = 0;
+  bool resumed_ = false;
 };
 
 /// Writes a tournament history to CSV (round, trainer, partner, scores,
-/// adopted) for offline analysis / plotting — the experiment-tracking
-/// artifact a production run would archive. Returns false on I/O failure.
+/// adopted, partner_failed) for offline analysis / plotting — the
+/// experiment-tracking artifact a production run would archive. The write
+/// is atomic: rows land in a temp sibling that is renamed over `path` only
+/// after a healthy flush+close, so a full disk or I/O error returns false
+/// and leaves no partial file at `path`.
 bool export_history_csv(const std::vector<RoundRecord>& history,
                         const std::string& path);
 

@@ -1,9 +1,14 @@
 #include "core/ltfb_comm.hpp"
 
 #include <algorithm>
+#include <filesystem>
+#include <string>
+#include <utility>
 
+#include "core/population_checkpoint.hpp"
 #include "nn/parallel.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace ltfb::core {
@@ -109,23 +114,79 @@ DistributedLtfbOutcome run_distributed_ltfb(
     return score;
   };
 
-  // -- autoencoder warm-up ----------------------------------------------------
-  for (std::size_t s = 0; s < config.ltfb.pretrain_steps; ++s) {
-    const data::Batch batch = reader.next();
-    const data::Batch mine =
-        slice_batch(batch, my_shard_begin, my_shard_begin + shard);
-    model.pretrain_autoencoder_step(mine);
-  }
-
   DistributedLtfbOutcome outcome;
   outcome.trainer_id = trainer_id;
   outcome.trainer_rank = trainer_comm.rank();
 
+  // Fault-aware mode: exchanges carry deadlines and the leader population
+  // shrinks around dead trainers. comm_timeout == 0 selects the legacy
+  // fail-stop lockstep (no deadlines, errors propagate).
+  const bool fault_aware = config.comm_timeout.count() > 0;
+  const std::chrono::milliseconds exchange_deadline =
+      fault_aware ? config.comm_timeout
+                  : std::chrono::milliseconds(std::chrono::hours(24));
+
+  std::uint64_t steps_taken = 0;
+  auto capture = [&]() {
+    GanTrainerState state;
+    state.trainer_id = trainer_id;
+    state.learning_rate = model.learning_rate();
+    state.steps = steps_taken;
+    state.reader_epoch = reader.epoch();
+    state.reader_cursor = reader.cursor();
+    state.generator = model.generator_weights();
+    state.discriminator = model.discriminator_weights();
+    state.optimizer_state = model.optimizer_state();
+    return state;
+  };
+
+  // -- restore or warm up -----------------------------------------------------
+  std::size_t start_round = 0;
+  if (!config.resume_from.empty()) {
+    // Trainer state is replicated across a trainer's ranks, so the slot
+    // checkpoint its leader wrote restores every rank of the trainer.
+    const std::filesystem::path slot_path =
+        std::filesystem::path(config.resume_from) /
+        ("trainer_" + std::to_string(trainer_id) + ".pop");
+    const PopulationCheckpoint ckpt = load_population_checkpoint(slot_path);
+    LTFB_CHECK_MSG(ckpt.trainers.size() == 1,
+                   "distributed slot checkpoint must hold exactly one "
+                   "trainer, found "
+                       << ckpt.trainers.size());
+    LTFB_CHECK_MSG(ckpt.pairing_seed == config.ltfb.pairing_seed,
+                   "checkpoint pairing seed does not match configuration");
+    const TrainerSlot& slot = ckpt.trainers.front();
+    const GanTrainerState& state = slot.trainer;
+    LTFB_CHECK_MSG(state.trainer_id == trainer_id,
+                   "slot checkpoint is for trainer " << state.trainer_id
+                                                     << ", this is trainer "
+                                                     << trainer_id);
+    model.load_generator_weights(state.generator);
+    model.load_discriminator_weights(state.discriminator);
+    model.load_optimizer_state(state.optimizer_state);
+    model.set_learning_rate(state.learning_rate);
+    reader.restore(static_cast<std::size_t>(state.reader_epoch),
+                   static_cast<std::size_t>(state.reader_cursor));
+    steps_taken = state.steps;
+    outcome.tournaments_won = static_cast<std::size_t>(slot.tournaments_won);
+    outcome.adoptions = static_cast<std::size_t>(slot.adoptions);
+    if (leader) outcome.history = ckpt.history;
+    start_round = static_cast<std::size_t>(ckpt.round);
+  } else {
+    // -- autoencoder warm-up --------------------------------------------------
+    for (std::size_t s = 0; s < config.ltfb.pretrain_steps; ++s) {
+      const data::Batch batch = reader.next();
+      const data::Batch mine =
+          slice_batch(batch, my_shard_begin, my_shard_begin + shard);
+      model.pretrain_autoencoder_step(mine);
+    }
+  }
+
   // -- LTFB rounds -------------------------------------------------------------
-  for (std::size_t round = 0; round < config.ltfb.rounds; ++round) {
+  for (std::size_t round = start_round; round < config.ltfb.rounds; ++round) {
     LTFB_SPAN("ltfb/round");
     LTFB_COUNTER_ADD("ltfb/rounds", 1);
-    {
+    try {
       LTFB_SPAN("ltfb/train_phase");
       for (std::size_t s = 0; s < config.ltfb.steps_per_round; ++s) {
         LTFB_TIMED_SCOPE("trainer/step");
@@ -133,58 +194,147 @@ DistributedLtfbOutcome run_distributed_ltfb(
         const data::Batch mine =
             slice_batch(batch, my_shard_begin, my_shard_begin + shard);
         model.train_step(mine);
+        ++steps_taken;
       }
+    } catch (const RankFailedError&) {
+      // A rank of THIS trainer died mid-step (gradient all-reduce hit the
+      // corpse). The trainer cannot continue data-parallel training; its
+      // survivors leave the population and the other trainers route around
+      // them. Legacy mode keeps fail-stop semantics and propagates.
+      if (!fault_aware) throw;
+      LTFB_COUNTER_ADD("ltfb/faults_detected", 1);
+      outcome.aborted = true;
+      return outcome;
     }
 
-    // Deterministic pairing — every rank derives the same schedule.
-    const auto pairs = tournament_pairs(
-        static_cast<std::size_t>(num_trainers), config.ltfb.pairing_seed,
-        round);
-    int partner = -1;
-    for (const auto& [a, b] : pairs) {
-      if (a == trainer_id) partner = b;
-      if (b == trainer_id) partner = a;
-    }
-
-    if (leader && partner >= 0) {
+    TrainerRoundStat stat;
+    stat.trainer_id = trainer_id;
+    if (leader) {
       LTFB_SPAN("ltfb/tournament");
-      // Leaders exchange weights (leader_comm rank == trainer id by
-      // construction of the split keys) and duel on the LOCAL set.
-      const std::vector<float> own = snapshot(model, config.ltfb.scope);
-      comm::Buffer received;
-      {
-        LTFB_SPAN("ltfb/exchange");
-        received = leader_comm.sendrecv(partner, static_cast<int>(round),
-                                        comm::to_buffer(own));
+      // Pair only LIVE trainers: the leader communicator (post-shrink) is
+      // the authoritative membership list, ordered by trainer id. With no
+      // failures this reduces exactly to the legacy all-trainer pairing.
+      std::vector<std::pair<int, int>> live;  // (trainer_id, leader_comm rank)
+      for (int r = 0; r < leader_comm.size(); ++r) {
+        live.emplace_back(leader_comm.world_rank_of(r) / rpt, r);
       }
-      const std::vector<float> candidate =
-          comm::floats_from_buffer(received);
+      std::sort(live.begin(), live.end());
+      std::size_t my_pos = live.size();
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (live[i].first == trainer_id) my_pos = i;
+      }
+      LTFB_CHECK_MSG(my_pos < live.size(),
+                     "leader not present in its own leader communicator");
 
-      const double own_score = local_score();
-      restore(model, candidate, config.ltfb.scope);
-      const double candidate_score = local_score();
-      if (candidate_score < own_score) {
-        ++outcome.adoptions;
-        LTFB_COUNTER_ADD("ltfb/adoptions", 1);
-      } else {
-        restore(model, own, config.ltfb.scope);
-        ++outcome.tournaments_won;
+      const auto pairs = tournament_pairs(live.size(),
+                                          config.ltfb.pairing_seed, round);
+      std::size_t partner_pos = live.size();
+      for (const auto& [a, b] : pairs) {
+        if (static_cast<std::size_t>(a) == my_pos) {
+          partner_pos = static_cast<std::size_t>(b);
+        }
+        if (static_cast<std::size_t>(b) == my_pos) {
+          partner_pos = static_cast<std::size_t>(a);
+        }
       }
+
+      if (partner_pos < live.size()) {
+        stat.partner_id = live[partner_pos].first;
+        const std::vector<float> own = snapshot(model, config.ltfb.scope);
+        try {
+          comm::Buffer received;
+          {
+            LTFB_SPAN("ltfb/exchange");
+            received = leader_comm.sendrecv(live[partner_pos].second,
+                                            static_cast<int>(round),
+                                            comm::to_buffer(own),
+                                            exchange_deadline);
+          }
+          const std::vector<float> candidate =
+              comm::floats_from_buffer(received);
+
+          stat.own_score = local_score();
+          restore(model, candidate, config.ltfb.scope);
+          stat.partner_score = local_score();
+          if (stat.partner_score < stat.own_score) {
+            stat.adopted_partner = true;
+            ++outcome.adoptions;
+            LTFB_COUNTER_ADD("ltfb/adoptions", 1);
+          } else {
+            restore(model, own, config.ltfb.scope);
+            ++outcome.tournaments_won;
+          }
+        } catch (const RankFailedError&) {
+          if (!fault_aware) throw;
+          // Partner's leader is dead or departed: the survivor keeps its
+          // own model (untouched — the exchange failed before any restore)
+          // and the round counts as degraded.
+          stat.partner_failed = true;
+          ++outcome.partner_failures;
+          LTFB_COUNTER_ADD("ltfb/faults_detected", 1);
+          LTFB_COUNTER_ADD("ltfb/rounds_degraded", 1);
+        } catch (const TimeoutError&) {
+          if (!fault_aware) throw;
+          stat.partner_failed = true;
+          ++outcome.partner_failures;
+          LTFB_COUNTER_ADD("ltfb/faults_detected", 1);
+          LTFB_COUNTER_ADD("ltfb/rounds_degraded", 1);
+        }
+      }
+
+      // Survivor agreement: shrink the leader communicator around any
+      // trainer that died this round, so the next round's pairing draws
+      // from live trainers only (ULFM MPI_Comm_shrink in miniature). The
+      // deadline is a multiple of the exchange deadline: the dead rank's
+      // partner only arrives here after waiting out its own exchange.
+      if (fault_aware) {
+        leader_comm = leader_comm.shrink(4 * config.comm_timeout);
+      }
+      outcome.history.push_back(RoundRecord{round, {stat}});
     }
 
     // Winner propagation within the trainer: the leader's current weights
     // become the trainer's weights.
     if (rpt > 1) {
-      LTFB_SPAN("ltfb/broadcast_winner");
-      std::vector<float> current =
-          leader ? snapshot(model, config.ltfb.scope) : std::vector<float>();
-      comm::Buffer payload =
-          leader ? comm::to_buffer(current) : comm::Buffer{};
-      trainer_comm.broadcast(0, payload);
-      if (!leader) {
-        const std::vector<float> weights = comm::floats_from_buffer(payload);
-        restore(model, weights, config.ltfb.scope);
+      try {
+        LTFB_SPAN("ltfb/broadcast_winner");
+        std::vector<float> current =
+            leader ? snapshot(model, config.ltfb.scope) : std::vector<float>();
+        comm::Buffer payload =
+            leader ? comm::to_buffer(current) : comm::Buffer{};
+        trainer_comm.broadcast(0, payload);
+        if (!leader) {
+          const std::vector<float> weights = comm::floats_from_buffer(payload);
+          restore(model, weights, config.ltfb.scope);
+        }
+      } catch (const RankFailedError&) {
+        if (!fault_aware) throw;
+        LTFB_COUNTER_ADD("ltfb/faults_detected", 1);
+        outcome.aborted = true;
+        return outcome;
       }
+    }
+
+    // Slot checkpoint: the leader's state is the trainer's state (replicas
+    // are identical after the winner broadcast), so one file per trainer
+    // suffices for a full-population restart.
+    if (leader && config.checkpoint_every > 0 &&
+        !config.checkpoint_dir.empty() &&
+        (round + 1) % config.checkpoint_every == 0) {
+      PopulationCheckpoint ckpt;
+      ckpt.round = round + 1;
+      ckpt.pairing_seed = config.ltfb.pairing_seed;
+      TrainerSlot slot;
+      slot.trainer = capture();
+      slot.tournaments_won = outcome.tournaments_won;
+      slot.adoptions = outcome.adoptions;
+      ckpt.trainers.push_back(std::move(slot));
+      ckpt.history = outcome.history;
+      save_population_checkpoint(
+          std::filesystem::path(config.checkpoint_dir) /
+              ("trainer_" + std::to_string(trainer_id) + ".pop"),
+          ckpt);
+      LTFB_COUNTER_ADD("ltfb/checkpoints_written", 1);
     }
   }
 

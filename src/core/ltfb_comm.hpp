@@ -9,7 +9,21 @@
 //
 // Every rank calls run_distributed_ltfb with the same configuration; the
 // function is collective over `world`.
+//
+// Fault tolerance (comm_timeout > 0): tournaments are survivor-aware.
+// When a partner's leader dies mid-exchange (RankFailedError) or stalls
+// past the deadline (TimeoutError), the survivor keeps its own model, the
+// round is recorded as degraded (stat.partner_failed), and the leader
+// communicator is shrunk ULFM-style so the next round pairs only live
+// trainers. A failure *inside* a trainer (gradient all-reduce or winner
+// broadcast hitting a dead rank) is unrecoverable for that trainer: its
+// surviving ranks return early with outcome.aborted set, and the rest of
+// the population routes around them. Injected faults (ltfb::comm::
+// FaultInjected) are never caught here — the killed rank unwinds.
 #pragma once
+
+#include <chrono>
+#include <string>
 
 #include "comm/communicator.hpp"
 #include "core/ltfb.hpp"
@@ -23,6 +37,21 @@ struct DistributedLtfbConfig {
   LtfbConfig ltfb;
   gan::CycleGanConfig model;
   std::uint64_t seed = 1;
+  /// Deadline for tournament exchanges and survivor agreement. Zero runs
+  /// the legacy lockstep protocol: no deadlines, no shrink, any failure
+  /// propagates (fail-stop) — appropriate when the substrate is trusted.
+  std::chrono::milliseconds comm_timeout{60'000};
+  /// When `checkpoint_every` > 0, each trainer's leader writes its slot to
+  /// `<checkpoint_dir>/trainer_<id>.pop` (population checkpoint v2, atomic)
+  /// after every K completed rounds.
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every = 0;
+  /// When non-empty, every rank of trainer T restores from
+  /// `<resume_from>/trainer_<T>.pop` before round `checkpoint.round`:
+  /// pretraining is skipped and training resumes bit-identically (trainer
+  /// state within a trainer is replicated, so the leader's file serves all
+  /// of its ranks).
+  std::string resume_from;
 };
 
 struct DistributedLtfbOutcome {
@@ -30,8 +59,11 @@ struct DistributedLtfbOutcome {
   int trainer_rank = 0;
   std::size_t tournaments_won = 0;  // times this trainer kept its own model
   std::size_t adoptions = 0;        // times it adopted the partner's model
+  std::size_t partner_failures = 0;  // rounds degraded by a dead partner
+  bool aborted = false;  // this trainer lost a rank and left the population
   double final_tournament_score = 0.0;
   double final_validation_loss = 0.0;  // forward+inverse on splits.validation
+  std::vector<RoundRecord> history;  // leader's view (one stat per round)
 };
 
 /// Collective over `world`; world size must be a multiple of

@@ -1,0 +1,176 @@
+#include "core/population_checkpoint.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "nn/checkpoint.hpp"
+#include "util/error.hpp"
+
+namespace ltfb::core {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'L', 'T', 'F', 'B',
+                                        'P', 'O', 'P', '2'};
+constexpr std::uint32_t kVersion = 2;
+
+// Sanity ceilings: any header field past these is a bit flip or garbage,
+// not a plausible population — reject before allocating.
+constexpr std::uint32_t kMaxTrainers = 1u << 16;
+constexpr std::uint32_t kMaxHistory = 1u << 24;
+constexpr std::uint64_t kMaxFloats = 1ull << 40;
+
+[[noreturn]] void throw_format(const std::filesystem::path& path,
+                               std::uint64_t offset, const std::string& what) {
+  std::ostringstream oss;
+  oss << what << " in " << path.string() << " at offset " << offset;
+  throw FormatError(oss.str());
+}
+
+void write_floats(nn::CheckpointFile& file, const std::vector<float>& values) {
+  file.write_pod(static_cast<std::uint64_t>(values.size()));
+  file.write(values.data(), values.size() * sizeof(float));
+}
+
+std::vector<float> read_floats(nn::CheckpointFile& file) {
+  const auto count = file.read_pod<std::uint64_t>();
+  if (count > kMaxFloats) {
+    throw_format(file.path(), file.offset() - sizeof(count),
+                 "implausible float array count (bit flip?)");
+  }
+  std::vector<float> values(count);
+  file.read(values.data(), values.size() * sizeof(float));
+  return values;
+}
+
+void write_body(nn::CheckpointFile& file,
+                const PopulationCheckpoint& checkpoint) {
+  file.write(kMagic.data(), kMagic.size());
+  file.write_pod(kVersion);
+  file.write_pod(checkpoint.round);
+  file.write_pod(checkpoint.pairing_seed);
+  file.write_pod(static_cast<std::uint32_t>(checkpoint.trainers.size()));
+  for (const TrainerSlot& slot : checkpoint.trainers) {
+    const GanTrainerState& t = slot.trainer;
+    file.write_pod(static_cast<std::int32_t>(t.trainer_id));
+    file.write_pod(t.learning_rate);
+    file.write_pod(t.steps);
+    file.write_pod(t.reader_epoch);
+    file.write_pod(t.reader_cursor);
+    file.write_pod(slot.tournaments_won);
+    file.write_pod(slot.adoptions);
+    write_floats(file, t.generator);
+    write_floats(file, t.discriminator);
+    write_floats(file, t.optimizer_state);
+  }
+  file.write_pod(static_cast<std::uint32_t>(checkpoint.history.size()));
+  for (const RoundRecord& record : checkpoint.history) {
+    file.write_pod(static_cast<std::uint64_t>(record.round));
+    file.write_pod(static_cast<std::uint32_t>(record.stats.size()));
+    for (const TrainerRoundStat& stat : record.stats) {
+      file.write_pod(static_cast<std::int32_t>(stat.trainer_id));
+      file.write_pod(static_cast<std::int32_t>(stat.partner_id));
+      file.write_pod(stat.own_score);
+      file.write_pod(stat.partner_score);
+      file.write_pod(static_cast<std::uint8_t>(stat.adopted_partner ? 1 : 0));
+      file.write_pod(static_cast<std::uint8_t>(stat.partner_failed ? 1 : 0));
+    }
+  }
+}
+
+}  // namespace
+
+void save_population_checkpoint(const std::filesystem::path& path,
+                                const PopulationCheckpoint& checkpoint) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  try {
+    nn::CheckpointFile file = nn::CheckpointFile::open_write(tmp);
+    write_body(file, checkpoint);
+    file.close();
+    std::filesystem::rename(tmp, path);
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw;
+  }
+}
+
+PopulationCheckpoint load_population_checkpoint(
+    const std::filesystem::path& path) {
+  nn::CheckpointFile file = nn::CheckpointFile::open_read(path);
+
+  std::array<char, 8> magic{};
+  file.read(magic.data(), magic.size());
+  if (magic != kMagic) {
+    throw_format(path, 0, "bad population checkpoint magic");
+  }
+  const auto version = file.read_pod<std::uint32_t>();
+  if (version != kVersion) {
+    throw_format(path, file.offset() - sizeof(version),
+                 "unsupported population checkpoint version");
+  }
+
+  PopulationCheckpoint checkpoint;
+  checkpoint.round = file.read_pod<std::uint64_t>();
+  checkpoint.pairing_seed = file.read_pod<std::uint64_t>();
+
+  const auto trainer_count = file.read_pod<std::uint32_t>();
+  if (trainer_count > kMaxTrainers) {
+    throw_format(path, file.offset() - sizeof(trainer_count),
+                 "implausible trainer count (bit flip?)");
+  }
+  checkpoint.trainers.reserve(trainer_count);
+  for (std::uint32_t i = 0; i < trainer_count; ++i) {
+    TrainerSlot slot;
+    GanTrainerState& t = slot.trainer;
+    t.trainer_id = file.read_pod<std::int32_t>();
+    t.learning_rate = file.read_pod<float>();
+    t.steps = file.read_pod<std::uint64_t>();
+    t.reader_epoch = file.read_pod<std::uint64_t>();
+    t.reader_cursor = file.read_pod<std::uint64_t>();
+    slot.tournaments_won = file.read_pod<std::uint64_t>();
+    slot.adoptions = file.read_pod<std::uint64_t>();
+    t.generator = read_floats(file);
+    t.discriminator = read_floats(file);
+    t.optimizer_state = read_floats(file);
+    checkpoint.trainers.push_back(std::move(slot));
+  }
+
+  const auto history_count = file.read_pod<std::uint32_t>();
+  if (history_count > kMaxHistory) {
+    throw_format(path, file.offset() - sizeof(history_count),
+                 "implausible history length (bit flip?)");
+  }
+  checkpoint.history.reserve(history_count);
+  for (std::uint32_t i = 0; i < history_count; ++i) {
+    RoundRecord record;
+    record.round = static_cast<std::size_t>(file.read_pod<std::uint64_t>());
+    const auto stat_count = file.read_pod<std::uint32_t>();
+    if (stat_count > kMaxTrainers) {
+      throw_format(path, file.offset() - sizeof(stat_count),
+                   "implausible round stat count (bit flip?)");
+    }
+    record.stats.reserve(stat_count);
+    for (std::uint32_t s = 0; s < stat_count; ++s) {
+      TrainerRoundStat stat;
+      stat.trainer_id = file.read_pod<std::int32_t>();
+      stat.partner_id = file.read_pod<std::int32_t>();
+      stat.own_score = file.read_pod<double>();
+      stat.partner_score = file.read_pod<double>();
+      stat.adopted_partner = file.read_pod<std::uint8_t>() != 0;
+      stat.partner_failed = file.read_pod<std::uint8_t>() != 0;
+      record.stats.push_back(stat);
+    }
+    checkpoint.history.push_back(std::move(record));
+  }
+
+  if (file.offset() != file.file_size()) {
+    std::ostringstream oss;
+    oss << "trailing bytes after population checkpoint body: parsed "
+        << file.offset() << " bytes, file has " << file.file_size();
+    throw_format(path, file.offset(), oss.str());
+  }
+  return checkpoint;
+}
+
+}  // namespace ltfb::core

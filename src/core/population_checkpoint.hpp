@@ -1,0 +1,68 @@
+// Population checkpoint/restart — checkpoint format v2.
+//
+// nn/checkpoint (v1) saves one flat weight vector; resuming an LTFB run
+// needs the whole population: per-trainer generator AND discriminator
+// weights, optimizer state (Adam moments — without them the restarted
+// trajectory diverges on the first step), learning rates (PBT mutates
+// them), reader positions, win/adoption counters, the round counter, the
+// pairing seed, and the recorded history. That is what LBANN's trainer
+// checkpointing preserves across job boundaries on Lassen, miniaturized.
+//
+// Binary layout (little-endian, floats/doubles as in memory):
+//
+//   magic "LTFBPOP2" | u32 version=2 | u64 round | u64 pairing_seed
+//   u32 trainer_count
+//   per trainer:
+//     i32 trainer_id | f32 learning_rate | u64 steps
+//     u64 reader_epoch | u64 reader_cursor
+//     u64 tournaments_won | u64 adoptions
+//     u64 n, f32[n] generator | u64 n, f32[n] discriminator
+//     u64 n, f32[n] optimizer_state
+//   u32 history_count
+//   per round record:
+//     u64 round | u32 stat_count
+//     per stat: i32 trainer | i32 partner | f64 own | f64 partner
+//               u8 adopted | u8 partner_failed
+//
+// Writes are atomic (temp file + rename); any load failure throws
+// ltfb::FormatError naming the path and byte offset. RoundRecord doubles
+// round-trip bit-identically (raw f64), which the restart test asserts.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "core/gan_trainer.hpp"
+#include "core/ltfb.hpp"
+
+namespace ltfb::core {
+
+/// One trainer's slot in a population checkpoint.
+struct TrainerSlot {
+  GanTrainerState trainer;
+  std::uint64_t tournaments_won = 0;
+  std::uint64_t adoptions = 0;
+};
+
+struct PopulationCheckpoint {
+  std::uint64_t round = 0;         // rounds completed when written
+  std::uint64_t pairing_seed = 0;  // pairing RNG state: seed + round is all
+                                   // there is (tournament_pairs is stateless)
+  std::vector<TrainerSlot> trainers;
+  std::vector<RoundRecord> history;
+};
+
+/// Writes atomically: the bytes land in `path` + ".tmp" and are renamed
+/// over `path` only after a successful flush+close, so a crash mid-write
+/// leaves the previous checkpoint intact. Throws ltfb::FormatError on any
+/// I/O failure (the temp file is removed).
+void save_population_checkpoint(const std::filesystem::path& path,
+                                const PopulationCheckpoint& checkpoint);
+
+/// Loads a v2 checkpoint; throws ltfb::FormatError with path and offset on
+/// corruption or truncation.
+PopulationCheckpoint load_population_checkpoint(
+    const std::filesystem::path& path);
+
+}  // namespace ltfb::core

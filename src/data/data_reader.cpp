@@ -67,6 +67,15 @@ void MiniBatchReader::start_epoch() {
   cursor_ = 0;
 }
 
+void MiniBatchReader::restore(std::size_t epoch, std::size_t cursor) {
+  LTFB_CHECK_MSG(cursor <= view_.size(),
+                 "reader cursor " << cursor << " out of range for view of "
+                                  << view_.size());
+  epoch_ = epoch;
+  start_epoch();  // re-derives this epoch's shuffled order from the seed
+  cursor_ = cursor;
+}
+
 Batch MiniBatchReader::next() {
   const std::size_t remaining = order_.size() - cursor_;
   const bool epoch_done =

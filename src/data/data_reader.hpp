@@ -43,6 +43,18 @@ class MiniBatchReader {
   std::size_t batches_per_epoch() const noexcept;
   std::size_t epoch() const noexcept { return epoch_; }
 
+  /// Position inside the current epoch's shuffled order. Together with
+  /// epoch() this is the reader's complete iteration state: shuffling is a
+  /// pure function of (seed, epoch), so restore(epoch, cursor) resumes the
+  /// exact sample sequence — the property population checkpoints rely on
+  /// for bit-identical restarts.
+  std::size_t cursor() const noexcept { return cursor_; }
+
+  /// Rewinds/fast-forwards to a state previously captured via
+  /// (epoch(), cursor()); throws ltfb::InvalidArgument on an out-of-range
+  /// cursor.
+  void restore(std::size_t epoch, std::size_t cursor);
+
   /// Next mini-batch; reshuffles and advances the epoch transparently when
   /// the current epoch is exhausted.
   Batch next();

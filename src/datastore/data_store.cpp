@@ -30,13 +30,16 @@ std::vector<data::SampleId> decode_ids(const comm::Buffer& buffer) {
 
 DataStore::DataStore(comm::Communicator comm, const BundleCatalog* catalog,
                      PopulateMode mode, std::size_t capacity_bytes_per_rank,
-                     std::vector<data::SampleId> universe)
+                     std::vector<data::SampleId> universe,
+                     std::chrono::milliseconds exchange_timeout)
     : comm_(std::move(comm)),
       catalog_(catalog),
       mode_(mode),
       capacity_bytes_(capacity_bytes_per_rank),
+      timeout_(exchange_timeout),
       universe_(std::move(universe)),
       universe_set_(universe_.begin(), universe_.end()) {
+  LTFB_CHECK_MSG(timeout_.count() > 0, "exchange timeout must be positive");
   LTFB_CHECK_MSG(catalog_ != nullptr, "data store requires a catalog");
   for (const data::SampleId id : universe_) {
     LTFB_CHECK_MSG(id < catalog_->total_samples(),
@@ -163,6 +166,20 @@ std::vector<data::Sample> DataStore::fetch_now(
                    "preloaded store used before preload()");
     return fetch_from_files(ids);
   }
+  try {
+    return fetch_via_exchange(ids);
+  } catch (const RankFailedError&) {
+    ++stats_.faults;
+    LTFB_COUNTER_ADD("datastore/faults", 1);
+  } catch (const TimeoutError&) {
+    ++stats_.faults;
+    LTFB_COUNTER_ADD("datastore/faults", 1);
+  }
+  // A peer died or stalled mid-exchange. Repair the directory around the
+  // survivors and retry exactly once; a second failure propagates to the
+  // caller (injected faults — FaultInjected — are never caught: the killed
+  // rank itself must unwind).
+  repair_directory();
   return fetch_via_exchange(ids);
 }
 
@@ -215,6 +232,85 @@ std::vector<data::Sample> DataStore::collect_fetch() {
   return std::move(prefetch_result_);
 }
 
+data::Sample DataStore::owned_sample(data::SampleId id) {
+  const auto it = cache_.find(id);
+  if (it != cache_.end()) {
+    ++stats_.local_hits;
+    LTFB_COUNTER_ADD("datastore/local_hits", 1);
+    return it->second;
+  }
+  // Disk-resident: adopted after a failure but over the memory budget, so
+  // every access is a fresh bundle-file read (degraded but correct).
+  LTFB_CHECK_MSG(disk_resident_.count(id) != 0,
+                 "directory claims rank owns sample " << id
+                                                      << " but cache misses");
+  ++stats_.file_reads;
+  LTFB_COUNTER_ADD("datastore/file_reads", 1);
+  return catalog_->read(id);
+}
+
+void DataStore::repair_directory() {
+  LTFB_SPAN("datastore/repair");
+  // Orphan re-adoption reads from bundle files; without a catalog the
+  // dead ranks' samples would be unrecoverable.
+  LTFB_CHECK_MSG(catalog_ != nullptr,
+                 "directory repair requires a bundle catalog");
+  // World identities of the current owners, before the communicator is
+  // replaced: directory values are comm ranks, which renumber on shrink.
+  std::vector<int> owner_world(static_cast<std::size_t>(comm_.size()));
+  for (int r = 0; r < comm_.size(); ++r) {
+    owner_world[static_cast<std::size_t>(r)] = comm_.world_rank_of(r);
+  }
+
+  // Survivor agreement. The shrink deadline is generous (stragglers may
+  // only notice the failure on their NEXT fetch and join late).
+  comm_ = comm_.shrink(4 * timeout_);
+
+  std::unordered_map<int, int> world_to_new;
+  for (int r = 0; r < comm_.size(); ++r) {
+    world_to_new.emplace(comm_.world_rank_of(r), r);
+  }
+  const auto ranks = static_cast<std::size_t>(comm_.size());
+
+  // Remap surviving owners; everything owned by a dead rank is orphaned.
+  std::vector<data::SampleId> orphans;
+  for (auto& [id, owner] : directory_) {
+    const auto it =
+        world_to_new.find(owner_world[static_cast<std::size_t>(owner)]);
+    if (it != world_to_new.end()) {
+      owner = it->second;
+    } else {
+      orphans.push_back(id);
+    }
+  }
+  std::sort(orphans.begin(), orphans.end());
+
+  // Deterministic re-adoption (every survivor computes the same mapping):
+  // orphans fall back to bundle-file re-reads by their new owner. Within
+  // the memory budget they are re-cached; past it they stay disk-resident
+  // and are served by per-access file reads.
+  for (const data::SampleId id : orphans) {
+    const int owner = static_cast<int>(id % ranks);
+    directory_[id] = owner;
+    if (owner != comm_.rank()) continue;
+    if (cache_.count(id) != 0 || disk_resident_.count(id) != 0) continue;
+    try {
+      data::Sample sample = catalog_->read(id);
+      ++stats_.file_reads;
+      LTFB_COUNTER_ADD("datastore/file_reads", 1);
+      insert_local(std::move(sample));
+    } catch (const CapacityError&) {
+      disk_resident_.insert(id);
+    }
+  }
+
+  // Fresh communicator, fresh tag space: restart the step sequence so a
+  // straggler's retry pairs with ours regardless of how many exchanges
+  // each survivor completed before noticing the failure.
+  step_seq_ = 0;
+  LTFB_COUNTER_ADD("datastore/repairs", 1);
+}
+
 std::vector<data::Sample> DataStore::fetch_via_exchange(
     const std::vector<data::SampleId>& ids) {
   LTFB_SPAN("datastore/exchange");
@@ -234,13 +330,7 @@ std::vector<data::Sample> DataStore::fetch_via_exchange(
                    "sample " << id << " missing from data store directory");
     const int owner = dir_it->second;
     if (owner == comm_.rank()) {
-      const auto it = cache_.find(id);
-      LTFB_CHECK_MSG(it != cache_.end(),
-                     "directory claims rank owns sample " << id
-                                                          << " but cache misses");
-      ++stats_.local_hits;
-      LTFB_COUNTER_ADD("datastore/local_hits", 1);
-      gathered.emplace(id, it->second);
+      gathered.emplace(id, owned_sample(id));
     } else {
       if (needs[static_cast<std::size_t>(owner)].empty()) {
         needs[static_cast<std::size_t>(owner)].reserve(8);
@@ -261,18 +351,16 @@ std::vector<data::Sample> DataStore::fetch_via_exchange(
       comm_.send(peer, req_tag,
                  encode_ids(needs[static_cast<std::size_t>(peer)]));
     }
-    // 2. Serve every peer's request from the local cache.
+    // 2. Serve every peer's request from the local cache (or, for disk-
+    // resident samples, from a fresh bundle-file read).
     for (int i = 0; i < ranks - 1; ++i) {
       int requester = -1;
       const comm::Buffer request =
-          comm_.recv(comm::kAnySource, req_tag, &requester);
+          comm_.recv(comm::kAnySource, req_tag, timeout_, &requester);
       std::vector<float> reply;
       for (const data::SampleId id : decode_ids(request)) {
-        const auto it = cache_.find(id);
-        LTFB_CHECK_MSG(it != cache_.end(),
-                       "rank asked to serve sample " << id
-                                                     << " it does not own");
-        const auto packed = data::pack_sample(it->second);
+        const data::Sample sample = owned_sample(id);
+        const auto packed = data::pack_sample(sample);
         reply.insert(reply.end(), packed.begin(), packed.end());
       }
       comm_.send(requester, rep_tag, std::span<const float>(reply));
@@ -280,7 +368,7 @@ std::vector<data::Sample> DataStore::fetch_via_exchange(
     // 3. Collect replies (every peer answers, possibly with nothing).
     const std::size_t packed_width = 2 + catalog_->schema().total_width();
     for (int i = 0; i < ranks - 1; ++i) {
-      const comm::Buffer raw = comm_.recv(comm::kAnySource, rep_tag);
+      const comm::Buffer raw = comm_.recv(comm::kAnySource, rep_tag, timeout_);
       const std::vector<float> flat = comm::floats_from_buffer(raw);
       LTFB_CHECK(flat.size() % packed_width == 0);
       stats_.bytes_exchanged += raw.size();

@@ -20,8 +20,16 @@
 // All fetch/preload/finish_epoch calls are collective over the trainer
 // communicator: every rank must participate each step (the request/reply
 // exchange expects one message from each peer).
+// Fault tolerance: exchange receives carry a deadline. When a peer dies
+// (RankFailedError) or stalls past it (TimeoutError) mid-fetch, the store
+// repairs its directory — the communicator shrinks around the corpse, the
+// dead rank's samples are re-adopted by survivors (id % survivors) via
+// bundle-file re-reads, and samples a survivor cannot adopt within its
+// memory budget stay disk-resident, served by fresh file reads — then the
+// fetch retries once on the repaired directory.
 #pragma once
 
+#include <chrono>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -40,6 +48,7 @@ struct DataStoreStats {
   std::size_t bytes_exchanged = 0;  // payload bytes moved between ranks
   std::size_t cached_samples = 0;
   std::size_t cached_bytes = 0;
+  std::size_t faults = 0;  // peer failures detected (and repaired) in fetch
 };
 
 class DataStore {
@@ -49,9 +58,13 @@ class DataStore {
   /// partition (empty = every catalog sample). Preload still reads whole
   /// files (that is the point of the mode) but only caches universe
   /// members, and directory completion only adopts universe members.
+  /// `exchange_timeout` bounds every receive of the fetch exchange; a peer
+  /// that exceeds it is treated as failed and the directory is repaired.
   DataStore(comm::Communicator comm, const BundleCatalog* catalog,
             PopulateMode mode, std::size_t capacity_bytes_per_rank = 0,
-            std::vector<data::SampleId> universe = {});
+            std::vector<data::SampleId> universe = {},
+            std::chrono::milliseconds exchange_timeout =
+                std::chrono::milliseconds(60'000));
 
   /// Joins any in-flight prefetch (its result is discarded).
   ~DataStore();
@@ -68,6 +81,13 @@ class DataStore {
 
   bool has_directory() const noexcept { return !directory_.empty(); }
   std::size_t owned_samples() const noexcept { return cache_.size(); }
+
+  /// Samples this rank owns in the directory but serves from bundle-file
+  /// reads because adopting them in memory would burst its budget (only
+  /// populated by post-failure repair).
+  std::size_t disk_resident_samples() const noexcept {
+    return disk_resident_.size();
+  }
 
   /// Preloaded mode only. Collective: reads this rank's files, then builds
   /// the ownership directory.
@@ -109,6 +129,13 @@ class DataStore {
       const std::vector<data::SampleId>& ids);
   std::vector<data::Sample> fetch_from_files(
       const std::vector<data::SampleId>& ids);
+  /// Post-failure recovery: shrinks the communicator around dead ranks,
+  /// remaps surviving owners, and re-adopts the dead ranks' samples from
+  /// bundle files (within capacity; the rest become disk-resident).
+  void repair_directory();
+  /// The local or serving copy of a sample this rank owns — from the cache,
+  /// or from a bundle-file read when the sample is disk-resident.
+  data::Sample owned_sample(data::SampleId id);
   /// Fails fast if called while a begin_fetch helper owns the communicator
   /// and the store's internal state.
   void check_no_fetch_in_flight(const char* what) const;
@@ -121,10 +148,12 @@ class DataStore {
   const BundleCatalog* catalog_;
   PopulateMode mode_;
   std::size_t capacity_bytes_;
+  std::chrono::milliseconds timeout_;
   std::vector<data::SampleId> universe_;
   std::unordered_set<data::SampleId> universe_set_;
   std::unordered_map<data::SampleId, data::Sample> cache_;
   std::unordered_map<data::SampleId, int> directory_;  // id -> owner rank
+  std::unordered_set<data::SampleId> disk_resident_;   // owned, not cached
   DataStoreStats stats_;
   int step_seq_ = 0;
 

@@ -258,6 +258,40 @@ std::size_t CycleGan::parameter_count() const noexcept {
   return generator_parameter_count() + discriminator_.parameter_count();
 }
 
+std::vector<float> CycleGan::optimizer_state() const {
+  // Each component's blob is length-prefixed: state size depends on how
+  // many steps each optimizer has taken, so it is not derivable from the
+  // architecture alone.
+  std::vector<float> flat;
+  for (const nn::Model* model :
+       {&encoder_, &decoder_, &forward_, &inverse_, &discriminator_}) {
+    const std::vector<float> part = model->flatten_optimizer_state();
+    LTFB_CHECK_MSG(part.size() < (1u << 24),
+                   "component optimizer state too large: " << part.size());
+    flat.push_back(static_cast<float>(part.size()));
+    flat.insert(flat.end(), part.begin(), part.end());
+  }
+  return flat;
+}
+
+void CycleGan::load_optimizer_state(std::span<const float> flat) {
+  std::size_t offset = 0;
+  for (nn::Model* model :
+       {&encoder_, &decoder_, &forward_, &inverse_, &discriminator_}) {
+    LTFB_CHECK_MSG(offset < flat.size(),
+                   "cyclegan optimizer state truncated at offset " << offset);
+    const auto count = static_cast<std::size_t>(flat[offset]);
+    ++offset;
+    LTFB_CHECK_MSG(offset + count <= flat.size(),
+                   "cyclegan optimizer state entry of "
+                       << count << " floats overruns buffer");
+    model->load_optimizer_state(flat.subspan(offset, count));
+    offset += count;
+  }
+  LTFB_CHECK_MSG(offset == flat.size(),
+                 "cyclegan optimizer state has trailing floats");
+}
+
 void CycleGan::set_learning_rate(float lr) {
   LTFB_CHECK_MSG(lr > 0.0f, "learning rate must be positive");
   config_.learning_rate = lr;

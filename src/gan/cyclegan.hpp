@@ -123,6 +123,13 @@ class CycleGan {
   std::vector<float> discriminator_weights() const;
   void load_discriminator_weights(std::span<const float> flat);
 
+  /// Accumulated optimizer state across all five component networks, in
+  /// component order (encoder, decoder, forward, inverse, discriminator).
+  /// Checkpointing weights without this state is NOT resume-identical:
+  /// Adam's moments restart from zero and training trajectories diverge.
+  std::vector<float> optimizer_state() const;
+  void load_optimizer_state(std::span<const float> flat);
+
   std::size_t parameter_count() const noexcept;
 
   /// Full-model checkpoint (generator bundle + discriminator) on disk.

@@ -1,7 +1,7 @@
 #include "nn/checkpoint.hpp"
 
 #include <array>
-#include <cstdio>
+#include <sstream>
 
 namespace ltfb::nn {
 
@@ -11,71 +11,138 @@ constexpr std::array<char, 8> kMagic = {'L', 'T', 'F', 'B',
                                         'C', 'K', 'P', 'T'};
 constexpr std::uint32_t kVersion = 1;
 
-void write_exact(std::FILE* file, const void* data, std::size_t bytes) {
-  if (std::fwrite(data, 1, bytes, file) != bytes) {
-    throw FormatError("checkpoint write failed");
-  }
+[[noreturn]] void throw_format(const std::filesystem::path& path,
+                               std::uint64_t offset, const std::string& what) {
+  std::ostringstream oss;
+  oss << what << " in " << path.string() << " at offset " << offset;
+  throw FormatError(oss.str());
 }
-
-void read_exact(std::FILE* file, void* data, std::size_t bytes) {
-  if (std::fread(data, 1, bytes, file) != bytes) {
-    throw FormatError("checkpoint read failed (truncated file?)");
-  }
-}
-
-struct FileCloser {
-  void operator()(std::FILE* file) const noexcept {
-    if (file != nullptr) std::fclose(file);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 }  // namespace
 
+CheckpointFile::CheckpointFile(std::FILE* file, std::filesystem::path path)
+    : file_(file), path_(std::move(path)) {}
+
+CheckpointFile CheckpointFile::open_read(const std::filesystem::path& path) {
+  std::FILE* file = std::fopen(path.string().c_str(), "rb");
+  if (file == nullptr) {
+    throw FormatError("cannot open checkpoint for reading: " + path.string());
+  }
+  return CheckpointFile(file, path);
+}
+
+CheckpointFile CheckpointFile::open_write(const std::filesystem::path& path) {
+  std::FILE* file = std::fopen(path.string().c_str(), "wb");
+  if (file == nullptr) {
+    throw FormatError("cannot open checkpoint for writing: " + path.string());
+  }
+  return CheckpointFile(file, path);
+}
+
+void CheckpointFile::read(void* data, std::size_t bytes) {
+  LTFB_CHECK_MSG(file_ != nullptr, "read on a closed checkpoint file");
+  if (bytes == 0) return;
+  if (std::fread(data, 1, bytes, file_.get()) != bytes) {
+    throw_format(path_, offset_,
+                 "checkpoint read failed (truncated or corrupt file)");
+  }
+  offset_ += bytes;
+}
+
+void CheckpointFile::write(const void* data, std::size_t bytes) {
+  LTFB_CHECK_MSG(file_ != nullptr, "write on a closed checkpoint file");
+  if (bytes == 0) return;
+  if (std::fwrite(data, 1, bytes, file_.get()) != bytes) {
+    throw_format(path_, offset_, "checkpoint write failed");
+  }
+  offset_ += bytes;
+}
+
+std::uintmax_t CheckpointFile::file_size() const {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path_, ec);
+  if (ec) {
+    throw FormatError("cannot stat checkpoint file: " + path_.string());
+  }
+  return size;
+}
+
+void CheckpointFile::close() {
+  LTFB_CHECK_MSG(file_ != nullptr, "double close of checkpoint file");
+  const bool flushed = std::fflush(file_.get()) == 0;
+  const bool closed = std::fclose(file_.release()) == 0;
+  if (!flushed || !closed) {
+    throw_format(path_, offset_, "checkpoint flush/close failed");
+  }
+}
+
 void save_weights(const std::filesystem::path& path, std::string_view name,
                   std::span<const float> weights) {
-  FilePtr file(std::fopen(path.string().c_str(), "wb"));
-  if (!file) {
-    throw FormatError("cannot open checkpoint for writing: " +
-                      path.string());
+  // Atomic save: write a temporary sibling, then rename over the target.
+  // rename() within one directory is atomic on POSIX, so readers see
+  // either the old complete file or the new complete file, never a torn
+  // intermediate.
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  try {
+    CheckpointFile file = CheckpointFile::open_write(tmp);
+    file.write(kMagic.data(), kMagic.size());
+    file.write_pod(kVersion);
+    const auto name_len = static_cast<std::uint32_t>(name.size());
+    file.write_pod(name_len);
+    file.write(name.data(), name.size());
+    const auto count = static_cast<std::uint64_t>(weights.size());
+    file.write_pod(count);
+    file.write(weights.data(), weights.size() * sizeof(float));
+    file.close();
+    std::filesystem::rename(tmp, path);
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw;
   }
-  write_exact(file.get(), kMagic.data(), kMagic.size());
-  write_exact(file.get(), &kVersion, sizeof(kVersion));
-  const auto name_len = static_cast<std::uint32_t>(name.size());
-  write_exact(file.get(), &name_len, sizeof(name_len));
-  write_exact(file.get(), name.data(), name.size());
-  const auto count = static_cast<std::uint64_t>(weights.size());
-  write_exact(file.get(), &count, sizeof(count));
-  write_exact(file.get(), weights.data(), weights.size() * sizeof(float));
 }
 
 std::vector<float> load_weights(const std::filesystem::path& path,
                                 std::string* name_out) {
-  FilePtr file(std::fopen(path.string().c_str(), "rb"));
-  if (!file) {
-    throw FormatError("cannot open checkpoint for reading: " +
-                      path.string());
-  }
+  CheckpointFile file = CheckpointFile::open_read(path);
+  const std::uintmax_t actual_size = file.file_size();
+
   std::array<char, 8> magic{};
-  read_exact(file.get(), magic.data(), magic.size());
+  file.read(magic.data(), magic.size());
   if (magic != kMagic) {
-    throw FormatError("bad checkpoint magic in " + path.string());
+    throw_format(path, 0, "bad checkpoint magic");
   }
-  std::uint32_t version = 0;
-  read_exact(file.get(), &version, sizeof(version));
+  const auto version = file.read_pod<std::uint32_t>();
   if (version != kVersion) {
-    throw FormatError("unsupported checkpoint version in " + path.string());
+    throw_format(path, file.offset() - sizeof(version),
+                 "unsupported checkpoint version");
   }
-  std::uint32_t name_len = 0;
-  read_exact(file.get(), &name_len, sizeof(name_len));
-  LTFB_CHECK_MSG(name_len < (1u << 16), "implausible checkpoint name length");
+  const auto name_len = file.read_pod<std::uint32_t>();
+  if (name_len >= (1u << 16)) {
+    throw_format(path, file.offset() - sizeof(name_len),
+                 "implausible checkpoint name length (bit flip?)");
+  }
   std::string name(name_len, '\0');
-  read_exact(file.get(), name.data(), name_len);
+  file.read(name.data(), name_len);
   if (name_out != nullptr) *name_out = std::move(name);
-  std::uint64_t count = 0;
-  read_exact(file.get(), &count, sizeof(count));
+  const auto count = file.read_pod<std::uint64_t>();
+  if (count > (1ull << 40)) {
+    throw_format(path, file.offset() - sizeof(count),
+                 "implausible checkpoint weight count (bit flip?)");
+  }
+  // Validate the total size against the header before allocating: a
+  // bit-flipped count or a truncated tail is caught here with an exact
+  // offset instead of a failed giant allocation or a short read later.
+  const std::uintmax_t expected_size =
+      file.offset() + count * sizeof(float);
+  if (actual_size != expected_size) {
+    std::ostringstream oss;
+    oss << "checkpoint size mismatch: header promises " << expected_size
+        << " bytes, file has " << actual_size;
+    throw_format(path, file.offset() - sizeof(count), oss.str());
+  }
   std::vector<float> weights(count);
-  read_exact(file.get(), weights.data(), weights.size() * sizeof(float));
+  file.read(weights.data(), weights.size() * sizeof(float));
   return weights;
 }
 

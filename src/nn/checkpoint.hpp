@@ -1,9 +1,18 @@
 // Weight checkpointing — LBANN checkpoints trainer state so long runs
 // survive job boundaries; here the unit is a flat weight vector with a
 // small self-describing header (magic, version, name, count).
+//
+// Corruption semantics: every load failure — unreadable file, bad magic,
+// implausible header field, or truncation — throws ltfb::FormatError naming
+// the offending path and byte offset, never a partial result. Saves are
+// atomic (temp file + rename), so a crash mid-write can never leave a
+// half-valid checkpoint at the target path.
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -12,11 +21,69 @@
 
 namespace ltfb::nn {
 
-/// Writes a named flat weight vector; throws FormatError on I/O failure.
+/// Checked binary file access shared by the checkpoint formats (weight
+/// checkpoints here, population checkpoints in core): every failed read or
+/// write throws ltfb::FormatError carrying the path and the byte offset at
+/// which the failure occurred, which is what turns "checkpoint read failed"
+/// into an actionable corruption report.
+class CheckpointFile {
+ public:
+  /// Opens for reading; throws FormatError when unreadable.
+  static CheckpointFile open_read(const std::filesystem::path& path);
+
+  /// Opens for writing (truncates); throws FormatError when uncreatable.
+  /// Callers implementing atomic saves should open a temporary sibling
+  /// path and rename it over the target after close() succeeds.
+  static CheckpointFile open_write(const std::filesystem::path& path);
+
+  void read(void* data, std::size_t bytes);
+  void write(const void* data, std::size_t bytes);
+
+  template <typename T>
+  T read_pod() {
+    T value{};
+    read(&value, sizeof(T));
+    return value;
+  }
+  template <typename T>
+  void write_pod(const T& value) {
+    write(&value, sizeof(T));
+  }
+
+  /// Bytes consumed/produced so far — the offset reported in errors.
+  std::uint64_t offset() const noexcept { return offset_; }
+
+  /// Total on-disk size (read mode) — lets loaders validate the expected
+  /// size up front and report truncation before parsing garbage.
+  std::uintmax_t file_size() const;
+
+  /// Flushes and closes; throws FormatError if the stream went bad (write
+  /// mode). Implicit close in the destructor swallows errors, so writers
+  /// must call this explicitly before renaming a temp file into place.
+  void close();
+
+  const std::filesystem::path& path() const noexcept { return path_; }
+
+ private:
+  CheckpointFile(std::FILE* file, std::filesystem::path path);
+  struct FileCloser {
+    void operator()(std::FILE* file) const noexcept {
+      if (file != nullptr) std::fclose(file);
+    }
+  };
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  std::filesystem::path path_;
+  std::uint64_t offset_ = 0;
+};
+
+/// Writes a named flat weight vector atomically (temp file + rename);
+/// throws FormatError on I/O failure.
 void save_weights(const std::filesystem::path& path, std::string_view name,
                   std::span<const float> weights);
 
-/// Reads a checkpoint; fills `name_out` when non-null.
+/// Reads a checkpoint; fills `name_out` when non-null. Throws FormatError
+/// (with path and offset) on any corruption: bad magic, bad version,
+/// implausible name length, or a file size that disagrees with the header.
 std::vector<float> load_weights(const std::filesystem::path& path,
                                 std::string* name_out = nullptr);
 

@@ -194,4 +194,46 @@ void Model::load_flat_gradients(std::span<const float> flat) {
   }
 }
 
+std::vector<float> Model::flatten_optimizer_state() const {
+  // Encoding: per weights object, [entry_count, state...]. Counts are
+  // exact as floats below 2^24 — far above any per-tensor state size here.
+  std::vector<float> flat;
+  for (const Weights* w : weight_ptrs_) {
+    const Optimizer* optimizer = w->optimizer();
+    const std::vector<float> state =
+        (optimizer != nullptr) ? optimizer->serialize_state()
+                               : std::vector<float>{};
+    LTFB_CHECK_MSG(state.size() < (1u << 24),
+                   "optimizer state too large to length-prefix: "
+                       << state.size());
+    flat.push_back(static_cast<float>(state.size()));
+    flat.insert(flat.end(), state.begin(), state.end());
+  }
+  return flat;
+}
+
+void Model::load_optimizer_state(std::span<const float> flat) {
+  std::size_t offset = 0;
+  for (Weights* w : weight_ptrs_) {
+    LTFB_CHECK_MSG(offset < flat.size(),
+                   "optimizer state underrun at offset " << offset);
+    const auto count = static_cast<std::size_t>(flat[offset]);
+    ++offset;
+    LTFB_CHECK_MSG(offset + count <= flat.size(),
+                   "optimizer state entry of " << count
+                                               << " floats overruns buffer");
+    Optimizer* optimizer = w->optimizer();
+    LTFB_CHECK_MSG(optimizer != nullptr || count == 0,
+                   "checkpoint has optimizer state for weights without an "
+                   "attached optimizer");
+    if (optimizer != nullptr) {
+      optimizer->deserialize_state(flat.subspan(offset, count));
+    }
+    offset += count;
+  }
+  LTFB_CHECK_MSG(offset == flat.size(),
+                 "optimizer state has " << flat.size() - offset
+                                        << " trailing floats");
+}
+
 }  // namespace ltfb::nn

@@ -99,6 +99,13 @@ class Model {
   std::vector<float> flatten_gradients() const;
   void load_flat_gradients(std::span<const float> flat);
 
+  /// Per-weights optimizer state, each entry length-prefixed so stateless
+  /// and not-yet-stepped optimizers round-trip as zero-length entries. The
+  /// checkpoint/restart companion of flatten_weights: both are needed for
+  /// a bit-identical resume.
+  std::vector<float> flatten_optimizer_state() const;
+  void load_optimizer_state(std::span<const float> flat);
+
   util::Rng& rng() noexcept { return rng_; }
 
  private:

@@ -46,6 +46,41 @@ void Adam::step(std::span<float> weights, std::span<const float> gradient) {
   }
 }
 
+void Optimizer::deserialize_state(std::span<const float> state) {
+  LTFB_CHECK_MSG(state.empty(),
+                 "optimizer '" << name() << "' carries no state but got "
+                               << state.size() << " floats");
+}
+
+std::vector<float> Adam::serialize_state() const {
+  if (t_ == 0) return {};
+  std::vector<float> state;
+  state.reserve(1 + m_.size() + v_.size());
+  state.push_back(static_cast<float>(t_));
+  state.insert(state.end(), m_.begin(), m_.end());
+  state.insert(state.end(), v_.begin(), v_.end());
+  return state;
+}
+
+void Adam::deserialize_state(std::span<const float> state) {
+  if (state.empty()) {
+    m_.clear();
+    v_.clear();
+    t_ = 0;
+    return;
+  }
+  LTFB_CHECK_MSG(state.size() % 2 == 1,
+                 "adam state must be [t, m..., v...], got " << state.size()
+                                                            << " floats");
+  const std::size_t count = (state.size() - 1) / 2;
+  t_ = static_cast<long>(state[0]);
+  LTFB_CHECK_MSG(t_ > 0, "adam state has non-positive step count " << t_);
+  m_.assign(state.begin() + 1,
+            state.begin() + 1 + static_cast<std::ptrdiff_t>(count));
+  v_.assign(state.begin() + 1 + static_cast<std::ptrdiff_t>(count),
+            state.end());
+}
+
 OptimizerFactory make_sgd_factory(float lr) {
   return [lr] { return std::make_unique<Sgd>(lr); };
 }

@@ -33,6 +33,18 @@ class Optimizer {
   /// Deep copy including hyperparameters but NOT accumulated state —
   /// used when stamping out per-weights instances from a prototype.
   virtual std::unique_ptr<Optimizer> clone_fresh() const = 0;
+
+  /// Accumulated state as a flat float vector (empty for stateless
+  /// optimizers). Together with deserialize_state this is what makes
+  /// checkpoint/restart bit-identical: restoring weights alone would reset
+  /// Adam's moments and momentum's velocity, changing every subsequent
+  /// update.
+  virtual std::vector<float> serialize_state() const { return {}; }
+
+  /// Restores state produced by serialize_state on an identically
+  /// configured optimizer; throws ltfb::InvalidArgument on a size or
+  /// encoding mismatch.
+  virtual void deserialize_state(std::span<const float> state);
 };
 
 using OptimizerFactory = std::function<std::unique_ptr<Optimizer>()>;
@@ -64,6 +76,10 @@ class Momentum final : public Optimizer {
   std::unique_ptr<Optimizer> clone_fresh() const override {
     return std::make_unique<Momentum>(lr_, momentum_);
   }
+  std::vector<float> serialize_state() const override { return velocity_; }
+  void deserialize_state(std::span<const float> state) override {
+    velocity_.assign(state.begin(), state.end());
+  }
 
  private:
   float lr_;
@@ -84,6 +100,9 @@ class Adam final : public Optimizer {
   std::unique_ptr<Optimizer> clone_fresh() const override {
     return std::make_unique<Adam>(lr_, beta1_, beta2_, epsilon_);
   }
+  /// Layout: [t, m..., v...]. t is exact as a float up to 2^24 steps.
+  std::vector<float> serialize_state() const override;
+  void deserialize_state(std::span<const float> state) override;
 
  private:
   float lr_, beta1_, beta2_, epsilon_;

@@ -35,6 +35,7 @@ class Weights {
     optimizer_ = std::move(optimizer);
   }
   Optimizer* optimizer() noexcept { return optimizer_.get(); }
+  const Optimizer* optimizer() const noexcept { return optimizer_.get(); }
 
   /// One optimizer update from the accumulated gradient. No-op without an
   /// attached optimizer (frozen weights).

@@ -38,6 +38,28 @@ class FormatError : public Error {
   explicit FormatError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when a communication operation with a deadline (recv/wait/
+/// sendrecv/shrink) does not complete in time. The operation is abandoned
+/// but the program state stays valid: a timed-out Request remains valid and
+/// re-waitable, and the message may still arrive later.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a peer named in a send/recv/collective is known to have
+/// failed (fault-injected kill or uncaught exception on its rank). Carries
+/// the failed peer's world rank when known (-1 otherwise).
+class RankFailedError : public Error {
+ public:
+  explicit RankFailedError(const std::string& what, int world_rank = -1)
+      : Error(what), world_rank_(world_rank) {}
+  int world_rank() const noexcept { return world_rank_; }
+
+ private:
+  int world_rank_ = -1;
+};
+
 namespace detail {
 [[noreturn]] void throw_check_failure(const char* expr, const char* file,
                                       int line, const std::string& msg);

@@ -105,4 +105,12 @@ void CsvWriter::add_row(const std::vector<std::string>& row) {
   out_ << '\n';
 }
 
+bool CsvWriter::close() {
+  if (!out_.is_open()) return false;
+  out_.flush();
+  const bool healthy = static_cast<bool>(out_);
+  out_.close();
+  return healthy && !out_.fail();
+}
+
 }  // namespace ltfb::util

@@ -53,6 +53,12 @@ class CsvWriter {
   void add_row(const std::vector<std::string>& row);
   bool ok() const { return static_cast<bool>(out_); }
 
+  /// Flushes and closes the underlying stream, reporting its final health.
+  /// Callers implementing atomic exports (write to a temp path, then
+  /// rename) must check this before renaming: a true return means every
+  /// row reached the OS.
+  bool close();
+
  private:
   std::ofstream out_;
   std::size_t arity_;

@@ -170,6 +170,26 @@ TEST(Request, DoubleWaitIsIdempotent) {
   });
 }
 
+TEST(Request, TimedOutWaitLeavesRequestReWaitable) {
+  World::run(2, [](Communicator& comm) {
+    if (comm.rank() == 1) {
+      Request request = comm.irecv(0, 4);
+      // Nothing sent yet: the deadline fires, but the request is neither
+      // consumed nor invalidated — a later wait can still complete it.
+      EXPECT_THROW(request.wait(std::chrono::milliseconds(50)), TimeoutError);
+      EXPECT_TRUE(request.valid());
+      EXPECT_FALSE(request.test());
+      comm.send(0, 8, std::vector<std::uint8_t>{});  // signal readiness
+      request.wait(std::chrono::milliseconds(5000));
+      EXPECT_TRUE(request.test());
+      EXPECT_EQ(comm.take_payload(request), (Buffer{7}));
+    } else {
+      (void)comm.recv(1, 8);
+      comm.send(1, 4, std::vector<std::uint8_t>{7});
+    }
+  });
+}
+
 TEST(Request, TakePayloadBeforeCompletionThrows) {
   World::run(1, [](Communicator& comm) {
     Request request = comm.irecv(0, 5);

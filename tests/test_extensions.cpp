@@ -297,18 +297,21 @@ TEST(Checkpoint, CycleGanRoundTrip) {
 TEST(HistoryExport, WritesOneRowPerDuelingTrainer) {
   std::vector<RoundRecord> history(2);
   history[0].round = 0;
-  history[0].stats = {{0, 1, 0.5, 0.4, true}, {1, 0, 0.4, 0.5, false}};
+  history[0].stats = {{0, 1, 0.5, 0.4, true, false},
+                      {1, 0, 0.4, 0.5, false, false}};
   history[1].round = 1;
-  history[1].stats = {{0, -1, 0.0, 0.0, false}};
+  history[1].stats = {{0, -1, 0.0, 0.0, false, false}};
   const std::string path =
       (std::filesystem::temp_directory_path() / "ltfb_history.csv").string();
   ASSERT_TRUE(export_history_csv(history, path));
   std::ifstream in(path);
   std::string line;
   std::getline(in, line);
-  EXPECT_EQ(line, "round,trainer,partner,own_score,partner_score,adopted");
+  EXPECT_EQ(
+      line,
+      "round,trainer,partner,own_score,partner_score,adopted,partner_failed");
   std::getline(in, line);
-  EXPECT_EQ(line, "0,0,1,0.500000,0.400000,1");
+  EXPECT_EQ(line, "0,0,1,0.500000,0.400000,1,0");
   int rows = 1;
   while (std::getline(in, line) && !line.empty()) ++rows;
   EXPECT_EQ(rows, 3);

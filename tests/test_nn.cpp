@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <mutex>
 
 #include "comm/communicator.hpp"
+#include "nn/checkpoint.hpp"
 #include "nn/initializer.hpp"
 #include "nn/loss.hpp"
 #include "nn/model.hpp"
@@ -560,6 +564,73 @@ TEST(Parallel, DataParallelMatchesSerialGradients) {
   ASSERT_EQ(parallel_result.size(), reference.size());
   for (std::size_t i = 0; i < reference.size(); ++i) {
     EXPECT_NEAR(parallel_result[i], reference[i], 1e-5f);
+  }
+}
+
+// ---- checkpoint corruption fuzz ----------------------------------------------------
+
+// Exhaustive single-byte corruption sweep over a weight checkpoint: every
+// possible flipped byte must either be rejected with FormatError (naming
+// the corrupt file) or load structurally intact — exactly the original
+// weight count, never a partial result, never an untyped error. Header
+// corruption (magic, version, lengths, count) must always be rejected;
+// payload flips are allowed through because the format carries no checksum,
+// but the size contract still holds.
+TEST(Checkpoint, SingleByteCorruptionFuzz) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "ltfb_ckpt_fuzz.bin";
+  std::vector<float> weights(32);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = static_cast<float>(i) * 0.25f - 3.0f;
+  }
+  nn::save_weights(path, "fuzz-target", weights);
+
+  std::vector<char> pristine;
+  {
+    std::ifstream in(path, std::ios::binary);
+    pristine.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(pristine.empty());
+  // Header = everything before the payload floats.
+  const std::size_t header_bytes =
+      pristine.size() - weights.size() * sizeof(float);
+
+  for (std::size_t off = 0; off < pristine.size(); ++off) {
+    std::vector<char> corrupt = pristine;
+    corrupt[off] = static_cast<char>(corrupt[off] ^ 0xff);
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+    }
+    try {
+      const std::vector<float> loaded = nn::load_weights(path);
+      EXPECT_EQ(loaded.size(), weights.size()) << "flipped byte " << off;
+      // Only name/payload bytes may survive a flip; the fixed header and
+      // the length fields must be integrity-checked.
+      const bool structural =
+          off < 12 ||                              // magic + version
+          (off >= 12 && off < 16) ||               // name length
+          (off >= header_bytes - 8 && off < header_bytes);  // weight count
+      EXPECT_FALSE(structural)
+          << "structural header byte " << off << " accepted after a flip";
+    } catch (const FormatError& ex) {
+      EXPECT_NE(std::string(ex.what()).find(path.string()), std::string::npos)
+          << "FormatError does not name the corrupt file: " << ex.what();
+    }
+  }
+
+  // Truncation at every prefix length must be rejected, never partially
+  // loaded.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{4}, std::size_t{11}, header_bytes - 1,
+        header_bytes, pristine.size() - sizeof(float), pristine.size() - 1}) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(pristine.data(), static_cast<std::streamsize>(keep));
+    }
+    EXPECT_THROW((void)nn::load_weights(path), FormatError)
+        << "truncated to " << keep << " bytes";
   }
 }
 

@@ -23,6 +23,14 @@ target, so `ctest` and CI exercise it on every build):
                     validate their arguments/state (LTFB_CHECK/LTFB_ASSERT
                     or an explicit throw) in their own body — the manifest
                     below names each one.
+  comm-deadline     consumer-side communication in src/core/ and
+                    src/datastore/ must be failure-aware: every .recv( /
+                    .sendrecv( / .wait( call must pass a deadline (an
+                    argument mentioning timeout/deadline/chrono). Naked
+                    blocking calls can hang forever when a peer dies; the
+                    fault-tolerance layer depends on every wait being
+                    bounded. src/comm/ itself (which implements both
+                    flavours) is exempt.
   telemetry         src/, bench/ and examples/ must not spell util::Stopwatch
                     or include util/stopwatch.hpp directly (the shim exists
                     only for source compatibility; new timing goes through
@@ -79,17 +87,23 @@ ENTRY_CHECK_MANIFEST = {
         ("Communicator::world_rank_of", "Communicator::world_rank_of"),
         ("Communicator::send", "Communicator::send"),
         ("Communicator::recv", "Communicator::recv"),
+        ("Communicator::sendrecv", "Communicator::sendrecv"),
         ("Communicator::take_payload", "Communicator::take_payload"),
         ("Communicator::broadcast", "Communicator::broadcast"),
         ("Communicator::reduce", "Communicator::reduce"),
         ("Communicator::gather", "Communicator::gather"),
         ("Communicator::scatter", "Communicator::scatter"),
         ("Communicator::split", "Communicator::split"),
+        ("Communicator::shrink", "Communicator::shrink"),
         ("Request::test", "Request::test"),
         ("Request::wait", "Request::wait"),
         ("World::World", "World::World"),
         ("World::communicator", "World::communicator"),
         ("floats_from_buffer", "floats_from_buffer"),
+    ],
+    "src/comm/fault.cpp": [
+        ("FaultSchedule::parse", "FaultSchedule::parse"),
+        ("FaultSchedule::random_kill", "FaultSchedule::random_kill"),
     ],
     "src/datastore/data_store.cpp": [
         ("DataStore::DataStore", "DataStore::DataStore"),
@@ -100,6 +114,11 @@ ENTRY_CHECK_MANIFEST = {
         ("DataStore::build_directory", "DataStore::build_directory"),
         ("DataStore::stats", "DataStore::stats"),
         ("DataStore::insert_local", "DataStore::insert_local"),
+        ("DataStore::repair_directory", "DataStore::repair_directory"),
+    ],
+    "src/core/population_checkpoint.cpp": [
+        ("save_population_checkpoint", "save_population_checkpoint"),
+        ("load_population_checkpoint", "load_population_checkpoint"),
     ],
     "src/core/ltfb_comm.cpp": [
         ("run_distributed_ltfb", "run_distributed_ltfb"),
@@ -144,7 +163,14 @@ METRIC_CALL = re.compile(
 
 VALIDATION_KEYWORDS = re.compile(
     r"\bLTFB_CHECK\b|\bLTFB_CHECK_MSG\b|\bLTFB_ASSERT\b|\bthrow\b"
-    r"|\bcheck_no_fetch_in_flight\b")
+    r"|\bthrow_format\b|\bcheck_no_fetch_in_flight\b")
+
+# Failure-aware consumers: communication layers above src/comm/ must bound
+# every blocking receive/wait with a deadline, or a dead peer hangs them
+# forever. The argument list must mention the deadline it passes.
+DEADLINE_CALL = re.compile(r"\.\s*(recv|sendrecv|wait)\s*\(")
+DEADLINE_DIRS = ("src/core/", "src/datastore/")
+DEADLINE_ARG = re.compile(r"timeout|deadline|chrono", re.IGNORECASE)
 
 # A body that is a single delegation statement — `{ other(args); }` or
 # `{ return other(args); }` — inherits the callee's validation.
@@ -389,6 +415,33 @@ def check_telemetry(rel: str, stripped: str, code_with_strings: str,
                 "convention ([a-z0-9_]+ segments joined by '/')"))
 
 
+def check_comm_deadlines(rel: str, stripped: str, findings):
+    if not rel.startswith(DEADLINE_DIRS):
+        return
+    for m in DEADLINE_CALL.finditer(stripped):
+        verb = m.group(1)
+        # Balanced-paren scan for the call's argument text.
+        i = m.end() - 1
+        depth = 0
+        n = len(stripped)
+        start = i
+        while i < n:
+            if stripped[i] == "(":
+                depth += 1
+            elif stripped[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        arg_text = stripped[start + 1:i]
+        if not DEADLINE_ARG.search(arg_text):
+            findings.append(Finding(
+                rel, line_of(stripped, m.start()), "comm-deadline",
+                f".{verb}() without a deadline argument: a dead peer hangs "
+                "this call forever — pass a timeout (the fault-tolerant "
+                "overload)"))
+
+
 def check_entry_points(rel: str, stripped: str, findings):
     manifest = ENTRY_CHECK_MANIFEST.get(rel)
     if not manifest:
@@ -439,6 +492,7 @@ def main() -> int:
         check_comm_tags(rel, stripped, findings)
         check_include_hygiene(root, rel, raw, code_with_strings, findings)
         check_telemetry(rel, stripped, code_with_strings, findings)
+        check_comm_deadlines(rel, stripped, findings)
         check_entry_points(rel, stripped, findings)
 
     if args.list:
