@@ -5,8 +5,10 @@
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
+#include <iostream>
 #include <numeric>
 
+#include "bench_telemetry.hpp"
 #include "comm/communicator.hpp"
 #include "data/data_reader.hpp"
 #include "data/dataset.hpp"
@@ -14,6 +16,7 @@
 #include "gan/cyclegan.hpp"
 #include "jag/jag_model.hpp"
 #include "tensor/gemm.hpp"
+#include "util/compute_pool.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -39,7 +42,31 @@ void BM_Gemm(benchmark::State& state) {
           1e9,
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// GEMM thread scaling at a fixed shape: pool size is pinned per run so the
+// numbers are comparable regardless of LTFB_COMPUTE_THREADS in the
+// environment.
+void BM_GemmPool(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  util::ComputePool::instance().resize(threads);
+  tensor::Tensor a(n, n), b(n, n), c(n, n);
+  fill_random(a, 1);
+  fill_random(b, 2);
+  for (auto _ : state) {
+    tensor::matmul(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      tensor::gemm_flops(n, n, n) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+  util::ComputePool::instance().resize(util::ComputePool::env_threads());
+}
+// Real time, not CPU time: the work runs on pool workers, so the calling
+// thread's CPU clock under-counts by ~the thread count.
+BENCHMARK(BM_GemmPool)->Args({512, 1})->Args({512, 4})->UseRealTime();
 
 void BM_GemmTransposed(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -163,6 +190,47 @@ void BM_DataStoreFetch(benchmark::State& state) {
 }
 BENCHMARK(BM_DataStoreFetch);
 
+// Explicit GEMM thread-scaling measurement for the regression gate
+// (tools/bench_check.py): GFLOP/s at 512^3 serial and with a 4-worker pool,
+// recorded as gauges in BENCH_micro_kernels.json. Separate from the
+// google-benchmark runs so the gate reads stable, purpose-named numbers.
+void record_gemm_scaling_gauges() {
+  constexpr std::size_t kN = 512;
+  constexpr int kIters = 3;
+  tensor::Tensor a(kN, kN), b(kN, kN), c(kN, kN);
+  fill_random(a, 1);
+  fill_random(b, 2);
+  const double flops = tensor::gemm_flops(kN, kN, kN);
+  auto measure = [&](std::size_t threads) {
+    util::ComputePool::instance().resize(threads);
+    tensor::matmul(a, b, c);  // warm-up (pack buffers, page faults)
+    const std::uint64_t start = telemetry::now_ns();
+    for (int i = 0; i < kIters; ++i) {
+      tensor::matmul(a, b, c);
+      benchmark::DoNotOptimize(c.raw());
+    }
+    const double seconds =
+        static_cast<double>(telemetry::now_ns() - start) * 1e-9;
+    return flops * kIters / seconds / 1e9;
+  };
+  const double serial = measure(1);
+  const double pool4 = measure(4);
+  util::ComputePool::instance().resize(util::ComputePool::env_threads());
+  LTFB_GAUGE_SET("bench/gemm_serial_gflops", serial);
+  LTFB_GAUGE_SET("bench/gemm_pool4_gflops", pool4);
+  LTFB_GAUGE_SET("bench/gemm_speedup_4t", pool4 / serial);
+  std::cout << "gemm 512^3: serial " << serial << " GFLOP/s, pool(4) "
+            << pool4 << " GFLOP/s, speedup " << pool4 / serial << "x\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::BenchTelemetry telemetry("micro_kernels");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  record_gemm_scaling_gauges();
+  return 0;
+}

@@ -83,6 +83,16 @@ class GanTrainer {
   /// ltfb::InvalidArgument on an id or shape mismatch.
   void restore_state(const GanTrainerState& state);
 
+  /// Data-parallel seams, forwarded onto the underlying CycleGAN: the sync
+  /// runs before each optimizer step group, the backward hook streams
+  /// per-layer gradients out during backprop (see gan::CycleGan).
+  void set_gradient_sync(gan::CycleGan::GradientSync sync) {
+    model_.set_gradient_sync(std::move(sync));
+  }
+  void set_backward_hook(gan::CycleGan::BackwardHook hook) {
+    model_.set_backward_hook(std::move(hook));
+  }
+
  private:
   int id_;
   gan::CycleGan model_;

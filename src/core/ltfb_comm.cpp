@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -85,13 +86,6 @@ DistributedLtfbOutcome run_distributed_ltfb(
   gan::CycleGan model(config.model,
                       util::derive_seed(config.seed, "model",
                                         static_cast<std::uint64_t>(trainer_id)));
-  if (rpt > 1) {
-    model.set_gradient_sync([&trainer_comm](const std::vector<nn::Model*>& ms) {
-      for (nn::Model* m : ms) {
-        nn::allreduce_gradients(*m, trainer_comm);
-      }
-    });
-  }
 
   // Every rank of a trainer draws the SAME global mini-batch (shared seed)
   // and trains on its own row shard — LBANN's data-parallel layout.
@@ -125,6 +119,21 @@ DistributedLtfbOutcome run_distributed_ltfb(
   const std::chrono::milliseconds exchange_deadline =
       fault_aware ? config.comm_timeout
                   : std::chrono::milliseconds(std::chrono::hours(24));
+
+  // Data-parallel gradient averaging across the trainer's ranks, overlapped
+  // with backward compute: each layer's gradients stream into the bucketer
+  // as its backward completes, and the optimizer-step sync only waits out
+  // whatever communication backprop could not hide.
+  std::optional<nn::GradientBucketer> bucketer;
+  if (rpt > 1) {
+    bucketer.emplace(trainer_comm);
+    model.set_backward_hook(
+        [&bucketer](nn::Weights& w) { bucketer->on_layer_backward(w); });
+    model.set_gradient_sync(
+        [&bucketer, exchange_deadline](const std::vector<nn::Model*>& ms) {
+          bucketer->finish(ms, exchange_deadline);
+        });
+  }
 
   std::uint64_t steps_taken = 0;
   auto capture = [&]() {
@@ -201,6 +210,13 @@ DistributedLtfbOutcome run_distributed_ltfb(
       // corpse). The trainer cannot continue data-parallel training; its
       // survivors leave the population and the other trainers route around
       // them. Legacy mode keeps fail-stop semantics and propagates.
+      if (!fault_aware) throw;
+      LTFB_COUNTER_ADD("ltfb/faults_detected", 1);
+      outcome.aborted = true;
+      return outcome;
+    } catch (const TimeoutError&) {
+      // Bucket all-reduce traffic lost (fault-injection drop schedules):
+      // the deadline fired instead of a failure notification. Same exit.
       if (!fault_aware) throw;
       LTFB_COUNTER_ADD("ltfb/faults_detected", 1);
       outcome.aborted = true;

@@ -67,9 +67,9 @@ double CycleGan::pretrain_autoencoder_step(const data::Batch& batch) {
   const double loss =
       nn::mae_loss(decoder_.output(decoder_out_), batch.outputs, &grad);
   decoder_.add_output_gradient(decoder_out_, grad);
-  decoder_.backward();
+  decoder_.backward(backward_hook_);
   encoder_.add_output_gradient(encoder_out_, decoder_.input_gradient(0));
-  encoder_.backward();
+  encoder_.backward(backward_hook_);
   if (sync_) sync_({&encoder_, &decoder_});
   encoder_.apply_optimizer_step();
   decoder_.apply_optimizer_step();
@@ -101,7 +101,9 @@ StepMetrics CycleGan::train_step(const data::Batch& batch) {
   d_loss +=
       nn::bce_with_logits(discriminator_.output(disc_out_), 0.0f, &d_grad);
   discriminator_.add_output_gradient(disc_out_, d_grad);
-  discriminator_.backward();
+  // Second, accumulating backward: only now are the critic's gradients
+  // final, so only this pass carries the overlap hook.
+  discriminator_.backward(backward_hook_);
   if (sync_) sync_({&discriminator_});
   discriminator_.apply_optimizer_step();
   metrics.discriminator_loss = 0.5 * d_loss;
@@ -151,10 +153,10 @@ StepMetrics CycleGan::train_step(const data::Batch& batch) {
       nn::mae_loss(inverse_.output(inverse_out_), batch.inputs, &cyc_grad);
   tensor::scale(config_.lambda_cycle, cyc_grad.data());
   inverse_.add_output_gradient(inverse_out_, cyc_grad);
-  inverse_.backward();
+  inverse_.backward(backward_hook_);
   forward_.add_output_gradient(forward_out_, inverse_.input_gradient(0));
 
-  forward_.backward();
+  forward_.backward(backward_hook_);
   if (sync_) sync_({&forward_, &inverse_});
   forward_.apply_optimizer_step();
   inverse_.apply_optimizer_step();

@@ -161,6 +161,18 @@ class CycleGan {
   using GradientSync = std::function<void(const std::vector<nn::Model*>&)>;
   void set_gradient_sync(GradientSync sync) { sync_ = std::move(sync); }
 
+  /// Comm/compute overlap seam: fires per weights object during the FINAL
+  /// backward pass of each model that the following GradientSync covers
+  /// (nn::Model::backward(hook) semantics), so a bucketed all-reduce can
+  /// start shipping a layer's gradients while earlier layers are still
+  /// differentiating. Backward passes whose gradients are discarded (the
+  /// generator phase's decoder/discriminator passes) and accumulating
+  /// first passes (the discriminator's real-batch pass) never see the hook.
+  using BackwardHook = nn::Model::BackwardHook;
+  void set_backward_hook(BackwardHook hook) {
+    backward_hook_ = std::move(hook);
+  }
+
  private:
   CycleGanConfig config_;
   nn::Model encoder_;
@@ -171,6 +183,7 @@ class CycleGan {
   nn::LayerId encoder_out_, decoder_out_, forward_out_, inverse_out_,
       disc_out_;
   GradientSync sync_;
+  BackwardHook backward_hook_;
 };
 
 }  // namespace ltfb::gan

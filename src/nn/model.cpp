@@ -121,7 +121,9 @@ void Model::add_output_gradient(LayerId id, const tensor::Tensor& grad) {
   }
 }
 
-void Model::backward() {
+void Model::backward() { backward(BackwardHook{}); }
+
+void Model::backward(const BackwardHook& hook) {
   std::vector<tensor::Tensor> grad_inputs;
   for (std::size_t i = layers_.size(); i-- > 0;) {
     Node& node = layers_[i];
@@ -129,6 +131,12 @@ void Model::backward() {
     const auto parents = parent_outputs(node);
     grad_inputs.clear();
     node.layer->backward(parents, node.grad_accumulator, grad_inputs);
+    if (hook) {
+      // This layer's weight gradients are final (only its own backward
+      // writes them): hand them to the overlap seam before computing the
+      // rest of the sweep.
+      for (Weights* w : node.layer->weights()) hook(*w);
+    }
     LTFB_CHECK(grad_inputs.size() == node.parents.size() ||
                node.parents.empty());
     for (std::size_t p = 0; p < node.parents.size(); ++p) {

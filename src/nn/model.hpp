@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -75,6 +76,17 @@ class Model {
 
   /// Reverse sweep from all registered output gradients.
   void backward();
+
+  /// Per-weights completion hook for comm/compute overlap: during the
+  /// reverse sweep, `hook` fires with each weights object as soon as its
+  /// owning layer's backward has produced the final local gradient —
+  /// reverse-layer order, while later (earlier-in-forward) layers are still
+  /// computing. The overlapped all-reduce (nn::GradientBucketer) hangs off
+  /// this seam. Only pass a hook on a model's FINAL backward call before
+  /// its gradients are consumed: a gradient-accumulating second backward
+  /// would fire the hook on partial sums.
+  using BackwardHook = std::function<void(Weights&)>;
+  void backward(const BackwardHook& hook);
 
   /// dL/d(input i) after backward() — how composed models (e.g. the
   /// CycleGAN's decoder feeding gradient back into the forward model)

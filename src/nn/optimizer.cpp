@@ -2,15 +2,31 @@
 
 #include <cmath>
 
+#include "util/compute_pool.hpp"
 #include "util/error.hpp"
 
 namespace ltfb::nn {
 
+namespace {
+
+// Update loops are pure elementwise kernels: run them on the process-wide
+// compute pool in fixed-size chunks (pool-size-invariant boundaries, so a
+// step is bit-identical at any LTFB_COMPUTE_THREADS). Matches the grain
+// used by tensor/ops.cpp.
+constexpr std::size_t kGrain = 1u << 15;
+
+}  // namespace
+
 void Sgd::step(std::span<float> weights, std::span<const float> gradient) {
   LTFB_CHECK(weights.size() == gradient.size());
-  for (std::size_t i = 0; i < weights.size(); ++i) {
-    weights[i] -= lr_ * gradient[i];
-  }
+  const float lr = lr_;
+  util::ComputePool::instance().parallel_ranges(
+      weights.size(), kGrain,
+      [weights, gradient, lr](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          weights[i] -= lr * gradient[i];
+        }
+      });
 }
 
 void Momentum::step(std::span<float> weights,
@@ -19,10 +35,18 @@ void Momentum::step(std::span<float> weights,
   if (velocity_.size() != weights.size()) {
     velocity_.assign(weights.size(), 0.0f);
   }
-  for (std::size_t i = 0; i < weights.size(); ++i) {
-    velocity_[i] = momentum_ * velocity_[i] - lr_ * gradient[i];
-    weights[i] += velocity_[i];
-  }
+  float* velocity = velocity_.data();
+  const float lr = lr_;
+  const float momentum = momentum_;
+  util::ComputePool::instance().parallel_ranges(
+      weights.size(), kGrain,
+      [weights, gradient, velocity, lr, momentum](std::size_t b,
+                                                  std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          velocity[i] = momentum * velocity[i] - lr * gradient[i];
+          weights[i] += velocity[i];
+        }
+      });
 }
 
 void Adam::step(std::span<float> weights, std::span<const float> gradient) {
@@ -38,12 +62,22 @@ void Adam::step(std::span<float> weights, std::span<const float> gradient) {
   const float bc2 =
       1.0f - std::pow(beta2_, static_cast<float>(t_));
   const float alpha = lr_ * std::sqrt(bc2) / bc1;
-  for (std::size_t i = 0; i < weights.size(); ++i) {
-    const float g = gradient[i];
-    m_[i] = beta1_ * m_[i] + (1.0f - beta1_) * g;
-    v_[i] = beta2_ * v_[i] + (1.0f - beta2_) * g * g;
-    weights[i] -= alpha * m_[i] / (std::sqrt(v_[i]) + epsilon_);
-  }
+  float* m = m_.data();
+  float* v = v_.data();
+  const float beta1 = beta1_;
+  const float beta2 = beta2_;
+  const float epsilon = epsilon_;
+  util::ComputePool::instance().parallel_ranges(
+      weights.size(), kGrain,
+      [weights, gradient, m, v, alpha, beta1, beta2,
+       epsilon](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const float g = gradient[i];
+          m[i] = beta1 * m[i] + (1.0f - beta1) * g;
+          v[i] = beta2 * v[i] + (1.0f - beta2) * g * g;
+          weights[i] -= alpha * m[i] / (std::sqrt(v[i]) + epsilon);
+        }
+      });
 }
 
 void Optimizer::deserialize_state(std::span<const float> state) {

@@ -2,10 +2,24 @@
 //
 // Within a trainer, LBANN distributes the samples of each mini-batch across
 // ranks and averages gradients with an all-reduce during back propagation.
-// This header provides that hook: flatten every gradient into one bucket,
-// ring-all-reduce it over the trainer communicator, scale by 1/ranks, and
-// scatter back — mirroring Aluminum's bucketed all-reduce.
+// Two flavours live here:
+//
+//   * allreduce_gradients — the simple blocking path: flatten every
+//     gradient into one bucket, ring-all-reduce it over the trainer
+//     communicator, scale by 1/ranks, scatter back.
+//   * GradientBucketer — the overlapped path (Aluminum's bucketed
+//     all-reduce): gradients stream into fixed-size buckets in
+//     reverse-layer order as each layer's backward completes (the
+//     Model::backward hook seam), every full bucket launches a
+//     NONBLOCKING ring all-reduce immediately, and the optimizer-step
+//     barrier only waits for whatever communication backprop failed to
+//     hide. The paper's throughput numbers rest on exactly this
+//     comm/compute overlap.
 #pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
 
 #include "comm/communicator.hpp"
 #include "nn/model.hpp"
@@ -20,8 +34,103 @@ void allreduce_gradients(Model& model, comm::Communicator& comm);
 /// post-tournament winner propagation within a trainer).
 void broadcast_weights(Model& model, comm::Communicator& comm, int root = 0);
 
-/// True when every rank's flattened weights are bit-identical — a
-/// consistency check used by tests and assertions after collective steps.
+/// True when every rank's flattened weights are bit-identical. O(1)
+/// traffic: each rank reduces a 64-bit FNV-1a hash of its weight bytes
+/// (shipped as four exactly-representable 16-bit float pieces) under Min
+/// and Max; identical weights ⇔ identical hashes up to the 2^-64 collision
+/// odds of FNV — a consistency check, not a cryptographic proof.
 bool weights_in_sync(Model& model, comm::Communicator& comm);
+
+/// Overlapped bucketed gradient all-reduce.
+///
+/// Usage (one instance per rank, over the trainer communicator):
+///
+///   GradientBucketer bucketer(comm);
+///   model.set_backward_hook([&](Weights& w) {
+///     bucketer.on_layer_backward(w); });
+///   model.set_gradient_sync([&](const std::vector<nn::Model*>& ms) {
+///     bucketer.finish(ms); });
+///
+/// Every rank must run a structurally identical model, so hooks fire in
+/// the same order everywhere and all ranks assemble identical bucket
+/// layouts (same sizes, same tags) — the collective correctness
+/// requirement. All calls must come from the rank's own thread (the
+/// communicator single-thread contract).
+///
+/// Fault behaviour: a peer dying mid-exchange surfaces as
+/// ltfb::RankFailedError from the next hook or from finish(); the deadline
+/// overload of finish() throws ltfb::TimeoutError instead of hanging when
+/// traffic is lost (fault-injection drop schedules).
+class GradientBucketer {
+ public:
+  /// `bucket_bytes` caps a bucket's payload; 0 selects
+  /// bucket_bytes_from_env(). A single weights tensor larger than the cap
+  /// gets its own oversized bucket (tensors are never split).
+  explicit GradientBucketer(comm::Communicator& comm,
+                            std::size_t bucket_bytes = 0);
+
+  GradientBucketer(const GradientBucketer&) = delete;
+  GradientBucketer& operator=(const GradientBucketer&) = delete;
+
+  /// LTFB_ALLREDUCE_BUCKET_BYTES, default 1 MiB.
+  static std::size_t bucket_bytes_from_env();
+
+  /// Backward-hook entry: packs `w`'s gradient, launches the bucket once
+  /// full, and pumps completion of earlier in-flight buckets.
+  void on_layer_backward(Weights& w);
+
+  /// Optimizer-step barrier: flushes the partial bucket, drives every
+  /// in-flight all-reduce to completion, and scatters the averaged
+  /// gradients back into the weights objects packed since the last finish.
+  /// `models` is the coverage contract — their summed parameter counts
+  /// must equal what the hooks packed (catches a missing/doubled hook).
+  void finish(const std::vector<Model*>& models);
+  void finish(const std::vector<Model*>& models,
+              std::chrono::milliseconds timeout);
+
+  /// Fraction of bucket all-reduce time hidden behind backward compute
+  /// since construction: 1 − (time blocked in finish) / (total bucket
+  /// in-flight time). 0 when nothing has been reduced yet.
+  double overlap_fraction() const noexcept;
+
+  std::size_t bucket_capacity_floats() const noexcept { return cap_floats_; }
+  std::uint64_t buckets_completed() const noexcept { return buckets_done_; }
+  std::uint64_t bytes_reduced() const noexcept { return bytes_reduced_; }
+
+ private:
+  struct Entry {
+    Weights* weights;
+    std::size_t offset;  // into Bucket::data
+  };
+
+  struct Bucket {
+    std::vector<float> data;
+    std::vector<Entry> entries;
+    int tag = 0;
+    int step = 0;  // protocol steps completed, in [0, 2*(p-1)]
+    std::vector<std::size_t> offsets;  // p+1 ring-chunk boundaries
+    comm::Request pending;
+    std::uint64_t launch_ns = 0;  // steady-clock, for overlap accounting
+    bool done = false;
+  };
+
+  void launch(Bucket& bucket);
+  void send_for_step(Bucket& bucket, int step);
+  bool apply_completed_step(Bucket& bucket);  // true once bucket is done
+  void pump();                                // nonblocking progress
+  void complete(Bucket& bucket);              // scale + scatter + stats
+
+  comm::Communicator& comm_;
+  std::size_t cap_floats_;
+  Bucket open_;                    // accumulating, not yet launched
+  std::vector<Bucket> in_flight_;  // launched, racing backward compute
+  std::size_t packed_floats_ = 0;  // since last finish (coverage check)
+  int bucket_seq_ = 0;             // tag source; same sequence on all ranks
+
+  std::uint64_t buckets_done_ = 0;
+  std::uint64_t bytes_reduced_ = 0;
+  std::uint64_t comm_window_ns_ = 0;  // Σ launch→done per bucket
+  std::uint64_t blocked_ns_ = 0;      // time spent waiting inside finish
+};
 
 }  // namespace ltfb::nn

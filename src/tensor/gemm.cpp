@@ -2,6 +2,16 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdint>
+
+#include "tensor/ops.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/compute_pool.hpp"
+
+// Restrict-qualified pointers let the compiler prove the packed A/B blocks
+// and the C tile never alias, which is what unlocks auto-vectorization of
+// the register-tile loops below.
+#define LTFB_GEMM_RESTRICT __restrict
 
 namespace ltfb::tensor {
 
@@ -28,36 +38,39 @@ Dims check_dims(Op op_a, Op op_b, const Tensor& a, const Tensor& b,
   return {m, n, ka};
 }
 
-// Packs op(A)'s (i0..i0+mb) x (k0..k0+kb) block row-major into `buf`.
-void pack_a(Op op, const Tensor& a, std::size_t i0, std::size_t mb,
-            std::size_t k0, std::size_t kb, float* buf) {
+// Packs op(A)'s (i0..i0+mb) x (k0..k0+kb) block row-major into `buf`,
+// folding alpha into the packed values (one multiply per element instead of
+// one per use in the kernel).
+void pack_a(Op op, const Tensor& a, float alpha, std::size_t i0,
+            std::size_t mb, std::size_t k0, std::size_t kb, float* buf) {
+  const std::size_t lda = a.cols();
   if (op == Op::None) {
-    const std::size_t lda = a.cols();
     for (std::size_t i = 0; i < mb; ++i) {
       const float* src = a.raw() + (i0 + i) * lda + k0;
       std::copy_n(src, kb, buf + i * kb);
     }
   } else {
-    const std::size_t lda = a.cols();
     for (std::size_t i = 0; i < mb; ++i) {
       for (std::size_t k = 0; k < kb; ++k) {
         buf[i * kb + k] = a.raw()[(k0 + k) * lda + (i0 + i)];
       }
     }
   }
+  if (alpha != 1.0f) {
+    for (std::size_t i = 0; i < mb * kb; ++i) buf[i] *= alpha;
+  }
 }
 
 // Packs op(B)'s (k0..k0+kb) x (j0..j0+nb) block row-major into `buf`.
 void pack_b(Op op, const Tensor& b, std::size_t k0, std::size_t kb,
             std::size_t j0, std::size_t nb, float* buf) {
+  const std::size_t ldb = b.cols();
   if (op == Op::None) {
-    const std::size_t ldb = b.cols();
     for (std::size_t k = 0; k < kb; ++k) {
       const float* src = b.raw() + (k0 + k) * ldb + j0;
       std::copy_n(src, nb, buf + k * nb);
     }
   } else {
-    const std::size_t ldb = b.cols();
     for (std::size_t k = 0; k < kb; ++k) {
       for (std::size_t j = 0; j < nb; ++j) {
         buf[k * nb + j] = b.raw()[(j0 + j) * ldb + (k0 + k)];
@@ -66,9 +79,74 @@ void pack_b(Op op, const Tensor& b, std::size_t k0, std::size_t kb,
   }
 }
 
+// Cache blocking: an A block (kBlockM x kBlockK) plus a B block
+// (kBlockK x kBlockN) stay resident in L2 while the register tiles sweep.
 constexpr std::size_t kBlockM = 64;
 constexpr std::size_t kBlockN = 128;
 constexpr std::size_t kBlockK = 128;
+
+// Register tile: 4 rows of A against 16 columns of B, accumulated in a
+// fixed-size local array the compiler keeps in vector registers.
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 16;
+
+// Below this many multiply-adds (2*m*n*k FLOPs / 2), dispatching to the
+// pool costs more than the kernel itself: run the block loop inline.
+constexpr std::size_t kParallelMnkThreshold = 1u << 18;
+
+// Per-worker pack buffers — hoisted out of the call frame so every pool
+// worker (and the calling thread on the serial path) reuses its own warm,
+// cache-aligned copy instead of re-touching fresh stack pages per call.
+alignas(64) thread_local std::array<float, kBlockM * kBlockK> tl_abuf;
+alignas(64) thread_local std::array<float, kBlockK * kBlockN> tl_bbuf;
+
+// Full 4x16 register tile with fixed trip counts on both accumulator
+// dimensions; `a` is the tile's rows in the packed A block (row stride kb),
+// `b` its columns in the packed B block (row stride nb).
+void micro_kernel_full(const float* LTFB_GEMM_RESTRICT a,
+                       const float* LTFB_GEMM_RESTRICT b, std::size_t kb,
+                       std::size_t nb, float* LTFB_GEMM_RESTRICT c,
+                       std::size_t ldc) {
+  float acc[kMr][kNr] = {};
+  for (std::size_t kk = 0; kk < kb; ++kk) {
+    const float* LTFB_GEMM_RESTRICT brow = b + kk * nb;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const float av = a[r * kb + kk];
+      for (std::size_t col = 0; col < kNr; ++col) {
+        acc[r][col] += av * brow[col];
+      }
+    }
+  }
+  for (std::size_t r = 0; r < kMr; ++r) {
+    for (std::size_t col = 0; col < kNr; ++col) {
+      c[r * ldc + col] += acc[r][col];
+    }
+  }
+}
+
+// Edge tile (mr <= kMr rows, nr <= kNr cols) — same accumulation order per
+// element as the full kernel, so every C element sums its k terms
+// identically no matter which tile shape covers it.
+void micro_kernel_edge(const float* LTFB_GEMM_RESTRICT a,
+                       const float* LTFB_GEMM_RESTRICT b, std::size_t kb,
+                       std::size_t nb, std::size_t mr, std::size_t nr,
+                       float* LTFB_GEMM_RESTRICT c, std::size_t ldc) {
+  float acc[kMr][kNr] = {};
+  for (std::size_t kk = 0; kk < kb; ++kk) {
+    const float* LTFB_GEMM_RESTRICT brow = b + kk * nb;
+    for (std::size_t r = 0; r < mr; ++r) {
+      const float av = a[r * kb + kk];
+      for (std::size_t col = 0; col < nr; ++col) {
+        acc[r][col] += av * brow[col];
+      }
+    }
+  }
+  for (std::size_t r = 0; r < mr; ++r) {
+    for (std::size_t col = 0; col < nr; ++col) {
+      c[r * ldc + col] += acc[r][col];
+    }
+  }
+}
 
 }  // namespace
 
@@ -76,39 +154,68 @@ void gemm(Op op_a, Op op_b, float alpha, const Tensor& a, const Tensor& b,
           float beta, Tensor& c) {
   const auto [m, n, k] = check_dims(op_a, op_b, a, b, c);
 
-  // Scale C by beta once up front.
+  const bool timed = telemetry::enabled();
+  const std::uint64_t start_ns = timed ? telemetry::now_ns() : 0;
+
+  // Scale C by beta once up front (through the shared elementwise layer,
+  // which is itself pool-parallel for large C).
   float* cp = c.raw();
   if (beta == 0.0f) {
     std::fill_n(cp, m * n, 0.0f);
   } else if (beta != 1.0f) {
-    for (std::size_t i = 0; i < m * n; ++i) cp[i] *= beta;
+    scale(beta, std::span<float>(cp, m * n));
   }
   if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
 
-  std::array<float, kBlockM * kBlockK> abuf;
-  std::array<float, kBlockK * kBlockN> bbuf;
+  const std::size_t i_blocks = (m + kBlockM - 1) / kBlockM;
+  const std::size_t j_blocks = (n + kBlockN - 1) / kBlockN;
 
-  for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
-    const std::size_t kb = std::min(kBlockK, k - k0);
-    for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
-      const std::size_t nb = std::min(kBlockN, n - j0);
-      pack_b(op_b, b, k0, kb, j0, nb, bbuf.data());
-      for (std::size_t i0 = 0; i0 < m; i0 += kBlockM) {
-        const std::size_t mb = std::min(kBlockM, m - i0);
-        pack_a(op_a, a, i0, mb, k0, kb, abuf.data());
-        // Micro-kernel: row-of-A times packed B, accumulating into C.
-        for (std::size_t i = 0; i < mb; ++i) {
-          float* crow = cp + (i0 + i) * n + j0;
-          const float* arow = abuf.data() + i * kb;
-          for (std::size_t kk = 0; kk < kb; ++kk) {
-            const float av = alpha * arow[kk];
-            const float* brow = bbuf.data() + kk * nb;
-            for (std::size_t j = 0; j < nb; ++j) {
-              crow[j] += av * brow[j];
-            }
+  // One task per C macro-block. The k0 loop runs sequentially INSIDE the
+  // task, so each C element accumulates its k terms in one fixed order —
+  // the deterministic block-to-accumulator mapping that makes output
+  // bit-identical across runs and pool sizes.
+  auto block_task = [&, m = m, n = n, k = k](std::size_t t) {
+    const std::size_t i0 = (t / j_blocks) * kBlockM;
+    const std::size_t j0 = (t % j_blocks) * kBlockN;
+    const std::size_t mb = std::min(kBlockM, m - i0);
+    const std::size_t nb = std::min(kBlockN, n - j0);
+    float* const abuf = tl_abuf.data();
+    float* const bbuf = tl_bbuf.data();
+    for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::size_t kb = std::min(kBlockK, k - k0);
+      pack_a(op_a, a, alpha, i0, mb, k0, kb, abuf);
+      pack_b(op_b, b, k0, kb, j0, nb, bbuf);
+      for (std::size_t i = 0; i < mb; i += kMr) {
+        const std::size_t mr = std::min(kMr, mb - i);
+        for (std::size_t j = 0; j < nb; j += kNr) {
+          const std::size_t nr = std::min(kNr, nb - j);
+          float* ctile = cp + (i0 + i) * n + (j0 + j);
+          if (mr == kMr && nr == kNr) {
+            micro_kernel_full(abuf + i * kb, bbuf + j, kb, nb, ctile, n);
+          } else {
+            micro_kernel_edge(abuf + i * kb, bbuf + j, kb, nb, mr, nr, ctile,
+                              n);
           }
         }
       }
+    }
+  };
+
+  const std::size_t tasks = i_blocks * j_blocks;
+  if (m * n * k < kParallelMnkThreshold || tasks == 1) {
+    // Small GEMM: skip pool dispatch entirely; identical per-task work.
+    for (std::size_t t = 0; t < tasks; ++t) block_task(t);
+  } else {
+    util::ComputePool::instance().run_tasks(tasks, block_task);
+  }
+
+  if (timed) {
+    const double seconds =
+        static_cast<double>(telemetry::now_ns() - start_ns) * 1e-9;
+    LTFB_TIMER_RECORD("tensor/gemm", seconds);
+    if (seconds > 0.0) {
+      LTFB_GAUGE_SET("tensor/gemm_gflops",
+                     gemm_flops(m, n, k) / seconds / 1e9);
     }
   }
 }

@@ -3,6 +3,12 @@
 // All binary ops require matching sizes (checked). Span overloads exist so
 // optimizers and communication code can operate on raw weight buffers
 // without constructing tensors.
+//
+// Inputs above one fixed grain run on the process-wide compute pool
+// (util/compute_pool.hpp); chunk boundaries depend only on the element
+// count, so every kernel — including the reductions, which combine
+// per-chunk partials in index order — returns bit-identical results at any
+// pool size.
 #pragma once
 
 #include <span>

@@ -1,0 +1,143 @@
+#include "util/compute_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ltfb::util {
+
+namespace {
+
+// Set for the lifetime of any compute task running on a pool worker, so
+// nested kernel calls execute inline instead of re-submitting (which would
+// deadlock a fully busy pool waiting on its own queue).
+thread_local bool tl_on_compute_worker = false;
+
+// Upper bound for LTFB_COMPUTE_THREADS; this is an in-process rank-thread
+// world, so a runaway value would oversubscribe every rank at once.
+constexpr std::size_t kMaxWorkers = 64;
+
+// Default sizing cap: enough to feed the GEMM macro-block fan-out without
+// starving the comm rank threads sharing the machine.
+constexpr std::size_t kDefaultWorkerCap = 16;
+
+}  // namespace
+
+ComputePool::ComputePool() {
+  // Pin the telemetry registry's construction BEFORE the worker pool's:
+  // Meyers singletons destruct in reverse construction order, and pool
+  // workers touch telemetry counters during drain-at-exit.
+  telemetry::Registry::instance();
+  resize(env_threads());
+}
+
+ComputePool::~ComputePool() = default;
+
+ComputePool& ComputePool::instance() {
+  static ComputePool pool;
+  return pool;
+}
+
+std::size_t ComputePool::size() const {
+  const std::scoped_lock lock(mutex_);
+  return workers_;
+}
+
+void ComputePool::resize(std::size_t workers) {
+  LTFB_CHECK_MSG(workers >= 1 && workers <= kMaxWorkers,
+                 "compute pool size must be in [1, " << kMaxWorkers
+                                                     << "], got " << workers);
+  std::shared_ptr<ThreadPool> retired;
+  {
+    const std::scoped_lock lock(mutex_);
+    if (workers == workers_ && (workers == 1) == (pool_ == nullptr)) return;
+    retired = std::move(pool_);  // joined below, outside the lock
+    pool_ = (workers > 1) ? std::make_shared<ThreadPool>(workers) : nullptr;
+    workers_ = workers;
+  }
+  retired.reset();
+}
+
+std::size_t ComputePool::env_threads() {
+  const char* env = std::getenv("LTFB_COMPUTE_THREADS");
+  if (env == nullptr || *env == '\0') {
+    const std::size_t hw = std::thread::hardware_concurrency();
+    return std::clamp<std::size_t>(hw, 1, kDefaultWorkerCap);
+  }
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(env, &end, 10);
+  LTFB_CHECK_MSG(end != env && *end == '\0' && parsed >= 1 &&
+                     parsed <= kMaxWorkers,
+                 "LTFB_COMPUTE_THREADS must be an integer in [1, "
+                     << kMaxWorkers << "], got '" << env << "'");
+  return static_cast<std::size_t>(parsed);
+}
+
+void ComputePool::run_tasks(std::size_t tasks,
+                            const std::function<void(std::size_t)>& fn) {
+  LTFB_CHECK_MSG(fn != nullptr, "ComputePool::run_tasks requires a callable");
+  if (tasks == 0) return;
+
+  std::shared_ptr<ThreadPool> pool;
+  std::size_t workers = 1;
+  {
+    const std::scoped_lock lock(mutex_);
+    pool = pool_;
+    workers = workers_;
+  }
+
+  if (pool == nullptr || workers <= 1 || tasks <= 1 || tl_on_compute_worker) {
+    for (std::size_t t = 0; t < tasks; ++t) fn(t);
+    return;
+  }
+
+  // Group tasks into at most workers*4 jobs: enough slack for load
+  // balancing, without a future allocation per tiny task. Grouping only
+  // affects scheduling — execution per index is identical to the serial
+  // loop above, which is what keeps results pool-size-invariant.
+  const std::size_t jobs = std::min(tasks, workers * 4);
+  std::vector<std::future<void>> futures;
+  futures.reserve(jobs);
+  for (std::size_t j = 0; j < jobs; ++j) {
+    const std::size_t begin = tasks * j / jobs;
+    const std::size_t end = tasks * (j + 1) / jobs;
+    futures.push_back(pool->submit([&fn, begin, end] {
+      tl_on_compute_worker = true;
+      for (std::size_t t = begin; t < end; ++t) fn(t);
+    }));
+  }
+  std::exception_ptr first;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+void ComputePool::parallel_ranges(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  LTFB_CHECK_MSG(grain > 0, "ComputePool::parallel_ranges requires grain > 0");
+  if (n == 0) return;
+  const std::size_t chunks = (n + grain - 1) / grain;
+  if (chunks == 1) {
+    fn(0, n);
+    return;
+  }
+  run_tasks(chunks, [n, grain, &fn](std::size_t chunk) {
+    const std::size_t begin = chunk * grain;
+    fn(begin, std::min(n, begin + grain));
+  });
+}
+
+}  // namespace ltfb::util

@@ -1,0 +1,74 @@
+// Process-wide compute thread pool for data-parallel kernels.
+//
+// The tensor kernels (gemm, the large elementwise ops) and the optimizer
+// update loops all share ONE lazily-initialized pool of workers — the
+// in-node analogue of LBANN spreading a trainer's math across cores while
+// the comm substrate spreads it across ranks. Sizing comes from the
+// LTFB_COMPUTE_THREADS environment variable (default: the hardware
+// concurrency, capped); size 1 is a true serial fallback that never touches
+// a worker thread.
+//
+// Determinism contract (load-bearing for LTFB's bit-identical resume and
+// the cross-rank weight-sync checks): callers partition their work into
+// tasks whose boundaries do NOT depend on the pool size, and every task
+// writes disjoint state. The pool only changes WHERE a task runs, never
+// what it computes or how results combine, so a kernel run at pool size 1,
+// 3, or 8 produces bit-identical output (tested in tests/test_tensor.cpp).
+//
+// Nested use: a task running on a pool worker that calls back into
+// run_tasks() executes inline on that worker (no re-submission), so kernels
+// may freely compose — e.g. gemm calling tensor::scale — without deadlock.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+namespace ltfb::util {
+
+class ThreadPool;
+
+class ComputePool {
+ public:
+  /// The process-wide pool, created on first use with env_threads() workers.
+  static ComputePool& instance();
+
+  ComputePool(const ComputePool&) = delete;
+  ComputePool& operator=(const ComputePool&) = delete;
+
+  /// Worker count (>= 1). Size 1 means every call runs inline.
+  std::size_t size() const;
+
+  /// Re-sizes the pool (tests and benches sweeping pool sizes). Callers
+  /// must be quiescent: no run_tasks() may be in flight on another thread.
+  void resize(std::size_t workers);
+
+  /// Runs fn(task_index) for every index in [0, tasks). Executes inline
+  /// when the pool is serial, the caller is already a pool worker, or there
+  /// is at most one task; otherwise tasks are distributed across workers.
+  /// Blocks until every task has completed; the first exception thrown by a
+  /// task is rethrown after all tasks finish. fn must write disjoint state
+  /// per index (see the determinism contract above).
+  void run_tasks(std::size_t tasks,
+                 const std::function<void(std::size_t)>& fn);
+
+  /// Chunked helper for elementwise kernels: splits [0, n) into
+  /// `grain`-sized ranges — boundaries depend only on n and grain, never on
+  /// the pool size — and runs fn(begin, end) for each.
+  void parallel_ranges(std::size_t n, std::size_t grain,
+                       const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// LTFB_COMPUTE_THREADS, or the clamped hardware concurrency when unset.
+  static std::size_t env_threads();
+
+ private:
+  ComputePool();
+  ~ComputePool();
+
+  mutable std::mutex mutex_;
+  std::shared_ptr<ThreadPool> pool_;  // null when serial (size 1)
+  std::size_t workers_ = 1;
+};
+
+}  // namespace ltfb::util

@@ -24,6 +24,8 @@
 #include "core/population.hpp"
 #include "core/population_checkpoint.hpp"
 #include "datastore/data_store.hpp"
+#include "nn/model.hpp"
+#include "nn/parallel.hpp"
 
 namespace {
 
@@ -278,6 +280,69 @@ TEST(FailureAwareComm, DelayedMessageIsDeliveredIntact) {
       const comm::Buffer buffer = comm.recv(0, 9, kTimeout);
       EXPECT_EQ(comm::floats_from_buffer(buffer),
                 std::vector<float>({7.0f}));
+    }
+  });
+  EXPECT_EQ(errors[0], nullptr);
+  EXPECT_EQ(errors[1], nullptr);
+}
+
+// ---- bucketed all-reduce under faults ------------------------------------------------
+
+// Small multi-layer model + tiny buckets: several concurrent ring
+// exchanges in flight, so an injected fault lands mid-protocol.
+void run_bucketed_sync(comm::Communicator& comm, milliseconds timeout) {
+  nn::Model model("m", 100);  // same seed -> same structure on every rank
+  const nn::LayerId in = model.add_input(6);
+  const nn::LayerId hidden = model.add_dense(in, 16, nn::ActivationKind::Relu);
+  model.add_linear(hidden, 4);
+  std::vector<float> grads(model.parameter_count(),
+                           static_cast<float>(comm.rank() + 1));
+  model.load_flat_gradients(grads);
+  nn::GradientBucketer bucketer(comm, /*bucket_bytes=*/128);
+  const auto weights = model.weights();
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    bucketer.on_layer_backward(*weights[i]);
+  }
+  bucketer.finish({&model}, timeout);
+}
+
+TEST(BucketerFault, RankKilledMidBucketSurfacesAsRankFailed) {
+  comm::World world(3);
+  // Op 4 lands inside the ring protocol (launching a bucket already costs
+  // ops 0-1): rank 1 dies with chunks of several buckets still in flight.
+  world.set_fault_schedule(FaultSchedule().kill(1, 4));
+  auto errors = world.run_ranks([&](comm::Communicator& comm) {
+    if (comm.rank() == 1) {
+      run_bucketed_sync(comm, kTimeout);  // killed mid-way by the schedule
+      ADD_FAILURE() << "rank 1 survived its scheduled kill";
+    } else {
+      // Survivors must fail fast (liveness detection, not deadline) and
+      // typed — never hang inside finish().
+      EXPECT_THROW(run_bucketed_sync(comm, kTimeout), RankFailedError);
+    }
+  });
+  EXPECT_EQ(errors[0], nullptr);
+  ASSERT_NE(errors[1], nullptr);
+  EXPECT_THROW(std::rethrow_exception(errors[1]), comm::FaultInjected);
+  EXPECT_EQ(errors[2], nullptr);
+}
+
+TEST(BucketerFault, DroppedBucketChunkHitsDeadlineNotAHang) {
+  comm::World world(2);
+  // Bucketer sends are user-level messages, so drop schedules apply: rank
+  // 0's third message (a mid-protocol chunk) vanishes and the ring can
+  // never complete. Both ranks must exit their finish() within the
+  // deadline — with TimeoutError, or RankFailedError when the partner's
+  // own timeout already made it depart. Returning at all is the no-hang
+  // assertion.
+  world.set_fault_schedule(FaultSchedule().drop(0, 2));
+  auto errors = world.run_ranks([&](comm::Communicator& comm) {
+    try {
+      run_bucketed_sync(comm, milliseconds(300));
+      ADD_FAILURE() << "rank " << comm.rank()
+                    << " completed despite the dropped chunk";
+    } catch (const TimeoutError&) {
+    } catch (const RankFailedError&) {
     }
   });
   EXPECT_EQ(errors[0], nullptr);

@@ -567,6 +567,155 @@ TEST(Parallel, DataParallelMatchesSerialGradients) {
   }
 }
 
+// ---- bucketed overlapped all-reduce ------------------------------------------------
+
+namespace bucketer_tests {
+
+Model build_layered_model(std::uint64_t seed) {
+  Model model("m", seed);
+  const LayerId in = model.add_input(6);
+  const LayerId h1 = model.add_dense(in, 16, ActivationKind::Relu);
+  const LayerId h2 = model.add_dense(h1, 12, ActivationKind::Tanh);
+  model.add_linear(h2, 4);
+  return model;
+}
+
+// Feeds every weights object of `model` to the bucketer in reverse-layer
+// order — exactly what Model::backward(hook) does — then finishes.
+void bucket_all(GradientBucketer& bucketer, Model& model) {
+  const auto weights = model.weights();
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    bucketer.on_layer_backward(*weights[i]);
+  }
+  bucketer.finish({&model});
+}
+
+}  // namespace bucketer_tests
+
+TEST(Parallel, BucketerAveragesAcrossRanks) {
+  using namespace bucketer_tests;
+  comm::World::run(4, [](comm::Communicator& comm) {
+    Model model = build_layered_model(100);
+    std::vector<float> grads(model.parameter_count(),
+                             static_cast<float>(comm.rank() + 1));
+    model.load_flat_gradients(grads);
+    // Tiny buckets: the model's several weights tensors spread over
+    // multiple concurrent ring exchanges.
+    GradientBucketer bucketer(comm, /*bucket_bytes=*/256);
+    bucket_all(bucketer, model);
+    EXPECT_GT(bucketer.buckets_completed(), 1u);
+    for (const float g : model.flatten_gradients()) {
+      EXPECT_FLOAT_EQ(g, 2.5f);  // mean of 1..4
+    }
+  });
+}
+
+TEST(Parallel, BucketerMatchesBlockingAllreduceAndSyncsReplicas) {
+  // Against the blocking flatten-everything path the bucketed result agrees
+  // only NUMERICALLY: an element's ring summation order depends on its
+  // chunk index, which differs between one flat buffer and per-bucket
+  // chunking, so last bits legitimately differ. What must hold exactly is
+  // cross-rank agreement — the all-gather hands every rank the same reduced
+  // bytes, so replicas stay BIT-identical to each other.
+  using namespace bucketer_tests;
+  comm::World::run(3, [](comm::Communicator& comm) {
+    Model reference = build_layered_model(100);
+    Model bucketed = build_layered_model(100);
+    util::Rng rng(500 + static_cast<std::uint64_t>(comm.rank()));
+    std::vector<float> grads(reference.parameter_count());
+    for (auto& g : grads) g = static_cast<float>(rng.uniform(-1.0, 1.0));
+    reference.load_flat_gradients(grads);
+    bucketed.load_flat_gradients(grads);
+
+    allreduce_gradients(reference, comm);
+    GradientBucketer bucketer(comm, /*bucket_bytes=*/512);
+    bucket_all(bucketer, bucketed);
+
+    const auto expect = reference.flatten_gradients();
+    const auto got = bucketed.flatten_gradients();
+    ASSERT_EQ(expect.size(), got.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      ASSERT_NEAR(expect[i], got[i], 1e-5f) << "element " << i;
+    }
+
+    // Bit-exact replica agreement: every rank's averaged gradients must be
+    // byte-identical, or data-parallel replicas drift apart.
+    const std::vector<float> everyone = comm.allgather(got);
+    for (std::size_t r = 0; r < static_cast<std::size_t>(comm.size()); ++r) {
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(everyone[r * got.size() + i], got[i])
+            << "rank " << r << " element " << i;
+      }
+    }
+  });
+}
+
+TEST(Parallel, BucketerViaBackwardHookMatchesAllreduce) {
+  // End-to-end through the real seam: Model::backward(hook) streams
+  // gradients into the bucketer during backprop.
+  using namespace bucketer_tests;
+  const Tensor x = random_batch(8, 6, 40);
+  const Tensor y = random_batch(8, 4, 41);
+  comm::World::run(2, [&](comm::Communicator& comm) {
+    Model reference = build_layered_model(100);
+    Model hooked = build_layered_model(100);
+    const LayerId out = 5;  // input, (fc, act) x2, linear
+
+    auto run_backward = [&](Model& model, const Model::BackwardHook& hook) {
+      model.forward({&x});
+      Tensor grad;
+      mse_loss(model.output(out), y, &grad);
+      model.zero_gradients();
+      model.add_output_gradient(out, grad);
+      model.backward(hook);
+    };
+
+    run_backward(reference, Model::BackwardHook{});
+    allreduce_gradients(reference, comm);
+
+    GradientBucketer bucketer(comm, /*bucket_bytes=*/256);
+    run_backward(hooked, [&bucketer](Weights& w) {
+      bucketer.on_layer_backward(w);
+    });
+    bucketer.finish({&hooked});
+
+    EXPECT_GE(bucketer.overlap_fraction(), 0.0);
+    EXPECT_LE(bucketer.overlap_fraction(), 1.0);
+    const auto expect = reference.flatten_gradients();
+    const auto got = hooked.flatten_gradients();
+    ASSERT_EQ(expect.size(), got.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      ASSERT_NEAR(expect[i], got[i], 1e-5f) << "element " << i;
+    }
+  });
+}
+
+TEST(Parallel, BucketerCoverageMismatchThrows) {
+  // finish() must reject a sync whose hooks never packed the model's
+  // gradients (a missing backward hook would silently skip averaging).
+  using namespace bucketer_tests;
+  comm::World::run(2, [](comm::Communicator& comm) {
+    Model model = build_layered_model(100);
+    GradientBucketer bucketer(comm);
+    EXPECT_THROW(bucketer.finish({&model}), InvalidArgument);
+  });
+}
+
+TEST(Parallel, BucketerSingleRankIsNoOp) {
+  using namespace bucketer_tests;
+  comm::World::run(1, [](comm::Communicator& comm) {
+    Model model = build_layered_model(100);
+    std::vector<float> grads(model.parameter_count(), 3.0f);
+    model.load_flat_gradients(grads);
+    GradientBucketer bucketer(comm);
+    bucket_all(bucketer, model);
+    EXPECT_EQ(bucketer.buckets_completed(), 0u);
+    for (const float g : model.flatten_gradients()) {
+      EXPECT_FLOAT_EQ(g, 3.0f);
+    }
+  });
+}
+
 // ---- checkpoint corruption fuzz ----------------------------------------------------
 
 // Exhaustive single-byte corruption sweep over a weight checkpoint: every

@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <tuple>
+#include <vector>
 
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
+#include "util/compute_pool.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -131,6 +133,102 @@ INSTANTIATE_TEST_SUITE_P(
         GemmCase{33, 17, 250, Op::None, Op::Transpose, 0.5f, -1.0f},
         GemmCase{5, 5, 5, Op::None, Op::None, 2.0f, 3.0f},
         GemmCase{5, 5, 5, Op::None, Op::None, 0.0f, 2.0f}));
+
+// Restores the process-wide compute pool to its environment-selected size
+// on scope exit, so pool-sweep tests cannot leak a size into later tests.
+class ScopedPoolSize {
+ public:
+  explicit ScopedPoolSize(std::size_t workers) {
+    util::ComputePool::instance().resize(workers);
+  }
+  ~ScopedPoolSize() {
+    util::ComputePool::instance().resize(util::ComputePool::env_threads());
+  }
+};
+
+// Exhaustive conformance sweep: odd shapes (unit, primes, sub-tile,
+// straddling the 64x128 macro-block boundary) x all four transpose
+// combinations x pool sizes {1, 3, 8}. Every configuration must match the
+// naive triple-loop reference — the threaded register-tiled kernel earns
+// its speed only if it is indistinguishable from the textbook product.
+TEST(GemmPoolSweep, MatchesReferenceAcrossShapesOpsAndPoolSizes) {
+  const std::tuple<std::size_t, std::size_t, std::size_t> shapes[] = {
+      {1, 1, 1},   {1, 17, 3},  {3, 1, 7},    {5, 5, 5},
+      {13, 29, 31}, {63, 127, 129}, {65, 129, 131}, {128, 128, 64}};
+  const std::pair<Op, Op> ops[] = {{Op::None, Op::None},
+                                   {Op::Transpose, Op::None},
+                                   {Op::None, Op::Transpose},
+                                   {Op::Transpose, Op::Transpose}};
+  for (const std::size_t workers : {1u, 3u, 8u}) {
+    ScopedPoolSize pool(workers);
+    for (const auto& [m, n, k] : shapes) {
+      for (const auto& [op_a, op_b] : ops) {
+        Tensor a(op_a == Op::None ? Shape{m, k} : Shape{k, m});
+        Tensor b(op_b == Op::None ? Shape{k, n} : Shape{n, k});
+        Tensor c(m, n), c_ref(m, n);
+        fill_random(a, m * 31 + n);
+        fill_random(b, n * 37 + k);
+        fill_random(c, k * 41 + m);
+        std::copy(c.data().begin(), c.data().end(), c_ref.data().begin());
+        gemm(op_a, op_b, 0.75f, a, b, 0.5f, c);
+        gemm_reference(op_a, op_b, 0.75f, a, b, 0.5f, c_ref);
+        for (std::size_t i = 0; i < c.size(); ++i) {
+          ASSERT_NEAR(c[i], c_ref[i], 1e-3f)
+              << "workers=" << workers << " m=" << m << " n=" << n
+              << " k=" << k << " element " << i;
+        }
+      }
+    }
+  }
+}
+
+// Determinism contract (DESIGN.md): one task per C macro-block with the
+// k-panel loop sequential inside it, so the floating-point summation order
+// per element is fixed. Threaded runs must be BIT-identical to the serial
+// run and to each other, at any pool size — data-parallel replicas rely on
+// this to stay weight-synchronized without re-broadcasts.
+TEST(GemmPoolSweep, BitIdenticalAcrossRunsAndPoolSizes) {
+  constexpr std::size_t kM = 150, kN = 170, kK = 260;  // several blocks, edges
+  Tensor a(kM, kK), b(kK, kN);
+  fill_random(a, 11);
+  fill_random(b, 12);
+
+  Tensor serial(kM, kN);
+  {
+    ScopedPoolSize pool(1);
+    matmul(a, b, serial);
+  }
+  for (const std::size_t workers : {3u, 8u}) {
+    ScopedPoolSize pool(workers);
+    for (int run = 0; run < 3; ++run) {
+      Tensor c(kM, kN);
+      matmul(a, b, c);
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        ASSERT_EQ(c[i], serial[i])
+            << "workers=" << workers << " run=" << run << " element " << i;
+      }
+    }
+  }
+}
+
+// The pool-parallel reductions in ops.cpp combine fixed-grain partials in
+// index order: sums must also be bit-stable across pool sizes.
+TEST(OpsPoolSweep, ReductionsBitIdenticalAcrossPoolSizes) {
+  std::vector<float> values(100000);
+  util::Rng rng(21);
+  for (auto& v : values) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  ScopedPoolSize serial(1);
+  const double sum1 = sum(values);
+  const double sq1 = squared_norm(values);
+  const float max1 = max_abs(values);
+  for (const std::size_t workers : {3u, 8u}) {
+    ScopedPoolSize pool(workers);
+    EXPECT_EQ(sum(values), sum1) << "workers=" << workers;
+    EXPECT_EQ(squared_norm(values), sq1) << "workers=" << workers;
+    EXPECT_EQ(max_abs(values), max1) << "workers=" << workers;
+  }
+}
 
 TEST(Gemm, InnerDimensionMismatchThrows) {
   Tensor a(2, 3), b(4, 5), c(2, 5);

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a BENCH_<name>.json metrics dump against
+the checked-in floor in bench/baseline.json.
+
+Usage:
+    tools/bench_check.py BENCH_micro_kernels.json [--baseline bench/baseline.json]
+
+baseline.json maps gauge names to entries:
+
+    {
+      "bench/gemm_serial_gflops": {"min": 8.0,
+                                   "note": "512^3 serial, 1-core CI box"}
+    }
+
+A gauge regresses when its measured value drops below `min`. The floors are
+set ~20% under a healthy measurement so ordinary CI jitter passes but a real
+kernel regression (a de-tiled GEMM, an accidentally serial hot loop) fails
+the job. Gauges present in the dump but absent from the baseline are
+informational only; gauges in the baseline but missing from the dump are an
+error (the bench stopped measuring them).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics", type=pathlib.Path,
+                        help="BENCH_<name>.json written by a bench binary")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=pathlib.Path("bench/baseline.json"))
+    args = parser.parse_args()
+
+    metrics = json.loads(args.metrics.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    gauges = metrics.get("gauges", {})
+
+    failures = []
+    for name, floor in sorted(baseline.items()):
+        if name not in gauges:
+            failures.append(f"{name}: missing from {args.metrics}")
+            continue
+        value = gauges[name]["value"]
+        minimum = floor["min"]
+        status = "ok" if value >= minimum else "REGRESSED"
+        note = floor.get("note", "")
+        print(f"{name}: {value:.3f} (floor {minimum:.3f}) {status}"
+              f"{'  # ' + note if note else ''}")
+        if value < minimum:
+            failures.append(f"{name}: {value:.3f} < floor {minimum:.3f}")
+
+    if failures:
+        print("\nbench regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nbench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,10 @@ target, so `ctest` and CI exercise it on every build):
                     fault-tolerance layer depends on every wait being
                     bounded. src/comm/ itself (which implements both
                     flavours) is exempt.
+  matmul-nest       raw triple-nested multiply-accumulate loops are banned
+                    outside src/tensor/: hand-rolled GEMMs silently bypass
+                    the register-tiled, pool-threaded, conformance-tested
+                    kernel (tensor::gemm/matmul) and its telemetry.
   telemetry         src/, bench/ and examples/ must not spell util::Stopwatch
                     or include util/stopwatch.hpp directly (the shim exists
                     only for source compatibility; new timing goes through
@@ -125,6 +129,22 @@ ENTRY_CHECK_MANIFEST = {
     ],
     "src/util/thread_pool.hpp": [
         ("ThreadPool::submit", "submit"),
+    ],
+    "src/util/compute_pool.cpp": [
+        ("ComputePool::resize", "ComputePool::resize"),
+        ("ComputePool::run_tasks", "ComputePool::run_tasks"),
+        ("ComputePool::parallel_ranges", "ComputePool::parallel_ranges"),
+        ("ComputePool::env_threads", "ComputePool::env_threads"),
+    ],
+    "src/nn/parallel.cpp": [
+        ("GradientBucketer::GradientBucketer",
+         "GradientBucketer::GradientBucketer"),
+        ("GradientBucketer::bucket_bytes_from_env",
+         "GradientBucketer::bucket_bytes_from_env"),
+        ("GradientBucketer::launch", "GradientBucketer::launch"),
+        ("GradientBucketer::apply_completed_step",
+         "GradientBucketer::apply_completed_step"),
+        ("GradientBucketer::finish", "GradientBucketer::finish"),
     ],
     "src/tensor/tensor.hpp": [
         ("Tensor::at", "at"),
@@ -442,6 +462,88 @@ def check_comm_deadlines(rel: str, stripped: str, findings):
                 "overload)"))
 
 
+# A hand-rolled GEMM: the innermost of >= 3 nested for loops accumulating a
+# product of two INDEXED operands (`a[..] * b[..]` or `a.at(..) * b.at(..)`).
+# Requiring indexed-times-indexed keeps scalar accumulations (distance sums,
+# dot products over fixed-size points) out of scope. Only src/tensor/ may
+# contain one (the tiled kernel and its naive conformance reference).
+FOR_LOOP = re.compile(r"\bfor\s*\(")
+MAC_STATEMENT = re.compile(
+    r"\+=[^;{}]*(?:\]\s*\*\s*[\w.>:-]*\[|\)\s*\*\s*[\w.>:-]*\()")
+
+
+def _for_loop_extents(stripped: str):
+    """Yields (for_offset, body_start, body_end) for every for loop. The
+    body of a braced loop is its block; an unbraced loop's body runs to the
+    statement-terminating ';' (so `for(..) for(..) for(..) s;` nests)."""
+    n = len(stripped)
+    for m in FOR_LOOP.finditer(stripped):
+        i = m.end() - 1
+        depth = 0
+        while i < n:
+            if stripped[i] == "(":
+                depth += 1
+            elif stripped[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        if i >= n:
+            continue
+        j = i + 1
+        while j < n and stripped[j].isspace():
+            j += 1
+        if j >= n:
+            continue
+        if stripped[j] == "{":
+            k = j
+            depth = 0
+            while k < n:
+                if stripped[k] == "{":
+                    depth += 1
+                elif stripped[k] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k += 1
+            yield m.start(), j, min(k + 1, n)
+        else:
+            k = j
+            depth = 0
+            while k < n:
+                c = stripped[k]
+                if c in "({":
+                    depth += 1
+                elif c in ")}":
+                    depth -= 1
+                elif c == ";" and depth <= 0:
+                    break
+                k += 1
+            yield m.start(), j, min(k + 1, n)
+
+
+def check_matmul_nest(rel: str, stripped: str, findings):
+    if not rel.startswith("src/") or rel.startswith("src/tensor/"):
+        return
+    extents = list(_for_loop_extents(stripped))
+    for start, body_start, body_end in extents:
+        body = stripped[body_start:body_end]
+        # Flag only the innermost loop of a nest: it holds the MAC statement
+        # and no further for loop, so each nest reports once.
+        if FOR_LOOP.search(body):
+            continue
+        if not MAC_STATEMENT.search(body):
+            continue
+        ancestors = sum(1 for s, b, e in extents
+                        if s != start and b <= start < e)
+        if ancestors >= 2:
+            findings.append(Finding(
+                rel, line_of(stripped, start), "matmul-nest",
+                "raw triple-nested multiply-accumulate loop: use "
+                "tensor::gemm/matmul (register-tiled, pool-threaded, "
+                "conformance-tested) instead of a hand-rolled kernel"))
+
+
 def check_entry_points(rel: str, stripped: str, findings):
     manifest = ENTRY_CHECK_MANIFEST.get(rel)
     if not manifest:
@@ -493,6 +595,7 @@ def main() -> int:
         check_include_hygiene(root, rel, raw, code_with_strings, findings)
         check_telemetry(rel, stripped, code_with_strings, findings)
         check_comm_deadlines(rel, stripped, findings)
+        check_matmul_nest(rel, stripped, findings)
         check_entry_points(rel, stripped, findings)
 
     if args.list:
