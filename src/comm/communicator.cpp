@@ -4,6 +4,7 @@
 #include <cstring>
 #include <map>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 #include "telemetry/telemetry.hpp"
@@ -18,6 +19,11 @@ struct Envelope {
   std::uint64_t comm_id = 0;
   std::int64_t tag = 0;
   Buffer payload;
+  /// Telemetry flow-correlation id (0 = none). Deterministic from
+  /// (comm_id, tag, src, dst, per-pair seq) — carried here only because
+  /// the in-process transport has a struct to put it in; a real wire
+  /// protocol would re-derive it on the receiving side (DESIGN.md §11).
+  std::uint64_t flow_id = 0;
 };
 
 struct Mailbox {
@@ -86,12 +92,37 @@ struct WorldState {
     shrink_cv.notify_all();
   }
 
+  /// Flow-correlation id for the next message on (comm_id, tag, src->dst):
+  /// a per-direction sequence hashed with the addressing tuple. Both
+  /// endpoints could derive the same id independently (matching claims
+  /// messages per (comm, tag, pair) in FIFO order), which is what makes
+  /// the scheme wire-free; here the sender stamps it into the Envelope.
+  /// |1 keeps 0 free as the "no flow" sentinel. Only called on the
+  /// telemetry-enabled path.
+  std::uint64_t next_flow_id(std::uint64_t comm_id, std::int64_t tag, int src,
+                             int dst) {
+    std::uint64_t seq = 0;
+    {
+      const std::scoped_lock lock(flow_mutex);
+      seq = flow_seq[std::tuple(comm_id, tag, src, dst)]++;
+    }
+    const std::uint64_t pair =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+        static_cast<std::uint32_t>(dst);
+    return util::derive_seed(comm_id ^ static_cast<std::uint64_t>(tag), pair,
+                             seq) |
+           1ull;
+  }
+
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
   std::vector<std::unique_ptr<RankStatus>> status;
   FaultSchedule faults;
   std::mutex shrink_mutex;
   std::condition_variable shrink_cv;
   std::map<std::pair<std::uint64_t, std::uint64_t>, ShrinkPoint> shrink_points;
+  std::mutex flow_mutex;
+  std::map<std::tuple<std::uint64_t, std::int64_t, int, int>, std::uint64_t>
+      flow_seq;
 };
 
 struct PendingRecv {
@@ -151,6 +182,11 @@ bool try_complete(PendingRecv& pending) {
   for (auto it = queue.begin(); it != queue.end(); ++it) {
     if (matches(*it, pending.comm_id, pending.src_world, pending.tag,
                 pending.group)) {
+      // Receive-side flow endpoint, recorded on the receiving thread so
+      // it lands on the receiver's rank track. The thread-local trace
+      // buffer mutex is a leaf under the mailbox mutex held here.
+      telemetry::Registry::instance().record_flow(
+          it->flow_id, telemetry::FlowPhase::End);
       pending.payload = std::move(it->payload);
       pending.source_world = it->world_src;
       queue.erase(it);
@@ -332,6 +368,15 @@ void Communicator::send(int dst, int tag, const Buffer& payload) {
     oss << "send to failed peer: world rank " << world_dst << " is dead";
     throw RankFailedError(oss.str(), world_dst);
   }
+  // Send-side flow endpoint, stamped BEFORE drop injection on purpose: a
+  // dropped message exports as an unmatched "s" arrow — exactly the visual
+  // a lost message should have.
+  std::uint64_t flow_id = 0;
+  if (telemetry::enabled()) {
+    flow_id = world_->next_flow_id(comm_id_, tag, me, world_dst);
+    telemetry::Registry::instance().record_flow(flow_id,
+                                                telemetry::FlowPhase::Start);
+  }
   // Drop/delay injection applies to user-level messages only (collective
   // traffic goes through internal_send and counts ops, not messages).
   const std::uint64_t msg_index =
@@ -351,7 +396,8 @@ void Communicator::send(int dst, int tag, const Buffer& payload) {
   auto& mailbox = *world_->mailboxes[static_cast<std::size_t>(world_dst)];
   {
     const std::scoped_lock lock(mailbox.mutex);
-    mailbox.messages.push_back(detail::Envelope{me, comm_id_, tag, payload});
+    mailbox.messages.push_back(
+        detail::Envelope{me, comm_id_, tag, payload, flow_id});
   }
   mailbox.cv.notify_all();
 }
@@ -457,11 +503,20 @@ void internal_send(Communicator& comm, detail::WorldState& world,
     oss << "collective peer failed: world rank " << world_dst << " is dead";
     throw RankFailedError(oss.str(), world_dst);
   }
+  const int world_src = group[static_cast<std::size_t>(my_rank)];
+  // Collective hops carry flow ids too: the exporter's arrows are what
+  // make join points (who straggled into the allreduce) visible.
+  std::uint64_t flow_id = 0;
+  if (telemetry::enabled()) {
+    flow_id = world.next_flow_id(comm_id, tag, world_src, world_dst);
+    telemetry::Registry::instance().record_flow(flow_id,
+                                                telemetry::FlowPhase::Start);
+  }
   auto& mailbox = *world.mailboxes[static_cast<std::size_t>(world_dst)];
   {
     const std::scoped_lock lock(mailbox.mutex);
-    mailbox.messages.push_back(detail::Envelope{
-        group[static_cast<std::size_t>(my_rank)], comm_id, tag, payload});
+    mailbox.messages.push_back(
+        detail::Envelope{world_src, comm_id, tag, payload, flow_id});
   }
   mailbox.cv.notify_all();
 }
@@ -923,6 +978,11 @@ std::vector<std::exception_ptr> World::run_ranks(
   for (int rank = 0; rank < n; ++rank) {
     threads.emplace_back([this, &fn, &errors, rank] {
       try {
+        // Rank attribution: everything this thread (and helpers it hands
+        // work to) records lands in rank `rank`'s telemetry scope. Worlds
+        // larger than the scope table run unattributed rather than fail.
+        telemetry::bind_rank(
+            rank < telemetry::detail::kMaxRankScopes ? rank : -1);
         Communicator comm = communicator(rank);
         fn(comm);
         // Clean return: obligated messages were all delivered. Peers still

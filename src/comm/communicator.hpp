@@ -15,6 +15,13 @@
 // against MPI. Collectives must be invoked in the same order by every rank
 // of a communicator (the standard MPI contract); a per-rank lockstep
 // sequence number isolates concurrent collectives from one another.
+//
+// Observability: World::run_ranks binds each rank thread to a telemetry
+// rank scope (telemetry::bind_rank), and every message — point-to-point
+// and collective hop alike — is stamped with a deterministic flow
+// correlation id derived from (comm id, tag, src, dst, per-pair seq).
+// The telemetry exporter turns the matched send/recv endpoints into
+// Chrome-trace flow arrows (DESIGN.md §11).
 #pragma once
 
 #include <atomic>

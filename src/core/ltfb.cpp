@@ -104,16 +104,25 @@ void LocalLtfbDriver::pretrain() {
 const RoundRecord& LocalLtfbDriver::run_round() {
   LTFB_SPAN("ltfb/round");
   LTFB_COUNTER_ADD("ltfb/rounds", 1);
+  const telemetry::Stopwatch round_clock;
+  double fastest_train_s = std::numeric_limits<double>::infinity();
+  double slowest_train_s = 0.0;
   // Independent training phase (lockstep stands in for parallel trainers).
   {
     LTFB_SPAN("ltfb/train_phase");
     for (auto& trainer : trainers_) {
+      const telemetry::Stopwatch train_clock;
       trainer->train_steps(config_.steps_per_round);
+      const double train_s = train_clock.elapsed_seconds();
+      fastest_train_s = std::min(fastest_train_s, train_s);
+      slowest_train_s = std::max(slowest_train_s, train_s);
     }
   }
 
   RoundRecord record;
   record.round = round_counter_;
+  record.max_rank_gap_s =
+      trainers_.empty() ? 0.0 : slowest_train_s - fastest_train_s;
   record.stats.resize(trainers_.size());
   for (std::size_t i = 0; i < trainers_.size(); ++i) {
     record.stats[i].trainer_id = trainers_[i]->id();
@@ -167,6 +176,7 @@ const RoundRecord& LocalLtfbDriver::run_round() {
   }
 
   ++round_counter_;
+  record.wall_s = round_clock.elapsed_seconds();
   history_.push_back(std::move(record));
   if (config_.checkpoint_every > 0 && !config_.checkpoint_path.empty() &&
       round_counter_ % config_.checkpoint_every == 0) {
@@ -233,7 +243,8 @@ bool export_history_csv(const std::vector<RoundRecord>& history,
   const std::string tmp = path + ".tmp";
   {
     util::CsvWriter csv(tmp, {"round", "trainer", "partner", "own_score",
-                              "partner_score", "adopted", "partner_failed"});
+                              "partner_score", "adopted", "partner_failed",
+                              "round_wall_s", "max_rank_gap_s"});
     if (!csv.ok()) return false;
     for (const auto& record : history) {
       for (const auto& stat : record.stats) {
@@ -243,7 +254,9 @@ bool export_history_csv(const std::vector<RoundRecord>& history,
                      util::format_double(stat.own_score, 6),
                      util::format_double(stat.partner_score, 6),
                      stat.adopted_partner ? "1" : "0",
-                     stat.partner_failed ? "1" : "0"});
+                     stat.partner_failed ? "1" : "0",
+                     util::format_double(record.wall_s, 6),
+                     util::format_double(record.max_rank_gap_s, 6)});
       }
     }
     if (!csv.close()) {

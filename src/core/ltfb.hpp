@@ -90,6 +90,12 @@ struct TrainerRoundStat {
 struct RoundRecord {
   std::size_t round = 0;
   std::vector<TrainerRoundStat> stats;
+  /// Wall-clock duration of the whole round (train + tournament). Not part
+  /// of the checkpoint format: timings are not reproducible across runs.
+  double wall_s = 0.0;
+  /// Straggler spread: max - min per-trainer (local driver) or per-rank
+  /// (distributed) train-phase time within the round, seconds.
+  double max_rank_gap_s = 0.0;
 };
 
 class LocalLtfbDriver {
@@ -137,7 +143,9 @@ class LocalLtfbDriver {
 };
 
 /// Writes a tournament history to CSV (round, trainer, partner, scores,
-/// adopted, partner_failed) for offline analysis / plotting — the
+/// adopted, partner_failed, plus the per-round round_wall_s /
+/// max_rank_gap_s timing columns consumed by tools/ltfb_trace.py) for
+/// offline analysis / plotting — the
 /// experiment-tracking artifact a production run would archive. The write
 /// is atomic: rows land in a temp sibling that is renamed over `path` only
 /// after a healthy flush+close, so a full disk or I/O error returns false

@@ -1,11 +1,13 @@
 #include "core/ltfb_comm.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <optional>
 #include <string>
 #include <utility>
 
+#include "core/metrics_aggregator.hpp"
 #include "core/population_checkpoint.hpp"
 #include "nn/parallel.hpp"
 #include "telemetry/telemetry.hpp"
@@ -69,6 +71,13 @@ DistributedLtfbOutcome run_distributed_ltfb(
   const int num_trainers = world.size() / rpt;
   const int trainer_id = world.rank() / rpt;
 
+  // Attribute this rank's telemetry (spans, metrics) to its world rank.
+  // World::run_ranks already binds rank threads; binding here too keeps
+  // direct callers (custom harnesses, single-rank drivers) attributed.
+  telemetry::bind_rank(world.rank() < telemetry::detail::kMaxRankScopes
+                           ? world.rank()
+                           : -1);
+
   comm::Communicator trainer_comm = world.split(trainer_id, world.rank());
   const bool leader = trainer_comm.rank() == 0;
   comm::Communicator leader_comm = world.split(leader ? 0 : 1, trainer_id);
@@ -119,6 +128,24 @@ DistributedLtfbOutcome run_distributed_ltfb(
   const std::chrono::milliseconds exchange_deadline =
       fault_aware ? config.comm_timeout
                   : std::chrono::milliseconds(std::chrono::hours(24));
+
+  // In-band cluster metric aggregation at round boundaries (DESIGN.md §11).
+  // The activation predicate (telemetry enabled + an output requested) is
+  // uniform across ranks, so the gather stays collective; when inactive the
+  // aggregator performs zero communication and fault-injection op counters
+  // are unperturbed.
+  std::string timeseries_path = config.metrics_timeseries_path;
+  if (timeseries_path.empty()) {
+    if (const char* env = std::getenv("LTFB_METRICS_TIMESERIES")) {
+      timeseries_path = env;
+    }
+  }
+  ClusterMetricsAggregator aggregator(
+      {.timeseries_path = std::move(timeseries_path),
+       .live_progress = config.live_progress,
+       .gather_deadline = exchange_deadline,
+       .world_size = world.size(),
+       .world_rank = world.rank()});
 
   // Data-parallel gradient averaging across the trainer's ranks, overlapped
   // with backward compute: each layer's gradients stream into the bucketer
@@ -195,6 +222,7 @@ DistributedLtfbOutcome run_distributed_ltfb(
   for (std::size_t round = start_round; round < config.ltfb.rounds; ++round) {
     LTFB_SPAN("ltfb/round");
     LTFB_COUNTER_ADD("ltfb/rounds", 1);
+    const telemetry::Stopwatch round_clock;
     try {
       LTFB_SPAN("ltfb/train_phase");
       for (std::size_t s = 0; s < config.ltfb.steps_per_round; ++s) {
@@ -306,7 +334,21 @@ DistributedLtfbOutcome run_distributed_ltfb(
       if (fault_aware) {
         leader_comm = leader_comm.shrink(4 * config.comm_timeout);
       }
-      outcome.history.push_back(RoundRecord{round, {stat}});
+    }
+
+    // Round boundary: every surviving rank ships its telemetry delta up
+    // the aggregation tree (leaders gather their trainer, the root leader
+    // gathers the cluster — no-op when the aggregator is inactive). The
+    // leader's return value is its trainer's step-time straggler spread.
+    const double round_wall_s = round_clock.elapsed_seconds();
+    const double rank_gap_s = aggregator.round_boundary(
+        round, trainer_comm, leader_comm, leader, leader ? &stat : nullptr,
+        round_wall_s);
+    if (leader) {
+      RoundRecord record{round, {stat}};
+      record.wall_s = round_wall_s;
+      record.max_rank_gap_s = rank_gap_s;
+      outcome.history.push_back(std::move(record));
     }
 
     // Winner propagation within the trainer: the leader's current weights

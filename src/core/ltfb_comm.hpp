@@ -52,6 +52,15 @@ struct DistributedLtfbConfig {
   /// state within a trainer is replicated, so the leader's file serves all
   /// of its ranks).
   std::string resume_from;
+  /// In-band cluster metric aggregation (core/metrics_aggregator.hpp):
+  /// when telemetry is enabled and this path is non-empty, the root leader
+  /// appends one JSON object of per-round cluster aggregates per LTFB
+  /// round. Empty falls back to the LTFB_METRICS_TIMESERIES environment
+  /// variable (so unmodified binaries can produce the artifact).
+  std::string metrics_timeseries_path;
+  /// Emit a one-line per-round cluster progress summary through the Logger
+  /// from the root leader (requires telemetry enabled).
+  bool live_progress = false;
 };
 
 struct DistributedLtfbOutcome {

@@ -211,7 +211,13 @@ void DataStore::begin_fetch(std::vector<data::SampleId> ids) {
   prefetch_active_ = true;
   prefetch_error_ = nullptr;
   prefetch_result_.clear();
-  prefetch_thread_ = std::thread([this, ids = std::move(ids)] {
+  // The helper thread works on behalf of the calling rank: carry the
+  // caller's telemetry rank scope across so prefetch spans and counters
+  // are attributed to the owning rank's trace track.
+  const int caller_rank = telemetry::bound_rank();
+  prefetch_thread_ = std::thread([this, caller_rank, ids = std::move(ids)] {
+    const telemetry::RankBinding bind_rank(caller_rank);
+    telemetry::set_thread_name("datastore/prefetch");
     LTFB_SPAN("datastore/prefetch");
     LTFB_TIMED_SCOPE("datastore/prefetch");
     try {

@@ -44,14 +44,12 @@ bool valid_metric_name(std::string_view name) noexcept {
   return seen_slash && segment_open;
 }
 
-namespace {
-
 /// Minimal JSON string escaping (metric names are convention-restricted,
 /// but exporters must never emit malformed JSON regardless).
-std::string json_escape(std::string_view s) {
+std::string json_escape(std::string_view in) {
   std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
+  out.reserve(in.size());
+  for (const char c : in) {
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
@@ -84,6 +82,23 @@ std::string json_double(double v) {
   return s;
 }
 
+// ---------------------------------------------------------------------------
+// Rank binding
+// ---------------------------------------------------------------------------
+
+void bind_rank(int rank) {
+  LTFB_CHECK_MSG(rank >= -1 && rank < detail::kMaxRankScopes,
+                 "telemetry::bind_rank(" << rank << ") outside [-1, "
+                                         << detail::kMaxRankScopes << ")");
+  detail::tl_bound_rank = rank;
+}
+
+void set_thread_name(std::string_view name) {
+  Registry::instance().name_current_thread(name);
+}
+
+namespace {
+
 /// Approximate percentile from the log2 histogram: the upper bound of the
 /// bucket where the cumulative count crosses q.
 double histogram_percentile(
@@ -112,12 +127,25 @@ double histogram_percentile(
 struct Registry::TraceBuffer {
   std::mutex mutex;
   std::uint32_t tid = 0;
+  /// Track label from set_thread_name ("" = unnamed, numbered track).
+  std::string thread_name;
   struct WallSpan {
     const char* name;
     std::uint64_t start_ns;
     std::uint64_t dur_ns;
+    /// Rank bound to the thread when the span ended, or -1 (captured per
+    /// span, not per buffer: pool workers serve different ranks over
+    /// time, so one thread's spans can export under several pids).
+    int rank;
   };
   std::vector<WallSpan> spans;
+  struct FlowPoint {
+    std::uint64_t id;
+    std::uint64_t ts_ns;
+    int rank;
+    char phase;  // 's' (send side) or 'f' (receive side)
+  };
+  std::vector<FlowPoint> flows;
 };
 
 struct Registry::SimSpan {
@@ -218,6 +246,10 @@ MetricsSnapshot Registry::snapshot() const {
                            slot->max.load(std::memory_order_relaxed),
                            slot->sets.load(std::memory_order_relaxed)});
   }
+  const double rate_window_s = std::max(
+      1e-9, static_cast<double>(
+                now_ns() - rate_epoch_ns_.load(std::memory_order_relaxed)) *
+                1e-9);
   snap.timers.reserve(timers_.size());
   for (const auto& [name, slot] : timers_) {
     TimerStat stat;
@@ -231,6 +263,55 @@ MetricsSnapshot Registry::snapshot() const {
         stat.count ? stat.total_s / static_cast<double>(stat.count) : 0.0;
     stat.p50_s = histogram_percentile(slot->buckets, stat.count, 0.50);
     stat.p95_s = histogram_percentile(slot->buckets, stat.count, 0.95);
+    stat.p99_s = histogram_percentile(slot->buckets, stat.count, 0.99);
+    stat.rate_per_s = static_cast<double>(stat.count) / rate_window_s;
+    snap.timers.push_back(std::move(stat));
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.timers.begin(), snap.timers.end(), by_name);
+  return snap;
+}
+
+MetricsSnapshot Registry::snapshot_rank(int rank) const {
+  LTFB_CHECK_MSG(rank >= 0 && rank < detail::kMaxRankScopes,
+                 "telemetry snapshot_rank(" << rank << ") outside [0, "
+                                            << detail::kMaxRankScopes << ")");
+  const auto r = static_cast<std::size_t>(rank);
+  const std::scoped_lock lock(metrics_mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, slot] : counters_) {
+    snap.counters.push_back(
+        {name, slot->rank_value[r].load(std::memory_order_relaxed)});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, slot] : gauges_) {
+    const auto& cell = slot->rank[r];
+    snap.gauges.push_back({name, cell.value.load(std::memory_order_relaxed),
+                           cell.max.load(std::memory_order_relaxed),
+                           cell.sets.load(std::memory_order_relaxed)});
+  }
+  const double rate_window_s = std::max(
+      1e-9, static_cast<double>(
+                now_ns() - rate_epoch_ns_.load(std::memory_order_relaxed)) *
+                1e-9);
+  snap.timers.reserve(timers_.size());
+  for (const auto& [name, slot] : timers_) {
+    const auto& cell = slot->rank[r];
+    TimerStat stat;
+    stat.name = name;
+    stat.count = cell.count.load(std::memory_order_relaxed);
+    stat.total_s = cell.sum_s.load(std::memory_order_relaxed);
+    stat.min_s =
+        stat.count ? cell.min_s.load(std::memory_order_relaxed) : 0.0;
+    stat.max_s = cell.max_s.load(std::memory_order_relaxed);
+    stat.mean_s =
+        stat.count ? stat.total_s / static_cast<double>(stat.count) : 0.0;
+    stat.rate_per_s = static_cast<double>(stat.count) / rate_window_s;
     snap.timers.push_back(std::move(stat));
   }
   const auto by_name = [](const auto& a, const auto& b) {
@@ -246,11 +327,19 @@ void Registry::reset_metrics() noexcept {
   const std::scoped_lock lock(metrics_mutex_);
   for (auto& [name, slot] : counters_) {
     slot->value.store(0, std::memory_order_relaxed);
+    for (auto& cell : slot->rank_value) {
+      cell.store(0, std::memory_order_relaxed);
+    }
   }
   for (auto& [name, slot] : gauges_) {
     slot->value.store(0.0, std::memory_order_relaxed);
     slot->max.store(0.0, std::memory_order_relaxed);
     slot->sets.store(0, std::memory_order_relaxed);
+    for (auto& cell : slot->rank) {
+      cell.value.store(0.0, std::memory_order_relaxed);
+      cell.max.store(0.0, std::memory_order_relaxed);
+      cell.sets.store(0, std::memory_order_relaxed);
+    }
   }
   for (auto& [name, slot] : timers_) {
     slot->count.store(0, std::memory_order_relaxed);
@@ -261,7 +350,15 @@ void Registry::reset_metrics() noexcept {
     for (auto& bucket : slot->buckets) {
       bucket.store(0, std::memory_order_relaxed);
     }
+    for (auto& cell : slot->rank) {
+      cell.count.store(0, std::memory_order_relaxed);
+      cell.sum_s.store(0.0, std::memory_order_relaxed);
+      cell.min_s.store(std::numeric_limits<double>::infinity(),
+                       std::memory_order_relaxed);
+      cell.max_s.store(0.0, std::memory_order_relaxed);
+    }
   }
+  rate_epoch_ns_.store(now_ns(), std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -295,7 +392,25 @@ void Registry::record_span(const char* name, std::uint64_t start_ns,
     dropped_spans_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  buffer.spans.push_back({name, start_ns, dur_ns});
+  buffer.spans.push_back({name, start_ns, dur_ns, detail::tl_bound_rank});
+}
+
+void Registry::record_flow(std::uint64_t id, FlowPhase phase) {
+  if (!enabled() || id == 0) return;
+  TraceBuffer& buffer = local_buffer();
+  const std::scoped_lock lock(buffer.mutex);
+  if (buffer.flows.size() >= kMaxSpansPerThread) {
+    dropped_spans_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.flows.push_back({id, now_ns(), detail::tl_bound_rank,
+                          static_cast<char>(phase)});
+}
+
+void Registry::name_current_thread(std::string_view name) {
+  TraceBuffer& buffer = local_buffer();
+  const std::scoped_lock lock(buffer.mutex);
+  buffer.thread_name.assign(name);
 }
 
 void Registry::record_sim_span(std::string name, double start_s,
@@ -331,11 +446,22 @@ std::size_t Registry::sim_span_count() const {
   return sim_spans_.size();
 }
 
+std::size_t Registry::flow_count() const {
+  const std::scoped_lock lock(trace_mutex_);
+  std::size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    const std::scoped_lock buffer_lock(buffer->mutex);
+    total += buffer->flows.size();
+  }
+  return total;
+}
+
 void Registry::clear_trace() {
   const std::scoped_lock lock(trace_mutex_);
   for (const auto& buffer : buffers_) {
     const std::scoped_lock buffer_lock(buffer->mutex);
     buffer->spans.clear();
+    buffer->flows.clear();
   }
   sim_spans_.clear();
   dropped_spans_.store(0, std::memory_order_relaxed);
@@ -370,7 +496,9 @@ void Registry::write_metrics_json(std::ostream& out) const {
         << ", \"max_s\": " << json_double(t.max_s)
         << ", \"mean_s\": " << json_double(t.mean_s)
         << ", \"p50_s\": " << json_double(t.p50_s)
-        << ", \"p95_s\": " << json_double(t.p95_s) << "}";
+        << ", \"p95_s\": " << json_double(t.p95_s)
+        << ", \"p99_s\": " << json_double(t.p99_s)
+        << ", \"rate_per_s\": " << json_double(t.rate_per_s) << "}";
   }
   out << (snap.timers.empty() ? "" : "\n  ") << "}\n}\n";
 }
@@ -388,6 +516,13 @@ bool Registry::write_metrics_json(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
+namespace {
+
+/// pid of the track an event recorded under rank binding `rank` lands on.
+int rank_pid(int rank) { return rank >= 0 ? kRankPidBase + rank : 1; }
+
+}  // namespace
+
 void Registry::write_trace_json(std::ostream& out) const {
   out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
   bool first = true;
@@ -395,13 +530,75 @@ void Registry::write_trace_json(std::ostream& out) const {
     out << (first ? "" : ",\n") << "  " << line;
     first = false;
   };
-  // Process metadata: two tracks, one per time base.
+  // Process metadata for the two fixed time-base tracks.
   emit(R"({"ph": "M", "name": "process_name", "pid": 1, "tid": 0, )"
        R"("args": {"name": "wall clock"}})");
   emit(R"({"ph": "M", "name": "process_name", "pid": 2, "tid": 0, )"
        R"("args": {"name": "simulator virtual time"}})");
 
   const std::scoped_lock lock(trace_mutex_);
+
+  // Pass 1: which rank pids appear, and which (pid, tid) tracks belong to
+  // named threads — metadata must cover every track we are about to emit
+  // events on, including a named worker whose spans land on several rank
+  // pids over its lifetime.
+  std::array<bool, static_cast<std::size_t>(detail::kMaxRankScopes)>
+      rank_seen{};
+  struct NamedTrack {
+    int pid;
+    std::uint32_t tid;
+    const std::string* name;
+  };
+  std::vector<NamedTrack> named_tracks;
+  for (const auto& buffer : buffers_) {
+    const std::scoped_lock buffer_lock(buffer->mutex);
+    std::array<bool, static_cast<std::size_t>(detail::kMaxRankScopes)>
+        here{};
+    bool unbound_here = false;
+    for (const auto& span : buffer->spans) {
+      if (span.rank >= 0) {
+        rank_seen[static_cast<std::size_t>(span.rank)] = true;
+        here[static_cast<std::size_t>(span.rank)] = true;
+      } else {
+        unbound_here = true;
+      }
+    }
+    for (const auto& flow : buffer->flows) {
+      if (flow.rank >= 0) {
+        rank_seen[static_cast<std::size_t>(flow.rank)] = true;
+        here[static_cast<std::size_t>(flow.rank)] = true;
+      } else {
+        unbound_here = true;
+      }
+    }
+    if (!buffer->thread_name.empty()) {
+      if (unbound_here) {
+        named_tracks.push_back({1, buffer->tid, &buffer->thread_name});
+      }
+      for (int r = 0; r < detail::kMaxRankScopes; ++r) {
+        if (here[static_cast<std::size_t>(r)]) {
+          named_tracks.push_back(
+              {rank_pid(r), buffer->tid, &buffer->thread_name});
+        }
+      }
+    }
+  }
+  for (int r = 0; r < detail::kMaxRankScopes; ++r) {
+    if (!rank_seen[static_cast<std::size_t>(r)]) continue;
+    std::ostringstream line;
+    line << R"({"ph": "M", "name": "process_name", "pid": )" << rank_pid(r)
+         << R"(, "tid": 0, "args": {"name": "rank )" << r << R"("}})";
+    emit(line.str());
+  }
+  for (const auto& track : named_tracks) {
+    std::ostringstream line;
+    line << R"({"ph": "M", "name": "thread_name", "pid": )" << track.pid
+         << R"(, "tid": )" << track.tid << R"(, "args": {"name": ")"
+         << json_escape(*track.name) << R"("}})";
+    emit(line.str());
+  }
+
+  // Pass 2: the events themselves.
   for (const auto& buffer : buffers_) {
     const std::scoped_lock buffer_lock(buffer->mutex);
     for (const auto& span : buffer->spans) {
@@ -411,7 +608,21 @@ void Registry::write_trace_json(std::ostream& out) const {
            << json_double(static_cast<double>(span.start_ns) * 1e-3)
            << ", \"dur\": "
            << json_double(static_cast<double>(span.dur_ns) * 1e-3)
-           << ", \"pid\": 1, \"tid\": " << buffer->tid << "}";
+           << ", \"pid\": " << rank_pid(span.rank)
+           << ", \"tid\": " << buffer->tid << "}";
+      emit(line.str());
+    }
+    for (const auto& flow : buffer->flows) {
+      // Flow ids can use all 64 bits; emit as hex strings so no JSON
+      // consumer rounds them through a double.
+      std::ostringstream line;
+      line << "{\"name\": \"comm/flow\", \"cat\": \"flow\", \"ph\": \""
+           << flow.phase << "\", \"id\": \"0x" << std::hex << flow.id
+           << std::dec << "\", \"ts\": "
+           << json_double(static_cast<double>(flow.ts_ns) * 1e-3)
+           << ", \"pid\": " << rank_pid(flow.rank)
+           << ", \"tid\": " << buffer->tid
+           << (flow.phase == 'f' ? ", \"bp\": \"e\"}" : "}");
       emit(line.str());
     }
   }

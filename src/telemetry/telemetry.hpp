@@ -11,6 +11,17 @@
 //     (Registry::write_trace_json) with wall-clock spans on one process
 //     track and virtual-time simulator spans on a separate one.
 //
+// Distributed attribution (DESIGN.md §11): in-process "ranks" (the World
+// threads that stand in for MPI processes) bind themselves with
+// telemetry::bind_rank(world_rank). While a binding is active on a thread,
+// metric updates additionally land in that rank's per-rank scope
+// (Registry::snapshot_rank) and trace spans export under a per-rank
+// Chrome-trace pid (kRankPidBase + rank) instead of the merged pid 1.
+// Helper threads doing work on behalf of a rank (DataStore prefetch,
+// ComputePool workers) inherit the caller's binding via RankBinding.
+// Cross-rank message edges are recorded as Chrome flow events
+// (Registry::record_flow) so Perfetto draws send→recv arrows.
+//
 // Naming convention: `subsystem/verb` — lowercase [a-z0-9_] segments
 // separated by '/', e.g. "datastore/fetch", "comm/allreduce",
 // "ltfb/round". Registration validates this; tools/ltfb_lint.py enforces
@@ -93,6 +104,55 @@ inline bool enabled() noexcept {
 }
 
 // ---------------------------------------------------------------------------
+// Rank binding
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Upper bound on distinct rank scopes. Per-rank metric cells are allocated
+/// eagerly per slot, so this caps memory, not correctness: binding a rank
+/// >= kMaxRankScopes throws at bind time.
+inline constexpr int kMaxRankScopes = 64;
+
+/// The rank currently bound to this thread, or -1 (unbound). Plain
+/// thread-local (no atomic): only the owning thread reads or writes it.
+inline thread_local int tl_bound_rank = -1;
+
+}  // namespace detail
+
+/// Binds `rank` to the calling thread: subsequent metric updates also land
+/// in the per-rank scope and spans export under pid kRankPidBase + rank.
+/// Pass -1 to unbind. Works whether or not the registry is enabled (the
+/// binding is consulted only on enabled-path recording). Throws
+/// ltfb::InvalidArgument outside [-1, detail::kMaxRankScopes).
+void bind_rank(int rank);
+
+/// The calling thread's bound rank, or -1 when unbound.
+inline int bound_rank() noexcept { return detail::tl_bound_rank; }
+
+/// RAII rank binding for helper threads acting on behalf of a rank:
+/// captures the constructor argument as the thread's binding and restores
+/// the previous binding on destruction. A -1 argument is a no-op binding
+/// (helper invoked from an unbound context), kept symmetric so call sites
+/// can bind unconditionally with bound_rank() captured from the caller.
+class RankBinding {
+ public:
+  explicit RankBinding(int rank) : previous_(bound_rank()) { bind_rank(rank); }
+  ~RankBinding() { bind_rank(previous_); }
+  RankBinding(const RankBinding&) = delete;
+  RankBinding& operator=(const RankBinding&) = delete;
+
+ private:
+  int previous_;
+};
+
+/// Names the calling thread's trace track: write_trace_json emits a
+/// `thread_name` metadata event for every (pid, tid) the thread recorded
+/// spans on, so raw traces stay readable even without rank binding.
+/// Last writer wins; empty restores the default (numbered) track name.
+void set_thread_name(std::string_view name);
+
+// ---------------------------------------------------------------------------
 // Metric slots and handles
 // ---------------------------------------------------------------------------
 
@@ -123,19 +183,41 @@ inline void atomic_max(std::atomic<double>& target, double value) noexcept {
   }
 }
 
+// Every slot carries, next to its process-wide cells, one plain cell per
+// rank scope. The global cells are updated exactly as before; when the
+// recording thread has a rank bound, the matching rank cell is updated
+// too, so snapshot_rank(r) reads "what rank r contributed" while
+// snapshot() stays the cluster-process total. Rank cells skip the log2
+// histogram (per-rank percentiles are not worth 64x the memory).
+
 struct CounterSlot {
   std::atomic<std::uint64_t> value{0};
+  std::array<std::atomic<std::uint64_t>, kMaxRankScopes> rank_value{};
+};
+
+struct GaugeRankCell {
+  std::atomic<double> value{0.0};
+  std::atomic<double> max{0.0};
+  std::atomic<std::uint64_t> sets{0};
 };
 
 struct GaugeSlot {
   std::atomic<double> value{0.0};
   std::atomic<double> max{0.0};
   std::atomic<std::uint64_t> sets{0};
+  std::array<GaugeRankCell, kMaxRankScopes> rank{};
 };
 
 /// Log2 latency histogram: bucket i counts samples in [2^i, 2^(i+1)) ns.
 /// 40 buckets cover ~18 minutes, far beyond any per-call latency here.
 inline constexpr std::size_t kTimerBuckets = 40;
+
+struct TimerRankCell {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> sum_s{0.0};
+  std::atomic<double> min_s{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_s{0.0};
+};
 
 struct TimerSlot {
   std::atomic<std::uint64_t> count{0};
@@ -143,6 +225,7 @@ struct TimerSlot {
   std::atomic<double> min_s{std::numeric_limits<double>::infinity()};
   std::atomic<double> max_s{0.0};
   std::array<std::atomic<std::uint64_t>, kTimerBuckets> buckets{};
+  std::array<TimerRankCell, kMaxRankScopes> rank{};
 };
 
 }  // namespace detail
@@ -157,6 +240,11 @@ class Counter {
   void add(std::uint64_t n = 1) noexcept {
     if (slot_ != nullptr && enabled()) {
       slot_->value.fetch_add(n, std::memory_order_relaxed);
+      const int rank = detail::tl_bound_rank;
+      if (rank >= 0) {
+        slot_->rank_value[static_cast<std::size_t>(rank)].fetch_add(
+            n, std::memory_order_relaxed);
+      }
     }
   }
   std::uint64_t value() const noexcept {
@@ -180,6 +268,13 @@ class Gauge {
     slot_->value.store(v, std::memory_order_relaxed);
     detail::atomic_max(slot_->max, v);
     slot_->sets.fetch_add(1, std::memory_order_relaxed);
+    const int rank = detail::tl_bound_rank;
+    if (rank >= 0) {
+      auto& cell = slot_->rank[static_cast<std::size_t>(rank)];
+      cell.value.store(v, std::memory_order_relaxed);
+      detail::atomic_max(cell.max, v);
+      cell.sets.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   double value() const noexcept {
     return slot_ ? slot_->value.load(std::memory_order_relaxed) : 0.0;
@@ -211,6 +306,14 @@ class Timer {
     const std::size_t bucket =
         std::min<std::size_t>(std::bit_width(ns), detail::kTimerBuckets - 1);
     slot_->buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    const int rank = detail::tl_bound_rank;
+    if (rank >= 0) {
+      auto& cell = slot_->rank[static_cast<std::size_t>(rank)];
+      cell.count.fetch_add(1, std::memory_order_relaxed);
+      detail::atomic_add(cell.sum_s, seconds);
+      detail::atomic_min(cell.min_s, seconds);
+      detail::atomic_max(cell.max_s, seconds);
+    }
   }
 
   std::uint64_t count() const noexcept {
@@ -301,8 +404,14 @@ struct TimerStat {
   double max_s = 0.0;
   double mean_s = 0.0;
   /// Approximate percentiles from the log2 histogram (bucket upper bound).
+  /// Per-rank snapshots (Registry::snapshot_rank) report 0 — rank cells
+  /// do not keep histograms.
   double p50_s = 0.0;
   double p95_s = 0.0;
+  double p99_s = 0.0;
+  /// count / wall-clock seconds since process telemetry epoch or the last
+  /// reset_metrics(), whichever is later.
+  double rate_per_s = 0.0;
 };
 
 /// Point-in-time copy of every registered metric, sorted by name.
@@ -319,6 +428,26 @@ struct MetricsSnapshot {
 /// `name` must match the `subsystem/verb` convention:
 /// lowercase [a-z0-9_]+ segments joined by '/'.
 bool valid_metric_name(std::string_view name) noexcept;
+
+/// JSON string-body escaping used by every exporter in this subsystem
+/// (quotes, backslashes, and control characters as \uXXXX; non-ASCII
+/// bytes pass through untouched — the output is byte-for-byte the input
+/// encoding). Public so tests and downstream JSONL writers share the
+/// exact exporter behaviour.
+std::string json_escape(std::string_view in);
+
+/// Finite shortest-round-trip-ish double formatting shared by the
+/// exporters; infinities and NaN (legal JSON nowhere) render as 0.
+std::string json_double(double v);
+
+/// Chrome-trace pid of rank r's track is kRankPidBase + r. pid 1 stays
+/// the merged (unbound) wall-clock track and pid 2 the simulator's
+/// virtual-time track, so rank pids start above both.
+inline constexpr int kRankPidBase = 10;
+
+/// Endpoint kind of a flow point: Start on the sending side, End on the
+/// receiving side. Values are the Chrome trace `ph` letters.
+enum class FlowPhase : char { Start = 's', End = 'f' };
 
 class Registry {
  public:
@@ -339,8 +468,15 @@ class Registry {
 
   MetricsSnapshot snapshot() const;
 
-  /// Zeroes every metric value. Handles stay valid; slots are never
-  /// removed (so cached `static` handles in the macros cannot dangle).
+  /// What rank `rank` contributed: every registered metric's per-rank
+  /// cell, same shape and sort order as snapshot(). Timer percentiles are
+  /// 0 (rank cells keep no histogram). Throws ltfb::InvalidArgument
+  /// outside [0, detail::kMaxRankScopes).
+  MetricsSnapshot snapshot_rank(int rank) const;
+
+  /// Zeroes every metric value — global and per-rank cells — and restarts
+  /// the rate_per_s window. Handles stay valid; slots are never removed
+  /// (so cached `static` handles in the macros cannot dangle).
   void reset_metrics() noexcept;
 
   // -- trace spans ---------------------------------------------------------
@@ -358,8 +494,19 @@ class Registry {
   void record_sim_span(std::string name, double start_s, double duration_s,
                        int lane);
 
+  /// Records one endpoint of a cross-rank message edge on the calling
+  /// thread's buffer (rank taken from the thread's binding). Both
+  /// endpoints of an edge share `id`; the exporter emits Chrome flow
+  /// events (`ph:"s"` / `ph:"f"`) so Perfetto draws the arrow. id 0 is
+  /// reserved ("no flow") and dropped.
+  void record_flow(std::uint64_t id, FlowPhase phase);
+
+  /// Thread-name registration backing telemetry::set_thread_name().
+  void name_current_thread(std::string_view name);
+
   std::size_t span_count() const;
   std::size_t sim_span_count() const;
+  std::size_t flow_count() const;
   std::uint64_t dropped_spans() const noexcept {
     return dropped_spans_.load(std::memory_order_relaxed);
   }
@@ -372,9 +519,13 @@ class Registry {
   bool write_metrics_json(const std::string& path) const;
 
   /// Chrome trace event format: {"traceEvents":[...]} of "ph":"X"
-  /// complete events (ts/dur in microseconds), pid 1 = wall clock,
-  /// pid 2 = simulator virtual time. Loadable by chrome://tracing and
-  /// https://ui.perfetto.dev.
+  /// complete events (ts/dur in microseconds), pid 1 = unbound wall
+  /// clock, pid 2 = simulator virtual time, pid kRankPidBase + r = rank
+  /// r's wall-clock track (spans recorded under an active bind_rank).
+  /// process_name metadata labels every rank pid, thread_name metadata
+  /// labels tracks of threads that called set_thread_name, and matched
+  /// record_flow endpoints export as "ph":"s"/"f" flow events. Loadable
+  /// by chrome://tracing and https://ui.perfetto.dev.
   std::string trace_json() const;
   void write_trace_json(std::ostream& out) const;
   bool write_trace_json(const std::string& path) const;
@@ -407,6 +558,10 @@ class Registry {
   std::vector<SimSpan> sim_spans_;
   std::uint32_t next_tid_ = 1;
   std::atomic<std::uint64_t> dropped_spans_{0};
+
+  /// Start of the rate_per_s window: 0 (the now_ns epoch) until the first
+  /// reset_metrics() stamps it forward.
+  std::atomic<std::uint64_t> rate_epoch_ns_{0};
 };
 
 // ---------------------------------------------------------------------------

@@ -59,7 +59,9 @@ void ComputePool::resize(std::size_t workers) {
     const std::scoped_lock lock(mutex_);
     if (workers == workers_ && (workers == 1) == (pool_ == nullptr)) return;
     retired = std::move(pool_);  // joined below, outside the lock
-    pool_ = (workers > 1) ? std::make_shared<ThreadPool>(workers) : nullptr;
+    pool_ = (workers > 1)
+                ? std::make_shared<ThreadPool>(workers, "compute/worker")
+                : nullptr;
     workers_ = workers;
   }
   retired.reset();
@@ -103,12 +105,18 @@ void ComputePool::run_tasks(std::size_t tasks,
   // affects scheduling — execution per index is identical to the serial
   // loop above, which is what keeps results pool-size-invariant.
   const std::size_t jobs = std::min(tasks, workers * 4);
+  // Workers execute on behalf of the submitting rank: jobs carry the
+  // caller's telemetry rank scope so worker-side spans and metrics are
+  // attributed to the rank that requested the compute, not to the shared
+  // pool (one worker thread can serve several ranks over time).
+  const int caller_rank = telemetry::bound_rank();
   std::vector<std::future<void>> futures;
   futures.reserve(jobs);
   for (std::size_t j = 0; j < jobs; ++j) {
     const std::size_t begin = tasks * j / jobs;
     const std::size_t end = tasks * (j + 1) / jobs;
-    futures.push_back(pool->submit([&fn, begin, end] {
+    futures.push_back(pool->submit([&fn, begin, end, caller_rank] {
+      const telemetry::RankBinding bind_rank(caller_rank);
       tl_on_compute_worker = true;
       for (std::size_t t = begin; t < end; ++t) fn(t);
     }));

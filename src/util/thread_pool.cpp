@@ -4,7 +4,8 @@
 
 namespace ltfb::util {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads, std::string thread_name)
+    : thread_name_(std::move(thread_name)) {
   const std::size_t n = std::max<std::size_t>(1, num_threads);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -24,6 +25,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  telemetry::set_thread_name(thread_name_);
   for (;;) {
     std::function<void()> task;
     {

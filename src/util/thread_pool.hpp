@@ -26,6 +26,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -37,8 +38,11 @@ namespace ltfb::util {
 
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (at least one).
-  explicit ThreadPool(std::size_t num_threads);
+  /// Spawns `num_threads` workers (at least one). `thread_name` labels the
+  /// workers' trace tracks (telemetry::set_thread_name) in Chrome-trace
+  /// exports.
+  explicit ThreadPool(std::size_t num_threads,
+                      std::string thread_name = "threadpool/worker");
 
   /// Drains remaining work and joins all workers.
   ~ThreadPool();
@@ -78,6 +82,7 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
+  std::string thread_name_;
   std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;

@@ -1,0 +1,235 @@
+// Minimal JSON parser shared by test suites — just enough to validate the
+// telemetry exporters' output (trace JSON, metrics JSON, the aggregator's
+// metrics timeseries) without a third-party dependency. Numbers parse as
+// double; strings support the full JSON escape set including \uXXXX
+// (decoded to UTF-8; surrogate pairs are not combined — the exporters
+// never emit code points above the BMP).
+#pragma once
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace testjson {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& key) const {
+    const auto it = object.find(key);
+    if (it == object.end()) {
+      throw ltfb::Error("json: missing key '" + key + "'");
+    }
+    return it->second;
+  }
+  bool has(const std::string& key) const { return object.count(key) != 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw ltfb::Error("json: trailing characters at " +
+                        std::to_string(pos_));
+    }
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) throw ltfb::Error("json: unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw ltfb::Error(std::string("json: expected '") + c + "' at " +
+                        std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::String;
+      v.string = parse_string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == 'n') return parse_null();
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  unsigned hex_digit(char c) {
+    if (c >= '0' && c <= '9') return static_cast<unsigned>(c - '0');
+    if (c >= 'a' && c <= 'f') return static_cast<unsigned>(c - 'a' + 10);
+    if (c >= 'A' && c <= 'F') return static_cast<unsigned>(c - 'A' + 10);
+    throw ltfb::Error("json: bad hex digit in \\u escape");
+  }
+
+  void append_codepoint(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (peek() != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case '/': out.push_back('/'); break;
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              throw ltfb::Error("json: truncated \\u escape");
+            }
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              cp = cp * 16 + hex_digit(text_[pos_++]);
+            }
+            append_codepoint(out, cp);
+            break;
+          }
+          default:
+            throw ltfb::Error(std::string("json: unsupported escape \\") +
+                              esc);
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    ++pos_;
+    return out;
+  }
+
+  JsonValue parse_bool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Bool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      throw ltfb::Error("json: bad literal");
+    }
+    return v;
+  }
+
+  JsonValue parse_null() {
+    if (text_.compare(pos_, 4, "null") != 0) {
+      throw ltfb::Error("json: bad literal");
+    }
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace testjson

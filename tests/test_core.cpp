@@ -3,9 +3,13 @@
 // algorithmic property (LTFB >= K-independent at equal budgets).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <numeric>
 #include <set>
+#include <string>
 
 #include "core/ltfb.hpp"
 #include "core/population.hpp"
@@ -170,6 +174,36 @@ TEST(LocalDriver, RoundRecordsPairings) {
     }
   }
   EXPECT_EQ(paired, 4);
+}
+
+TEST(LocalDriver, RoundRecordsCarryTimingColumns) {
+  DriverFixture fx;
+  LtfbConfig ltfb;
+  ltfb.steps_per_round = 3;
+  ltfb.rounds = 1;
+  LtfbConfig config = ltfb;
+  LocalLtfbDriver driver = fx.make_driver(2, config);
+  const RoundRecord& record = driver.run_round();
+  // Wall clock covers train + tournament, so it is strictly positive and
+  // at least the straggler gap (gap = slowest - fastest train time, both
+  // inside the same round).
+  EXPECT_GT(record.wall_s, 0.0);
+  EXPECT_GE(record.max_rank_gap_s, 0.0);
+  EXPECT_LE(record.max_rank_gap_s, record.wall_s);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ltfb_core_timing.csv")
+          .string();
+  ASSERT_TRUE(export_history_csv(driver.history(), path));
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("round_wall_s"), std::string::npos);
+  EXPECT_NE(header.find("max_rank_gap_s"), std::string::npos);
+  std::string row;
+  std::getline(in, row);
+  // The timing columns repeat per stat row of the round — both present.
+  EXPECT_EQ(std::count(row.begin(), row.end(), ','), 8);
 }
 
 TEST(LocalDriver, AdoptionCopiesBetterGenerator) {

@@ -307,11 +307,11 @@ TEST(HistoryExport, WritesOneRowPerDuelingTrainer) {
   std::ifstream in(path);
   std::string line;
   std::getline(in, line);
-  EXPECT_EQ(
-      line,
-      "round,trainer,partner,own_score,partner_score,adopted,partner_failed");
+  EXPECT_EQ(line,
+            "round,trainer,partner,own_score,partner_score,adopted,"
+            "partner_failed,round_wall_s,max_rank_gap_s");
   std::getline(in, line);
-  EXPECT_EQ(line, "0,0,1,0.500000,0.400000,1,0");
+  EXPECT_EQ(line, "0,0,1,0.500000,0.400000,1,0,0.000000,0.000000");
   int rows = 1;
   while (std::getline(in, line) && !line.empty()) ++rows;
   EXPECT_EQ(rows, 3);

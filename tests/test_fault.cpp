@@ -829,7 +829,7 @@ TEST(HistoryCsvAtomicity, SuccessfulWriteReplacesTempFile) {
   std::string line;
   std::getline(in, line);
   std::getline(in, line);
-  EXPECT_EQ(line, "0,0,1,0.500000,0.400000,1,1");
+  EXPECT_EQ(line, "0,0,1,0.500000,0.400000,1,1,0.000000,0.000000");
 }
 
 }  // namespace

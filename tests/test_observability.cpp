@@ -1,0 +1,256 @@
+// Distributed-observability tests (DESIGN.md §11): the in-band cluster
+// metric aggregation that runs at every LTFB round boundary. Verifies the
+// "aggregation is honest" contract — per-round cluster aggregates in
+// metrics_timeseries.jsonl equal the fold of the per-rank deltas, and the
+// round-stable totals summed over all rounds match the final per-rank
+// telemetry registries — plus the PR 3 fault interplay: a killed rank is
+// reported missing and excluded from later rounds instead of stalling the
+// aggregation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "comm/fault.hpp"
+#include "core/ltfb_comm.hpp"
+#include "minijson.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace ltfb;
+using namespace ltfb::core;
+using ltfb::telemetry::Registry;
+using testjson::JsonParser;
+using testjson::JsonValue;
+
+class TelemetryGuard {
+ public:
+  TelemetryGuard() {
+    auto& registry = Registry::instance();
+    registry.clear_trace();
+    registry.reset_metrics();
+    registry.set_enabled(true);
+  }
+  ~TelemetryGuard() {
+    auto& registry = Registry::instance();
+    registry.set_enabled(false);
+    registry.clear_trace();
+    registry.reset_metrics();
+  }
+};
+
+gan::CycleGanConfig tiny_config() {
+  gan::CycleGanConfig config;
+  config.image_width = 48;
+  config.latent_width = 8;
+  config.encoder_hidden = {16};
+  config.decoder_hidden = {16};
+  config.forward_hidden = {12};
+  config.inverse_hidden = {8};
+  config.discriminator_hidden = {8};
+  config.learning_rate = 2e-3f;
+  return config;
+}
+
+data::Dataset tiny_dataset(std::size_t n, std::uint64_t seed) {
+  jag::JagConfig jag_config;
+  jag_config.image_size = 4;
+  jag_config.num_views = 3;
+  jag_config.num_channels = 1;
+  const jag::JagModel model(jag_config);
+  data::Dataset dataset = data::generate_jag_dataset(model, n, seed);
+  const auto norms = data::fit_normalizers(dataset);
+  data::normalize_dataset(dataset, norms);
+  return dataset;
+}
+
+DistributedLtfbConfig base_config() {
+  DistributedLtfbConfig config;
+  config.ranks_per_trainer = 2;
+  config.batch_size = 16;
+  config.ltfb.steps_per_round = 4;
+  config.ltfb.rounds = 3;
+  config.ltfb.pretrain_steps = 4;
+  config.model = tiny_config();
+  config.seed = 60;
+  return config;
+}
+
+std::string temp_timeseries(const std::string& name) {
+  const auto path = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove(path);
+  return path.string();
+}
+
+std::vector<JsonValue> read_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing timeseries at " << path;
+  std::vector<JsonValue> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    lines.push_back(JsonParser(line).parse());
+  }
+  return lines;
+}
+
+TEST(Observability, ClusterAggregatesMatchPerRankRegistries) {
+  TelemetryGuard guard;
+  const data::Dataset dataset = tiny_dataset(400, 61);
+  const auto splits = data::split_dataset(dataset.size(), 0.7, 0.15, 62);
+  auto config = base_config();
+  config.metrics_timeseries_path =
+      temp_timeseries("ltfb_obs_timeseries.jsonl");
+
+  comm::World::run(4, [&](comm::Communicator& world) {
+    const auto outcome =
+        run_distributed_ltfb(world, dataset, splits, config);
+    EXPECT_FALSE(outcome.aborted);
+  });
+
+  const auto lines = read_jsonl(config.metrics_timeseries_path);
+  ASSERT_EQ(lines.size(), config.ltfb.rounds);
+
+  std::uint64_t steps_in_timeseries = 0;
+  std::uint64_t rounds_counter_in_timeseries = 0;
+  for (std::size_t r = 0; r < lines.size(); ++r) {
+    const JsonValue& line = lines[r];
+    EXPECT_EQ(line.at("round").number, static_cast<double>(r));
+    EXPECT_EQ(line.at("ranks_expected").number, 4.0);
+    EXPECT_EQ(line.at("ranks_reporting").number, 4.0);
+    ASSERT_EQ(line.at("reporting_ranks").array.size(), 4u);
+    ASSERT_EQ(line.at("per_rank").object.size(), 4u);
+
+    // The honest-aggregation invariant: every cluster counter equals the
+    // sum of the per-rank deltas shipped the same round.
+    std::map<std::string, std::uint64_t> summed;
+    for (const auto& [rank, stats] : line.at("per_rank").object) {
+      for (const auto& [name, value] : stats.at("counters").object) {
+        summed[name] += static_cast<std::uint64_t>(value.number);
+      }
+    }
+    for (const auto& [name, value] : line.at("counters").object) {
+      EXPECT_EQ(static_cast<std::uint64_t>(value.number), summed[name])
+          << "round " << r << " cluster counter " << name
+          << " != sum of per-rank deltas";
+    }
+    for (const auto& [name, expected] : summed) {
+      EXPECT_TRUE(line.at("counters").has(name))
+          << "round " << r << ": per-rank counter " << name
+          << " missing from cluster aggregate";
+      (void)expected;
+    }
+
+    // Step-time statistics are internally consistent.
+    const JsonValue& st = line.at("step_time");
+    EXPECT_LE(st.at("min_s").number, st.at("mean_s").number);
+    EXPECT_LE(st.at("mean_s").number, st.at("max_s").number);
+    EXPECT_NEAR(st.at("gap_s").number,
+                st.at("max_s").number - st.at("min_s").number, 1e-12);
+
+    // Tournament fields: a live winner and a sane adoption rate.
+    EXPECT_GE(line.at("winner_trainer").number, 0.0);
+    EXPECT_LT(line.at("winner_trainer").number, 2.0);
+    EXPECT_GE(line.at("adoption_rate").number, 0.0);
+    EXPECT_LE(line.at("adoption_rate").number, 1.0);
+    EXPECT_GT(line.at("round_wall_s").number, 0.0);
+
+    const JsonValue& timers = line.at("timers");
+    if (timers.has("trainer/step")) {
+      steps_in_timeseries += static_cast<std::uint64_t>(
+          timers.at("trainer/step").at("count").number);
+    }
+    if (line.at("counters").has("ltfb/rounds")) {
+      rounds_counter_in_timeseries += static_cast<std::uint64_t>(
+          line.at("counters").at("ltfb/rounds").number);
+    }
+  }
+
+  // Round-stable totals summed over every round equal the final per-rank
+  // registries: nothing was double-counted or dropped in flight. (Only
+  // metrics that do not advance after the last round boundary qualify —
+  // comm counters keep moving during the final eval broadcast.)
+  auto& registry = Registry::instance();
+  std::uint64_t steps_in_registry = 0;
+  std::uint64_t rounds_in_registry = 0;
+  for (int rank = 0; rank < 4; ++rank) {
+    const auto snap = registry.snapshot_rank(rank);
+    for (const auto& t : snap.timers) {
+      if (t.name == "trainer/step") steps_in_registry += t.count;
+    }
+    for (const auto& c : snap.counters) {
+      if (c.name == "ltfb/rounds") rounds_in_registry += c.value;
+    }
+  }
+  // 4 ranks x 3 rounds x 4 steps.
+  EXPECT_EQ(steps_in_timeseries, 48u);
+  EXPECT_EQ(steps_in_timeseries, steps_in_registry);
+  // Every rank counts every round.
+  EXPECT_EQ(rounds_counter_in_timeseries, 12u);
+  EXPECT_EQ(rounds_counter_in_timeseries, rounds_in_registry);
+}
+
+TEST(Observability, InactiveWithoutOutputsPerformsNoAggregation) {
+  TelemetryGuard guard;
+  const data::Dataset dataset = tiny_dataset(400, 61);
+  const auto splits = data::split_dataset(dataset.size(), 0.7, 0.15, 62);
+  auto config = base_config();
+  // Telemetry enabled but no timeseries path and no live progress: the
+  // aggregator must stay inactive (zero comm, no artifact).
+  config.metrics_timeseries_path.clear();
+
+  comm::World::run(4, [&](comm::Communicator& world) {
+    const auto outcome =
+        run_distributed_ltfb(world, dataset, splits, config);
+    EXPECT_FALSE(outcome.aborted);
+  });
+  EXPECT_EQ(
+      Registry::instance().counter("ltfb/metrics_rounds_aggregated").value(),
+      0u);
+}
+
+TEST(Observability, DeadRankReportedMissingAndExcluded) {
+  TelemetryGuard guard;
+  const data::Dataset dataset = tiny_dataset(400, 61);
+  const auto splits = data::split_dataset(dataset.size(), 0.7, 0.15, 62);
+  auto config = base_config();
+  config.ranks_per_trainer = 1;  // every rank is a leader
+  config.ltfb.rounds = 4;
+  config.ltfb.steps_per_round = 2;
+  config.ltfb.pretrain_steps = 2;
+  config.comm_timeout = std::chrono::milliseconds(2000);
+  config.metrics_timeseries_path =
+      temp_timeseries("ltfb_obs_fault_timeseries.jsonl");
+
+  comm::World world(4);
+  world.set_fault_schedule(comm::FaultSchedule().kill(3, 10));
+  const auto errors = world.run_ranks([&](comm::Communicator& comm) {
+    (void)run_distributed_ltfb(comm, dataset, splits, config);
+  });
+  // The victim unwound with the injected fault; survivors finished.
+  ASSERT_NE(errors[3], nullptr);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(errors[static_cast<std::size_t>(r)], nullptr) << "rank " << r;
+  }
+
+  const auto lines = read_jsonl(config.metrics_timeseries_path);
+  ASSERT_FALSE(lines.empty());
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.at("ranks_expected").number, 4.0);
+  }
+  // After the kill the survivors keep aggregating without rank 3: the
+  // final round reports fewer ranks and rank 3 is not among them.
+  const JsonValue& last = lines.back();
+  EXPECT_LT(last.at("ranks_reporting").number, 4.0);
+  for (const auto& rank : last.at("reporting_ranks").array) {
+    EXPECT_NE(rank.number, 3.0);
+  }
+}
+
+}  // namespace

@@ -2,14 +2,14 @@
 // naming convention, kind conflicts), counter/gauge/timer accumulation
 // hammered concurrently from the ThreadPool (exact totals — run under
 // LTFB_SANITIZE=thread in CI), span nesting, disabled-mode no-ops, the
-// Logger-sink metrics path, and a golden check that an end-to-end run
-// produces a structurally valid Chrome trace with spans from all four
-// instrumented runtime subsystems.
+// Logger-sink metrics path, rank attribution (per-rank metric scopes,
+// per-rank trace pids, thread_name metadata, flow events), and golden
+// checks that end-to-end runs produce structurally valid Chrome traces.
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <cctype>
 #include <cstddef>
+#include <thread>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -24,6 +24,7 @@
 #include "data/dataset.hpp"
 #include "datastore/data_store.hpp"
 #include "jag/jag_model.hpp"
+#include "minijson.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -32,6 +33,8 @@
 namespace {
 
 using ltfb::telemetry::Registry;
+using testjson::JsonParser;
+using testjson::JsonValue;
 
 /// Re-arms the registry for one test and restores the quiet default after.
 class TelemetryGuard {
@@ -48,193 +51,6 @@ class TelemetryGuard {
     registry.clear_trace();
     registry.reset_metrics();
   }
-};
-
-// ---------------------------------------------------------------------------
-// Minimal JSON parser — just enough to validate exporter output without a
-// third-party dependency. Numbers parse as double; no \u escapes (the
-// exporters never emit them for the names this repo uses).
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Kind { Null, Bool, Number, String, Array, Object };
-  Kind kind = Kind::Null;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  const JsonValue& at(const std::string& key) const {
-    const auto it = object.find(key);
-    if (it == object.end()) {
-      throw ltfb::Error("json: missing key '" + key + "'");
-    }
-    return it->second;
-  }
-  bool has(const std::string& key) const { return object.count(key) != 0; }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue value = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) {
-      throw ltfb::Error("json: trailing characters at " + std::to_string(pos_));
-    }
-    return value;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) throw ltfb::Error("json: unexpected end");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) {
-      throw ltfb::Error(std::string("json: expected '") + c + "' at " +
-                        std::to_string(pos_));
-    }
-    ++pos_;
-  }
-
-  JsonValue parse_value() {
-    skip_ws();
-    const char c = peek();
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') {
-      JsonValue v;
-      v.kind = JsonValue::Kind::String;
-      v.string = parse_string();
-      return v;
-    }
-    if (c == 't' || c == 'f') return parse_bool();
-    if (c == 'n') return parse_null();
-    return parse_number();
-  }
-
-  JsonValue parse_object() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::Object;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      skip_ws();
-      std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      v.object.emplace(std::move(key), parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue parse_array() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::Array;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.array.push_back(parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (peek() != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        const char esc = peek();
-        ++pos_;
-        switch (esc) {
-          case 'n': out.push_back('\n'); break;
-          case 't': out.push_back('\t'); break;
-          case '"': out.push_back('"'); break;
-          case '\\': out.push_back('\\'); break;
-          default:
-            throw ltfb::Error(std::string("json: unsupported escape \\") +
-                              esc);
-        }
-      } else {
-        out.push_back(c);
-      }
-    }
-    ++pos_;
-    return out;
-  }
-
-  JsonValue parse_bool() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::Bool;
-    if (text_.compare(pos_, 4, "true") == 0) {
-      v.boolean = true;
-      pos_ += 4;
-    } else if (text_.compare(pos_, 5, "false") == 0) {
-      v.boolean = false;
-      pos_ += 5;
-    } else {
-      throw ltfb::Error("json: bad literal");
-    }
-    return v;
-  }
-
-  JsonValue parse_null() {
-    if (text_.compare(pos_, 4, "null") != 0) {
-      throw ltfb::Error("json: bad literal");
-    }
-    pos_ += 4;
-    return JsonValue{};
-  }
-
-  JsonValue parse_number() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    JsonValue v;
-    v.kind = JsonValue::Kind::Number;
-    v.number = std::stod(text_.substr(start, pos_ - start));
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -591,6 +407,12 @@ TEST(TelemetryTrace, EndToEndChromeTraceFromFourSubsystems) {
       saw_process_metadata |= event.at("name").string == "process_name";
       continue;
     }
+    if (ph == "s" || ph == "f") {
+      // Cross-rank flow endpoints from the comm layer's correlation ids.
+      ASSERT_TRUE(event.has("id"));
+      ASSERT_TRUE(event.has("ts"));
+      continue;
+    }
     ASSERT_EQ(ph, "X");
     ASSERT_TRUE(event.has("tid"));
     ASSERT_TRUE(event.has("ts"));
@@ -605,6 +427,193 @@ TEST(TelemetryTrace, EndToEndChromeTraceFromFourSubsystems) {
   EXPECT_TRUE(subsystems.count("datastore")) << "no datastore spans";
   EXPECT_TRUE(subsystems.count("threadpool")) << "no threadpool spans";
   EXPECT_TRUE(subsystems.count("trainer")) << "no trainer spans";
+}
+
+// ---------------------------------------------------------------------------
+// Rank attribution: per-rank metric scopes, thread names, rank trace pids,
+// cross-rank flow correlation
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryRank, RankScopedMetricsLandInBoundScope) {
+  TelemetryGuard guard;
+  auto& registry = Registry::instance();
+  auto counter = registry.counter("testrank/hits");
+  auto gauge = registry.gauge("testrank/depth");
+  auto timer = registry.timer("testrank/lat");
+  {
+    const ltfb::telemetry::RankBinding bind(3);
+    counter.add(5);
+    gauge.set(2.5);
+    timer.record(0.25);
+  }
+  counter.add(2);  // unbound: global only
+
+  const auto rank3 = registry.snapshot_rank(3);
+  const auto rank0 = registry.snapshot_rank(0);
+  auto find_counter = [](const ltfb::telemetry::MetricsSnapshot& snap,
+                         const std::string& name) -> std::uint64_t {
+    for (const auto& c : snap.counters) {
+      if (c.name == name) return c.value;
+    }
+    return 0;
+  };
+  EXPECT_EQ(find_counter(rank3, "testrank/hits"), 5u);
+  EXPECT_EQ(find_counter(rank0, "testrank/hits"), 0u);
+  EXPECT_EQ(counter.value(), 7u);  // global scope sees both
+  bool timer_found = false;
+  for (const auto& t : rank3.timers) {
+    if (t.name != "testrank/lat") continue;
+    timer_found = true;
+    EXPECT_EQ(t.count, 1u);
+    EXPECT_NEAR(t.total_s, 0.25, 1e-9);
+  }
+  EXPECT_TRUE(timer_found);
+  bool gauge_found = false;
+  for (const auto& g : rank3.gauges) {
+    if (g.name != "testrank/depth") continue;
+    gauge_found = true;
+    EXPECT_EQ(g.value, 2.5);
+    EXPECT_EQ(g.sets, 1u);
+  }
+  EXPECT_TRUE(gauge_found);
+}
+
+TEST(TelemetryRank, RankBindingRestoresPreviousBinding) {
+  TelemetryGuard guard;
+  ltfb::telemetry::bind_rank(2);
+  {
+    const ltfb::telemetry::RankBinding inner(7);
+    EXPECT_EQ(ltfb::telemetry::bound_rank(), 7);
+  }
+  EXPECT_EQ(ltfb::telemetry::bound_rank(), 2);
+  ltfb::telemetry::bind_rank(-1);
+  EXPECT_EQ(ltfb::telemetry::bound_rank(), -1);
+}
+
+TEST(TelemetryRank, BindRankValidatesRange) {
+  EXPECT_THROW(ltfb::telemetry::bind_rank(-2), ltfb::InvalidArgument);
+  EXPECT_THROW(
+      ltfb::telemetry::bind_rank(ltfb::telemetry::detail::kMaxRankScopes),
+      ltfb::InvalidArgument);
+}
+
+TEST(TelemetryRank, SetThreadNameAppearsInTraceMetadata) {
+  TelemetryGuard guard;
+  auto& registry = Registry::instance();
+  // A named worker thread (pool workers name themselves the same way).
+  std::thread worker([] {
+    ltfb::telemetry::set_thread_name("testrank/worker");
+    LTFB_SPAN("testrank/work");
+  });
+  worker.join();
+
+  const JsonValue trace = JsonParser(registry.trace_json()).parse();
+  bool named = false;
+  for (const auto& event : trace.at("traceEvents").array) {
+    if (event.at("ph").string == "M" &&
+        event.at("name").string == "thread_name" &&
+        event.at("args").at("name").string == "testrank/worker") {
+      named = true;
+    }
+  }
+  EXPECT_TRUE(named) << "thread_name metadata missing from trace";
+}
+
+TEST(TelemetryRank, MultiRankTraceGoldenWithFlows) {
+  TelemetryGuard guard;
+  auto& registry = Registry::instance();
+
+  // Two ranks, one message each way: World::run_ranks binds the rank
+  // scopes; the comm layer stamps flow correlation ids on both endpoints.
+  ltfb::comm::World::run(2, [](ltfb::comm::Communicator& comm) {
+    LTFB_SPAN("testrank/rank_main");
+    const ltfb::comm::Buffer payload{1, 2, 3};
+    if (comm.rank() == 0) {
+      comm.send(1, 42, payload);
+      (void)comm.recv(1, 43);
+    } else {
+      (void)comm.recv(0, 42);
+      comm.send(0, 43, payload);
+    }
+  });
+
+  const JsonValue trace = JsonParser(registry.trace_json()).parse();
+  const auto& events = trace.at("traceEvents").array;
+
+  // One pid per rank, with "rank N" process metadata.
+  std::map<double, std::string> process_names;
+  std::set<double> span_pids;
+  std::map<std::string, std::vector<const JsonValue*>> flow_starts;
+  std::map<std::string, std::vector<const JsonValue*>> flow_finishes;
+  for (const auto& event : events) {
+    const std::string& ph = event.at("ph").string;
+    if (ph == "M" && event.at("name").string == "process_name") {
+      process_names[event.at("pid").number] =
+          event.at("args").at("name").string;
+    } else if (ph == "X") {
+      span_pids.insert(event.at("pid").number);
+    } else if (ph == "s") {
+      flow_starts[event.at("id").string].push_back(&event);
+    } else if (ph == "f") {
+      flow_finishes[event.at("id").string].push_back(&event);
+      EXPECT_EQ(event.at("bp").string, "e");
+    }
+  }
+  const double pid0 = ltfb::telemetry::kRankPidBase + 0;
+  const double pid1 = ltfb::telemetry::kRankPidBase + 1;
+  EXPECT_TRUE(span_pids.count(pid0)) << "no spans on rank 0's pid";
+  EXPECT_TRUE(span_pids.count(pid1)) << "no spans on rank 1's pid";
+  ASSERT_TRUE(process_names.count(pid0));
+  ASSERT_TRUE(process_names.count(pid1));
+  EXPECT_EQ(process_names[pid0], "rank 0");
+  EXPECT_EQ(process_names[pid1], "rank 1");
+
+  // At least one matched send->recv flow pair, crossing rank pids, with
+  // the receive at or after the send.
+  std::size_t matched = 0;
+  for (const auto& [id, starts] : flow_starts) {
+    const auto it = flow_finishes.find(id);
+    if (it == flow_finishes.end()) continue;
+    ASSERT_EQ(starts.size(), 1u) << "duplicate flow id " << id;
+    ASSERT_EQ(it->second.size(), 1u) << "duplicate flow id " << id;
+    const JsonValue& start = *starts.front();
+    const JsonValue& finish = *it->second.front();
+    EXPECT_NE(start.at("pid").number, finish.at("pid").number);
+    EXPECT_GE(finish.at("ts").number, start.at("ts").number);
+    ++matched;
+  }
+  EXPECT_GE(matched, 2u) << "expected both messages to produce flow pairs";
+  EXPECT_GE(registry.flow_count(), 4u);  // two s + two f endpoints
+}
+
+TEST(TelemetryRank, FlowIdsAreDeterministicPerDirection) {
+  TelemetryGuard guard;
+  auto& registry = Registry::instance();
+  auto run_once = [&] {
+    registry.clear_trace();
+    ltfb::comm::World::run(2, [](ltfb::comm::Communicator& comm) {
+      const ltfb::comm::Buffer payload{9};
+      if (comm.rank() == 0) {
+        comm.send(1, 7, payload);
+        comm.send(1, 7, payload);
+      } else {
+        (void)comm.recv(0, 7);
+        (void)comm.recv(0, 7);
+      }
+    });
+    std::set<std::string> ids;
+    const JsonValue trace = JsonParser(registry.trace_json()).parse();
+    for (const auto& event : trace.at("traceEvents").array) {
+      if (event.at("ph").string == "s") ids.insert(event.at("id").string);
+    }
+    return ids;
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first.size(), 2u) << "per-pair sequence should split the ids";
+  // Same (comm, tag, src, dst, seq) inputs on a fresh world -> same ids:
+  // both sides of a real wire could derive them independently.
+  EXPECT_EQ(first, second);
 }
 
 // ---------------------------------------------------------------------------
@@ -625,6 +634,54 @@ TEST(TelemetryExport, MetricsJsonRoundTrips) {
   const auto& timer = metrics.at("timers").at("testexport/lat");
   EXPECT_EQ(timer.at("count").number, 1.0);
   EXPECT_NEAR(timer.at("total_s").number, 0.5, 1e-9);
+}
+
+TEST(TelemetryExport, TimerJsonCarriesP99AndRate) {
+  TelemetryGuard guard;
+  auto& registry = Registry::instance();
+  auto timer = registry.timer("testexport/p99_timer");
+  for (int i = 0; i < 100; ++i) timer.record(0.001);
+  timer.record(0.5);  // tail sample
+
+  const JsonValue metrics = JsonParser(registry.metrics_json()).parse();
+  const auto& stat = metrics.at("timers").at("testexport/p99_timer");
+  ASSERT_TRUE(stat.has("p99_s"));
+  ASSERT_TRUE(stat.has("rate_per_s"));
+  // p99 is a log2-bucket upper bound: monotone over lower percentiles and
+  // at least the bulk latency.
+  EXPECT_GE(stat.at("p99_s").number, stat.at("p95_s").number);
+  EXPECT_GE(stat.at("p99_s").number, 0.001);
+  // 101 records within the window since reset_metrics: a positive rate.
+  EXPECT_GT(stat.at("rate_per_s").number, 0.0);
+
+  const auto snapshot = registry.snapshot();
+  for (const auto& t : snapshot.timers) {
+    if (t.name != "testexport/p99_timer") continue;
+    EXPECT_GE(t.p99_s, t.p95_s);
+    EXPECT_GT(t.rate_per_s, 0.0);
+  }
+}
+
+TEST(TelemetryExport, JsonEscapeControlCharsAndNonAscii) {
+  using ltfb::telemetry::json_escape;
+  // Named escapes.
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  // Unnamed control characters become \u00XX.
+  EXPECT_EQ(json_escape(std::string("a\x01z", 3)), "a\\u0001z");
+  EXPECT_EQ(json_escape(std::string("\x00", 1)), "\\u0000");
+  EXPECT_EQ(json_escape("\x1f"), "\\u001f");
+  // Non-ASCII UTF-8 passes through byte-for-byte (valid JSON as long as
+  // the document stays UTF-8, which ofstream preserves).
+  EXPECT_EQ(json_escape("caf\xc3\xa9"), "caf\xc3\xa9");
+
+  // Round-trip: a JSON document built with json_escape parses back to the
+  // original string, including \uXXXX decoding in the parser.
+  const std::string nasty = "tab\t quote\" back\\ bell\x07 utf8 \xc3\xa9";
+  const std::string doc = "{\"k\": \"" + json_escape(nasty) + "\"}";
+  const JsonValue parsed = JsonParser(doc).parse();
+  EXPECT_EQ(parsed.at("k").string, nasty);
 }
 
 TEST(TelemetryExport, LogMetricsFlowsThroughLoggerSinks) {

@@ -18,6 +18,12 @@ kernel regression (a de-tiled GEMM, an accidentally serial hot loop) fails
 the job. Gauges present in the dump but absent from the baseline are
 informational only; gauges in the baseline but missing from the dump are an
 error (the bench stopped measuring them).
+
+Every run also schema-checks the telemetry blocks of the dump (counters /
+gauges / timers produced by Registry::write_metrics_json) so a malformed
+exporter fails CI even when no floor tripped. `--schema-only` runs just
+that structural check — used by the observability CI job on metrics dumps
+that have no bench floors.
 """
 
 from __future__ import annotations
@@ -28,15 +34,68 @@ import pathlib
 import sys
 
 
+TIMER_FIELDS = ("count", "total_s", "min_s", "max_s", "mean_s",
+                "p50_s", "p95_s", "p99_s", "rate_per_s")
+GAUGE_FIELDS = ("value", "max", "sets")
+
+
+def validate_schema(metrics: dict) -> list[str]:
+    """Structural check on a Registry::write_metrics_json dump. Returns a
+    list of violations (empty when the telemetry blocks are well-formed)."""
+    errors = []
+    for block in ("counters", "gauges", "timers"):
+        if block not in metrics:
+            errors.append(f"missing top-level block: {block}")
+        elif not isinstance(metrics[block], dict):
+            errors.append(f"{block}: expected an object")
+    for name, value in metrics.get("counters", {}).items():
+        if not isinstance(value, int) or value < 0:
+            errors.append(f"counters/{name}: not a non-negative integer")
+    for name, gauge in metrics.get("gauges", {}).items():
+        for field in GAUGE_FIELDS:
+            if not isinstance(gauge.get(field), (int, float)):
+                errors.append(f"gauges/{name}: missing numeric '{field}'")
+    for name, timer in metrics.get("timers", {}).items():
+        for field in TIMER_FIELDS:
+            if not isinstance(timer.get(field), (int, float)):
+                errors.append(f"timers/{name}: missing numeric '{field}'")
+        if all(isinstance(timer.get(f), (int, float)) for f in TIMER_FIELDS):
+            if timer["count"] > 0 and not (
+                    timer["min_s"] <= timer["mean_s"] <= timer["max_s"]):
+                errors.append(f"timers/{name}: mean outside [min, max]")
+            if timer["p99_s"] < timer["p95_s"] or timer["p95_s"] < timer["p50_s"]:
+                errors.append(f"timers/{name}: percentiles not monotone")
+            if timer["rate_per_s"] < 0:
+                errors.append(f"timers/{name}: negative rate_per_s")
+    return errors
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("metrics", type=pathlib.Path,
                         help="BENCH_<name>.json written by a bench binary")
     parser.add_argument("--baseline", type=pathlib.Path,
                         default=pathlib.Path("bench/baseline.json"))
+    parser.add_argument("--schema-only", action="store_true",
+                        help="only validate the telemetry block schema; "
+                        "skip the baseline floor comparison")
     args = parser.parse_args()
 
     metrics = json.loads(args.metrics.read_text())
+
+    schema_errors = validate_schema(metrics)
+    if schema_errors:
+        print(f"telemetry schema check FAILED for {args.metrics}:",
+              file=sys.stderr)
+        for error in schema_errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print(f"telemetry schema ok: {len(metrics.get('counters', {}))} "
+          f"counter(s), {len(metrics.get('gauges', {}))} gauge(s), "
+          f"{len(metrics.get('timers', {}))} timer(s)")
+    if args.schema_only:
+        return 0
+
     baseline = json.loads(args.baseline.read_text())
     gauges = metrics.get("gauges", {})
 

@@ -31,6 +31,12 @@ target, so `ctest` and CI exercise it on every build):
                     fault-tolerance layer depends on every wait being
                     bounded. src/comm/ itself (which implements both
                     flavours) is exempt.
+  rank-bind         entry points that cross a thread boundary (rank threads,
+                    pool workers, prefetch threads) must propagate the
+                    telemetry rank binding (telemetry::bind_rank or a
+                    RankBinding guard) so spawned work lands on the right
+                    per-rank metric scope and Perfetto track — the manifest
+                    below names each one.
   matmul-nest       raw triple-nested multiply-accumulate loops are banned
                     outside src/tensor/: hand-rolled GEMMs silently bypass
                     the register-tiled, pool-threaded, conformance-tested
@@ -159,8 +165,35 @@ ENTRY_CHECK_MANIFEST = {
         ("Registry::gauge", "Registry::gauge"),
         ("Registry::timer", "Registry::timer"),
         ("Registry::record_sim_span", "Registry::record_sim_span"),
+        ("telemetry::bind_rank", "bind_rank"),
+    ],
+    "src/core/metrics_aggregator.cpp": [
+        ("ClusterMetricsAggregator::ClusterMetricsAggregator",
+         "ClusterMetricsAggregator::ClusterMetricsAggregator"),
     ],
 }
+
+# Rank-attribution boundary: these entry points hand work to other threads
+# (rank threads, pool workers, the datastore prefetch thread). Each body
+# must re-establish the telemetry rank binding on the receiving thread —
+# via telemetry::bind_rank or a RankBinding guard — or that thread's
+# metrics and spans silently land on the unbound track.
+RANK_BIND_MANIFEST = {
+    "src/comm/communicator.cpp": [
+        ("World::run_ranks", "World::run_ranks"),
+    ],
+    "src/core/ltfb_comm.cpp": [
+        ("run_distributed_ltfb", "run_distributed_ltfb"),
+    ],
+    "src/datastore/data_store.cpp": [
+        ("DataStore::begin_fetch", "DataStore::begin_fetch"),
+    ],
+    "src/util/compute_pool.cpp": [
+        ("ComputePool::run_tasks", "ComputePool::run_tasks"),
+    ],
+}
+
+RANK_BIND_PATTERN = re.compile(r"\bbind_rank\b|\bRankBinding\b")
 
 # The stopwatch shim is compatibility-only: new code names the telemetry
 # clock directly. Tests are exempt (they assert the shim aliases correctly);
@@ -567,6 +600,28 @@ def check_entry_points(rel: str, stripped: str, findings):
                 "arguments/state (LTFB_CHECK / LTFB_ASSERT / throw)"))
 
 
+def check_rank_binding(rel: str, stripped: str, findings):
+    manifest = RANK_BIND_MANIFEST.get(rel)
+    if not manifest:
+        return
+    for display, token in manifest:
+        bodies = list(find_function_bodies(stripped, token))
+        if not bodies:
+            findings.append(Finding(
+                rel, 1, "rank-bind",
+                f"manifest entry point {display} not found — update "
+                "tools/ltfb_lint.py if it moved or was renamed"))
+            continue
+        for offset, body in bodies:
+            if RANK_BIND_PATTERN.search(body):
+                continue
+            findings.append(Finding(
+                rel, line_of(stripped, offset), "rank-bind",
+                f"{display} crosses a thread boundary without propagating "
+                "the telemetry rank binding (telemetry::bind_rank / "
+                "RankBinding)"))
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", type=pathlib.Path,
@@ -597,6 +652,7 @@ def main() -> int:
         check_comm_deadlines(rel, stripped, findings)
         check_matmul_nest(rel, stripped, findings)
         check_entry_points(rel, stripped, findings)
+        check_rank_binding(rel, stripped, findings)
 
     if args.list:
         return 0
