@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "telemetry/telemetry.hpp"
+#include "util/annotations.hpp"
 #include "util/rng.hpp"
 
 namespace ltfb::comm {
@@ -27,9 +28,12 @@ struct Envelope {
 };
 
 struct Mailbox {
-  std::mutex mutex;
+  // Lock order: a thread holding this mutex takes no other lock except the
+  // leaf telemetry locks (try_complete records the receive-side flow
+  // endpoint while matching). See DESIGN.md §12.
+  util::Mutex mutex;
   std::condition_variable cv;
-  std::deque<Envelope> messages;
+  std::deque<Envelope> messages LTFB_GUARDED_BY(mutex);
 };
 
 /// Per-rank liveness and deterministic fault-injection counters. `dead`
@@ -85,10 +89,10 @@ struct WorldState {
     RankStatus& s = *status[static_cast<std::size_t>(world_rank)];
     (clean ? s.departed : s.dead).store(true, std::memory_order_release);
     for (const auto& mailbox : mailboxes) {
-      { const std::scoped_lock lock(mailbox->mutex); }
+      { const util::MutexLock lock(mailbox->mutex); }
       mailbox->cv.notify_all();
     }
-    { const std::scoped_lock lock(shrink_mutex); }
+    { const util::MutexLock lock(shrink_mutex); }
     shrink_cv.notify_all();
   }
 
@@ -103,7 +107,7 @@ struct WorldState {
                              int dst) {
     std::uint64_t seq = 0;
     {
-      const std::scoped_lock lock(flow_mutex);
+      const util::MutexLock lock(flow_mutex);
       seq = flow_seq[std::tuple(comm_id, tag, src, dst)]++;
     }
     const std::uint64_t pair =
@@ -117,12 +121,15 @@ struct WorldState {
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
   std::vector<std::unique_ptr<RankStatus>> status;
   FaultSchedule faults;
-  std::mutex shrink_mutex;
+  util::Mutex shrink_mutex;
   std::condition_variable shrink_cv;
-  std::map<std::pair<std::uint64_t, std::uint64_t>, ShrinkPoint> shrink_points;
-  std::mutex flow_mutex;
+  // ShrinkPoint values (arrived/sealed/aborted/survivors) inherit this
+  // guard: they are only ever reached through the map under shrink_mutex.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, ShrinkPoint> shrink_points
+      LTFB_GUARDED_BY(shrink_mutex);
+  util::Mutex flow_mutex;
   std::map<std::tuple<std::uint64_t, std::int64_t, int, int>, std::uint64_t>
-      flow_seq;
+      flow_seq LTFB_GUARDED_BY(flow_mutex);
 };
 
 struct PendingRecv {
@@ -176,8 +183,9 @@ bool matches(const Envelope& env, std::uint64_t comm_id, int src_world,
 }
 
 /// Tries to complete a pending receive from the mailbox. Caller holds the
-/// mailbox mutex.
-bool try_complete(PendingRecv& pending) {
+/// mailbox mutex (LTFB_REQUIRES).
+bool try_complete(PendingRecv& pending)
+    LTFB_REQUIRES(pending.mailbox->mutex) {
   auto& queue = pending.mailbox->messages;
   for (auto it = queue.begin(); it != queue.end(); ++it) {
     if (matches(*it, pending.comm_id, pending.src_world, pending.tag,
@@ -305,7 +313,7 @@ std::vector<float> floats_from_buffer(const Buffer& buffer) {
 
 bool Request::test() {
   LTFB_CHECK_MSG(state_, "test() on an invalid request");
-  const std::scoped_lock lock(state_->mailbox->mutex);
+  const util::MutexLock lock(state_->mailbox->mutex);
   if (state_->done) return true;
   return detail::try_complete(*state_);
 }
@@ -322,7 +330,7 @@ void Request::wait(std::chrono::milliseconds timeout) {
 void Request::wait_impl(const std::chrono::milliseconds* timeout) {
   LTFB_CHECK_MSG(state_, "wait() on an invalid request");
   LTFB_TIMED_SCOPE("comm/recv_wait");
-  std::unique_lock lock(state_->mailbox->mutex);
+  util::MutexLock lock(state_->mailbox->mutex);
   const auto deadline = (timeout != nullptr)
                             ? std::chrono::steady_clock::now() + *timeout
                             : std::chrono::steady_clock::time_point{};
@@ -331,8 +339,8 @@ void Request::wait_impl(const std::chrono::milliseconds* timeout) {
     const int failed = detail::hopeless_peer(*state_);
     if (failed >= 0) detail::throw_rank_failed(*state_, failed);
     if (timeout == nullptr) {
-      state_->mailbox->cv.wait(lock);
-    } else if (state_->mailbox->cv.wait_until(lock, deadline) ==
+      state_->mailbox->cv.wait(lock.native());
+    } else if (state_->mailbox->cv.wait_until(lock.native(), deadline) ==
                std::cv_status::timeout) {
       // Final completion check under the lock, then give up. The pending
       // receive is left registered-but-unconsumed: the request stays valid
@@ -395,7 +403,7 @@ void Communicator::send(int dst, int tag, const Buffer& payload) {
   }
   auto& mailbox = *world_->mailboxes[static_cast<std::size_t>(world_dst)];
   {
-    const std::scoped_lock lock(mailbox.mutex);
+    const util::MutexLock lock(mailbox.mutex);
     mailbox.messages.push_back(
         detail::Envelope{me, comm_id_, tag, payload, flow_id});
   }
@@ -514,7 +522,7 @@ void internal_send(Communicator& comm, detail::WorldState& world,
   }
   auto& mailbox = *world.mailboxes[static_cast<std::size_t>(world_dst)];
   {
-    const std::scoped_lock lock(mailbox.mutex);
+    const util::MutexLock lock(mailbox.mutex);
     mailbox.messages.push_back(
         detail::Envelope{world_src, comm_id, tag, payload, flow_id});
   }
@@ -536,7 +544,7 @@ Buffer internal_recv(detail::WorldState& world, const std::vector<int>& group,
   pending.world = &world;
   pending.self_world = group[static_cast<std::size_t>(my_rank)];
   pending.collective = true;
-  std::unique_lock lock(mailbox.mutex);
+  util::MutexLock lock(mailbox.mutex);
   for (;;) {
     if (pending.done || detail::try_complete(pending)) break;
     // A dead rank anywhere in the group stalls the whole pattern (possibly
@@ -545,7 +553,7 @@ Buffer internal_recv(detail::WorldState& world, const std::vector<int>& group,
     // collective eagerly is the ULFM convention.
     const int failed = detail::hopeless_peer(pending);
     if (failed >= 0) detail::throw_rank_failed(pending, failed);
-    mailbox.cv.wait(lock);
+    mailbox.cv.wait(lock.native());
   }
   return std::move(pending.payload);
 }
@@ -881,7 +889,7 @@ Communicator Communicator::shrink(std::chrono::milliseconds timeout) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::vector<int> survivors;
   {
-    std::unique_lock lock(world_->shrink_mutex);
+    util::MutexLock lock(world_->shrink_mutex);
     detail::ShrinkPoint& point = world_->shrink_points[key];
     point.arrived.push_back(me);
     world_->shrink_cv.notify_all();
@@ -902,7 +910,7 @@ Communicator Communicator::shrink(std::chrono::milliseconds timeout) {
       return true;
     };
     while (!ready()) {
-      if (world_->shrink_cv.wait_until(lock, deadline) ==
+      if (world_->shrink_cv.wait_until(lock.native(), deadline) ==
               std::cv_status::timeout &&
           !ready()) {
         // Abort the rendezvous for everyone: a divergent survivor set

@@ -209,8 +209,11 @@ std::vector<data::Sample> DataStore::fetch_from_files(
 void DataStore::begin_fetch(std::vector<data::SampleId> ids) {
   LTFB_CHECK_MSG(!prefetch_active_, "begin_fetch while a fetch is in flight");
   prefetch_active_ = true;
-  prefetch_error_ = nullptr;
-  prefetch_result_.clear();
+  {
+    const util::MutexLock lock(prefetch_mutex_);
+    prefetch_error_ = nullptr;
+    prefetch_result_.clear();
+  }
   // The helper thread works on behalf of the calling rank: carry the
   // caller's telemetry rank scope across so prefetch spans and counters
   // are attributed to the owning rank's trace track.
@@ -221,8 +224,11 @@ void DataStore::begin_fetch(std::vector<data::SampleId> ids) {
     LTFB_SPAN("datastore/prefetch");
     LTFB_TIMED_SCOPE("datastore/prefetch");
     try {
-      prefetch_result_ = fetch_now(ids);
+      std::vector<data::Sample> fetched = fetch_now(ids);
+      const util::MutexLock lock(prefetch_mutex_);
+      prefetch_result_ = std::move(fetched);
     } catch (...) {
+      const util::MutexLock lock(prefetch_mutex_);
       prefetch_error_ = std::current_exception();
     }
   });
@@ -232,8 +238,10 @@ std::vector<data::Sample> DataStore::collect_fetch() {
   LTFB_CHECK_MSG(prefetch_active_, "collect_fetch without begin_fetch");
   prefetch_thread_.join();
   prefetch_active_ = false;
+  const util::MutexLock lock(prefetch_mutex_);
   if (prefetch_error_) {
-    std::rethrow_exception(prefetch_error_);
+    std::exception_ptr error = std::exchange(prefetch_error_, nullptr);
+    std::rethrow_exception(error);
   }
   return std::move(prefetch_result_);
 }

@@ -36,6 +36,7 @@
 
 #include "comm/communicator.hpp"
 #include "datastore/bundle_catalog.hpp"
+#include "util/annotations.hpp"
 
 namespace ltfb::datastore {
 
@@ -157,9 +158,17 @@ class DataStore {
   DataStoreStats stats_;
   int step_seq_ = 0;
 
+  // The prefetch hand-off: the helper thread writes result/error, the
+  // owning thread reads them in collect_fetch. The join() already sequences
+  // the hand-off, but the mutex makes the contract checkable — any new
+  // reader that skips the join (or a second writer) trips TSA / TSan
+  // instead of silently racing. prefetch_active_ stays unguarded: it is
+  // only ever touched by the owning thread (the store's single-thread
+  // contract), never by the helper.
   std::thread prefetch_thread_;
-  std::vector<data::Sample> prefetch_result_;
-  std::exception_ptr prefetch_error_;
+  util::Mutex prefetch_mutex_;
+  std::vector<data::Sample> prefetch_result_ LTFB_GUARDED_BY(prefetch_mutex_);
+  std::exception_ptr prefetch_error_ LTFB_GUARDED_BY(prefetch_mutex_);
   bool prefetch_active_ = false;
 };
 

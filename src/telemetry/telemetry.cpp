@@ -125,10 +125,14 @@ double histogram_percentile(
 // ---------------------------------------------------------------------------
 
 struct Registry::TraceBuffer {
-  std::mutex mutex;
+  // Leaf lock: acquired after trace_mutex_ (exporters) or alone (the
+  // recording thread); never held while taking any other lock.
+  util::Mutex mutex;
+  /// Written once at registration (under trace_mutex_ in local_buffer),
+  /// immutable afterwards — readable without this buffer's mutex.
   std::uint32_t tid = 0;
   /// Track label from set_thread_name ("" = unnamed, numbered track).
-  std::string thread_name;
+  std::string thread_name LTFB_GUARDED_BY(mutex);
   struct WallSpan {
     const char* name;
     std::uint64_t start_ns;
@@ -138,14 +142,14 @@ struct Registry::TraceBuffer {
     /// time, so one thread's spans can export under several pids).
     int rank;
   };
-  std::vector<WallSpan> spans;
+  std::vector<WallSpan> spans LTFB_GUARDED_BY(mutex);
   struct FlowPoint {
     std::uint64_t id;
     std::uint64_t ts_ns;
     int rank;
     char phase;  // 's' (send side) or 'f' (receive side)
   };
-  std::vector<FlowPoint> flows;
+  std::vector<FlowPoint> flows LTFB_GUARDED_BY(mutex);
 };
 
 struct Registry::SimSpan {
@@ -187,7 +191,7 @@ Counter Registry::counter(std::string_view name) {
                      << name
                      << "\" violates the subsystem/verb convention "
                         "([a-z0-9_]+ segments joined by '/')");
-  const std::scoped_lock lock(metrics_mutex_);
+  const util::MutexLock lock(metrics_mutex_);
   if (auto* slot = find_slot(counters_, name)) return Counter(slot);
   LTFB_CHECK_MSG(!name_taken(gauges_, name) && !name_taken(timers_, name),
                  "telemetry metric \"" << name
@@ -204,7 +208,7 @@ Gauge Registry::gauge(std::string_view name) {
                      << name
                      << "\" violates the subsystem/verb convention "
                         "([a-z0-9_]+ segments joined by '/')");
-  const std::scoped_lock lock(metrics_mutex_);
+  const util::MutexLock lock(metrics_mutex_);
   if (auto* slot = find_slot(gauges_, name)) return Gauge(slot);
   LTFB_CHECK_MSG(!name_taken(counters_, name) && !name_taken(timers_, name),
                  "telemetry metric \"" << name
@@ -221,7 +225,7 @@ Timer Registry::timer(std::string_view name) {
                      << name
                      << "\" violates the subsystem/verb convention "
                         "([a-z0-9_]+ segments joined by '/')");
-  const std::scoped_lock lock(metrics_mutex_);
+  const util::MutexLock lock(metrics_mutex_);
   if (auto* slot = find_slot(timers_, name)) return Timer(slot);
   LTFB_CHECK_MSG(!name_taken(counters_, name) && !name_taken(gauges_, name),
                  "telemetry metric \"" << name
@@ -233,7 +237,7 @@ Timer Registry::timer(std::string_view name) {
 }
 
 MetricsSnapshot Registry::snapshot() const {
-  const std::scoped_lock lock(metrics_mutex_);
+  const util::MutexLock lock(metrics_mutex_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, slot] : counters_) {
@@ -281,7 +285,7 @@ MetricsSnapshot Registry::snapshot_rank(int rank) const {
                  "telemetry snapshot_rank(" << rank << ") outside [0, "
                                             << detail::kMaxRankScopes << ")");
   const auto r = static_cast<std::size_t>(rank);
-  const std::scoped_lock lock(metrics_mutex_);
+  const util::MutexLock lock(metrics_mutex_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, slot] : counters_) {
@@ -324,7 +328,7 @@ MetricsSnapshot Registry::snapshot_rank(int rank) const {
 }
 
 void Registry::reset_metrics() noexcept {
-  const std::scoped_lock lock(metrics_mutex_);
+  const util::MutexLock lock(metrics_mutex_);
   for (auto& [name, slot] : counters_) {
     slot->value.store(0, std::memory_order_relaxed);
     for (auto& cell : slot->rank_value) {
@@ -376,7 +380,7 @@ Registry::TraceBuffer& Registry::local_buffer() {
   thread_local std::shared_ptr<TraceBuffer> buffer;
   if (!buffer) {
     buffer = std::make_shared<TraceBuffer>();
-    const std::scoped_lock lock(trace_mutex_);
+    const util::MutexLock lock(trace_mutex_);
     buffer->tid = next_tid_++;
     buffers_.push_back(buffer);
   }
@@ -387,7 +391,7 @@ void Registry::record_span(const char* name, std::uint64_t start_ns,
                            std::uint64_t dur_ns) {
   LTFB_ASSERT(name != nullptr);
   TraceBuffer& buffer = local_buffer();
-  const std::scoped_lock lock(buffer.mutex);
+  const util::MutexLock lock(buffer.mutex);
   if (buffer.spans.size() >= kMaxSpansPerThread) {
     dropped_spans_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -398,7 +402,7 @@ void Registry::record_span(const char* name, std::uint64_t start_ns,
 void Registry::record_flow(std::uint64_t id, FlowPhase phase) {
   if (!enabled() || id == 0) return;
   TraceBuffer& buffer = local_buffer();
-  const std::scoped_lock lock(buffer.mutex);
+  const util::MutexLock lock(buffer.mutex);
   if (buffer.flows.size() >= kMaxSpansPerThread) {
     dropped_spans_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -409,7 +413,7 @@ void Registry::record_flow(std::uint64_t id, FlowPhase phase) {
 
 void Registry::name_current_thread(std::string_view name) {
   TraceBuffer& buffer = local_buffer();
-  const std::scoped_lock lock(buffer.mutex);
+  const util::MutexLock lock(buffer.mutex);
   buffer.thread_name.assign(name);
 }
 
@@ -423,7 +427,7 @@ void Registry::record_sim_span(std::string name, double start_s,
                              << start_s << "s duration " << duration_s
                              << "s");
   if (!enabled()) return;
-  const std::scoped_lock lock(trace_mutex_);
+  const util::MutexLock lock(trace_mutex_);
   if (sim_spans_.size() >= kMaxSpansPerThread) {
     dropped_spans_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -432,34 +436,34 @@ void Registry::record_sim_span(std::string name, double start_s,
 }
 
 std::size_t Registry::span_count() const {
-  const std::scoped_lock lock(trace_mutex_);
+  const util::MutexLock lock(trace_mutex_);
   std::size_t total = 0;
   for (const auto& buffer : buffers_) {
-    const std::scoped_lock buffer_lock(buffer->mutex);
+    const util::MutexLock buffer_lock(buffer->mutex);
     total += buffer->spans.size();
   }
   return total;
 }
 
 std::size_t Registry::sim_span_count() const {
-  const std::scoped_lock lock(trace_mutex_);
+  const util::MutexLock lock(trace_mutex_);
   return sim_spans_.size();
 }
 
 std::size_t Registry::flow_count() const {
-  const std::scoped_lock lock(trace_mutex_);
+  const util::MutexLock lock(trace_mutex_);
   std::size_t total = 0;
   for (const auto& buffer : buffers_) {
-    const std::scoped_lock buffer_lock(buffer->mutex);
+    const util::MutexLock buffer_lock(buffer->mutex);
     total += buffer->flows.size();
   }
   return total;
 }
 
 void Registry::clear_trace() {
-  const std::scoped_lock lock(trace_mutex_);
+  const util::MutexLock lock(trace_mutex_);
   for (const auto& buffer : buffers_) {
-    const std::scoped_lock buffer_lock(buffer->mutex);
+    const util::MutexLock buffer_lock(buffer->mutex);
     buffer->spans.clear();
     buffer->flows.clear();
   }
@@ -536,7 +540,7 @@ void Registry::write_trace_json(std::ostream& out) const {
   emit(R"({"ph": "M", "name": "process_name", "pid": 2, "tid": 0, )"
        R"("args": {"name": "simulator virtual time"}})");
 
-  const std::scoped_lock lock(trace_mutex_);
+  const util::MutexLock lock(trace_mutex_);
 
   // Pass 1: which rank pids appear, and which (pid, tid) tracks belong to
   // named threads — metadata must cover every track we are about to emit
@@ -547,11 +551,14 @@ void Registry::write_trace_json(std::ostream& out) const {
   struct NamedTrack {
     int pid;
     std::uint32_t tid;
-    const std::string* name;
+    // Copied (not pointed-to) under the buffer's mutex: the name is
+    // dereferenced after that lock is released, and the owning thread may
+    // rename itself concurrently.
+    std::string name;
   };
   std::vector<NamedTrack> named_tracks;
   for (const auto& buffer : buffers_) {
-    const std::scoped_lock buffer_lock(buffer->mutex);
+    const util::MutexLock buffer_lock(buffer->mutex);
     std::array<bool, static_cast<std::size_t>(detail::kMaxRankScopes)>
         here{};
     bool unbound_here = false;
@@ -573,12 +580,12 @@ void Registry::write_trace_json(std::ostream& out) const {
     }
     if (!buffer->thread_name.empty()) {
       if (unbound_here) {
-        named_tracks.push_back({1, buffer->tid, &buffer->thread_name});
+        named_tracks.push_back({1, buffer->tid, buffer->thread_name});
       }
       for (int r = 0; r < detail::kMaxRankScopes; ++r) {
         if (here[static_cast<std::size_t>(r)]) {
           named_tracks.push_back(
-              {rank_pid(r), buffer->tid, &buffer->thread_name});
+              {rank_pid(r), buffer->tid, buffer->thread_name});
         }
       }
     }
@@ -594,13 +601,13 @@ void Registry::write_trace_json(std::ostream& out) const {
     std::ostringstream line;
     line << R"({"ph": "M", "name": "thread_name", "pid": )" << track.pid
          << R"(, "tid": )" << track.tid << R"(, "args": {"name": ")"
-         << json_escape(*track.name) << R"("}})";
+         << json_escape(track.name) << R"("}})";
     emit(line.str());
   }
 
   // Pass 2: the events themselves.
   for (const auto& buffer : buffers_) {
-    const std::scoped_lock buffer_lock(buffer->mutex);
+    const util::MutexLock buffer_lock(buffer->mutex);
     for (const auto& span : buffer->spans) {
       std::ostringstream line;
       line << "{\"name\": \"" << json_escape(span.name)

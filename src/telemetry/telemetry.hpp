@@ -57,6 +57,7 @@
 #include <vector>
 
 #include "telemetry/running_stats.hpp"
+#include "util/annotations.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -545,18 +546,28 @@ class Registry {
 
   static constexpr std::size_t kMaxSpansPerThread = 1u << 20;
 
-  mutable std::mutex metrics_mutex_;
+  // Guards slot REGISTRATION only; the slots themselves are lock-free
+  // atomics updated through stable unique_ptrs, so handles never need the
+  // mutex after registration.
+  mutable util::Mutex metrics_mutex_;
   std::vector<std::pair<std::string, std::unique_ptr<detail::CounterSlot>>>
-      counters_;
+      counters_ LTFB_GUARDED_BY(metrics_mutex_);
   std::vector<std::pair<std::string, std::unique_ptr<detail::GaugeSlot>>>
-      gauges_;
+      gauges_ LTFB_GUARDED_BY(metrics_mutex_);
   std::vector<std::pair<std::string, std::unique_ptr<detail::TimerSlot>>>
-      timers_;
+      timers_ LTFB_GUARDED_BY(metrics_mutex_);
 
-  mutable std::mutex trace_mutex_;
-  std::vector<std::shared_ptr<TraceBuffer>> buffers_;
-  std::vector<SimSpan> sim_spans_;
-  std::uint32_t next_tid_ = 1;
+  // Lock order: trace_mutex_ before any TraceBuffer::mutex (the exporters
+  // iterate buffers_ with the registry lock held and lock each buffer in
+  // turn). Recording threads lock ONLY their own buffer's mutex — except
+  // the first record on a thread, where local_buffer() registers the
+  // buffer under trace_mutex_ before any buffer lock is taken. See
+  // DESIGN.md §12 for the full capability map.
+  mutable util::Mutex trace_mutex_;
+  std::vector<std::shared_ptr<TraceBuffer>> buffers_
+      LTFB_GUARDED_BY(trace_mutex_);
+  std::vector<SimSpan> sim_spans_ LTFB_GUARDED_BY(trace_mutex_);
+  std::uint32_t next_tid_ LTFB_GUARDED_BY(trace_mutex_) = 1;
   std::atomic<std::uint64_t> dropped_spans_{0};
 
   /// Start of the rate_per_s window: 0 (the now_ns epoch) until the first

@@ -46,7 +46,7 @@ ComputePool& ComputePool::instance() {
 }
 
 std::size_t ComputePool::size() const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   return workers_;
 }
 
@@ -56,7 +56,7 @@ void ComputePool::resize(std::size_t workers) {
                                                      << "], got " << workers);
   std::shared_ptr<ThreadPool> retired;
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     if (workers == workers_ && (workers == 1) == (pool_ == nullptr)) return;
     retired = std::move(pool_);  // joined below, outside the lock
     pool_ = (workers > 1)
@@ -90,7 +90,7 @@ void ComputePool::run_tasks(std::size_t tasks,
   std::shared_ptr<ThreadPool> pool;
   std::size_t workers = 1;
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     pool = pool_;
     workers = workers_;
   }

@@ -23,7 +23,8 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
+
+#include "util/annotations.hpp"
 
 namespace ltfb::util {
 
@@ -66,9 +67,10 @@ class ComputePool {
   ComputePool();
   ~ComputePool();
 
-  mutable std::mutex mutex_;
-  std::shared_ptr<ThreadPool> pool_;  // null when serial (size 1)
-  std::size_t workers_ = 1;
+  mutable Mutex mutex_;
+  // Null when serial (size 1).
+  std::shared_ptr<ThreadPool> pool_ LTFB_GUARDED_BY(mutex_);
+  std::size_t workers_ LTFB_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace ltfb::util

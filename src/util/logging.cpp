@@ -30,14 +30,14 @@ Logger::Logger() {
 }
 
 int Logger::add_sink(Sink sink) {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   const int id = next_sink_id_++;
   sinks_.emplace_back(id, std::move(sink));
   return id;
 }
 
 void Logger::remove_sink(int id) {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   for (auto it = sinks_.begin(); it != sinks_.end(); ++it) {
     if (it->first == id) {
       sinks_.erase(it);
@@ -47,14 +47,14 @@ void Logger::remove_sink(int id) {
 }
 
 std::size_t Logger::sink_count() const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   return sinks_.size();
 }
 
 void Logger::write(LogLevel level, std::string_view component,
                    const std::string& message) {
   const LogRecord record{level, component, message};
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   for (const auto& [id, sink] : sinks_) {
     sink(record);
   }

@@ -12,13 +12,15 @@
 // formats anything itself — formatting belongs to sinks.
 #pragma once
 
+#include <atomic>
 #include <functional>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace ltfb::util {
 
@@ -44,9 +46,17 @@ class Logger {
 
   static Logger& instance();
 
-  void set_level(LogLevel level) noexcept { level_ = level; }
-  LogLevel level() const noexcept { return level_; }
-  bool enabled(LogLevel level) const noexcept { return level >= level_; }
+  // The level is read on every LTFB_LOG call site without the mutex, so it
+  // is atomic: a plain LogLevel would race set_level() from another thread
+  // (e.g. a test quieting the logger while workers log). Relaxed ordering
+  // suffices — the level is an independent filter, not a synchroniser.
+  void set_level(LogLevel level) noexcept {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
+  bool enabled(LogLevel level) const noexcept { return level >= this->level(); }
 
   /// Registers a sink; returns an id for remove_sink. Sinks run in
   /// registration order under the logger mutex — keep them quick and never
@@ -67,10 +77,10 @@ class Logger {
 
  private:
   Logger();
-  mutable std::mutex mutex_;
-  LogLevel level_ = LogLevel::Warn;
-  std::vector<std::pair<int, Sink>> sinks_;
-  int next_sink_id_ = 1;
+  mutable Mutex mutex_;
+  std::atomic<LogLevel> level_{LogLevel::Warn};
+  std::vector<std::pair<int, Sink>> sinks_ LTFB_GUARDED_BY(mutex_);
+  int next_sink_id_ LTFB_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace ltfb::util

@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(std::size_t num_threads, std::string thread_name)
 
 ThreadPool::~ThreadPool() {
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -29,8 +29,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) {
+        cv_.wait(lock.native());
+      }
       if (queue_.empty()) {
         return;  // stopping_ and drained
       }
@@ -44,7 +46,7 @@ void ThreadPool::worker_loop() {
       task();
     }
     {
-      const std::scoped_lock lock(mutex_);
+      const MutexLock lock(mutex_);
       --active_;
       if (queue_.empty() && active_ == 0) {
         idle_cv_.notify_all();
@@ -54,8 +56,10 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  while (!queue_.empty() || active_ != 0) {
+    idle_cv_.wait(lock.native());
+  }
 }
 
 }  // namespace ltfb::util

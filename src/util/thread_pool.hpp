@@ -25,13 +25,13 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "telemetry/telemetry.hpp"
+#include "util/annotations.hpp"
 #include "util/error.hpp"
 
 namespace ltfb::util {
@@ -61,7 +61,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     {
-      const std::scoped_lock lock(mutex_);
+      const MutexLock lock(mutex_);
       if (stopping_) {
         throw Error("ThreadPool::submit after shutdown");
       }
@@ -81,14 +81,14 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  // written only in the ctor
   std::string thread_name_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  Mutex mutex_;
+  std::deque<std::function<void()>> queue_ LTFB_GUARDED_BY(mutex_);
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
+  std::size_t active_ LTFB_GUARDED_BY(mutex_) = 0;
+  bool stopping_ LTFB_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ltfb::util

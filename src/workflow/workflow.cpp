@@ -21,7 +21,7 @@ WorkflowEngine::WorkflowEngine(std::size_t workers) : pool_(workers) {}
 
 TaskId WorkflowEngine::add_task(std::string name, std::function<void()> work,
                                 std::vector<TaskId> deps) {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   LTFB_CHECK_MSG(!running_, "cannot add tasks while the workflow is running");
   const TaskId id = tasks_.size();
   Task task;
@@ -38,13 +38,22 @@ TaskId WorkflowEngine::add_task(std::string name, std::function<void()> work,
 }
 
 void WorkflowEngine::submit_ready(TaskId id) {
-  // Caller holds mutex_. Mark running and hand to the pool.
+  // Caller holds mutex_ (LTFB_REQUIRES). Mark running and hand to the pool.
+  // The work callable is copied out under the lock: the pool lambda runs on
+  // a worker thread WITHOUT mutex_, so reading tasks_[id].work there would
+  // race add_task's vector reallocation. Workers also execute on behalf of
+  // whoever called run(): the submitter's telemetry rank scope travels with
+  // the task so spans/metrics attribute to that rank (same idiom as
+  // ComputePool::run_tasks).
   tasks_[id].status = TaskStatus::Running;
-  pool_.submit([this, id] {
+  std::function<void()> work = tasks_[id].work;
+  const int caller_rank = telemetry::bound_rank();
+  pool_.submit([this, id, work = std::move(work), caller_rank] {
+    const telemetry::RankBinding bind_rank(caller_rank);
     TaskStatus result = TaskStatus::Succeeded;
     std::string error;
     try {
-      tasks_[id].work();
+      work();
     } catch (const std::exception& e) {
       result = TaskStatus::Failed;
       error = e.what();
@@ -57,7 +66,7 @@ void WorkflowEngine::submit_ready(TaskId id) {
 }
 
 void WorkflowEngine::skip_dependents(TaskId id) {
-  // Caller holds mutex_. Cascades through the DAG.
+  // Caller holds mutex_ (LTFB_REQUIRES). Cascades through the DAG.
   for (const TaskId dependent : tasks_[id].dependents) {
     Task& task = tasks_[dependent];
     if (task.status == TaskStatus::Pending) {
@@ -70,7 +79,7 @@ void WorkflowEngine::skip_dependents(TaskId id) {
 
 void WorkflowEngine::on_finished(TaskId id, TaskStatus status,
                                  const std::string& error) {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   tasks_[id].status = status;
   tasks_[id].error = error;
   --unfinished_;
@@ -91,7 +100,7 @@ void WorkflowEngine::on_finished(TaskId id, TaskStatus status,
 
 bool WorkflowEngine::run() {
   {
-    const std::scoped_lock lock(mutex_);
+    const util::MutexLock lock(mutex_);
     LTFB_CHECK_MSG(!running_, "workflow already running");
     running_ = true;
     unfinished_ = 0;
@@ -109,8 +118,10 @@ bool WorkflowEngine::run() {
       }
     }
   }
-  std::unique_lock lock(mutex_);
-  done_cv_.wait(lock, [this] { return unfinished_ == 0; });
+  util::MutexLock lock(mutex_);
+  while (unfinished_ != 0) {
+    done_cv_.wait(lock.native());
+  }
   running_ = false;
   bool all_ok = true;
   for (const auto& task : tasks_) {
@@ -120,25 +131,25 @@ bool WorkflowEngine::run() {
 }
 
 TaskStatus WorkflowEngine::status(TaskId id) const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   LTFB_CHECK(id < tasks_.size());
   return tasks_[id].status;
 }
 
 const std::string& WorkflowEngine::task_name(TaskId id) const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   LTFB_CHECK(id < tasks_.size());
   return tasks_[id].name;
 }
 
 const std::string& WorkflowEngine::error(TaskId id) const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   LTFB_CHECK(id < tasks_.size());
   return tasks_[id].error;
 }
 
 std::size_t WorkflowEngine::count_with_status(TaskStatus status) const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::size_t count = 0;
   for (const auto& task : tasks_) {
     if (task.status == status) ++count;

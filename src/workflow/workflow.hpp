@@ -9,11 +9,11 @@
 
 #include <atomic>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ltfb::workflow {
@@ -33,7 +33,10 @@ class WorkflowEngine {
   TaskId add_task(std::string name, std::function<void()> work,
                   std::vector<TaskId> deps = {});
 
-  std::size_t task_count() const noexcept { return tasks_.size(); }
+  std::size_t task_count() const {
+    const util::MutexLock lock(mutex_);
+    return tasks_.size();
+  }
 
   /// Runs the DAG to completion (every task Succeeded/Failed/Skipped).
   /// Returns true when every task succeeded.
@@ -57,16 +60,17 @@ class WorkflowEngine {
     std::string error;
   };
 
-  void submit_ready(TaskId id);
-  void on_finished(TaskId id, TaskStatus status, const std::string& error);
-  void skip_dependents(TaskId id);
+  void submit_ready(TaskId id) LTFB_REQUIRES(mutex_);
+  void on_finished(TaskId id, TaskStatus status, const std::string& error)
+      LTFB_EXCLUDES(mutex_);
+  void skip_dependents(TaskId id) LTFB_REQUIRES(mutex_);
 
   util::ThreadPool pool_;
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   std::condition_variable done_cv_;
-  std::vector<Task> tasks_;
-  std::size_t unfinished_ = 0;
-  bool running_ = false;
+  std::vector<Task> tasks_ LTFB_GUARDED_BY(mutex_);
+  std::size_t unfinished_ LTFB_GUARDED_BY(mutex_) = 0;
+  bool running_ LTFB_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ltfb::workflow

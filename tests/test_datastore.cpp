@@ -333,4 +333,27 @@ TEST(DataStore, PrefetchRoundTripAndContractChecks) {
   });
 }
 
+// Regression: the prefetch helper used to write prefetch_result_ with no
+// lock while the owner thread could observe it; both sides go through
+// prefetch_mutex_ now. Repeated begin/collect cycles exercise the hand-off
+// (including remote fetches) without losing or duplicating samples.
+TEST(DataStore, PrefetchRepeatedHandOff) {
+  const Fixture fx = make_fixture("prefetch_repeat", 20, 4);
+  BundleCatalog catalog(fx.paths);
+  comm::World::run(2, [&](comm::Communicator& comm) {
+    DataStore store(comm, &catalog, PopulateMode::Preloaded);
+    store.preload();
+    for (std::uint64_t iter = 0; iter < 8; ++iter) {
+      const SampleId first{(iter * 3) % 20};
+      const SampleId second{(iter * 3 + 7) % 20};
+      store.begin_fetch({first, second});
+      const auto batch = store.collect_fetch();
+      ASSERT_EQ(batch.size(), 2u);
+      EXPECT_EQ(batch[0].id, first);
+      EXPECT_EQ(batch[1].id, second);
+      EXPECT_FALSE(store.fetch_in_flight());
+    }
+  });
+}
+
 }  // namespace

@@ -1,0 +1,28 @@
+// Analyzer fixture — never compiled. transfer() takes ledger_mutex_ then
+// audit_mutex_; reconcile() takes them in the opposite order. Two threads
+// running one each can deadlock holding the lock the other needs.
+//
+// expect-finding: lock-order
+
+#include "util/annotations.hpp"
+
+namespace fixture {
+
+class Ledger {
+ public:
+  void transfer() {
+    const util::MutexLock lock(ledger_mutex_);
+    const util::MutexLock audit(audit_mutex_);  // order: ledger -> audit
+  }
+
+  void reconcile() {
+    const util::MutexLock audit(audit_mutex_);
+    const util::MutexLock lock(ledger_mutex_);  // BAD: audit -> ledger
+  }
+
+ private:
+  util::Mutex ledger_mutex_;
+  util::Mutex audit_mutex_;
+};
+
+}  // namespace fixture

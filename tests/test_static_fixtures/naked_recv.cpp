@@ -1,0 +1,32 @@
+// Analyzer fixture — never compiled. The first recv() blocks forever if the
+// peer died: no deadline argument reaches it. The second recv() is fine even
+// though no argument *names* a timeout at the call site — the analyzer must
+// follow `wait_budget` back to its declaration, which is deadline-shaped.
+//
+// expect-finding: comm-deadline
+
+#include "comm/communicator.hpp"
+
+namespace fixture {
+
+constexpr int kReqTag = 1 << 13;
+constexpr int kRepTag = (1 << 13) + 1;
+
+struct ExchangeConfig {
+  std::chrono::milliseconds exchange_timeout{500};
+};
+
+void serve(ltfb::comm::Communicator& comm, int peer,
+           const ExchangeConfig& cfg) {
+  comm.send(peer, kReqTag, ltfb::comm::Buffer{});
+  // BAD: blocking receive with no deadline — hangs forever on rank failure.
+  const ltfb::comm::Buffer request = comm.recv(peer, kReqTag);
+
+  comm.send(peer, kRepTag, request);
+  // OK: wait_budget resolves to a declaration carrying a timeout.
+  auto wait_budget = cfg.exchange_timeout;
+  const ltfb::comm::Buffer reply = comm.recv(peer, kRepTag, wait_budget);
+  (void)reply;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Analyzer fixture — never compiled. The kOrphanTagBase family is only ever
+// sent: no recv/irecv/sendrecv anywhere consumes it, so every message posted
+// with it rots in the peer's mailbox and the bytes are lost protocol-wide.
+//
+// expect-finding: tag-pairing
+
+#include "comm/communicator.hpp"
+
+namespace fixture {
+
+constexpr int kOrphanTagBase = 1 << 12;
+
+void announce(ltfb::comm::Communicator& comm, int peer,
+              const ltfb::comm::Buffer& payload) {
+  // BAD: send endpoint with no matching receive endpoint in the tree.
+  comm.send(peer, kOrphanTagBase, payload);
+}
+
+}  // namespace fixture

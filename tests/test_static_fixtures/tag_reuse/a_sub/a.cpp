@@ -1,0 +1,21 @@
+// Analyzer fixture — never compiled. Subsystem a_sub claims tag base 1<<10
+// for its ping traffic; b_sub (sibling subsystem) claims the same value.
+// Mailbox matching keys on (peer, tag), so the two protocols steal each
+// other's messages. The analyzer reports the collision once, on the second
+// constant it sees.
+//
+// expect-finding: tag-reuse
+
+#include "comm/communicator.hpp"
+
+namespace fixture_a {
+
+constexpr int kPingTagBase = 1 << 10;
+
+void ping(ltfb::comm::Communicator& comm, int peer,
+          std::chrono::milliseconds deadline) {
+  comm.send(peer, kPingTagBase, ltfb::comm::Buffer{});
+  (void)comm.recv(peer, kPingTagBase, deadline);
+}
+
+}  // namespace fixture_a

@@ -1,0 +1,17 @@
+// Analyzer fixture — never compiled. Second half of the tag_reuse entry:
+// kPongTagBase collides with a_sub's kPingTagBase (both 1<<10). See
+// a_sub/a.cpp for the expect-finding declaration.
+
+#include "comm/communicator.hpp"
+
+namespace fixture_b {
+
+constexpr int kPongTagBase = 1 << 10;  // BAD: same value as kPingTagBase
+
+void pong(ltfb::comm::Communicator& comm, int peer,
+          std::chrono::milliseconds deadline) {
+  comm.send(peer, kPongTagBase, ltfb::comm::Buffer{});
+  (void)comm.recv(peer, kPongTagBase, deadline);
+}
+
+}  // namespace fixture_b

@@ -1,0 +1,23 @@
+// Analyzer fixture — never compiled. The helper thread never binds telemetry
+// rank identity, so every span/counter it records lands unattributed instead
+// of on the owning rank's trace track (see telemetry::RankBinding).
+//
+// expect-finding: rank-binding
+
+#include <thread>
+
+namespace fixture {
+
+void churn() {
+  for (int i = 0; i < 1000; ++i) {
+  }
+}
+
+void launch_helper() {
+  // BAD: no bind_rank / RankBinding / set_thread_name in the lambda or in
+  // anything it calls.
+  std::thread helper([] { churn(); });
+  helper.join();
+}
+
+}  // namespace fixture

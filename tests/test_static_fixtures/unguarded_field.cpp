@@ -1,0 +1,27 @@
+// Analyzer fixture — never compiled. A member annotated LTFB_GUARDED_BY is
+// read and written outside any critical section: the increment in bump() is
+// a data race the moment two threads share a Counter.
+//
+// expect-finding: guarded-field
+
+#include "util/annotations.hpp"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() {
+    ++count_;  // BAD: no MutexLock on mutex_, no LTFB_REQUIRES(mutex_)
+  }
+
+  int read() const {
+    const util::MutexLock lock(mutex_);
+    return count_;  // OK: lock held for the whole scope
+  }
+
+ private:
+  mutable util::Mutex mutex_;
+  int count_ LTFB_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace fixture

@@ -519,6 +519,34 @@ TEST(TelemetryRank, SetThreadNameAppearsInTraceMetadata) {
   EXPECT_TRUE(named) << "thread_name metadata missing from trace";
 }
 
+// Regression: write_trace_json used to stash a pointer to the buffer's
+// thread_name and dereference it after releasing the buffer lock, racing a
+// concurrent set_thread_name. The exporter copies the name under the lock
+// now; renaming mid-export must yield a parseable trace every round (run
+// under LTFB_SANITIZE=thread in CI to make the old race fatal).
+TEST(TelemetryRank, ThreadRenameDuringTraceExportIsSafe) {
+  TelemetryGuard guard;
+  auto& registry = Registry::instance();
+  std::atomic<bool> stop{false};
+  std::thread renamer([&stop] {
+    int i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      ltfb::telemetry::set_thread_name(
+          i % 2 == 0 ? "stress/alpha" : "stress/beta_much_longer_name");
+      LTFB_SPAN("stress/tick");
+      ++i;
+    }
+  });
+  for (int round = 0; round < 20; ++round) {
+    const std::string json = registry.trace_json();
+    EXPECT_FALSE(json.empty());
+  }
+  stop.store(true, std::memory_order_release);
+  renamer.join();
+  const JsonValue trace = JsonParser(registry.trace_json()).parse();
+  EXPECT_FALSE(trace.at("traceEvents").array.empty());
+}
+
 TEST(TelemetryRank, MultiRankTraceGoldenWithFlows) {
   TelemetryGuard guard;
   auto& registry = Registry::instance();

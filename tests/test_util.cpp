@@ -502,4 +502,35 @@ TEST(Logger, SinksStackAndRemoveIndependently) {
   EXPECT_EQ(second_hits, 2);
 }
 
+// Regression: level_ used to be a plain enum guarded by nothing — enabled()
+// read it while set_level() wrote it, a data race. It is atomic now; readers
+// must only ever observe a value some thread actually stored (run under
+// LTFB_SANITIZE=thread in CI to make the old race fatal).
+TEST(Logger, LevelChangesAreThreadSafe) {
+  auto& logger = Logger::instance();
+  const auto saved_level = logger.level();
+  logger.set_level(LogLevel::Debug);
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn_reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const LogLevel seen = logger.level();
+        if (seen != LogLevel::Debug && seen != LogLevel::Error) {
+          torn_reads.fetch_add(1);
+        }
+        (void)logger.enabled(LogLevel::Warn);
+      }
+    });
+  }
+  for (int i = 0; i < 2000; ++i) {
+    logger.set_level(i % 2 == 0 ? LogLevel::Error : LogLevel::Debug);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(torn_reads.load(), 0);
+  logger.set_level(saved_level);
+}
+
 }  // namespace

@@ -4,8 +4,11 @@
 
 #include <atomic>
 #include <filesystem>
+#include <string>
+#include <thread>
 
 #include "datastore/bundle_catalog.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workflow/ensemble.hpp"
 #include "workflow/sampler.hpp"
 #include "workflow/workflow.hpp"
@@ -161,6 +164,58 @@ TEST(Workflow, TaskNamesRetained) {
   const TaskId id = engine.add_task("my-task", [] {});
   EXPECT_EQ(engine.task_name(id), "my-task");
   EXPECT_EQ(engine.status(id), TaskStatus::Pending);
+}
+
+// Regression: task_count() used to read tasks_.size() without the engine
+// mutex, racing status writes on worker threads. It locks now, so polling
+// from another thread while the DAG executes must be safe and stable.
+TEST(Workflow, TaskCountReadableWhileRunning) {
+  WorkflowEngine engine(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 200; ++i) {
+    engine.add_task("t" + std::to_string(i), [&done] { ++done; });
+  }
+  std::atomic<bool> polling{true};
+  std::atomic<int> bad_counts{0};
+  std::thread poller([&] {
+    while (polling.load()) {
+      if (engine.task_count() != 200u) bad_counts.fetch_add(1);
+    }
+  });
+  EXPECT_TRUE(engine.run());
+  polling.store(false);
+  poller.join();
+  EXPECT_EQ(bad_counts.load(), 0);
+  EXPECT_EQ(done.load(), 200);
+}
+
+// Regression: submit_ready used to capture a reference to tasks_[id].work
+// inside the pool lambda; a concurrent vector reallocation (or status write)
+// invalidated it. The work callable is copied under the lock now, and the
+// submitter's telemetry rank binding travels with the task (same idiom as
+// ComputePool::run_tasks), including across dependency cascades submitted
+// from worker threads.
+TEST(Workflow, TasksInheritSubmitterRankBinding) {
+  const telemetry::RankBinding bind_rank(2);
+  WorkflowEngine engine(3);
+  std::atomic<int> mismatches{0};
+  TaskId prev = engine.add_task("root", [&] {
+    if (telemetry::bound_rank() != 2) mismatches.fetch_add(1);
+  });
+  for (int i = 0; i < 40; ++i) {
+    const auto task = [&mismatches] {
+      if (telemetry::bound_rank() != 2) mismatches.fetch_add(1);
+    };
+    // Mix independent tasks (submitted from this bound thread) with a chain
+    // (submitted from pool workers as dependencies resolve).
+    if (i % 2 == 0) {
+      prev = engine.add_task("chain" + std::to_string(i), task, {prev});
+    } else {
+      engine.add_task("free" + std::to_string(i), task);
+    }
+  }
+  EXPECT_TRUE(engine.run());
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST(Workflow, EmptyWorkflowSucceeds) {

@@ -23,20 +23,6 @@ target, so `ctest` and CI exercise it on every build):
                     validate their arguments/state (LTFB_CHECK/LTFB_ASSERT
                     or an explicit throw) in their own body — the manifest
                     below names each one.
-  comm-deadline     consumer-side communication in src/core/ and
-                    src/datastore/ must be failure-aware: every .recv( /
-                    .sendrecv( / .wait( call must pass a deadline (an
-                    argument mentioning timeout/deadline/chrono). Naked
-                    blocking calls can hang forever when a peer dies; the
-                    fault-tolerance layer depends on every wait being
-                    bounded. src/comm/ itself (which implements both
-                    flavours) is exempt.
-  rank-bind         entry points that cross a thread boundary (rank threads,
-                    pool workers, prefetch threads) must propagate the
-                    telemetry rank binding (telemetry::bind_rank or a
-                    RankBinding guard) so spawned work lands on the right
-                    per-rank metric scope and Perfetto track — the manifest
-                    below names each one.
   matmul-nest       raw triple-nested multiply-accumulate loops are banned
                     outside src/tensor/: hand-rolled GEMMs silently bypass
                     the register-tiled, pool-threaded, conformance-tested
@@ -49,9 +35,15 @@ target, so `ctest` and CI exercise it on every build):
                     must follow the subsystem/verb convention
                     ([a-z0-9_]+ segments joined by '/').
 
-Exit status is the number of findings (0 = clean). `--list` prints the
-checked files; `--root` points at the repo checkout (default: the parent of
-this script's directory).
+The comm-deadline and rank-bind rules that used to live here moved to
+tools/ltfb_static.py, which models them properly (deadline dataflow through
+local declarations; thread-launch call-site detection instead of a file
+manifest) alongside the tag-pairing, lock-order and guarded-field protocol
+checks.
+
+Findings are reported per file in line order. Exit status is the number of
+findings (0 = clean). `--list` prints the checked files; `--root` points at
+the repo checkout (default: the parent of this script's directory).
 """
 
 from __future__ import annotations
@@ -173,28 +165,6 @@ ENTRY_CHECK_MANIFEST = {
     ],
 }
 
-# Rank-attribution boundary: these entry points hand work to other threads
-# (rank threads, pool workers, the datastore prefetch thread). Each body
-# must re-establish the telemetry rank binding on the receiving thread —
-# via telemetry::bind_rank or a RankBinding guard — or that thread's
-# metrics and spans silently land on the unbound track.
-RANK_BIND_MANIFEST = {
-    "src/comm/communicator.cpp": [
-        ("World::run_ranks", "World::run_ranks"),
-    ],
-    "src/core/ltfb_comm.cpp": [
-        ("run_distributed_ltfb", "run_distributed_ltfb"),
-    ],
-    "src/datastore/data_store.cpp": [
-        ("DataStore::begin_fetch", "DataStore::begin_fetch"),
-    ],
-    "src/util/compute_pool.cpp": [
-        ("ComputePool::run_tasks", "ComputePool::run_tasks"),
-    ],
-}
-
-RANK_BIND_PATTERN = re.compile(r"\bbind_rank\b|\bRankBinding\b")
-
 # The stopwatch shim is compatibility-only: new code names the telemetry
 # clock directly. Tests are exempt (they assert the shim aliases correctly);
 # the shim header itself is the one allowed definition site.
@@ -217,13 +187,6 @@ METRIC_CALL = re.compile(
 VALIDATION_KEYWORDS = re.compile(
     r"\bLTFB_CHECK\b|\bLTFB_CHECK_MSG\b|\bLTFB_ASSERT\b|\bthrow\b"
     r"|\bthrow_format\b|\bcheck_no_fetch_in_flight\b")
-
-# Failure-aware consumers: communication layers above src/comm/ must bound
-# every blocking receive/wait with a deadline, or a dead peer hangs them
-# forever. The argument list must mention the deadline it passes.
-DEADLINE_CALL = re.compile(r"\.\s*(recv|sendrecv|wait)\s*\(")
-DEADLINE_DIRS = ("src/core/", "src/datastore/")
-DEADLINE_ARG = re.compile(r"timeout|deadline|chrono", re.IGNORECASE)
 
 # A body that is a single delegation statement — `{ other(args); }` or
 # `{ return other(args); }` — inherits the callee's validation.
@@ -468,33 +431,6 @@ def check_telemetry(rel: str, stripped: str, code_with_strings: str,
                 "convention ([a-z0-9_]+ segments joined by '/')"))
 
 
-def check_comm_deadlines(rel: str, stripped: str, findings):
-    if not rel.startswith(DEADLINE_DIRS):
-        return
-    for m in DEADLINE_CALL.finditer(stripped):
-        verb = m.group(1)
-        # Balanced-paren scan for the call's argument text.
-        i = m.end() - 1
-        depth = 0
-        n = len(stripped)
-        start = i
-        while i < n:
-            if stripped[i] == "(":
-                depth += 1
-            elif stripped[i] == ")":
-                depth -= 1
-                if depth == 0:
-                    break
-            i += 1
-        arg_text = stripped[start + 1:i]
-        if not DEADLINE_ARG.search(arg_text):
-            findings.append(Finding(
-                rel, line_of(stripped, m.start()), "comm-deadline",
-                f".{verb}() without a deadline argument: a dead peer hangs "
-                "this call forever — pass a timeout (the fault-tolerant "
-                "overload)"))
-
-
 # A hand-rolled GEMM: the innermost of >= 3 nested for loops accumulating a
 # product of two INDEXED operands (`a[..] * b[..]` or `a.at(..) * b.at(..)`).
 # Requiring indexed-times-indexed keeps scalar accumulations (distance sums,
@@ -600,28 +536,6 @@ def check_entry_points(rel: str, stripped: str, findings):
                 "arguments/state (LTFB_CHECK / LTFB_ASSERT / throw)"))
 
 
-def check_rank_binding(rel: str, stripped: str, findings):
-    manifest = RANK_BIND_MANIFEST.get(rel)
-    if not manifest:
-        return
-    for display, token in manifest:
-        bodies = list(find_function_bodies(stripped, token))
-        if not bodies:
-            findings.append(Finding(
-                rel, 1, "rank-bind",
-                f"manifest entry point {display} not found — update "
-                "tools/ltfb_lint.py if it moved or was renamed"))
-            continue
-        for offset, body in bodies:
-            if RANK_BIND_PATTERN.search(body):
-                continue
-            findings.append(Finding(
-                rel, line_of(stripped, offset), "rank-bind",
-                f"{display} crosses a thread boundary without propagating "
-                "the telemetry rank binding (telemetry::bind_rank / "
-                "RankBinding)"))
-
-
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", type=pathlib.Path,
@@ -644,15 +558,20 @@ def main() -> int:
         # hygiene pass works on comment-only stripped text.
         code_with_strings = strip_comments_and_strings(raw, keep_strings=True)
         checked += 1
-        check_banned_calls(rel, stripped, findings)
-        check_stdout(rel, stripped, findings)
-        check_comm_tags(rel, stripped, findings)
-        check_include_hygiene(root, rel, raw, code_with_strings, findings)
-        check_telemetry(rel, stripped, code_with_strings, findings)
-        check_comm_deadlines(rel, stripped, findings)
-        check_matmul_nest(rel, stripped, findings)
-        check_entry_points(rel, stripped, findings)
-        check_rank_binding(rel, stripped, findings)
+        # Each check appends to a per-file list so one file's report comes
+        # out in line order (not grouped by check) and duplicate findings
+        # from overlapping checks collapse to one line.
+        file_findings: list[Finding] = []
+        check_banned_calls(rel, stripped, file_findings)
+        check_stdout(rel, stripped, file_findings)
+        check_comm_tags(rel, stripped, file_findings)
+        check_include_hygiene(root, rel, raw, code_with_strings, file_findings)
+        check_telemetry(rel, stripped, code_with_strings, file_findings)
+        check_matmul_nest(rel, stripped, file_findings)
+        check_entry_points(rel, stripped, file_findings)
+        unique = {(f.line, f.rule, f.message): f for f in file_findings}
+        findings.extend(sorted(unique.values(),
+                               key=lambda f: (f.line, f.rule, f.message)))
 
     if args.list:
         return 0
