@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
-#include <map>
 #include <thread>
 #include <tuple>
 #include <utility>
 
+#include "comm/socket_backend.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/annotations.hpp"
 #include "util/rng.hpp"
@@ -15,123 +15,9 @@ namespace ltfb::comm {
 
 namespace detail {
 
-struct Envelope {
-  int world_src = 0;
-  std::uint64_t comm_id = 0;
-  std::int64_t tag = 0;
-  Buffer payload;
-  /// Telemetry flow-correlation id (0 = none). Deterministic from
-  /// (comm_id, tag, src, dst, per-pair seq) — carried here only because
-  /// the in-process transport has a struct to put it in; a real wire
-  /// protocol would re-derive it on the receiving side (DESIGN.md §11).
-  std::uint64_t flow_id = 0;
-};
-
-struct Mailbox {
-  // Lock order: a thread holding this mutex takes no other lock except the
-  // leaf telemetry locks (try_complete records the receive-side flow
-  // endpoint while matching). See DESIGN.md §12.
-  util::Mutex mutex;
-  std::condition_variable cv;
-  std::deque<Envelope> messages LTFB_GUARDED_BY(mutex);
-};
-
-/// Per-rank liveness and deterministic fault-injection counters. `dead`
-/// means fault-killed or exited by exception (a crash survivors must react
-/// to); `departed` means the rank's function returned cleanly (all its
-/// obligated messages were already delivered). Counters are only ever
-/// advanced by the owning rank's thread; flags are written once and read by
-/// everyone, hence the atomics.
-struct RankStatus {
-  std::atomic<bool> dead{false};
-  std::atomic<bool> departed{false};
-  std::atomic<std::uint64_t> ops{0};   // top-level communication ops
-  std::atomic<std::uint64_t> msgs{0};  // user-level messages sent
-};
-
-/// One shrink rendezvous, keyed by (comm_id, per-comm shrink sequence).
-struct ShrinkPoint {
-  std::vector<int> arrived;  // world ranks registered so far
-  bool sealed = false;
-  bool aborted = false;
-  std::vector<int> survivors;  // valid once sealed
-};
-
-struct WorldState {
-  explicit WorldState(int size) {
-    mailboxes.reserve(static_cast<std::size_t>(size));
-    status.reserve(static_cast<std::size_t>(size));
-    for (int i = 0; i < size; ++i) {
-      mailboxes.push_back(std::make_unique<Mailbox>());
-      status.push_back(std::make_unique<RankStatus>());
-    }
-  }
-
-  bool dead(int world_rank) const {
-    return status[static_cast<std::size_t>(world_rank)]->dead.load(
-        std::memory_order_acquire);
-  }
-
-  /// Failed or cleanly departed: either way this rank will never send
-  /// another message.
-  bool gone(int world_rank) const {
-    const RankStatus& s = *status[static_cast<std::size_t>(world_rank)];
-    return s.dead.load(std::memory_order_acquire) ||
-           s.departed.load(std::memory_order_acquire);
-  }
-
-  /// Marks a rank dead (clean=false) or departed (clean=true) and wakes
-  /// every blocked receiver and shrink rendezvous so failure-aware waits
-  /// re-evaluate their predicates. The empty lock/unlock before each notify
-  /// pairs with waiters that checked the flag before it was set and are
-  /// already inside cv.wait.
-  void mark_gone(int world_rank, bool clean) {
-    RankStatus& s = *status[static_cast<std::size_t>(world_rank)];
-    (clean ? s.departed : s.dead).store(true, std::memory_order_release);
-    for (const auto& mailbox : mailboxes) {
-      { const util::MutexLock lock(mailbox->mutex); }
-      mailbox->cv.notify_all();
-    }
-    { const util::MutexLock lock(shrink_mutex); }
-    shrink_cv.notify_all();
-  }
-
-  /// Flow-correlation id for the next message on (comm_id, tag, src->dst):
-  /// a per-direction sequence hashed with the addressing tuple. Both
-  /// endpoints could derive the same id independently (matching claims
-  /// messages per (comm, tag, pair) in FIFO order), which is what makes
-  /// the scheme wire-free; here the sender stamps it into the Envelope.
-  /// |1 keeps 0 free as the "no flow" sentinel. Only called on the
-  /// telemetry-enabled path.
-  std::uint64_t next_flow_id(std::uint64_t comm_id, std::int64_t tag, int src,
-                             int dst) {
-    std::uint64_t seq = 0;
-    {
-      const util::MutexLock lock(flow_mutex);
-      seq = flow_seq[std::tuple(comm_id, tag, src, dst)]++;
-    }
-    const std::uint64_t pair =
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
-        static_cast<std::uint32_t>(dst);
-    return util::derive_seed(comm_id ^ static_cast<std::uint64_t>(tag), pair,
-                             seq) |
-           1ull;
-  }
-
-  std::vector<std::unique_ptr<Mailbox>> mailboxes;
-  std::vector<std::unique_ptr<RankStatus>> status;
-  FaultSchedule faults;
-  util::Mutex shrink_mutex;
-  std::condition_variable shrink_cv;
-  // ShrinkPoint values (arrived/sealed/aborted/survivors) inherit this
-  // guard: they are only ever reached through the map under shrink_mutex.
-  std::map<std::pair<std::uint64_t, std::uint64_t>, ShrinkPoint> shrink_points
-      LTFB_GUARDED_BY(shrink_mutex);
-  util::Mutex flow_mutex;
-  std::map<std::tuple<std::uint64_t, std::int64_t, int, int>, std::uint64_t>
-      flow_seq LTFB_GUARDED_BY(flow_mutex);
-};
-
+/// A receive registered against a rank's mailbox, plus what it needs for
+/// failure detection. `backend` supplies observer-relative liveness:
+/// everything here is evaluated from `self_world`'s point of view.
 struct PendingRecv {
   Mailbox* mailbox = nullptr;
   std::uint64_t comm_id = 0;
@@ -142,7 +28,7 @@ struct PendingRecv {
   Buffer payload;
   int source_world = -1;
   // Failure detection (see hopeless_peer):
-  WorldState* world = nullptr;
+  Backend* backend = nullptr;
   int self_world = -1;
   bool collective = false;  // widen the failure check to the whole group
 };
@@ -206,30 +92,32 @@ bool try_complete(PendingRecv& pending)
 }
 
 /// Returns the world rank of a peer whose failure makes `pending` hopeless,
-/// or -1. Must be called AFTER try_complete under the mailbox mutex: sends
-/// are synchronous mailbox pushes, so once a peer is gone every message it
-/// ever sent is already claimable — if the matching message is absent now,
-/// it can never arrive. Specific-source receives fail when that source is
-/// gone; ANY_SOURCE fails when every peer in the group is gone. Collective
+/// or -1. Must be called AFTER try_complete under the mailbox mutex: the
+/// backends preserve per-peer delivery order up to the liveness flip, so
+/// once this rank OBSERVES a peer gone, every message that peer ever sent
+/// it is already claimable — if the matching message is absent now, it can
+/// never arrive. Specific-source receives fail when that source is gone;
+/// ANY_SOURCE fails when every peer in the group is gone. Collective
 /// receives additionally fail when ANY group member is DEAD (a crash stalls
 /// the whole communication pattern, not just the direct sender) — but not
 /// when a member merely departed, since a clean exit implies it completed
 /// every collective it was part of.
 int hopeless_peer(const PendingRecv& pending) {
-  const WorldState* world = pending.world;
+  const Backend* world = pending.backend;
   if (world == nullptr) return -1;
+  const int self = pending.self_world;
   if (pending.collective) {
     for (const int r : pending.group) {
-      if (r != pending.self_world && world->dead(r)) return r;
+      if (r != self && world->dead(self, r)) return r;
     }
   }
   if (pending.src_world != kAnySource) {
-    return world->gone(pending.src_world) ? pending.src_world : -1;
+    return world->gone(self, pending.src_world) ? pending.src_world : -1;
   }
   int candidate = -1;
   for (const int r : pending.group) {
-    if (r == pending.self_world) continue;
-    if (!world->gone(r)) return -1;
+    if (r == self) continue;
+    if (!world->gone(self, r)) return -1;
     candidate = r;
   }
   return candidate;
@@ -278,37 +166,17 @@ class Communicator::FaultScope {
 
 void Communicator::fault_tick(const char* what) {
   const int me = group_[static_cast<std::size_t>(rank_)];
-  detail::RankStatus& status = *world_->status[static_cast<std::size_t>(me)];
-  const std::uint64_t op = status.ops.fetch_add(1, std::memory_order_relaxed);
-  if (world_->faults.empty()) return;
-  const std::optional<std::uint64_t> kill = world_->faults.kill_op(me);
-  if (kill.has_value() && op >= *kill &&
-      !status.dead.load(std::memory_order_relaxed)) {
-    world_->mark_gone(me, /*clean=*/false);
+  const std::uint64_t op = world_->next_op(me);
+  if (world_->faults().empty()) return;
+  const std::optional<std::uint64_t> kill = world_->faults().kill_op(me);
+  if (kill.has_value() && op >= *kill && !world_->dead(me, me)) {
+    world_->finalize_rank(me, /*clean=*/false);
     LTFB_COUNTER_ADD("comm/faults_injected", 1);
     std::ostringstream oss;
     oss << "injected kill: world rank " << me << " dies at op " << op
         << " (entering " << what << ", scheduled op " << *kill << ")";
     throw FaultInjected(oss.str());
   }
-}
-
-Buffer to_buffer(std::span<const float> values) {
-  Buffer buffer(values.size() * sizeof(float));
-  if (!values.empty()) {
-    std::memcpy(buffer.data(), values.data(), buffer.size());
-  }
-  return buffer;
-}
-
-std::vector<float> floats_from_buffer(const Buffer& buffer) {
-  LTFB_CHECK_MSG(buffer.size() % sizeof(float) == 0,
-                 "buffer size " << buffer.size() << " is not float-aligned");
-  std::vector<float> values(buffer.size() / sizeof(float));
-  if (!values.empty()) {
-    std::memcpy(values.data(), buffer.data(), buffer.size());
-  }
-  return values;
 }
 
 bool Request::test() {
@@ -318,29 +186,20 @@ bool Request::test() {
   return detail::try_complete(*state_);
 }
 
-void Request::wait() { wait_impl(nullptr); }
-
-void Request::wait(std::chrono::milliseconds timeout) {
-  LTFB_CHECK_MSG(timeout.count() > 0,
-                 "wait() timeout must be positive, got " << timeout.count()
-                                                         << "ms");
-  wait_impl(&timeout);
-}
-
-void Request::wait_impl(const std::chrono::milliseconds* timeout) {
+void Request::wait(const Deadline& deadline) {
   LTFB_CHECK_MSG(state_, "wait() on an invalid request");
   LTFB_TIMED_SCOPE("comm/recv_wait");
   util::MutexLock lock(state_->mailbox->mutex);
-  const auto deadline = (timeout != nullptr)
-                            ? std::chrono::steady_clock::now() + *timeout
-                            : std::chrono::steady_clock::time_point{};
+  const bool bounded = deadline.bounded();
+  const auto expiry = bounded ? deadline.expires_at()
+                              : std::chrono::steady_clock::time_point{};
   for (;;) {
     if (state_->done || detail::try_complete(*state_)) return;
     const int failed = detail::hopeless_peer(*state_);
     if (failed >= 0) detail::throw_rank_failed(*state_, failed);
-    if (timeout == nullptr) {
+    if (!bounded) {
       state_->mailbox->cv.wait(lock.native());
-    } else if (state_->mailbox->cv.wait_until(lock.native(), deadline) ==
+    } else if (state_->mailbox->cv.wait_until(lock.native(), expiry) ==
                std::cv_status::timeout) {
       // Final completion check under the lock, then give up. The pending
       // receive is left registered-but-unconsumed: the request stays valid
@@ -348,7 +207,7 @@ void Request::wait_impl(const std::chrono::milliseconds* timeout) {
       if (state_->done || detail::try_complete(*state_)) return;
       LTFB_COUNTER_ADD("comm/timeouts", 1);
       std::ostringstream oss;
-      oss << "recv timed out after " << timeout->count()
+      oss << "recv timed out after " << deadline.budget().count()
           << "ms (tag " << state_->tag << ", source world rank "
           << state_->src_world << ")";
       throw TimeoutError(oss.str());
@@ -370,7 +229,7 @@ void Communicator::send(int dst, int tag, const Buffer& payload) {
   LTFB_COUNTER_ADD("comm/send_bytes", payload.size());
   const int world_dst = world_rank_of(dst);
   const int me = group_[static_cast<std::size_t>(rank_)];
-  if (world_->dead(world_dst)) {
+  if (world_->dead(me, world_dst)) {
     LTFB_COUNTER_ADD("comm/rank_failures_detected", 1);
     std::ostringstream oss;
     oss << "send to failed peer: world rank " << world_dst << " is dead";
@@ -387,11 +246,10 @@ void Communicator::send(int dst, int tag, const Buffer& payload) {
   }
   // Drop/delay injection applies to user-level messages only (collective
   // traffic goes through internal_send and counts ops, not messages).
-  const std::uint64_t msg_index =
-      world_->status[static_cast<std::size_t>(me)]->msgs.fetch_add(
-          1, std::memory_order_relaxed);
-  if (!world_->faults.empty()) {
-    const FaultAction* action = world_->faults.message_action(me, msg_index);
+  const std::uint64_t msg_index = world_->next_msg(me);
+  if (!world_->faults().empty()) {
+    const FaultAction* action =
+        world_->faults().message_action(me, msg_index);
     if (action != nullptr) {
       if (action->kind == FaultAction::Kind::Drop) {
         LTFB_COUNTER_ADD("comm/messages_dropped", 1);
@@ -401,41 +259,21 @@ void Communicator::send(int dst, int tag, const Buffer& payload) {
       std::this_thread::sleep_for(std::chrono::milliseconds(action->delay_ms));
     }
   }
-  auto& mailbox = *world_->mailboxes[static_cast<std::size_t>(world_dst)];
-  {
-    const util::MutexLock lock(mailbox.mutex);
-    mailbox.messages.push_back(
-        detail::Envelope{me, comm_id_, tag, payload, flow_id});
-  }
-  mailbox.cv.notify_all();
+  world_->deliver(me, world_dst,
+                  detail::Envelope{me, comm_id_, tag, payload, flow_id});
 }
 
 void Communicator::send(int dst, int tag, std::span<const float> values) {
-  send(dst, tag, to_buffer(values));
+  send(dst, tag, Serializer::pack_floats(values));
 }
 
-Buffer Communicator::recv(int src, int tag, int* source_out) {
-  LTFB_COMM_GUARD("recv");
-  LTFB_FAULT_TICK("recv");
-  LTFB_CHECK(tag >= 0);
-  Request request = irecv(src, tag);
-  request.wait();
-  if (source_out != nullptr) {
-    const int world_src = request.state_->source_world;
-    const auto it = std::find(group_.begin(), group_.end(), world_src);
-    LTFB_ASSERT(it != group_.end());
-    *source_out = static_cast<int>(it - group_.begin());
-  }
-  return take_payload(request);
-}
-
-Buffer Communicator::recv(int src, int tag, std::chrono::milliseconds timeout,
+Buffer Communicator::recv(int src, int tag, const Deadline& deadline,
                           int* source_out) {
   LTFB_COMM_GUARD("recv");
   LTFB_FAULT_TICK("recv");
   LTFB_CHECK(tag >= 0);
   Request request = irecv(src, tag);
-  request.wait(timeout);
+  request.wait(deadline);
   if (source_out != nullptr) {
     const int world_src = request.state_->source_world;
     const auto it = std::find(group_.begin(), group_.end(), world_src);
@@ -450,12 +288,12 @@ Request Communicator::irecv(int src, int tag) {
   LTFB_FAULT_TICK("irecv");
   auto pending = std::make_shared<detail::PendingRecv>();
   const int me = group_[static_cast<std::size_t>(rank_)];
-  pending->mailbox = world_->mailboxes[static_cast<std::size_t>(me)].get();
+  pending->mailbox = &world_->mailbox(me);
   pending->comm_id = comm_id_;
   pending->group = group_;
   pending->src_world = (src == kAnySource) ? kAnySource : world_rank_of(src);
   pending->tag = tag;
-  pending->world = world_.get();
+  pending->backend = world_.get();
   pending->self_world = me;
   return Request(std::move(pending));
 }
@@ -467,23 +305,15 @@ Buffer Communicator::take_payload(Request& request) {
   return std::move(request.state_->payload);
 }
 
-Buffer Communicator::sendrecv(int partner, int tag, const Buffer& payload) {
+Buffer Communicator::sendrecv(int partner, int tag, const Buffer& payload,
+                              const Deadline& deadline) {
   LTFB_COMM_GUARD("sendrecv");
   LTFB_FAULT_TICK("sendrecv");
   LTFB_CHECK(tag >= 0);
   // Sends never block (mailboxes are unbounded), so send-then-recv is
   // deadlock-free even when both sides target each other.
   send(partner, tag, payload);
-  return recv(partner, tag);
-}
-
-Buffer Communicator::sendrecv(int partner, int tag, const Buffer& payload,
-                              std::chrono::milliseconds timeout) {
-  LTFB_COMM_GUARD("sendrecv");
-  LTFB_FAULT_TICK("sendrecv");
-  LTFB_CHECK(tag >= 0);
-  send(partner, tag, payload);
-  return recv(partner, tag, timeout);
+  return recv(partner, tag, deadline);
 }
 
 std::uint64_t Communicator::next_internal_tag(std::uint64_t kind) {
@@ -497,21 +327,19 @@ std::uint64_t Communicator::next_internal_tag(std::uint64_t kind) {
 namespace {
 
 /// Internal variant of send/recv that permits the reserved tag space.
-void internal_send(Communicator& comm, detail::WorldState& world,
-                   const std::vector<int>& group, int my_rank, int dst,
-                   std::uint64_t comm_id, std::int64_t tag,
+void internal_send(Backend& world, const std::vector<int>& group, int my_rank,
+                   int dst, std::uint64_t comm_id, std::int64_t tag,
                    const Buffer& payload) {
-  (void)comm;
   LTFB_COUNTER_ADD("comm/collective_messages", 1);
   LTFB_COUNTER_ADD("comm/collective_bytes", payload.size());
+  const int world_src = group[static_cast<std::size_t>(my_rank)];
   const int world_dst = group[static_cast<std::size_t>(dst)];
-  if (world.dead(world_dst)) {
+  if (world.dead(world_src, world_dst)) {
     LTFB_COUNTER_ADD("comm/rank_failures_detected", 1);
     std::ostringstream oss;
     oss << "collective peer failed: world rank " << world_dst << " is dead";
     throw RankFailedError(oss.str(), world_dst);
   }
-  const int world_src = group[static_cast<std::size_t>(my_rank)];
   // Collective hops carry flow ids too: the exporter's arrows are what
   // make join points (who straggled into the allreduce) visible.
   std::uint64_t flow_id = 0;
@@ -520,20 +348,15 @@ void internal_send(Communicator& comm, detail::WorldState& world,
     telemetry::Registry::instance().record_flow(flow_id,
                                                 telemetry::FlowPhase::Start);
   }
-  auto& mailbox = *world.mailboxes[static_cast<std::size_t>(world_dst)];
-  {
-    const util::MutexLock lock(mailbox.mutex);
-    mailbox.messages.push_back(
-        detail::Envelope{world_src, comm_id, tag, payload, flow_id});
-  }
-  mailbox.cv.notify_all();
+  world.deliver(world_src, world_dst,
+                detail::Envelope{world_src, comm_id, tag, payload, flow_id});
 }
 
-Buffer internal_recv(detail::WorldState& world, const std::vector<int>& group,
+Buffer internal_recv(Backend& world, const std::vector<int>& group,
                      int my_rank, int src, std::uint64_t comm_id,
                      std::int64_t tag) {
-  auto& mailbox =
-      *world.mailboxes[static_cast<std::size_t>(group[static_cast<std::size_t>(my_rank)])];
+  const int self = group[static_cast<std::size_t>(my_rank)];
+  detail::Mailbox& mailbox = world.mailbox(self);
   detail::PendingRecv pending;
   pending.mailbox = &mailbox;
   pending.comm_id = comm_id;
@@ -541,8 +364,8 @@ Buffer internal_recv(detail::WorldState& world, const std::vector<int>& group,
   pending.src_world =
       (src == kAnySource) ? kAnySource : group[static_cast<std::size_t>(src)];
   pending.tag = tag;
-  pending.world = &world;
-  pending.self_world = group[static_cast<std::size_t>(my_rank)];
+  pending.backend = &world;
+  pending.self_world = self;
   pending.collective = true;
   util::MutexLock lock(mailbox.mutex);
   for (;;) {
@@ -587,7 +410,7 @@ void Communicator::barrier() {
   for (int distance = 1; distance < n; distance <<= 1) {
     const int dst = (rank_ + distance) % n;
     const int src = (rank_ - distance % n + n) % n;
-    internal_send(*this, *world_, group_, rank_, dst, comm_id_,
+    internal_send(*world_, group_, rank_, dst, comm_id_,
                   step_tag(tag, distance), {});
     (void)internal_recv(*world_, group_, rank_, src, comm_id_,
                         step_tag(tag, distance));
@@ -616,8 +439,7 @@ void Communicator::broadcast(int root, Buffer& payload) {
   while (mask > 0) {
     if (vrank + mask < n) {
       const int dst = ((vrank + mask) + root) % n;
-      internal_send(*this, *world_, group_, rank_, dst, comm_id_, tag,
-                    payload);
+      internal_send(*world_, group_, rank_, dst, comm_id_, tag, payload);
     }
     mask >>= 1;
   }
@@ -625,7 +447,7 @@ void Communicator::broadcast(int root, Buffer& payload) {
 
 void Communicator::broadcast(int root, std::span<float> values) {
   Buffer payload;
-  if (rank_ == root) payload = to_buffer(values);
+  if (rank_ == root) payload = Serializer::pack_floats(values);
   broadcast(root, payload);
   if (rank_ != root) {
     LTFB_CHECK_MSG(payload.size() == values.size() * sizeof(float),
@@ -662,12 +484,12 @@ void Communicator::allreduce(std::span<float> values, ReduceOp op) {
 
   for (int step = 0; step < n - 1; ++step) {
     const auto out = chunk(rank_ - step);
-    internal_send(*this, *world_, group_, rank_, right, comm_id_,
-                  step_tag(tag, step), to_buffer(out));
+    internal_send(*world_, group_, rank_, right, comm_id_,
+                  step_tag(tag, step), Serializer::pack_floats(out));
     const Buffer in = internal_recv(*world_, group_, rank_, left, comm_id_,
                                     step_tag(tag, step));
     auto target = chunk(rank_ - step - 1);
-    const auto incoming = floats_from_buffer(in);
+    const auto incoming = Deserializer::unpack_floats(in);
     LTFB_CHECK(incoming.size() == target.size());
     for (std::size_t i = 0; i < target.size(); ++i) {
       target[i] = reduce_elem(target[i], incoming[i], op);
@@ -675,12 +497,12 @@ void Communicator::allreduce(std::span<float> values, ReduceOp op) {
   }
   for (int step = 0; step < n - 1; ++step) {
     const auto out = chunk(rank_ + 1 - step);
-    internal_send(*this, *world_, group_, rank_, right, comm_id_,
-                  step_tag(tag, n + step), to_buffer(out));
+    internal_send(*world_, group_, rank_, right, comm_id_,
+                  step_tag(tag, n + step), Serializer::pack_floats(out));
     const Buffer in = internal_recv(*world_, group_, rank_, left, comm_id_,
                                     step_tag(tag, n + step));
     auto target = chunk(rank_ - step);
-    const auto incoming = floats_from_buffer(in);
+    const auto incoming = Deserializer::unpack_floats(in);
     LTFB_CHECK(incoming.size() == target.size());
     std::copy(incoming.begin(), incoming.end(), target.begin());
   }
@@ -706,11 +528,11 @@ std::vector<float> Communicator::allgather(std::span<const float> contribution) 
   std::vector<float> current(contribution.begin(), contribution.end());
   int current_owner = rank_;
   for (int step = 0; step < n - 1; ++step) {
-    internal_send(*this, *world_, group_, rank_, right, comm_id_,
-                  step_tag(tag, step), to_buffer(current));
+    internal_send(*world_, group_, rank_, right, comm_id_,
+                  step_tag(tag, step), Serializer::pack_floats(current));
     const Buffer in = internal_recv(*world_, group_, rank_, left, comm_id_,
                                     step_tag(tag, step));
-    current = floats_from_buffer(in);
+    current = Deserializer::unpack_floats(in);
     LTFB_CHECK(current.size() == per_rank);
     current_owner = (current_owner - 1 + n) % n;
     std::copy(current.begin(), current.end(),
@@ -748,7 +570,7 @@ void Communicator::reduce(int root, std::span<float> values, ReduceOp op) {
         const int child = (child_v + root) % n;
         const Buffer in = internal_recv(*world_, group_, rank_, child,
                                         comm_id_, step_tag(tag, mask));
-        const std::vector<float> incoming = floats_from_buffer(in);
+        const std::vector<float> incoming = Deserializer::unpack_floats(in);
         LTFB_CHECK(incoming.size() == acc.size());
         for (std::size_t i = 0; i < acc.size(); ++i) {
           acc[i] = reduce_elem(acc[i], incoming[i], op);
@@ -756,8 +578,8 @@ void Communicator::reduce(int root, std::span<float> values, ReduceOp op) {
       }
     } else {
       const int parent = ((vrank - mask) + root) % n;
-      internal_send(*this, *world_, group_, rank_, parent, comm_id_,
-                    step_tag(tag, mask), to_buffer(acc));
+      internal_send(*world_, group_, rank_, parent, comm_id_,
+                    step_tag(tag, mask), Serializer::pack_floats(acc));
       return;  // partial delivered; this rank is done
     }
     mask <<= 1;
@@ -773,8 +595,8 @@ std::vector<float> Communicator::gather(int root,
   const int n = size();
   LTFB_CHECK(root >= 0 && root < n);
   if (rank_ != root) {
-    internal_send(*this, *world_, group_, rank_, root, comm_id_, tag,
-                  to_buffer(contribution));
+    internal_send(*world_, group_, rank_, root, comm_id_, tag,
+                  Serializer::pack_floats(contribution));
     return {};
   }
   std::vector<float> result(contribution.size() *
@@ -787,7 +609,7 @@ std::vector<float> Communicator::gather(int root,
     if (r == root) continue;
     const Buffer in =
         internal_recv(*world_, group_, rank_, r, comm_id_, tag);
-    const std::vector<float> piece = floats_from_buffer(in);
+    const std::vector<float> piece = Deserializer::unpack_floats(in);
     LTFB_CHECK_MSG(piece.size() == contribution.size(),
                    "gather contribution size mismatch from rank " << r);
     std::copy(piece.begin(), piece.end(),
@@ -813,8 +635,8 @@ std::vector<float> Communicator::scatter(int root,
                                           << chunk * static_cast<std::size_t>(n));
     for (int r = 0; r < n; ++r) {
       if (r == root) continue;
-      internal_send(*this, *world_, group_, rank_, r, comm_id_, tag,
-                    to_buffer(send.subspan(
+      internal_send(*world_, group_, rank_, r, comm_id_, tag,
+                    Serializer::pack_floats(send.subspan(
                         chunk * static_cast<std::size_t>(r), chunk)));
     }
     const auto mine = send.subspan(chunk * static_cast<std::size_t>(root),
@@ -823,7 +645,7 @@ std::vector<float> Communicator::scatter(int root,
   }
   const Buffer in =
       internal_recv(*world_, group_, rank_, root, comm_id_, tag);
-  std::vector<float> piece = floats_from_buffer(in);
+  std::vector<float> piece = Deserializer::unpack_floats(in);
   LTFB_CHECK(piece.size() == chunk);
   return piece;
 }
@@ -875,71 +697,25 @@ Communicator Communicator::split(int color, int key) {
   return Communicator(world_, new_id, std::move(group), my_new_rank);
 }
 
-Communicator Communicator::shrink(std::chrono::milliseconds timeout) {
+Communicator Communicator::shrink(const Deadline& deadline) {
   LTFB_COMM_GUARD("shrink");
   LTFB_FAULT_TICK("shrink");
   LTFB_SPAN("comm/shrink");
-  LTFB_CHECK_MSG(timeout.count() > 0,
-                 "shrink timeout must be positive, got " << timeout.count()
-                                                         << "ms");
+  LTFB_CHECK_MSG(deadline.bounded(),
+                 "shrink requires a bounded deadline (survivors must never "
+                 "hang on a wedged peer)");
   const int me = group_[static_cast<std::size_t>(rank_)];
   // Rendezvous key: all members share (comm_id_, shrink_seq_) because
-  // shrink is collective and called in lockstep on each live rank.
-  const std::pair<std::uint64_t, std::uint64_t> key(comm_id_, shrink_seq_++);
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
-  std::vector<int> survivors;
-  {
-    util::MutexLock lock(world_->shrink_mutex);
-    detail::ShrinkPoint& point = world_->shrink_points[key];
-    point.arrived.push_back(me);
-    world_->shrink_cv.notify_all();
-    // Agreement predicate: every group member either arrived here or is
-    // gone. Arrived ranks cannot die while blocked (kills fire only at op
-    // entry, and a rank inside shrink performs no other ops), so once the
-    // predicate holds the arrival set is stable — the first rank through
-    // seals it as THE survivor set and everyone reads the sealed copy.
-    const auto ready = [&] {
-      if (point.sealed || point.aborted) return true;
-      for (const int wr : group_) {
-        if (std::find(point.arrived.begin(), point.arrived.end(), wr) !=
-            point.arrived.end()) {
-          continue;
-        }
-        if (!world_->gone(wr)) return false;
-      }
-      return true;
-    };
-    while (!ready()) {
-      if (world_->shrink_cv.wait_until(lock.native(), deadline) ==
-              std::cv_status::timeout &&
-          !ready()) {
-        // Abort the rendezvous for everyone: a divergent survivor set
-        // (some ranks proceed, some give up) would be worse than a clean
-        // collective failure.
-        point.aborted = true;
-        world_->shrink_cv.notify_all();
-        break;
-      }
-    }
-    if (point.aborted) {
-      LTFB_COUNTER_ADD("comm/timeouts", 1);
-      std::ostringstream oss;
-      oss << "shrink timed out after " << timeout.count()
-          << "ms: a peer is neither arrived nor known gone";
-      throw TimeoutError(oss.str());
-    }
-    if (!point.sealed) {
-      point.survivors = point.arrived;
-      std::sort(point.survivors.begin(), point.survivors.end());
-      point.sealed = true;
-      world_->shrink_cv.notify_all();
-    }
-    survivors = point.survivors;
-  }
+  // shrink is collective and called in lockstep on each live rank. The
+  // agreement protocol itself is transport-specific (a shared map in
+  // process, control frames across sockets).
+  const std::uint64_t seq = shrink_seq_++;
+  std::vector<int> survivors =
+      world_->shrink_rendezvous(comm_id_, seq, me, group_, deadline);
   // Every survivor derives the identical communicator id from the agreed
   // set, then renumbers ranks 0..k-1 in world-rank order.
   std::uint64_t new_id = util::derive_seed(
-      comm_id_ ^ 0x7a3f'9e2b'44c1'd05bull, key.second,
+      comm_id_ ^ 0x7a3f'9e2b'44c1'd05bull, seq,
       static_cast<std::uint64_t>(survivors.size()));
   for (const int wr : survivors) {
     new_id = util::derive_seed(new_id, static_cast<std::uint64_t>(wr), 0x51ull);
@@ -954,19 +730,34 @@ Communicator Communicator::shrink(std::chrono::milliseconds timeout) {
 
 World::World(int size) {
   LTFB_CHECK_MSG(size > 0, "world size must be positive, got " << size);
-  state_ = std::make_shared<detail::WorldState>(size);
+  backend_ = make_backend(backend_kind_from_env(), size);
   if (auto env_schedule = FaultSchedule::from_env()) {
-    state_->faults = std::move(*env_schedule);
+    backend_->set_faults(std::move(*env_schedule));
+  }
+}
+
+World::World(int size, BackendKind kind) {
+  LTFB_CHECK_MSG(size > 0, "world size must be positive, got " << size);
+  backend_ = make_backend(kind, size);
+  if (auto env_schedule = FaultSchedule::from_env()) {
+    backend_->set_faults(std::move(*env_schedule));
+  }
+}
+
+World::World(std::shared_ptr<Backend> backend) : backend_(std::move(backend)) {
+  LTFB_CHECK_MSG(backend_ != nullptr, "world requires a transport backend");
+  if (auto env_schedule = FaultSchedule::from_env()) {
+    backend_->set_faults(std::move(*env_schedule));
   }
 }
 
 void World::set_fault_schedule(FaultSchedule schedule) {
-  state_->faults = std::move(schedule);
+  backend_->set_faults(std::move(schedule));
 }
 
-int World::size() const noexcept {
-  return static_cast<int>(state_->mailboxes.size());
-}
+int World::size() const noexcept { return backend_->size(); }
+
+BackendKind World::backend_kind() const noexcept { return backend_->kind(); }
 
 Communicator World::communicator(int rank) {
   LTFB_CHECK_MSG(rank >= 0 && rank < size(),
@@ -974,7 +765,7 @@ Communicator World::communicator(int rank) {
   std::vector<int> group(static_cast<std::size_t>(size()));
   for (int i = 0; i < size(); ++i) group[static_cast<std::size_t>(i)] = i;
   // comm_id 0 is the world communicator by convention.
-  return Communicator(state_, 0, std::move(group), rank);
+  return Communicator(backend_, 0, std::move(group), rank);
 }
 
 std::vector<std::exception_ptr> World::run_ranks(
@@ -995,10 +786,10 @@ std::vector<std::exception_ptr> World::run_ranks(
         fn(comm);
         // Clean return: obligated messages were all delivered. Peers still
         // blocked on this rank fail fast instead of hanging.
-        state_->mark_gone(rank, /*clean=*/true);
+        backend_->finalize_rank(rank, /*clean=*/true);
       } catch (...) {
         errors[static_cast<std::size_t>(rank)] = std::current_exception();
-        state_->mark_gone(rank, /*clean=*/false);
+        backend_->finalize_rank(rank, /*clean=*/false);
       }
     });
   }
@@ -1012,6 +803,47 @@ void World::run(int size, const std::function<void(Communicator&)>& fn) {
   for (const auto& error : errors) {
     if (error) std::rethrow_exception(error);
   }
+}
+
+std::vector<World::ProcessStatus> World::spawn_processes(
+    int size, const std::function<void(Communicator&)>& fn) {
+  LTFB_CHECK_MSG(size > 0, "world size must be positive, got " << size);
+  const std::vector<SpawnedRank> spawned = spawn_socket_mesh(
+      size, [&fn](int rank, const std::shared_ptr<Backend>& backend) {
+        // Children report through exit codes only: exceptions cannot cross
+        // the process boundary, so the fault taxonomy run_ranks callers see
+        // as exception types arrives here as kExit* codes.
+        try {
+          World world(backend);
+          telemetry::bind_rank(
+              rank < telemetry::detail::kMaxRankScopes ? rank : -1);
+          Communicator comm = world.communicator(rank);
+          fn(comm);
+          backend->finalize_rank(rank, /*clean=*/true);
+          return kExitClean;
+        } catch (const FaultInjected&) {
+          backend->finalize_rank(rank, /*clean=*/false);
+          return kExitFaultInjected;
+        } catch (const RankFailedError&) {
+          backend->finalize_rank(rank, /*clean=*/false);
+          return kExitRankFailed;
+        } catch (const TimeoutError&) {
+          backend->finalize_rank(rank, /*clean=*/false);
+          return kExitTimeout;
+        } catch (...) {
+          backend->finalize_rank(rank, /*clean=*/false);
+          return kExitError;
+        }
+      });
+  std::vector<ProcessStatus> statuses;
+  statuses.reserve(spawned.size());
+  for (const SpawnedRank& child : spawned) {
+    ProcessStatus status;
+    status.rank = child.rank;
+    status.code = child.exited ? child.exit_code : -child.term_signal;
+    statuses.push_back(status);
+  }
+  return statuses;
 }
 
 }  // namespace ltfb::comm

@@ -1,8 +1,11 @@
-// In-process message-passing substrate (the Aluminum / MPI substitute).
+// Message-passing substrate (the Aluminum / MPI substitute).
 //
 // The paper's framework runs MPI ranks across cluster nodes; here each rank
-// is a thread inside one process, and every rank owns a mailbox of typed
-// messages. The programming model is deliberately MPI-shaped:
+// owns a mailbox of typed messages, and the transport beneath it is
+// pluggable (comm/backend.hpp): the in-process backend runs every rank as a
+// thread of this process, the socket backend runs ranks over Unix-domain
+// stream sockets — as loopback threads or as one OS process per rank via
+// World::spawn_processes. The programming model is deliberately MPI-shaped:
 //
 //   * blocking send/recv with (source, tag) matching and ANY_SOURCE,
 //   * nonblocking isend/irecv returning Request handles,
@@ -12,37 +15,37 @@
 //     LBANN-style trainers,
 //
 // so src/core (LTFB) and src/datastore are written exactly as they would be
-// against MPI. Collectives must be invoked in the same order by every rank
-// of a communicator (the standard MPI contract); a per-rank lockstep
-// sequence number isolates concurrent collectives from one another.
+// against MPI and never see the backend types. Collectives must be invoked
+// in the same order by every rank of a communicator (the standard MPI
+// contract); a per-rank lockstep sequence number isolates concurrent
+// collectives from one another.
+//
+// Every blocking call takes a comm::Deadline (defaulting to never): the
+// one options-style form replaces the old timeout overload pairs, with the
+// old signatures kept as thin inline shims.
 //
 // Observability: World::run_ranks binds each rank thread to a telemetry
 // rank scope (telemetry::bind_rank), and every message — point-to-point
 // and collective hop alike — is stamped with a deterministic flow
 // correlation id derived from (comm id, tag, src, dst, per-pair seq).
 // The telemetry exporter turns the matched send/recv endpoints into
-// Chrome-trace flow arrows (DESIGN.md §11).
+// Chrome-trace flow arrows (DESIGN.md §11); the socket wire format carries
+// the id verbatim so cross-process arrows still match.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
-#include "comm/fault.hpp"
+#include "comm/backend.hpp"
 #include "util/error.hpp"
 
 namespace ltfb::comm {
-
-/// Raw message payload. Helpers below convert to/from float spans.
-using Buffer = std::vector<std::uint8_t>;
 
 /// Matches any source rank in recv/irecv.
 inline constexpr int kAnySource = -1;
@@ -50,11 +53,7 @@ inline constexpr int kAnySource = -1;
 /// Reduction operators supported by allreduce/reduce.
 enum class ReduceOp { Sum, Max, Min };
 
-Buffer to_buffer(std::span<const float> values);
-std::vector<float> floats_from_buffer(const Buffer& buffer);
-
 namespace detail {
-struct WorldState;
 struct PendingRecv;
 
 /// Debug-mode detector for the communicator single-thread contract: a
@@ -115,16 +114,14 @@ class Request {
   /// True once the operation has completed. Never blocks.
   bool test();
 
-  /// Blocks until completion. Throws ltfb::RankFailedError if the awaited
-  /// peer (or, for ANY_SOURCE, every peer in the group) is known to have
-  /// failed or departed without the message ever arriving.
-  void wait();
-
-  /// Deadline overload: blocks at most `timeout`, then throws
-  /// ltfb::TimeoutError. A timed-out request stays VALID and re-waitable —
-  /// the receive is not cancelled, the message can still arrive, and a
-  /// later wait()/test() can complete it (tested in tests/test_comm.cpp).
-  void wait(std::chrono::milliseconds timeout);
+  /// Blocks until completion or the deadline. Throws ltfb::RankFailedError
+  /// if the awaited peer (or, for ANY_SOURCE, every peer in the group) is
+  /// known to have failed or departed without the message ever arriving;
+  /// throws ltfb::TimeoutError once a bounded deadline expires. A timed-out
+  /// request stays VALID and re-waitable — the receive is not cancelled,
+  /// the message can still arrive, and a later wait()/test() can complete
+  /// it (tested in tests/test_comm.cpp).
+  void wait(const Deadline& deadline = Deadline::never());
 
   bool valid() const noexcept { return state_ != nullptr; }
 
@@ -132,7 +129,6 @@ class Request {
   friend class Communicator;
   explicit Request(std::shared_ptr<detail::PendingRecv> state)
       : state_(std::move(state)) {}
-  void wait_impl(const std::chrono::milliseconds* timeout);
   std::shared_ptr<detail::PendingRecv> state_;
 };
 
@@ -156,30 +152,29 @@ class Communicator {
   void send(int dst, int tag, const Buffer& payload);
   void send(int dst, int tag, std::span<const float> values);
 
-  /// Blocking receive; fills `source_out`/`tag_out` when non-null. Throws
+  /// Blocking receive; fills `source_out` when non-null. Throws
   /// ltfb::RankFailedError if the awaited peer has failed (and the message
-  /// never arrived).
-  Buffer recv(int src, int tag, int* source_out = nullptr);
-
-  /// Deadline overload: throws ltfb::TimeoutError when no matching message
-  /// arrives within `timeout` (the message is NOT consumed if it arrives
-  /// later — a subsequent recv can still claim it).
-  Buffer recv(int src, int tag, std::chrono::milliseconds timeout,
+  /// never arrived); with a bounded deadline, throws ltfb::TimeoutError
+  /// when no matching message arrives in time (the message is NOT consumed
+  /// if it arrives later — a subsequent recv can still claim it).
+  Buffer recv(int src, int tag, const Deadline& deadline,
               int* source_out = nullptr);
+
+  /// Shim for the pre-Deadline signature.
+  Buffer recv(int src, int tag, int* source_out = nullptr) {
+    return recv(src, tag, Deadline::never(), source_out);
+  }
 
   /// Nonblocking receive; the returned request owns the landing buffer,
   /// retrievable with `take_payload` after completion.
   Request irecv(int src, int tag);
   Buffer take_payload(Request& request);
 
-  /// Simultaneous exchange with a partner (deadlock-free).
-  Buffer sendrecv(int partner, int tag, const Buffer& payload);
-
-  /// Deadline overload of sendrecv: the send always completes (mailboxes
-  /// are unbounded); the receive half throws ltfb::TimeoutError past the
-  /// deadline or ltfb::RankFailedError when the partner is dead.
+  /// Simultaneous exchange with a partner (deadlock-free). The send always
+  /// completes (mailboxes are unbounded); the receive half obeys the
+  /// deadline like recv.
   Buffer sendrecv(int partner, int tag, const Buffer& payload,
-                  std::chrono::milliseconds timeout);
+                  const Deadline& deadline = Deadline::never());
 
   // -- collectives (must be called by every rank, in the same order) -------
 
@@ -217,14 +212,14 @@ class Communicator {
   /// departed), then all arrivals agree on the identical sorted survivor
   /// set and receive a rebuilt sub-communicator over exactly those ranks
   /// (ranks renumbered 0..k-1 in world-rank order, fresh communicator id).
-  /// Throws ltfb::TimeoutError — on every blocked arrival — if agreement is
-  /// not reached within `timeout` (e.g. a peer is alive but wedged), so a
-  /// stuck shrink never hangs the survivors.
-  Communicator shrink(std::chrono::milliseconds timeout);
+  /// The deadline must be bounded; ltfb::TimeoutError is thrown — on every
+  /// blocked arrival — if agreement is not reached in time (e.g. a peer is
+  /// alive but wedged), so a stuck shrink never hangs the survivors.
+  Communicator shrink(const Deadline& deadline);
 
  private:
   friend class World;
-  Communicator(std::shared_ptr<detail::WorldState> world, std::uint64_t id,
+  Communicator(std::shared_ptr<Backend> world, std::uint64_t id,
                std::vector<int> group, int rank)
       : world_(std::move(world)),
         comm_id_(id),
@@ -240,7 +235,7 @@ class Communicator {
   class FaultScope;
   void fault_tick(const char* what);
 
-  std::shared_ptr<detail::WorldState> world_;
+  std::shared_ptr<Backend> world_;
   std::uint64_t comm_id_ = 0;
   std::vector<int> group_;  // group_[r] = world rank of communicator rank r
   int rank_ = 0;
@@ -251,19 +246,24 @@ class Communicator {
   mutable detail::ThreadUseStamp use_stamp_;  // single-thread contract check
 };
 
-/// Owns the mailboxes for `size` ranks and creates per-rank handles.
+/// Owns the transport for `size` ranks and creates per-rank handles.
 ///
 /// The constructor auto-installs any schedule found in the
 /// LTFB_FAULT_SCHEDULE environment variable (see comm/fault.hpp for the
-/// grammar), so fault injection works on unmodified binaries.
+/// grammar), so fault injection works on unmodified binaries; the backend
+/// defaults to the LTFB_COMM_BACKEND environment variable ("inproc" unless
+/// overridden), so unmodified binaries can be rerun on the socket
+/// transport too.
 class World {
  public:
   explicit World(int size);
+  World(int size, BackendKind kind);
 
   int size() const noexcept;
+  BackendKind backend_kind() const noexcept;
 
-  /// The world communicator handle for `rank`. Each rank (thread) should
-  /// obtain exactly one handle and use it from that thread only.
+  /// The world communicator handle for `rank`. Each rank should obtain
+  /// exactly one handle and use it from one thread at a time.
   Communicator communicator(int rank);
 
   /// Installs a deterministic fault schedule (replacing any env-installed
@@ -284,8 +284,39 @@ class World {
   /// (the first one) after all threads have been joined.
   static void run(int size, const std::function<void(Communicator&)>& fn);
 
+  // -- multi-process launch (socket transport) -----------------------------
+
+  /// Exit-code taxonomy for spawn_processes children. Anything else means
+  /// an unclassified error; a negative ProcessStatus::code is the signal
+  /// that killed the child, negated.
+  static constexpr int kExitClean = 0;
+  static constexpr int kExitError = 1;
+  static constexpr int kExitFaultInjected = 42;
+  static constexpr int kExitRankFailed = 43;
+  static constexpr int kExitTimeout = 44;
+
+  struct ProcessStatus {
+    int rank = -1;
+    int code = kExitError;
+    bool clean() const noexcept { return code == kExitClean; }
+  };
+
+  /// Forks one OS process per rank, wires a full socketpair mesh between
+  /// them, runs `fn` on each rank's world communicator, and reaps every
+  /// child. The per-rank outcome is reported through exit codes (children
+  /// cannot throw across the process boundary): a rank that returns
+  /// normally exits kExitClean; injected kills, detected peer failures,
+  /// and timeouts map to their dedicated codes so the launcher-side
+  /// caller can distinguish chaos outcomes exactly like run_ranks callers
+  /// inspect exceptions. Fault schedules and telemetry configuration
+  /// propagate through the environment (LTFB_FAULT_SCHEDULE, LTFB_TRACE).
+  static std::vector<ProcessStatus> spawn_processes(
+      int size, const std::function<void(Communicator&)>& fn);
+
  private:
-  std::shared_ptr<detail::WorldState> state_;
+  explicit World(std::shared_ptr<Backend> backend);
+
+  std::shared_ptr<Backend> backend_;
 };
 
 }  // namespace ltfb::comm

@@ -1,0 +1,56 @@
+// Deadline option type for blocking communicator calls.
+//
+// Every blocking entry point (recv, sendrecv, Request::wait, shrink) takes
+// one Deadline instead of growing a timed/untimed overload pair per
+// operation. A Deadline carries a *budget* (a relative duration), not an
+// absolute time point: it is resolved against the clock at each blocking
+// call's entry, so a Deadline stored in a config struct means "allow this
+// long per call", exactly like the milliseconds fields it replaces. The
+// implicit conversion from std::chrono::milliseconds keeps existing call
+// sites (`comm.recv(src, tag, timeout_)`) compiling unchanged.
+#pragma once
+
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace ltfb::comm {
+
+class Deadline {
+ public:
+  /// Default: unbounded — the call blocks until completion or peer failure.
+  constexpr Deadline() noexcept = default;
+
+  /// Bounded budget; must be positive. Implicit on purpose: every legacy
+  /// `milliseconds timeout` call site converts to the options form.
+  Deadline(std::chrono::milliseconds budget) : budget_(budget) {  // NOLINT
+    LTFB_CHECK_MSG(budget.count() > 0,
+                   "deadline budget must be positive, got " << budget.count()
+                                                            << "ms");
+  }
+
+  static constexpr Deadline never() noexcept { return Deadline(); }
+  static Deadline after(std::chrono::milliseconds budget) {
+    return Deadline(budget);
+  }
+
+  constexpr bool bounded() const noexcept { return budget_.count() > 0; }
+
+  /// The per-call budget; zero when unbounded (for error messages use
+  /// budget().count() only on bounded deadlines).
+  constexpr std::chrono::milliseconds budget() const noexcept {
+    return budget_;
+  }
+
+  /// Absolute expiry for a blocking call entered "now". Only meaningful on
+  /// bounded deadlines (checked).
+  std::chrono::steady_clock::time_point expires_at() const {
+    LTFB_CHECK_MSG(bounded(), "expires_at() on an unbounded deadline");
+    return std::chrono::steady_clock::now() + budget_;
+  }
+
+ private:
+  std::chrono::milliseconds budget_{0};
+};
+
+}  // namespace ltfb::comm

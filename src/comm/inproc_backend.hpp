@@ -1,0 +1,14 @@
+// The original threaded-mailbox transport behind the Backend interface:
+// every rank is a thread of this process, delivery is a locked deque push,
+// and liveness flags flip atomically for all observers at once.
+#pragma once
+
+#include <memory>
+
+#include "comm/backend.hpp"
+
+namespace ltfb::comm {
+
+std::shared_ptr<Backend> make_inproc_backend(int size);
+
+}  // namespace ltfb::comm

@@ -1,0 +1,185 @@
+#include "comm/serializer.hpp"
+
+#include <cstring>
+#include <limits>
+
+namespace ltfb::comm {
+
+namespace {
+
+template <typename T>
+void append_raw(Buffer& out, T value) {
+  const auto offset = out.size();
+  out.resize(offset + sizeof(T));
+  std::memcpy(out.data() + offset, &value, sizeof(T));
+}
+
+std::uint32_t checked_count(std::size_t count, const char* what) {
+  LTFB_CHECK_MSG(count <= std::numeric_limits<std::uint32_t>::max(),
+                 what << " element count " << count
+                      << " exceeds the u32 wire limit");
+  return static_cast<std::uint32_t>(count);
+}
+
+}  // namespace
+
+Serializer& Serializer::u8(std::uint8_t value) {
+  out_.push_back(value);
+  return *this;
+}
+
+Serializer& Serializer::u32(std::uint32_t value) {
+  append_raw(out_, value);
+  return *this;
+}
+
+Serializer& Serializer::u64(std::uint64_t value) {
+  append_raw(out_, value);
+  return *this;
+}
+
+Serializer& Serializer::i64(std::int64_t value) {
+  append_raw(out_, value);
+  return *this;
+}
+
+Serializer& Serializer::f32(float value) {
+  append_raw(out_, value);
+  return *this;
+}
+
+Serializer& Serializer::floats(std::span<const float> values) {
+  u32(checked_count(values.size(), "floats"));
+  const auto offset = out_.size();
+  out_.resize(offset + values.size_bytes());
+  if (!values.empty()) {
+    std::memcpy(out_.data() + offset, values.data(), values.size_bytes());
+  }
+  return *this;
+}
+
+Serializer& Serializer::ints(std::span<const std::int64_t> values) {
+  u32(checked_count(values.size(), "ints"));
+  const auto offset = out_.size();
+  out_.resize(offset + values.size_bytes());
+  if (!values.empty()) {
+    std::memcpy(out_.data() + offset, values.data(), values.size_bytes());
+  }
+  return *this;
+}
+
+Serializer& Serializer::str(std::string_view value) {
+  u32(checked_count(value.size(), "str"));
+  out_.insert(out_.end(), value.begin(), value.end());
+  return *this;
+}
+
+Serializer& Serializer::bytes(std::span<const std::uint8_t> data) {
+  out_.insert(out_.end(), data.begin(), data.end());
+  return *this;
+}
+
+Buffer Serializer::pack_floats(std::span<const float> values) {
+  Buffer buffer(values.size_bytes());
+  if (!values.empty()) {
+    std::memcpy(buffer.data(), values.data(), buffer.size());
+  }
+  return buffer;
+}
+
+const std::uint8_t* Deserializer::consume(std::size_t count,
+                                          const char* what) {
+  if (count > remaining()) {
+    std::ostringstream oss;
+    oss << "truncated message: reading " << what << " needs " << count
+        << " bytes but only " << remaining() << " remain (offset " << pos_
+        << " of " << data_.size() << ")";
+    throw FormatError(oss.str());
+  }
+  const std::uint8_t* at = data_.data() + pos_;
+  pos_ += count;
+  return at;
+}
+
+std::uint8_t Deserializer::u8() { return *consume(1, "u8"); }
+
+std::uint32_t Deserializer::u32() {
+  std::uint32_t value = 0;
+  std::memcpy(&value, consume(sizeof(value), "u32"), sizeof(value));
+  return value;
+}
+
+std::uint64_t Deserializer::u64() {
+  std::uint64_t value = 0;
+  std::memcpy(&value, consume(sizeof(value), "u64"), sizeof(value));
+  return value;
+}
+
+std::int64_t Deserializer::i64() {
+  std::int64_t value = 0;
+  std::memcpy(&value, consume(sizeof(value), "i64"), sizeof(value));
+  return value;
+}
+
+float Deserializer::f32() {
+  float value = 0.0f;
+  std::memcpy(&value, consume(sizeof(value), "f32"), sizeof(value));
+  return value;
+}
+
+std::vector<float> Deserializer::floats() {
+  const std::uint32_t count = u32();
+  std::vector<float> values(count);
+  if (count > 0) {
+    std::memcpy(values.data(), consume(values.size() * sizeof(float), "floats"),
+                values.size() * sizeof(float));
+  }
+  return values;
+}
+
+std::vector<std::int64_t> Deserializer::ints() {
+  const std::uint32_t count = u32();
+  std::vector<std::int64_t> values(count);
+  if (count > 0) {
+    std::memcpy(values.data(),
+                consume(values.size() * sizeof(std::int64_t), "ints"),
+                values.size() * sizeof(std::int64_t));
+  }
+  return values;
+}
+
+std::string Deserializer::str() {
+  const std::uint32_t count = u32();
+  const std::uint8_t* at = consume(count, "str");
+  return std::string(reinterpret_cast<const char*>(at), count);
+}
+
+Buffer Deserializer::bytes(std::size_t count) {
+  const std::uint8_t* at = consume(count, "bytes");
+  return Buffer(at, at + count);
+}
+
+void Deserializer::expect_end() const {
+  if (pos_ != data_.size()) {
+    std::ostringstream oss;
+    oss << "malformed message: " << (data_.size() - pos_)
+        << " trailing bytes after the last expected field";
+    throw FormatError(oss.str());
+  }
+}
+
+std::vector<float> Deserializer::unpack_floats(const Buffer& buffer) {
+  if (buffer.size() % sizeof(float) != 0) {
+    std::ostringstream oss;
+    oss << "malformed float payload: size " << buffer.size()
+        << " is not a multiple of " << sizeof(float);
+    throw FormatError(oss.str());
+  }
+  std::vector<float> values(buffer.size() / sizeof(float));
+  if (!values.empty()) {
+    std::memcpy(values.data(), buffer.data(), buffer.size());
+  }
+  return values;
+}
+
+}  // namespace ltfb::comm

@@ -1,0 +1,98 @@
+// Typed message (de)serialization shared by collectives, the population
+// checkpoint exchange, and the socket backend's wire format.
+//
+// Serializer appends typed fields to a Buffer; Deserializer reads them back
+// in the same order and throws ltfb::FormatError on truncation or malformed
+// counts — a peer speaking a different protocol version must fail typed,
+// never read garbage. Variable-length fields (floats/ints/str) carry a u32
+// element-count prefix.
+//
+// The headerless pack_floats/unpack_floats pair is the raw float-span wire
+// form used by the collectives and the gradient bucketer: exactly
+// 4*count payload bytes, so receivers can size-check chunks without a
+// header. (This replaces the old free to_buffer/floats_from_buffer
+// helpers.)
+//
+// Byte order is the host's: ranks of one training run share a machine (or
+// an architecture-homogeneous cluster), matching the paper's deployment.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ltfb::comm {
+
+/// Raw message payload.
+using Buffer = std::vector<std::uint8_t>;
+
+class Serializer {
+ public:
+  Serializer& u8(std::uint8_t value);
+  Serializer& u32(std::uint32_t value);
+  Serializer& u64(std::uint64_t value);
+  Serializer& i64(std::int64_t value);
+  Serializer& f32(float value);
+
+  /// Length-prefixed spans: u32 element count, then the raw elements.
+  Serializer& floats(std::span<const float> values);
+  Serializer& ints(std::span<const std::int64_t> values);
+  Serializer& str(std::string_view value);
+
+  /// Raw bytes, no length prefix (for fixed-size trailing payloads).
+  Serializer& bytes(std::span<const std::uint8_t> data);
+
+  std::size_t size() const noexcept { return out_.size(); }
+  const Buffer& buffer() const noexcept { return out_; }
+  Buffer take() { return std::move(out_); }
+
+  /// Headerless float packing: exactly values.size()*4 bytes.
+  static Buffer pack_floats(std::span<const float> values);
+
+ private:
+  Buffer out_;
+};
+
+class Deserializer {
+ public:
+  explicit Deserializer(std::span<const std::uint8_t> data) : data_(data) {}
+  explicit Deserializer(const Buffer& buffer)
+      : Deserializer(std::span<const std::uint8_t>(buffer)) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  float f32();
+
+  std::vector<float> floats();
+  std::vector<std::int64_t> ints();
+  std::string str();
+
+  /// Raw bytes, no length prefix.
+  Buffer bytes(std::size_t count);
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool done() const noexcept { return pos_ == data_.size(); }
+
+  /// Throws ltfb::FormatError unless every byte has been consumed — catches
+  /// writer/reader schema drift that happens to leave a parseable prefix.
+  void expect_end() const;
+
+  /// Headerless float unpacking: the buffer must be exactly N*4 bytes.
+  static std::vector<float> unpack_floats(const Buffer& buffer);
+
+ private:
+  /// Bounds-checks and consumes `count` bytes; the returned pointer is only
+  /// valid until the underlying buffer goes away.
+  const std::uint8_t* consume(std::size_t count, const char* what);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ltfb::comm

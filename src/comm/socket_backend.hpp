@@ -1,0 +1,62 @@
+// Socket transport: every rank is a Unix-domain stream-socket endpoint in a
+// full mesh, speaking the length-prefixed frame format of comm/wire.hpp.
+//
+// Two deployment shapes share the implementation:
+//
+//   * Loopback (make_socket_backend_loopback): all ranks live in one
+//     process as threads — exactly like the in-process backend — but every
+//     message crosses a real socketpair and the full wire encode/decode
+//     path. This is what test parameterization and the CI comm-socket job
+//     use: the whole chaos/observability surface exercises the wire
+//     protocol at thread speed.
+//   * Process (make_socket_backend_process + spawn_socket_mesh): one OS
+//     process per rank, pre-wired by the launcher with one socketpair per
+//     rank pair. World::spawn_processes is the public entry point.
+//
+// Connection supervision maps transport events onto the PR 3 fault model:
+// a GOODBYE frame marks the peer departed (clean return — EOF afterwards
+// is normal teardown); EOF or a read/write error without GOODBYE marks it
+// dead (crash); a malformed or out-of-sequence frame also marks it dead (a
+// peer speaking garbage is as unusable as a corpse). Each connection has a
+// dedicated reader thread that drains frames into the rank's mailbox, so
+// the ordering invariant failure-aware receives rely on — "once a peer is
+// observed gone, everything it ever sent is already claimable" — holds
+// per connection: the reader only observes EOF after delivering every
+// frame that preceded it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "comm/backend.hpp"
+
+namespace ltfb::comm {
+
+/// All ranks in this process, threads as ranks, real sockets between them.
+std::shared_ptr<Backend> make_socket_backend_loopback(int size);
+
+/// The endpoint of `self` in a spawned-process world. `peer_fds[p]` is the
+/// connected stream socket to world rank p (ignored at index self).
+std::shared_ptr<Backend> make_socket_backend_process(int size, int self,
+                                                     std::vector<int> peer_fds);
+
+/// One spawned rank's wait status, as reaped by the launcher.
+struct SpawnedRank {
+  int rank = -1;
+  bool exited = false;  // false = terminated by a signal
+  int exit_code = 0;    // valid when exited
+  int term_signal = 0;  // valid when !exited
+};
+
+/// The launcher: creates the size*(size-1)/2 socketpair mesh, forks one
+/// child per rank, and in each child builds that rank's process backend and
+/// runs `child_main(rank, backend)`, using its return value as the child's
+/// exit code. The parent closes every mesh fd and reaps all children.
+/// `child_main` must not throw (children report through exit codes only).
+std::vector<SpawnedRank> spawn_socket_mesh(
+    int size,
+    const std::function<int(int rank, const std::shared_ptr<Backend>& backend)>&
+        child_main);
+
+}  // namespace ltfb::comm

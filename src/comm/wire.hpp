@@ -1,0 +1,82 @@
+// Length-prefixed wire format for the socket backend.
+//
+// Every frame on a rank-pair connection is:
+//
+//   u32  length of everything after this field
+//   u8   kind          (Message / Goodbye / ShrinkArrive / ShrinkSeal /
+//                       ShrinkAbort)
+//   u64  comm id       (shrink control frames reuse this for the key)
+//   i64  tag           (user or reserved-collective tag; 0 for control)
+//   i32  src world rank
+//   i32  dst world rank
+//   u64  per-pair seq  (per src->dst connection, monotone from 0; the
+//                       receiver verifies it to catch framing corruption)
+//   u64  flow correlation id (0 = none; telemetry arrows match both sides)
+//   u32  payload byte count + payload
+//
+// Control frames implement connection supervision and the cross-process
+// shrink rendezvous: Goodbye marks a clean departure (EOF after it is a
+// normal teardown; EOF without it means the peer crashed), ShrinkArrive/
+// ShrinkSeal/ShrinkAbort carry the survivor-agreement protocol, keyed by
+// (comm id, seq) with the sealed survivor list in the payload.
+//
+// Encoding uses comm::Serializer; decoding throws ltfb::FormatError on any
+// malformed frame, which the reader thread maps onto peer death (a peer
+// speaking garbage is as unusable as a dead one).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "comm/serializer.hpp"
+
+namespace ltfb::comm::wire {
+
+enum class FrameKind : std::uint8_t {
+  Message = 0,
+  Goodbye = 1,
+  ShrinkArrive = 2,
+  ShrinkSeal = 3,
+  ShrinkAbort = 4,
+};
+
+/// Largest frame the decoder will accept; a length prefix beyond this is
+/// treated as framing corruption rather than an allocation request.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
+
+struct Frame {
+  FrameKind kind = FrameKind::Message;
+  std::uint64_t comm_id = 0;
+  std::int64_t tag = 0;
+  int src = 0;
+  int dst = 0;
+  std::uint64_t seq = 0;      // per src->dst pair, any tag
+  std::uint64_t flow_id = 0;  // 0 = none
+  Buffer payload;
+};
+
+/// Serializes `frame` including the leading length prefix.
+Buffer encode_frame(const Frame& frame);
+
+/// Incremental stream decoder: feed() raw bytes as they arrive, then drain
+/// complete frames with next(). Throws ltfb::FormatError on malformed
+/// input (bad kind, oversized length, truncated body).
+class FrameDecoder {
+ public:
+  void feed(const std::uint8_t* data, std::size_t count);
+
+  /// The next complete frame, or nullopt until more bytes arrive.
+  std::optional<Frame> next();
+
+  /// Bytes buffered but not yet returned as frames (a nonzero value at EOF
+  /// means the peer died mid-frame).
+  std::size_t pending_bytes() const noexcept { return buffer_.size(); }
+
+ private:
+  Buffer buffer_;
+};
+
+/// Decodes one frame body (everything after the length prefix).
+Frame decode_frame_body(std::span<const std::uint8_t> body);
+
+}  // namespace ltfb::comm::wire

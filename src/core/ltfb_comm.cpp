@@ -128,6 +128,9 @@ DistributedLtfbOutcome run_distributed_ltfb(
   const std::chrono::milliseconds exchange_deadline =
       fault_aware ? config.comm_timeout
                   : std::chrono::milliseconds(std::chrono::hours(24));
+  const std::chrono::milliseconds shrink_deadline =
+      config.shrink_timeout.count() > 0 ? config.shrink_timeout
+                                        : 4 * config.comm_timeout;
 
   // In-band cluster metric aggregation at round boundaries (DESIGN.md §11).
   // The activation predicate (telemetry enabled + an output requested) is
@@ -291,11 +294,11 @@ DistributedLtfbOutcome run_distributed_ltfb(
             LTFB_SPAN("ltfb/exchange");
             received = leader_comm.sendrecv(live[partner_pos].second,
                                             static_cast<int>(round),
-                                            comm::to_buffer(own),
+                                            comm::Serializer::pack_floats(own),
                                             exchange_deadline);
           }
           const std::vector<float> candidate =
-              comm::floats_from_buffer(received);
+              comm::Deserializer::unpack_floats(received);
 
           stat.own_score = local_score();
           restore(model, candidate, config.ltfb.scope);
@@ -328,11 +331,9 @@ DistributedLtfbOutcome run_distributed_ltfb(
 
       // Survivor agreement: shrink the leader communicator around any
       // trainer that died this round, so the next round's pairing draws
-      // from live trainers only (ULFM MPI_Comm_shrink in miniature). The
-      // deadline is a multiple of the exchange deadline: the dead rank's
-      // partner only arrives here after waiting out its own exchange.
+      // from live trainers only (ULFM MPI_Comm_shrink in miniature).
       if (fault_aware) {
-        leader_comm = leader_comm.shrink(4 * config.comm_timeout);
+        leader_comm = leader_comm.shrink(shrink_deadline);
       }
     }
 
@@ -359,10 +360,11 @@ DistributedLtfbOutcome run_distributed_ltfb(
         std::vector<float> current =
             leader ? snapshot(model, config.ltfb.scope) : std::vector<float>();
         comm::Buffer payload =
-            leader ? comm::to_buffer(current) : comm::Buffer{};
+            leader ? comm::Serializer::pack_floats(current) : comm::Buffer{};
         trainer_comm.broadcast(0, payload);
         if (!leader) {
-          const std::vector<float> weights = comm::floats_from_buffer(payload);
+          const std::vector<float> weights =
+              comm::Deserializer::unpack_floats(payload);
           restore(model, weights, config.ltfb.scope);
         }
       } catch (const RankFailedError&) {

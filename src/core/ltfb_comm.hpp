@@ -41,6 +41,12 @@ struct DistributedLtfbConfig {
   /// the legacy lockstep protocol: no deadlines, no shrink, any failure
   /// propagates (fail-stop) — appropriate when the substrate is trusted.
   std::chrono::milliseconds comm_timeout{60'000};
+  /// Deadline for the post-round survivor agreement (Communicator::shrink).
+  /// Zero derives the legacy default of 4x comm_timeout: a dead rank's
+  /// partner only reaches the rendezvous after waiting out its own
+  /// exchange, so the shrink budget must dominate the exchange budget.
+  /// Ignored in legacy lockstep mode (comm_timeout == 0).
+  std::chrono::milliseconds shrink_timeout{0};
   /// When `checkpoint_every` > 0, each trainer's leader writes its slot to
   /// `<checkpoint_dir>/trainer_<id>.pop` (population checkpoint v2, atomic)
   /// after every K completed rounds.

@@ -31,15 +31,20 @@ std::vector<data::SampleId> decode_ids(const comm::Buffer& buffer) {
 DataStore::DataStore(comm::Communicator comm, const BundleCatalog* catalog,
                      PopulateMode mode, std::size_t capacity_bytes_per_rank,
                      std::vector<data::SampleId> universe,
-                     std::chrono::milliseconds exchange_timeout)
+                     std::chrono::milliseconds exchange_timeout,
+                     std::chrono::milliseconds shrink_timeout)
     : comm_(std::move(comm)),
       catalog_(catalog),
       mode_(mode),
       capacity_bytes_(capacity_bytes_per_rank),
       timeout_(exchange_timeout),
+      shrink_timeout_(shrink_timeout.count() > 0 ? shrink_timeout
+                                                 : 4 * exchange_timeout),
       universe_(std::move(universe)),
       universe_set_(universe_.begin(), universe_.end()) {
   LTFB_CHECK_MSG(timeout_.count() > 0, "exchange timeout must be positive");
+  LTFB_CHECK_MSG(shrink_timeout.count() >= 0,
+                 "shrink timeout must be non-negative (0 = 4x exchange)");
   LTFB_CHECK_MSG(catalog_ != nullptr, "data store requires a catalog");
   for (const data::SampleId id : universe_) {
     LTFB_CHECK_MSG(id < catalog_->total_samples(),
@@ -277,8 +282,9 @@ void DataStore::repair_directory() {
   }
 
   // Survivor agreement. The shrink deadline is generous (stragglers may
-  // only notice the failure on their NEXT fetch and join late).
-  comm_ = comm_.shrink(4 * timeout_);
+  // only notice the failure on their NEXT fetch and join late); it is
+  // configurable through the constructor's shrink_timeout.
+  comm_ = comm_.shrink(shrink_timeout_);
 
   std::unordered_map<int, int> world_to_new;
   for (int r = 0; r < comm_.size(); ++r) {
@@ -383,7 +389,7 @@ std::vector<data::Sample> DataStore::fetch_via_exchange(
     const std::size_t packed_width = 2 + catalog_->schema().total_width();
     for (int i = 0; i < ranks - 1; ++i) {
       const comm::Buffer raw = comm_.recv(comm::kAnySource, rep_tag, timeout_);
-      const std::vector<float> flat = comm::floats_from_buffer(raw);
+      const std::vector<float> flat = comm::Deserializer::unpack_floats(raw);
       LTFB_CHECK(flat.size() % packed_width == 0);
       stats_.bytes_exchanged += raw.size();
       LTFB_COUNTER_ADD("datastore/bytes_exchanged", raw.size());

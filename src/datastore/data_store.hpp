@@ -61,11 +61,16 @@ class DataStore {
   /// members, and directory completion only adopts universe members.
   /// `exchange_timeout` bounds every receive of the fetch exchange; a peer
   /// that exceeds it is treated as failed and the directory is repaired.
+  /// `shrink_timeout` bounds the repair's survivor agreement; zero derives
+  /// the legacy default of 4x exchange_timeout (stragglers may only notice
+  /// a failure on their NEXT fetch and join the rendezvous late).
   DataStore(comm::Communicator comm, const BundleCatalog* catalog,
             PopulateMode mode, std::size_t capacity_bytes_per_rank = 0,
             std::vector<data::SampleId> universe = {},
             std::chrono::milliseconds exchange_timeout =
-                std::chrono::milliseconds(60'000));
+                std::chrono::milliseconds(60'000),
+            std::chrono::milliseconds shrink_timeout =
+                std::chrono::milliseconds(0));
 
   /// Joins any in-flight prefetch (its result is discarded).
   ~DataStore();
@@ -150,6 +155,7 @@ class DataStore {
   PopulateMode mode_;
   std::size_t capacity_bytes_;
   std::chrono::milliseconds timeout_;
+  std::chrono::milliseconds shrink_timeout_;  // repair rendezvous deadline
   std::vector<data::SampleId> universe_;
   std::unordered_set<data::SampleId> universe_set_;
   std::unordered_map<data::SampleId, data::Sample> cache_;

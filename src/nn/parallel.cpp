@@ -170,7 +170,7 @@ bool GradientBucketer::apply_completed_step(Bucket& bucket) {
   const int ranks = comm_.size();
   const int rank = comm_.rank();
   const comm::Buffer payload = comm_.take_payload(bucket.pending);
-  const std::vector<float> incoming = comm::floats_from_buffer(payload);
+  const std::vector<float> incoming = comm::Deserializer::unpack_floats(payload);
   const int step = bucket.step;
   const bool reduce_phase = step < ranks - 1;
   const int chunk =

@@ -1,52 +1,222 @@
-// Unit tests for src/comm: point-to-point matching, nonblocking requests,
+// Unit tests for src/comm: typed serialization, the socket wire format,
+// Deadline semantics, point-to-point matching, nonblocking requests,
 // collectives against serial references, and communicator split.
+//
+// Every transport-visible test is parameterized over BackendKind so the
+// identical suite runs on both the in-process mailbox backend and the
+// socket backend (loopback mode: every rank a thread of this process, but
+// all traffic through real AF_UNIX stream sockets and the framed wire
+// format). Multi-process socket runs are covered by the SpawnProcesses
+// tests at the bottom.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <numeric>
 #include <set>
 #include <thread>
 
 #include "comm/communicator.hpp"
+#include "comm/wire.hpp"
 
 namespace {
 
 using namespace ltfb;
 using namespace ltfb::comm;
 
-TEST(Buffers, FloatRoundTrip) {
+// ---- serializer ------------------------------------------------------------
+
+TEST(Serializer, TypedRoundTrip) {
+  Serializer out;
+  out.u8(7)
+      .u32(0xdeadbeefu)
+      .u64(0x0123456789abcdefull)
+      .i64(-42)
+      .f32(1.5f)
+      .floats(std::vector<float>{3.0f, -0.5f})
+      .ints(std::vector<std::int64_t>{-1, 2, 3})
+      .str("ltfb");
+  const Buffer buffer = out.take();
+
+  Deserializer in(buffer);
+  EXPECT_EQ(in.u8(), 7u);
+  EXPECT_EQ(in.u32(), 0xdeadbeefu);
+  EXPECT_EQ(in.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(in.i64(), -42);
+  EXPECT_FLOAT_EQ(in.f32(), 1.5f);
+  EXPECT_EQ(in.floats(), (std::vector<float>{3.0f, -0.5f}));
+  EXPECT_EQ(in.ints(), (std::vector<std::int64_t>{-1, 2, 3}));
+  EXPECT_EQ(in.str(), "ltfb");
+  EXPECT_TRUE(in.done());
+  in.expect_end();
+}
+
+TEST(Serializer, PackFloatsRoundTrip) {
   const std::vector<float> values{1.5f, -2.25f, 0.0f};
-  const Buffer buffer = to_buffer(values);
+  const Buffer buffer = Serializer::pack_floats(values);
   EXPECT_EQ(buffer.size(), 12u);
-  EXPECT_EQ(floats_from_buffer(buffer), values);
+  EXPECT_EQ(Deserializer::unpack_floats(buffer), values);
 }
 
-TEST(Buffers, MisalignedBufferThrows) {
+TEST(Serializer, MisalignedFloatBufferThrows) {
   Buffer buffer(5);
-  EXPECT_THROW(floats_from_buffer(buffer), InvalidArgument);
+  EXPECT_THROW(Deserializer::unpack_floats(buffer), FormatError);
 }
 
-TEST(World, InvalidSizeThrows) { EXPECT_THROW(World(0), InvalidArgument); }
+TEST(Serializer, TruncatedFieldThrows) {
+  Serializer out;
+  out.u64(99);
+  Buffer buffer = out.take();
+  buffer.pop_back();  // u64 now 7 bytes
+  Deserializer in(buffer);
+  EXPECT_THROW(in.u64(), FormatError);
+}
 
-TEST(World, RankOutOfRangeThrows) {
-  World world(2);
+TEST(Serializer, OverlongCountPrefixThrows) {
+  Serializer out;
+  out.u32(1000);  // claims 1000 floats, provides none
+  Deserializer in(out.buffer());
+  EXPECT_THROW(in.floats(), FormatError);
+}
+
+TEST(Serializer, TrailingBytesFailExpectEnd) {
+  Serializer out;
+  out.u8(1).u8(2);
+  Deserializer in(out.buffer());
+  EXPECT_EQ(in.u8(), 1u);
+  EXPECT_THROW(in.expect_end(), FormatError);
+}
+
+// ---- wire format -----------------------------------------------------------
+
+TEST(Wire, FrameRoundTripThroughDecoder) {
+  wire::Frame frame;
+  frame.kind = wire::FrameKind::Message;
+  frame.comm_id = 0x1234u;
+  frame.tag = -7;
+  frame.src = 3;
+  frame.dst = 1;
+  frame.seq = 41;
+  frame.flow_id = 0x9999u;
+  frame.payload = Buffer{10, 20, 30};
+  const Buffer encoded = wire::encode_frame(frame);
+
+  // Feed the decoder one byte at a time: frames must reassemble from
+  // arbitrary stream fragmentation.
+  wire::FrameDecoder decoder;
+  for (std::size_t i = 0; i + 1 < encoded.size(); ++i) {
+    decoder.feed(&encoded[i], 1);
+    EXPECT_FALSE(decoder.next().has_value());
+  }
+  decoder.feed(&encoded.back(), 1);
+  const auto decoded = decoder.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kind, wire::FrameKind::Message);
+  EXPECT_EQ(decoded->comm_id, 0x1234u);
+  EXPECT_EQ(decoded->tag, -7);
+  EXPECT_EQ(decoded->src, 3);
+  EXPECT_EQ(decoded->dst, 1);
+  EXPECT_EQ(decoded->seq, 41u);
+  EXPECT_EQ(decoded->flow_id, 0x9999u);
+  EXPECT_EQ(decoded->payload, (Buffer{10, 20, 30}));
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(Wire, UnknownFrameKindThrows) {
+  wire::Frame frame;
+  frame.kind = wire::FrameKind::Message;
+  Buffer encoded = wire::encode_frame(frame);
+  encoded[4] = 250;  // the kind byte, right after the u32 length prefix
+  wire::FrameDecoder decoder;
+  decoder.feed(encoded.data(), encoded.size());
+  EXPECT_THROW(decoder.next(), FormatError);
+}
+
+TEST(Wire, PayloadCountMismatchThrows) {
+  wire::Frame frame;
+  frame.payload = Buffer{1, 2, 3, 4};
+  Buffer encoded = wire::encode_frame(frame);
+  encoded.pop_back();  // truncate payload, leave the count prefix at 4
+  // Patch the outer length prefix to match the truncated body so the
+  // decoder hands the body to the frame parser.
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(encoded.size() - sizeof(std::uint32_t));
+  std::memcpy(encoded.data(), &length, sizeof(length));
+  wire::FrameDecoder decoder;
+  decoder.feed(encoded.data(), encoded.size());
+  EXPECT_THROW(decoder.next(), FormatError);
+}
+
+TEST(Wire, OversizeLengthPrefixThrows) {
+  Serializer out;
+  out.u32(wire::kMaxFrameBytes + 1);
+  const Buffer encoded = out.buffer();
+  wire::FrameDecoder decoder;
+  decoder.feed(encoded.data(), encoded.size());
+  EXPECT_THROW(decoder.next(), FormatError);
+}
+
+// ---- deadline --------------------------------------------------------------
+
+TEST(DeadlineOptions, NeverIsUnbounded) {
+  EXPECT_FALSE(Deadline::never().bounded());
+  EXPECT_FALSE(Deadline().bounded());
+}
+
+TEST(DeadlineOptions, MillisecondsConvertImplicitly) {
+  const Deadline deadline = std::chrono::milliseconds(250);
+  EXPECT_TRUE(deadline.bounded());
+  EXPECT_EQ(deadline.budget(), std::chrono::milliseconds(250));
+}
+
+TEST(DeadlineOptions, NonPositiveBudgetThrows) {
+  EXPECT_THROW(Deadline::after(std::chrono::milliseconds(0)), InvalidArgument);
+  EXPECT_THROW(Deadline::after(std::chrono::milliseconds(-5)),
+               InvalidArgument);
+}
+
+// ---- backend-parameterized communicator suite ------------------------------
+
+std::string backend_param_name(
+    const ::testing::TestParamInfo<BackendKind>& info) {
+  return backend_name(info.param);
+}
+
+/// Runs the identical rank function on the in-process and socket (loopback)
+/// transports; `Run` mirrors World::run but pins the backend under test.
+class CommBackends : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void Run(int size, const std::function<void(Communicator&)>& fn) {
+    World world(size, GetParam());
+    for (const std::exception_ptr& error : world.run_ranks(fn)) {
+      if (error) std::rethrow_exception(error);
+    }
+  }
+};
+
+TEST_P(CommBackends, InvalidSizeThrows) {
+  EXPECT_THROW(World(0, GetParam()), InvalidArgument);
+}
+
+TEST_P(CommBackends, RankOutOfRangeThrows) {
+  World world(2, GetParam());
   EXPECT_THROW(world.communicator(2), InvalidArgument);
   EXPECT_THROW(world.communicator(-1), InvalidArgument);
 }
 
-TEST(World, RunRethrowsRankException) {
-  EXPECT_THROW(World::run(2,
-                          [](Communicator& comm) {
-                            if (comm.rank() == 1) {
-                              throw std::runtime_error("rank failure");
-                            }
-                            // rank 0 returns immediately; no collective
-                          }),
+TEST_P(CommBackends, RunRethrowsRankException) {
+  EXPECT_THROW(Run(2,
+                   [](Communicator& comm) {
+                     if (comm.rank() == 1) {
+                       throw std::runtime_error("rank failure");
+                     }
+                     // rank 0 returns immediately; no collective
+                   }),
                std::runtime_error);
 }
 
-TEST(PointToPoint, SendRecvBasic) {
-  World::run(2, [](Communicator& comm) {
+TEST_P(CommBackends, SendRecvBasic) {
+  Run(2, [](Communicator& comm) {
     if (comm.rank() == 0) {
       comm.send(1, 7, std::vector<std::uint8_t>{1, 2, 3});
     } else {
@@ -56,8 +226,8 @@ TEST(PointToPoint, SendRecvBasic) {
   });
 }
 
-TEST(PointToPoint, TagMatchingHoldsBackOtherTags) {
-  World::run(2, [](Communicator& comm) {
+TEST_P(CommBackends, TagMatchingHoldsBackOtherTags) {
+  Run(2, [](Communicator& comm) {
     if (comm.rank() == 0) {
       comm.send(1, 5, std::vector<std::uint8_t>{5});
       comm.send(1, 6, std::vector<std::uint8_t>{6});
@@ -69,8 +239,8 @@ TEST(PointToPoint, TagMatchingHoldsBackOtherTags) {
   });
 }
 
-TEST(PointToPoint, FifoPerSourceAndTag) {
-  World::run(2, [](Communicator& comm) {
+TEST_P(CommBackends, FifoPerSourceAndTag) {
+  Run(2, [](Communicator& comm) {
     if (comm.rank() == 0) {
       for (std::uint8_t i = 0; i < 10; ++i) {
         comm.send(1, 3, std::vector<std::uint8_t>{i});
@@ -83,8 +253,8 @@ TEST(PointToPoint, FifoPerSourceAndTag) {
   });
 }
 
-TEST(PointToPoint, AnySource) {
-  World::run(3, [](Communicator& comm) {
+TEST_P(CommBackends, AnySource) {
+  Run(3, [](Communicator& comm) {
     if (comm.rank() != 0) {
       comm.send(0, 1, std::vector<std::uint8_t>{
                           static_cast<std::uint8_t>(comm.rank())});
@@ -101,35 +271,35 @@ TEST(PointToPoint, AnySource) {
   });
 }
 
-TEST(PointToPoint, SendToSelf) {
-  World::run(1, [](Communicator& comm) {
+TEST_P(CommBackends, SendToSelf) {
+  Run(1, [](Communicator& comm) {
     comm.send(0, 9, std::vector<std::uint8_t>{42});
     EXPECT_EQ(comm.recv(0, 9), (Buffer{42}));
   });
 }
 
-TEST(PointToPoint, SendRecvExchange) {
-  World::run(2, [](Communicator& comm) {
+TEST_P(CommBackends, SendRecvExchange) {
+  Run(2, [](Communicator& comm) {
     const Buffer mine{static_cast<std::uint8_t>(comm.rank() + 10)};
     const Buffer theirs = comm.sendrecv(1 - comm.rank(), 2, mine);
     EXPECT_EQ(theirs[0], static_cast<std::uint8_t>((1 - comm.rank()) + 10));
   });
 }
 
-TEST(PointToPoint, FloatPayloadHelpers) {
-  World::run(2, [](Communicator& comm) {
+TEST_P(CommBackends, FloatPayloadHelpers) {
+  Run(2, [](Communicator& comm) {
     if (comm.rank() == 0) {
       const std::vector<float> data{3.5f, -1.0f};
       comm.send(1, 0, std::span<const float>(data));
     } else {
-      EXPECT_EQ(floats_from_buffer(comm.recv(0, 0)),
+      EXPECT_EQ(Deserializer::unpack_floats(comm.recv(0, 0)),
                 (std::vector<float>{3.5f, -1.0f}));
     }
   });
 }
 
-TEST(Request, IrecvCompletesAfterSend) {
-  World::run(2, [](Communicator& comm) {
+TEST_P(CommBackends, IrecvCompletesAfterSend) {
+  Run(2, [](Communicator& comm) {
     if (comm.rank() == 1) {
       Request request = comm.irecv(0, 4);
       comm.send(0, 8, std::vector<std::uint8_t>{});  // signal readiness
@@ -143,8 +313,8 @@ TEST(Request, IrecvCompletesAfterSend) {
   });
 }
 
-TEST(Request, TestDoesNotBlock) {
-  World::run(1, [](Communicator& comm) {
+TEST_P(CommBackends, RequestTestDoesNotBlock) {
+  Run(1, [](Communicator& comm) {
     Request request = comm.irecv(0, 11);
     EXPECT_FALSE(request.test());  // nothing sent yet
     comm.send(0, 11, std::vector<std::uint8_t>{1});
@@ -152,15 +322,8 @@ TEST(Request, TestDoesNotBlock) {
   });
 }
 
-TEST(Request, InvalidHandleThrows) {
-  Request request;
-  EXPECT_FALSE(request.valid());
-  EXPECT_THROW(request.test(), InvalidArgument);
-  EXPECT_THROW(request.wait(), InvalidArgument);
-}
-
-TEST(Request, DoubleWaitIsIdempotent) {
-  World::run(1, [](Communicator& comm) {
+TEST_P(CommBackends, RequestDoubleWaitIsIdempotent) {
+  Run(1, [](Communicator& comm) {
     Request request = comm.irecv(0, 3);
     comm.send(0, 3, std::vector<std::uint8_t>{42});
     request.wait();
@@ -170,8 +333,8 @@ TEST(Request, DoubleWaitIsIdempotent) {
   });
 }
 
-TEST(Request, TimedOutWaitLeavesRequestReWaitable) {
-  World::run(2, [](Communicator& comm) {
+TEST_P(CommBackends, TimedOutWaitLeavesRequestReWaitable) {
+  Run(2, [](Communicator& comm) {
     if (comm.rank() == 1) {
       Request request = comm.irecv(0, 4);
       // Nothing sent yet: the deadline fires, but the request is neither
@@ -190,8 +353,8 @@ TEST(Request, TimedOutWaitLeavesRequestReWaitable) {
   });
 }
 
-TEST(Request, TakePayloadBeforeCompletionThrows) {
-  World::run(1, [](Communicator& comm) {
+TEST_P(CommBackends, TakePayloadBeforeCompletionThrows) {
+  Run(1, [](Communicator& comm) {
     Request request = comm.irecv(0, 5);
     EXPECT_THROW(comm.take_payload(request), InvalidArgument);
     // The failed take must not have corrupted the pending receive.
@@ -201,8 +364,8 @@ TEST(Request, TakePayloadBeforeCompletionThrows) {
   });
 }
 
-TEST(Request, SecondTakePayloadReturnsEmpty) {
-  World::run(1, [](Communicator& comm) {
+TEST_P(CommBackends, SecondTakePayloadReturnsEmpty) {
+  Run(1, [](Communicator& comm) {
     Request request = comm.irecv(0, 6);
     comm.send(0, 6, std::vector<std::uint8_t>{1, 2});
     request.wait();
@@ -212,8 +375,8 @@ TEST(Request, SecondTakePayloadReturnsEmpty) {
   });
 }
 
-TEST(Request, DestroyingIncompleteRequestLeavesMessageClaimable) {
-  World::run(1, [](Communicator& comm) {
+TEST_P(CommBackends, DestroyingIncompleteRequestLeavesMessageClaimable) {
+  Run(1, [](Communicator& comm) {
     {
       Request abandoned = comm.irecv(0, 9);
       EXPECT_FALSE(abandoned.test());
@@ -224,8 +387,8 @@ TEST(Request, DestroyingIncompleteRequestLeavesMessageClaimable) {
   });
 }
 
-TEST(Request, DestroyingCompletedButUntakenRequestDropsPayload) {
-  World::run(1, [](Communicator& comm) {
+TEST_P(CommBackends, DestroyingCompletedButUntakenRequestDropsPayload) {
+  Run(1, [](Communicator& comm) {
     comm.send(0, 12, std::vector<std::uint8_t>{1});
     {
       Request request = comm.irecv(0, 12);
@@ -235,6 +398,101 @@ TEST(Request, DestroyingCompletedButUntakenRequestDropsPayload) {
     EXPECT_FALSE(probe.test());  // the message is gone, not re-queued
   });
 }
+
+TEST_P(CommBackends, SplitGroupsByColor) {
+  Run(6, [](Communicator& comm) {
+    const int color = comm.rank() % 2;
+    Communicator sub = comm.split(color, comm.rank());
+    EXPECT_EQ(sub.size(), 3);
+    // Sub-rank order follows the key (= old rank).
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);
+    // Collectives work within the sub-communicator.
+    std::vector<float> values{static_cast<float>(comm.rank())};
+    sub.allreduce(values, ReduceOp::Sum);
+    const float expected = (color == 0) ? (0 + 2 + 4) : (1 + 3 + 5);
+    EXPECT_FLOAT_EQ(values[0], expected);
+  });
+}
+
+TEST_P(CommBackends, SubCommunicatorsAreIsolated) {
+  Run(4, [](Communicator& comm) {
+    Communicator sub = comm.split(comm.rank() / 2, comm.rank());
+    // Same-tag traffic in different sub-communicators must not mix.
+    const Buffer mine{static_cast<std::uint8_t>(comm.rank())};
+    const Buffer theirs = sub.sendrecv(1 - sub.rank(), 0, mine);
+    const int partner_world = (comm.rank() / 2) * 2 + (1 - comm.rank() % 2);
+    EXPECT_EQ(theirs[0], static_cast<std::uint8_t>(partner_world));
+  });
+}
+
+TEST_P(CommBackends, SplitWorldRankMapping) {
+  Run(4, [](Communicator& comm) {
+    Communicator sub = comm.split(comm.rank() % 2, comm.rank());
+    EXPECT_EQ(sub.world_rank_of(sub.rank()), comm.rank());
+  });
+}
+
+TEST_P(CommBackends, NestedSplit) {
+  Run(8, [](Communicator& comm) {
+    Communicator half = comm.split(comm.rank() / 4, comm.rank());
+    Communicator quarter = half.split(half.rank() / 2, half.rank());
+    EXPECT_EQ(quarter.size(), 2);
+    std::vector<float> values{1.0f};
+    quarter.allreduce(values, ReduceOp::Sum);
+    EXPECT_FLOAT_EQ(values[0], 2.0f);
+  });
+}
+
+TEST_P(CommBackends, ScatterWrongBufferSizeThrows) {
+  Run(1, [](Communicator& comm) {
+    std::vector<float> bad(3);  // needs 1 * chunk(2) = 2
+    EXPECT_THROW((void)comm.scatter(0, bad, 2), InvalidArgument);
+  });
+}
+
+TEST_P(CommBackends, GatherReduceComposeWithOtherCollectives) {
+  Run(4, [](Communicator& comm) {
+    for (int i = 0; i < 10; ++i) {
+      std::vector<float> v{1.0f};
+      comm.reduce(i % 4, v, ReduceOp::Sum);
+      comm.barrier();
+      const auto all = comm.gather((i + 1) % 4, std::vector<float>{2.0f});
+      if (comm.rank() == (i + 1) % 4) {
+        EXPECT_EQ(all.size(), 4u);
+      }
+      std::vector<float> sum{static_cast<float>(comm.rank())};
+      comm.allreduce(sum, ReduceOp::Sum);
+      EXPECT_FLOAT_EQ(sum[0], 6.0f);
+    }
+  });
+}
+
+TEST_P(CommBackends, ManyMixedOperations) {
+  Run(4, [](Communicator& comm) {
+    for (int i = 0; i < 30; ++i) {
+      comm.barrier();
+      std::vector<float> values(7, static_cast<float>(comm.rank()));
+      comm.allreduce(values, ReduceOp::Sum);
+      EXPECT_FLOAT_EQ(values[3], 6.0f);  // 0+1+2+3
+      Buffer payload;
+      if (comm.rank() == i % 4) {
+        payload = Buffer{static_cast<std::uint8_t>(i)};
+      }
+      comm.broadcast(i % 4, payload);
+      EXPECT_EQ(payload[0], static_cast<std::uint8_t>(i));
+      const Buffer exchanged =
+          comm.sendrecv(comm.size() - 1 - comm.rank(), 100 + i,
+                        Buffer{static_cast<std::uint8_t>(comm.rank())});
+      EXPECT_EQ(exchanged[0],
+                static_cast<std::uint8_t>(comm.size() - 1 - comm.rank()));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, CommBackends,
+                         ::testing::Values(BackendKind::InProc,
+                                           BackendKind::Socket),
+                         backend_param_name);
 
 #if LTFB_ASSERT_ENABLED
 TEST(Request, ConcurrentHandleUseFailsFast) {
@@ -267,14 +525,38 @@ TEST(Request, ConcurrentHandleUseFailsFast) {
 }
 #endif  // LTFB_ASSERT_ENABLED
 
-// ---- collectives -----------------------------------------------------------
+TEST(Request, InvalidHandleThrows) {
+  Request request;
+  EXPECT_FALSE(request.valid());
+  EXPECT_THROW(request.test(), InvalidArgument);
+  EXPECT_THROW(request.wait(), InvalidArgument);
+}
 
-class CollectiveSizes : public ::testing::TestWithParam<int> {};
+// ---- collectives across sizes and transports -------------------------------
+
+std::string collective_param_name(
+    const ::testing::TestParamInfo<std::tuple<BackendKind, int>>& info) {
+  return std::string(backend_name(std::get<0>(info.param))) +
+         std::to_string(std::get<1>(info.param));
+}
+
+class CollectiveSizes
+    : public ::testing::TestWithParam<std::tuple<BackendKind, int>> {
+ protected:
+  int Size() const { return std::get<1>(GetParam()); }
+
+  void Run(const std::function<void(Communicator&)>& fn) {
+    World world(Size(), std::get<0>(GetParam()));
+    for (const std::exception_ptr& error : world.run_ranks(fn)) {
+      if (error) std::rethrow_exception(error);
+    }
+  }
+};
 
 TEST_P(CollectiveSizes, Barrier) {
-  const int n = GetParam();
+  const int n = Size();
   std::atomic<int> arrived{0};
-  World::run(n, [&](Communicator& comm) {
+  Run([&](Communicator& comm) {
     ++arrived;
     comm.barrier();
     // After the barrier every rank must have arrived.
@@ -284,8 +566,8 @@ TEST_P(CollectiveSizes, Barrier) {
 }
 
 TEST_P(CollectiveSizes, BroadcastFromEveryRoot) {
-  const int n = GetParam();
-  World::run(n, [&](Communicator& comm) {
+  const int n = Size();
+  Run([&](Communicator& comm) {
     for (int root = 0; root < n; ++root) {
       Buffer payload;
       if (comm.rank() == root) {
@@ -299,9 +581,9 @@ TEST_P(CollectiveSizes, BroadcastFromEveryRoot) {
 }
 
 TEST_P(CollectiveSizes, AllreduceSum) {
-  const int n = GetParam();
+  const int n = Size();
   // 10 elements (not divisible by most n) exercises uneven ring chunks.
-  World::run(n, [&](Communicator& comm) {
+  Run([&](Communicator& comm) {
     std::vector<float> values(10);
     for (std::size_t i = 0; i < values.size(); ++i) {
       values[i] = static_cast<float>(comm.rank() + 1) *
@@ -316,8 +598,8 @@ TEST_P(CollectiveSizes, AllreduceSum) {
 }
 
 TEST_P(CollectiveSizes, AllreduceMaxMin) {
-  const int n = GetParam();
-  World::run(n, [&](Communicator& comm) {
+  const int n = Size();
+  Run([&](Communicator& comm) {
     std::vector<float> values{static_cast<float>(comm.rank()),
                               static_cast<float>(-comm.rank())};
     std::vector<float> mins = values;
@@ -329,8 +611,8 @@ TEST_P(CollectiveSizes, AllreduceMaxMin) {
 }
 
 TEST_P(CollectiveSizes, AllreduceSmallerThanRanks) {
-  const int n = GetParam();
-  World::run(n, [&](Communicator& comm) {
+  const int n = Size();
+  Run([&](Communicator& comm) {
     std::vector<float> values{1.0f};  // fewer elements than ranks
     comm.allreduce(values, ReduceOp::Sum);
     EXPECT_FLOAT_EQ(values[0], static_cast<float>(n));
@@ -338,8 +620,8 @@ TEST_P(CollectiveSizes, AllreduceSmallerThanRanks) {
 }
 
 TEST_P(CollectiveSizes, Allgather) {
-  const int n = GetParam();
-  World::run(n, [&](Communicator& comm) {
+  const int n = Size();
+  Run([&](Communicator& comm) {
     const std::vector<float> mine{static_cast<float>(comm.rank()),
                                   static_cast<float>(comm.rank() * 10)};
     const std::vector<float> all = comm.allgather(mine);
@@ -352,8 +634,8 @@ TEST_P(CollectiveSizes, Allgather) {
 }
 
 TEST_P(CollectiveSizes, BackToBackCollectivesDoNotCrossMatch) {
-  const int n = GetParam();
-  World::run(n, [&](Communicator& comm) {
+  const int n = Size();
+  Run([&](Communicator& comm) {
     for (int iteration = 0; iteration < 20; ++iteration) {
       std::vector<float> values{static_cast<float>(comm.rank() + iteration)};
       comm.allreduce(values, ReduceOp::Sum);
@@ -367,8 +649,8 @@ TEST_P(CollectiveSizes, BackToBackCollectivesDoNotCrossMatch) {
 }
 
 TEST_P(CollectiveSizes, ReduceToEveryRoot) {
-  const int n = GetParam();
-  World::run(n, [&](Communicator& comm) {
+  const int n = Size();
+  Run([&](Communicator& comm) {
     for (int root = 0; root < n; ++root) {
       std::vector<float> values{static_cast<float>(comm.rank() + 1), 2.0f};
       const std::vector<float> saved = values;
@@ -384,8 +666,8 @@ TEST_P(CollectiveSizes, ReduceToEveryRoot) {
 }
 
 TEST_P(CollectiveSizes, ReduceMax) {
-  const int n = GetParam();
-  World::run(n, [&](Communicator& comm) {
+  const int n = Size();
+  Run([&](Communicator& comm) {
     std::vector<float> values{static_cast<float>(comm.rank())};
     comm.reduce(0, values, ReduceOp::Max);
     if (comm.rank() == 0) {
@@ -395,8 +677,8 @@ TEST_P(CollectiveSizes, ReduceMax) {
 }
 
 TEST_P(CollectiveSizes, GatherAtEveryRoot) {
-  const int n = GetParam();
-  World::run(n, [&](Communicator& comm) {
+  const int n = Size();
+  Run([&](Communicator& comm) {
     for (int root = 0; root < n; ++root) {
       const std::vector<float> mine{static_cast<float>(comm.rank() * 2),
                                     static_cast<float>(comm.rank() * 2 + 1)};
@@ -415,8 +697,8 @@ TEST_P(CollectiveSizes, GatherAtEveryRoot) {
 }
 
 TEST_P(CollectiveSizes, ScatterFromEveryRoot) {
-  const int n = GetParam();
-  World::run(n, [&](Communicator& comm) {
+  const int n = Size();
+  Run([&](Communicator& comm) {
     for (int root = 0; root < n; ++root) {
       std::vector<float> send;
       if (comm.rank() == root) {
@@ -433,97 +715,68 @@ TEST_P(CollectiveSizes, ScatterFromEveryRoot) {
   });
 }
 
-TEST(Scatter, WrongBufferSizeThrows) {
-  World::run(1, [](Communicator& comm) {
-    std::vector<float> bad(3);  // needs 1 * chunk(2) = 2
-    EXPECT_THROW((void)comm.scatter(0, bad, 2), InvalidArgument);
-  });
-}
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CollectiveSizes,
+    ::testing::Combine(::testing::Values(BackendKind::InProc,
+                                         BackendKind::Socket),
+                       ::testing::Values(1, 2, 3, 4, 5, 8)),
+    collective_param_name);
 
-TEST(Reduce, GatherReduceComposeWithOtherCollectives) {
-  World::run(4, [](Communicator& comm) {
-    for (int i = 0; i < 10; ++i) {
-      std::vector<float> v{1.0f};
-      comm.reduce(i % 4, v, ReduceOp::Sum);
-      comm.barrier();
-      const auto all = comm.gather((i + 1) % 4, std::vector<float>{2.0f});
-      if (comm.rank() == (i + 1) % 4) {
-        EXPECT_EQ(all.size(), 4u);
-      }
-      std::vector<float> sum{static_cast<float>(comm.rank())};
-      comm.allreduce(sum, ReduceOp::Sum);
-      EXPECT_FLOAT_EQ(sum[0], 6.0f);
+// ---- multi-process socket transport ----------------------------------------
+
+TEST(SpawnProcesses, FourRanksExchangeAndAgree) {
+  const auto statuses = World::spawn_processes(4, [](Communicator& comm) {
+    // Pairwise weight-style exchange (the LTFB tournament shape)...
+    const int partner = comm.size() - 1 - comm.rank();
+    const std::vector<float> own{static_cast<float>(comm.rank()), 2.0f};
+    const Buffer raw =
+        comm.sendrecv(partner, 5, Serializer::pack_floats(own),
+                      std::chrono::milliseconds(30'000));
+    const std::vector<float> theirs = Deserializer::unpack_floats(raw);
+    if (theirs.size() != 2 ||
+        theirs[0] != static_cast<float>(partner)) {
+      throw std::runtime_error("exchange mismatch");
     }
-  });
-}
-
-INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveSizes,
-                         ::testing::Values(1, 2, 3, 4, 5, 8));
-
-TEST(Split, GroupsByColor) {
-  World::run(6, [](Communicator& comm) {
-    const int color = comm.rank() % 2;
-    Communicator sub = comm.split(color, comm.rank());
-    EXPECT_EQ(sub.size(), 3);
-    // Sub-rank order follows the key (= old rank).
-    EXPECT_EQ(sub.rank(), comm.rank() / 2);
-    // Collectives work within the sub-communicator.
-    std::vector<float> values{static_cast<float>(comm.rank())};
-    sub.allreduce(values, ReduceOp::Sum);
-    const float expected = (color == 0) ? (0 + 2 + 4) : (1 + 3 + 5);
-    EXPECT_FLOAT_EQ(values[0], expected);
-  });
-}
-
-TEST(Split, SubCommunicatorsAreIsolated) {
-  World::run(4, [](Communicator& comm) {
-    Communicator sub = comm.split(comm.rank() / 2, comm.rank());
-    // Same-tag traffic in different sub-communicators must not mix.
-    const Buffer mine{static_cast<std::uint8_t>(comm.rank())};
-    const Buffer theirs = sub.sendrecv(1 - sub.rank(), 0, mine);
-    const int partner_world = (comm.rank() / 2) * 2 + (1 - comm.rank() % 2);
-    EXPECT_EQ(theirs[0], static_cast<std::uint8_t>(partner_world));
-  });
-}
-
-TEST(Split, WorldRankMapping) {
-  World::run(4, [](Communicator& comm) {
-    Communicator sub = comm.split(comm.rank() % 2, comm.rank());
-    EXPECT_EQ(sub.world_rank_of(sub.rank()), comm.rank());
-  });
-}
-
-TEST(Split, NestedSplit) {
-  World::run(8, [](Communicator& comm) {
-    Communicator half = comm.split(comm.rank() / 4, comm.rank());
-    Communicator quarter = half.split(half.rank() / 2, half.rank());
-    EXPECT_EQ(quarter.size(), 2);
+    // ...then a collective across all four processes.
     std::vector<float> values{1.0f};
-    quarter.allreduce(values, ReduceOp::Sum);
-    EXPECT_FLOAT_EQ(values[0], 2.0f);
+    comm.allreduce(values, ReduceOp::Sum);
+    if (values[0] != 4.0f) throw std::runtime_error("allreduce mismatch");
+    comm.barrier();
   });
+  ASSERT_EQ(statuses.size(), 4u);
+  for (const auto& status : statuses) {
+    EXPECT_EQ(status.code, World::kExitClean) << "rank " << status.rank;
+  }
 }
 
-TEST(Stress, ManyMixedOperations) {
-  World::run(4, [](Communicator& comm) {
-    for (int i = 0; i < 30; ++i) {
-      comm.barrier();
-      std::vector<float> values(7, static_cast<float>(comm.rank()));
-      comm.allreduce(values, ReduceOp::Sum);
-      EXPECT_FLOAT_EQ(values[3], 6.0f);  // 0+1+2+3
-      Buffer payload;
-      if (comm.rank() == i % 4) {
-        payload = Buffer{static_cast<std::uint8_t>(i)};
-      }
-      comm.broadcast(i % 4, payload);
-      EXPECT_EQ(payload[0], static_cast<std::uint8_t>(i));
-      const Buffer exchanged =
-          comm.sendrecv(comm.size() - 1 - comm.rank(), 100 + i,
-                        Buffer{static_cast<std::uint8_t>(comm.rank())});
-      EXPECT_EQ(exchanged[0],
-                static_cast<std::uint8_t>(comm.size() - 1 - comm.rank()));
-    }
+TEST(SpawnProcesses, PeerDeathMapsToExitCodes) {
+  // Rank 1 dies before sending; rank 0's recv must observe the failure
+  // (EOF without a goodbye on the socket) and exit with the rank-failed
+  // code, demonstrating cross-process connection supervision.
+  const auto statuses = World::spawn_processes(2, [](Communicator& comm) {
+    if (comm.rank() == 1) throw std::runtime_error("simulated crash");
+    (void)comm.recv(1, 3, std::chrono::milliseconds(30'000));
   });
+  ASSERT_EQ(statuses.size(), 2u);
+  EXPECT_EQ(statuses[0].code, World::kExitRankFailed);
+  EXPECT_EQ(statuses[1].code, World::kExitError);
+  EXPECT_FALSE(statuses[1].clean());
+}
+
+TEST(SpawnProcesses, ShrinkAgreesAcrossProcesses) {
+  // Three processes rendezvous after one departs cleanly: the survivors
+  // agree on the shrunken group and keep communicating on it.
+  const auto statuses = World::spawn_processes(3, [](Communicator& comm) {
+    if (comm.rank() == 2) return;  // departs cleanly (goodbye frames)
+    Communicator survivors = comm.shrink(std::chrono::milliseconds(30'000));
+    if (survivors.size() != 2) throw std::runtime_error("wrong survivors");
+    std::vector<float> values{static_cast<float>(comm.rank())};
+    survivors.allreduce(values, ReduceOp::Sum);
+    if (values[0] != 1.0f) throw std::runtime_error("post-shrink allreduce");
+  });
+  for (const auto& status : statuses) {
+    EXPECT_EQ(status.code, World::kExitClean) << "rank " << status.rank;
+  }
 }
 
 }  // namespace

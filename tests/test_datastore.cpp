@@ -266,6 +266,18 @@ TEST(DataStore, UniverseOutOfCatalogThrows) {
   });
 }
 
+TEST(DataStore, NegativeShrinkTimeoutThrows) {
+  const Fixture fx = make_fixture("shrink_budget", 10, 2);
+  BundleCatalog catalog(fx.paths);
+  comm::World::run(1, [&](comm::Communicator& comm) {
+    // Zero derives the legacy 4x exchange budget; negative is rejected.
+    EXPECT_THROW(DataStore(comm, &catalog, PopulateMode::Dynamic, 0, {},
+                           std::chrono::milliseconds(100),
+                           std::chrono::milliseconds(-1)),
+                 InvalidArgument);
+  });
+}
+
 // ---- capacity accounting -------------------------------------------------------------
 
 TEST(DataStore, CapacityEnforcedOnPreload) {

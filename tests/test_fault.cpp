@@ -187,15 +187,15 @@ TEST(FailureAwareComm, RecvTimesOutThenLateMessageStillArrives) {
       // Nothing sent yet: the deadline fires. The receive is not consumed
       // by timing out — the later message is still claimable.
       EXPECT_THROW((void)comm.recv(1, 7, milliseconds(50)), TimeoutError);
-      comm.send(1, 8, comm::to_buffer(std::vector<float>{1.0f}));
+      comm.send(1, 8, comm::Serializer::pack_floats(std::vector<float>{1.0f}));
       const comm::Buffer late = comm.recv(1, 7, kTimeout);
-      EXPECT_EQ(comm::floats_from_buffer(late),
+      EXPECT_EQ(comm::Deserializer::unpack_floats(late),
                 std::vector<float>({4.0f, 2.0f}));
     } else {
       // Wait for rank 0's go-signal (sent only after its timeout), then
       // deliver the message it was originally waiting for.
       (void)comm.recv(0, 8, kTimeout);
-      comm.send(0, 7, comm::to_buffer(std::vector<float>{4.0f, 2.0f}));
+      comm.send(0, 7, comm::Serializer::pack_floats(std::vector<float>{4.0f, 2.0f}));
     }
   });
   for (int r = 0; r < 2; ++r) {
@@ -251,15 +251,15 @@ TEST(FailureAwareComm, DroppedMessageTimesOutAndResendSucceeds) {
   auto errors = world.run_ranks([&](comm::Communicator& comm) {
     if (comm.rank() == 0) {
       // User message 0: silently dropped by the schedule.
-      comm.send(1, 5, comm::to_buffer(std::vector<float>{1.0f}));
+      comm.send(1, 5, comm::Serializer::pack_floats(std::vector<float>{1.0f}));
       // Wait until the receiver observed the timeout, then resend.
       (void)comm.recv(1, 6, kTimeout);
-      comm.send(1, 5, comm::to_buffer(std::vector<float>{2.0f}));
+      comm.send(1, 5, comm::Serializer::pack_floats(std::vector<float>{2.0f}));
     } else {
       EXPECT_THROW((void)comm.recv(0, 5, milliseconds(100)), TimeoutError);
       comm.send(0, 6, comm::Buffer{});
       const comm::Buffer buffer = comm.recv(0, 5, kTimeout);
-      EXPECT_EQ(comm::floats_from_buffer(buffer),
+      EXPECT_EQ(comm::Deserializer::unpack_floats(buffer),
                 std::vector<float>({2.0f}));
     }
   });
@@ -273,12 +273,12 @@ TEST(FailureAwareComm, DelayedMessageIsDeliveredIntact) {
   auto errors = world.run_ranks([&](comm::Communicator& comm) {
     if (comm.rank() == 0) {
       const auto before = std::chrono::steady_clock::now();
-      comm.send(1, 9, comm::to_buffer(std::vector<float>{7.0f}));
+      comm.send(1, 9, comm::Serializer::pack_floats(std::vector<float>{7.0f}));
       const auto elapsed = std::chrono::steady_clock::now() - before;
       EXPECT_GE(elapsed, milliseconds(100));
     } else {
       const comm::Buffer buffer = comm.recv(0, 9, kTimeout);
-      EXPECT_EQ(comm::floats_from_buffer(buffer),
+      EXPECT_EQ(comm::Deserializer::unpack_floats(buffer),
                 std::vector<float>({7.0f}));
     }
   });
@@ -403,9 +403,11 @@ void chaos_datastore_run(const BundleFixture& fx, const FaultSchedule& schedule,
   comm::World world(4);
   world.set_fault_schedule(schedule);
   auto errors = world.run_ranks([&](comm::Communicator& comm) {
+    // Explicit repair-rendezvous deadline (instead of the derived default)
+    // to exercise the configurable shrink budget under chaos.
     datastore::DataStore store(comm, &catalog,
                                datastore::PopulateMode::Preloaded, 0, {},
-                               kTimeout);
+                               kTimeout, 6 * kTimeout);
     store.preload();
     for (int step = 0; step < 6; ++step) {
       const std::vector<data::SampleId> wanted{
@@ -481,6 +483,9 @@ TEST(SurvivorTournament, PopulationRoutesAroundDeadLeader) {
   config.model = tiny_config();
   config.seed = 86;
   config.comm_timeout = kTimeout;
+  // Explicit survivor-agreement budget (default would derive 4x) so the
+  // configurable rendezvous deadline is exercised under a real kill.
+  config.shrink_timeout = 6 * kTimeout;
 
   // Per-rank op sequence (rpt=1): split, split, then per round
   // sendrecv + shrink. Op 4 is rank 2's round-1 exchange: it dies

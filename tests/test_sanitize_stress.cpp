@@ -51,7 +51,7 @@ TEST(WorldStress, PointToPointStormAnySource) {
       for (int peer = 0; peer < n - 1; ++peer) {
         int source = -1;
         const Buffer raw = comm.recv(kAnySource, m % 3, &source);
-        const std::vector<float> payload = floats_from_buffer(raw);
+        const std::vector<float> payload = comm::Deserializer::unpack_floats(raw);
         ASSERT_EQ(payload.size(), 2u);
         ASSERT_EQ(static_cast<int>(payload[0]), source);
         ++received[static_cast<std::size_t>(source)];

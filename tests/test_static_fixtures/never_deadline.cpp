@@ -1,0 +1,31 @@
+// Analyzer fixture — never compiled. The Deadline options form added with
+// the backend redesign has an explicit unbounded spelling; writing it out
+// at a blocking call site in the fault-tolerant layers is exactly the hang
+// the comm-deadline rule hunts, even though the argument text contains the
+// word "Deadline". The shrink() rendezvous is deadline-carrying too and is
+// checked the same way.
+//
+// expect-finding: comm-deadline
+
+#include "comm/communicator.hpp"
+
+namespace fixture {
+
+constexpr int kSyncTag = 1 << 14;
+
+void agree(ltfb::comm::Communicator& comm, int peer,
+           std::chrono::milliseconds budget) {
+  comm.send(peer, kSyncTag, ltfb::comm::Buffer{});
+  // BAD: an explicit never() is an unbounded block, not a deadline.
+  const ltfb::comm::Buffer ack =
+      comm.recv(peer, kSyncTag, ltfb::comm::Deadline::never());
+  (void)ack;
+
+  // BAD: the survivor rendezvous must be bounded or the shrink wedges.
+  ltfb::comm::Communicator survivors = comm.shrink(ltfb::comm::Deadline::never());
+
+  // OK: a bounded budget reaches the rendezvous.
+  survivors = comm.shrink(budget);
+}
+
+}  // namespace fixture

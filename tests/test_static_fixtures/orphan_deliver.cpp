@@ -1,0 +1,22 @@
+// Analyzer fixture — never compiled. The backend API moves the send
+// endpoint one level down: Backend::deliver posts an Envelope whose third
+// field is the tag. The analyzer must resolve the tag through the envelope
+// aggregate, so a tag family that is only ever delivered — with no
+// recv/irecv/sendrecv consumer anywhere — still trips tag-pairing.
+//
+// expect-finding: tag-pairing
+
+#include "comm/backend.hpp"
+
+namespace fixture {
+
+constexpr int kGossipTag = 1 << 15;
+
+void gossip(ltfb::comm::Backend& backend, int me, int dst,
+            const ltfb::comm::Buffer& payload, std::uint64_t flow) {
+  // BAD: delivered through the backend, but nothing ever receives this tag.
+  backend.deliver(me, dst,
+                  ltfb::comm::detail::Envelope{me, 0, kGossipTag, payload, flow});
+}
+
+}  // namespace fixture

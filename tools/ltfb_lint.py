@@ -101,7 +101,19 @@ ENTRY_CHECK_MANIFEST = {
         ("Request::wait", "Request::wait"),
         ("World::World", "World::World"),
         ("World::communicator", "World::communicator"),
-        ("floats_from_buffer", "floats_from_buffer"),
+        ("World::spawn_processes", "World::spawn_processes"),
+    ],
+    "src/comm/serializer.cpp": [
+        ("Deserializer::consume", "Deserializer::consume"),
+        ("Deserializer::expect_end", "Deserializer::expect_end"),
+        ("Deserializer::unpack_floats", "Deserializer::unpack_floats"),
+    ],
+    "src/comm/wire.cpp": [
+        ("wire::encode_frame", "encode_frame"),
+        ("wire::decode_frame_body", "decode_frame_body"),
+    ],
+    "src/comm/socket_backend.cpp": [
+        ("spawn_socket_mesh", "spawn_socket_mesh"),
     ],
     "src/comm/fault.cpp": [
         ("FaultSchedule::parse", "FaultSchedule::parse"),

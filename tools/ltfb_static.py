@@ -10,7 +10,11 @@ cross-file protocol properties that neither the compiler nor a regex can see:
                  receive-side endpoint somewhere in the tree.  A tag that is
                  only ever sent (or only ever received) is a protocol hole:
                  the message either rots in a mailbox forever or the receiver
-                 deadlocks waiting for traffic nobody produces.
+                 deadlocks waiting for traffic nobody produces.  Endpoints
+                 are resolved through the backend API as well: a
+                 Backend::deliver(src, dst, Envelope{...}) call counts as a
+                 send endpoint, with the tag read out of the envelope
+                 aggregate (comm/backend.hpp).
 
   tag-reuse      No tag base value is shared by two different subsystems
                  (directories under src/).  The in-process Communicator keys
@@ -18,10 +22,13 @@ cross-file protocol properties that neither the compiler nor a regex can see:
                  value can steal each other's messages.
 
   comm-deadline  Dataflow form of the old lint rule: every blocking
-                 recv/sendrecv/wait in src/core and src/datastore must reach
-                 a deadline.  Unlike the regex rule this follows identifiers
-                 to their declarations, so `auto d = cfg.exchange_timeout;
-                 comm.recv(src, tag, d);` passes while a naked recv fails.
+                 recv/sendrecv/wait/shrink in src/core and src/datastore
+                 must reach a deadline.  Unlike the regex rule this follows
+                 identifiers to their declarations, so `auto d =
+                 cfg.exchange_timeout; comm.recv(src, tag, d);` passes while
+                 a naked recv fails.  An explicit Deadline::never() does NOT
+                 satisfy the rule — spelling out "block forever" in the
+                 fault-tolerant layers is exactly the hang being hunted.
 
   lock-order     Builds a lock digraph from MutexLock scope nesting,
                  LTFB_REQUIRES/LTFB_ACQUIRE annotations, and the call graph
@@ -491,8 +498,27 @@ class TreeModel:
 # Rule: tag-pairing / tag-reuse
 # ---------------------------------------------------------------------------
 
-ENDPOINT_RE = re.compile(r"(\w+)?\s*(?:\.|->)\s*(send|recv|irecv|sendrecv)\s*\(")
-SEND_KINDS = {"send": "send", "sendrecv": "both", "recv": "recv", "irecv": "recv"}
+ENDPOINT_RE = re.compile(
+    r"(\w+)?\s*(?:\.|->)\s*(send|recv|irecv|sendrecv|deliver)\s*\(")
+SEND_KINDS = {"send": "send", "sendrecv": "both", "recv": "recv",
+              "irecv": "recv", "deliver": "send"}
+
+
+def deliver_tag_arg(args: list[str]) -> str | None:
+    """Tag expression of a Backend::deliver call site.
+
+    The backend API (comm/backend.hpp) moves the send endpoint one level
+    down: deliver(src, dst, Envelope{world_src, comm_id, tag, payload,
+    flow_id}).  The tag is the third field of the envelope aggregate, so
+    resolve it from the braced initializer instead of the argument list.
+    """
+    if not args:
+        return None
+    brace = args[-1].find("{")
+    if brace < 0 or not args[-1].rstrip().endswith("}"):
+        return None
+    fields = split_args(args[-1][brace + 1:args[-1].rindex("}")])
+    return fields[2] if len(fields) >= 3 else None
 
 
 def resolve_tag_family(expr: str, fm: FileModel, tag_const_names: set, depth=0):
@@ -552,9 +578,13 @@ def check_tags(tree: TreeModel, findings: list):
             if close < 0:
                 continue
             args = split_args(fm.text[open_paren + 1:close - 1])
-            if len(args) < 2:
+            if m.group(2) == "deliver":
+                tag_arg = deliver_tag_arg(args)
+            else:
+                tag_arg = args[1] if len(args) >= 2 else None
+            if tag_arg is None:
                 continue
-            family = resolve_tag_family(args[1], fm, tag_const_names)
+            family = resolve_tag_family(tag_arg, fm, tag_const_names)
             entry = families.setdefault(family, {"send": [], "recv": []})
             kind = SEND_KINDS[m.group(2)]
             for k in (("send", "recv") if kind == "both" else (kind,)):
@@ -577,8 +607,13 @@ def check_tags(tree: TreeModel, findings: list):
 # ---------------------------------------------------------------------------
 
 DEADLINE_WORD = re.compile(r"timeout|deadline|chrono", re.IGNORECASE)
-BLOCKING_RE = re.compile(r"(\w+)?\s*(?:\.|->)\s*(recv|sendrecv|wait)\s*\(")
+BLOCKING_RE = re.compile(r"(\w+)?\s*(?:\.|->)\s*(recv|sendrecv|wait|shrink)\s*\(")
 DEADLINE_DIRS = ("src/core/", "src/datastore/")
+# The Deadline options type has an explicit unbounded spelling; it contains
+# the word "deadline" but must NOT satisfy this rule — an explicit never()
+# at a call site in src/core or src/datastore is exactly the hang the rule
+# exists to catch.
+NEVER_DEADLINE_RE = re.compile(r"(?:Deadline\s*::\s*)?\bnever\s*\(\s*\)")
 
 
 def identifier_has_deadline_decl(ident: str, fm: FileModel) -> bool:
@@ -603,7 +638,7 @@ def check_deadlines(tree: TreeModel, findings: list):
             if close < 0:
                 continue
             argtext = fm.text[open_paren + 1:close - 1]
-            if DEADLINE_WORD.search(argtext):
+            if DEADLINE_WORD.search(NEVER_DEADLINE_RE.sub("", argtext)):
                 continue
             resolved = False
             for arg in split_args(argtext):
