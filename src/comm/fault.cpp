@@ -26,6 +26,32 @@ FaultSchedule& FaultSchedule::delay(int rank, std::uint64_t message,
   return *this;
 }
 
+FaultSchedule& FaultSchedule::join(int trainer, std::uint64_t round) {
+  LTFB_CHECK_MSG(trainer >= 0,
+                 "churn trainer id must be non-negative, got " << trainer);
+  actions_.push_back({FaultAction::Kind::Join, trainer, round, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::leave(int trainer, std::uint64_t round) {
+  LTFB_CHECK_MSG(trainer >= 0,
+                 "churn trainer id must be non-negative, got " << trainer);
+  actions_.push_back({FaultAction::Kind::Leave, trainer, round, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::migrate(int trainer, std::uint64_t round,
+                                      int dest_rank) {
+  LTFB_CHECK_MSG(trainer >= 0,
+                 "churn trainer id must be non-negative, got " << trainer);
+  LTFB_CHECK_MSG(dest_rank >= 0,
+                 "migrate destination rank must be non-negative, got "
+                     << dest_rank);
+  actions_.push_back({FaultAction::Kind::Migrate, trainer, round,
+                      static_cast<std::uint64_t>(dest_rank)});
+  return *this;
+}
+
 namespace {
 
 // Splits on `sep`, dropping empty pieces (so trailing ';' is legal).
@@ -84,9 +110,26 @@ FaultSchedule FaultSchedule::parse(const std::string& spec) {
                          << action << "' is missing the ':MS' delay suffix");
       schedule.delay(rank, parse_u64(index_text.substr(0, ms_colon), action),
                      parse_u64(index_text.substr(ms_colon + 1), action));
+    } else if (verb == "join") {
+      schedule.join(rank, parse_u64(index_text, action));
+    } else if (verb == "leave") {
+      schedule.leave(rank, parse_u64(index_text, action));
+    } else if (verb == "migrate") {
+      const std::size_t dest_colon = index_text.find(':');
+      LTFB_CHECK_MSG(dest_colon != std::string::npos,
+                     "fault schedule action '"
+                         << action << "' is missing the ':D' destination "
+                                      "rank suffix");
+      schedule.migrate(
+          rank, parse_u64(index_text.substr(0, dest_colon), action),
+          static_cast<int>(
+              parse_u64(index_text.substr(dest_colon + 1), action)));
     } else {
-      LTFB_CHECK_MSG(false, "fault schedule verb '"
-                                << verb << "' is not one of kill/drop/delay");
+      LTFB_CHECK_MSG(false,
+                     "fault schedule verb '"
+                         << verb
+                         << "' is not one of kill/drop/delay/join/leave/"
+                            "migrate");
     }
   }
   return schedule;
@@ -125,6 +168,15 @@ std::string FaultSchedule::str() const {
       case FaultAction::Kind::Delay:
         oss << "delay:" << a.rank << '@' << a.index << ':' << a.delay_ms;
         break;
+      case FaultAction::Kind::Join:
+        oss << "join:" << a.rank << '@' << a.index;
+        break;
+      case FaultAction::Kind::Leave:
+        oss << "leave:" << a.rank << '@' << a.index;
+        break;
+      case FaultAction::Kind::Migrate:
+        oss << "migrate:" << a.rank << '@' << a.index << ':' << a.delay_ms;
+        break;
     }
   }
   return oss.str();
@@ -142,10 +194,28 @@ std::optional<std::uint64_t> FaultSchedule::kill_op(int rank) const {
 const FaultAction* FaultSchedule::message_action(int rank,
                                                  std::uint64_t message) const {
   for (const FaultAction& a : actions_) {
-    if (a.kind == FaultAction::Kind::Kill) continue;
+    if (a.kind != FaultAction::Kind::Drop &&
+        a.kind != FaultAction::Kind::Delay) {
+      continue;  // kills count ops, churn events count rounds
+    }
     if (a.rank == rank && a.index == message) return &a;
   }
   return nullptr;
+}
+
+bool FaultSchedule::has_churn() const noexcept {
+  for (const FaultAction& a : actions_) {
+    if (a.is_churn()) return true;
+  }
+  return false;
+}
+
+std::vector<FaultAction> FaultSchedule::churn_at(std::uint64_t round) const {
+  std::vector<FaultAction> events;
+  for (const FaultAction& a : actions_) {
+    if (a.is_churn() && a.index == round) events.push_back(a);
+  }
+  return events;
 }
 
 }  // namespace ltfb::comm

@@ -27,6 +27,17 @@
 //   delay:R@M:MS    delay rank R's user message index M by MS milliseconds
 //
 // e.g.  LTFB_FAULT_SCHEDULE="kill:2@40;drop:0@3"  (see World::run).
+//
+// Churn events (PR 8, consumed by core::ElasticScheduler — the comm layer
+// itself ignores them, so a churn schedule perturbs no op counters):
+//
+//   join:T@N        trainer T joins the population at round boundary N
+//   leave:T@N       trainer T leaves the population at round boundary N
+//   migrate:T@N:D   trainer T migrates to world rank D at round boundary N
+//
+// For churn events the first field is a TRAINER id and the index is a
+// ROUND number, not an op count; the same deterministic-replay property
+// holds (identical schedule => identical churn => identical history).
 #pragma once
 
 #include <cstdint>
@@ -46,13 +57,17 @@ class FaultInjected : public Error {
   explicit FaultInjected(const std::string& what) : Error(what) {}
 };
 
-/// One injected fault.
+/// One injected fault or churn event.
 struct FaultAction {
-  enum class Kind { Kill, Drop, Delay };
+  enum class Kind { Kill, Drop, Delay, Join, Leave, Migrate };
   Kind kind = Kind::Kill;
-  int rank = 0;               // world rank the fault applies to
-  std::uint64_t index = 0;    // op index (Kill) or user-message index
-  std::uint64_t delay_ms = 0; // Delay only
+  int rank = 0;               // world rank (faults) or trainer id (churn)
+  std::uint64_t index = 0;    // op/message index (faults) or round (churn)
+  std::uint64_t delay_ms = 0; // Delay: milliseconds; Migrate: dest world rank
+
+  bool is_churn() const noexcept {
+    return kind == Kind::Join || kind == Kind::Leave || kind == Kind::Migrate;
+  }
 };
 
 /// A deterministic, seedable set of injected faults for one World.
@@ -64,6 +79,13 @@ class FaultSchedule {
   FaultSchedule& kill(int rank, std::uint64_t at_op);
   FaultSchedule& drop(int rank, std::uint64_t message);
   FaultSchedule& delay(int rank, std::uint64_t message, std::uint64_t ms);
+
+  /// Churn builders: round-boundary population events for the elastic
+  /// scheduler. `trainer` is a trainer id, `round` the boundary at which
+  /// the event fires (entering that round).
+  FaultSchedule& join(int trainer, std::uint64_t round);
+  FaultSchedule& leave(int trainer, std::uint64_t round);
+  FaultSchedule& migrate(int trainer, std::uint64_t round, int dest_rank);
 
   /// Parses the textual grammar documented above; throws
   /// ltfb::InvalidArgument on malformed specs.
@@ -91,7 +113,15 @@ class FaultSchedule {
   std::optional<std::uint64_t> kill_op(int rank) const;
 
   /// The drop/delay action for `rank`'s user message `message`, else null.
+  /// Churn events are never returned here: they address trainers and
+  /// rounds, not ranks and messages.
   const FaultAction* message_action(int rank, std::uint64_t message) const;
+
+  /// True when the schedule contains any join/leave/migrate event.
+  bool has_churn() const noexcept;
+
+  /// The churn events firing at round boundary `round`, in schedule order.
+  std::vector<FaultAction> churn_at(std::uint64_t round) const;
 
  private:
   std::vector<FaultAction> actions_;

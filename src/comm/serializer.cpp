@@ -129,21 +129,23 @@ float Deserializer::f32() {
 
 std::vector<float> Deserializer::floats() {
   const std::uint32_t count = u32();
+  // Bounds-check BEFORE allocating: a corrupted count must cost a
+  // FormatError, not a multi-gigabyte zeroed allocation.
+  const std::uint8_t* at = consume(count * sizeof(float), "floats");
   std::vector<float> values(count);
   if (count > 0) {
-    std::memcpy(values.data(), consume(values.size() * sizeof(float), "floats"),
-                values.size() * sizeof(float));
+    std::memcpy(values.data(), at, values.size() * sizeof(float));
   }
   return values;
 }
 
 std::vector<std::int64_t> Deserializer::ints() {
   const std::uint32_t count = u32();
+  const std::uint8_t* at =
+      consume(count * sizeof(std::int64_t), "ints");
   std::vector<std::int64_t> values(count);
   if (count > 0) {
-    std::memcpy(values.data(),
-                consume(values.size() * sizeof(std::int64_t), "ints"),
-                values.size() * sizeof(std::int64_t));
+    std::memcpy(values.data(), at, values.size() * sizeof(std::int64_t));
   }
   return values;
 }

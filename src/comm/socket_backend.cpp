@@ -14,6 +14,7 @@
 #include <tuple>
 #include <utility>
 
+#include "comm/socket_io_testing.hpp"
 #include "comm/wire.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/annotations.hpp"
@@ -25,17 +26,43 @@ namespace {
 
 constexpr std::size_t kReadChunk = 64 * 1024;
 
-/// Writes the whole buffer, retrying short writes and EINTR. MSG_NOSIGNAL
-/// turns a closed peer into an EPIPE return instead of a process signal.
+std::atomic<testing::SocketSendHook> g_send_hook{nullptr};
+std::atomic<testing::SocketRecvHook> g_recv_hook{nullptr};
+
+ssize_t sys_send(int fd, const void* buf, std::size_t len, int flags) {
+  if (const auto hook = g_send_hook.load(std::memory_order_acquire)) {
+    return hook(fd, buf, len, flags);
+  }
+  return ::send(fd, buf, len, flags);
+}
+
+ssize_t sys_recv(int fd, void* buf, std::size_t len, int flags) {
+  if (const auto hook = g_recv_hook.load(std::memory_order_acquire)) {
+    return hook(fd, buf, len, flags);
+  }
+  return ::recv(fd, buf, len, flags);
+}
+
+/// A syscall result that is not progress and not a terminal failure.
+/// EAGAIN/EWOULDBLOCK can surface on these blocking sockets through
+/// SO_SNDTIMEO/SO_RCVTIMEO or injection; treating them as retryable keeps
+/// the resumption loops correct under either.
+bool retryable_errno() {
+  return errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK;
+}
+
+/// Writes the whole buffer, resuming short writes and retrying
+/// EINTR/EAGAIN. MSG_NOSIGNAL turns a closed peer into an EPIPE return
+/// instead of a process signal.
 bool write_all(int fd, const std::uint8_t* data, std::size_t count) {
   while (count > 0) {
-    const ssize_t n = ::send(fd, data, count, MSG_NOSIGNAL);
+    const ssize_t n = sys_send(fd, data, count, MSG_NOSIGNAL);
     if (n > 0) {
       data += n;
       count -= static_cast<std::size_t>(n);
       continue;
     }
-    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && retryable_errno()) continue;
     return false;
   }
   return true;
@@ -418,8 +445,8 @@ class SocketBackend final : public Backend {
     wire::FrameDecoder decoder;
     std::vector<std::uint8_t> chunk(kReadChunk);
     for (;;) {
-      const ssize_t n = ::recv(peer_link.fd, chunk.data(), chunk.size(), 0);
-      if (n < 0 && errno == EINTR) continue;
+      const ssize_t n = sys_recv(peer_link.fd, chunk.data(), chunk.size(), 0);
+      if (n < 0 && retryable_errno()) continue;
       if (n <= 0) break;  // EOF or connection error
       try {
         decoder.feed(chunk.data(), static_cast<std::size_t>(n));
@@ -662,5 +689,14 @@ std::vector<SpawnedRank> spawn_socket_mesh(
   }
   return results;
 }
+
+namespace testing {
+
+void set_socket_io_hooks(SocketSendHook send_hook, SocketRecvHook recv_hook) {
+  g_send_hook.store(send_hook, std::memory_order_release);
+  g_recv_hook.store(recv_hook, std::memory_order_release);
+}
+
+}  // namespace testing
 
 }  // namespace ltfb::comm

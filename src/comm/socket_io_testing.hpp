@@ -1,0 +1,31 @@
+// Test-only syscall shim for the socket backend's raw I/O paths.
+//
+// The backend routes every raw send(2)/recv(2) through a pair of hookable
+// wrappers. Production never installs a hook (the atomic pointer is null
+// and the wrapper falls through to the real syscall); tests install hooks
+// that inject EINTR, EAGAIN, and 1-byte short transfers to prove the
+// partial-I/O resumption loops in socket_backend.cpp actually resume.
+//
+// Hooks are process-global. Install before creating a socket backend and
+// reset (nullptr, nullptr) after tearing it down; reader threads consult
+// the hook on every call, so swapping mid-flight is safe but makes the
+// injection schedule racy.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace ltfb::comm::testing {
+
+/// Drop-in signatures for send(2)/recv(2). A hook may return a short
+/// count, or -1 with errno set, exactly like the syscall it replaces.
+using SocketSendHook = ssize_t (*)(int fd, const void* buf, std::size_t len,
+                                   int flags);
+using SocketRecvHook = ssize_t (*)(int fd, void* buf, std::size_t len,
+                                   int flags);
+
+/// Installs (or, with nullptr, clears) the process-global hooks.
+void set_socket_io_hooks(SocketSendHook send_hook, SocketRecvHook recv_hook);
+
+}  // namespace ltfb::comm::testing

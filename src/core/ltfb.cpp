@@ -242,13 +242,26 @@ bool export_history_csv(const std::vector<RoundRecord>& history,
   // unwritable directory) leaves no partial CSV behind.
   const std::string tmp = path + ".tmp";
   {
-    util::CsvWriter csv(tmp, {"round", "trainer", "partner", "own_score",
-                              "partner_score", "adopted", "partner_failed",
-                              "round_wall_s", "max_rank_gap_s"});
+    util::CsvWriter csv(tmp, {"round", "event", "trainer", "partner",
+                              "own_score", "partner_score", "adopted",
+                              "partner_failed", "round_wall_s",
+                              "max_rank_gap_s"});
     if (!csv.ok()) return false;
     for (const auto& record : history) {
+      // Elastic churn (PR 8): population resizes are explicit `joined` /
+      // `left` event rows, never silently misaligned per-trainer columns.
+      // Event rows carry the round and the trainer; the tournament fields
+      // are empty.
+      for (const int trainer : record.joined) {
+        csv.add_row({std::to_string(record.round), "joined",
+                     std::to_string(trainer), "", "", "", "", "", "", ""});
+      }
+      for (const int trainer : record.left) {
+        csv.add_row({std::to_string(record.round), "left",
+                     std::to_string(trainer), "", "", "", "", "", "", ""});
+      }
       for (const auto& stat : record.stats) {
-        csv.add_row({std::to_string(record.round),
+        csv.add_row({std::to_string(record.round), "round",
                      std::to_string(stat.trainer_id),
                      std::to_string(stat.partner_id),
                      util::format_double(stat.own_score, 6),

@@ -90,6 +90,13 @@ struct TrainerRoundStat {
 struct RoundRecord {
   std::size_t round = 0;
   std::vector<TrainerRoundStat> stats;
+  /// Elastic churn markers (PR 8): trainer ids that joined / left the
+  /// population at the boundary ENTERING this round. Part of the v3
+  /// checkpoint format and exported as explicit `joined`/`left` event rows
+  /// in the history CSV, so offline analysis never misreads a resized
+  /// round as misaligned columns.
+  std::vector<int> joined;
+  std::vector<int> left;
   /// Wall-clock duration of the whole round (train + tournament). Not part
   /// of the checkpoint format: timings are not reproducible across runs.
   double wall_s = 0.0;
@@ -142,10 +149,13 @@ class LocalLtfbDriver {
   bool resumed_ = false;
 };
 
-/// Writes a tournament history to CSV (round, trainer, partner, scores,
-/// adopted, partner_failed, plus the per-round round_wall_s /
+/// Writes a tournament history to CSV (round, event, trainer, partner,
+/// scores, adopted, partner_failed, plus the per-round round_wall_s /
 /// max_rank_gap_s timing columns consumed by tools/ltfb_trace.py) for
-/// offline analysis / plotting — the
+/// offline analysis / plotting. The `event` column is `round` for
+/// tournament stat rows and `joined`/`left` for explicit population-churn
+/// marker rows (elastic runs), so a resized population never produces
+/// misaligned columns — the
 /// experiment-tracking artifact a production run would archive. The write
 /// is atomic: rows land in a temp sibling that is renamed over `path` only
 /// after a healthy flush+close, so a full disk or I/O error returns false

@@ -346,7 +346,9 @@ DistributedLtfbOutcome run_distributed_ltfb(
         round, trainer_comm, leader_comm, leader, leader ? &stat : nullptr,
         round_wall_s);
     if (leader) {
-      RoundRecord record{round, {stat}};
+      RoundRecord record;
+      record.round = round;
+      record.stats = {stat};
       record.wall_s = round_wall_s;
       record.max_rank_gap_s = rank_gap_s;
       outcome.history.push_back(std::move(record));

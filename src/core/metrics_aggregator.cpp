@@ -258,6 +258,17 @@ ClusterMetricsAggregator::ClusterMetricsAggregator(Options options)
   }
 }
 
+void ClusterMetricsAggregator::note_churn(std::vector<int> joined,
+                                          std::vector<int> left,
+                                          int population) {
+  LTFB_CHECK_MSG(population >= 0,
+                 "note_churn population must be non-negative, got "
+                     << population);
+  churn_joined_ = std::move(joined);
+  churn_left_ = std::move(left);
+  churn_population_ = population;
+}
+
 telemetry::MetricsSnapshot ClusterMetricsAggregator::delta_since_baseline() {
   telemetry::MetricsSnapshot delta;
   if (snapshot_rank_ < 0) return delta;  // unattributed rank: empty delta
@@ -402,6 +413,18 @@ double ClusterMetricsAggregator::round_boundary(
   }
   std::sort(reporting.begin(), reporting.end());
   cumulative_step_stats_.merge(round_steps);
+  last_rank_steps_.clear();
+  for (const auto& delta : cluster) {
+    RankStepStat stat;
+    stat.world_rank = delta.world_rank;
+    stat.step_count = delta.timer_count("trainer/step");
+    stat.step_mean_s = std::max(0.0, delta.step_mean_s());
+    last_rank_steps_.push_back(stat);
+  }
+  std::sort(last_rank_steps_.begin(), last_rank_steps_.end(),
+            [](const RankStepStat& a, const RankStepStat& b) {
+              return a.world_rank < b.world_rank;
+            });
   const double adoption_rate =
       leader_stats > 0
           ? static_cast<double>(adoptions) / static_cast<double>(leader_stats)
@@ -421,7 +444,22 @@ double ClusterMetricsAggregator::round_boundary(
     for (std::size_t i = 0; i < reporting.size(); ++i) {
       line << (i ? ", " : "") << reporting[i];
     }
-    line << "], \"winner_trainer\": " << winner_trainer
+    line << "]";
+    if (churn_population_ >= 0) {
+      // Elastic churn markers: explicit joined/left trainer lists plus the
+      // post-churn population, so analyzers track the active set per round
+      // instead of assuming a fixed one.
+      line << ", \"population\": " << churn_population_ << ", \"joined\": [";
+      for (std::size_t i = 0; i < churn_joined_.size(); ++i) {
+        line << (i ? ", " : "") << churn_joined_[i];
+      }
+      line << "], \"left\": [";
+      for (std::size_t i = 0; i < churn_left_.size(); ++i) {
+        line << (i ? ", " : "") << churn_left_[i];
+      }
+      line << "]";
+    }
+    line << ", \"winner_trainer\": " << winner_trainer
          << ", \"adoption_rate\": " << json_double(adoption_rate)
          << ", \"round_wall_s\": " << json_double(max_round_wall_s)
          << ", \"step_time\": {\"mean_s\": "
@@ -504,6 +542,11 @@ double ClusterMetricsAggregator::round_boundary(
     LTFB_LOG_INFO("ltfb", msg.str());
   }
   LTFB_COUNTER_ADD("ltfb/metrics_rounds_aggregated", 1);
+  // Churn markers are per-round; a round without a note_churn call must
+  // not inherit the previous round's lists.
+  churn_joined_.clear();
+  churn_left_.clear();
+  churn_population_ = -1;
   return trainer_gap_s;
 }
 

@@ -59,6 +59,32 @@ class ClusterMetricsAggregator {
 
   bool active() const noexcept { return active_; }
 
+  /// One rank's step-time summary for the last aggregated round — the
+  /// straggler signal the elastic scheduler's migration policy consumes
+  /// (core/scheduler.hpp: "migrate the slowest trainer off the slowest
+  /// rank").
+  struct RankStepStat {
+    int world_rank = -1;
+    std::uint64_t step_count = 0;
+    double step_mean_s = 0.0;
+  };
+
+  /// Root leader only: per-rank step statistics from the most recent
+  /// round_boundary, sorted by world rank. Empty on non-root ranks, when
+  /// inactive, or before the first boundary.
+  const std::vector<RankStepStat>& last_round_rank_steps() const noexcept {
+    return last_rank_steps_;
+  }
+
+  /// Elastic churn markers (PR 8): record the population events applied at
+  /// the boundary entering the round whose round_boundary call comes next.
+  /// The root leader emits them as `population`/`joined`/`left` fields of
+  /// that round's timeseries object, so tools/ltfb_trace.py can track the
+  /// active set instead of assuming a fixed one. Call on every rank (only
+  /// the root uses it); resets after each boundary.
+  void note_churn(std::vector<int> joined, std::vector<int> left,
+                  int population);
+
   /// One aggregation round; called by EVERY participating rank at the
   /// round boundary (after the leader shrink, before the winner
   /// broadcast). `leader_stat` is the leader's tournament stat for the
@@ -83,6 +109,12 @@ class ClusterMetricsAggregator {
   /// Cumulative per-rank mean-step-time distribution across all rounds,
   /// merged round by round (RunningStats::merge) on the root.
   telemetry::RunningStats cumulative_step_stats_;
+  /// Root: per-rank step stats of the last boundary (policy input).
+  std::vector<RankStepStat> last_rank_steps_;
+  /// Churn markers pending for the next emitted round (note_churn).
+  std::vector<int> churn_joined_;
+  std::vector<int> churn_left_;
+  int churn_population_ = -1;  // -1 = no churn noted for this round
 };
 
 }  // namespace ltfb::core

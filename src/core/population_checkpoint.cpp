@@ -12,7 +12,8 @@ namespace {
 
 constexpr std::array<char, 8> kMagic = {'L', 'T', 'F', 'B',
                                         'P', 'O', 'P', '2'};
-constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersionV2 = 2;  // PR 3 format, still loadable
+constexpr std::uint32_t kVersion = 3;    // adds migration fields (PR 8)
 
 // Sanity ceilings: any header field past these is a bit flip or garbage,
 // not a plausible population — reject before allocating.
@@ -27,6 +28,22 @@ constexpr std::uint64_t kMaxFloats = 1ull << 40;
   throw FormatError(oss.str());
 }
 
+/// Rejects an element count that cannot possibly fit in the bytes left in
+/// the image. The absolute ceilings catch garbage headers; this catches a
+/// corrupted count that is under the ceiling but would still commit a
+/// multi-gigabyte allocation before the next read fails — a bit-flipped
+/// count must cost a FormatError, never an OOM.
+void check_count_fits(nn::CheckpointFile& file, std::uint64_t count,
+                      std::uint64_t min_bytes_per_element,
+                      const char* what) {
+  const std::uint64_t remaining = file.file_size() - file.offset();
+  if (count > remaining / min_bytes_per_element) {
+    throw_format(file.path(), file.offset(),
+                 std::string(what) + " count exceeds remaining bytes "
+                                     "(bit flip?)");
+  }
+}
+
 void write_floats(nn::CheckpointFile& file, const std::vector<float>& values) {
   file.write_pod(static_cast<std::uint64_t>(values.size()));
   file.write(values.data(), values.size() * sizeof(float));
@@ -38,9 +55,33 @@ std::vector<float> read_floats(nn::CheckpointFile& file) {
     throw_format(file.path(), file.offset() - sizeof(count),
                  "implausible float array count (bit flip?)");
   }
+  check_count_fits(file, count, sizeof(float), "float array");
   std::vector<float> values(count);
   file.read(values.data(), values.size() * sizeof(float));
   return values;
+}
+
+void write_trainer_list(nn::CheckpointFile& file,
+                        const std::vector<int>& trainers) {
+  file.write_pod(static_cast<std::uint32_t>(trainers.size()));
+  for (const int t : trainers) {
+    file.write_pod(static_cast<std::int32_t>(t));
+  }
+}
+
+std::vector<int> read_trainer_list(nn::CheckpointFile& file) {
+  const auto count = file.read_pod<std::uint32_t>();
+  if (count > kMaxTrainers) {
+    throw_format(file.path(), file.offset() - sizeof(count),
+                 "implausible churn trainer count (bit flip?)");
+  }
+  check_count_fits(file, count, sizeof(std::int32_t), "churn trainer list");
+  std::vector<int> trainers;
+  trainers.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    trainers.push_back(file.read_pod<std::int32_t>());
+  }
+  return trainers;
 }
 
 void write_body(nn::CheckpointFile& file,
@@ -59,6 +100,11 @@ void write_body(nn::CheckpointFile& file,
     file.write_pod(t.reader_cursor);
     file.write_pod(slot.tournaments_won);
     file.write_pod(slot.adoptions);
+    file.write_pod(slot.host_rank);
+    file.write_pod(slot.joined_round);
+    file.write_pod(static_cast<std::uint64_t>(slot.shard_manifest.size()));
+    file.write(slot.shard_manifest.data(),
+               slot.shard_manifest.size() * sizeof(std::uint64_t));
     write_floats(file, t.generator);
     write_floats(file, t.discriminator);
     write_floats(file, t.optimizer_state);
@@ -75,40 +121,24 @@ void write_body(nn::CheckpointFile& file,
       file.write_pod(static_cast<std::uint8_t>(stat.adopted_partner ? 1 : 0));
       file.write_pod(static_cast<std::uint8_t>(stat.partner_failed ? 1 : 0));
     }
+    write_trainer_list(file, record.joined);
+    write_trainer_list(file, record.left);
   }
 }
 
-}  // namespace
-
-void save_population_checkpoint(const std::filesystem::path& path,
-                                const PopulationCheckpoint& checkpoint) {
-  const std::filesystem::path tmp = path.string() + ".tmp";
-  try {
-    nn::CheckpointFile file = nn::CheckpointFile::open_write(tmp);
-    write_body(file, checkpoint);
-    file.close();
-    std::filesystem::rename(tmp, path);
-  } catch (...) {
-    std::error_code ec;
-    std::filesystem::remove(tmp, ec);
-    throw;
-  }
-}
-
-PopulationCheckpoint load_population_checkpoint(
-    const std::filesystem::path& path) {
-  nn::CheckpointFile file = nn::CheckpointFile::open_read(path);
-
+PopulationCheckpoint read_body(nn::CheckpointFile& file) {
+  const std::filesystem::path& path = file.path();
   std::array<char, 8> magic{};
   file.read(magic.data(), magic.size());
   if (magic != kMagic) {
     throw_format(path, 0, "bad population checkpoint magic");
   }
   const auto version = file.read_pod<std::uint32_t>();
-  if (version != kVersion) {
+  if (version != kVersion && version != kVersionV2) {
     throw_format(path, file.offset() - sizeof(version),
                  "unsupported population checkpoint version");
   }
+  const bool v3 = version == kVersion;
 
   PopulationCheckpoint checkpoint;
   checkpoint.round = file.read_pod<std::uint64_t>();
@@ -130,6 +160,20 @@ PopulationCheckpoint load_population_checkpoint(
     t.reader_cursor = file.read_pod<std::uint64_t>();
     slot.tournaments_won = file.read_pod<std::uint64_t>();
     slot.adoptions = file.read_pod<std::uint64_t>();
+    if (v3) {
+      slot.host_rank = file.read_pod<std::int32_t>();
+      slot.joined_round = file.read_pod<std::uint64_t>();
+      const auto manifest_count = file.read_pod<std::uint64_t>();
+      if (manifest_count > kMaxFloats) {
+        throw_format(path, file.offset() - sizeof(manifest_count),
+                     "implausible shard manifest count (bit flip?)");
+      }
+      check_count_fits(file, manifest_count, sizeof(std::uint64_t),
+                       "shard manifest");
+      slot.shard_manifest.resize(manifest_count);
+      file.read(slot.shard_manifest.data(),
+                slot.shard_manifest.size() * sizeof(std::uint64_t));
+    }
     t.generator = read_floats(file);
     t.discriminator = read_floats(file);
     t.optimizer_state = read_floats(file);
@@ -141,6 +185,10 @@ PopulationCheckpoint load_population_checkpoint(
     throw_format(path, file.offset() - sizeof(history_count),
                  "implausible history length (bit flip?)");
   }
+  // Every history record needs at least its round + stat count on disk.
+  check_count_fits(file, history_count,
+                   sizeof(std::uint64_t) + sizeof(std::uint32_t),
+                   "history");
   checkpoint.history.reserve(history_count);
   for (std::uint32_t i = 0; i < history_count; ++i) {
     RoundRecord record;
@@ -150,6 +198,9 @@ PopulationCheckpoint load_population_checkpoint(
       throw_format(path, file.offset() - sizeof(stat_count),
                    "implausible round stat count (bit flip?)");
     }
+    check_count_fits(file, stat_count,
+                     2 * sizeof(std::int32_t) + 2 * sizeof(double) + 2,
+                     "round stat");
     record.stats.reserve(stat_count);
     for (std::uint32_t s = 0; s < stat_count; ++s) {
       TrainerRoundStat stat;
@@ -161,6 +212,10 @@ PopulationCheckpoint load_population_checkpoint(
       stat.partner_failed = file.read_pod<std::uint8_t>() != 0;
       record.stats.push_back(stat);
     }
+    if (v3) {
+      record.joined = read_trainer_list(file);
+      record.left = read_trainer_list(file);
+    }
     checkpoint.history.push_back(std::move(record));
   }
 
@@ -171,6 +226,49 @@ PopulationCheckpoint load_population_checkpoint(
     throw_format(path, file.offset(), oss.str());
   }
   return checkpoint;
+}
+
+}  // namespace
+
+void save_population_checkpoint(const std::filesystem::path& path,
+                                const PopulationCheckpoint& checkpoint) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  try {
+    nn::CheckpointFile file = nn::CheckpointFile::open_write(tmp);
+    write_body(file, checkpoint);
+    file.close();
+    std::filesystem::rename(tmp, path);
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw;
+  }
+}
+
+PopulationCheckpoint load_population_checkpoint(
+    const std::filesystem::path& path) {
+  LTFB_CHECK_MSG(!path.empty(), "population checkpoint path is empty");
+  nn::CheckpointFile file = nn::CheckpointFile::open_read(path);
+  return read_body(file);
+}
+
+std::vector<std::uint8_t> encode_population_checkpoint(
+    const PopulationCheckpoint& checkpoint) {
+  nn::CheckpointFile file =
+      nn::CheckpointFile::open_write_memory("<population checkpoint>");
+  write_body(file, checkpoint);
+  return file.release_bytes();
+}
+
+PopulationCheckpoint decode_population_checkpoint(const std::uint8_t* data,
+                                                  std::size_t size,
+                                                  const std::string& label) {
+  LTFB_CHECK_MSG(data != nullptr || size == 0,
+                 "decode_population_checkpoint: null payload with nonzero "
+                 "size");
+  nn::CheckpointFile file =
+      nn::CheckpointFile::open_read_memory(data, size, label);
+  return read_body(file);
 }
 
 }  // namespace ltfb::core

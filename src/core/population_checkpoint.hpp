@@ -10,12 +10,14 @@
 //
 // Binary layout (little-endian, floats/doubles as in memory):
 //
-//   magic "LTFBPOP2" | u32 version=2 | u64 round | u64 pairing_seed
+//   magic "LTFBPOP2" | u32 version=3 | u64 round | u64 pairing_seed
 //   u32 trainer_count
 //   per trainer:
 //     i32 trainer_id | f32 learning_rate | u64 steps
 //     u64 reader_epoch | u64 reader_cursor
 //     u64 tournaments_won | u64 adoptions
+//     v3: i32 host_rank | u64 joined_round
+//     v3: u64 n, u64[n] shard_manifest (owned datastore sample ids)
 //     u64 n, f32[n] generator | u64 n, f32[n] discriminator
 //     u64 n, f32[n] optimizer_state
 //   u32 history_count
@@ -23,6 +25,16 @@
 //     u64 round | u32 stat_count
 //     per stat: i32 trainer | i32 partner | f64 own | f64 partner
 //               u8 adopted | u8 partner_failed
+//     v3: u32 joined_count, i32[joined_count]
+//     v3: u32 left_count, i32[left_count]
+//
+// Version history: v2 is the PR 3 format; v3 (PR 8) adds the migration
+// fields (host rank, join round, datastore shard manifest) and per-round
+// churn markers. The magic string stays "LTFBPOP2" — readers distinguish
+// revisions by the version field, so a v2-era reader loading a v3 file
+// fails fast with FormatError("unsupported population checkpoint
+// version") instead of misparsing the new fields. This writer emits v3 and
+// still loads v2 (the new fields default to empty).
 //
 // Writes are atomic (temp file + rename); any load failure throws
 // ltfb::FormatError naming the path and byte offset. RoundRecord doubles
@@ -43,6 +55,13 @@ struct TrainerSlot {
   GanTrainerState trainer;
   std::uint64_t tournaments_won = 0;
   std::uint64_t adoptions = 0;
+  /// Migration fields (v3): the world rank hosting the trainer when the
+  /// slot was captured, the round boundary at which it (last) joined the
+  /// population, and the datastore sample ids it owns — the manifest the
+  /// destination re-adopts on migrate (datastore/data_store.hpp).
+  std::int32_t host_rank = -1;
+  std::uint64_t joined_round = 0;
+  std::vector<std::uint64_t> shard_manifest;
 };
 
 struct PopulationCheckpoint {
@@ -60,9 +79,21 @@ struct PopulationCheckpoint {
 void save_population_checkpoint(const std::filesystem::path& path,
                                 const PopulationCheckpoint& checkpoint);
 
-/// Loads a v2 checkpoint; throws ltfb::FormatError with path and offset on
-/// corruption or truncation.
+/// Loads a v2 or v3 checkpoint; throws ltfb::FormatError with path and
+/// offset on corruption, truncation, or an unknown version.
 PopulationCheckpoint load_population_checkpoint(
     const std::filesystem::path& path);
+
+/// Serializes a checkpoint to bytes in the exact on-disk v3 layout — the
+/// live-migration wire payload (core/scheduler.hpp ships a single-slot
+/// checkpoint through the comm backend instead of the filesystem).
+std::vector<std::uint8_t> encode_population_checkpoint(
+    const PopulationCheckpoint& checkpoint);
+
+/// Parses bytes produced by encode_population_checkpoint (or read from a
+/// checkpoint file). `label` names the payload in FormatError messages the
+/// way a path would.
+PopulationCheckpoint decode_population_checkpoint(
+    const std::uint8_t* data, std::size_t size, const std::string& label);
 
 }  // namespace ltfb::core

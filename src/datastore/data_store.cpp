@@ -331,6 +331,66 @@ void DataStore::repair_directory() {
   LTFB_COUNTER_ADD("datastore/repairs", 1);
 }
 
+std::vector<data::SampleId> DataStore::shard_manifest() const {
+  check_no_fetch_in_flight("shard_manifest");
+  std::vector<data::SampleId> mine;
+  mine.reserve(cache_.size() + disk_resident_.size());
+  for (const auto& [id, sample] : cache_) mine.push_back(id);
+  for (const data::SampleId id : disk_resident_) mine.push_back(id);
+  std::sort(mine.begin(), mine.end());
+  return mine;
+}
+
+void DataStore::migrate_shard(const std::vector<data::SampleId>& ids,
+                              int new_owner) {
+  check_no_fetch_in_flight("migrate_shard");
+  LTFB_SPAN("datastore/migrate_shard");
+  LTFB_CHECK_MSG(new_owner >= 0 && new_owner < comm_.size(),
+                 "migrate_shard owner rank " << new_owner
+                                             << " out of range for comm size "
+                                             << comm_.size());
+  LTFB_CHECK_MSG(has_directory(),
+                 "migrate_shard needs a built directory (preload or "
+                 "build_directory first)");
+  for (const data::SampleId id : ids) {
+    const auto it = directory_.find(id);
+    LTFB_CHECK_MSG(it != directory_.end(),
+                   "migrate_shard: sample " << id << " is not in the "
+                                               "directory");
+    const int old_owner = it->second;
+    if (old_owner == new_owner) continue;
+    it->second = new_owner;
+
+    // Source hand-off: evict the local copy, return its bytes to budget.
+    if (old_owner == comm_.rank()) {
+      const auto cached = cache_.find(id);
+      if (cached != cache_.end()) {
+        stats_.cached_bytes -= cached->second.byte_size();
+        --stats_.cached_samples;
+        cache_.erase(cached);
+      }
+      disk_resident_.erase(id);
+    }
+
+    // Destination re-adoption: cache from bundle files within budget, the
+    // repair policy; past budget the sample stays disk-resident.
+    if (new_owner == comm_.rank() && cache_.count(id) == 0) {
+      LTFB_CHECK_MSG(catalog_ != nullptr,
+                     "shard re-adoption requires a bundle catalog");
+      try {
+        data::Sample sample = catalog_->read(id);
+        ++stats_.file_reads;
+        LTFB_COUNTER_ADD("datastore/file_reads", 1);
+        insert_local(std::move(sample));
+        disk_resident_.erase(id);
+      } catch (const CapacityError&) {
+        disk_resident_.insert(id);
+      }
+    }
+  }
+  LTFB_COUNTER_ADD("datastore/shards_migrated", 1);
+}
+
 std::vector<data::Sample> DataStore::fetch_via_exchange(
     const std::vector<data::SampleId>& ids) {
   LTFB_SPAN("datastore/exchange");

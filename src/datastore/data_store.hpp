@@ -109,6 +109,27 @@ class DataStore {
   /// ownership and build the directory; later epochs never touch files.
   void build_directory();
 
+  // -- elastic shard migration (PR 8) ------------------------------------------
+  //
+  // When the scheduler migrates a trainer, its datastore shard moves with
+  // it. The source captures shard_manifest() into the migration payload
+  // (population checkpoint v3); every rank of the store then applies
+  // migrate_shard with the same arguments — the scheduler's roster
+  // broadcast guarantees agreement — so directories stay convergent
+  // without a collective round of their own.
+
+  /// The sample ids this rank currently owns (cached + disk-resident),
+  /// sorted — the shard manifest a migrating trainer carries.
+  std::vector<data::SampleId> shard_manifest() const;
+
+  /// Reassigns ownership of `ids` to `new_owner` (a comm rank). The old
+  /// owner hands off: its cached copies are evicted and the capacity
+  /// returns to budget. The new owner re-adopts from bundle files — within
+  /// its memory budget samples are cached, past it they stay disk-resident
+  /// (exactly the post-failure repair policy). Every rank must call this
+  /// with identical arguments between steps; it performs no communication.
+  void migrate_shard(const std::vector<data::SampleId>& ids, int new_owner);
+
   // -- nonblocking prefetch ----------------------------------------------------
   //
   // Sec. III-B: "shuffling is done with non-blocking communication on

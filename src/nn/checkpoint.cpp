@@ -1,6 +1,7 @@
 #include "nn/checkpoint.hpp"
 
 #include <array>
+#include <cstdlib>
 #include <sstream>
 
 namespace ltfb::nn {
@@ -20,6 +21,10 @@ constexpr std::uint32_t kVersion = 1;
 
 }  // namespace
 
+CheckpointFile::MemBuffer::~MemBuffer() {
+  std::free(data);  // open_memstream allocates with malloc
+}
+
 CheckpointFile::CheckpointFile(std::FILE* file, std::filesystem::path path)
     : file_(file), path_(std::move(path)) {}
 
@@ -37,6 +42,44 @@ CheckpointFile CheckpointFile::open_write(const std::filesystem::path& path) {
     throw FormatError("cannot open checkpoint for writing: " + path.string());
   }
   return CheckpointFile(file, path);
+}
+
+CheckpointFile CheckpointFile::open_write_memory(std::string label) {
+  auto buffer = std::make_unique<MemBuffer>();
+  std::FILE* file = open_memstream(&buffer->data, &buffer->size);
+  if (file == nullptr) {
+    throw FormatError("cannot open in-memory checkpoint stream: " + label);
+  }
+  CheckpointFile out(file, std::filesystem::path(std::move(label)));
+  out.mem_write_ = std::move(buffer);
+  return out;
+}
+
+CheckpointFile CheckpointFile::open_read_memory(const void* data,
+                                                std::size_t bytes,
+                                                std::string label) {
+  // fmemopen never writes through the buffer in "rb" mode; the const_cast
+  // is the POSIX signature, not a mutation.
+  std::FILE* file =
+      fmemopen(const_cast<void*>(data), bytes == 0 ? 1 : bytes, "rb");
+  if (file == nullptr) {
+    throw FormatError("cannot open in-memory checkpoint view: " + label);
+  }
+  CheckpointFile out(file, std::filesystem::path(std::move(label)));
+  out.mem_read_size_ = bytes;
+  return out;
+}
+
+std::vector<std::uint8_t> CheckpointFile::release_bytes() {
+  LTFB_CHECK_MSG(mem_write_ != nullptr,
+                 "release_bytes on a non-memory checkpoint file");
+  close();  // flush + fclose finalizes the memstream buffer
+  std::vector<std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(mem_write_->data),
+      reinterpret_cast<const std::uint8_t*>(mem_write_->data) +
+          mem_write_->size);
+  mem_write_.reset();
+  return bytes;
 }
 
 void CheckpointFile::read(void* data, std::size_t bytes) {
@@ -59,6 +102,7 @@ void CheckpointFile::write(const void* data, std::size_t bytes) {
 }
 
 std::uintmax_t CheckpointFile::file_size() const {
+  if (mem_read_size_) return *mem_read_size_;
   std::error_code ec;
   const std::uintmax_t size = std::filesystem::file_size(path_, ec);
   if (ec) {

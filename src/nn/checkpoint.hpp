@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -35,6 +36,22 @@ class CheckpointFile {
   /// Callers implementing atomic saves should open a temporary sibling
   /// path and rename it over the target after close() succeeds.
   static CheckpointFile open_write(const std::filesystem::path& path);
+
+  /// Opens a growable in-memory stream for writing (open_memstream).
+  /// `label` stands in for the path in error messages. Retrieve the bytes
+  /// with release_bytes(); close() is implied. Used for live trainer
+  /// migration, where a checkpoint travels over the comm backend instead
+  /// of through the filesystem.
+  static CheckpointFile open_write_memory(std::string label);
+
+  /// Opens a read view over caller-owned bytes (fmemopen); `data` must
+  /// outlive the CheckpointFile. file_size() reports `bytes`.
+  static CheckpointFile open_read_memory(const void* data, std::size_t bytes,
+                                         std::string label);
+
+  /// Memory-write mode only: flushes, closes, and returns the accumulated
+  /// bytes. The file is closed afterwards.
+  std::vector<std::uint8_t> release_bytes();
 
   void read(void* data, std::size_t bytes);
   void write(const void* data, std::size_t bytes);
@@ -71,9 +88,19 @@ class CheckpointFile {
       if (file != nullptr) std::fclose(file);
     }
   };
+  /// open_memstream writes the buffer pointer/length through addresses
+  /// registered at open time, so they live behind a unique_ptr that stays
+  /// put when the CheckpointFile itself is moved.
+  struct MemBuffer {
+    char* data = nullptr;
+    std::size_t size = 0;
+    ~MemBuffer();
+  };
   std::unique_ptr<std::FILE, FileCloser> file_;
   std::filesystem::path path_;
   std::uint64_t offset_ = 0;
+  std::unique_ptr<MemBuffer> mem_write_;       // memory-write mode
+  std::optional<std::uintmax_t> mem_read_size_;  // memory-read mode
 };
 
 /// Writes a named flat weight vector atomically (temp file + rename);

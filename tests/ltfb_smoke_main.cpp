@@ -16,6 +16,7 @@
 #include <string>
 
 #include "core/ltfb_comm.hpp"
+#include "core/scheduler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
@@ -57,6 +58,8 @@ int main(int argc, char** argv) {
   int ranks = 4;
   int ranks_per_trainer = 2;
   std::size_t rounds = 3;
+  bool elastic = false;
+  int trainers = -1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
@@ -78,10 +81,18 @@ int main(int argc, char** argv) {
       ranks_per_trainer = std::stoi(value());
     } else if (arg == "--rounds") {
       rounds = static_cast<std::size_t>(std::stoul(value()));
+    } else if (arg == "--elastic") {
+      // Elastic mode: one trainer per rank under the ElasticScheduler
+      // (DESIGN.md §14); churn comes from LTFB_FAULT_SCHEDULE's
+      // join/leave/migrate verbs.
+      elastic = true;
+    } else if (arg == "--trainers") {
+      trainers = std::stoi(value());
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--trace F] [--timeseries F] [--metrics F] [--ranks N]"
-                   " [--ranks-per-trainer N] [--rounds N]\n";
+                   " [--ranks-per-trainer N] [--rounds N] [--elastic]"
+                   " [--trainers N]\n";
       return 2;
     }
   }
@@ -98,21 +109,38 @@ int main(int argc, char** argv) {
   const data::Dataset dataset = tiny_dataset(400, 61);
   const auto splits = data::split_dataset(dataset.size(), 0.7, 0.15, 62);
 
-  core::DistributedLtfbConfig config;
-  config.ranks_per_trainer = ranks_per_trainer;
-  config.batch_size = 16;
-  config.ltfb.steps_per_round = 4;
-  config.ltfb.rounds = rounds;
-  config.ltfb.pretrain_steps = 4;
-  config.model = tiny_model();
-  config.seed = 60;
-  config.metrics_timeseries_path = timeseries_path;
-
-  comm::World::run(ranks, [&](comm::Communicator& world) {
-    const auto outcome =
-        core::run_distributed_ltfb(world, dataset, splits, config);
-    LTFB_CHECK_MSG(!outcome.aborted, "smoke run aborted on rank");
-  });
+  if (elastic) {
+    core::ElasticLtfbConfig config;
+    config.batch_size = 16;
+    config.ltfb.steps_per_round = 4;
+    config.ltfb.rounds = rounds;
+    config.ltfb.pretrain_steps = 4;
+    config.model = tiny_model();
+    config.seed = 60;
+    config.initial_trainers = trainers > 0 ? trainers : ranks;
+    config.max_trainers = ranks;
+    config.metrics_timeseries_path = timeseries_path;
+    comm::World::run(ranks, [&](comm::Communicator& world) {
+      const auto outcome =
+          core::run_elastic_ltfb(world, dataset, splits, config);
+      LTFB_CHECK_MSG(!outcome.aborted, "elastic smoke run aborted on rank");
+    });
+  } else {
+    core::DistributedLtfbConfig config;
+    config.ranks_per_trainer = ranks_per_trainer;
+    config.batch_size = 16;
+    config.ltfb.steps_per_round = 4;
+    config.ltfb.rounds = rounds;
+    config.ltfb.pretrain_steps = 4;
+    config.model = tiny_model();
+    config.seed = 60;
+    config.metrics_timeseries_path = timeseries_path;
+    comm::World::run(ranks, [&](comm::Communicator& world) {
+      const auto outcome =
+          core::run_distributed_ltfb(world, dataset, splits, config);
+      LTFB_CHECK_MSG(!outcome.aborted, "smoke run aborted on rank");
+    });
+  }
 
   if (!registry.write_trace_json(trace_path)) {
     std::cerr << "failed to write trace to " << trace_path << "\n";

@@ -10,13 +10,19 @@
 // tests at the bottom.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <numeric>
 #include <set>
 #include <thread>
 
 #include "comm/communicator.hpp"
+#include "comm/socket_io_testing.hpp"
 #include "comm/wire.hpp"
 
 namespace {
@@ -721,6 +727,108 @@ INSTANTIATE_TEST_SUITE_P(
                                          BackendKind::Socket),
                        ::testing::Values(1, 2, 3, 4, 5, 8)),
     collective_param_name);
+
+// ---- socket partial-I/O hardening ------------------------------------------
+
+// The syscall shim (comm/socket_io_testing.hpp) lets these tests drive the
+// backend's write_all/read_loop through the worst case the kernel can
+// legally produce: every call either fails with a retryable errno or moves
+// only a few bytes. Payload integrity end-to-end proves both loops resume
+// correctly instead of dropping or duplicating bytes.
+
+std::atomic<int> g_chaotic_send_calls{0};
+std::atomic<int> g_chaotic_recv_calls{0};
+
+ssize_t chaotic_send(int fd, const void* buf, std::size_t len, int flags) {
+  switch (g_chaotic_send_calls.fetch_add(1) % 3) {
+    case 0:
+      errno = EINTR;
+      return -1;
+    case 1:
+      errno = EAGAIN;
+      return -1;
+    default:
+      return ::send(fd, buf, std::min<std::size_t>(len, 7), flags);
+  }
+}
+
+ssize_t chaotic_recv(int fd, void* buf, std::size_t len, int flags) {
+  switch (g_chaotic_recv_calls.fetch_add(1) % 3) {
+    case 0:
+      errno = EINTR;
+      return -1;
+    case 1:
+      errno = EWOULDBLOCK;
+      return -1;
+    default:
+      return ::recv(fd, buf, std::min<std::size_t>(len, 7), flags);
+  }
+}
+
+/// Clears the process-global hooks even when an assertion throws.
+struct SocketHookGuard {
+  SocketHookGuard(ltfb::comm::testing::SocketSendHook send_hook,
+                  ltfb::comm::testing::SocketRecvHook recv_hook) {
+    ltfb::comm::testing::set_socket_io_hooks(send_hook, recv_hook);
+  }
+  ~SocketHookGuard() {
+    ltfb::comm::testing::set_socket_io_hooks(nullptr, nullptr);
+  }
+};
+
+TEST(SocketPartialIo, PayloadSurvivesInterruptedAndShortSyscalls) {
+  g_chaotic_send_calls = 0;
+  g_chaotic_recv_calls = 0;
+  const SocketHookGuard guard(&chaotic_send, &chaotic_recv);
+
+  World world(2, BackendKind::Socket);
+  for (const std::exception_ptr& error :
+       world.run_ranks([](Communicator& comm) {
+         // Big enough that a single frame needs many resumed 7-byte
+         // writes, patterned so any dropped/duplicated/reordered byte
+         // breaks the comparison.
+         Buffer payload(4096);
+         for (std::size_t i = 0; i < payload.size(); ++i) {
+           payload[i] = static_cast<std::uint8_t>(
+               (i * 131 + static_cast<std::size_t>(comm.rank()) * 17) % 251);
+         }
+         const Buffer got =
+             comm.sendrecv(1 - comm.rank(), /*tag=*/5, payload,
+                           std::chrono::milliseconds(60'000));
+         ASSERT_EQ(got.size(), payload.size());
+         for (std::size_t i = 0; i < got.size(); ++i) {
+           const auto want = static_cast<std::uint8_t>(
+               (i * 131 + static_cast<std::size_t>(1 - comm.rank()) * 17) %
+               251);
+           ASSERT_EQ(got[i], want) << "byte " << i;
+         }
+       })) {
+    if (error) std::rethrow_exception(error);
+  }
+  // The schedule guarantees two injected failures per completed transfer,
+  // so a meaningful number of retries must have happened on both paths.
+  EXPECT_GT(g_chaotic_send_calls.load(), 100);
+  EXPECT_GT(g_chaotic_recv_calls.load(), 100);
+}
+
+TEST(SocketPartialIo, HooksClearBackToRealSyscalls) {
+  {
+    const SocketHookGuard guard(&chaotic_send, &chaotic_recv);
+  }
+  // With hooks cleared the transport must behave exactly as stock.
+  const int before = g_chaotic_send_calls.load();
+  World world(2, BackendKind::Socket);
+  for (const std::exception_ptr& error :
+       world.run_ranks([](Communicator& comm) {
+         const Buffer got = comm.sendrecv(1 - comm.rank(), /*tag=*/6,
+                                          Buffer{0x5a, 0xa5},
+                                          std::chrono::milliseconds(60'000));
+         ASSERT_EQ(got, (Buffer{0x5a, 0xa5}));
+       })) {
+    if (error) std::rethrow_exception(error);
+  }
+  EXPECT_EQ(g_chaotic_send_calls.load(), before);
+}
 
 // ---- multi-process socket transport ----------------------------------------
 

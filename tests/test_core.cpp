@@ -203,7 +203,7 @@ TEST(LocalDriver, RoundRecordsCarryTimingColumns) {
   std::string row;
   std::getline(in, row);
   // The timing columns repeat per stat row of the round — both present.
-  EXPECT_EQ(std::count(row.begin(), row.end(), ','), 8);
+  EXPECT_EQ(std::count(row.begin(), row.end(), ','), 9);
 }
 
 TEST(LocalDriver, AdoptionCopiesBetterGenerator) {

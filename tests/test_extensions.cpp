@@ -308,13 +308,39 @@ TEST(HistoryExport, WritesOneRowPerDuelingTrainer) {
   std::string line;
   std::getline(in, line);
   EXPECT_EQ(line,
-            "round,trainer,partner,own_score,partner_score,adopted,"
+            "round,event,trainer,partner,own_score,partner_score,adopted,"
             "partner_failed,round_wall_s,max_rank_gap_s");
   std::getline(in, line);
-  EXPECT_EQ(line, "0,0,1,0.500000,0.400000,1,0,0.000000,0.000000");
+  EXPECT_EQ(line, "0,round,0,1,0.500000,0.400000,1,0,0.000000,0.000000");
   int rows = 1;
   while (std::getline(in, line) && !line.empty()) ++rows;
   EXPECT_EQ(rows, 3);
+}
+
+TEST(HistoryExport, ChurnRoundsEmitExplicitEventRows) {
+  // A population resize mid-run must surface as `joined`/`left` marker
+  // rows, not as silently misaligned per-trainer columns.
+  std::vector<RoundRecord> history(2);
+  history[0].round = 0;
+  history[0].stats = {{0, 1, 0.5, 0.4, true, false},
+                      {1, 0, 0.4, 0.5, false, false}};
+  history[1].round = 1;
+  history[1].joined = {2};
+  history[1].left = {1};
+  history[1].stats = {{0, 2, 0.3, 0.6, false, false},
+                      {2, 0, 0.6, 0.3, true, false}};
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ltfb_history_churn.csv")
+          .string();
+  ASSERT_TRUE(export_history_csv(history, path));
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line) && !line.empty()) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 7u);  // header + 2 stats + 2 events + 2 stats
+  EXPECT_EQ(lines[3], "1,joined,2,,,,,,,");
+  EXPECT_EQ(lines[4], "1,left,1,,,,,,,");
+  EXPECT_EQ(lines[5].rfind("1,round,0,2,", 0), 0u);
 }
 
 // ---- PBT-style hyperparameter exploration -------------------------------------------

@@ -126,6 +126,8 @@ void expect_identical_history(const std::vector<RoundRecord>& a,
       EXPECT_EQ(x.adopted_partner, y.adopted_partner);
       EXPECT_EQ(x.partner_failed, y.partner_failed);
     }
+    EXPECT_EQ(a[r].joined, b[r].joined);
+    EXPECT_EQ(a[r].left, b[r].left);
   }
 }
 
@@ -584,10 +586,15 @@ PopulationCheckpoint synthetic_checkpoint() {
   slot.trainer.optimizer_state = {4.0f, 5.0f};
   slot.tournaments_won = 4;
   slot.adoptions = 3;
+  slot.host_rank = 2;
+  slot.joined_round = 5;
+  slot.shard_manifest = {11, 22, 33, 44};
   ckpt.trainers.push_back(slot);
   RoundRecord record;
   record.round = 6;
   record.stats = {{3, 1, 0.25, 0.75, false, true}};
+  record.joined = {3};
+  record.left = {1, 2};
   ckpt.history.push_back(record);
   return ckpt;
 }
@@ -614,6 +621,9 @@ TEST(PopulationCheckpointFormat, RoundTripsAllFields) {
             saved.trainers[0].trainer.optimizer_state);
   EXPECT_EQ(slot.tournaments_won, 4u);
   EXPECT_EQ(slot.adoptions, 3u);
+  EXPECT_EQ(slot.host_rank, 2);
+  EXPECT_EQ(slot.joined_round, 5u);
+  EXPECT_EQ(slot.shard_manifest, saved.trainers[0].shard_manifest);
   expect_identical_history(loaded.history, saved.history);
   // Atomic write: no temp sibling survives a successful save.
   EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp"));
@@ -641,6 +651,79 @@ TEST(PopulationCheckpointFormat, BadMagicThrowsFormatError) {
   file.put('X');
   file.close();
   EXPECT_THROW((void)load_population_checkpoint(path), FormatError);
+}
+
+TEST(PopulationCheckpointFormat, MemoryEncodeDecodeRoundTrips) {
+  const PopulationCheckpoint saved = synthetic_checkpoint();
+  const std::vector<std::uint8_t> bytes = encode_population_checkpoint(saved);
+  const PopulationCheckpoint loaded =
+      decode_population_checkpoint(bytes.data(), bytes.size(), "<test>");
+  EXPECT_EQ(loaded.round, saved.round);
+  EXPECT_EQ(loaded.pairing_seed, saved.pairing_seed);
+  ASSERT_EQ(loaded.trainers.size(), 1u);
+  EXPECT_EQ(loaded.trainers[0].host_rank, saved.trainers[0].host_rank);
+  EXPECT_EQ(loaded.trainers[0].joined_round, saved.trainers[0].joined_round);
+  EXPECT_EQ(loaded.trainers[0].shard_manifest,
+            saved.trainers[0].shard_manifest);
+  EXPECT_EQ(loaded.trainers[0].trainer.generator,
+            saved.trainers[0].trainer.generator);
+  expect_identical_history(loaded.history, saved.history);
+}
+
+// Forward compatibility: a writer newer than this reader (version 4, which
+// does not exist yet) must be rejected with a clear FormatError naming the
+// version — never misparsed as if the new fields weren't there.
+TEST(PopulationCheckpointFormat, FutureVersionFailsWithClearError) {
+  std::vector<std::uint8_t> bytes =
+      encode_population_checkpoint(synthetic_checkpoint());
+  // Layout: 8 magic bytes, then the u32 version.
+  ASSERT_GE(bytes.size(), 12u);
+  bytes[8] = 4;
+  bytes[9] = bytes[10] = bytes[11] = 0;
+  try {
+    (void)decode_population_checkpoint(bytes.data(), bytes.size(), "<v4>");
+    FAIL() << "future version decoded without error";
+  } catch (const FormatError& err) {
+    EXPECT_NE(std::string(err.what())
+                  .find("unsupported population checkpoint version"),
+              std::string::npos)
+        << err.what();
+  }
+}
+
+// Every truncation point must throw FormatError — in particular the ones
+// that land inside the v3 migration fields (host_rank / joined_round /
+// shard_manifest and the per-record joined/left lists), which a predating
+// reader never parsed.
+TEST(PopulationCheckpointFormat, TruncationFuzzAlwaysFormatError) {
+  const std::vector<std::uint8_t> bytes =
+      encode_population_checkpoint(synthetic_checkpoint());
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    EXPECT_THROW(
+        (void)decode_population_checkpoint(bytes.data(), keep, "<trunc>"),
+        FormatError)
+        << "truncated to " << keep << " of " << bytes.size() << " bytes";
+  }
+}
+
+// Single-byte corruption anywhere in the image must either still decode
+// (the flip landed in payload data) or throw FormatError — never crash,
+// hang, or throw anything else. Exercises the sanity ceilings on the v3
+// manifest/churn-list counts.
+TEST(PopulationCheckpointFormat, ByteFlipFuzzNeverCrashes) {
+  const std::vector<std::uint8_t> pristine =
+      encode_population_checkpoint(synthetic_checkpoint());
+  std::vector<std::uint8_t> bytes = pristine;
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    bytes[pos] ^= 0xff;
+    try {
+      (void)decode_population_checkpoint(bytes.data(), bytes.size(),
+                                         "<flip>");
+    } catch (const FormatError&) {
+      // Rejected with the one sanctioned error type: fine.
+    }
+    bytes[pos] = pristine[pos];
+  }
 }
 
 // ---- local driver checkpoint/resume --------------------------------------------------
@@ -834,7 +917,7 @@ TEST(HistoryCsvAtomicity, SuccessfulWriteReplacesTempFile) {
   std::string line;
   std::getline(in, line);
   std::getline(in, line);
-  EXPECT_EQ(line, "0,0,1,0.500000,0.400000,1,1,0.000000,0.000000");
+  EXPECT_EQ(line, "0,round,0,1,0.500000,0.400000,1,1,0.000000,0.000000");
 }
 
 }  // namespace

@@ -1,0 +1,35 @@
+// Known-bad fixture: a scheduler that issues commands on the scheduler
+// command tag namespace but never collects a deadline-bounded ack. A dead
+// target would hang this scheduler forever — the sched-ack rule must fire.
+//
+// The command family itself is tag-paired (a recv exists on the client
+// side below) and every recv carries a deadline, so ONLY sched-ack fires.
+// expect-finding: sched-ack
+#include <chrono>
+
+namespace fixture {
+
+inline constexpr int kSchedCmdTagBase = 1 << 25;
+inline constexpr int kSchedAckTagBase = 3 << 24;
+
+struct Buffer {};
+
+struct Comm {
+  void send(int dst, int tag, const Buffer& payload);
+  Buffer recv(int src, int tag, std::chrono::milliseconds deadline);
+};
+
+// Scheduler side: sends the boundary envelope... and walks away. The
+// matching ack recv on kSchedAckTagBase is missing entirely.
+void issue_boundary(Comm& world, int target) {
+  Buffer envelope;
+  world.send(target, kSchedCmdTagBase + 7, envelope);
+}
+
+// Client side: receives the command under a deadline (keeps the command
+// family tag-paired and comm-deadline clean).
+Buffer await_boundary(Comm& world, std::chrono::milliseconds ack_deadline) {
+  return world.recv(0, kSchedCmdTagBase + 7, ack_deadline);
+}
+
+}  // namespace fixture

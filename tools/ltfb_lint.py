@@ -133,9 +133,18 @@ ENTRY_CHECK_MANIFEST = {
     "src/core/population_checkpoint.cpp": [
         ("save_population_checkpoint", "save_population_checkpoint"),
         ("load_population_checkpoint", "load_population_checkpoint"),
+        ("decode_population_checkpoint", "decode_population_checkpoint"),
     ],
     "src/core/ltfb_comm.cpp": [
         ("run_distributed_ltfb", "run_distributed_ltfb"),
+    ],
+    "src/core/scheduler.cpp": [
+        ("ElasticScheduler::ElasticScheduler",
+         "ElasticScheduler::ElasticScheduler"),
+        ("ElasticScheduler::issue_boundary", "ElasticScheduler::issue_boundary"),
+        ("SchedulerClient::SchedulerClient", "SchedulerClient::SchedulerClient"),
+        ("SchedulerClient::ack", "SchedulerClient::ack"),
+        ("run_elastic_ltfb", "run_elastic_ltfb"),
     ],
     "src/util/thread_pool.hpp": [
         ("ThreadPool::submit", "submit"),

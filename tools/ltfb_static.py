@@ -625,6 +625,19 @@ def identifier_has_deadline_decl(ident: str, fm: FileModel) -> bool:
     return False
 
 
+def args_have_deadline(argtext: str, fm: FileModel) -> bool:
+    """True when a call's argument text reaches a bounded deadline: either a
+    deadline-shaped word appears inline (excluding the explicit never()
+    spelling) or one of the arguments is an identifier whose declaration
+    carries one."""
+    if DEADLINE_WORD.search(NEVER_DEADLINE_RE.sub("", argtext)):
+        return True
+    for arg in split_args(argtext):
+        if re.fullmatch(r"\w+", arg) and identifier_has_deadline_decl(arg, fm):
+            return True
+    return False
+
+
 def check_deadlines(tree: TreeModel, findings: list):
     for fm in tree.files:
         if not tree.fixture_mode and not fm.rel.startswith(DEADLINE_DIRS):
@@ -638,20 +651,69 @@ def check_deadlines(tree: TreeModel, findings: list):
             if close < 0:
                 continue
             argtext = fm.text[open_paren + 1:close - 1]
-            if DEADLINE_WORD.search(NEVER_DEADLINE_RE.sub("", argtext)):
-                continue
-            resolved = False
-            for arg in split_args(argtext):
-                if re.fullmatch(r"\w+", arg) and identifier_has_deadline_decl(arg, fm):
-                    resolved = True
-                    break
-            if resolved:
+            if args_have_deadline(argtext, fm):
                 continue
             findings.append(Finding(
                 "comm-deadline", fm.rel, line_of(fm.text, m.start()),
                 f"blocking {m.group(2)}() without a reachable deadline "
                 f"argument (args: '{argtext.strip() or '<none>'}'); pass a "
                 f"timeout or a variable whose declaration carries one"))
+
+
+# ---------------------------------------------------------------------------
+# Rule: sched-ack (protocol)
+# ---------------------------------------------------------------------------
+# The elastic scheduler's command/ack protocol (core/scheduler.hpp): every
+# file that SENDS on the scheduler command namespace (a tag resolving to a
+# kSched...CmdTag... constant) must also RECEIVE on the matching ack
+# namespace (kSched...AckTag...) under a bounded deadline. A scheduler that
+# issues commands without a deadline-bounded ack collection hangs forever
+# on the first dead target — exactly the failure mode the command/ack
+# protocol exists to prevent.
+
+SCHED_CMD_CONST = re.compile(r"kSched\w*CmdTag")
+SCHED_ACK_CONST = re.compile(r"kSched\w*AckTag")
+
+
+def check_sched_protocol(tree: TreeModel, findings: list):
+    scoped = [fm for fm in tree.files
+              if tree.fixture_mode or not fm.rel.startswith("src/comm/")]
+    tag_const_names = set()
+    for fm in scoped:
+        for name, _value, _ofs in fm.tag_consts:
+            tag_const_names.add(name)
+    for fm in scoped:
+        cmd_send_ofs = None
+        bounded_ack_recv = False
+        for m in ENDPOINT_RE.finditer(fm.text):
+            open_paren = fm.text.index("(", m.end() - 1)
+            close = match_paren(fm.text, open_paren)
+            if close < 0:
+                continue
+            args = split_args(fm.text[open_paren + 1:close - 1])
+            if m.group(2) == "deliver":
+                tag_arg = deliver_tag_arg(args)
+            else:
+                tag_arg = args[1] if len(args) >= 2 else None
+            if tag_arg is None:
+                continue
+            family = resolve_tag_family(tag_arg, fm, tag_const_names)
+            if family[0] != "const":
+                continue
+            kind = SEND_KINDS[m.group(2)]
+            if kind in ("send", "both") and SCHED_CMD_CONST.search(family[1]):
+                if cmd_send_ofs is None:
+                    cmd_send_ofs = m.start()
+            if kind in ("recv", "both") and SCHED_ACK_CONST.search(family[1]):
+                argtext = fm.text[open_paren + 1:close - 1]
+                if args_have_deadline(argtext, fm):
+                    bounded_ack_recv = True
+        if cmd_send_ofs is not None and not bounded_ack_recv:
+            findings.append(Finding(
+                "sched-ack", fm.rel, line_of(fm.text, cmd_send_ofs),
+                "scheduler command send (kSched...CmdTag namespace) without "
+                "a deadline-bounded ack recv (kSched...AckTag) in the same "
+                "file; a dead target would hang the scheduler forever"))
 
 
 # ---------------------------------------------------------------------------
@@ -871,8 +933,8 @@ def check_guarded_fields(tree: TreeModel, findings: list):
 # Driver
 # ---------------------------------------------------------------------------
 
-ALL_RULES = ("tag-pairing", "tag-reuse", "comm-deadline", "lock-order",
-             "rank-binding", "guarded-field")
+ALL_RULES = ("tag-pairing", "tag-reuse", "comm-deadline", "sched-ack",
+             "lock-order", "rank-binding", "guarded-field")
 
 
 def build_tree(root: Path, files: list[Path], fixture_mode: bool) -> TreeModel:
@@ -895,6 +957,7 @@ def run_rules(tree: TreeModel) -> list[Finding]:
     findings: list[Finding] = []
     check_tags(tree, findings)
     check_deadlines(tree, findings)
+    check_sched_protocol(tree, findings)
     check_lock_order(tree, findings)
     check_rank_binding(tree, findings)
     check_guarded_fields(tree, findings)

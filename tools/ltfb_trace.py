@@ -22,7 +22,9 @@ and reports:
 --validate turns the analyzer into a CI gate: it checks structural
 invariants of both artifacts (rank pids present, metadata coverage, at
 least one matched flow pair, per-line cluster == sum(per-rank) in the
-timeseries) and exits non-zero on the first violation.
+timeseries) and exits non-zero on the first violation. Elastic runs stamp
+per-round churn markers ("population", "joined", "left"); validation then
+also requires the active population to evolve by exactly the markers.
 
 Stdlib only; no third-party dependencies.
 """
@@ -274,6 +276,7 @@ def validate_trace(trace, min_ranks):
 def validate_timeseries(rounds, trace=None):
     check(rounds, "metrics timeseries is empty")
     prev_round = -1
+    prev_population = None
     for entry in rounds:
         rnd = entry.get("round")
         check(isinstance(rnd, int), "timeseries line missing integer 'round'")
@@ -301,6 +304,30 @@ def validate_timeseries(rounds, trace=None):
         cluster = entry.get("counters", {})
         check(dict(summed) == {k: v for k, v in cluster.items() if v},
               f"round {rnd}: cluster counters != sum of per-rank counters")
+        # Elastic runs stamp churn markers per round: the post-boundary
+        # population plus explicit joined/left trainer lists. The active
+        # set must evolve by exactly those lists — a population jump
+        # without markers means a round record went missing.
+        population = entry.get("population")
+        if population is not None:
+            joined = entry.get("joined", [])
+            left = entry.get("left", [])
+            check(isinstance(population, int) and population > 0,
+                  f"round {rnd}: population {population!r} is not a "
+                  f"positive integer")
+            check(isinstance(joined, list) and isinstance(left, list),
+                  f"round {rnd}: joined/left churn markers must be lists")
+            check(not (set(joined) & set(left)),
+                  f"round {rnd}: trainer both joined and left in one round")
+            if prev_population is not None:
+                check(population == prev_population + len(joined) - len(left),
+                      f"round {rnd}: population {population} != previous "
+                      f"{prev_population} + {len(joined)} joined - "
+                      f"{len(left)} left")
+            prev_population = population
+        else:
+            check(prev_population is None,
+                  f"round {rnd}: population marker disappeared mid-run")
         st = entry.get("step_time", {})
         if st.get("mean_s", 0.0) > 0.0:
             check(st["min_s"] <= st["mean_s"] <= st["max_s"],
@@ -375,13 +402,21 @@ def format_report(trace, rounds, top):
             f"{last.get('ranks_expected')} ranks reporting, winner trainer "
             f"{last.get('winner_trainer')}, adoption rate "
             f"{last.get('adoption_rate', 0.0):.2f}")
+        joins = sum(len(e.get("joined", [])) for e in rounds)
+        leaves = sum(len(e.get("left", [])) for e in rounds)
+        if last.get("population") is not None:
+            lines.append(
+                f"elastic churn: final population {last['population']}, "
+                f"{joins} join(s), {leaves} leave(s) across the run")
     return "\n".join(lines)
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("trace", help="Chrome trace JSON from a "
-                        "distributed LTFB run")
+    parser.add_argument("trace", nargs="?",
+                        help="Chrome trace JSON from a distributed LTFB "
+                        "run (optional when only --timeseries is being "
+                        "validated)")
     parser.add_argument("--timeseries",
                         help="metrics_timeseries.jsonl from the in-band "
                         "cluster aggregator")
@@ -395,22 +430,30 @@ def main(argv=None):
     parser.add_argument("--json", action="store_true",
                         help="emit the analysis as JSON instead of text")
     args = parser.parse_args(argv)
+    if args.trace is None and not args.timeseries:
+        parser.error("need a trace, a --timeseries, or both")
 
-    trace = Trace(load_trace(args.trace))
+    trace = Trace(load_trace(args.trace)) if args.trace else None
     rounds = load_timeseries(args.timeseries) if args.timeseries else []
 
     if args.validate:
         try:
-            validate_trace(trace, args.min_ranks)
+            if trace is not None:
+                validate_trace(trace, args.min_ranks)
             if args.timeseries:
                 validate_timeseries(rounds, trace)
         except ValidationError as err:
             print(f"VALIDATION FAILED: {err}", file=sys.stderr)
             return 1
-        print(f"validation ok: {len(trace.ranks)} rank track(s), "
-              f"{len(trace.matched_flows())} matched flow pair(s), "
+        ranks = len(trace.ranks) if trace is not None else 0
+        flows = len(trace.matched_flows()) if trace is not None else 0
+        print(f"validation ok: {ranks} rank track(s), "
+              f"{flows} matched flow pair(s), "
               f"{len(rounds)} timeseries round(s)")
         return 0
+
+    if trace is None:
+        parser.error("the report modes need a trace")
 
     if args.json:
         breakdown = merge_timeseries_breakdown(
