@@ -16,6 +16,8 @@
 #include "gan/cyclegan.hpp"
 #include "jag/jag_model.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/simd.hpp"
 #include "util/compute_pool.hpp"
 #include "util/rng.hpp"
 
@@ -194,6 +196,9 @@ BENCHMARK(BM_DataStoreFetch);
 // (tools/bench_check.py): GFLOP/s at 512^3 serial and with a 4-worker pool,
 // recorded as gauges in BENCH_micro_kernels.json. Separate from the
 // google-benchmark runs so the gate reads stable, purpose-named numbers.
+// Also records the SIMD build configuration (bench/simd_width, which the
+// gate maps to a per-configuration floor key like "simd=avx2") and the
+// FLOP + bytes-moved totals each measurement pushed through the kernel.
 void record_gemm_scaling_gauges() {
   constexpr std::size_t kN = 512;
   constexpr int kIters = 3;
@@ -201,6 +206,10 @@ void record_gemm_scaling_gauges() {
   fill_random(a, 1);
   fill_random(b, 2);
   const double flops = tensor::gemm_flops(kN, kN, kN);
+  // Logical traffic per GEMM call: read A and B once, write C once. The
+  // blocked kernel re-reads packed tiles from cache, so this is the
+  // algorithmic (compulsory) byte count, not the memory-bus count.
+  const double gemm_bytes = 3.0 * kN * kN * sizeof(float);
   auto measure = [&](std::size_t threads) {
     util::ComputePool::instance().resize(threads);
     tensor::matmul(a, b, c);  // warm-up (pack buffers, page faults)
@@ -216,11 +225,42 @@ void record_gemm_scaling_gauges() {
   const double serial = measure(1);
   const double pool4 = measure(4);
   util::ComputePool::instance().resize(util::ComputePool::env_threads());
+  LTFB_GAUGE_SET("bench/simd_width",
+                 static_cast<double>(tensor::simd::kNativeWidth));
   LTFB_GAUGE_SET("bench/gemm_serial_gflops", serial);
   LTFB_GAUGE_SET("bench/gemm_pool4_gflops", pool4);
   LTFB_GAUGE_SET("bench/gemm_speedup_4t", pool4 / serial);
-  std::cout << "gemm 512^3: serial " << serial << " GFLOP/s, pool(4) "
-            << pool4 << " GFLOP/s, speedup " << pool4 / serial << "x\n";
+  LTFB_GAUGE_SET("bench/gemm_flops_per_call", flops);
+  LTFB_GAUGE_SET("bench/gemm_bytes_moved_per_call", gemm_bytes);
+  std::cout << "gemm 512^3 (simd width " << tensor::simd::kNativeWidth
+            << "): serial " << serial << " GFLOP/s, pool(4) " << pool4
+            << " GFLOP/s, speedup " << pool4 / serial << "x\n";
+}
+
+// Streaming-kernel bandwidth gauge: axpy moves 3 floats of traffic per
+// element (read x, read y, write y); the SIMD rewrite should keep this at
+// memory bandwidth regardless of width. Recorded as GB/s plus the
+// bytes-moved total so the regression gate can sanity-check the rate.
+void record_axpy_bandwidth_gauge() {
+  constexpr std::size_t kElems = 1u << 22;  // 16 MiB per vector
+  constexpr int kIters = 8;
+  std::vector<float> x(kElems, 1.5f), y(kElems, 0.25f);
+  util::ComputePool::instance().resize(1);
+  tensor::axpy(0.5f, x, y);  // warm-up
+  const std::uint64_t start = telemetry::now_ns();
+  for (int i = 0; i < kIters; ++i) {
+    tensor::axpy(0.5f, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  const double seconds =
+      static_cast<double>(telemetry::now_ns() - start) * 1e-9;
+  util::ComputePool::instance().resize(util::ComputePool::env_threads());
+  const double bytes_moved =
+      3.0 * kElems * sizeof(float) * static_cast<double>(kIters);
+  LTFB_GAUGE_SET("bench/axpy_bytes_moved", bytes_moved);
+  LTFB_GAUGE_SET("bench/axpy_gbps", bytes_moved / seconds / 1e9);
+  std::cout << "axpy " << kElems << " elems: "
+            << bytes_moved / seconds / 1e9 << " GB/s\n";
 }
 
 }  // namespace
@@ -232,5 +272,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   record_gemm_scaling_gauges();
+  record_axpy_bandwidth_gauge();
   return 0;
 }

@@ -1,0 +1,84 @@
+# SIMD width selection for the tensor kernels (src/tensor/simd.hpp).
+#
+# LTFB_SIMD picks the fixed vector width the whole build is compiled for:
+#
+#   auto    probe the host: AVX2 on x86-64 when both the compiler and the
+#           CPU support it, NEON on AArch64, scalar otherwise (the CI
+#           default — reproducible everywhere).
+#   avx2    8-wide float vectors; adds -mavx2 -mfma globally.
+#   neon    4-wide float vectors; NEON is baseline on AArch64 so no extra
+#           flags are needed (requesting it elsewhere is a hard error).
+#   scalar  width-1 wrapper; every kernel compiles to exactly the loops it
+#           ran before the SIMD substrate existed (the bit-identity anchor).
+#
+# The width is a whole-build property on purpose: results are bit-identical
+# across pool sizes *at a fixed width* (DESIGN.md §15), so mixing widths
+# inside one binary would silently break the reproducibility contract.
+# Every target sees LTFB_SIMD_WIDTH (1, 4 or 8); src/tensor/simd.hpp is the
+# only file allowed to branch on it or on ISA macros (lint: isa-dispatch).
+
+include(CheckCXXCompilerFlag)
+
+set(LTFB_SIMD "auto" CACHE STRING
+  "SIMD path for tensor kernels: auto, avx2, neon or scalar")
+set_property(CACHE LTFB_SIMD PROPERTY STRINGS auto avx2 neon scalar)
+
+function(ltfb_enable_simd)
+  set(_mode "${LTFB_SIMD}")
+  if(NOT _mode MATCHES "^(auto|avx2|neon|scalar)$")
+    message(FATAL_ERROR
+      "LTFB_SIMD='${_mode}' is not one of auto|avx2|neon|scalar")
+  endif()
+
+  if(_mode STREQUAL "auto")
+    if(CMAKE_SYSTEM_PROCESSOR MATCHES "^(aarch64|arm64)$")
+      set(_mode neon)
+    elseif(CMAKE_SYSTEM_PROCESSOR MATCHES "^(x86_64|AMD64|amd64)$")
+      # Cross-compiles and exotic hosts fall back to scalar: only promote
+      # to AVX2 when the build host itself advertises it, so the binary
+      # never traps on the machine that configured it.
+      set(_host_avx2 FALSE)
+      if(EXISTS "/proc/cpuinfo")
+        file(READ "/proc/cpuinfo" _cpuinfo LIMIT 65536)
+        if(_cpuinfo MATCHES "avx2")
+          set(_host_avx2 TRUE)
+        endif()
+      endif()
+      check_cxx_compiler_flag("-mavx2" LTFB_COMPILER_HAS_MAVX2)
+      if(_host_avx2 AND LTFB_COMPILER_HAS_MAVX2)
+        set(_mode avx2)
+      else()
+        set(_mode scalar)
+      endif()
+    else()
+      set(_mode scalar)
+    endif()
+  endif()
+
+  if(_mode STREQUAL "avx2")
+    check_cxx_compiler_flag("-mavx2" LTFB_COMPILER_HAS_MAVX2)
+    check_cxx_compiler_flag("-mfma" LTFB_COMPILER_HAS_MFMA)
+    if(NOT LTFB_COMPILER_HAS_MAVX2 OR NOT LTFB_COMPILER_HAS_MFMA)
+      message(FATAL_ERROR
+        "LTFB_SIMD=avx2 requested but the compiler rejects -mavx2/-mfma")
+    endif()
+    add_compile_options(-mavx2 -mfma)
+    add_compile_definitions(LTFB_SIMD_WIDTH=8)
+    set(_width 8)
+  elseif(_mode STREQUAL "neon")
+    if(NOT CMAKE_SYSTEM_PROCESSOR MATCHES "^(aarch64|arm64)$")
+      message(FATAL_ERROR
+        "LTFB_SIMD=neon requires an AArch64 target (got "
+        "${CMAKE_SYSTEM_PROCESSOR})")
+    endif()
+    add_compile_definitions(LTFB_SIMD_WIDTH=4)
+    set(_width 4)
+  else()
+    add_compile_definitions(LTFB_SIMD_WIDTH=1)
+    set(_width 1)
+  endif()
+
+  set(LTFB_SIMD_RESOLVED "${_mode}" PARENT_SCOPE)
+  message(STATUS
+    "ltfb: SIMD path '${_mode}' (vector width ${_width} floats)")
+endfunction()

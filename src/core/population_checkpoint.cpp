@@ -14,6 +14,7 @@ constexpr std::array<char, 8> kMagic = {'L', 'T', 'F', 'B',
                                         'P', 'O', 'P', '2'};
 constexpr std::uint32_t kVersionV2 = 2;  // PR 3 format, still loadable
 constexpr std::uint32_t kVersion = 3;    // adds migration fields (PR 8)
+constexpr std::uint32_t kVersionHalf = 4;  // reduced-precision weights
 
 // Sanity ceilings: any header field past these is a bit flip or garbage,
 // not a plausible population — reject before allocating.
@@ -47,6 +48,31 @@ void check_count_fits(nn::CheckpointFile& file, std::uint64_t count,
 void write_floats(nn::CheckpointFile& file, const std::vector<float>& values) {
   file.write_pod(static_cast<std::uint64_t>(values.size()));
   file.write(values.data(), values.size() * sizeof(float));
+}
+
+/// v4 weight arrays: same u64 count prefix, payload quantized to 16 bits.
+void write_half_floats(nn::CheckpointFile& file,
+                       const std::vector<float>& values,
+                       tensor::HalfKind kind) {
+  file.write_pod(static_cast<std::uint64_t>(values.size()));
+  std::vector<std::uint16_t> encoded(values.size());
+  tensor::encode_half(values, encoded, kind);
+  file.write(encoded.data(), encoded.size() * sizeof(std::uint16_t));
+}
+
+std::vector<float> read_half_floats(nn::CheckpointFile& file,
+                                    tensor::HalfKind kind) {
+  const auto count = file.read_pod<std::uint64_t>();
+  if (count > kMaxFloats) {
+    throw_format(file.path(), file.offset() - sizeof(count),
+                 "implausible half array count (bit flip?)");
+  }
+  check_count_fits(file, count, sizeof(std::uint16_t), "half array");
+  std::vector<std::uint16_t> encoded(count);
+  file.read(encoded.data(), encoded.size() * sizeof(std::uint16_t));
+  std::vector<float> values(count);
+  tensor::decode_half(encoded, values, kind);
+  return values;
 }
 
 std::vector<float> read_floats(nn::CheckpointFile& file) {
@@ -85,11 +111,16 @@ std::vector<int> read_trainer_list(nn::CheckpointFile& file) {
 }
 
 void write_body(nn::CheckpointFile& file,
-                const PopulationCheckpoint& checkpoint) {
+                const PopulationCheckpoint& checkpoint,
+                nn::WeightsDtype weights_dtype) {
+  const bool half = weights_dtype != nn::WeightsDtype::Fp32;
   file.write(kMagic.data(), kMagic.size());
-  file.write_pod(kVersion);
+  file.write_pod(half ? kVersionHalf : kVersion);
   file.write_pod(checkpoint.round);
   file.write_pod(checkpoint.pairing_seed);
+  if (half) {
+    file.write_pod(static_cast<std::uint8_t>(weights_dtype));
+  }
   file.write_pod(static_cast<std::uint32_t>(checkpoint.trainers.size()));
   for (const TrainerSlot& slot : checkpoint.trainers) {
     const GanTrainerState& t = slot.trainer;
@@ -105,8 +136,16 @@ void write_body(nn::CheckpointFile& file,
     file.write_pod(static_cast<std::uint64_t>(slot.shard_manifest.size()));
     file.write(slot.shard_manifest.data(),
                slot.shard_manifest.size() * sizeof(std::uint64_t));
-    write_floats(file, t.generator);
-    write_floats(file, t.discriminator);
+    if (half) {
+      const tensor::HalfKind kind = nn::half_kind(weights_dtype);
+      write_half_floats(file, t.generator, kind);
+      write_half_floats(file, t.discriminator, kind);
+    } else {
+      write_floats(file, t.generator);
+      write_floats(file, t.discriminator);
+    }
+    // Optimizer state is never reduced: Adam moments need the range, and
+    // the float-encoded length prefixes must survive bit-exactly.
     write_floats(file, t.optimizer_state);
   }
   file.write_pod(static_cast<std::uint32_t>(checkpoint.history.size()));
@@ -134,15 +173,30 @@ PopulationCheckpoint read_body(nn::CheckpointFile& file) {
     throw_format(path, 0, "bad population checkpoint magic");
   }
   const auto version = file.read_pod<std::uint32_t>();
-  if (version != kVersion && version != kVersionV2) {
+  if (version != kVersion && version != kVersionV2 &&
+      version != kVersionHalf) {
     throw_format(path, file.offset() - sizeof(version),
                  "unsupported population checkpoint version");
   }
-  const bool v3 = version == kVersion;
+  // v4 is v3 plus the dtype byte and half-width weight arrays; every
+  // migration-era field reads identically.
+  const bool v3 = version >= kVersion;
+  const bool half = version == kVersionHalf;
 
   PopulationCheckpoint checkpoint;
   checkpoint.round = file.read_pod<std::uint64_t>();
   checkpoint.pairing_seed = file.read_pod<std::uint64_t>();
+
+  tensor::HalfKind kind = tensor::HalfKind::Bf16;
+  if (half) {
+    const auto dtype_byte = file.read_pod<std::uint8_t>();
+    if (dtype_byte != static_cast<std::uint8_t>(nn::WeightsDtype::Bf16) &&
+        dtype_byte != static_cast<std::uint8_t>(nn::WeightsDtype::Fp16)) {
+      throw_format(path, file.offset() - sizeof(dtype_byte),
+                   "unknown population checkpoint weight dtype");
+    }
+    kind = nn::half_kind(static_cast<nn::WeightsDtype>(dtype_byte));
+  }
 
   const auto trainer_count = file.read_pod<std::uint32_t>();
   if (trainer_count > kMaxTrainers) {
@@ -174,8 +228,13 @@ PopulationCheckpoint read_body(nn::CheckpointFile& file) {
       file.read(slot.shard_manifest.data(),
                 slot.shard_manifest.size() * sizeof(std::uint64_t));
     }
-    t.generator = read_floats(file);
-    t.discriminator = read_floats(file);
+    if (half) {
+      t.generator = read_half_floats(file, kind);
+      t.discriminator = read_half_floats(file, kind);
+    } else {
+      t.generator = read_floats(file);
+      t.discriminator = read_floats(file);
+    }
     t.optimizer_state = read_floats(file);
     checkpoint.trainers.push_back(std::move(slot));
   }
@@ -231,11 +290,12 @@ PopulationCheckpoint read_body(nn::CheckpointFile& file) {
 }  // namespace
 
 void save_population_checkpoint(const std::filesystem::path& path,
-                                const PopulationCheckpoint& checkpoint) {
+                                const PopulationCheckpoint& checkpoint,
+                                nn::WeightsDtype weights_dtype) {
   const std::filesystem::path tmp = path.string() + ".tmp";
   try {
     nn::CheckpointFile file = nn::CheckpointFile::open_write(tmp);
-    write_body(file, checkpoint);
+    write_body(file, checkpoint, weights_dtype);
     file.close();
     std::filesystem::rename(tmp, path);
   } catch (...) {
@@ -253,10 +313,10 @@ PopulationCheckpoint load_population_checkpoint(
 }
 
 std::vector<std::uint8_t> encode_population_checkpoint(
-    const PopulationCheckpoint& checkpoint) {
+    const PopulationCheckpoint& checkpoint, nn::WeightsDtype weights_dtype) {
   nn::CheckpointFile file =
       nn::CheckpointFile::open_write_memory("<population checkpoint>");
-  write_body(file, checkpoint);
+  write_body(file, checkpoint, weights_dtype);
   return file.release_bytes();
 }
 

@@ -11,6 +11,7 @@
 // Binary layout (little-endian, floats/doubles as in memory):
 //
 //   magic "LTFBPOP2" | u32 version=3 | u64 round | u64 pairing_seed
+//   v4: u8 weights_dtype (nn::WeightsDtype; bf16/fp16 only)
 //   u32 trainer_count
 //   per trainer:
 //     i32 trainer_id | f32 learning_rate | u64 steps
@@ -30,11 +31,18 @@
 //
 // Version history: v2 is the PR 3 format; v3 (PR 8) adds the migration
 // fields (host rank, join round, datastore shard manifest) and per-round
-// churn markers. The magic string stays "LTFBPOP2" — readers distinguish
-// revisions by the version field, so a v2-era reader loading a v3 file
-// fails fast with FormatError("unsupported population checkpoint
-// version") instead of misparsing the new fields. This writer emits v3 and
-// still loads v2 (the new fields default to empty).
+// churn markers; v4 adds an optional reduced-precision weights encoding —
+// a weights_dtype byte after the pairing seed, with the generator and
+// discriminator arrays stored as 16-bit bf16/fp16 payloads (u64 count +
+// u16[count]). Optimizer state ALWAYS stays fp32: Adam moments span a
+// dynamic range bf16 mangles, and the float-encoded length prefixes in
+// the state vector must survive exactly. The magic string stays
+// "LTFBPOP2" — readers distinguish revisions by the version field, so a
+// v2-era reader loading a v3 file fails fast with FormatError
+// ("unsupported population checkpoint version") instead of misparsing the
+// new fields. This writer emits v3 for fp32 saves (byte-identical to the
+// PR 8 format), v4 only when a reduced dtype is requested, and loads
+// v2/v3/v4.
 //
 // Writes are atomic (temp file + rename); any load failure throws
 // ltfb::FormatError naming the path and byte offset. RoundRecord doubles
@@ -47,6 +55,7 @@
 
 #include "core/gan_trainer.hpp"
 #include "core/ltfb.hpp"
+#include "nn/checkpoint.hpp"
 
 namespace ltfb::core {
 
@@ -75,20 +84,26 @@ struct PopulationCheckpoint {
 /// Writes atomically: the bytes land in `path` + ".tmp" and are renamed
 /// over `path` only after a successful flush+close, so a crash mid-write
 /// leaves the previous checkpoint intact. Throws ltfb::FormatError on any
-/// I/O failure (the temp file is removed).
-void save_population_checkpoint(const std::filesystem::path& path,
-                                const PopulationCheckpoint& checkpoint);
+/// I/O failure (the temp file is removed). `weights_dtype` selects the
+/// generator/discriminator encoding: Fp32 writes the v3 image
+/// byte-for-byte; Bf16/Fp16 write v4 with half-width weight payloads
+/// (optimizer state stays fp32 either way).
+void save_population_checkpoint(
+    const std::filesystem::path& path, const PopulationCheckpoint& checkpoint,
+    nn::WeightsDtype weights_dtype = nn::WeightsDtype::Fp32);
 
-/// Loads a v2 or v3 checkpoint; throws ltfb::FormatError with path and
-/// offset on corruption, truncation, or an unknown version.
+/// Loads a v2, v3, or v4 checkpoint; throws ltfb::FormatError with path
+/// and offset on corruption, truncation, or an unknown version. Reduced
+/// v4 weights decode back to fp32.
 PopulationCheckpoint load_population_checkpoint(
     const std::filesystem::path& path);
 
-/// Serializes a checkpoint to bytes in the exact on-disk v3 layout — the
+/// Serializes a checkpoint to bytes in the exact on-disk layout — the
 /// live-migration wire payload (core/scheduler.hpp ships a single-slot
 /// checkpoint through the comm backend instead of the filesystem).
 std::vector<std::uint8_t> encode_population_checkpoint(
-    const PopulationCheckpoint& checkpoint);
+    const PopulationCheckpoint& checkpoint,
+    nn::WeightsDtype weights_dtype = nn::WeightsDtype::Fp32);
 
 /// Parses bytes produced by encode_population_checkpoint (or read from a
 /// checkpoint file). `label` names the payload in FormatError messages the

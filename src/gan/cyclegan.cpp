@@ -45,12 +45,29 @@ CycleGan::CycleGan(CycleGanConfig config, std::uint64_t seed)
   disc_out_ = build_mlp(discriminator_, config_.latent_width,
                         config_.discriminator_hidden, 1);
 
-  const auto adam = nn::make_adam_factory(config_.learning_rate);
+  nn::OptimizerFactory adam = nn::make_adam_factory(config_.learning_rate);
+  if (config_.mixed_precision) {
+    loss_scale_ = std::make_shared<nn::LossScaleController>();
+    adam = nn::make_loss_scaling_factory(std::move(adam), loss_scale_);
+  }
   encoder_.set_optimizer(adam);
   decoder_.set_optimizer(adam);
   forward_.set_optimizer(adam);
   inverse_.set_optimizer(adam);
   discriminator_.set_optimizer(adam);
+}
+
+void CycleGan::scale_loss_grad(tensor::Tensor& grad) {
+  if (loss_scale_) tensor::scale(loss_scale_->scale(), grad.data());
+}
+
+void CycleGan::observe_gradients(const std::vector<nn::Model*>& models) {
+  if (!loss_scale_) return;
+  for (nn::Model* model : models) {
+    for (nn::Weights* weights : model->weights()) {
+      loss_scale_->observe(weights->gradient().data());
+    }
+  }
 }
 
 std::vector<nn::Model*> CycleGan::components() {
@@ -61,18 +78,22 @@ double CycleGan::pretrain_autoencoder_step(const data::Batch& batch) {
   // E(y) -> Dec -> reconstruction, MAE loss, joint E/Dec update.
   encoder_.zero_gradients();
   decoder_.zero_gradients();
+  if (loss_scale_) loss_scale_->begin_step();
   encoder_.forward({&batch.outputs}, /*training=*/true);
   decoder_.forward({&encoder_.output(encoder_out_)}, true);
   tensor::Tensor grad;
   const double loss =
       nn::mae_loss(decoder_.output(decoder_out_), batch.outputs, &grad);
+  scale_loss_grad(grad);
   decoder_.add_output_gradient(decoder_out_, grad);
   decoder_.backward(backward_hook_);
   encoder_.add_output_gradient(encoder_out_, decoder_.input_gradient(0));
   encoder_.backward(backward_hook_);
   if (sync_) sync_({&encoder_, &decoder_});
+  observe_gradients({&encoder_, &decoder_});
   encoder_.apply_optimizer_step();
   decoder_.apply_optimizer_step();
+  if (loss_scale_) loss_scale_->end_step();
   return loss;
 }
 
@@ -90,22 +111,27 @@ StepMetrics CycleGan::train_step(const data::Batch& batch) {
   const tensor::Tensor fake_latent = forward_.output(forward_out_);
 
   discriminator_.zero_gradients();
+  if (loss_scale_) loss_scale_->begin_step();
   tensor::Tensor d_grad;
   discriminator_.forward({&real_latent}, true);
   double d_loss =
       nn::bce_with_logits(discriminator_.output(disc_out_), 1.0f, &d_grad);
+  scale_loss_grad(d_grad);
   discriminator_.add_output_gradient(disc_out_, d_grad);
   discriminator_.backward();
 
   discriminator_.forward({&fake_latent}, true);
   d_loss +=
       nn::bce_with_logits(discriminator_.output(disc_out_), 0.0f, &d_grad);
+  scale_loss_grad(d_grad);
   discriminator_.add_output_gradient(disc_out_, d_grad);
   // Second, accumulating backward: only now are the critic's gradients
   // final, so only this pass carries the overlap hook.
   discriminator_.backward(backward_hook_);
   if (sync_) sync_({&discriminator_});
+  observe_gradients({&discriminator_});
   discriminator_.apply_optimizer_step();
+  if (loss_scale_) loss_scale_->end_step();
   metrics.discriminator_loss = 0.5 * d_loss;
 
   // ---- phase 3: generator (forward + inverse) -------------------------------
@@ -113,6 +139,7 @@ StepMetrics CycleGan::train_step(const data::Batch& batch) {
   inverse_.zero_gradients();
   decoder_.zero_gradients();       // participates in the fidelity path only
   discriminator_.zero_gradients();  // gradients through D are discarded
+  if (loss_scale_) loss_scale_->begin_step();
 
   forward_.forward({&batch.inputs}, true);
   const tensor::Tensor& z = forward_.output(forward_out_);
@@ -123,6 +150,7 @@ StepMetrics CycleGan::train_step(const data::Batch& batch) {
   metrics.fidelity_loss =
       nn::mae_loss(decoder_.output(decoder_out_), batch.outputs, &fid_grad);
   tensor::scale(config_.lambda_fidelity, fid_grad.data());
+  scale_loss_grad(fid_grad);
   decoder_.add_output_gradient(decoder_out_, fid_grad);
   decoder_.backward();
   forward_.add_output_gradient(forward_out_, decoder_.input_gradient(0));
@@ -133,6 +161,7 @@ StepMetrics CycleGan::train_step(const data::Batch& batch) {
   metrics.adversarial_loss = nn::bce_with_logits(
       discriminator_.output(disc_out_), 1.0f, &adv_grad);
   tensor::scale(config_.lambda_adversarial, adv_grad.data());
+  scale_loss_grad(adv_grad);
   discriminator_.add_output_gradient(disc_out_, adv_grad);
   discriminator_.backward();
   forward_.add_output_gradient(forward_out_, discriminator_.input_gradient(0));
@@ -143,6 +172,7 @@ StepMetrics CycleGan::train_step(const data::Batch& batch) {
     tensor::Tensor lat_grad;
     metrics.latent_loss = nn::mae_loss(z, real_latent, &lat_grad);
     tensor::scale(config_.lambda_latent, lat_grad.data());
+    scale_loss_grad(lat_grad);
     forward_.add_output_gradient(forward_out_, lat_grad);
   }
 
@@ -152,14 +182,17 @@ StepMetrics CycleGan::train_step(const data::Batch& batch) {
   metrics.cycle_loss =
       nn::mae_loss(inverse_.output(inverse_out_), batch.inputs, &cyc_grad);
   tensor::scale(config_.lambda_cycle, cyc_grad.data());
+  scale_loss_grad(cyc_grad);
   inverse_.add_output_gradient(inverse_out_, cyc_grad);
   inverse_.backward(backward_hook_);
   forward_.add_output_gradient(forward_out_, inverse_.input_gradient(0));
 
   forward_.backward(backward_hook_);
   if (sync_) sync_({&forward_, &inverse_});
+  observe_gradients({&forward_, &inverse_});
   forward_.apply_optimizer_step();
   inverse_.apply_optimizer_step();
+  if (loss_scale_) loss_scale_->end_step();
   return metrics;
 }
 
@@ -306,11 +339,12 @@ void CycleGan::set_learning_rate(float lr) {
   }
 }
 
-void CycleGan::save_checkpoint(const std::filesystem::path& path) const {
+void CycleGan::save_checkpoint(const std::filesystem::path& path,
+                               nn::WeightsDtype dtype) const {
   std::vector<float> flat = generator_weights();
   const auto disc = discriminator_weights();
   flat.insert(flat.end(), disc.begin(), disc.end());
-  nn::save_weights(path, "cyclegan", flat);
+  nn::save_weights(path, "cyclegan", flat, dtype);
 }
 
 void CycleGan::load_checkpoint(const std::filesystem::path& path) {

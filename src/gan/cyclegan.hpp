@@ -31,7 +31,9 @@
 #include <vector>
 
 #include "data/data_reader.hpp"
+#include "nn/checkpoint.hpp"
 #include "nn/model.hpp"
+#include "nn/optimizer.hpp"
 
 namespace ltfb::gan {
 
@@ -57,6 +59,17 @@ struct CycleGanConfig {
   /// Also the glue that makes G(E(y)) inversion work: G learns on F's
   /// latents, so F and E must agree.
   float lambda_latent = 0.5f;
+
+  /// Mixed-precision training: loss gradients are multiplied by a dynamic
+  /// power-of-two scale S before backward (so small gradients survive the
+  /// bf16 all-reduce wire encoding), every optimizer is wrapped in a
+  /// loss-scaling decorator that divides S back out exactly, and any
+  /// non-finite gradient skips the whole phase group's update while S
+  /// backs off. Because S is a power of two, the fp32 math trajectory is
+  /// bit-identical to unscaled training until a gradient actually
+  /// overflows or the wire dtype quantizes. Defaults to the
+  /// LTFB_MIXED_PRECISION environment toggle.
+  bool mixed_precision = nn::mixed_precision_from_env();
 
   std::size_t output_width() const noexcept {
     return scalar_width + image_width;
@@ -133,8 +146,11 @@ class CycleGan {
   std::size_t parameter_count() const noexcept;
 
   /// Full-model checkpoint (generator bundle + discriminator) on disk.
-  /// load_checkpoint requires an identically configured model.
-  void save_checkpoint(const std::filesystem::path& path) const;
+  /// load_checkpoint requires an identically configured model. `dtype`
+  /// selects the stored weight encoding (nn::save_weights versioning);
+  /// loads accept any supported version regardless of this model's config.
+  void save_checkpoint(const std::filesystem::path& path,
+                       nn::WeightsDtype dtype = nn::WeightsDtype::Fp32) const;
   void load_checkpoint(const std::filesystem::path& path);
 
   /// Current learning rate / in-place change across every optimizer —
@@ -173,7 +189,22 @@ class CycleGan {
     backward_hook_ = std::move(hook);
   }
 
+  /// The shared loss-scale state when config.mixed_precision is set;
+  /// nullptr otherwise. Exposed for tests and telemetry.
+  const std::shared_ptr<nn::LossScaleController>& loss_scale() const noexcept {
+    return loss_scale_;
+  }
+
  private:
+  /// Multiplies a loss gradient by the current scale S (no-op in fp32
+  /// mode). Applied to every loss-seam gradient of a phase group, so the
+  /// accumulated weight gradients are exactly S x their fp32 values.
+  void scale_loss_grad(tensor::Tensor& grad);
+  /// Scans the (post-sync, final) weight gradients of a phase group for
+  /// overflow. Runs after the gradient all-reduce, so every rank sees the
+  /// same averaged values and reaches the same skip decision.
+  void observe_gradients(const std::vector<nn::Model*>& models);
+
   CycleGanConfig config_;
   nn::Model encoder_;
   nn::Model decoder_;
@@ -184,6 +215,7 @@ class CycleGan {
       disc_out_;
   GradientSync sync_;
   BackwardHook backward_hook_;
+  std::shared_ptr<nn::LossScaleController> loss_scale_;
 };
 
 }  // namespace ltfb::gan

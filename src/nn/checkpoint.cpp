@@ -10,7 +10,12 @@ namespace {
 
 constexpr std::array<char, 8> kMagic = {'L', 'T', 'F', 'B',
                                         'C', 'K', 'P', 'T'};
-constexpr std::uint32_t kVersion = 1;
+// Version 1: fp32 payload, no dtype field — every pre-mixed-precision
+// image. Version 2 inserts one WeightsDtype byte after the version and
+// stores the payload at that dtype's width. Fp32 saves keep writing v1 so
+// their images stay byte-identical across this change.
+constexpr std::uint32_t kVersionFp32 = 1;
+constexpr std::uint32_t kVersionDtyped = 2;
 
 [[noreturn]] void throw_format(const std::filesystem::path& path,
                                std::uint64_t offset, const std::string& what) {
@@ -20,6 +25,22 @@ constexpr std::uint32_t kVersion = 1;
 }
 
 }  // namespace
+
+const char* to_string(WeightsDtype dtype) noexcept {
+  switch (dtype) {
+    case WeightsDtype::Fp32: return "fp32";
+    case WeightsDtype::Bf16: return "bf16";
+    case WeightsDtype::Fp16: return "fp16";
+  }
+  return "unknown";
+}
+
+tensor::HalfKind half_kind(WeightsDtype dtype) {
+  LTFB_CHECK_MSG(dtype != WeightsDtype::Fp32,
+                 "fp32 has no half-precision codec");
+  return dtype == WeightsDtype::Bf16 ? tensor::HalfKind::Bf16
+                                     : tensor::HalfKind::Fp16;
+}
 
 CheckpointFile::MemBuffer::~MemBuffer() {
   std::free(data);  // open_memstream allocates with malloc
@@ -121,7 +142,7 @@ void CheckpointFile::close() {
 }
 
 void save_weights(const std::filesystem::path& path, std::string_view name,
-                  std::span<const float> weights) {
+                  std::span<const float> weights, WeightsDtype dtype) {
   // Atomic save: write a temporary sibling, then rename over the target.
   // rename() within one directory is atomic on POSIX, so readers see
   // either the old complete file or the new complete file, never a torn
@@ -130,13 +151,23 @@ void save_weights(const std::filesystem::path& path, std::string_view name,
   try {
     CheckpointFile file = CheckpointFile::open_write(tmp);
     file.write(kMagic.data(), kMagic.size());
-    file.write_pod(kVersion);
+    file.write_pod(dtype == WeightsDtype::Fp32 ? kVersionFp32
+                                               : kVersionDtyped);
+    if (dtype != WeightsDtype::Fp32) {
+      file.write_pod(static_cast<std::uint8_t>(dtype));
+    }
     const auto name_len = static_cast<std::uint32_t>(name.size());
     file.write_pod(name_len);
     file.write(name.data(), name.size());
     const auto count = static_cast<std::uint64_t>(weights.size());
     file.write_pod(count);
-    file.write(weights.data(), weights.size() * sizeof(float));
+    if (dtype == WeightsDtype::Fp32) {
+      file.write(weights.data(), weights.size() * sizeof(float));
+    } else {
+      std::vector<std::uint16_t> encoded(weights.size());
+      tensor::encode_half(weights, encoded, half_kind(dtype));
+      file.write(encoded.data(), encoded.size() * sizeof(std::uint16_t));
+    }
     file.close();
     std::filesystem::rename(tmp, path);
   } catch (...) {
@@ -147,7 +178,8 @@ void save_weights(const std::filesystem::path& path, std::string_view name,
 }
 
 std::vector<float> load_weights(const std::filesystem::path& path,
-                                std::string* name_out) {
+                                std::string* name_out,
+                                WeightsDtype* dtype_out) {
   CheckpointFile file = CheckpointFile::open_read(path);
   const std::uintmax_t actual_size = file.file_size();
 
@@ -157,10 +189,21 @@ std::vector<float> load_weights(const std::filesystem::path& path,
     throw_format(path, 0, "bad checkpoint magic");
   }
   const auto version = file.read_pod<std::uint32_t>();
-  if (version != kVersion) {
+  if (version != kVersionFp32 && version != kVersionDtyped) {
     throw_format(path, file.offset() - sizeof(version),
                  "unsupported checkpoint version");
   }
+  WeightsDtype dtype = WeightsDtype::Fp32;
+  if (version == kVersionDtyped) {
+    const auto dtype_byte = file.read_pod<std::uint8_t>();
+    if (dtype_byte != static_cast<std::uint8_t>(WeightsDtype::Bf16) &&
+        dtype_byte != static_cast<std::uint8_t>(WeightsDtype::Fp16)) {
+      throw_format(path, file.offset() - sizeof(dtype_byte),
+                   "unknown checkpoint weight dtype");
+    }
+    dtype = static_cast<WeightsDtype>(dtype_byte);
+  }
+  if (dtype_out != nullptr) *dtype_out = dtype;
   const auto name_len = file.read_pod<std::uint32_t>();
   if (name_len >= (1u << 16)) {
     throw_format(path, file.offset() - sizeof(name_len),
@@ -177,8 +220,9 @@ std::vector<float> load_weights(const std::filesystem::path& path,
   // Validate the total size against the header before allocating: a
   // bit-flipped count or a truncated tail is caught here with an exact
   // offset instead of a failed giant allocation or a short read later.
-  const std::uintmax_t expected_size =
-      file.offset() + count * sizeof(float);
+  const std::size_t elem_size =
+      dtype == WeightsDtype::Fp32 ? sizeof(float) : sizeof(std::uint16_t);
+  const std::uintmax_t expected_size = file.offset() + count * elem_size;
   if (actual_size != expected_size) {
     std::ostringstream oss;
     oss << "checkpoint size mismatch: header promises " << expected_size
@@ -186,12 +230,19 @@ std::vector<float> load_weights(const std::filesystem::path& path,
     throw_format(path, file.offset() - sizeof(count), oss.str());
   }
   std::vector<float> weights(count);
-  file.read(weights.data(), weights.size() * sizeof(float));
+  if (dtype == WeightsDtype::Fp32) {
+    file.read(weights.data(), weights.size() * sizeof(float));
+  } else {
+    std::vector<std::uint16_t> encoded(count);
+    file.read(encoded.data(), encoded.size() * sizeof(std::uint16_t));
+    tensor::decode_half(encoded, weights, half_kind(dtype));
+  }
   return weights;
 }
 
-void save_model(const std::filesystem::path& path, const Model& model) {
-  save_weights(path, model.name(), model.flatten_weights());
+void save_model(const std::filesystem::path& path, const Model& model,
+                WeightsDtype dtype) {
+  save_weights(path, model.name(), model.flatten_weights(), dtype);
 }
 
 void load_model(const std::filesystem::path& path, Model& model) {

@@ -19,8 +19,22 @@
 #include <vector>
 
 #include "nn/model.hpp"
+#include "tensor/half.hpp"
 
 namespace ltfb::nn {
+
+/// On-disk weight encoding. Fp32 writes the original version-1 image
+/// byte-for-byte (old readers keep working); Bf16/Fp16 write a version-2
+/// image whose payload is the 16-bit encoding — half the bytes, and a
+/// lossless round-trip of the quantized values (decode∘encode is exact at
+/// the stored precision). Serialized in headers — never renumber.
+enum class WeightsDtype : std::uint8_t { Fp32 = 0, Bf16 = 1, Fp16 = 2 };
+
+const char* to_string(WeightsDtype dtype) noexcept;
+
+/// Maps the reduced dtypes onto their tensor::HalfKind codec; calling this
+/// with Fp32 is a contract violation.
+tensor::HalfKind half_kind(WeightsDtype dtype);
 
 /// Checked binary file access shared by the checkpoint formats (weight
 /// checkpoints here, population checkpoints in core): every failed read or
@@ -104,19 +118,26 @@ class CheckpointFile {
 };
 
 /// Writes a named flat weight vector atomically (temp file + rename);
-/// throws FormatError on I/O failure.
+/// throws FormatError on I/O failure. `dtype` selects the stored encoding
+/// (see WeightsDtype); reduced-precision saves quantize with
+/// round-to-nearest-even.
 void save_weights(const std::filesystem::path& path, std::string_view name,
-                  std::span<const float> weights);
+                  std::span<const float> weights,
+                  WeightsDtype dtype = WeightsDtype::Fp32);
 
-/// Reads a checkpoint; fills `name_out` when non-null. Throws FormatError
-/// (with path and offset) on any corruption: bad magic, bad version,
-/// implausible name length, or a file size that disagrees with the header.
+/// Reads a checkpoint of any supported version (v1 fp32 or v2 reduced
+/// precision); fills `name_out`/`dtype_out` when non-null. Reduced
+/// payloads decode back to fp32. Throws FormatError (with path and
+/// offset) on any corruption: bad magic, bad version, implausible name
+/// length, unknown dtype, or a file size that disagrees with the header.
 std::vector<float> load_weights(const std::filesystem::path& path,
-                                std::string* name_out = nullptr);
+                                std::string* name_out = nullptr,
+                                WeightsDtype* dtype_out = nullptr);
 
 /// Convenience wrappers for whole models (name = model.name()). The model
 /// must already be built with the same architecture; only values load.
-void save_model(const std::filesystem::path& path, const Model& model);
+void save_model(const std::filesystem::path& path, const Model& model,
+                WeightsDtype dtype = WeightsDtype::Fp32);
 void load_model(const std::filesystem::path& path, Model& model);
 
 }  // namespace ltfb::nn

@@ -6,8 +6,66 @@
 #include "nn/initializer.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/simd.hpp"
 
 namespace ltfb::nn {
+
+namespace {
+
+tensor::EpilogueAct to_epilogue(ActivationKind kind) noexcept {
+  switch (kind) {
+    case ActivationKind::Relu: return tensor::EpilogueAct::Relu;
+    case ActivationKind::LeakyRelu: return tensor::EpilogueAct::LeakyRelu;
+    case ActivationKind::Sigmoid: return tensor::EpilogueAct::Sigmoid;
+    case ActivationKind::Tanh: return tensor::EpilogueAct::Tanh;
+  }
+  return tensor::EpilogueAct::None;
+}
+
+// dL/dz = dL/dy * act'(z), computed from the stored output y (see the
+// FullyConnected doc comment for why y is sufficient). The relu/leaky
+// branches run on the vector path with the exact scalar predicate.
+void activation_backward_from_output(ActivationKind kind, float leaky_slope,
+                                     const float* yp, const float* gp,
+                                     float* op, std::size_t n) {
+  using tensor::simd::vf;
+  constexpr std::size_t kW = tensor::simd::kNativeWidth;
+  const std::size_t ve = tensor::simd::main_loop_bound(n);
+  switch (kind) {
+    case ActivationKind::Relu:
+      for (std::size_t i = 0; i < ve; i += kW) {
+        vf::select_gt_zero(vf::load(yp + i), vf::load(gp + i), vf::zero())
+            .store(op + i);
+      }
+      for (std::size_t i = ve; i < n; ++i) {
+        op[i] = yp[i] > 0.0f ? gp[i] : 0.0f;
+      }
+      break;
+    case ActivationKind::LeakyRelu: {
+      const vf slope = vf::broadcast(leaky_slope);
+      for (std::size_t i = 0; i < ve; i += kW) {
+        const vf g = vf::load(gp + i);
+        vf::select_gt_zero(vf::load(yp + i), g, g * slope).store(op + i);
+      }
+      for (std::size_t i = ve; i < n; ++i) {
+        op[i] = yp[i] > 0.0f ? gp[i] : leaky_slope * gp[i];
+      }
+      break;
+    }
+    case ActivationKind::Sigmoid:
+      for (std::size_t i = 0; i < n; ++i) {
+        op[i] = gp[i] * yp[i] * (1.0f - yp[i]);
+      }
+      break;
+    case ActivationKind::Tanh:
+      for (std::size_t i = 0; i < n; ++i) {
+        op[i] = gp[i] * (1.0f - yp[i] * yp[i]);
+      }
+      break;
+  }
+}
+
+}  // namespace
 
 // ---- InputLayer ------------------------------------------------------------
 
@@ -50,6 +108,11 @@ void FullyConnected::setup(const std::vector<std::size_t>& input_widths,
   }
 }
 
+std::string FullyConnected::type() const {
+  if (!has_act_) return "fully_connected";
+  return std::string("fully_connected_") + to_string(act_);
+}
+
 void FullyConnected::forward(const std::vector<const tensor::Tensor*>& inputs,
                              bool /*training*/) {
   const tensor::Tensor& x = *inputs[0];
@@ -57,11 +120,14 @@ void FullyConnected::forward(const std::vector<const tensor::Tensor*>& inputs,
                                             << x.cols() << " != "
                                             << in_width_);
   output_.resize({x.rows(), out_width_});
+  // Bias and the fused activation both ride the gemm epilogue: one pass
+  // over the output instead of up to three.
+  tensor::Epilogue ep;
+  ep.bias = has_bias_ ? weights_[1]->values().raw() : nullptr;
+  ep.act = has_act_ ? to_epilogue(act_) : tensor::EpilogueAct::None;
+  ep.leaky_slope = leaky_slope_;
   tensor::gemm(tensor::Op::None, tensor::Op::None, 1.0f, x,
-               weights_[0]->values(), 0.0f, output_);
-  if (has_bias_) {
-    tensor::add_row_bias(weights_[1]->values().data(), output_);
-  }
+               weights_[0]->values(), 0.0f, output_, ep);
 }
 
 void FullyConnected::backward(
@@ -69,18 +135,30 @@ void FullyConnected::backward(
     const tensor::Tensor& grad_output,
     std::vector<tensor::Tensor>& grad_inputs) {
   const tensor::Tensor& x = *inputs[0];
-  // dW += X^T dY (accumulate so multiple backward passes sum, as in LBANN).
-  tensor::gemm(tensor::Op::Transpose, tensor::Op::None, 1.0f, x, grad_output,
-               1.0f, weights_[0]->gradient());
+  // With a fused activation the incoming gradient is dL/dy; convert to
+  // dL/dz (z = XW + b) first, exactly as a separate Activation layer's
+  // backward would have.
+  tensor::Tensor grad_z;
+  const tensor::Tensor* gz = &grad_output;
+  if (has_act_) {
+    grad_z.resize(grad_output.shape());
+    activation_backward_from_output(act_, leaky_slope_, output_.raw(),
+                                    grad_output.raw(), grad_z.raw(),
+                                    grad_output.size());
+    gz = &grad_z;
+  }
+  // dW += X^T dZ (accumulate so multiple backward passes sum, as in LBANN).
+  tensor::gemm(tensor::Op::Transpose, tensor::Op::None, 1.0f, x, *gz, 1.0f,
+               weights_[0]->gradient());
   if (has_bias_) {
     tensor::Tensor col_sums({out_width_});
-    tensor::column_sums(grad_output, col_sums.data());
+    tensor::column_sums(*gz, col_sums.data());
     tensor::axpy(1.0f, col_sums.data(), weights_[1]->gradient().data());
   }
-  // dX = dY W^T
+  // dX = dZ W^T
   grad_inputs.resize(1);
   grad_inputs[0].resize({x.rows(), in_width_});
-  tensor::gemm(tensor::Op::None, tensor::Op::Transpose, 1.0f, grad_output,
+  tensor::gemm(tensor::Op::None, tensor::Op::Transpose, 1.0f, *gz,
                weights_[0]->values(), 0.0f, grad_inputs[0]);
 }
 
@@ -109,15 +187,30 @@ void Activation::forward(const std::vector<const tensor::Tensor*>& inputs,
   const float* xp = x.raw();
   float* yp = output_.raw();
   const std::size_t n = x.size();
+  using tensor::simd::vf;
+  constexpr std::size_t kW = tensor::simd::kNativeWidth;
+  const std::size_t ve = tensor::simd::main_loop_bound(n);
   switch (kind_) {
     case ActivationKind::Relu:
-      for (std::size_t i = 0; i < n; ++i) yp[i] = xp[i] > 0.0f ? xp[i] : 0.0f;
+      for (std::size_t i = 0; i < ve; i += kW) {
+        const vf v = vf::load(xp + i);
+        vf::select_gt_zero(v, v, vf::zero()).store(yp + i);
+      }
+      for (std::size_t i = ve; i < n; ++i) {
+        yp[i] = xp[i] > 0.0f ? xp[i] : 0.0f;
+      }
       break;
-    case ActivationKind::LeakyRelu:
-      for (std::size_t i = 0; i < n; ++i) {
+    case ActivationKind::LeakyRelu: {
+      const vf slope = vf::broadcast(leaky_slope_);
+      for (std::size_t i = 0; i < ve; i += kW) {
+        const vf v = vf::load(xp + i);
+        vf::select_gt_zero(v, v, v * slope).store(yp + i);
+      }
+      for (std::size_t i = ve; i < n; ++i) {
         yp[i] = xp[i] > 0.0f ? xp[i] : leaky_slope_ * xp[i];
       }
       break;
+    }
     case ActivationKind::Sigmoid:
       for (std::size_t i = 0; i < n; ++i) {
         yp[i] = 1.0f / (1.0f + std::exp(-xp[i]));
@@ -129,36 +222,18 @@ void Activation::forward(const std::vector<const tensor::Tensor*>& inputs,
   }
 }
 
-void Activation::backward(const std::vector<const tensor::Tensor*>& inputs,
-                          const tensor::Tensor& grad_output,
-                          std::vector<tensor::Tensor>& grad_inputs) {
+void Activation::backward(
+    const std::vector<const tensor::Tensor*>& /*inputs*/,
+    const tensor::Tensor& grad_output,
+    std::vector<tensor::Tensor>& grad_inputs) {
   grad_inputs.resize(1);
   grad_inputs[0].resize(grad_output.shape());
-  const float* yp = output_.raw();
-  const float* gp = grad_output.raw();
-  const float* xp = inputs[0]->raw();
-  float* op = grad_inputs[0].raw();
-  const std::size_t n = grad_output.size();
-  switch (kind_) {
-    case ActivationKind::Relu:
-      for (std::size_t i = 0; i < n; ++i) op[i] = xp[i] > 0.0f ? gp[i] : 0.0f;
-      break;
-    case ActivationKind::LeakyRelu:
-      for (std::size_t i = 0; i < n; ++i) {
-        op[i] = xp[i] > 0.0f ? gp[i] : leaky_slope_ * gp[i];
-      }
-      break;
-    case ActivationKind::Sigmoid:
-      for (std::size_t i = 0; i < n; ++i) {
-        op[i] = gp[i] * yp[i] * (1.0f - yp[i]);
-      }
-      break;
-    case ActivationKind::Tanh:
-      for (std::size_t i = 0; i < n; ++i) {
-        op[i] = gp[i] * (1.0f - yp[i] * yp[i]);
-      }
-      break;
-  }
+  // The output-based derivative is identical to the input-based one for
+  // every kind (for relu/leaky, y > 0 iff x > 0), so the standalone layer
+  // shares the fused-dense backward kernel.
+  activation_backward_from_output(kind_, leaky_slope_, output_.raw(),
+                                  grad_output.raw(), grad_inputs[0].raw(),
+                                  grad_output.size());
 }
 
 // ---- Dropout ---------------------------------------------------------------

@@ -74,14 +74,36 @@ class InputLayer final : public Layer {
   std::size_t width_;
 };
 
-/// Affine layer: Y = X W + b with W in R^{in x out}.
+/// Elementwise activations; derivative is computed from the stored output.
+enum class ActivationKind { Relu, LeakyRelu, Sigmoid, Tanh };
+
+const char* to_string(ActivationKind kind) noexcept;
+
+/// Affine layer: Y = act(X W + b) with W in R^{in x out}. The bias add and
+/// the (optional) fused activation run inside the gemm epilogue, on the
+/// still-hot output tile, instead of as separate full passes. The fused
+/// form is elementwise-identical to a FullyConnected followed by an
+/// Activation layer: same per-element operation order in forward, and the
+/// backward derivative computed from the stored output y matches the
+/// input-based form for every supported activation (for relu/leaky-relu,
+/// y > 0 iff the pre-activation is > 0; sigmoid/tanh already differentiate
+/// through y).
 class FullyConnected final : public Layer {
  public:
   enum class Init { GlorotUniform, HeNormal };
   explicit FullyConnected(std::size_t output_width, bool has_bias = true,
                           Init init = Init::GlorotUniform)
       : out_width_(output_width), has_bias_(has_bias), init_(init) {}
-  std::string type() const override { return "fully_connected"; }
+  /// Fused dense: Y = act(X W + b) in one pass.
+  FullyConnected(std::size_t output_width, bool has_bias, Init init,
+                 ActivationKind act, float leaky_slope = 0.01f)
+      : out_width_(output_width),
+        has_bias_(has_bias),
+        init_(init),
+        has_act_(true),
+        act_(act),
+        leaky_slope_(leaky_slope) {}
+  std::string type() const override;
   void setup(const std::vector<std::size_t>& input_widths,
              util::Rng& rng) override;
   std::size_t output_width() const override { return out_width_; }
@@ -96,12 +118,10 @@ class FullyConnected final : public Layer {
   std::size_t out_width_;
   bool has_bias_;
   Init init_;
+  bool has_act_ = false;
+  ActivationKind act_ = ActivationKind::Relu;
+  float leaky_slope_ = 0.01f;
 };
-
-/// Elementwise activations; derivative is computed from the stored output.
-enum class ActivationKind { Relu, LeakyRelu, Sigmoid, Tanh };
-
-const char* to_string(ActivationKind kind) noexcept;
 
 class Activation final : public Layer {
  public:

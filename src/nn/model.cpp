@@ -40,9 +40,12 @@ LayerId Model::add_dense(LayerId parent, std::size_t width,
                      act == ActivationKind::LeakyRelu)
                         ? FullyConnected::Init::HeNormal
                         : FullyConnected::Init::GlorotUniform;
-  const LayerId fc =
-      add(std::make_unique<FullyConnected>(width, true, init), {parent});
-  return add(std::make_unique<Activation>(act), {fc});
+  // One fused layer (activation applied in the gemm epilogue) instead of a
+  // FullyConnected + Activation pair: elementwise-identical results, one
+  // fewer pass over the activations. Parameter order and the RNG draw
+  // sequence are unchanged (Activation::setup consumed no randomness).
+  return add(std::make_unique<FullyConnected>(width, true, init, act),
+             {parent});
 }
 
 LayerId Model::add_linear(LayerId parent, std::size_t width) {

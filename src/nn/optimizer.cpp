@@ -1,7 +1,12 @@
 #include "nn/optimizer.hpp"
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
+#include "telemetry/telemetry.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/simd.hpp"
 #include "util/compute_pool.hpp"
 #include "util/error.hpp"
 
@@ -12,8 +17,15 @@ namespace {
 // Update loops are pure elementwise kernels: run them on the process-wide
 // compute pool in fixed-size chunks (pool-size-invariant boundaries, so a
 // step is bit-identical at any LTFB_COMPUTE_THREADS). Matches the grain
-// used by tensor/ops.cpp.
+// used by tensor/ops.cpp; within a chunk a vector main loop (lanewise
+// IEEE-exact, so bit-identical to the scalar loop at every width) covers
+// the aligned span and a scalar tail the rest.
 constexpr std::size_t kGrain = 1u << 15;
+static_assert(kGrain % tensor::simd::kNativeWidth == 0,
+              "chunk starts must stay vector-aligned");
+
+using tensor::simd::vf;
+constexpr std::size_t kW = tensor::simd::kNativeWidth;
 
 }  // namespace
 
@@ -23,7 +35,13 @@ void Sgd::step(std::span<float> weights, std::span<const float> gradient) {
   util::ComputePool::instance().parallel_ranges(
       weights.size(), kGrain,
       [weights, gradient, lr](std::size_t b, std::size_t e) {
-        for (std::size_t i = b; i < e; ++i) {
+        const vf vlr = vf::broadcast(lr);
+        const std::size_t ve = b + tensor::simd::main_loop_bound(e - b);
+        for (std::size_t i = b; i < ve; i += kW) {
+          (vf::load(&weights[i]) - vlr * vf::load(&gradient[i]))
+              .store(&weights[i]);
+        }
+        for (std::size_t i = ve; i < e; ++i) {
           weights[i] -= lr * gradient[i];
         }
       });
@@ -42,7 +60,16 @@ void Momentum::step(std::span<float> weights,
       weights.size(), kGrain,
       [weights, gradient, velocity, lr, momentum](std::size_t b,
                                                   std::size_t e) {
-        for (std::size_t i = b; i < e; ++i) {
+        const vf vlr = vf::broadcast(lr);
+        const vf vmom = vf::broadcast(momentum);
+        const std::size_t ve = b + tensor::simd::main_loop_bound(e - b);
+        for (std::size_t i = b; i < ve; i += kW) {
+          const vf vel =
+              vmom * vf::load(velocity + i) - vlr * vf::load(&gradient[i]);
+          vel.store(velocity + i);
+          (vf::load(&weights[i]) + vel).store(&weights[i]);
+        }
+        for (std::size_t i = ve; i < e; ++i) {
           velocity[i] = momentum * velocity[i] - lr * gradient[i];
           weights[i] += velocity[i];
         }
@@ -71,7 +98,23 @@ void Adam::step(std::span<float> weights, std::span<const float> gradient) {
       weights.size(), kGrain,
       [weights, gradient, m, v, alpha, beta1, beta2,
        epsilon](std::size_t b, std::size_t e) {
-        for (std::size_t i = b; i < e; ++i) {
+        const vf vb1 = vf::broadcast(beta1);
+        const vf vomb1 = vf::broadcast(1.0f - beta1);
+        const vf vb2 = vf::broadcast(beta2);
+        const vf vomb2 = vf::broadcast(1.0f - beta2);
+        const vf valpha = vf::broadcast(alpha);
+        const vf veps = vf::broadcast(epsilon);
+        const std::size_t ve = b + tensor::simd::main_loop_bound(e - b);
+        for (std::size_t i = b; i < ve; i += kW) {
+          const vf g = vf::load(&gradient[i]);
+          const vf mi = vb1 * vf::load(m + i) + vomb1 * g;
+          const vf vi = vb2 * vf::load(v + i) + vomb2 * g * g;
+          mi.store(m + i);
+          vi.store(v + i);
+          (vf::load(&weights[i]) - valpha * mi / (vi.sqrt() + veps))
+              .store(&weights[i]);
+        }
+        for (std::size_t i = ve; i < e; ++i) {
           const float g = gradient[i];
           m[i] = beta1 * m[i] + (1.0f - beta1) * g;
           v[i] = beta2 * v[i] + (1.0f - beta2) * g * g;
@@ -126,6 +169,81 @@ OptimizerFactory make_momentum_factory(float lr, float momentum) {
 OptimizerFactory make_adam_factory(float lr, float beta1, float beta2,
                                    float epsilon) {
   return [=] { return std::make_unique<Adam>(lr, beta1, beta2, epsilon); };
+}
+
+// ---- dynamic loss scaling --------------------------------------------------
+
+LossScaleController::LossScaleController(const Config& config)
+    : config_(config), scale_(config.initial_scale) {
+  LTFB_CHECK_MSG(config.initial_scale >= config.min_scale &&
+                     config.initial_scale <= config.max_scale,
+                 "loss scale " << config.initial_scale << " outside ["
+                               << config.min_scale << ", "
+                               << config.max_scale << "]");
+  LTFB_CHECK(config.growth_factor > 1.0f);
+  LTFB_CHECK(config.backoff_factor > 0.0f && config.backoff_factor < 1.0f);
+  LTFB_CHECK(config.growth_interval > 0);
+}
+
+void LossScaleController::begin_step() { overflow_ = false; }
+
+void LossScaleController::observe(std::span<const float> gradient) {
+  if (!overflow_ && !tensor::all_finite(gradient)) overflow_ = true;
+}
+
+void LossScaleController::end_step() {
+  if (overflow_) {
+    ++skipped_;
+    good_steps_ = 0;
+    scale_ = std::max(config_.min_scale, scale_ * config_.backoff_factor);
+    LTFB_COUNTER_ADD("nn/loss_scale_skips", 1);
+  } else if (++good_steps_ >= config_.growth_interval) {
+    good_steps_ = 0;
+    const float grown = scale_ * config_.growth_factor;
+    if (grown <= config_.max_scale) {
+      scale_ = grown;
+      ++growths_;
+    }
+  }
+  overflow_ = false;
+  LTFB_GAUGE_SET("nn/loss_scale", static_cast<double>(scale_));
+}
+
+LossScalingOptimizer::LossScalingOptimizer(
+    std::unique_ptr<Optimizer> inner,
+    std::shared_ptr<LossScaleController> controller)
+    : inner_(std::move(inner)), controller_(std::move(controller)) {
+  LTFB_CHECK(inner_ != nullptr && controller_ != nullptr);
+}
+
+void LossScalingOptimizer::step(std::span<float> weights,
+                                std::span<const float> gradient) {
+  if (controller_->should_skip()) return;  // overflow: whole group sits out
+  // Unscale into a scratch copy; the scale is a power of two, so the
+  // division is exact and the inner optimizer sees the true gradient.
+  unscaled_.assign(gradient.begin(), gradient.end());
+  tensor::scale(1.0f / controller_->scale(),
+                std::span<float>(unscaled_.data(), unscaled_.size()));
+  inner_->step(weights,
+               std::span<const float>(unscaled_.data(), unscaled_.size()));
+}
+
+std::unique_ptr<Optimizer> LossScalingOptimizer::clone_fresh() const {
+  return std::make_unique<LossScalingOptimizer>(inner_->clone_fresh(),
+                                                controller_);
+}
+
+OptimizerFactory make_loss_scaling_factory(
+    OptimizerFactory inner, std::shared_ptr<LossScaleController> controller) {
+  LTFB_CHECK(inner != nullptr && controller != nullptr);
+  return [inner = std::move(inner), controller = std::move(controller)] {
+    return std::make_unique<LossScalingOptimizer>(inner(), controller);
+  };
+}
+
+bool mixed_precision_from_env() {
+  const char* value = std::getenv("LTFB_MIXED_PRECISION");
+  return value != nullptr && *value != '\0' && std::strcmp(value, "0") != 0;
 }
 
 }  // namespace ltfb::nn

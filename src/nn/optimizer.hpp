@@ -110,11 +110,99 @@ class Adam final : public Optimizer {
   long t_ = 0;
 };
 
+/// Dynamic loss-scale state shared by every LossScalingOptimizer of one
+/// trainer. Mixed-precision training multiplies the loss gradient by a
+/// large power-of-two scale S so small gradients survive reduced-precision
+/// storage/transport; the controller watches the scaled gradients for
+/// overflow and adapts S:
+///
+///   begin_step(); observe(g) for every gradient in the step group;
+///   then run the optimizer steps (each LossScalingOptimizer consults
+///   should_skip()); end_step();
+///
+/// On any non-finite gradient the WHOLE group is skipped (no weights in
+/// the group move — never a partial update) and S backs off; after
+/// growth_interval consecutive good steps S doubles, up to max_scale.
+/// Scales are powers of two, so scaling and unscaling are exact in fp32.
+class LossScaleController {
+ public:
+  struct Config {
+    float initial_scale = 65536.0f;  // 2^16
+    float growth_factor = 2.0f;
+    float backoff_factor = 0.5f;
+    long growth_interval = 200;
+    float min_scale = 1.0f;
+    float max_scale = 16777216.0f;  // 2^24
+  };
+
+  LossScaleController() : LossScaleController(Config{}) {}
+  explicit LossScaleController(const Config& config);
+
+  float scale() const noexcept { return scale_; }
+
+  /// Opens a step group: clears the group's overflow flag.
+  void begin_step();
+  /// Scans a (scaled) gradient; any non-finite value marks the group for
+  /// skipping.
+  void observe(std::span<const float> gradient);
+  bool should_skip() const noexcept { return overflow_; }
+  /// Closes the group: backs the scale off on overflow, grows it after
+  /// growth_interval consecutive good steps.
+  void end_step();
+
+  long skipped_steps() const noexcept { return skipped_; }
+  long growth_events() const noexcept { return growths_; }
+
+ private:
+  Config config_;
+  float scale_;
+  bool overflow_ = false;
+  long good_steps_ = 0;
+  long skipped_ = 0;
+  long growths_ = 0;
+};
+
+/// Decorator that makes any optimizer loss-scale-aware: divides the scaled
+/// gradient back down by the controller's current scale before delegating,
+/// and skips the step entirely (weights AND inner optimizer state
+/// untouched) when the controller flagged the group. State serialization
+/// passes through to the inner optimizer, so checkpoints are
+/// layout-compatible with unscaled training.
+class LossScalingOptimizer final : public Optimizer {
+ public:
+  LossScalingOptimizer(std::unique_ptr<Optimizer> inner,
+                       std::shared_ptr<LossScaleController> controller);
+  void step(std::span<float> weights, std::span<const float> gradient) override;
+  std::string name() const override { return "loss_scaled_" + inner_->name(); }
+  float learning_rate() const override { return inner_->learning_rate(); }
+  void set_learning_rate(float lr) override { inner_->set_learning_rate(lr); }
+  std::unique_ptr<Optimizer> clone_fresh() const override;
+  std::vector<float> serialize_state() const override {
+    return inner_->serialize_state();
+  }
+  void deserialize_state(std::span<const float> state) override {
+    inner_->deserialize_state(state);
+  }
+
+ private:
+  std::unique_ptr<Optimizer> inner_;
+  std::shared_ptr<LossScaleController> controller_;
+  std::vector<float> unscaled_;
+};
+
 /// Factory helpers.
 OptimizerFactory make_sgd_factory(float lr);
 OptimizerFactory make_momentum_factory(float lr, float momentum);
 OptimizerFactory make_adam_factory(float lr, float beta1 = 0.9f,
                                    float beta2 = 0.999f,
                                    float epsilon = 1e-8f);
+/// Wraps every optimizer the inner factory produces in a
+/// LossScalingOptimizer sharing `controller`.
+OptimizerFactory make_loss_scaling_factory(
+    OptimizerFactory inner, std::shared_ptr<LossScaleController> controller);
+
+/// True when LTFB_MIXED_PRECISION is set to anything but "" or "0": the
+/// process-wide default for the reduced-precision train + comm path.
+bool mixed_precision_from_env();
 
 }  // namespace ltfb::nn

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "nn/optimizer.hpp"
 #include "telemetry/telemetry.hpp"
 #include "tensor/ops.hpp"
 #include "util/error.hpp"
@@ -86,9 +87,23 @@ bool weights_in_sync(Model& model, comm::Communicator& comm) {
   return max_copy == min_copy;
 }
 
+const char* to_string(WireDtype dtype) noexcept {
+  switch (dtype) {
+    case WireDtype::Fp32: return "fp32";
+    case WireDtype::Bf16: return "bf16";
+    case WireDtype::Fp16: return "fp16";
+  }
+  return "?";
+}
+
 GradientBucketer::GradientBucketer(comm::Communicator& comm,
                                    std::size_t bucket_bytes)
-    : comm_(comm) {
+    : GradientBucketer(comm, bucket_bytes, wire_dtype_from_env()) {}
+
+GradientBucketer::GradientBucketer(comm::Communicator& comm,
+                                   std::size_t bucket_bytes,
+                                   WireDtype wire_dtype)
+    : comm_(comm), wire_dtype_(wire_dtype) {
   if (bucket_bytes == 0) bucket_bytes = bucket_bytes_from_env();
   LTFB_CHECK_MSG(bucket_bytes >= sizeof(float),
                  "bucket size " << bucket_bytes << " B below one float");
@@ -104,6 +119,19 @@ std::size_t GradientBucketer::bucket_bytes_from_env() {
                  "LTFB_ALLREDUCE_BUCKET_BYTES='"
                      << raw << "' is not a byte count >= " << sizeof(float));
   return static_cast<std::size_t>(parsed);
+}
+
+WireDtype GradientBucketer::wire_dtype_from_env() {
+  const char* raw = std::getenv("LTFB_ALLREDUCE_DTYPE");
+  if (raw == nullptr || *raw == '\0') {
+    return mixed_precision_from_env() ? WireDtype::Bf16 : WireDtype::Fp32;
+  }
+  if (std::strcmp(raw, "fp32") == 0) return WireDtype::Fp32;
+  if (std::strcmp(raw, "bf16") == 0) return WireDtype::Bf16;
+  if (std::strcmp(raw, "fp16") == 0) return WireDtype::Fp16;
+  LTFB_CHECK_MSG(false, "LTFB_ALLREDUCE_DTYPE='"
+                            << raw << "' is not one of fp32|bf16|fp16");
+  return WireDtype::Fp32;
 }
 
 void GradientBucketer::on_layer_backward(Weights& w) {
@@ -162,15 +190,59 @@ void GradientBucketer::send_for_step(Bucket& bucket, int step) {
                         : ring_chunk(rank + 1 - (step - (ranks - 1)), ranks);
   const std::size_t begin = bucket.offsets[static_cast<std::size_t>(chunk)];
   const std::size_t end = bucket.offsets[static_cast<std::size_t>(chunk) + 1];
-  comm_.send(right, bucket.tag,
-             std::span<const float>(bucket.data.data() + begin, end - begin));
+  const std::size_t count = end - begin;
+  if (wire_dtype_ == WireDtype::Fp32) {
+    comm_.send(right, bucket.tag,
+               std::span<const float>(bucket.data.data() + begin, count));
+    wire_bytes_ += count * sizeof(float);
+    LTFB_COUNTER_ADD("nn/allreduce_wire_bytes", count * sizeof(float));
+    return;
+  }
+  const tensor::HalfKind kind = wire_dtype_ == WireDtype::Fp16
+                                    ? tensor::HalfKind::Fp16
+                                    : tensor::HalfKind::Bf16;
+  if (step == ranks - 1) {
+    // First all-gather send: this rank owns the fully-reduced chunk, which
+    // every peer will only ever see through the half encoding. Quantize the
+    // owner's own copy in place so all ranks converge on the identical
+    // half-representable values (later forwards then re-encode losslessly).
+    float* mine = bucket.data.data() + begin;
+    for (std::size_t i = 0; i < count; ++i) {
+      mine[i] = tensor::quantize(mine[i], kind);
+    }
+  }
+  half_scratch_.resize(count);
+  tensor::encode_half(
+      std::span<const float>(bucket.data.data() + begin, count),
+      std::span<std::uint16_t>(half_scratch_.data(), count), kind);
+  comm::Buffer payload(count * sizeof(std::uint16_t));
+  std::memcpy(payload.data(), half_scratch_.data(), payload.size());
+  comm_.send(right, bucket.tag, payload);
+  wire_bytes_ += payload.size();
+  LTFB_COUNTER_ADD("nn/allreduce_wire_bytes", payload.size());
 }
 
 bool GradientBucketer::apply_completed_step(Bucket& bucket) {
   const int ranks = comm_.size();
   const int rank = comm_.rank();
   const comm::Buffer payload = comm_.take_payload(bucket.pending);
-  const std::vector<float> incoming = comm::Deserializer::unpack_floats(payload);
+  std::vector<float> incoming;
+  if (wire_dtype_ == WireDtype::Fp32) {
+    incoming = comm::Deserializer::unpack_floats(payload);
+  } else {
+    LTFB_CHECK_MSG(payload.size() % sizeof(std::uint16_t) == 0,
+                   "half-precision bucket payload of " << payload.size()
+                                                       << " bytes is odd");
+    const std::size_t count = payload.size() / sizeof(std::uint16_t);
+    half_scratch_.resize(count);
+    std::memcpy(half_scratch_.data(), payload.data(), payload.size());
+    incoming.resize(count);
+    tensor::decode_half(
+        std::span<const std::uint16_t>(half_scratch_.data(), count),
+        std::span<float>(incoming.data(), count),
+        wire_dtype_ == WireDtype::Fp16 ? tensor::HalfKind::Fp16
+                                       : tensor::HalfKind::Bf16);
+  }
   const int step = bucket.step;
   const bool reduce_phase = step < ranks - 1;
   const int chunk =

@@ -23,8 +23,18 @@
 
 #include "comm/communicator.hpp"
 #include "nn/model.hpp"
+#include "tensor/half.hpp"
 
 namespace ltfb::nn {
+
+/// On-the-wire encoding for bucketed gradient all-reduce payloads. The
+/// bucket itself always accumulates in fp32 (ring reduction adds decoded
+/// fp32 values); reduced-precision dtypes only halve what each hop ships.
+/// Bf16 is the gradient-friendly choice: fp32's full exponent range, so no
+/// loss-scale interplay with overflow on the wire.
+enum class WireDtype { Fp32, Bf16, Fp16 };
+
+const char* to_string(WireDtype dtype) noexcept;
 
 /// Averages `model`'s accumulated gradients across all ranks of `comm`.
 /// Every rank must call this with a structurally identical model.
@@ -65,15 +75,23 @@ class GradientBucketer {
  public:
   /// `bucket_bytes` caps a bucket's payload; 0 selects
   /// bucket_bytes_from_env(). A single weights tensor larger than the cap
-  /// gets its own oversized bucket (tensors are never split).
+  /// gets its own oversized bucket (tensors are never split). Every rank
+  /// must construct with the same wire dtype (enforced indirectly: a
+  /// mismatch trips the payload-size check on the first exchange).
   explicit GradientBucketer(comm::Communicator& comm,
                             std::size_t bucket_bytes = 0);
+  GradientBucketer(comm::Communicator& comm, std::size_t bucket_bytes,
+                   WireDtype wire_dtype);
 
   GradientBucketer(const GradientBucketer&) = delete;
   GradientBucketer& operator=(const GradientBucketer&) = delete;
 
   /// LTFB_ALLREDUCE_BUCKET_BYTES, default 1 MiB.
   static std::size_t bucket_bytes_from_env();
+
+  /// LTFB_ALLREDUCE_DTYPE (fp32|bf16|fp16) when set; otherwise bf16 under
+  /// LTFB_MIXED_PRECISION=1 and fp32 elsewhere.
+  static WireDtype wire_dtype_from_env();
 
   /// Backward-hook entry: packs `w`'s gradient, launches the bucket once
   /// full, and pumps completion of earlier in-flight buckets.
@@ -95,7 +113,12 @@ class GradientBucketer {
 
   std::size_t bucket_capacity_floats() const noexcept { return cap_floats_; }
   std::uint64_t buckets_completed() const noexcept { return buckets_done_; }
+  /// Logical bytes reduced (gradient floats * 4), independent of encoding.
   std::uint64_t bytes_reduced() const noexcept { return bytes_reduced_; }
+  /// Payload bytes this rank actually put on the wire — what the wire
+  /// dtype halves. The fig09 mixed-precision ablation gates on this.
+  std::uint64_t wire_bytes_sent() const noexcept { return wire_bytes_; }
+  WireDtype wire_dtype() const noexcept { return wire_dtype_; }
 
  private:
   struct Entry {
@@ -122,6 +145,8 @@ class GradientBucketer {
 
   comm::Communicator& comm_;
   std::size_t cap_floats_;
+  WireDtype wire_dtype_;
+  std::vector<std::uint16_t> half_scratch_;  // encode/decode staging
   Bucket open_;                    // accumulating, not yet launched
   std::vector<Bucket> in_flight_;  // launched, racing backward compute
   std::size_t packed_floats_ = 0;  // since last finish (coverage check)
@@ -129,6 +154,7 @@ class GradientBucketer {
 
   std::uint64_t buckets_done_ = 0;
   std::uint64_t bytes_reduced_ = 0;
+  std::uint64_t wire_bytes_ = 0;
   std::uint64_t comm_window_ns_ = 0;  // Σ launch→done per bucket
   std::uint64_t blocked_ns_ = 0;      // time spent waiting inside finish
 };

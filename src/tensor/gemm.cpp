@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdint>
 
 #include "tensor/ops.hpp"
+#include "tensor/simd.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/compute_pool.hpp"
 
@@ -100,50 +102,130 @@ constexpr std::size_t kParallelMnkThreshold = 1u << 18;
 alignas(64) thread_local std::array<float, kBlockM * kBlockK> tl_abuf;
 alignas(64) thread_local std::array<float, kBlockK * kBlockN> tl_bbuf;
 
-// Full 4x16 register tile with fixed trip counts on both accumulator
-// dimensions; `a` is the tile's rows in the packed A block (row stride kb),
-// `b` its columns in the packed B block (row stride nb).
+// Register-tile vector geometry: kNr columns hold kNv native vectors.
+constexpr std::size_t kW = simd::kNativeWidth;
+static_assert(kNr % kW == 0,
+              "register tile width must be a multiple of the vector width");
+constexpr std::size_t kNv = kNr / kW;
+
+// Full 4x16 register tile: kNv vector accumulators per A row, updated with
+// a broadcast-A multiply-add against the packed B row. At width 1 this
+// expands to exactly the scalar accumulation loop the pre-SIMD kernel ran
+// (same expression, same per-element order), which is the bit-identity
+// anchor the scalar build is held to.
 void micro_kernel_full(const float* LTFB_GEMM_RESTRICT a,
                        const float* LTFB_GEMM_RESTRICT b, std::size_t kb,
                        std::size_t nb, float* LTFB_GEMM_RESTRICT c,
                        std::size_t ldc) {
-  float acc[kMr][kNr] = {};
+  using simd::vf;
+  vf acc[kMr][kNv] = {};
   for (std::size_t kk = 0; kk < kb; ++kk) {
     const float* LTFB_GEMM_RESTRICT brow = b + kk * nb;
+    vf bv[kNv];
+    for (std::size_t col = 0; col < kNv; ++col) {
+      bv[col] = vf::load(brow + col * kW);
+    }
     for (std::size_t r = 0; r < kMr; ++r) {
-      const float av = a[r * kb + kk];
-      for (std::size_t col = 0; col < kNr; ++col) {
-        acc[r][col] += av * brow[col];
+      const vf av = vf::broadcast(a[r * kb + kk]);
+      for (std::size_t col = 0; col < kNv; ++col) {
+        acc[r][col] = acc[r][col].mul_add(av, bv[col]);
       }
     }
   }
   for (std::size_t r = 0; r < kMr; ++r) {
-    for (std::size_t col = 0; col < kNr; ++col) {
-      c[r * ldc + col] += acc[r][col];
+    for (std::size_t col = 0; col < kNv; ++col) {
+      float* ct = c + r * ldc + col * kW;
+      (vf::load(ct) + acc[r][col]).store(ct);
     }
   }
 }
 
-// Edge tile (mr <= kMr rows, nr <= kNr cols) — same accumulation order per
-// element as the full kernel, so every C element sums its k terms
-// identically no matter which tile shape covers it.
+// Edge tile (mr <= kMr rows, nr <= kNr cols): full vectors over the leading
+// nr/kW column groups, scalar accumulators for the remainder lanes. Same
+// accumulation order per element as the full kernel, so every C element
+// sums its k terms identically no matter which tile shape covers it.
 void micro_kernel_edge(const float* LTFB_GEMM_RESTRICT a,
                        const float* LTFB_GEMM_RESTRICT b, std::size_t kb,
                        std::size_t nb, std::size_t mr, std::size_t nr,
                        float* LTFB_GEMM_RESTRICT c, std::size_t ldc) {
-  float acc[kMr][kNr] = {};
+  using simd::vf;
+  vf vacc[kMr][kNv] = {};
+  float sacc[kMr][kNr] = {};
+  const std::size_t nv = nr / kW;
+  const std::size_t ns = nr % kW;
   for (std::size_t kk = 0; kk < kb; ++kk) {
     const float* LTFB_GEMM_RESTRICT brow = b + kk * nb;
     for (std::size_t r = 0; r < mr; ++r) {
-      const float av = a[r * kb + kk];
-      for (std::size_t col = 0; col < nr; ++col) {
-        acc[r][col] += av * brow[col];
+      const float as = a[r * kb + kk];
+      const vf av = vf::broadcast(as);
+      for (std::size_t col = 0; col < nv; ++col) {
+        vacc[r][col] = vacc[r][col].mul_add(av, vf::load(brow + col * kW));
+      }
+      for (std::size_t s = 0; s < ns; ++s) {
+        sacc[r][s] += as * brow[nv * kW + s];
       }
     }
   }
   for (std::size_t r = 0; r < mr; ++r) {
-    for (std::size_t col = 0; col < nr; ++col) {
-      c[r * ldc + col] += acc[r][col];
+    for (std::size_t col = 0; col < nv; ++col) {
+      float* ct = c + r * ldc + col * kW;
+      (vf::load(ct) + vacc[r][col]).store(ct);
+    }
+    for (std::size_t s = 0; s < ns; ++s) {
+      c[r * ldc + nv * kW + s] += sacc[r][s];
+    }
+  }
+}
+
+// Applies the fused epilogue to C's (i0..i0+mb) x (j0..j0+nb) block:
+// C(i,j) = act(C(i,j) + bias[j]). Purely elementwise, so it preserves the
+// kernel's bit-identity contract at any pool size. Relu/LeakyRelu run on
+// the vector path with the exact scalar predicate (x > 0 select, not max);
+// sigmoid/tanh stay scalar — libm transcendentals, same as the activation
+// layers.
+void apply_epilogue(float* LTFB_GEMM_RESTRICT cp, std::size_t ldc,
+                    std::size_t i0, std::size_t mb, std::size_t j0,
+                    std::size_t nb, const Epilogue& ep) {
+  using simd::vf;
+  for (std::size_t i = 0; i < mb; ++i) {
+    float* LTFB_GEMM_RESTRICT row = cp + (i0 + i) * ldc + j0;
+    const float* LTFB_GEMM_RESTRICT bias = ep.bias ? ep.bias + j0 : nullptr;
+    switch (ep.act) {
+      case EpilogueAct::Sigmoid:
+        for (std::size_t j = 0; j < nb; ++j) {
+          const float x = bias ? row[j] + bias[j] : row[j];
+          row[j] = 1.0f / (1.0f + std::exp(-x));
+        }
+        break;
+      case EpilogueAct::Tanh:
+        for (std::size_t j = 0; j < nb; ++j) {
+          const float x = bias ? row[j] + bias[j] : row[j];
+          row[j] = std::tanh(x);
+        }
+        break;
+      default: {
+        const std::size_t vb = simd::main_loop_bound(nb);
+        const vf slope = vf::broadcast(ep.leaky_slope);
+        for (std::size_t j = 0; j < vb; j += kW) {
+          vf x = vf::load(row + j);
+          if (bias) x += vf::load(bias + j);
+          if (ep.act == EpilogueAct::Relu) {
+            x = vf::select_gt_zero(x, x, vf::zero());
+          } else if (ep.act == EpilogueAct::LeakyRelu) {
+            x = vf::select_gt_zero(x, x, x * slope);
+          }
+          x.store(row + j);
+        }
+        for (std::size_t j = vb; j < nb; ++j) {
+          float x = bias ? row[j] + bias[j] : row[j];
+          if (ep.act == EpilogueAct::Relu) {
+            x = x > 0.0f ? x : 0.0f;
+          } else if (ep.act == EpilogueAct::LeakyRelu) {
+            x = x > 0.0f ? x : ep.leaky_slope * x;
+          }
+          row[j] = x;
+        }
+      }
     }
   }
 }
@@ -152,6 +234,11 @@ void micro_kernel_edge(const float* LTFB_GEMM_RESTRICT a,
 
 void gemm(Op op_a, Op op_b, float alpha, const Tensor& a, const Tensor& b,
           float beta, Tensor& c) {
+  gemm(op_a, op_b, alpha, a, b, beta, c, Epilogue{});
+}
+
+void gemm(Op op_a, Op op_b, float alpha, const Tensor& a, const Tensor& b,
+          float beta, Tensor& c, const Epilogue& epilogue) {
   const auto [m, n, k] = check_dims(op_a, op_b, a, b, c);
 
   const bool timed = telemetry::enabled();
@@ -165,7 +252,14 @@ void gemm(Op op_a, Op op_b, float alpha, const Tensor& a, const Tensor& b,
   } else if (beta != 1.0f) {
     scale(beta, std::span<float>(cp, m * n));
   }
-  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) {
+    // The multiply degenerates but the contract is gemm-then-epilogue:
+    // the epilogue still transforms the beta-scaled C.
+    if (!epilogue.empty() && m > 0 && n > 0) {
+      apply_epilogue(cp, n, 0, m, 0, n, epilogue);
+    }
+    return;
+  }
 
   const std::size_t i_blocks = (m + kBlockM - 1) / kBlockM;
   const std::size_t j_blocks = (n + kBlockN - 1) / kBlockN;
@@ -198,6 +292,12 @@ void gemm(Op op_a, Op op_b, float alpha, const Tensor& a, const Tensor& b,
           }
         }
       }
+    }
+    // Fused epilogue: the macro-block's rows are still hot in cache here,
+    // so bias + activation cost one read-modify-write instead of the extra
+    // full passes separate layers would make.
+    if (!epilogue.empty()) {
+      apply_epilogue(cp, n, i0, mb, j0, nb, epilogue);
     }
   };
 

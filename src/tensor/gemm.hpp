@@ -13,10 +13,34 @@ namespace ltfb::tensor {
 
 enum class Op { None, Transpose };
 
+/// Activation applied by a fused gemm epilogue. Mirrors the activations the
+/// nn layer zoo supports; lives at the tensor level so tensor never depends
+/// on nn.
+enum class EpilogueAct { None, Relu, LeakyRelu, Sigmoid, Tanh };
+
+/// Post-gemm transform applied to each C macro-block while it is still hot
+/// in cache: C(i,j) = act(C(i,j) + bias[j]). Saves the extra full passes
+/// over activations that a separate bias-add + activation layer would make.
+struct Epilogue {
+  /// Per-column bias (length n, bias[j] added to every row); null = none.
+  const float* bias = nullptr;
+  EpilogueAct act = EpilogueAct::None;
+  float leaky_slope = 0.01f;
+
+  bool empty() const { return bias == nullptr && act == EpilogueAct::None; }
+};
+
 /// General matrix multiply on rank-2 tensors.
 /// Shapes: op(A) is m x k, op(B) is k x n, C is m x n.
 void gemm(Op op_a, Op op_b, float alpha, const Tensor& a, const Tensor& b,
           float beta, Tensor& c);
+
+/// gemm with a fused epilogue: C = act(alpha*op(A)*op(B) + beta*C + bias).
+/// The epilogue runs per macro-block on the still-hot C tile; it is applied
+/// even when the multiply itself degenerates (alpha == 0 or k == 0), so the
+/// result is always exactly gemm-then-epilogue.
+void gemm(Op op_a, Op op_b, float alpha, const Tensor& a, const Tensor& b,
+          float beta, Tensor& c, const Epilogue& epilogue);
 
 /// Convenience: C = A * B (both untransposed), overwriting C.
 void matmul(const Tensor& a, const Tensor& b, Tensor& c);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "tensor/simd.hpp"
 #include "util/compute_pool.hpp"
 
 namespace ltfb::tensor {
@@ -16,26 +17,45 @@ namespace {
 // fixed order (bit-identical at pool sizes 1, 3, 8, ...). Below one grain
 // the kernels run inline — small tensors never pay dispatch overhead.
 constexpr std::size_t kGrain = 1u << 15;
+static_assert(kGrain % simd::kNativeWidth == 0,
+              "chunk starts must stay vector-aligned");
+
+using simd::vf;
+constexpr std::size_t kW = simd::kNativeWidth;
 
 util::ComputePool& pool() { return util::ComputePool::instance(); }
+
+// The elementwise kernels below run a vector main loop plus a scalar tail.
+// Every lane op is the IEEE-exact per-element operation, so the vectorized
+// results are bit-identical to the scalar loops at every width — only
+// kernels that combine values ACROSS lanes (gemm accumulation) differ per
+// width, and the reductions further down stay scalar for that reason.
 
 }  // namespace
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {
   LTFB_CHECK(x.size() == y.size());
-  pool().parallel_ranges(x.size(), kGrain,
-                         [alpha, x, y](std::size_t b, std::size_t e) {
-                           for (std::size_t i = b; i < e; ++i) {
-                             y[i] += alpha * x[i];
-                           }
-                         });
+  pool().parallel_ranges(
+      x.size(), kGrain, [alpha, x, y](std::size_t b, std::size_t e) {
+        const vf va = vf::broadcast(alpha);
+        const std::size_t ve = b + simd::main_loop_bound(e - b);
+        for (std::size_t i = b; i < ve; i += kW) {
+          vf::load(&y[i]).mul_add(va, vf::load(&x[i])).store(&y[i]);
+        }
+        for (std::size_t i = ve; i < e; ++i) y[i] += alpha * x[i];
+      });
 }
 
 void scale(float alpha, std::span<float> x) {
-  pool().parallel_ranges(x.size(), kGrain,
-                         [alpha, x](std::size_t b, std::size_t e) {
-                           for (std::size_t i = b; i < e; ++i) x[i] *= alpha;
-                         });
+  pool().parallel_ranges(
+      x.size(), kGrain, [alpha, x](std::size_t b, std::size_t e) {
+        const vf va = vf::broadcast(alpha);
+        const std::size_t ve = b + simd::main_loop_bound(e - b);
+        for (std::size_t i = b; i < ve; i += kW) {
+          (vf::load(&x[i]) * va).store(&x[i]);
+        }
+        for (std::size_t i = ve; i < e; ++i) x[i] *= alpha;
+      });
 }
 
 void add(const Tensor& a, const Tensor& b, Tensor& out) {
@@ -44,12 +64,14 @@ void add(const Tensor& a, const Tensor& b, Tensor& out) {
   const auto* ap = a.raw();
   const auto* bp = b.raw();
   auto* op = out.raw();
-  pool().parallel_ranges(a.size(), kGrain,
-                         [ap, bp, op](std::size_t lo, std::size_t hi) {
-                           for (std::size_t i = lo; i < hi; ++i) {
-                             op[i] = ap[i] + bp[i];
-                           }
-                         });
+  pool().parallel_ranges(
+      a.size(), kGrain, [ap, bp, op](std::size_t lo, std::size_t hi) {
+        const std::size_t ve = lo + simd::main_loop_bound(hi - lo);
+        for (std::size_t i = lo; i < ve; i += kW) {
+          (vf::load(ap + i) + vf::load(bp + i)).store(op + i);
+        }
+        for (std::size_t i = ve; i < hi; ++i) op[i] = ap[i] + bp[i];
+      });
 }
 
 void sub(const Tensor& a, const Tensor& b, Tensor& out) {
@@ -58,12 +80,14 @@ void sub(const Tensor& a, const Tensor& b, Tensor& out) {
   const auto* ap = a.raw();
   const auto* bp = b.raw();
   auto* op = out.raw();
-  pool().parallel_ranges(a.size(), kGrain,
-                         [ap, bp, op](std::size_t lo, std::size_t hi) {
-                           for (std::size_t i = lo; i < hi; ++i) {
-                             op[i] = ap[i] - bp[i];
-                           }
-                         });
+  pool().parallel_ranges(
+      a.size(), kGrain, [ap, bp, op](std::size_t lo, std::size_t hi) {
+        const std::size_t ve = lo + simd::main_loop_bound(hi - lo);
+        for (std::size_t i = lo; i < ve; i += kW) {
+          (vf::load(ap + i) - vf::load(bp + i)).store(op + i);
+        }
+        for (std::size_t i = ve; i < hi; ++i) op[i] = ap[i] - bp[i];
+      });
 }
 
 void hadamard(const Tensor& a, const Tensor& b, Tensor& out) {
@@ -72,12 +96,14 @@ void hadamard(const Tensor& a, const Tensor& b, Tensor& out) {
   const auto* ap = a.raw();
   const auto* bp = b.raw();
   auto* op = out.raw();
-  pool().parallel_ranges(a.size(), kGrain,
-                         [ap, bp, op](std::size_t lo, std::size_t hi) {
-                           for (std::size_t i = lo; i < hi; ++i) {
-                             op[i] = ap[i] * bp[i];
-                           }
-                         });
+  pool().parallel_ranges(
+      a.size(), kGrain, [ap, bp, op](std::size_t lo, std::size_t hi) {
+        const std::size_t ve = lo + simd::main_loop_bound(hi - lo);
+        for (std::size_t i = lo; i < ve; i += kW) {
+          (vf::load(ap + i) * vf::load(bp + i)).store(op + i);
+        }
+        for (std::size_t i = ve; i < hi; ++i) op[i] = ap[i] * bp[i];
+      });
 }
 
 void add_row_bias(std::span<const float> bias, Tensor& matrix) {
@@ -91,9 +117,13 @@ void add_row_bias(std::span<const float> bias, Tensor& matrix) {
   pool().parallel_ranges(
       matrix.rows(), rows_per,
       [bias, cols, data](std::size_t r0, std::size_t r1) {
+        const std::size_t ve = simd::main_loop_bound(cols);
         for (std::size_t r = r0; r < r1; ++r) {
           float* row = data + r * cols;
-          for (std::size_t c = 0; c < cols; ++c) row[c] += bias[c];
+          for (std::size_t c = 0; c < ve; c += kW) {
+            (vf::load(row + c) + vf::load(&bias[c])).store(row + c);
+          }
+          for (std::size_t c = ve; c < cols; ++c) row[c] += bias[c];
         }
       });
 }
@@ -180,12 +210,16 @@ float max_abs(std::span<const float> x) {
 
 void clamp(std::span<float> x, float lo, float hi) {
   LTFB_CHECK(lo <= hi);
-  pool().parallel_ranges(x.size(), kGrain,
-                         [x, lo, hi](std::size_t b, std::size_t e) {
-                           for (std::size_t i = b; i < e; ++i) {
-                             x[i] = std::clamp(x[i], lo, hi);
-                           }
-                         });
+  pool().parallel_ranges(
+      x.size(), kGrain, [x, lo, hi](std::size_t b, std::size_t e) {
+        const vf vlo = vf::broadcast(lo);
+        const vf vhi = vf::broadcast(hi);
+        const std::size_t ve = b + simd::main_loop_bound(e - b);
+        for (std::size_t i = b; i < ve; i += kW) {
+          vf::clamp(vf::load(&x[i]), vlo, vhi).store(&x[i]);
+        }
+        for (std::size_t i = ve; i < e; ++i) x[i] = std::clamp(x[i], lo, hi);
+      });
 }
 
 bool all_finite(std::span<const float> x) {

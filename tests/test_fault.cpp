@@ -26,6 +26,7 @@
 #include "datastore/data_store.hpp"
 #include "nn/model.hpp"
 #include "nn/parallel.hpp"
+#include "tensor/half.hpp"
 
 namespace {
 
@@ -670,18 +671,71 @@ TEST(PopulationCheckpointFormat, MemoryEncodeDecodeRoundTrips) {
   expect_identical_history(loaded.history, saved.history);
 }
 
-// Forward compatibility: a writer newer than this reader (version 4, which
+// Reduced-precision image (v4): weight arrays quantized to bf16/fp16,
+// optimizer state always exact fp32 (Adam moments need the range, and the
+// float-encoded length prefixes must survive exactly).
+TEST(PopulationCheckpointFormat, ReducedPrecisionV4RoundTrips) {
+  const PopulationCheckpoint saved = synthetic_checkpoint();
+  for (const auto dtype : {nn::WeightsDtype::Bf16, nn::WeightsDtype::Fp16}) {
+    const auto kind = nn::half_kind(dtype);
+    const std::vector<std::uint8_t> bytes =
+        encode_population_checkpoint(saved, dtype);
+    EXPECT_EQ(bytes[8], 4u);  // version byte: reduced-precision revision
+    const PopulationCheckpoint loaded =
+        decode_population_checkpoint(bytes.data(), bytes.size(), "<v4>");
+    EXPECT_EQ(loaded.round, saved.round);
+    EXPECT_EQ(loaded.pairing_seed, saved.pairing_seed);
+    ASSERT_EQ(loaded.trainers.size(), 1u);
+    const GanTrainerState& got = loaded.trainers[0].trainer;
+    const GanTrainerState& want = saved.trainers[0].trainer;
+    EXPECT_EQ(got.learning_rate, want.learning_rate);
+    EXPECT_EQ(got.steps, want.steps);
+    ASSERT_EQ(got.generator.size(), want.generator.size());
+    for (std::size_t i = 0; i < want.generator.size(); ++i) {
+      EXPECT_EQ(got.generator[i], tensor::quantize(want.generator[i], kind));
+    }
+    ASSERT_EQ(got.discriminator.size(), want.discriminator.size());
+    for (std::size_t i = 0; i < want.discriminator.size(); ++i) {
+      EXPECT_EQ(got.discriminator[i],
+                tensor::quantize(want.discriminator[i], kind));
+    }
+    // Optimizer state is never reduced.
+    EXPECT_EQ(got.optimizer_state, want.optimizer_state);
+    expect_identical_history(loaded.history, saved.history);
+    // Lossless at stored precision: re-encoding the loaded population at
+    // the same dtype reproduces the image byte for byte.
+    EXPECT_EQ(encode_population_checkpoint(loaded, dtype), bytes);
+  }
+  // The defaulted (fp32) encoding still writes the legacy v3 image.
+  EXPECT_EQ(encode_population_checkpoint(saved)[8], 3u);
+}
+
+TEST(PopulationCheckpointFormat, ReducedPrecisionV4FileRoundTrips) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "ltfb_pop_half.pop";
+  const PopulationCheckpoint saved = synthetic_checkpoint();
+  save_population_checkpoint(path, saved, nn::WeightsDtype::Bf16);
+  const PopulationCheckpoint loaded = load_population_checkpoint(path);
+  ASSERT_EQ(loaded.trainers.size(), 1u);
+  EXPECT_EQ(loaded.trainers[0].trainer.generator,
+            std::vector<float>({1.0f, -2.5f, 3.25f}));  // bf16-exact values
+  EXPECT_EQ(loaded.trainers[0].trainer.optimizer_state,
+            saved.trainers[0].trainer.optimizer_state);
+}
+
+// Forward compatibility: a writer newer than this reader (version 5, which
 // does not exist yet) must be rejected with a clear FormatError naming the
 // version — never misparsed as if the new fields weren't there.
 TEST(PopulationCheckpointFormat, FutureVersionFailsWithClearError) {
   std::vector<std::uint8_t> bytes =
       encode_population_checkpoint(synthetic_checkpoint());
-  // Layout: 8 magic bytes, then the u32 version.
+  // Layout: 8 magic bytes, then the u32 version. Version 5 is one past
+  // the newest supported revision (v4, reduced-precision weights).
   ASSERT_GE(bytes.size(), 12u);
-  bytes[8] = 4;
+  bytes[8] = 5;
   bytes[9] = bytes[10] = bytes[11] = 0;
   try {
-    (void)decode_population_checkpoint(bytes.data(), bytes.size(), "<v4>");
+    (void)decode_population_checkpoint(bytes.data(), bytes.size(), "<v5>");
     FAIL() << "future version decoded without error";
   } catch (const FormatError& err) {
     EXPECT_NE(std::string(err.what())

@@ -13,7 +13,9 @@
 #include "nn/initializer.hpp"
 #include "nn/loss.hpp"
 #include "nn/model.hpp"
+#include "nn/optimizer.hpp"
 #include "nn/parallel.hpp"
+#include "tensor/half.hpp"
 #include "tensor/ops.hpp"
 #include "util/stats.hpp"
 
@@ -659,7 +661,7 @@ TEST(Parallel, BucketerViaBackwardHookMatchesAllreduce) {
   comm::World::run(2, [&](comm::Communicator& comm) {
     Model reference = build_layered_model(100);
     Model hooked = build_layered_model(100);
-    const LayerId out = 5;  // input, (fc, act) x2, linear
+    const LayerId out = 3;  // input, fused fc x2, linear
 
     auto run_backward = [&](Model& model, const Model::BackwardHook& hook) {
       model.forward({&x});
@@ -781,6 +783,249 @@ TEST(Checkpoint, SingleByteCorruptionFuzz) {
     EXPECT_THROW((void)nn::load_weights(path), FormatError)
         << "truncated to " << keep << " bytes";
   }
+}
+
+// ---- dynamic loss scaling ----------------------------------------------------------
+
+TEST(LossScale, SkipStepLeavesWeightsAndInnerStateUntouched) {
+  auto controller = std::make_shared<LossScaleController>();
+  const auto factory =
+      make_loss_scaling_factory(make_adam_factory(0.05f), controller);
+  auto opt = factory();
+  EXPECT_EQ(opt->name(), "loss_scaled_adam");
+  std::vector<float> weights{1.0f, -2.0f, 0.5f};
+
+  // One good step first so the inner Adam carries non-trivial state.
+  controller->begin_step();
+  std::vector<float> grad{0.1f, -0.3f, 0.2f};
+  tensor::scale(controller->scale(), grad);
+  controller->observe(grad);
+  ASSERT_FALSE(controller->should_skip());
+  opt->step(weights, grad);
+  controller->end_step();
+  const std::vector<float> weights_after = weights;
+  const std::vector<float> state_after = opt->serialize_state();
+  const float scale_before = controller->scale();
+
+  // Overflowed group: the step is skipped wholesale — weights AND the
+  // inner optimizer's moment estimates stay bit-identical.
+  controller->begin_step();
+  const std::vector<float> bad{std::numeric_limits<float>::infinity(), 1.0f,
+                               2.0f};
+  controller->observe(bad);
+  EXPECT_TRUE(controller->should_skip());
+  opt->step(weights, bad);
+  EXPECT_EQ(weights, weights_after);
+  EXPECT_EQ(opt->serialize_state(), state_after);
+  controller->end_step();
+  EXPECT_EQ(controller->scale(), scale_before * 0.5f);
+  EXPECT_EQ(controller->skipped_steps(), 1);
+}
+
+TEST(LossScale, BackoffAndGrowthRespectBounds) {
+  LossScaleController::Config config;
+  config.initial_scale = 4.0f;
+  config.growth_interval = 2;
+  config.min_scale = 1.0f;
+  config.max_scale = 8.0f;
+  LossScaleController ctl(config);
+  const std::vector<float> good{1.0f};
+  const std::vector<float> bad{std::numeric_limits<float>::quiet_NaN()};
+  auto run = [&ctl](const std::vector<float>& g) {
+    ctl.begin_step();
+    ctl.observe(g);
+    ctl.end_step();
+  };
+  run(good);
+  EXPECT_EQ(ctl.scale(), 4.0f);  // one good step: below the interval
+  run(good);
+  EXPECT_EQ(ctl.scale(), 8.0f);  // second consecutive good step: doubled
+  run(good);
+  run(good);
+  EXPECT_EQ(ctl.scale(), 8.0f);  // growth past max_scale is declined
+  EXPECT_EQ(ctl.growth_events(), 1);
+  run(bad);
+  EXPECT_EQ(ctl.scale(), 4.0f);
+  // A good step after an overflow restarts the growth interval.
+  run(good);
+  EXPECT_EQ(ctl.scale(), 4.0f);
+  run(bad);
+  run(bad);
+  run(bad);
+  EXPECT_EQ(ctl.scale(), 1.0f);  // floored at min_scale
+  EXPECT_EQ(ctl.skipped_steps(), 4);
+}
+
+TEST(LossScale, PowerOfTwoScalingIsExact) {
+  // Scaling the gradient by 2^16 and unscaling inside the decorator is
+  // exact fp32 math: the trajectory matches unscaled Adam bit for bit.
+  auto controller = std::make_shared<LossScaleController>();
+  auto scaled = make_loss_scaling_factory(make_adam_factory(0.01f),
+                                          controller)();
+  auto plain = make_adam_factory(0.01f)();
+  std::vector<float> w_scaled{0.7f, -1.3f, 2.9f, 0.01f};
+  std::vector<float> w_plain = w_scaled;
+  util::Rng rng(77);
+  for (int step = 0; step < 25; ++step) {
+    std::vector<float> grad(w_plain.size());
+    for (auto& g : grad) g = static_cast<float>(rng.uniform(-1.0, 1.0));
+    plain->step(w_plain, grad);
+    std::vector<float> grad_scaled = grad;
+    tensor::scale(controller->scale(), grad_scaled);
+    controller->begin_step();
+    controller->observe(grad_scaled);
+    scaled->step(w_scaled, grad_scaled);
+    controller->end_step();
+  }
+  EXPECT_EQ(w_scaled, w_plain);
+  EXPECT_EQ(scaled->serialize_state(), plain->serialize_state());
+}
+
+TEST(LossScale, CloneFreshSharesControllerDropsState) {
+  auto controller = std::make_shared<LossScaleController>();
+  auto opt = make_loss_scaling_factory(make_adam_factory(0.05f),
+                                       controller)();
+  std::vector<float> w{1.0f};
+  const std::vector<float> g{65536.0f};
+  controller->begin_step();
+  opt->step(w, g);
+  controller->end_step();
+  auto fresh = opt->clone_fresh();
+  EXPECT_EQ(fresh->name(), opt->name());
+  const auto state = fresh->serialize_state();
+  for (const float v : state) EXPECT_EQ(v, 0.0f);
+}
+
+// ---- bf16 gradient wire encoding ---------------------------------------------------
+
+TEST(Parallel, BucketerBf16WireHalvesBytesAndRanksAgree) {
+  using namespace bucketer_tests;
+  comm::World::run(4, [](comm::Communicator& comm) {
+    Model fp32_model = build_layered_model(100);
+    Model bf16_model = build_layered_model(100);
+    util::Rng rng(900 + static_cast<std::uint64_t>(comm.rank()));
+    std::vector<float> grads(fp32_model.parameter_count());
+    for (auto& g : grads) g = static_cast<float>(rng.uniform(-1.0, 1.0));
+    fp32_model.load_flat_gradients(grads);
+    bf16_model.load_flat_gradients(grads);
+
+    GradientBucketer fp32_bucketer(comm, 512, WireDtype::Fp32);
+    bucket_all(fp32_bucketer, fp32_model);
+    GradientBucketer bf16_bucketer(comm, 512, WireDtype::Bf16);
+    EXPECT_EQ(bf16_bucketer.wire_dtype(), WireDtype::Bf16);
+    bucket_all(bf16_bucketer, bf16_model);
+
+    // Same logical gradient volume, half the wire bytes.
+    EXPECT_EQ(bf16_bucketer.bytes_reduced(), fp32_bucketer.bytes_reduced());
+    EXPECT_EQ(bf16_bucketer.wire_bytes_sent() * 2,
+              fp32_bucketer.wire_bytes_sent());
+
+    // Every ring hop sends bf16, so a chunk's partial sum is quantized at
+    // each of the (ranks - 1) reduce hops plus once by the owner. Each
+    // hop's error is a bf16 half-ulp of the PARTIAL sum (gradients in
+    // [-1, 1], partials up to ~4), so the bound is absolute in the partial
+    // magnitude — small final values see relative error amplified by
+    // cancellation, exactly the behaviour DESIGN.md documents.
+    const auto expect = fp32_model.flatten_gradients();
+    const auto got = bf16_model.flatten_gradients();
+    ASSERT_EQ(expect.size(), got.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      ASSERT_NEAR(expect[i], got[i], 0.02f) << "element " << i;
+      // Every value sits exactly on the bf16 grid (decode of the wire).
+      ASSERT_EQ(got[i], tensor::quantize(got[i], tensor::HalfKind::Bf16))
+          << "element " << i;
+    }
+
+    // Replicas must still agree bit-for-bit or they drift apart.
+    const std::vector<float> everyone = comm.allgather(got);
+    for (std::size_t r = 0; r < 4; ++r) {
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(everyone[r * got.size() + i], got[i])
+            << "rank " << r << " element " << i;
+      }
+    }
+  });
+}
+
+TEST(Parallel, BucketerWireDtypeFromEnvDefaultsFp32) {
+  comm::World::run(1, [](comm::Communicator& comm) {
+    GradientBucketer bucketer(comm);
+    EXPECT_EQ(bucketer.wire_dtype(), WireDtype::Fp32);
+    EXPECT_EQ(bucketer.wire_bytes_sent(), 0u);
+  });
+}
+
+// ---- reduced-precision weight checkpoints ------------------------------------------
+
+TEST(Checkpoint, ReducedPrecisionRoundTripsLosslesslyAtStoredPrecision) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "ltfb_ckpt_half.bin";
+  std::vector<float> weights(300);
+  util::Rng rng(41);
+  for (auto& w : weights) w = static_cast<float>(rng.uniform(-4.0, 4.0));
+  weights[0] = 0.0f;
+  weights[1] = -0.0f;
+  weights[2] = std::ldexp(1.0f, -24);  // fp16 subnormal
+
+  for (const auto dtype : {WeightsDtype::Bf16, WeightsDtype::Fp16}) {
+    const tensor::HalfKind kind = half_kind(dtype);
+    save_weights(path, "half-model", weights, dtype);
+    std::string name;
+    WeightsDtype loaded_dtype = WeightsDtype::Fp32;
+    const std::vector<float> loaded =
+        load_weights(path, &name, &loaded_dtype);
+    EXPECT_EQ(name, "half-model");
+    EXPECT_EQ(loaded_dtype, dtype);
+    ASSERT_EQ(loaded.size(), weights.size());
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      EXPECT_EQ(loaded[i], tensor::quantize(weights[i], kind))
+          << "element " << i;
+    }
+    // Lossless at stored precision: re-saving the loaded values produces
+    // a byte-identical image.
+    const auto sibling = path.string() + ".again";
+    save_weights(sibling, "half-model", loaded, dtype);
+    std::ifstream f1(path, std::ios::binary), f2(sibling, std::ios::binary);
+    const std::vector<char> b1((std::istreambuf_iterator<char>(f1)),
+                               std::istreambuf_iterator<char>());
+    const std::vector<char> b2((std::istreambuf_iterator<char>(f2)),
+                               std::istreambuf_iterator<char>());
+    EXPECT_EQ(b1, b2);
+    // Half payloads are 2 bytes per weight (vs 4 for fp32).
+    save_weights(sibling, "half-model", weights, WeightsDtype::Fp32);
+    std::ifstream f3(sibling, std::ios::binary);
+    const std::vector<char> fp32_bytes((std::istreambuf_iterator<char>(f3)),
+                                       std::istreambuf_iterator<char>());
+    // v2 adds one dtype byte to the header but halves the payload.
+    EXPECT_EQ(fp32_bytes.size() + 1 - weights.size() * 2, b1.size());
+  }
+}
+
+TEST(Checkpoint, Fp32DefaultStillWritesLegacyFormat) {
+  // dtype defaulted (fp32) must produce the v1 image so downgraded readers
+  // keep working; the loader reports Fp32 and returns exact values.
+  const auto path =
+      std::filesystem::temp_directory_path() / "ltfb_ckpt_v1.bin";
+  const std::vector<float> weights{1.5f, -2.25f, 1e-30f, 3.0e30f};
+  save_weights(path, "fp32-model", weights);
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 8, sizeof(version));
+  EXPECT_EQ(version, 1u);  // legacy fp32 format, byte-compatible
+  WeightsDtype dtype = WeightsDtype::Bf16;
+  const std::vector<float> loaded = load_weights(path, nullptr, &dtype);
+  EXPECT_EQ(dtype, WeightsDtype::Fp32);
+  EXPECT_EQ(loaded, weights);
+}
+
+TEST(Checkpoint, WeightsDtypeNames) {
+  EXPECT_STREQ(to_string(WeightsDtype::Fp32), "fp32");
+  EXPECT_STREQ(to_string(WeightsDtype::Bf16), "bf16");
+  EXPECT_STREQ(to_string(WeightsDtype::Fp16), "fp16");
+  EXPECT_EQ(half_kind(WeightsDtype::Bf16), tensor::HalfKind::Bf16);
+  EXPECT_EQ(half_kind(WeightsDtype::Fp16), tensor::HalfKind::Fp16);
 }
 
 }  // namespace

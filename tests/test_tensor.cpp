@@ -2,10 +2,14 @@
 // and elementwise kernels.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <limits>
 #include <tuple>
 #include <vector>
 
 #include "tensor/gemm.hpp"
+#include "tensor/half.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
 #include "util/compute_pool.hpp"
@@ -325,6 +329,256 @@ TEST(Ops, AllFinite) {
   EXPECT_FALSE(all_finite(bad));
   std::vector<float> inf{1, std::numeric_limits<float>::infinity()};
   EXPECT_FALSE(all_finite(inf));
+}
+
+// ---- half precision (bf16 / fp16) -----------------------------------------
+
+float from_bits(std::uint32_t bits) {
+  float f = 0.0f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+TEST(Half, Bf16SpecialValuesRoundTrip) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(to_bfloat16(0.0f).bits, 0x0000u);
+  EXPECT_EQ(to_bfloat16(-0.0f).bits, 0x8000u);
+  EXPECT_EQ(to_bfloat16(inf).bits, 0x7f80u);
+  EXPECT_EQ(to_bfloat16(-inf).bits, 0xff80u);
+  EXPECT_EQ(from_bfloat16(bfloat16{0x7f80u}), inf);
+  EXPECT_EQ(from_bfloat16(bfloat16{0x8000u}), -0.0f);
+  EXPECT_TRUE(std::signbit(from_bfloat16(bfloat16{0x8000u})));
+  // NaN stays NaN: the mantissa truncation must not collapse it to inf.
+  const float nan = from_bits(0x7f800001u);  // signaling: low bits only
+  const bfloat16 qnan = to_bfloat16(nan);
+  EXPECT_TRUE(std::isnan(from_bfloat16(qnan)));
+  // fp32 max overflows bf16's 8-bit mantissa grid to infinity via RNE.
+  EXPECT_EQ(to_bfloat16(std::numeric_limits<float>::max()).bits, 0x7f80u);
+}
+
+TEST(Half, Bf16RoundToNearestEven) {
+  // 0x3f80'8000 sits exactly halfway between bf16 0x3f80 (1.0) and 0x3f81;
+  // ties go to the even encoding.
+  EXPECT_EQ(to_bfloat16(from_bits(0x3f808000u)).bits, 0x3f80u);
+  EXPECT_EQ(to_bfloat16(from_bits(0x3f818000u)).bits, 0x3f82u);
+  // One ulp above the tie rounds up regardless of parity.
+  EXPECT_EQ(to_bfloat16(from_bits(0x3f808001u)).bits, 0x3f81u);
+  // Below the tie truncates.
+  EXPECT_EQ(to_bfloat16(from_bits(0x3f807fffu)).bits, 0x3f80u);
+}
+
+TEST(Half, Bf16ExhaustiveRoundTrip) {
+  // Every bf16 value is exactly representable in fp32, so decode -> encode
+  // must reproduce the bits (NaNs additionally get the quiet bit forced).
+  for (std::uint32_t bits = 0; bits <= 0xffffu; ++bits) {
+    const auto b = static_cast<std::uint16_t>(bits);
+    const float f = from_bfloat16(bfloat16{b});
+    const std::uint16_t back = to_bfloat16(f).bits;
+    if (std::isnan(f)) {
+      EXPECT_EQ(back, b | 0x0040u) << "bf16 bits " << bits;
+    } else {
+      EXPECT_EQ(back, b) << "bf16 bits " << bits;
+    }
+  }
+}
+
+TEST(Half, Fp16SpecialValues) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(to_float16(0.0f).bits, 0x0000u);
+  EXPECT_EQ(to_float16(-0.0f).bits, 0x8000u);
+  EXPECT_EQ(to_float16(inf).bits, 0x7c00u);
+  EXPECT_EQ(to_float16(-inf).bits, 0xfc00u);
+  EXPECT_EQ(to_float16(1.0f).bits, 0x3c00u);
+  EXPECT_EQ(to_float16(65504.0f).bits, 0x7bffu);  // fp16 max
+  // 65520 is the tie between max and the unrepresentable 65536: IEEE
+  // overflow rounds to infinity.
+  EXPECT_EQ(to_float16(65520.0f).bits, 0x7c00u);
+  EXPECT_EQ(to_float16(65519.996f).bits, 0x7bffu);
+  EXPECT_TRUE(std::isnan(from_float16(to_float16(
+      std::numeric_limits<float>::quiet_NaN()))));
+  // A NaN whose payload dies in the 13-bit truncation must stay a NaN.
+  EXPECT_TRUE(std::isnan(from_float16(to_float16(from_bits(0x7f800001u)))));
+}
+
+TEST(Half, Fp16Subnormals) {
+  const float smallest = std::ldexp(1.0f, -24);  // smallest fp16 subnormal
+  EXPECT_EQ(to_float16(smallest).bits, 0x0001u);
+  EXPECT_EQ(from_float16(float16{0x0001u}), smallest);
+  // Exactly half the smallest subnormal ties to even -> zero.
+  EXPECT_EQ(to_float16(std::ldexp(1.0f, -25)).bits, 0x0000u);
+  EXPECT_EQ(to_float16(-std::ldexp(1.0f, -25)).bits, 0x8000u);
+  // Just above the tie rounds up to the smallest subnormal.
+  EXPECT_EQ(to_float16(std::ldexp(1.0f, -25) * 1.0001f).bits, 0x0001u);
+  // Largest subnormal and the subnormal->normal carry boundary.
+  const float largest_sub = std::ldexp(1023.0f, -24);
+  EXPECT_EQ(to_float16(largest_sub).bits, 0x03ffu);
+  EXPECT_EQ(from_float16(float16{0x03ffu}), largest_sub);
+  // Halfway between the largest subnormal and the smallest normal: the
+  // rounding carry must ripple into the exponent field.
+  EXPECT_EQ(to_float16(std::ldexp(2047.0f, -25)).bits, 0x0400u);
+}
+
+TEST(Half, Fp16RoundToNearestEvenTies) {
+  // 1 + 2^-11 is the tie between 0x3c00 (1.0) and 0x3c01; even wins.
+  EXPECT_EQ(to_float16(1.0f + std::ldexp(1.0f, -11)).bits, 0x3c00u);
+  EXPECT_EQ(to_float16(1.0f + 3.0f * std::ldexp(1.0f, -11)).bits, 0x3c02u);
+  EXPECT_EQ(to_float16(1.0f + std::ldexp(1.0f, -11) +
+                       std::ldexp(1.0f, -20)).bits, 0x3c01u);
+}
+
+TEST(Half, Fp16ExhaustiveRoundTrip) {
+  // decode -> encode is the identity for every one of the 65536 fp16 bit
+  // patterns, NaN payloads included: stored-precision images round-trip
+  // losslessly.
+  for (std::uint32_t bits = 0; bits <= 0xffffu; ++bits) {
+    const auto h = static_cast<std::uint16_t>(bits);
+    EXPECT_EQ(to_float16(from_float16(float16{h})).bits, h)
+        << "fp16 bits " << bits;
+  }
+}
+
+TEST(Half, QuantizeMatchesEncodeDecode) {
+  util::Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const float x = static_cast<float>(rng.uniform(-100.0, 100.0));
+    EXPECT_EQ(quantize(x, HalfKind::Bf16), from_bfloat16(to_bfloat16(x)));
+    EXPECT_EQ(quantize(x, HalfKind::Fp16), from_float16(to_float16(x)));
+  }
+}
+
+TEST(Half, SpanCodecsRoundTripAndValidate) {
+  std::vector<float> in{0.0f, -1.5f, 3.1415926f, 65504.0f,
+                        std::ldexp(1.0f, -24),
+                        std::numeric_limits<float>::infinity()};
+  std::vector<std::uint16_t> wire(in.size());
+  std::vector<float> out(in.size());
+  for (const HalfKind kind : {HalfKind::Bf16, HalfKind::Fp16}) {
+    encode_half(in, wire, kind);
+    decode_half(wire, out, kind);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      EXPECT_EQ(out[i], quantize(in[i], kind));
+    }
+    // Decoded values are exactly at stored precision: a second trip
+    // through the codec is the identity.
+    std::vector<std::uint16_t> wire2(in.size());
+    encode_half(out, wire2, kind);
+    EXPECT_EQ(wire2, wire);
+  }
+  std::vector<std::uint16_t> short_wire(in.size() - 1);
+  EXPECT_THROW(encode_half(in, short_wire, HalfKind::Bf16), InvalidArgument);
+  EXPECT_THROW(decode_half(short_wire, out, HalfKind::Fp16), InvalidArgument);
+}
+
+// ---- fused gemm epilogues --------------------------------------------------
+
+// Applies the epilogue definition directly: C(i,j) = act(C(i,j) + bias[j]).
+void reference_epilogue(Tensor& c, const Epilogue& ep) {
+  const std::size_t m = c.rows(), n = c.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float x = c.at(i, j);
+      if (ep.bias != nullptr) x += ep.bias[j];
+      switch (ep.act) {
+        case EpilogueAct::None: break;
+        case EpilogueAct::Relu: x = x > 0.0f ? x : 0.0f; break;
+        case EpilogueAct::LeakyRelu:
+          x = x > 0.0f ? x : ep.leaky_slope * x;
+          break;
+        case EpilogueAct::Sigmoid: x = 1.0f / (1.0f + std::exp(-x)); break;
+        case EpilogueAct::Tanh: x = std::tanh(x); break;
+      }
+      c.at(i, j) = x;
+    }
+  }
+}
+
+// The fused path must be bit-identical to gemm-then-epilogue: the epilogue
+// is elementwise on the finished C tile, so fusion changes when it runs,
+// never what it computes. Sweeps all four transpose combos, every
+// activation, and shapes with ragged micro-kernel tails.
+TEST(GemmEpilogue, FusedMatchesUnfusedBitExact) {
+  const std::vector<std::tuple<std::size_t, std::size_t, std::size_t>>
+      shapes{{1, 1, 1}, {4, 16, 8}, {5, 7, 3}, {17, 33, 9}, {32, 19, 21}};
+  const std::vector<EpilogueAct> acts{
+      EpilogueAct::None, EpilogueAct::Relu, EpilogueAct::LeakyRelu,
+      EpilogueAct::Sigmoid, EpilogueAct::Tanh};
+  for (const auto& [m, n, k] : shapes) {
+    std::vector<float> bias(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      bias[j] = static_cast<float>(j) * 0.25f - 1.0f;
+    }
+    for (const Op op_a : {Op::None, Op::Transpose}) {
+      for (const Op op_b : {Op::None, Op::Transpose}) {
+        Tensor a = op_a == Op::None ? Tensor(m, k) : Tensor(k, m);
+        Tensor b = op_b == Op::None ? Tensor(k, n) : Tensor(n, k);
+        fill_random(a, 11 + m);
+        fill_random(b, 23 + n);
+        for (const EpilogueAct act : acts) {
+          for (const float beta : {0.0f, 0.5f}) {
+            Epilogue ep;
+            ep.bias = bias.data();
+            ep.act = act;
+            Tensor fused(m, n), unfused(m, n);
+            fill_random(fused, 31);
+            fill_random(unfused, 31);
+            gemm(op_a, op_b, 1.0f, a, b, beta, fused, ep);
+            gemm(op_a, op_b, 1.0f, a, b, beta, unfused);
+            reference_epilogue(unfused, ep);
+            for (std::size_t i = 0; i < fused.size(); ++i) {
+              ASSERT_EQ(fused[i], unfused[i])
+                  << "m=" << m << " n=" << n << " k=" << k << " act="
+                  << static_cast<int>(act) << " beta=" << beta << " i=" << i;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmEpilogue, BiasOnlyMatchesAddRowBias) {
+  Tensor a(6, 5), b(5, 9), fused(6, 9), plain(6, 9);
+  fill_random(a, 3);
+  fill_random(b, 4);
+  std::vector<float> bias(9, 0.75f);
+  Epilogue ep;
+  ep.bias = bias.data();
+  gemm(Op::None, Op::None, 1.0f, a, b, 0.0f, fused, ep);
+  matmul(a, b, plain);
+  add_row_bias(bias, plain);
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_EQ(fused[i], plain[i]);
+  }
+}
+
+TEST(GemmEpilogue, DegenerateGemmStillAppliesEpilogue) {
+  // alpha == 0 degenerates the multiply; the contract is still
+  // gemm-then-epilogue, i.e. the epilogue transforms the beta-scaled C.
+  Tensor a(3, 4), b(4, 5);
+  fill_random(a, 7);
+  fill_random(b, 8);
+  std::vector<float> bias{-2.0f, -1.0f, 0.0f, 1.0f, 2.0f};
+  Epilogue ep;
+  ep.bias = bias.data();
+  ep.act = EpilogueAct::Relu;
+  Tensor c(3, 5);
+  fill_random(c, 9);
+  Tensor expected = c;
+  gemm(Op::None, Op::None, 0.0f, a, b, 0.5f, c, ep);
+  scale(0.5f, expected.data());
+  reference_epilogue(expected, ep);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(c[i], expected[i]);
+  }
+}
+
+TEST(GemmEpilogue, EmptyEpilogueMatchesPlainGemm) {
+  Tensor a(8, 8), b(8, 8), c1(8, 8), c2(8, 8);
+  fill_random(a, 1);
+  fill_random(b, 2);
+  gemm(Op::None, Op::None, 1.0f, a, b, 0.0f, c1, Epilogue{});
+  gemm(Op::None, Op::None, 1.0f, a, b, 0.0f, c2);
+  for (std::size_t i = 0; i < c1.size(); ++i) EXPECT_EQ(c1[i], c2[i]);
 }
 
 }  // namespace

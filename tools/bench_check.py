@@ -9,15 +9,26 @@ baseline.json maps gauge names to entries:
 
     {
       "bench/gemm_serial_gflops": {"min": 8.0,
-                                   "note": "512^3 serial, 1-core CI box"}
+                                   "note": "512^3 serial, 1-core CI box",
+                                   "configs": {
+                                     "simd=avx2": {"min": 20.0},
+                                     "simd=scalar": {"min": 8.0}}}
     }
 
-A gauge regresses when its measured value drops below `min`. The floors are
-set ~20% under a healthy measurement so ordinary CI jitter passes but a real
-kernel regression (a de-tiled GEMM, an accidentally serial hot loop) fails
-the job. Gauges present in the dump but absent from the baseline are
-informational only; gauges in the baseline but missing from the dump are an
-error (the bench stopped measuring them).
+A gauge regresses when its measured value drops below the applicable `min`.
+The floors are set ~20% under a healthy measurement so ordinary CI jitter
+passes but a real kernel regression (a de-tiled GEMM, an accidentally
+serial hot loop) fails the job. Gauges present in the dump but absent from
+the baseline are informational only; gauges in the baseline but missing
+from the dump are an error (the bench stopped measuring them).
+
+Per-configuration floors: the dump self-identifies its build configuration
+through the `bench/simd_width` gauge (1 = scalar, 4 = neon, 8 = avx2 —
+cmake/LtfbSimd.cmake widths). When a baseline entry carries a `configs`
+map and the dump's configuration key is present there, that entry's `min`
+(and `note`) override the top-level floor; otherwise the top-level `min`
+applies, so a dump from an unlisted configuration is still gated at the
+portable floor. The report names the configuration it gated against.
 
 Every run also schema-checks the telemetry blocks of the dump (counters /
 gauges / timers produced by Registry::write_metrics_json) so a malformed
@@ -37,6 +48,22 @@ import sys
 TIMER_FIELDS = ("count", "total_s", "min_s", "max_s", "mean_s",
                 "p50_s", "p95_s", "p99_s", "rate_per_s")
 GAUGE_FIELDS = ("value", "max", "sets")
+
+# cmake/LtfbSimd.cmake vector widths -> baseline configuration keys.
+SIMD_CONFIG_KEYS = {1: "simd=scalar", 4: "simd=neon", 8: "simd=avx2"}
+
+
+def dump_config_key(metrics: dict) -> str | None:
+    """Configuration key the dump was produced under, from the
+    self-identifying bench/simd_width gauge; None when the bench predates
+    the gauge (or isn't the micro-kernel bench)."""
+    gauge = metrics.get("gauges", {}).get("bench/simd_width")
+    if not isinstance(gauge, dict):
+        return None
+    try:
+        return SIMD_CONFIG_KEYS.get(int(gauge.get("value")))
+    except (TypeError, ValueError):
+        return None
 
 
 def validate_schema(metrics: dict) -> list[str]:
@@ -98,6 +125,8 @@ def main() -> int:
 
     baseline = json.loads(args.baseline.read_text())
     gauges = metrics.get("gauges", {})
+    config = dump_config_key(metrics)
+    print(f"gating configuration: {config or 'default (no simd_width gauge)'}")
 
     failures = []
     for name, floor in sorted(baseline.items()):
@@ -105,13 +134,17 @@ def main() -> int:
             failures.append(f"{name}: missing from {args.metrics}")
             continue
         value = gauges[name]["value"]
-        minimum = floor["min"]
+        override = floor.get("configs", {}).get(config) if config else None
+        applied = override if override is not None else floor
+        minimum = applied["min"]
+        floor_label = config if override is not None else "default"
         status = "ok" if value >= minimum else "REGRESSED"
-        note = floor.get("note", "")
-        print(f"{name}: {value:.3f} (floor {minimum:.3f}) {status}"
-              f"{'  # ' + note if note else ''}")
+        note = applied.get("note", floor.get("note", ""))
+        print(f"{name}: {value:.3f} (floor {minimum:.3f} [{floor_label}]) "
+              f"{status}{'  # ' + note if note else ''}")
         if value < minimum:
-            failures.append(f"{name}: {value:.3f} < floor {minimum:.3f}")
+            failures.append(f"{name}: {value:.3f} < floor {minimum:.3f} "
+                            f"[{floor_label}]")
 
     if failures:
         print("\nbench regression gate FAILED:", file=sys.stderr)

@@ -27,6 +27,12 @@ target, so `ctest` and CI exercise it on every build):
                     outside src/tensor/: hand-rolled GEMMs silently bypass
                     the register-tiled, pool-threaded, conformance-tested
                     kernel (tensor::gemm/matmul) and its telemetry.
+  isa-dispatch      raw ISA conditionals (__AVX2__/__SSE*/__ARM_NEON/
+                    __aarch64__, the LTFB_SIMD_WIDTH macro, immintrin.h /
+                    arm_neon.h includes) are banned outside
+                    src/tensor/simd.hpp: all width dispatch goes through
+                    the portable vec<W> wrapper so exactly one file knows
+                    the target ISA and the scalar build stays honest.
   telemetry         src/, bench/ and examples/ must not spell util::Stopwatch
                     or include util/stopwatch.hpp directly (the shim exists
                     only for source compatibility; new timing goes through
@@ -79,6 +85,15 @@ STDOUT_PATTERN = re.compile(r"\bstd::(cout|cerr)\b|(?<![_\w.:])f?printf\s*\(")
 # file computing tags this large would collide with collective traffic.
 COMM_TAG_PATTERN = re.compile(r"<<\s*62\b|next_internal_tag")
 COMM_TAG_ALLOWED = {"src/comm/communicator.cpp", "src/comm/communicator.hpp"}
+
+# ISA knowledge is confined to the SIMD wrapper: everything else writes
+# width-generic vec<W> code (tensor/simd.hpp) and is compiled at whatever
+# width cmake/LtfbSimd.cmake selected. A raw __AVX2__ branch elsewhere
+# would silently diverge between build configurations.
+ISA_PATTERN = re.compile(
+    r"__AVX\w*__|__SSE\w*__|__ARM_NEON\w*|__aarch64__"
+    r"|\bLTFB_SIMD_WIDTH\b|immintrin\.h|arm_neon\.h")
+ISA_ALLOWED = {"src/tensor/simd.hpp"}
 
 # Public entry points of the concurrency substrate that must validate
 # arguments/state in their own body. Maps file -> list of (display name,
@@ -160,10 +175,28 @@ ENTRY_CHECK_MANIFEST = {
          "GradientBucketer::GradientBucketer"),
         ("GradientBucketer::bucket_bytes_from_env",
          "GradientBucketer::bucket_bytes_from_env"),
+        ("GradientBucketer::wire_dtype_from_env",
+         "GradientBucketer::wire_dtype_from_env"),
         ("GradientBucketer::launch", "GradientBucketer::launch"),
         ("GradientBucketer::apply_completed_step",
          "GradientBucketer::apply_completed_step"),
         ("GradientBucketer::finish", "GradientBucketer::finish"),
+    ],
+    "src/nn/optimizer.cpp": [
+        ("LossScaleController::LossScaleController",
+         "LossScaleController::LossScaleController"),
+        ("LossScalingOptimizer::LossScalingOptimizer",
+         "LossScalingOptimizer::LossScalingOptimizer"),
+        ("make_loss_scaling_factory", "make_loss_scaling_factory"),
+    ],
+    "src/nn/checkpoint.cpp": [
+        ("nn::save_weights", "save_weights"),
+        ("nn::load_weights", "load_weights"),
+        ("nn::half_kind", "half_kind"),
+    ],
+    "src/tensor/half.hpp": [
+        ("tensor::encode_half", "encode_half"),
+        ("tensor::decode_half", "decode_half"),
     ],
     "src/tensor/tensor.hpp": [
         ("Tensor::at", "at"),
@@ -213,6 +246,11 @@ VALIDATION_KEYWORDS = re.compile(
 # `{ return other(args); }` — inherits the callee's validation.
 DELEGATION_BODY = re.compile(
     r"^\{\s*(return\s+)?[\w:]+\s*\([^;{}]*\)\s*;\s*\}$")
+
+# A delegating constructor — `: Type(args) {}` — likewise inherits the
+# target constructor's validation. Matched against the text between the
+# parameter list's closing paren and the (empty) body.
+DELEGATING_CTOR = re.compile(r"^\s*:\s*[\w:]+\s*\(.*\)\s*$", re.DOTALL)
 
 
 class Finding:
@@ -323,6 +361,17 @@ def check_comm_tags(rel: str, stripped: str, findings):
             "next_internal_tag) is reserved to src/comm/communicator.cpp"))
 
 
+def check_isa_dispatch(rel: str, stripped: str, findings):
+    if rel in ISA_ALLOWED:
+        return
+    for m in ISA_PATTERN.finditer(stripped):
+        findings.append(Finding(
+            rel, line_of(stripped, m.start()), "isa-dispatch",
+            "raw ISA conditionals are reserved to src/tensor/simd.hpp; "
+            "write width-generic code against tensor::simd::vec "
+            "(kNativeWidth, main_loop_bound) instead"))
+
+
 INCLUDE_PATTERN = re.compile(r'^[ \t]*#[ \t]*include[ \t]+([<"][^>"]+[>"])',
                              re.MULTILINE)
 
@@ -377,7 +426,10 @@ def check_include_hygiene(root: pathlib.Path, rel: str, raw: str, stripped,
 
 
 def find_function_bodies(stripped: str, token: str):
-    """Yields (offset, body) for each definition `token (...) ... {body}`.
+    """Yields (offset, header, body) for each definition
+    `token (...) header {body}` — `header` is the text between the
+    parameter list's closing paren and the body opener (constructor
+    init-list, noexcept, trailing return type...).
 
     Works on comment/string-stripped text. Declarations (ending in `;`) are
     skipped. Constructor init-lists are handled by scanning from the
@@ -425,7 +477,7 @@ def find_function_bodies(stripped: str, token: str):
                 if depth == 0:
                     break
             k += 1
-        yield m.start(), stripped[j:k + 1]
+        yield m.start(), stripped[i + 1:j], stripped[j:k + 1]
 
 
 def check_telemetry(rel: str, stripped: str, code_with_strings: str,
@@ -546,11 +598,14 @@ def check_entry_points(rel: str, stripped: str, findings):
                 f"manifest entry point {display} not found — update "
                 "tools/ltfb_lint.py if it moved or was renamed"))
             continue
-        for offset, body in bodies:
+        for offset, header, body in bodies:
             if VALIDATION_KEYWORDS.search(body):
                 continue
             if DELEGATION_BODY.match(body.strip()):
                 continue  # one-line forwarder to a checked overload
+            if (re.fullmatch(r"\{\s*\}", body.strip()) and
+                    DELEGATING_CTOR.match(header)):
+                continue  # delegating constructor: target validates
             findings.append(Finding(
                 rel, line_of(stripped, offset), "entry-checks",
                 f"public entry point {display} must validate its "
@@ -588,6 +643,7 @@ def main() -> int:
         check_comm_tags(rel, stripped, file_findings)
         check_include_hygiene(root, rel, raw, code_with_strings, file_findings)
         check_telemetry(rel, stripped, code_with_strings, file_findings)
+        check_isa_dispatch(rel, code_with_strings, file_findings)
         check_matmul_nest(rel, stripped, file_findings)
         check_entry_points(rel, stripped, file_findings)
         unique = {(f.line, f.rule, f.message): f for f in file_findings}
