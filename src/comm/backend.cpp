@@ -35,4 +35,8 @@ std::shared_ptr<Backend> make_backend(BackendKind kind, int size) {
   throw InvalidArgument("unknown backend kind");
 }
 
+std::vector<telemetry::flight::PendingOpInfo> Backend::pending_ops() const {
+  return telemetry::flight::pending_ops();
+}
+
 }  // namespace ltfb::comm

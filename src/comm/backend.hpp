@@ -34,6 +34,7 @@
 #include "comm/deadline.hpp"
 #include "comm/fault.hpp"
 #include "comm/serializer.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "util/annotations.hpp"
 
 namespace ltfb::comm {
@@ -126,6 +127,15 @@ class Backend {
                                              std::uint64_t seq, int self_world,
                                              const std::vector<int>& group,
                                              const Deadline& deadline) = 0;
+
+  /// The in-flight request registry: every blocking operation either
+  /// backend is currently parked in (mailbox wait, collective receive,
+  /// shrink rendezvous, socket frame write), as pending-op rows of
+  /// {op, tag, peer, owning rank, age}. The registry itself is
+  /// process-wide flight-recorder state — both transports register through
+  /// the same telemetry::flight::PendingOp guards — so this accessor is
+  /// non-virtual. Empty while the flight recorder is disabled.
+  std::vector<telemetry::flight::PendingOpInfo> pending_ops() const;
 };
 
 std::shared_ptr<Backend> make_backend(BackendKind kind, int size);

@@ -1,12 +1,18 @@
 #include "comm/communicator.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string_view>
 #include <thread>
 #include <tuple>
 #include <utility>
 
 #include "comm/socket_backend.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/annotations.hpp"
 #include "util/rng.hpp"
@@ -81,6 +87,13 @@ bool try_complete(PendingRecv& pending)
       // buffer mutex is a leaf under the mailbox mutex held here.
       telemetry::Registry::instance().record_flow(
           it->flow_id, telemetry::FlowPhase::End);
+      // Same correlation id into the flight ring: postmortem events and
+      // Chrome-trace flow arrows cross-check by flow id.
+      telemetry::flight::record(telemetry::flight::EventKind::CommRecv,
+                                "comm/recv_match",
+                                static_cast<std::uint64_t>(it->tag),
+                                static_cast<std::uint64_t>(it->world_src),
+                                it->flow_id);
       pending.payload = std::move(it->payload);
       pending.source_world = it->world_src;
       queue.erase(it);
@@ -167,11 +180,19 @@ class Communicator::FaultScope {
 void Communicator::fault_tick(const char* what) {
   const int me = group_[static_cast<std::size_t>(rank_)];
   const std::uint64_t op = world_->next_op(me);
+  // Every top-level comm op is rank progress: this is the heartbeat the
+  // hang watchdog compares pending-op ages against.
+  telemetry::flight::heartbeat();
+  telemetry::flight::record(telemetry::flight::EventKind::CommOp, what, op,
+                            static_cast<std::uint64_t>(me));
   if (world_->faults().empty()) return;
   const std::optional<std::uint64_t> kill = world_->faults().kill_op(me);
   if (kill.has_value() && op >= *kill && !world_->dead(me, me)) {
     world_->finalize_rank(me, /*clean=*/false);
     LTFB_COUNTER_ADD("comm/faults_injected", 1);
+    telemetry::flight::record(telemetry::flight::EventKind::Fault,
+                              "fault/kill_injected", op,
+                              static_cast<std::uint64_t>(me));
     std::ostringstream oss;
     oss << "injected kill: world rank " << me << " dies at op " << op
         << " (entering " << what << ", scheduled op " << *kill << ")";
@@ -189,6 +210,10 @@ bool Request::test() {
 void Request::wait(const Deadline& deadline) {
   LTFB_CHECK_MSG(state_, "wait() on an invalid request");
   LTFB_TIMED_SCOPE("comm/recv_wait");
+  // In-flight registration for the watchdog and postmortem dumps: a rank
+  // wedged here shows up as a pending "comm/recv_wait" with tag + peer.
+  const telemetry::flight::PendingOp pending_op("comm/recv_wait", state_->tag,
+                                                state_->src_world);
   util::MutexLock lock(state_->mailbox->mutex);
   const bool bounded = deadline.bounded();
   const auto expiry = bounded ? deadline.expires_at()
@@ -221,8 +246,22 @@ int Communicator::world_rank_of(int rank) const {
   return group_[static_cast<std::size_t>(rank)];
 }
 
+// Entered-op detail (tag + best-effort world peer), recorded BEFORE the
+// fault tick on purpose: an injected kill fires at op entry, and the dying
+// rank's ring must end with the op it was executing for the postmortem to
+// blame it.
+#define LTFB_FLIGHT_OP(name, tag, peer)                                     \
+  ::ltfb::telemetry::flight::record(                                        \
+      ::ltfb::telemetry::flight::EventKind::CommOp, name,                   \
+      static_cast<std::uint64_t>(tag),                                      \
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(                 \
+          ((peer) >= 0 && (peer) < size())                                  \
+              ? group_[static_cast<std::size_t>(peer)]                      \
+              : (peer))))
+
 void Communicator::send(int dst, int tag, const Buffer& payload) {
   LTFB_COMM_GUARD("send");
+  LTFB_FLIGHT_OP("comm/send", tag, dst);
   LTFB_FAULT_TICK("send");
   LTFB_CHECK(tag >= 0);
   LTFB_COUNTER_ADD("comm/send_messages", 1);
@@ -244,6 +283,9 @@ void Communicator::send(int dst, int tag, const Buffer& payload) {
     telemetry::Registry::instance().record_flow(flow_id,
                                                 telemetry::FlowPhase::Start);
   }
+  telemetry::flight::record(telemetry::flight::EventKind::CommSend,
+                            "comm/send", static_cast<std::uint64_t>(tag),
+                            static_cast<std::uint64_t>(world_dst), flow_id);
   // Drop/delay injection applies to user-level messages only (collective
   // traffic goes through internal_send and counts ops, not messages).
   const std::uint64_t msg_index = world_->next_msg(me);
@@ -253,9 +295,17 @@ void Communicator::send(int dst, int tag, const Buffer& payload) {
     if (action != nullptr) {
       if (action->kind == FaultAction::Kind::Drop) {
         LTFB_COUNTER_ADD("comm/messages_dropped", 1);
+        telemetry::flight::record(telemetry::flight::EventKind::Fault,
+                                  "fault/message_dropped",
+                                  static_cast<std::uint64_t>(tag),
+                                  static_cast<std::uint64_t>(world_dst));
         return;  // silently lost; the receiver sees a timeout
       }
       LTFB_COUNTER_ADD("comm/messages_delayed", 1);
+      telemetry::flight::record(telemetry::flight::EventKind::Fault,
+                                "fault/message_delayed",
+                                static_cast<std::uint64_t>(tag),
+                                static_cast<std::uint64_t>(world_dst));
       std::this_thread::sleep_for(std::chrono::milliseconds(action->delay_ms));
     }
   }
@@ -270,6 +320,7 @@ void Communicator::send(int dst, int tag, std::span<const float> values) {
 Buffer Communicator::recv(int src, int tag, const Deadline& deadline,
                           int* source_out) {
   LTFB_COMM_GUARD("recv");
+  LTFB_FLIGHT_OP("comm/recv", tag, src);
   LTFB_FAULT_TICK("recv");
   LTFB_CHECK(tag >= 0);
   Request request = irecv(src, tag);
@@ -308,6 +359,7 @@ Buffer Communicator::take_payload(Request& request) {
 Buffer Communicator::sendrecv(int partner, int tag, const Buffer& payload,
                               const Deadline& deadline) {
   LTFB_COMM_GUARD("sendrecv");
+  LTFB_FLIGHT_OP("comm/sendrecv", tag, partner);
   LTFB_FAULT_TICK("sendrecv");
   LTFB_CHECK(tag >= 0);
   // Sends never block (mailboxes are unbounded), so send-then-recv is
@@ -348,6 +400,10 @@ void internal_send(Backend& world, const std::vector<int>& group, int my_rank,
     telemetry::Registry::instance().record_flow(flow_id,
                                                 telemetry::FlowPhase::Start);
   }
+  telemetry::flight::record(telemetry::flight::EventKind::CommSend,
+                            "comm/collective_send",
+                            static_cast<std::uint64_t>(tag),
+                            static_cast<std::uint64_t>(world_dst), flow_id);
   world.deliver(world_src, world_dst,
                 detail::Envelope{world_src, comm_id, tag, payload, flow_id});
 }
@@ -367,6 +423,8 @@ Buffer internal_recv(Backend& world, const std::vector<int>& group,
   pending.backend = &world;
   pending.self_world = self;
   pending.collective = true;
+  const telemetry::flight::PendingOp pending_op("comm/collective_recv", tag,
+                                                pending.src_world);
   util::MutexLock lock(mailbox.mutex);
   for (;;) {
     if (pending.done || detail::try_complete(pending)) break;
@@ -768,8 +826,32 @@ Communicator World::communicator(int rank) {
   return Communicator(backend_, 0, std::move(group), rank);
 }
 
+namespace {
+
+/// Postmortem kind string for the exception currently being handled.
+/// Callable only from inside a catch block.
+const char* unwind_kind() noexcept {
+  try {
+    throw;
+  } catch (const FaultInjected&) {
+    return "fault_injected";
+  } catch (const TimeoutError&) {
+    return "timeout";
+  } catch (const RankFailedError&) {
+    return "rank_failed";
+  } catch (...) {
+    return "error";
+  }
+}
+
+}  // namespace
+
 std::vector<std::exception_ptr> World::run_ranks(
     const std::function<void(Communicator&)>& fn) {
+  // Arm the flight recorder / watchdog / crash handler if the environment
+  // asks for them — run_ranks is the in-process entry point mirroring what
+  // spawned children do in spawn_socket_mesh.
+  telemetry::flight::init_from_env();
   const int n = size();
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
@@ -790,6 +872,13 @@ std::vector<std::exception_ptr> World::run_ranks(
       } catch (...) {
         errors[static_cast<std::size_t>(rank)] = std::current_exception();
         backend_->finalize_rank(rank, /*clean=*/false);
+        // The FaultInjected (and friends) unwind path: the dying rank's
+        // rings, span stack, and pending ops go to postmortem_rank<N>.json
+        // while they are still live.
+        if (telemetry::flight::enabled()) {
+          telemetry::flight::write_postmortem(
+              unwind_kind(), "World::run_ranks rank unwound", rank);
+        }
       }
     });
   }
@@ -805,14 +894,113 @@ void World::run(int size, const std::function<void(Communicator&)>& fn) {
   }
 }
 
+namespace {
+
+/// True when the spawn environment asks for postmortems (the parent must
+/// not call flight::init_from_env before forking — a watchdog thread
+/// started pre-fork would leave children believing one is already
+/// running — so the flag is read directly).
+bool spawn_postmortems_enabled() {
+  const char* flag = std::getenv("LTFB_POSTMORTEM_DIR");
+  if (flag != nullptr && flag[0] != '\0') return true;
+  flag = std::getenv("LTFB_FLIGHT_RECORDER");
+  return flag != nullptr && flag[0] != '\0' &&
+         std::string_view(flag) != "0";
+}
+
+std::filesystem::path spawn_postmortem_dir() {
+  const char* dir = std::getenv("LTFB_POSTMORTEM_DIR");
+  return std::filesystem::path(dir != nullptr && dir[0] != '\0' ? dir : ".");
+}
+
+/// Reads a child's postmortem file for verbatim embedding; returns empty
+/// when absent or not a JSON object (a torn write loses one rank's detail,
+/// never the run report).
+std::string read_postmortem_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream body;
+  body << in.rdbuf();
+  std::string text = body.str();
+  const auto first = text.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos || text[first] != '{') return {};
+  while (!text.empty() &&
+         (text.back() == '\n' || text.back() == '\r' || text.back() == ' ')) {
+    text.pop_back();
+  }
+  return text;
+}
+
+/// Merges per-rank postmortem files + wait statuses into the run-level
+/// report the supervisor leaves behind: postmortem_run.json names every
+/// rank's exit disposition and embeds each dead rank's own dump verbatim.
+void write_run_report(const std::filesystem::path& dir, int size,
+                      const std::vector<SpawnedRank>& spawned,
+                      const std::vector<World::ProcessStatus>& statuses) {
+  const std::filesystem::path path = dir / "postmortem_run.json";
+  const std::filesystem::path tmp = dir / "postmortem_run.json.tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      LTFB_LOG_WARN("comm", "cannot write run postmortem to " << path);
+      return;
+    }
+    out << "{\"schema\": \"ltfb-postmortem-run-v1\",\n"
+        << " \"world_size\": " << size << ",\n \"ranks\": [\n";
+    for (std::size_t i = 0; i < statuses.size(); ++i) {
+      const World::ProcessStatus& status = statuses[i];
+      const SpawnedRank& child = spawned[i];
+      const std::string body = read_postmortem_file(
+          dir / ("postmortem_rank" + std::to_string(status.rank) + ".json"));
+      out << (i == 0 ? "" : ",\n") << "  {\"rank\": " << status.rank
+          << ", \"exit_code\": " << (child.exited ? child.exit_code : 0)
+          << ", \"term_signal\": " << (child.exited ? 0 : child.term_signal)
+          << ", \"clean\": " << (status.clean() ? "true" : "false")
+          << ", \"pre_rendezvous\": "
+          << (status.pre_rendezvous ? "true" : "false")
+          << ", \"postmortem\": " << (body.empty() ? "null" : body) << "}";
+    }
+    out << "\n]}\n";
+    out.flush();
+    if (!out) {
+      LTFB_LOG_WARN("comm", "cannot write run postmortem to " << path);
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    LTFB_LOG_WARN("comm", "cannot rename run postmortem into " << path);
+  }
+}
+
+}  // namespace
+
 std::vector<World::ProcessStatus> World::spawn_processes(
     int size, const std::function<void(Communicator&)>& fn) {
   LTFB_CHECK_MSG(size > 0, "world size must be positive, got " << size);
+  const bool postmortems = spawn_postmortems_enabled();
+  const std::filesystem::path dir = spawn_postmortem_dir();
+  if (postmortems) {
+    // Stale files from an earlier run must not masquerade as this run's
+    // evidence.
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::filesystem::remove(dir / "postmortem_run.json", ec);
+    for (int r = 0; r < size; ++r) {
+      std::filesystem::remove(
+          dir / ("postmortem_rank" + std::to_string(r) + ".json"), ec);
+    }
+  }
   const std::vector<SpawnedRank> spawned = spawn_socket_mesh(
       size, [&fn](int rank, const std::shared_ptr<Backend>& backend) {
         // Children report through exit codes only: exceptions cannot cross
         // the process boundary, so the fault taxonomy run_ranks callers see
-        // as exception types arrives here as kExit* codes.
+        // as exception types arrives here as kExit* codes. The flight
+        // recorder (armed by spawn_socket_mesh before this runs) preserves
+        // the detail the exit code cannot carry.
         try {
           World world(backend);
           telemetry::bind_rank(
@@ -821,18 +1009,24 @@ std::vector<World::ProcessStatus> World::spawn_processes(
           fn(comm);
           backend->finalize_rank(rank, /*clean=*/true);
           return kExitClean;
-        } catch (const FaultInjected&) {
-          backend->finalize_rank(rank, /*clean=*/false);
-          return kExitFaultInjected;
-        } catch (const RankFailedError&) {
-          backend->finalize_rank(rank, /*clean=*/false);
-          return kExitRankFailed;
-        } catch (const TimeoutError&) {
-          backend->finalize_rank(rank, /*clean=*/false);
-          return kExitTimeout;
         } catch (...) {
           backend->finalize_rank(rank, /*clean=*/false);
-          return kExitError;
+          const char* kind = unwind_kind();
+          if (telemetry::flight::enabled()) {
+            telemetry::flight::write_postmortem(
+                kind, "spawned rank unwound", rank);
+          }
+          try {
+            throw;
+          } catch (const FaultInjected&) {
+            return kExitFaultInjected;
+          } catch (const RankFailedError&) {
+            return kExitRankFailed;
+          } catch (const TimeoutError&) {
+            return kExitTimeout;
+          } catch (...) {
+            return kExitError;
+          }
         }
       });
   std::vector<ProcessStatus> statuses;
@@ -841,7 +1035,11 @@ std::vector<World::ProcessStatus> World::spawn_processes(
     ProcessStatus status;
     status.rank = child.rank;
     status.code = child.exited ? child.exit_code : -child.term_signal;
+    status.pre_rendezvous = !child.ready;
     statuses.push_back(status);
+  }
+  if (postmortems) {
+    write_run_report(dir, size, spawned, statuses);
   }
   return statuses;
 }

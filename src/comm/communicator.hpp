@@ -298,6 +298,10 @@ class World {
   struct ProcessStatus {
     int rank = -1;
     int code = kExitError;
+    /// True when the child died before completing its rendezvous handshake
+    /// (its transport endpoint never finished construction): early deaths
+    /// get rank attribution instead of surfacing only as peer timeouts.
+    bool pre_rendezvous = false;
     bool clean() const noexcept { return code == kExitClean; }
   };
 

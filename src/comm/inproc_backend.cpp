@@ -6,6 +6,7 @@
 #include <tuple>
 #include <utility>
 
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/annotations.hpp"
 #include "util/rng.hpp"
@@ -86,6 +87,11 @@ class InProcBackend final : public Backend {
   /// already inside cv.wait.
   void finalize_rank(int world_rank, bool clean) override {
     RankStatus& s = *status_[static_cast<std::size_t>(world_rank)];
+    telemetry::flight::record(
+        telemetry::flight::EventKind::Fault,
+        clean ? "fault/rank_departed" : "fault/rank_dead",
+        static_cast<std::uint64_t>(world_rank),
+        static_cast<std::uint64_t>(clean ? 1 : 0));
     (clean ? s.departed : s.dead).store(true, std::memory_order_release);
     for (const auto& box : mailboxes_) {
       { const util::MutexLock lock(box->mutex); }
@@ -131,6 +137,8 @@ class InProcBackend final : public Backend {
                                      const Deadline& deadline) override {
     const std::pair<std::uint64_t, std::uint64_t> key(comm_id, seq);
     const auto expiry = deadline.expires_at();
+    const telemetry::flight::PendingOp pending_op(
+        "comm/shrink_rendezvous", static_cast<std::int64_t>(seq), -1);
     util::MutexLock lock(shrink_mutex_);
     ShrinkPoint& point = shrink_points_[key];
     point.arrived.push_back(self_world);

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cerrno>
 #include <cstring>
@@ -16,6 +17,7 @@
 
 #include "comm/socket_io_testing.hpp"
 #include "comm/wire.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/annotations.hpp"
 #include "util/rng.hpp"
@@ -322,6 +324,8 @@ class SocketBackend final : public Backend {
     std::vector<int> survivors;
     bool sealed_here = false;
     bool aborted = false;
+    const telemetry::flight::PendingOp pending_op(
+        "comm/shrink_rendezvous", static_cast<std::int64_t>(seq), -1);
     {
       util::MutexLock lock(ep.shrink_mutex);
       for (;;) {
@@ -493,6 +497,10 @@ class SocketBackend final : public Backend {
         break;
       }
       case wire::FrameKind::Goodbye:
+        telemetry::flight::record(telemetry::flight::EventKind::Fault,
+                                  "fault/peer_departed",
+                                  static_cast<std::uint64_t>(ep.self),
+                                  static_cast<std::uint64_t>(peer));
         ep.views[static_cast<std::size_t>(peer)].departed.store(
             true, std::memory_order_release);
         wake(ep);
@@ -539,6 +547,10 @@ class SocketBackend final : public Backend {
   }
 
   void mark_peer_dead(SocketEndpoint& ep, int peer) {
+    telemetry::flight::record(telemetry::flight::EventKind::Fault,
+                              "fault/peer_dead",
+                              static_cast<std::uint64_t>(ep.self),
+                              static_cast<std::uint64_t>(peer));
     ep.views[static_cast<std::size_t>(peer)].dead.store(
         true, std::memory_order_release);
     wake(ep);
@@ -560,6 +572,10 @@ class SocketBackend final : public Backend {
   /// impossible by construction — failures are terminal).
   bool send_frame(SocketEndpoint& ep, int dst, wire::Frame& frame) {
     PeerLink& peer_link = link(ep.self, dst);
+    // A full socket buffer with a non-reading peer blocks right here —
+    // register the write so the watchdog can name the wedged link.
+    const telemetry::flight::PendingOp pending_op("comm/send_frame",
+                                                  frame.tag, dst);
     const util::MutexLock lock(peer_link.write_mutex);
     if (peer_link.write_failed) return false;
     frame.seq = peer_link.send_seq;
@@ -641,12 +657,26 @@ std::vector<SpawnedRank> spawn_socket_mesh(
       mesh[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = sv[1];
     }
   }
+  // One READY pipe per child: the child writes a byte after its transport
+  // endpoint is fully constructed (readers running = rendezvous complete).
+  // The parent reads the pipe after reaping — a child that died first
+  // leaves it empty, which is exactly the "died before the handshake"
+  // signal that gives early deaths rank attribution.
+  std::vector<std::array<int, 2>> ready_pipes(
+      static_cast<std::size_t>(size), {-1, -1});
+  for (auto& ready_pipe : ready_pipes) {
+    int fds[2] = {-1, -1};
+    LTFB_CHECK_MSG(::pipe(fds) == 0,
+                   "pipe failed: " << std::strerror(errno));
+    ready_pipe = {fds[0], fds[1]};
+  }
   std::vector<pid_t> pids(static_cast<std::size_t>(size), -1);
   for (int r = 0; r < size; ++r) {
     const pid_t pid = ::fork();
     LTFB_CHECK_MSG(pid >= 0, "fork failed: " << std::strerror(errno));
     if (pid == 0) {
-      // Child: keep only this rank's row of the mesh.
+      // Child: keep only this rank's row of the mesh and its own READY
+      // write end.
       for (int i = 0; i < size; ++i) {
         for (int j = 0; j < size; ++j) {
           const int fd = mesh[static_cast<std::size_t>(i)]
@@ -654,10 +684,23 @@ std::vector<SpawnedRank> spawn_socket_mesh(
           if (i != r && fd >= 0) ::close(fd);
         }
       }
+      for (int i = 0; i < size; ++i) {
+        ::close(ready_pipes[static_cast<std::size_t>(i)][0]);
+        if (i != r) ::close(ready_pipes[static_cast<std::size_t>(i)][1]);
+      }
+      // Arm the flight recorder before the backend exists so even a crash
+      // during endpoint construction leaves postmortem_rank<r>.json.
+      telemetry::flight::init_from_env();
+      telemetry::flight::set_process_rank(r);
+      telemetry::set_thread_name("comm/rank_main");
       int code = 1;
       {
         auto backend = make_socket_backend_process(
             size, r, mesh[static_cast<std::size_t>(r)]);
+        const char ready_byte = 'R';
+        const int ready_fd = ready_pipes[static_cast<std::size_t>(r)][1];
+        (void)!::write(ready_fd, &ready_byte, 1);
+        ::close(ready_fd);
         code = child_main(r, backend);
       }  // backend teardown: shutdown + join readers + close
       ::_exit(code);
@@ -669,6 +712,7 @@ std::vector<SpawnedRank> spawn_socket_mesh(
       if (fd >= 0) ::close(fd);
     }
   }
+  for (const auto& ready_pipe : ready_pipes) ::close(ready_pipe[1]);
   std::vector<SpawnedRank> results(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r) {
     int status = 0;
@@ -686,6 +730,16 @@ std::vector<SpawnedRank> spawn_socket_mesh(
       result.exited = false;
       result.term_signal = WTERMSIG(status);
     }
+    // The child is reaped, so this read never blocks: one byte means the
+    // endpoint came up, EOF means it died pre-rendezvous.
+    char ready_byte = 0;
+    const int ready_fd = ready_pipes[static_cast<std::size_t>(r)][0];
+    ssize_t n;
+    do {
+      n = ::read(ready_fd, &ready_byte, 1);
+    } while (n < 0 && errno == EINTR);
+    result.ready = n == 1;
+    ::close(ready_fd);
   }
   return results;
 }

@@ -47,6 +47,9 @@ struct SpawnedRank {
   bool exited = false;  // false = terminated by a signal
   int exit_code = 0;    // valid when exited
   int term_signal = 0;  // valid when !exited
+  /// The child wrote its READY byte after constructing its transport
+  /// endpoint; false means it died before the rendezvous completed.
+  bool ready = false;
 };
 
 /// The launcher: creates the size*(size-1)/2 socketpair mesh, forks one

@@ -10,6 +10,7 @@
 #include "core/metrics_aggregator.hpp"
 #include "core/population_checkpoint.hpp"
 #include "nn/parallel.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -224,6 +225,7 @@ DistributedLtfbOutcome run_distributed_ltfb(
   // -- LTFB rounds -------------------------------------------------------------
   for (std::size_t round = start_round; round < config.ltfb.rounds; ++round) {
     LTFB_SPAN("ltfb/round");
+    telemetry::flight::heartbeat();
     LTFB_COUNTER_ADD("ltfb/rounds", 1);
     const telemetry::Stopwatch round_clock;
     try {
@@ -342,6 +344,7 @@ DistributedLtfbOutcome run_distributed_ltfb(
     // gathers the cluster — no-op when the aggregator is inactive). The
     // leader's return value is its trainer's step-time straggler spread.
     const double round_wall_s = round_clock.elapsed_seconds();
+    telemetry::flight::heartbeat();
     const double rank_gap_s = aggregator.round_boundary(
         round, trainer_comm, leader_comm, leader, leader ? &stat : nullptr,
         round_wall_s);

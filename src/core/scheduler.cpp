@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/population_checkpoint.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -369,6 +370,7 @@ ElasticScheduler::BoundaryOutcome ElasticScheduler::issue_boundary(
     const BoundaryPlan& plan,
     const std::function<SchedulerAck(const SchedulerEnvelope&)>& apply_local) {
   BoundaryOutcome out;
+  telemetry::flight::heartbeat();
   LTFB_CHECK_MSG(plan.envelopes.size() == plan.envelope_ranks.size(),
                  "boundary plan arrays must be parallel");
 
@@ -863,6 +865,7 @@ ElasticLtfbOutcome run_elastic_ltfb(comm::Communicator& world,
   // -- rounds ------------------------------------------------------------------
   for (std::uint64_t round = 0; round < config.ltfb.rounds; ++round) {
     LTFB_SPAN("ltfb/round");
+    telemetry::flight::heartbeat();
     LTFB_COUNTER_ADD("ltfb/rounds", 1);
     const telemetry::Stopwatch round_clock;
 
@@ -1007,6 +1010,7 @@ ElasticLtfbOutcome run_elastic_ltfb(comm::Communicator& world,
     }
 
     const double round_wall_s = round_clock.elapsed_seconds();
+    telemetry::flight::heartbeat();
     const double rank_gap_s = aggregator.round_boundary(
         static_cast<std::size_t>(round), self_comm, world, /*leader=*/true,
         have_stat ? &stat : nullptr, round_wall_s);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace ltfb::datastore {
@@ -92,6 +93,9 @@ void DataStore::preload() {
   LTFB_CHECK_MSG(!has_directory(), "preload() called twice");
   const int ranks = comm_.size();
   for (std::size_t file = 0; file < catalog_->file_count(); ++file) {
+    // A long ingest (many bundle files) is progress, not a hang: tick the
+    // watchdog heartbeat per file so a short stall window stays quiet.
+    telemetry::flight::heartbeat();
     if (static_cast<int>(file % static_cast<std::size_t>(ranks)) !=
         comm_.rank()) {
       continue;
@@ -161,6 +165,7 @@ std::vector<data::Sample> DataStore::fetch(
   check_no_fetch_in_flight("fetch");
   LTFB_SPAN("datastore/fetch");
   LTFB_TIMED_SCOPE("datastore/fetch");
+  telemetry::flight::heartbeat();
   return fetch_now(ids);
 }
 
@@ -228,6 +233,7 @@ void DataStore::begin_fetch(std::vector<data::SampleId> ids) {
     telemetry::set_thread_name("datastore/prefetch");
     LTFB_SPAN("datastore/prefetch");
     LTFB_TIMED_SCOPE("datastore/prefetch");
+    telemetry::flight::heartbeat();
     try {
       std::vector<data::Sample> fetched = fetch_now(ids);
       const util::MutexLock lock(prefetch_mutex_);
@@ -394,6 +400,7 @@ void DataStore::migrate_shard(const std::vector<data::SampleId>& ids,
 std::vector<data::Sample> DataStore::fetch_via_exchange(
     const std::vector<data::SampleId>& ids) {
   LTFB_SPAN("datastore/exchange");
+  telemetry::flight::heartbeat();
   const int ranks = comm_.size();
   const int req_tag = step_seq_ * 2;
   const int rep_tag = step_seq_ * 2 + 1;

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
+
+#include "telemetry/flight_recorder.hpp"
 
 namespace ltfb::telemetry {
 
@@ -95,6 +98,7 @@ void bind_rank(int rank) {
 
 void set_thread_name(std::string_view name) {
   Registry::instance().name_current_thread(name);
+  flight::detail::flight_thread_name(name);
 }
 
 namespace {
@@ -374,6 +378,11 @@ Span::~Span() {
     Registry::instance().record_span(name_, start_ns_,
                                      now_ns() - start_ns_);
   }
+  // Popped whenever the ctor pushed, even if the recorder was disabled
+  // in between — the flight span stack must stay balanced.
+  if (flight_) {
+    detail::flight_span_end();
+  }
 }
 
 Registry::TraceBuffer& Registry::local_buffer() {
@@ -513,11 +522,47 @@ std::string Registry::metrics_json() const {
   return oss.str();
 }
 
+namespace {
+
+/// Atomic artifact write matching export_history_csv: the body goes to a
+/// temp sibling and is renamed over the target only after a healthy
+/// flush+close, so a crash (or a concurrent reader — CI validators poll
+/// these files) never sees a torn export. Missing parent directories are
+/// created so LTFB_TELEMETRY_OUT=dir/that/does/not/exist/trace.json works.
+template <typename WriteBody>
+bool atomic_export(const std::string& path, WriteBody&& write_body) {
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(target.parent_path(), ec);
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    write_body(out);
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, target, ec);
+  if (ec) {
+    std::error_code rm;
+    std::filesystem::remove(tmp, rm);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 bool Registry::write_metrics_json(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
-  write_metrics_json(out);
-  return static_cast<bool>(out);
+  return atomic_export(path,
+                       [this](std::ostream& out) { write_metrics_json(out); });
 }
 
 namespace {
@@ -652,10 +697,8 @@ std::string Registry::trace_json() const {
 }
 
 bool Registry::write_trace_json(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
-  write_trace_json(out);
-  return static_cast<bool>(out);
+  return atomic_export(path,
+                       [this](std::ostream& out) { write_trace_json(out); });
 }
 
 void Registry::log_metrics(util::LogLevel level) const {

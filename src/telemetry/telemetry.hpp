@@ -96,6 +96,17 @@ std::uint64_t now_ns() noexcept;
 
 namespace detail {
 inline std::atomic<bool> g_enabled{false};
+
+/// Flight-recorder gate, owned by flight::set_enabled (flight_recorder.cpp)
+/// but declared here so Span can feed the per-thread live span stacks
+/// without a circular include. Independent of g_enabled: postmortems work
+/// with tracing off and vice versa.
+inline std::atomic<bool> g_flight_enabled{false};
+
+/// Out-of-line flight-recorder span-stack hooks (flight_recorder.cpp);
+/// called only behind a g_flight_enabled relaxed load.
+void flight_span_begin(const char* name) noexcept;
+void flight_span_end() noexcept;
 }  // namespace detail
 
 /// True when the registry is recording. One relaxed load — THE hot-path
@@ -371,6 +382,10 @@ class Span {
       name_ = name;
       start_ns_ = now_ns();
     }
+    if (detail::g_flight_enabled.load(std::memory_order_relaxed)) {
+      flight_ = true;
+      detail::flight_span_begin(name);
+    }
   }
   ~Span();
   Span(const Span&) = delete;
@@ -379,6 +394,7 @@ class Span {
  private:
   const char* name_ = nullptr;
   std::uint64_t start_ns_ = 0;
+  bool flight_ = false;
 };
 
 // ---------------------------------------------------------------------------

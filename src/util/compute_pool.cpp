@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -95,6 +96,10 @@ void ComputePool::run_tasks(std::size_t tasks,
     workers = workers_;
   }
 
+  // Compute progress counts as liveness: a long GEMM sweep must not read
+  // as a hang to the flight-recorder watchdog.
+  telemetry::flight::heartbeat();
+
   if (pool == nullptr || workers <= 1 || tasks <= 1 || tl_on_compute_worker) {
     for (std::size_t t = 0; t < tasks; ++t) fn(t);
     return;
@@ -118,6 +123,7 @@ void ComputePool::run_tasks(std::size_t tasks,
     futures.push_back(pool->submit([&fn, begin, end, caller_rank] {
       const telemetry::RankBinding bind_rank(caller_rank);
       tl_on_compute_worker = true;
+      telemetry::flight::heartbeat_hot();
       for (std::size_t t = begin; t < end; ++t) fn(t);
     }));
   }

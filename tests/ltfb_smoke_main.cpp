@@ -10,11 +10,21 @@
 // tools/ltfb_trace.py --validate consumes these as a ctest (and in the CI
 // observability job). Not a gtest binary on purpose: it is also the
 // documented "reading a distributed trace" quickstart command.
+//
+// --spawn switches to World::spawn_processes (one OS process per rank over
+// the socket mesh) and leaves the flight-recorder postmortem artifact set
+// behind instead: per-rank postmortem_rank<N>.json for every rank that
+// unwound plus the supervisor's merged postmortem_run.json, consumed by
+// tools/ltfb_postmortem.py --validate. Injected faults (kill:/delay: via
+// LTFB_FAULT_SCHEDULE) are the expected subject of the postmortems, so the
+// parent exits 0 as long as every child died inside the exit-code taxonomy.
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <string>
 
+#include "comm/communicator.hpp"
 #include "core/ltfb_comm.hpp"
 #include "core/scheduler.hpp"
 #include "telemetry/telemetry.hpp"
@@ -59,6 +69,8 @@ int main(int argc, char** argv) {
   int ranks_per_trainer = 2;
   std::size_t rounds = 3;
   bool elastic = false;
+  bool spawn = false;
+  int comm_timeout_ms = 0;
   int trainers = -1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -88,13 +100,54 @@ int main(int argc, char** argv) {
       elastic = true;
     } else if (arg == "--trainers") {
       trainers = std::stoi(value());
+    } else if (arg == "--spawn") {
+      spawn = true;
+    } else if (arg == "--comm-timeout-ms") {
+      comm_timeout_ms = std::stoi(value());
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--trace F] [--timeseries F] [--metrics F] [--ranks N]"
                    " [--ranks-per-trainer N] [--rounds N] [--elastic]"
-                   " [--trainers N]\n";
+                   " [--trainers N] [--spawn] [--comm-timeout-ms MS]\n";
       return 2;
     }
+  }
+
+  if (spawn) {
+    // Multi-process mode: each child runs the distributed LTFB body; the
+    // parent only supervises. Telemetry file exports happen per child (via
+    // LTFB_TELEMETRY_OUT if set); the parent's registry never sees rank
+    // events, so the trace/metrics writes below are skipped.
+    const data::Dataset spawn_dataset = tiny_dataset(400, 61);
+    const auto spawn_splits =
+        data::split_dataset(spawn_dataset.size(), 0.7, 0.15, 62);
+    core::DistributedLtfbConfig config;
+    config.ranks_per_trainer = ranks_per_trainer;
+    config.batch_size = 16;
+    config.ltfb.steps_per_round = 4;
+    config.ltfb.rounds = rounds;
+    config.ltfb.pretrain_steps = 4;
+    config.model = tiny_model();
+    config.seed = 60;
+    config.comm_timeout = std::chrono::milliseconds(comm_timeout_ms);
+    const auto statuses = comm::World::spawn_processes(
+        ranks, [&](comm::Communicator& world) {
+          const auto outcome = core::run_distributed_ltfb(
+              world, spawn_dataset, spawn_splits, config);
+          LTFB_CHECK_MSG(!outcome.aborted, "smoke run aborted on rank");
+        });
+    bool in_taxonomy = true;
+    for (const auto& status : statuses) {
+      std::cerr << "rank " << status.rank << ": exit code " << status.code
+                << (status.pre_rendezvous ? " (pre-rendezvous)" : "") << "\n";
+      const bool known = status.code == comm::World::kExitClean ||
+                         status.code == comm::World::kExitError ||
+                         status.code == comm::World::kExitFaultInjected ||
+                         status.code == comm::World::kExitRankFailed ||
+                         status.code == comm::World::kExitTimeout;
+      in_taxonomy = in_taxonomy && known;
+    }
+    return in_taxonomy ? 0 : 1;
   }
 
   auto& registry = telemetry::Registry::instance();

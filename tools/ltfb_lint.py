@@ -213,6 +213,11 @@ ENTRY_CHECK_MANIFEST = {
         ("Registry::record_sim_span", "Registry::record_sim_span"),
         ("telemetry::bind_rank", "bind_rank"),
     ],
+    "src/telemetry/flight_recorder.cpp": [
+        ("flight::start_watchdog", "start_watchdog"),
+        ("flight::set_process_rank", "set_process_rank"),
+        ("flight::set_postmortem_dir", "set_postmortem_dir"),
+    ],
     "src/core/metrics_aggregator.cpp": [
         ("ClusterMetricsAggregator::ClusterMetricsAggregator",
          "ClusterMetricsAggregator::ClusterMetricsAggregator"),

@@ -1,0 +1,430 @@
+#!/usr/bin/env python3
+"""Postmortem analyzer for LTFB flight-recorder dumps (DESIGN.md §16).
+
+Consumes the artifacts a failed (or stalled) distributed run leaves behind:
+
+  * per-rank ``postmortem_rank<N>.json`` files written by the flight
+    recorder's crash handler, watchdog, or unwind hooks — each holds the
+    rank identity, the per-thread event rings and live span stacks, the
+    heartbeat counters, and the in-flight comm-op registry at dump time;
+  * the supervisor's merged ``postmortem_run.json`` written by
+    World::spawn_processes after reaping, which records every child's exit
+    disposition and embeds each dead rank's own dump verbatim;
+  * optionally the Chrome trace of the same run, for cross-checking the
+    flow-correlation ids stamped on comm_send events against the trace's
+    flow arrows.
+
+and renders a blame summary: which rank failed and how (exit taxonomy,
+signal, injected fault, stall), the deepest span that was open when it
+died, the comm operation it was blocked in (op, tag, peer, age), and the
+last N flight-recorder events leading up to the failure.
+
+Span stacks are reconstructed two ways. A signal crash dumps the live
+stack directly (``span_stack``). An exception unwind pops spans before the
+top-level handler runs, so for those dumps the analyzer replays the event
+ring up to the failure point (the last fault / comm_op / wait_begin event)
+and reports the spans open *there* — the stack as it stood when the rank
+began to die, not after the unwind emptied it.
+
+--validate turns the analyzer into a CI gate: structural invariants of
+every dump (schema tag, known kinds, event-kind vocabulary, rank binding on
+the failing thread, pending-op row shape), plus run-report invariants
+(world size matches, every rank that died inside the fault taxonomy or by
+signal embeds a postmortem, every stall dump carries a blame object). It
+exits non-zero on the first violation.
+
+Stdlib only; no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import sys
+
+RUN_SCHEMA = "ltfb-postmortem-run-v1"
+RANK_SCHEMA = "ltfb-postmortem-v1"
+
+KNOWN_KINDS = {"crash", "stall", "fault_injected", "rank_failed", "timeout",
+               "error"}
+EVENT_KINDS = {"span_begin", "span_end", "comm_op", "comm_send", "comm_recv",
+               "wait_begin", "wait_end", "fault"}
+# Exit codes children use to report the fault taxonomy (World::kExit*).
+EXIT_FAULT_CODES = {42, 43, 44}
+RANK_FILE_RE = re.compile(r"postmortem_rank(\d+)\.json$")
+
+# Events that mark "the rank was doing comm when it died": blame anchors.
+BLAME_EVENT_KINDS = {"fault", "comm_op", "wait_begin"}
+
+
+class ValidationError(Exception):
+    pass
+
+
+def check(cond, message):
+    if not cond:
+        raise ValidationError(message)
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+# ----------------------------------------------------------------------------
+# Loading: accept a run report, a single rank dump, or a directory.
+
+
+def discover(path):
+    """Returns (run_report_or_None, [(source_name, rank_dump), ...])."""
+    if os.path.isdir(path):
+        run_path = os.path.join(path, "postmortem_run.json")
+        if os.path.exists(run_path):
+            return discover(run_path)
+        dumps = []
+        for name in sorted(os.listdir(path)):
+            if RANK_FILE_RE.search(name):
+                dumps.append((name, load_json(os.path.join(path, name))))
+        check(dumps, f"no postmortem files found in {path}")
+        return None, dumps
+    doc = load_json(path)
+    schema = doc.get("schema")
+    if schema == RUN_SCHEMA:
+        dumps = [(f"rank{row['rank']}", row["postmortem"])
+                 for row in doc.get("ranks", [])
+                 if row.get("postmortem") is not None]
+        return doc, dumps
+    check(schema == RANK_SCHEMA,
+          f"{path}: unknown schema {schema!r} "
+          f"(expected {RANK_SCHEMA} or {RUN_SCHEMA})")
+    return None, [(os.path.basename(path), doc)]
+
+
+# ----------------------------------------------------------------------------
+# Blame derivation.
+
+
+def failing_thread(dump):
+    """The thread whose events tell the failure story: the one bound to the
+    dump's rank, else the busiest one."""
+    threads = dump.get("threads", [])
+    bound = [t for t in threads if t.get("rank") == dump.get("rank")]
+    pool = bound or threads
+    if not pool:
+        return None
+    return max(pool, key=lambda t: len(t.get("events", [])))
+
+
+def failure_point(events):
+    """Index of the event at which the rank began to die (last blame-anchor
+    event), else the end of the ring."""
+    for i in range(len(events) - 1, -1, -1):
+        if events[i].get("kind") in BLAME_EVENT_KINDS:
+            return i
+    return len(events) - 1
+
+
+def replay_open_spans(events, upto):
+    """Replays span_begin/span_end over events[:upto+1]; returns the open
+    stack (oldest first). Ring truncation can orphan span_ends — those pop
+    nothing."""
+    stack = []
+    for event in events[: upto + 1]:
+        kind = event.get("kind")
+        if kind == "span_begin":
+            stack.append(event)
+        elif kind == "span_end" and stack:
+            stack.pop()
+    return stack
+
+
+def open_spans(dump):
+    """Open spans of the failing thread at the failure point: the live
+    span_stack when the dump captured one (signal crash, stall), else a
+    replay of the event ring (exception unwind)."""
+    thread = failing_thread(dump)
+    if thread is None:
+        return [], None
+    live = thread.get("span_stack", [])
+    if live:
+        return [{"name": s["name"]} for s in live], thread
+    events = thread.get("events", [])
+    if not events:
+        return [], thread
+    replayed = replay_open_spans(events, failure_point(events))
+    return [{"name": e["name"]} for e in replayed], thread
+
+
+def blocked_op(dump):
+    """The comm operation the rank was blocked in (or entering) when it
+    died: the explicit blame object (stalls), else the oldest pending op,
+    else the last comm_op/wait_begin event of the failing thread."""
+    blame = dump.get("blame")
+    if blame:
+        return dict(blame, source="blame")
+    pending = dump.get("pending_ops", [])
+    if pending:
+        oldest = max(pending, key=lambda p: p.get("age_ns", 0))
+        return dict(oldest, source="pending_op")
+    thread = failing_thread(dump)
+    if thread is None:
+        return None
+    events = thread.get("events", [])
+    # Prefer "comm/..."-named events: those carry the user-level tag and
+    # world peer. Bare op-index events (fault_tick bookkeeping) are the
+    # fallback.
+    fallback = None
+    for event in reversed(events):
+        if event.get("kind") not in ("comm_op", "wait_begin"):
+            continue
+        row = {"op": event["name"], "tag": event.get("a"),
+               "peer": event.get("b"), "rank": dump.get("rank"),
+               "source": "last_event"}
+        if str(event.get("name", "")).startswith("comm/"):
+            return row
+        fallback = fallback or row
+    return fallback
+
+
+def summarize(source, dump, last):
+    spans, thread = open_spans(dump)
+    op = blocked_op(dump)
+    events = (thread or {}).get("events", [])
+    return {
+        "source": source,
+        "rank": dump.get("rank"),
+        "kind": dump.get("kind"),
+        "reason": dump.get("reason"),
+        "signal": dump.get("signal_name") or None,
+        "deepest_span": spans[-1]["name"] if spans else None,
+        "open_spans": [s["name"] for s in spans],
+        "blocked_op": op,
+        "thread": (thread or {}).get("name") or None,
+        "dropped_events": dump.get("dropped_events", 0),
+        "last_events": [
+            {"kind": e.get("kind"), "name": e.get("name"),
+             "ts_ns": e.get("ts_ns"), "a": e.get("a"), "b": e.get("b")}
+            for e in events[-last:]
+        ],
+    }
+
+
+# ----------------------------------------------------------------------------
+# Trace cross-check: comm_send flow ids should appear in the Chrome trace.
+
+
+def trace_flow_ids(path):
+    doc = load_json(path)
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    ids = set()
+    for event in events:
+        if event.get("ph") in ("s", "f") and "id" in event:
+            ids.add(int(str(event["id"]), 0))
+    return ids
+
+
+def dump_flow_ids(dump):
+    ids = set()
+    for thread in dump.get("threads", []):
+        for event in thread.get("events", []):
+            if event.get("kind") in ("comm_send", "comm_recv"):
+                flow = event.get("c", "0x0")
+                value = int(str(flow), 0)
+                if value:
+                    ids.add(value)
+    return ids
+
+
+def cross_check(dumps, trace_path):
+    """Returns (matched, total) counts of postmortem flow ids found among
+    the trace's flow-event ids."""
+    trace_ids = trace_flow_ids(trace_path)
+    pm_ids = set()
+    for _, dump in dumps:
+        pm_ids |= dump_flow_ids(dump)
+    return len(pm_ids & trace_ids), len(pm_ids)
+
+
+# ----------------------------------------------------------------------------
+# Validation.
+
+
+def validate_rank_dump(name, dump):
+    check(dump.get("schema") == RANK_SCHEMA,
+          f"{name}: schema is {dump.get('schema')!r}")
+    check(dump.get("kind") in KNOWN_KINDS,
+          f"{name}: unknown kind {dump.get('kind')!r}")
+    check(isinstance(dump.get("rank"), int) and dump["rank"] >= 0,
+          f"{name}: missing rank binding")
+    threads = dump.get("threads")
+    check(isinstance(threads, list) and threads,
+          f"{name}: no thread states captured")
+    bound = [t for t in threads if t.get("rank") == dump["rank"]]
+    check(bound, f"{name}: no thread bound to failing rank {dump['rank']}")
+    check(any(t.get("events") for t in bound),
+          f"{name}: failing rank's threads recorded no events")
+    for thread in threads:
+        for event in thread.get("events", []):
+            check(event.get("kind") in EVENT_KINDS,
+                  f"{name}: unknown event kind {event.get('kind')!r}")
+    for op in dump.get("pending_ops", []):
+        check(all(k in op for k in ("op", "tag", "peer", "rank", "age_ns")),
+              f"{name}: malformed pending op row {op}")
+    if dump.get("kind") == "stall":
+        blame = dump.get("blame")
+        check(blame and "op" in blame and "tag" in blame and "peer" in blame,
+              f"{name}: stall dump lacks a blame object")
+    check(blocked_op(dump) is not None,
+          f"{name}: cannot derive a blocked/entering comm op")
+
+
+def validate_run_report(report):
+    ranks = report.get("ranks", [])
+    check(report.get("world_size") == len(ranks),
+          f"run report: world_size {report.get('world_size')} != "
+          f"{len(ranks)} rank rows")
+    for row in ranks:
+        check(isinstance(row.get("rank"), int), "run report: row lacks rank")
+        died = (row.get("exit_code") in EXIT_FAULT_CODES
+                or row.get("term_signal", 0) != 0)
+        if died:
+            check(row.get("postmortem") is not None,
+                  f"run report: rank {row['rank']} died "
+                  f"(exit {row.get('exit_code')}, signal "
+                  f"{row.get('term_signal')}) without a postmortem")
+        if row.get("postmortem") is not None:
+            validate_rank_dump(f"rank{row['rank']}", row["postmortem"])
+
+
+def validate(report, dumps, expect_kinds, expect_failures):
+    if report is not None:
+        validate_run_report(report)
+    else:
+        for name, dump in dumps:
+            validate_rank_dump(name, dump)
+    if expect_failures is not None:
+        check(len(dumps) >= expect_failures,
+              f"expected >= {expect_failures} postmortems, got {len(dumps)}")
+    for kind in expect_kinds:
+        check(any(d.get("kind") == kind for _, d in dumps),
+              f"expected a postmortem of kind {kind!r}, "
+              f"got {[d.get('kind') for _, d in dumps]}")
+
+
+# ----------------------------------------------------------------------------
+# Rendering.
+
+
+def format_op(op):
+    if not op:
+        return "(none recorded)"
+    peer = op.get("peer")
+    text = f"{op.get('op')} tag={op.get('tag')}"
+    if peer is not None and peer >= 0:
+        text += f" peer={peer}"
+    if op.get("age_ns"):
+        text += f" age={op['age_ns'] / 1e6:.1f}ms"
+    return f"{text} [{op.get('source', '?')}]"
+
+
+def format_report(report, summaries):
+    lines = []
+    if report is not None:
+        lines.append(f"run: {report.get('world_size')} ranks")
+        for row in report.get("ranks", []):
+            state = ("clean" if row.get("clean")
+                     else f"exit={row.get('exit_code')}"
+                     + (f" signal={row['term_signal']}"
+                        if row.get("term_signal") else ""))
+            extra = " pre-rendezvous" if row.get("pre_rendezvous") else ""
+            lines.append(f"  rank {row['rank']}: {state}{extra}")
+        lines.append("")
+    if not summaries:
+        lines.append("no per-rank postmortems (run completed without dumps)")
+        return "\n".join(lines)
+    for s in summaries:
+        lines.append(f"== rank {s['rank']} ({s['source']}): {s['kind']}"
+                     + (f" [{s['signal']}]" if s["signal"] else ""))
+        lines.append(f"   reason: {s['reason']}")
+        if s["open_spans"]:
+            lines.append("   open spans: " + " > ".join(s["open_spans"]))
+            lines.append(f"   deepest span: {s['deepest_span']}")
+        else:
+            lines.append("   open spans: (none at failure point)")
+        lines.append("   blocked comm op: " + format_op(s["blocked_op"]))
+        if s["dropped_events"]:
+            lines.append(f"   dropped events: {s['dropped_events']}")
+        lines.append(f"   last {len(s['last_events'])} events "
+                     f"(thread {s['thread'] or '?'}):")
+        for e in s["last_events"]:
+            lines.append(f"     {e['ts_ns']:>12} {e['kind']:<10} {e['name']}"
+                         f" a={e['a']} b={e['b']}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path",
+                        help="postmortem_run.json, a postmortem_rank<N>.json, "
+                             "or a directory containing them")
+    parser.add_argument("--trace",
+                        help="Chrome trace of the same run: cross-check "
+                             "flow-correlation ids on comm events")
+    parser.add_argument("--last", type=int, default=10,
+                        help="events to show per failing rank (default 10)")
+    parser.add_argument("--validate", action="store_true",
+                        help="check structural invariants and exit non-zero "
+                             "on the first violation")
+    parser.add_argument("--expect-kind", action="append", default=[],
+                        help="with --validate: require a postmortem of this "
+                             "kind (repeatable)")
+    parser.add_argument("--expect-failures", type=int, default=None,
+                        help="with --validate: require at least this many "
+                             "per-rank postmortems")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the summary as JSON instead of text")
+    args = parser.parse_args(argv)
+
+    try:
+        report, dumps = discover(args.path)
+        if args.validate:
+            validate(report, dumps, args.expect_kind, args.expect_failures)
+        summaries = [summarize(name, dump, args.last)
+                     for name, dump in dumps]
+        result = {"summaries": summaries}
+        if report is not None:
+            result["ranks"] = report.get("ranks", [])
+        if args.trace:
+            matched, total = cross_check(dumps, args.trace)
+            result["flow_ids_matched"] = matched
+            result["flow_ids_total"] = total
+            if args.validate and total:
+                check(matched > 0,
+                      f"none of {total} postmortem flow ids appear in "
+                      f"{args.trace}")
+    except (ValidationError, OSError, ValueError, KeyError) as err:
+        print(f"ltfb_postmortem: FAIL: {err}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        json.dump(result, sys.stdout, indent=1)
+        print()
+    else:
+        print(format_report(report, summaries))
+        if args.trace:
+            print(f"flow-id cross-check: {result['flow_ids_matched']}/"
+                  f"{result['flow_ids_total']} postmortem flow ids present "
+                  f"in trace")
+    if args.validate:
+        print("ltfb_postmortem: OK", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    # Die quietly when piped into `head`.
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    sys.exit(main())
